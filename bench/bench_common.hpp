@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches (one binary per paper
+ * table/figure). Each bench prints the paper-style table/series to
+ * stdout and writes a CSV next to it (MLTC_OUT_DIR overrides where).
+ *
+ * Frame counts: the paper runs 411 (Village) / 525 (City) frames; bench
+ * defaults are lower to keep the full single-core sweep fast. Set
+ * MLTC_FRAMES to override (e.g. MLTC_FRAMES=411 for paper-length runs);
+ * the camera path is identical, just sampled at a different rate.
+ */
+#ifndef MLTC_BENCH_COMMON_HPP
+#define MLTC_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace mltc::bench {
+
+/** Bytes -> MB (decimal MiB as the paper plots). */
+inline double
+mb(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/** Bytes -> KB. */
+inline double
+kb(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / 1024.0;
+}
+
+/** Frame count for this bench run. */
+inline int
+frames(int bench_default)
+{
+    return benchFrameCount(bench_default);
+}
+
+/** CSV path in the output directory. */
+inline std::string
+csvPath(const std::string &name)
+{
+    return benchOutputDir() + "/" + name;
+}
+
+/** Banner printed by every bench. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("=== %s ===\n%s\n", experiment, description);
+}
+
+/** Footer noting the CSV artefact. */
+inline void
+wroteCsv(const std::string &path)
+{
+    std::printf("[csv] %s\n\n", path.c_str());
+}
+
+} // namespace mltc::bench
+
+#endif // MLTC_BENCH_COMMON_HPP

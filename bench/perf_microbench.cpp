@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator hot paths: L1
+ * lookups, the full two-level controller, virtual address translation,
+ * the FlatSet64 trace structure, and end-to-end frame rasterization.
+ * These bound the wall-clock cost of the experiment sweeps.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/cache_sim.hpp"
+#include "raster/rasterizer.hpp"
+#include "texture/procedural.hpp"
+#include "trace/flat_set.hpp"
+#include "util/rng.hpp"
+#include "workload/village.hpp"
+
+namespace {
+
+using namespace mltc;
+
+/** A small manager with one 256^2 texture for addressing benches. */
+TextureManager &
+benchTextures()
+{
+    static TextureManager tm;
+    static TextureId tid =
+        tm.load("bench", MipPyramid(makeChecker(256, 8, 0xff0000ffu,
+                                                0xffffffffu)));
+    (void)tid;
+    return tm;
+}
+
+void
+BM_L1Lookup(benchmark::State &state)
+{
+    L1Config cfg;
+    cfg.size_bytes = 16 * 1024;
+    L1Cache cache(cfg);
+    Rng rng(7);
+    std::vector<uint64_t> keys(4096);
+    for (auto &k : keys)
+        k = (1ull << 32) | (rng.below(1024) << 8) | rng.below(16);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(keys[i & 4095]));
+        ++i;
+    }
+}
+BENCHMARK(BM_L1Lookup);
+
+void
+BM_AddressTranslation(benchmark::State &state)
+{
+    TextureManager &tm = benchTextures();
+    const TiledLayout &layout = tm.layout(1, TileSpec{16, 4});
+    Rng rng(11);
+    uint32_t x = 0, y = 0;
+    for (auto _ : state) {
+        x = (x + 3) & 255;
+        y = (y + 1) & 255;
+        benchmark::DoNotOptimize(layout.blockKeyOf(1, x, y, 0));
+    }
+    (void)rng;
+}
+BENCHMARK(BM_AddressTranslation);
+
+void
+BM_CacheSimAccess(benchmark::State &state)
+{
+    TextureManager &tm = benchTextures();
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
+    sim.bindTexture(1);
+    uint32_t x = 0, y = 0;
+    for (auto _ : state) {
+        x = (x + 1) & 255;
+        if (x == 0)
+            y = (y + 1) & 255;
+        sim.access(x, y, 0);
+    }
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void
+BM_FlatSetInsert(benchmark::State &state)
+{
+    FlatSet64 set(1 << 16);
+    Rng rng(3);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(set.insert(i++ & 0xffff));
+        if ((i & 0xfffff) == 0)
+            set.clear();
+    }
+}
+BENCHMARK(BM_FlatSetInsert);
+
+void
+BM_RenderVillageFrame(benchmark::State &state)
+{
+    VillageParams params;
+    params.houses = 24;
+    params.trees = 16;
+    static Workload wl = buildVillage(params);
+    Rasterizer raster(640, 480);
+    raster.setFilter(FilterMode::Bilinear);
+    NullSink sink;
+    raster.setSink(&sink);
+    int frame = 0;
+    for (auto _ : state) {
+        Camera cam = wl.cameraAtFrame(frame++ % 60, 60, 640.0f / 480.0f);
+        benchmark::DoNotOptimize(
+            raster.renderFrame(wl.scene, cam, *wl.textures));
+    }
+}
+BENCHMARK(BM_RenderVillageFrame)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

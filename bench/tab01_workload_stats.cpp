@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 1: measured depth complexity d, block utilisation and expected
+ * inter-frame working set W for the Village and City animations
+ * (1024x768, point sampling, 16x16 L2 tiles).
+ */
+#include "bench_common.hpp"
+#include "model/working_set_model.hpp"
+#include "sim/multi_config_runner.hpp"
+#include "workload/registry.hpp"
+
+int
+main()
+{
+    using namespace mltc;
+    using namespace mltc::bench;
+
+    banner("Table 1",
+           "Workload statistics and expected inter-frame working set W\n"
+           "(1024x768, point sampling, 16x16 L2 tiles; paper: Village "
+           "d=3.8 util=4.7 W=2.43MB, City d=1.9 util=7.8 W=0.73MB)");
+
+    const int n_frames = frames(96);
+    TextTable table({"statistic", "Village", "City"});
+    std::vector<double> d_row, util_row, w_row;
+
+    for (const std::string &name : workloadNames()) {
+        Workload wl = buildWorkload(name);
+        DriverConfig cfg;
+        cfg.filter = FilterMode::Point;
+        cfg.frames = n_frames;
+
+        MultiConfigRunner runner(wl, cfg);
+        runner.addWorkingSets({16}, {});
+        runner.run();
+
+        // Average d and utilisation over all frames.
+        double d_sum = 0.0, util_sum = 0.0;
+        uint64_t n = 0;
+        for (const auto &row : runner.rows()) {
+            d_sum += row.raster.depthComplexity(cfg.width, cfg.height);
+            util_sum += row.working_sets->utilization(0);
+            ++n;
+        }
+        double d = d_sum / static_cast<double>(n);
+        double util = util_sum / static_cast<double>(n);
+        double w_mb = expectedWorkingSetBytes(
+                          static_cast<uint64_t>(cfg.width) *
+                              static_cast<uint64_t>(cfg.height),
+                          d, util) /
+                      (1024.0 * 1024.0);
+        d_row.push_back(d);
+        util_row.push_back(util);
+        w_row.push_back(w_mb);
+    }
+
+    table.addRow("Depth complexity, d", d_row, 2);
+    table.addRow("Block utilization", util_row, 2);
+    table.addRow("Expected working set W (MB)", w_row, 2);
+    table.print();
+
+    CsvWriter csv(csvPath("tab01_workload_stats.csv"),
+                  {"workload", "depth_complexity", "utilization",
+                   "expected_ws_mb"});
+    auto names = workloadNames();
+    for (size_t i = 0; i < names.size(); ++i)
+        csv.rowStrings({names[i], formatDouble(d_row[i], 3),
+                        formatDouble(util_row[i], 3),
+                        formatDouble(w_row[i], 3)});
+    wroteCsv(csv.path());
+    return 0;
+}

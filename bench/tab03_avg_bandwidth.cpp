@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 3: average host/AGP bandwidth (MB/frame) for the Village and
+ * City under bilinear and trilinear filtering, with no L2 (pull, 2 KB
+ * and 16 KB L1) and with 2/4/8 MB L2 caches of 16x16 tiles.
+ */
+#include "bench_common.hpp"
+#include "sim/multi_config_runner.hpp"
+#include "workload/registry.hpp"
+
+int
+main()
+{
+    using namespace mltc;
+    using namespace mltc::bench;
+
+    banner("Table 3",
+           "Average download bandwidth MB/frame, bilinear (BL) and "
+           "trilinear (TL), with and without L2 (16x16 tiles)");
+
+    const int n_frames = frames(24);
+    const char *config_names[] = {"pull 2KB L1", "pull 16KB L1",
+                                  "2KB L1 + 2MB L2", "2KB L1 + 4MB L2",
+                                  "2KB L1 + 8MB L2"};
+
+    CsvWriter csv(csvPath("tab03_avg_bandwidth.csv"),
+                  {"workload", "filter", "config", "mb_per_frame"});
+
+    for (const std::string &name : workloadNames()) {
+        TextTable table({name + " config", "BL MB/frame", "TL MB/frame"});
+        double avgs[2][5];
+        for (int pass = 0; pass < 2; ++pass) {
+            FilterMode filter =
+                pass == 0 ? FilterMode::Bilinear : FilterMode::Trilinear;
+            Workload wl = buildWorkload(name);
+            DriverConfig cfg;
+            cfg.filter = filter;
+            cfg.frames = n_frames;
+
+            MultiConfigRunner runner(wl, cfg);
+            runner.addSim(CacheSimConfig::pull(2 * 1024), "p2");
+            runner.addSim(CacheSimConfig::pull(16 * 1024), "p16");
+            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20),
+                          "l2_2");
+            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 4ull << 20),
+                          "l2_4");
+            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 8ull << 20),
+                          "l2_8");
+            runner.run();
+            for (size_t i = 0; i < 5; ++i) {
+                avgs[pass][i] = runner.averageHostBytesPerFrame(i) /
+                                (1024.0 * 1024.0);
+                csv.rowStrings({name, filterModeName(filter),
+                                config_names[i],
+                                formatDouble(avgs[pass][i], 3)});
+            }
+        }
+        for (size_t i = 0; i < 5; ++i)
+            table.addRow(config_names[i], {avgs[0][i], avgs[1][i]}, 2);
+        table.print();
+        std::printf("\n");
+    }
+    wroteCsv(csv.path());
+    return 0;
+}

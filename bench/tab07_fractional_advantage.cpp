@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 7: fractional advantage f of the L2 caching architecture — the
+ * ratio of the L2 architecture's average cost on an L1 miss to the pull
+ * architecture's — computed from measured hit rates via the §5.4.2
+ * model, with the full-miss cost bounded at c = 8 (and a sweep over c).
+ *
+ * f < 1 everywhere means L2 caching beats the pull architecture even
+ * when a full L2 miss costs 8x an L1 download.
+ */
+#include "bench_common.hpp"
+#include "model/performance_model.hpp"
+#include "sim/multi_config_runner.hpp"
+#include "workload/registry.hpp"
+
+int
+main()
+{
+    using namespace mltc;
+    using namespace mltc::bench;
+
+    banner("Table 7",
+           "Fractional advantage f of L2 caching (2KB L1 + 2MB L2, c = "
+           "t2miss/t3); f<1 means L2 wins");
+
+    const int n_frames = frames(36);
+    CsvWriter csv(csvPath("tab07_fractional_advantage.csv"),
+                  {"workload", "filter", "c", "f", "speedup"});
+
+    TextTable table({"workload / filter", "f (c=2)", "f (c=4)", "f (c=8)",
+                     "speedup (c=8)"});
+    for (const std::string &name : workloadNames()) {
+        for (int pass = 0; pass < 2; ++pass) {
+            FilterMode filter =
+                pass == 0 ? FilterMode::Bilinear : FilterMode::Trilinear;
+            Workload wl = buildWorkload(name);
+            DriverConfig cfg;
+            cfg.filter = filter;
+            cfg.frames = n_frames;
+
+            MultiConfigRunner runner(wl, cfg);
+            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20),
+                          "2KB+2MB");
+            runner.run();
+            const CacheFrameStats &t = runner.sims()[0]->totals();
+
+            PerformanceInputs in;
+            in.l1_hit_rate = t.l1HitRate();
+            in.l2_full_hit_rate = t.l2FullHitRate();
+            in.l2_partial_hit_rate = t.l2PartialHitRate();
+
+            std::vector<double> row;
+            for (double c : {2.0, 4.0, 8.0}) {
+                in.full_miss_cost = c;
+                double f = fractionalAdvantage(in);
+                row.push_back(f);
+                csv.rowStrings({name, filterModeName(filter),
+                                formatDouble(c, 0), formatDouble(f, 4),
+                                formatDouble(l2Speedup(in), 3)});
+            }
+            in.full_miss_cost = 8.0;
+            row.push_back(l2Speedup(in));
+            table.addRow(name + " / " + filterModeName(filter), row, 3);
+        }
+    }
+    table.print();
+    wroteCsv(csv.path());
+    return 0;
+}

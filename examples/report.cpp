@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Summarise experiment CSVs without leaving the toolchain: per-column
+ * min/mean/max over any CSV the benches emitted, or a quick comparison
+ * of two columns (e.g. total vs new bandwidth).
+ *
+ * Usage:
+ *   report series.csv                   # summarise every numeric column
+ *   report series.csv --ratio a b      # mean(a)/mean(b) and per-row max
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "util/csv_reader.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mltc;
+    CommandLine cli(argc, argv);
+    if (cli.positional().empty()) {
+        std::printf("usage: report <file.csv> [--ratio colA colB]\n");
+        return 1;
+    }
+
+    CsvTable table;
+    try {
+        table = CsvTable::load(cli.positional()[0]);
+    } catch (const std::exception &e) {
+        std::printf("error: %s\n", e.what());
+        return 1;
+    }
+
+    std::printf("%s: %zu rows, %zu columns\n", cli.positional()[0].c_str(),
+                table.rowCount(), table.columnCount());
+
+    if (cli.has("ratio")) {
+        // --ratio a b: the first value is bound to "ratio", the second
+        // is the first positional after the file.
+        std::string col_a = cli.getString("ratio", "");
+        if (cli.positional().size() < 2) {
+            std::printf("--ratio needs two column names\n");
+            return 1;
+        }
+        std::string col_b = cli.positional()[1];
+        auto a = summarize(table.numericColumn(col_a));
+        auto b = summarize(table.numericColumn(col_b));
+        if (b.mean == 0.0) {
+            std::printf("mean(%s) is zero\n", col_b.c_str());
+            return 1;
+        }
+        std::printf("mean(%s) / mean(%s) = %.3f\n", col_a.c_str(),
+                    col_b.c_str(), a.mean / b.mean);
+        return 0;
+    }
+
+    TextTable out({"column", "count", "min", "mean", "max", "total"});
+    for (const std::string &name : table.header()) {
+        auto values = table.numericColumn(name);
+        SeriesSummary s = summarize(values);
+        if (s.count == 0)
+            continue; // non-numeric column
+        out.addRow({name, std::to_string(s.count), formatDouble(s.min, 3),
+                    formatDouble(s.mean, 3), formatDouble(s.max, 3),
+                    formatDouble(s.total, 2)});
+    }
+    out.print();
+    return 0;
+}

@@ -1,0 +1,163 @@
+#include "core/cache_sim.hpp"
+
+#include <algorithm>
+
+namespace mltc {
+
+void
+CacheFrameStats::add(const CacheFrameStats &o)
+{
+    accesses += o.accesses;
+    l1_misses += o.l1_misses;
+    l2_full_hits += o.l2_full_hits;
+    l2_partial_hits += o.l2_partial_hits;
+    l2_full_misses += o.l2_full_misses;
+    host_bytes += o.host_bytes;
+    l2_read_bytes += o.l2_read_bytes;
+    tlb_probes += o.tlb_probes;
+    tlb_hits += o.tlb_hits;
+    victim_steps_max = std::max(victim_steps_max, o.victim_steps_max);
+}
+
+CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
+                   std::string label)
+    : textures_(textures), cfg_(config), label_(std::move(label)),
+      l1_(config.l1)
+{
+    if (cfg_.l2_enabled) {
+        // The sector granularity always matches the L1 tile.
+        cfg_.l2.l1_tile = cfg_.l1.l1_tile;
+        l2_ = std::make_unique<L2TextureCache>(textures, cfg_.l2);
+    }
+    if (cfg_.tlb_entries > 0)
+        tlb_ = std::make_unique<TextureTlb>(cfg_.tlb_entries);
+    l1_shift_ = log2u(cfg_.l1.l1_tile);
+}
+
+void
+CacheSim::bindTexture(TextureId tid)
+{
+    bound_ = tid;
+    // L1 tags use the fixed 16x16 L2 granulation (§3.3) so L1 behaviour
+    // is identical across all simulated L2 tile sizes, with Morton
+    // numbering (the "6D blocked representation") for conflict-free set
+    // indexing of 2D tile regions.
+    TileSpec l1_spec{std::max(16u, cfg_.l1.l1_tile), cfg_.l1.l1_tile,
+                     /*morton=*/true};
+    l1_layout_ = &textures_.layout(tid, l1_spec);
+    if (l2_) {
+        TileSpec l2_spec{cfg_.l2.l2_tile, cfg_.l2.l1_tile};
+        l2_layout_ = &textures_.layout(tid, l2_spec);
+        tstart_ = l2_->tstart(tid);
+    }
+    const TextureEntry &tex = textures_.texture(tid);
+    host_sector_bytes_ = static_cast<uint64_t>(cfg_.l1.l1_tile) *
+                         cfg_.l1.l1_tile * tex.host_bits_per_texel / 8;
+    // The coalescing filter caches raw tile coordinates, which do not
+    // encode the texture id — invalidate it across binds.
+    last_tile_ = 0;
+}
+
+void
+CacheSim::access(uint32_t x, uint32_t y, uint32_t mip)
+{
+    ++frame_.accesses;
+    handleTexel(x, y, mip);
+}
+
+void
+CacheSim::accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                     uint32_t mip)
+{
+    frame_.accesses += 4;
+    // The bilinear footprint spans at most 2x2 L1 tiles, and usually
+    // just one: process each distinct tile corner once.
+    const uint32_t sh = l1_shift_;
+    const bool dx = (x0 >> sh) != (x1 >> sh);
+    const bool dy = (y0 >> sh) != (y1 >> sh);
+    handleTexel(x0, y0, mip);
+    if (dx)
+        handleTexel(x1, y0, mip);
+    if (dy) {
+        handleTexel(x0, y1, mip);
+        if (dx)
+            handleTexel(x1, y1, mip);
+    }
+}
+
+void
+CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
+{
+    // One-entry coalescing filter: consecutive references to the same
+    // L1 tile (the common case — filter footprints and scanline
+    // neighbours share tiles) are guaranteed hits, since nothing can
+    // have evicted the line in between. This is what real hardware's
+    // quad coalescing does; the only approximation is that repeats do
+    // not refresh the line's LRU stamp. Filtering on raw tile
+    // coordinates also skips the address translation itself.
+    const uint64_t tile = (static_cast<uint64_t>(mip) << 58) |
+                          (static_cast<uint64_t>(y >> l1_shift_) << 29) |
+                          static_cast<uint64_t>(x >> l1_shift_) | (1ull << 57);
+    if (tile == last_tile_)
+        return;
+    const uint64_t key = l1_layout_->blockKeyOf(bound_, x, y, mip);
+    if (l1_.lookup(key)) {
+        last_tile_ = tile;
+        return; // step B: L1 hit
+    }
+
+    ++frame_.l1_misses;
+
+    if (!l2_) {
+        // Pull architecture: download one L1 tile from host memory.
+        frame_.host_bytes += host_sector_bytes_;
+        l1_.fill(key);
+        last_tile_ = tile;
+        return;
+    }
+
+    // Steps C-F: consult the texture page table (through the TLB when
+    // modelled), then service from L2 or download the missing sector.
+    const VirtualBlock vb = l2_layout_->blockOf(bound_, x, y, mip);
+    const uint32_t t_index = tstart_ + vb.l2_block;
+    if (tlb_) {
+        ++frame_.tlb_probes;
+        if (tlb_->probe(t_index))
+            ++frame_.tlb_hits;
+    }
+
+    switch (l2_->access(t_index, vb.l1_sub, host_sector_bytes_)) {
+      case L2Result::FullHit:
+        ++frame_.l2_full_hits;
+        frame_.l2_read_bytes += cfg_.l1.lineBytes();
+        break;
+      case L2Result::PartialHit:
+        ++frame_.l2_partial_hits;
+        frame_.host_bytes +=
+            host_sector_bytes_ * l2_->lastDownloadSectors();
+        break;
+      case L2Result::FullMiss:
+        ++frame_.l2_full_misses;
+        frame_.host_bytes +=
+            host_sector_bytes_ * l2_->lastDownloadSectors();
+        frame_.victim_steps_max = std::max(frame_.victim_steps_max,
+                                           l2_->lastVictimSteps());
+        break;
+    }
+
+    // Step F downloads into L1 in parallel with L2.
+    l1_.fill(key);
+    last_tile_ = tile;
+}
+
+CacheFrameStats
+CacheSim::endFrame()
+{
+    CacheFrameStats out = frame_;
+    totals_.add(out);
+    frame_ = {};
+    ++frames_;
+    return out;
+}
+
+} // namespace mltc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Multi-level texture cache controller: the Figure 7 / Appendix control
+ * flow, wired as a TexelAccessSink so it can be driven directly by the
+ * rasterizer (or a trace).
+ *
+ * Configured with the L2 disabled, it models the plain *pull*
+ * architecture: every L1 miss downloads one L1 tile from host memory
+ * over AGP. With the L2 enabled, L1 misses are serviced by the L2 per
+ * the paper's algorithm (full hit from local DRAM; partial hit / full
+ * miss download exactly one L1-tile-sized sector from host, filling L1
+ * in parallel). An optional TLB models page-table translation caching.
+ */
+#ifndef MLTC_CORE_CACHE_SIM_HPP
+#define MLTC_CORE_CACHE_SIM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/l1_cache.hpp"
+#include "core/l2_cache.hpp"
+#include "core/texture_tlb.hpp"
+#include "raster/access_sink.hpp"
+#include "texture/texture_manager.hpp"
+
+namespace mltc {
+
+/** Full simulator configuration. */
+struct CacheSimConfig
+{
+    L1Config l1;
+    bool l2_enabled = true;
+    L2Config l2;
+    uint32_t tlb_entries = 0; ///< 0 disables TLB modelling
+
+    /** Pull architecture (L1 only) with the given L1 size. */
+    static CacheSimConfig
+    pull(uint64_t l1_bytes, uint32_t l1_tile = 4)
+    {
+        CacheSimConfig c;
+        c.l1.size_bytes = l1_bytes;
+        c.l1.l1_tile = l1_tile;
+        c.l2_enabled = false;
+        return c;
+    }
+
+    /** L2 caching architecture with the paper's default tiles. */
+    static CacheSimConfig
+    twoLevel(uint64_t l1_bytes, uint64_t l2_bytes, uint32_t l2_tile = 16,
+             uint32_t l1_tile = 4)
+    {
+        CacheSimConfig c;
+        c.l1.size_bytes = l1_bytes;
+        c.l1.l1_tile = l1_tile;
+        c.l2_enabled = true;
+        c.l2.size_bytes = l2_bytes;
+        c.l2.l2_tile = l2_tile;
+        c.l2.l1_tile = l1_tile;
+        return c;
+    }
+};
+
+/** Per-frame deltas of every counter the experiments need. */
+struct CacheFrameStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_full_hits = 0;
+    uint64_t l2_partial_hits = 0;
+    uint64_t l2_full_misses = 0;
+    uint64_t host_bytes = 0;    ///< AGP / system-memory download bytes
+    uint64_t l2_read_bytes = 0; ///< local L2 memory read bytes
+    uint64_t tlb_probes = 0;
+    uint64_t tlb_hits = 0;
+    uint32_t victim_steps_max = 0; ///< worst clock search this frame
+
+    double
+    l1HitRate() const
+    {
+        return accesses ? 1.0 - static_cast<double>(l1_misses) /
+                                    static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    /** Conditional L2 full-hit rate given an L1 miss (paper fn. 5). */
+    double
+    l2FullHitRate() const
+    {
+        return l1_misses ? static_cast<double>(l2_full_hits) /
+                               static_cast<double>(l1_misses)
+                         : 0.0;
+    }
+
+    /** Conditional L2 partial-hit rate given an L1 miss. */
+    double
+    l2PartialHitRate() const
+    {
+        return l1_misses ? static_cast<double>(l2_partial_hits) /
+                               static_cast<double>(l1_misses)
+                         : 0.0;
+    }
+
+    double
+    tlbHitRate() const
+    {
+        return tlb_probes ? static_cast<double>(tlb_hits) /
+                                static_cast<double>(tlb_probes)
+                          : 0.0;
+    }
+
+    /** Accumulate another frame's counters (for whole-run averages). */
+    void add(const CacheFrameStats &o);
+};
+
+/**
+ * The simulator. Attach as the rasterizer's sink (or behind a
+ * FanoutSink for multi-configuration runs), call endFrame() at each
+ * frame boundary.
+ */
+class CacheSim final : public TexelAccessSink
+{
+  public:
+    /**
+     * @param textures texture registry (page table sized from it)
+     * @param config cache configuration
+     * @param label name used in reports
+     */
+    CacheSim(TextureManager &textures, const CacheSimConfig &config,
+             std::string label = {});
+
+    const std::string &label() const { return label_; }
+    const CacheSimConfig &config() const { return cfg_; }
+
+    void bindTexture(TextureId tid) override;
+    void access(uint32_t x, uint32_t y, uint32_t mip) override;
+    void accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                    uint32_t mip) override;
+
+    /** Harvest this frame's counter deltas and mark the boundary. */
+    CacheFrameStats endFrame();
+
+    /** Counters accumulated since construction (all frames). */
+    const CacheFrameStats &totals() const { return totals_; }
+
+    /** Frames completed. */
+    uint32_t frames() const { return frames_; }
+
+    const L1Cache &l1() const { return l1_; }
+
+    /** The L2 cache, present only when enabled. */
+    const L2TextureCache *l2() const { return l2_.get(); }
+
+    const TextureTlb *tlb() const { return tlb_.get(); }
+
+  private:
+    /** Service one texel reference (shared by access/accessQuad). */
+    void handleTexel(uint32_t x, uint32_t y, uint32_t mip);
+
+    TextureManager &textures_;
+    CacheSimConfig cfg_;
+    std::string label_;
+    L1Cache l1_;
+    std::unique_ptr<L2TextureCache> l2_;
+    std::unique_ptr<TextureTlb> tlb_;
+
+    // Per-bound-texture cached state (hot path).
+    const TiledLayout *l1_layout_ = nullptr;
+    const TiledLayout *l2_layout_ = nullptr;
+    TextureId bound_ = 0;
+    uint32_t tstart_ = 0;
+    uint64_t host_sector_bytes_ = 0; ///< one L1 tile at original depth
+    uint64_t last_tile_ = 0;         ///< coalescing filter (0 = none)
+    uint32_t l1_shift_ = 2;          ///< log2(L1 tile edge)
+
+    CacheFrameStats frame_; ///< counters for the current frame
+    CacheFrameStats totals_;
+    uint32_t frames_ = 0;
+};
+
+} // namespace mltc
+
+#endif // MLTC_CORE_CACHE_SIM_HPP

@@ -1,0 +1,101 @@
+#include "core/l1_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mltc {
+
+L1Cache::L1Cache(const L1Config &config) : cfg_(config)
+{
+    if (config.size_bytes % config.lineBytes() != 0)
+        throw std::invalid_argument("L1Cache: size not a multiple of line");
+    uint64_t lines = config.lines();
+    if (lines == 0)
+        throw std::invalid_argument("L1Cache: zero lines");
+
+    assoc_ = config.assoc == 0 ? static_cast<uint32_t>(lines) : config.assoc;
+    if (lines % assoc_ != 0)
+        throw std::invalid_argument("L1Cache: lines not divisible by assoc");
+    sets_ = static_cast<uint32_t>(lines / assoc_);
+    if (!isPowerOfTwo(sets_))
+        throw std::invalid_argument("L1Cache: set count must be power of two");
+
+    tags_.assign(lines, 0);
+    stamps_.assign(lines, 0);
+
+    // L1 sub-blocks per L2 block under the fixed 16x16 tag granulation
+    // (§3.3); used to linearise <L2, L1> into consecutive set indices.
+    uint32_t span = std::max(16u, config.l1_tile);
+    uint32_t per_edge = span / config.l1_tile;
+    subs_per_block_ = per_edge * per_edge;
+}
+
+uint32_t
+L1Cache::setIndex(uint64_t key) const
+{
+    // Bit-selection indexing, as real texture caches do: linearise the
+    // virtual block coordinates so contiguous tile regions spread
+    // perfectly over the sets (Hakura's "6D blocked representation").
+    // The tid term staggers different textures' mappings.
+    // (tid starts at 1 so a packed key is never 0; 0 marks invalid tags.)
+    uint32_t tid = static_cast<uint32_t>(key >> 32);
+    uint32_t l2 = static_cast<uint32_t>((key >> 8) & 0xffffff);
+    uint32_t l1 = static_cast<uint32_t>(key & 0xff);
+    uint32_t linear = l2 * subs_per_block_ + l1 + tid * 0x9e3779b1u;
+    return linear & (sets_ - 1);
+}
+
+bool
+L1Cache::lookup(uint64_t block_key)
+{
+    ++stats_.accesses;
+    const size_t base = static_cast<size_t>(setIndex(block_key)) * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == block_key) {
+            stamps_[base + w] = ++tick_;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+L1Cache::fill(uint64_t block_key)
+{
+    const size_t base = static_cast<size_t>(setIndex(block_key)) * assoc_;
+    uint32_t victim = 0;
+    uint64_t oldest = ~0ull;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (tags_[base + w] == 0) { // free way
+            victim = w;
+            break;
+        }
+        if (stamps_[base + w] < oldest) {
+            oldest = stamps_[base + w];
+            victim = w;
+        }
+    }
+    tags_[base + victim] = block_key;
+    stamps_[base + victim] = ++tick_;
+}
+
+bool
+L1Cache::probe(uint64_t block_key) const
+{
+    const size_t base = static_cast<size_t>(setIndex(block_key)) * assoc_;
+    for (uint32_t w = 0; w < assoc_; ++w)
+        if (tags_[base + w] == block_key)
+            return true;
+    return false;
+}
+
+void
+L1Cache::reset()
+{
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    tick_ = 0;
+}
+
+} // namespace mltc

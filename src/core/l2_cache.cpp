@@ -1,0 +1,176 @@
+#include "core/l2_cache.hpp"
+
+#include <stdexcept>
+
+namespace mltc {
+
+const char *
+prefetchPolicyName(PrefetchPolicy policy)
+{
+    switch (policy) {
+      case PrefetchPolicy::None: return "none";
+      case PrefetchPolicy::AdjacentSector: return "adjacent";
+      case PrefetchPolicy::WholeBlock: return "whole-block";
+    }
+    return "?";
+}
+
+L2TextureCache::L2TextureCache(TextureManager &textures,
+                               const L2Config &config)
+    : textures_(textures), cfg_(config)
+{
+    if (config.blocks() == 0)
+        throw std::invalid_argument("L2TextureCache: zero blocks");
+    if (config.sectors() > 64)
+        throw std::invalid_argument(
+            "L2TextureCache: more than 64 sectors per block");
+
+    // Host-driver page-table allocation: contiguous tlen entries per
+    // loaded texture, in tid order.
+    tstart_.assign(textures.textureCount() + 1, 0);
+    uint32_t next = 0;
+    TileSpec spec{cfg_.l2_tile, cfg_.l1_tile};
+    for (TextureId tid = 1; tid <= textures.textureCount(); ++tid) {
+        if (!textures.isLoaded(tid))
+            continue;
+        const TiledLayout &layout = textures.layout(tid, spec);
+        tstart_[tid] = next;
+        next += layout.totalL2Blocks();
+    }
+    table_.assign(next, {});
+    brl_owner_.assign(config.blocks(), 0);
+    selector_ = makeVictimSelector(config.policy,
+                                   static_cast<uint32_t>(config.blocks()));
+    sector_read_bytes_ = cfg_.l1_tile * cfg_.l1_tile * 4ull;
+}
+
+uint32_t
+L2TextureCache::tstart(TextureId tid) const
+{
+    if (tid == 0 || tid >= tstart_.size())
+        throw std::out_of_range("L2TextureCache: bad tid");
+    return tstart_[tid];
+}
+
+L2Result
+L2TextureCache::access(uint32_t t_index, uint32_t l1_sub,
+                       uint64_t host_sector_bytes)
+{
+    ++stats_.lookups;
+    TableEntry &entry = table_[t_index];
+    const uint64_t sector_bit = 1ull << l1_sub;
+
+    if (entry.phys_plus1 != 0) {
+        uint32_t phys = entry.phys_plus1 - 1;
+        selector_->onAccess(phys);
+        if (entry.sectors & sector_bit) {
+            // Step D yes: the sub-block is resident in L2.
+            ++stats_.full_hits;
+            stats_.l2_read_bytes += sector_read_bytes_;
+            last_download_sectors_ = 0;
+            if (entry.prefetched & sector_bit) {
+                ++stats_.prefetch_useful;
+                entry.prefetched &= ~sector_bit;
+            }
+            return L2Result::FullHit;
+        }
+        // Step F: download just the missing sector (sector mapping),
+        // into L2 and, in parallel, into L1.
+        ++stats_.partial_hits;
+        entry.sectors |= sector_bit;
+        stats_.host_bytes += host_sector_bytes;
+        last_download_sectors_ = 1;
+        prefetchAfterDemand(entry, l1_sub, host_sector_bytes);
+        return L2Result::PartialHit;
+    }
+
+    // Step E: full miss — allocate a physical block, evicting if full.
+    ++stats_.full_misses;
+    uint32_t phys;
+    if (allocated_ < cfg_.blocks()) {
+        phys = static_cast<uint32_t>(allocated_++);
+        last_victim_steps_ = 0;
+    } else {
+        phys = selector_->selectVictim();
+        uint32_t steps = selector_->lastSearchSteps();
+        last_victim_steps_ = steps;
+        stats_.victim_steps += steps;
+        if (steps > stats_.victim_steps_max)
+            stats_.victim_steps_max = steps;
+        uint32_t old_owner = brl_owner_[phys];
+        if (old_owner != 0) {
+            // Notify the victim: clear the virtual block's ownership.
+            table_[old_owner - 1].phys_plus1 = 0;
+            table_[old_owner - 1].sectors = 0;
+            table_[old_owner - 1].prefetched = 0;
+            ++stats_.evictions;
+        }
+    }
+    brl_owner_[phys] = t_index + 1;
+    entry.phys_plus1 = phys + 1;
+    entry.sectors = sector_bit;
+    entry.prefetched = 0;
+    selector_->onAccess(phys);
+    stats_.host_bytes += host_sector_bytes;
+    last_download_sectors_ = 1;
+    prefetchAfterDemand(entry, l1_sub, host_sector_bytes);
+    return L2Result::FullMiss;
+}
+
+void
+L2TextureCache::prefetchAfterDemand(TableEntry &entry, uint32_t l1_sub,
+                                    uint64_t host_sector_bytes)
+{
+    switch (cfg_.prefetch) {
+      case PrefetchPolicy::None:
+        return;
+      case PrefetchPolicy::AdjacentSector: {
+        // Fetch the next sector along the scan direction within the
+        // same block row (rasterization order is left-to-right).
+        const uint32_t row = cfg_.l2_tile / cfg_.l1_tile;
+        if ((l1_sub % row) + 1 < row) {
+            uint64_t bit = 1ull << (l1_sub + 1);
+            if (!(entry.sectors & bit)) {
+                entry.sectors |= bit;
+                entry.prefetched |= bit;
+                stats_.host_bytes += host_sector_bytes;
+                ++stats_.prefetch_sectors;
+                ++last_download_sectors_;
+            }
+        }
+        return;
+      }
+      case PrefetchPolicy::WholeBlock: {
+        const uint32_t n = cfg_.sectors();
+        for (uint32_t s = 0; s < n; ++s) {
+            uint64_t bit = 1ull << s;
+            if (!(entry.sectors & bit)) {
+                entry.sectors |= bit;
+                entry.prefetched |= bit;
+                stats_.host_bytes += host_sector_bytes;
+                ++stats_.prefetch_sectors;
+                ++last_download_sectors_;
+            }
+        }
+        return;
+      }
+    }
+}
+
+bool
+L2TextureCache::probe(uint32_t t_index, uint32_t l1_sub) const
+{
+    const TableEntry &entry = table_[t_index];
+    return entry.phys_plus1 != 0 && (entry.sectors & (1ull << l1_sub));
+}
+
+void
+L2TextureCache::reset()
+{
+    std::fill(table_.begin(), table_.end(), TableEntry{});
+    std::fill(brl_owner_.begin(), brl_owner_.end(), 0);
+    selector_->reset();
+    allocated_ = 0;
+}
+
+} // namespace mltc

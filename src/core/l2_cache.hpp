@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The paper's L2 texture cache (§5): a fully-associative cache of L2
+ * texture tiles held in local accelerator DRAM, organised like virtual
+ * memory.
+ *
+ * A Texture Page Table (t_table[]) maps virtual blocks <tid, L2> to
+ * physical blocks of L2 cache memory; each entry carries sector bits, one
+ * per L1 sub-block, so only the missing L1 sub-block is downloaded from
+ * host memory on each L1 miss (sector mapping — this keeps L2 host
+ * bandwidth no worse than the pull architecture's). Replacement walks the
+ * Block Replacement List (BRL[]) with the clock algorithm.
+ *
+ * Data payloads are not stored: this is the transaction-accurate
+ * simulator of §3.3/§5.3, counting hits, downloads and bytes.
+ */
+#ifndef MLTC_CORE_L2_CACHE_HPP
+#define MLTC_CORE_L2_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/replacement.hpp"
+#include "texture/texture_manager.hpp"
+
+namespace mltc {
+
+/**
+ * Sector prefetch policy — an extension of the paper's pure
+ * demand-fetched sector mapping, modelling Hakura's observation that
+ * fetching a tile's neighbours cuts miss rate at the cost of bandwidth.
+ */
+enum class PrefetchPolicy
+{
+    None,           ///< the paper's demand fetching
+    AdjacentSector, ///< also fetch the next sector in the row
+    WholeBlock      ///< fetch every sector of the block (no sectoring)
+};
+
+/** Name of a prefetch policy for reports. */
+const char *prefetchPolicyName(PrefetchPolicy policy);
+
+/** L2 cache geometry and policy. */
+struct L2Config
+{
+    uint64_t size_bytes = 2ull << 20; ///< 2, 4 or 8 MB in the paper
+    uint32_t l2_tile = 16;            ///< tile edge (8/16/32 in the paper)
+    uint32_t l1_tile = 4;             ///< sector granularity = L1 tile edge
+    ReplacementPolicy policy = ReplacementPolicy::Clock;
+    PrefetchPolicy prefetch = PrefetchPolicy::None;
+
+    /** Bytes of one L2 block at 32-bit texels. */
+    constexpr uint64_t blockBytes() const { return l2_tile * l2_tile * 4ull; }
+
+    /** Physical blocks in the cache. */
+    constexpr uint64_t blocks() const { return size_bytes / blockBytes(); }
+
+    /** Sectors (L1 sub-blocks) per L2 block. */
+    constexpr uint32_t
+    sectors() const
+    {
+        uint32_t per_edge = l2_tile / l1_tile;
+        return per_edge * per_edge;
+    }
+};
+
+/** Outcome of an L2 access (conditional on an L1 miss). */
+enum class L2Result
+{
+    FullHit,    ///< block allocated and sector present: read from L2
+    PartialHit, ///< block allocated, sector absent: download one sector
+    FullMiss    ///< no physical block: allocate (maybe evict) + download
+};
+
+/** Cumulative L2 counters. */
+struct L2Stats
+{
+    uint64_t lookups = 0;
+    uint64_t full_hits = 0;
+    uint64_t partial_hits = 0;
+    uint64_t full_misses = 0;
+    uint64_t evictions = 0;
+    uint64_t host_bytes = 0;    ///< downloaded from host memory
+    uint64_t l2_read_bytes = 0; ///< served from L2 cache memory
+    uint64_t victim_steps = 0;  ///< clock search steps, total
+    uint32_t victim_steps_max = 0;
+    uint64_t prefetch_sectors = 0; ///< sectors fetched speculatively
+    uint64_t prefetch_useful = 0;  ///< prefetched sectors later demanded
+};
+
+/**
+ * The L2 cache proper. Constructed over a TextureManager: the page table
+ * allocates tstart..tstart+tlen contiguous entries per loaded texture
+ * (host-driver behaviour, §5.2).
+ */
+class L2TextureCache
+{
+  public:
+    L2TextureCache(TextureManager &textures, const L2Config &config);
+
+    const L2Config &config() const { return cfg_; }
+
+    /** First page-table entry of @p tid. */
+    uint32_t tstart(TextureId tid) const;
+
+    /** Page-table index of <tid, l2_block> (what the TLB caches). */
+    uint32_t
+    tableIndex(TextureId tid, uint32_t l2_block) const
+    {
+        return tstart(tid) + l2_block;
+    }
+
+    /** Total page-table entries (for the Table 4 structure sizing). */
+    uint32_t tableEntries() const
+    {
+        return static_cast<uint32_t>(table_.size());
+    }
+
+    /**
+     * Service an L1 miss for sector @p l1_sub of the virtual block at
+     * page-table index @p t_index. @p host_sector_bytes is the size of
+     * one downloaded sector at the texture's original host depth.
+     */
+    L2Result access(uint32_t t_index, uint32_t l1_sub,
+                    uint64_t host_sector_bytes);
+
+    /** True when the sector is resident (no state change; for tests). */
+    bool probe(uint32_t t_index, uint32_t l1_sub) const;
+
+    /** Physical blocks currently allocated. */
+    uint64_t allocatedBlocks() const { return allocated_; }
+
+    /** Victim-search steps of the most recent eviction (0 if none yet). */
+    uint32_t lastVictimSteps() const { return last_victim_steps_; }
+
+    /**
+     * Sectors downloaded from host by the most recent access()
+     * (0 on a full hit; > 1 when prefetching).
+     */
+    uint32_t lastDownloadSectors() const { return last_download_sectors_; }
+
+    const L2Stats &stats() const { return stats_; }
+
+    void clearStats() { stats_ = {}; }
+
+    /** Drop all cached blocks and reset replacement state. */
+    void reset();
+
+  private:
+    struct TableEntry
+    {
+        uint64_t sectors = 0;    ///< bit per L1 sub-block present
+        uint64_t prefetched = 0; ///< present but not yet demanded
+        uint32_t phys_plus1 = 0; ///< 0 = no physical block allocated
+    };
+
+    /** Apply the configured prefetch policy after a demand download. */
+    void prefetchAfterDemand(TableEntry &entry, uint32_t l1_sub,
+                             uint64_t host_sector_bytes);
+
+    TextureManager &textures_;
+    L2Config cfg_;
+    std::vector<TableEntry> table_;
+    std::vector<uint32_t> brl_owner_; ///< t_index+1 per physical block
+    std::unique_ptr<VictimSelector> selector_;
+    std::vector<uint32_t> tstart_;    ///< indexed by tid (0 unused)
+    uint64_t allocated_ = 0;
+    uint64_t sector_read_bytes_;      ///< 32-bit bytes per sector read
+    uint32_t last_victim_steps_ = 0;
+    uint32_t last_download_sectors_ = 0;
+    L2Stats stats_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_CORE_L2_CACHE_HPP

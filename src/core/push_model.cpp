@@ -1,0 +1,2 @@
+// PushArchitectureModel is header-only; this TU anchors the library.
+#include "core/push_model.hpp"

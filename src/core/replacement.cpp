@@ -1,0 +1,140 @@
+#include "core/replacement.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mltc {
+
+ReplacementPolicy
+parseReplacementPolicy(const char *name)
+{
+    if (std::strcmp(name, "clock") == 0)
+        return ReplacementPolicy::Clock;
+    if (std::strcmp(name, "lru") == 0)
+        return ReplacementPolicy::Lru;
+    if (std::strcmp(name, "fifo") == 0)
+        return ReplacementPolicy::Fifo;
+    if (std::strcmp(name, "random") == 0)
+        return ReplacementPolicy::Random;
+    throw std::invalid_argument(std::string("unknown policy: ") + name);
+}
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Clock: return "clock";
+      case ReplacementPolicy::Lru: return "lru";
+      case ReplacementPolicy::Fifo: return "fifo";
+      case ReplacementPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+ClockSelector::ClockSelector(uint32_t blocks) : active_(blocks, 0) {}
+
+uint32_t
+ClockSelector::selectVictim()
+{
+    // March around the BRL clearing active bits until an inactive entry
+    // is found. Guaranteed to terminate within two sweeps.
+    last_steps_ = 0;
+    const uint32_t n = static_cast<uint32_t>(active_.size());
+    for (uint32_t step = 0; step < 2 * n; ++step) {
+        ++last_steps_;
+        uint32_t i = hand_;
+        hand_ = (hand_ + 1) % n;
+        if (!active_[i])
+            return i;
+        active_[i] = 0;
+    }
+    return hand_; // unreachable: all bits were cleared in the first sweep
+}
+
+void
+ClockSelector::reset()
+{
+    std::fill(active_.begin(), active_.end(), 0);
+    hand_ = 0;
+    last_steps_ = 0;
+}
+
+LruSelector::LruSelector(uint32_t blocks) : blocks_(blocks)
+{
+    reset();
+}
+
+void
+LruSelector::reset()
+{
+    // Initial recency order: 0 (MRU) .. blocks-1 (LRU); victims start
+    // from the tail, matching an empty cache being filled in order.
+    prev_.assign(blocks_, 0);
+    next_.assign(blocks_, 0);
+    for (uint32_t i = 0; i < blocks_; ++i) {
+        prev_[i] = i == 0 ? blocks_ : i - 1;
+        next_[i] = i + 1 == blocks_ ? blocks_ : i + 1;
+    }
+    head_ = 0;
+    tail_ = blocks_ - 1;
+}
+
+void
+LruSelector::unlink(uint32_t index)
+{
+    uint32_t p = prev_[index];
+    uint32_t n = next_[index];
+    if (p == blocks_)
+        head_ = n;
+    else
+        next_[p] = n;
+    if (n == blocks_)
+        tail_ = p;
+    else
+        prev_[n] = p;
+}
+
+void
+LruSelector::pushFront(uint32_t index)
+{
+    prev_[index] = blocks_;
+    next_[index] = head_;
+    if (head_ != blocks_)
+        prev_[head_] = index;
+    head_ = index;
+    if (tail_ == blocks_)
+        tail_ = index;
+}
+
+void
+LruSelector::onAccess(uint32_t index)
+{
+    if (head_ == index)
+        return;
+    unlink(index);
+    pushFront(index);
+}
+
+uint32_t
+LruSelector::selectVictim()
+{
+    return tail_;
+}
+
+std::unique_ptr<VictimSelector>
+makeVictimSelector(ReplacementPolicy policy, uint32_t blocks)
+{
+    switch (policy) {
+      case ReplacementPolicy::Clock:
+        return std::make_unique<ClockSelector>(blocks);
+      case ReplacementPolicy::Lru:
+        return std::make_unique<LruSelector>(blocks);
+      case ReplacementPolicy::Fifo:
+        return std::make_unique<FifoSelector>(blocks);
+      case ReplacementPolicy::Random:
+        return std::make_unique<RandomSelector>(blocks);
+    }
+    throw std::invalid_argument("bad policy");
+}
+
+} // namespace mltc

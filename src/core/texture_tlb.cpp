@@ -1,0 +1,22 @@
+#include "core/texture_tlb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mltc {
+
+TextureTlb::TextureTlb(uint32_t entries)
+{
+    if (entries == 0)
+        throw std::invalid_argument("TextureTlb: zero entries");
+    slots_.assign(entries, 0);
+}
+
+void
+TextureTlb::reset()
+{
+    std::fill(slots_.begin(), slots_.end(), 0);
+    hand_ = 0;
+}
+
+} // namespace mltc

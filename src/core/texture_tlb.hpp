@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Translation Lookaside Buffer for the Texture Page Table (§5.4.3).
+ *
+ * Because the page table lives in external DRAM alongside the L2 cache
+ * blocks, every L1 miss would pay a table access; a tiny on-chip TLB of
+ * recent <tid, L2>-entry translations hides that latency. The paper
+ * studies 1-16 entries with round-robin replacement — replicated here.
+ */
+#ifndef MLTC_CORE_TEXTURE_TLB_HPP
+#define MLTC_CORE_TEXTURE_TLB_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mltc {
+
+/** TLB hit/miss counters. */
+struct TlbStats
+{
+    uint64_t probes = 0;
+    uint64_t hits = 0;
+
+    double
+    hitRate() const
+    {
+        return probes ? static_cast<double>(hits) /
+                            static_cast<double>(probes)
+                      : 0.0;
+    }
+};
+
+/** Fully-associative TLB over page-table indices, round-robin refill. */
+class TextureTlb
+{
+  public:
+    /** @param entries capacity; the paper studies 1, 2, 4, 8, 16. */
+    explicit TextureTlb(uint32_t entries);
+
+    uint32_t entries() const
+    {
+        return static_cast<uint32_t>(slots_.size());
+    }
+
+    /**
+     * Probe for page-table index @p t_index; on a miss the translation
+     * is installed over the round-robin victim.
+     * @return true on a hit.
+     */
+    bool
+    probe(uint32_t t_index)
+    {
+        ++stats_.probes;
+        for (uint32_t slot : slots_) {
+            if (slot == t_index + 1) {
+                ++stats_.hits;
+                return true;
+            }
+        }
+        slots_[hand_] = t_index + 1;
+        hand_ = (hand_ + 1) % static_cast<uint32_t>(slots_.size());
+        return false;
+    }
+
+    const TlbStats &stats() const { return stats_; }
+
+    void clearStats() { stats_ = {}; }
+
+    /** Invalidate all entries. */
+    void reset();
+
+  private:
+    std::vector<uint32_t> slots_; ///< t_index + 1; 0 = empty
+    uint32_t hand_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_CORE_TEXTURE_TLB_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Axis-aligned bounding box used for object-space visibility culling.
+ */
+#ifndef MLTC_GEOM_AABB_HPP
+#define MLTC_GEOM_AABB_HPP
+
+#include <limits>
+
+#include "geom/vec.hpp"
+
+namespace mltc {
+
+/** Axis-aligned box; empty until a point is added. */
+struct Aabb
+{
+    Vec3 min{std::numeric_limits<float>::max(),
+             std::numeric_limits<float>::max(),
+             std::numeric_limits<float>::max()};
+    Vec3 max{std::numeric_limits<float>::lowest(),
+             std::numeric_limits<float>::lowest(),
+             std::numeric_limits<float>::lowest()};
+
+    /** True when no point has been added. */
+    bool
+    empty() const
+    {
+        return min.x > max.x;
+    }
+
+    /** Grow to include @p p. */
+    void
+    extend(Vec3 p)
+    {
+        if (p.x < min.x) min.x = p.x;
+        if (p.y < min.y) min.y = p.y;
+        if (p.z < min.z) min.z = p.z;
+        if (p.x > max.x) max.x = p.x;
+        if (p.y > max.y) max.y = p.y;
+        if (p.z > max.z) max.z = p.z;
+    }
+
+    /** Grow to include another box. */
+    void
+    extend(const Aabb &o)
+    {
+        if (o.empty())
+            return;
+        extend(o.min);
+        extend(o.max);
+    }
+
+    /** Box center (undefined when empty). */
+    Vec3 center() const { return (min + max) * 0.5f; }
+
+    /** Half the diagonal length (bounding-sphere radius). */
+    float radius() const { return (max - min).length() * 0.5f; }
+
+    /** Corner @p i in [0,8). */
+    Vec3
+    corner(int i) const
+    {
+        return {(i & 1) ? max.x : min.x, (i & 2) ? max.y : min.y,
+                (i & 4) ? max.z : min.z};
+    }
+};
+
+} // namespace mltc
+
+#endif // MLTC_GEOM_AABB_HPP

@@ -1,0 +1,67 @@
+#include "geom/frustum.hpp"
+
+#include <cmath>
+
+namespace mltc {
+
+namespace {
+
+Plane
+normalize(Plane p)
+{
+    float len = p.normal.length();
+    if (len > 0.0f) {
+        p.normal = p.normal / len;
+        p.d /= len;
+    }
+    return p;
+}
+
+} // namespace
+
+Frustum::Frustum(const Mat4 &vp)
+{
+    // Rows of the view-projection matrix (row-major storage).
+    auto row = [&](int i) {
+        return Vec4{vp.m[i][0], vp.m[i][1], vp.m[i][2], vp.m[i][3]};
+    };
+    Vec4 r0 = row(0), r1 = row(1), r2 = row(2), r3 = row(3);
+
+    auto toPlane = [](Vec4 v) {
+        return normalize(Plane{{v.x, v.y, v.z}, v.w});
+    };
+
+    planes_[0] = toPlane(r3 + r0); // left
+    planes_[1] = toPlane(r3 - r0); // right
+    planes_[2] = toPlane(r3 + r1); // bottom
+    planes_[3] = toPlane(r3 - r1); // top
+    planes_[4] = toPlane(r3 + r2); // near
+    planes_[5] = toPlane(r3 - r2); // far
+}
+
+CullResult
+Frustum::classify(const Aabb &box) const
+{
+    if (box.empty())
+        return CullResult::Outside;
+
+    bool intersecting = false;
+    for (const Plane &p : planes_) {
+        // Positive-vertex test: find the corner farthest along the
+        // plane normal; if even it is outside, the whole box is.
+        Vec3 pos{p.normal.x >= 0.0f ? box.max.x : box.min.x,
+                 p.normal.y >= 0.0f ? box.max.y : box.min.y,
+                 p.normal.z >= 0.0f ? box.max.z : box.min.z};
+        if (p.distance(pos) < 0.0f)
+            return CullResult::Outside;
+
+        Vec3 neg{p.normal.x >= 0.0f ? box.min.x : box.max.x,
+                 p.normal.y >= 0.0f ? box.min.y : box.max.y,
+                 p.normal.z >= 0.0f ? box.min.z : box.max.z};
+        if (p.distance(neg) < 0.0f)
+            intersecting = true;
+    }
+    return intersecting ? CullResult::Intersecting : CullResult::Inside;
+}
+
+} // namespace mltc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * View-frustum plane extraction and box/frustum tests for the scene
+ * manager's object-space visibility culling (paper §3: "object-space
+ * visibility culling" is part of the ISM pipeline we substitute).
+ */
+#ifndef MLTC_GEOM_FRUSTUM_HPP
+#define MLTC_GEOM_FRUSTUM_HPP
+
+#include "geom/aabb.hpp"
+#include "geom/mat4.hpp"
+
+namespace mltc {
+
+/** Plane in constant-normal form: normal.dot(p) + d >= 0 is inside. */
+struct Plane
+{
+    Vec3 normal;
+    float d = 0.0f;
+
+    /** Signed distance from @p p to the plane. */
+    float distance(Vec3 p) const { return normal.dot(p) + d; }
+};
+
+/** Result of a frustum/box test. */
+enum class CullResult { Outside, Intersecting, Inside };
+
+/** Six-plane view frustum extracted from a view-projection matrix. */
+class Frustum
+{
+  public:
+    Frustum() = default;
+
+    /**
+     * Extract planes from @p view_proj (Gribb/Hartmann method). Planes
+     * are normalised so distances are metric.
+     */
+    explicit Frustum(const Mat4 &view_proj);
+
+    /** Classify an AABB against the frustum. */
+    CullResult classify(const Aabb &box) const;
+
+    /** True when the box is at least partially inside. */
+    bool
+    intersects(const Aabb &box) const
+    {
+        return classify(box) != CullResult::Outside;
+    }
+
+    /** Access plane @p i (0..5: left,right,bottom,top,near,far). */
+    const Plane &plane(int i) const { return planes_[i]; }
+
+  private:
+    Plane planes_[6];
+};
+
+} // namespace mltc
+
+#endif // MLTC_GEOM_FRUSTUM_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * 4x4 matrix with the usual modelling/viewing/projection constructors.
+ * Column-vector convention: transformed = M * v.
+ */
+#ifndef MLTC_GEOM_MAT4_HPP
+#define MLTC_GEOM_MAT4_HPP
+
+#include "geom/vec.hpp"
+
+namespace mltc {
+
+/** Row-major 4x4 matrix; m[r][c]. */
+struct Mat4
+{
+    float m[4][4] = {};
+
+    /** Identity matrix. */
+    static Mat4 identity();
+
+    /** Translation by @p t. */
+    static Mat4 translate(Vec3 t);
+
+    /** Non-uniform scale. */
+    static Mat4 scale(Vec3 s);
+
+    /** Rotation about the X axis by @p radians. */
+    static Mat4 rotateX(float radians);
+
+    /** Rotation about the Y axis by @p radians. */
+    static Mat4 rotateY(float radians);
+
+    /** Rotation about the Z axis by @p radians. */
+    static Mat4 rotateZ(float radians);
+
+    /**
+     * Right-handed look-at view matrix.
+     * @param eye camera position
+     * @param target point the camera looks at
+     * @param up approximate up direction
+     */
+    static Mat4 lookAt(Vec3 eye, Vec3 target, Vec3 up);
+
+    /**
+     * Right-handed perspective projection mapping the view frustum to
+     * clip space with z in [-w, w] (OpenGL convention).
+     * @param fovy_radians vertical field of view
+     * @param aspect width / height
+     * @param z_near positive near-plane distance
+     * @param z_far positive far-plane distance
+     */
+    static Mat4 perspective(float fovy_radians, float aspect, float z_near,
+                            float z_far);
+
+    /** Matrix product this * o. */
+    Mat4 operator*(const Mat4 &o) const;
+
+    /** Transform homogeneous vector: this * v. */
+    Vec4 operator*(Vec4 v) const;
+
+    /** Transform a point (w = 1) and return xyz (no divide). */
+    Vec3 transformPoint(Vec3 p) const;
+
+    /** Transform a direction (w = 0). */
+    Vec3 transformDirection(Vec3 d) const;
+};
+
+} // namespace mltc
+
+#endif // MLTC_GEOM_MAT4_HPP

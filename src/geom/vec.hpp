@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout the geometry pipeline.
+ *
+ * Single-precision floats match 1998-era rasterization hardware
+ * arithmetic and keep the access-stream generation fast.
+ */
+#ifndef MLTC_GEOM_VEC_HPP
+#define MLTC_GEOM_VEC_HPP
+
+#include <cmath>
+
+namespace mltc {
+
+/** 2D vector (texture coordinates, screen positions). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float xv, float yv) : x(xv), y(yv) {}
+
+    constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+    constexpr float dot(Vec2 o) const { return x * o.x + y * o.y; }
+    float length() const { return std::sqrt(dot(*this)); }
+};
+
+/** 3D vector (positions, normals, colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xv, float yv, float zv) : x(xv), y(yv), z(zv) {}
+
+    constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+
+    constexpr Vec3 &
+    operator+=(Vec3 o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    constexpr float dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(Vec3 o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float length() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        float len = length();
+        return len > 0.0f ? *this / len : Vec3{};
+    }
+};
+
+/** Homogeneous 4D vector (clip-space positions). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float xv, float yv, float zv, float wv)
+        : x(xv), y(yv), z(zv), w(wv)
+    {}
+    constexpr Vec4(Vec3 v, float wv) : x(v.x), y(v.y), z(v.z), w(wv) {}
+
+    constexpr Vec4 operator+(Vec4 o) const
+    {
+        return {x + o.x, y + o.y, z + o.z, w + o.w};
+    }
+    constexpr Vec4 operator-(Vec4 o) const
+    {
+        return {x - o.x, y - o.y, z - o.z, w - o.w};
+    }
+    constexpr Vec4 operator*(float s) const
+    {
+        return {x * s, y * s, z * s, w * s};
+    }
+
+    constexpr float
+    dot(Vec4 o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+/** Linear interpolation between @p a and @p b at parameter @p t. */
+constexpr float
+lerp(float a, float b, float t)
+{
+    return a + (b - a) * t;
+}
+
+/** Componentwise linear interpolation. */
+constexpr Vec3
+lerp(Vec3 a, Vec3 b, float t)
+{
+    return a + (b - a) * t;
+}
+
+/** Clamp @p v to [lo, hi]. */
+constexpr float
+clampf(float v, float lo, float hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+} // namespace mltc
+
+#endif // MLTC_GEOM_VEC_HPP

@@ -1,0 +1,36 @@
+#include "model/performance_model.hpp"
+
+#include <stdexcept>
+
+namespace mltc {
+
+double
+fractionalAdvantage(const PerformanceInputs &in)
+{
+    const double c = in.full_miss_cost;
+    if (c <= 0.0)
+        throw std::invalid_argument("full_miss_cost must be positive");
+    return c - (c - 0.5) * in.l2_full_hit_rate -
+           (c - 1.0) * in.l2_partial_hit_rate;
+}
+
+double
+pullAverageAccessCost(const PerformanceInputs &in)
+{
+    return (1.0 - in.l1_hit_rate);
+}
+
+double
+l2AverageAccessCost(const PerformanceInputs &in)
+{
+    return (1.0 - in.l1_hit_rate) * fractionalAdvantage(in);
+}
+
+double
+l2Speedup(const PerformanceInputs &in)
+{
+    double l2 = l2AverageAccessCost(in);
+    return l2 > 0.0 ? pullAverageAccessCost(in) / l2 : 0.0;
+}
+
+} // namespace mltc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Average-access-time performance model (paper §5.4.2, Tables 5-7).
+ *
+ * With L1 hit rate h1, conditional L2 full/partial hit rates h2full and
+ * h2partial (given an L1 miss), and a full L2 miss costing c times an
+ * L1-block host download t3:
+ *
+ *   A_pull = t1 + (1 - h1) * t3
+ *   A_L2   = t1 + (1 - h1) * f * t3
+ *   f      = c - (c - 1/2) * h2full - (c - 1) * h2partial
+ *
+ * f < 1 means the L2 architecture beats the pull architecture on every
+ * L1 miss on average (the "fractional advantage").
+ */
+#ifndef MLTC_MODEL_PERFORMANCE_MODEL_HPP
+#define MLTC_MODEL_PERFORMANCE_MODEL_HPP
+
+namespace mltc {
+
+/** Inputs to the §5.4.2 model. */
+struct PerformanceInputs
+{
+    double l1_hit_rate = 0.0;        ///< h1
+    double l2_full_hit_rate = 0.0;   ///< h2full, conditional on L1 miss
+    double l2_partial_hit_rate = 0.0; ///< h2partial, conditional on L1 miss
+    double full_miss_cost = 8.0;     ///< c = t2miss / t3 (paper uses 8)
+};
+
+/**
+ * Fractional advantage f (ratio of the L2 architecture's average cost on
+ * an L1 miss to the pull architecture's).
+ */
+double fractionalAdvantage(const PerformanceInputs &in);
+
+/**
+ * Average texel access time of the pull architecture in units of t3
+ * (host download time), taking t1 = 0 so only the miss path is scored.
+ */
+double pullAverageAccessCost(const PerformanceInputs &in);
+
+/** Average texel access time of the L2 architecture in units of t3. */
+double l2AverageAccessCost(const PerformanceInputs &in);
+
+/** Speedup of L2 over pull under this model (>1 means L2 wins). */
+double l2Speedup(const PerformanceInputs &in);
+
+} // namespace mltc
+
+#endif // MLTC_MODEL_PERFORMANCE_MODEL_HPP

@@ -1,0 +1,35 @@
+#include "model/structure_size_model.hpp"
+
+#include <stdexcept>
+
+namespace mltc {
+
+StructureSizes
+computeStructureSizes(const StructureSizeParams &params)
+{
+    if (params.l1_tile == 0 || params.l2_tile < params.l1_tile)
+        throw std::invalid_argument("bad tile sizes");
+
+    StructureSizes out;
+    const uint64_t block_bytes =
+        static_cast<uint64_t>(params.l2_tile) * params.l2_tile * 4;
+    out.page_table_entries = params.host_texture_bytes / block_bytes;
+
+    // Entry: sector bit-vector (one bit per L1 sub-block, 16 bits for
+    // 16x16/4x4) plus the 16-bit physical block number, aligned to
+    // 16-bit boundaries (paper Table 4 assumption).
+    const uint32_t per_edge = params.l2_tile / params.l1_tile;
+    const uint32_t sector_bits = per_edge * per_edge;
+    const uint64_t sector_words = (sector_bits + 15) / 16;
+    const uint64_t entry_bytes = (sector_words + 1) * 2;
+    out.page_table_bytes = out.page_table_entries * entry_bytes;
+
+    out.l2_blocks = params.l2_cache_bytes / block_bytes;
+    out.brl_active_bits_bytes = (out.l2_blocks + 7) / 8;
+    // t_index must address the page table; the paper charges 4 bytes per
+    // entry (32-bit index, 16-bit aligned).
+    out.brl_index_bytes = out.l2_blocks * 4;
+    return out;
+}
+
+} // namespace mltc

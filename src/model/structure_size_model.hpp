@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory requirements of the L2 caching structures (paper §5.4.1,
+ * Table 4): texture page table and Block Replacement List sizes as a
+ * function of host texture capacity, L2 cache size and tile sizes.
+ */
+#ifndef MLTC_MODEL_STRUCTURE_SIZE_MODEL_HPP
+#define MLTC_MODEL_STRUCTURE_SIZE_MODEL_HPP
+
+#include <cstdint>
+
+namespace mltc {
+
+/** Structure-size model inputs. */
+struct StructureSizeParams
+{
+    uint64_t host_texture_bytes = 32ull << 20; ///< texture capacity in host memory
+    uint64_t l2_cache_bytes = 2ull << 20;
+    uint32_t l2_tile = 16; ///< texels per edge
+    uint32_t l1_tile = 4;
+};
+
+/** Structure-size model outputs (all in bytes). */
+struct StructureSizes
+{
+    uint64_t page_table_entries = 0;
+    uint64_t page_table_bytes = 0;     ///< t_table[]
+    uint64_t brl_active_bits_bytes = 0; ///< on-chip SRAM (1 bit/block)
+    uint64_t brl_index_bytes = 0;      ///< t_index fields (external DRAM)
+    uint64_t l2_blocks = 0;
+};
+
+/**
+ * Size the L2 caching structures per §5.4.1: page-table entries are one
+ * per L2 block of host texture (sector bits + 16-bit block number,
+ * 16-bit aligned), the BRL holds one entry per physical L2 block.
+ */
+StructureSizes computeStructureSizes(const StructureSizeParams &params);
+
+} // namespace mltc
+
+#endif // MLTC_MODEL_STRUCTURE_SIZE_MODEL_HPP

@@ -1,0 +1,97 @@
+#include "model/timing_model.hpp"
+
+#include <algorithm>
+
+namespace mltc {
+
+namespace {
+
+/** ns to move @p bytes at @p mbps (1 MB = 2^20 bytes). */
+double
+transferNs(uint64_t bytes, double mbps)
+{
+    return static_cast<double>(bytes) / (mbps * 1048576.0) * 1e9;
+}
+
+/** Cost in ns of one host sector download (latency + transfer). */
+double
+hostSectorNs(const TimingParams &p)
+{
+    return p.host_latency_ns + transferNs(p.l1_tile_bytes,
+                                          p.host_bandwidth_mbps);
+}
+
+/** Cost in ns of one L2 sector read (latency + transfer). */
+double
+l2SectorNs(const TimingParams &p)
+{
+    return p.l2_latency_ns + transferNs(p.l1_tile_bytes,
+                                        p.l2_bandwidth_mbps);
+}
+
+ArchTiming
+finalize(ArchTiming t, const CacheFrameStats &stats, const TimingParams &p,
+         double miss_ns_total)
+{
+    t.texture_path_ms =
+        (static_cast<double>(stats.accesses) * p.texel_hit_ns +
+         miss_ns_total) *
+        1e-6;
+    t.host_bus_ms = transferNs(stats.host_bytes, p.host_bandwidth_mbps) * 1e-6;
+    t.l2_bus_ms =
+        transferNs(stats.l2_read_bytes + stats.host_bytes,
+                   p.l2_bandwidth_mbps) *
+        1e-6; // downloads also write into L2 memory
+    t.frame_ms = std::max({t.texture_path_ms, t.host_bus_ms, t.l2_bus_ms});
+    t.fps_bound = t.frame_ms > 0 ? 1000.0 / t.frame_ms : 0.0;
+    t.avg_miss_penalty_ns =
+        stats.l1_misses
+            ? miss_ns_total / static_cast<double>(stats.l1_misses)
+            : 0.0;
+    return t;
+}
+
+} // namespace
+
+ArchTiming
+timePullFrame(const CacheFrameStats &stats, const TimingParams &params)
+{
+    // Every L1 miss is one host transaction.
+    double miss_ns =
+        static_cast<double>(stats.l1_misses) * hostSectorNs(params);
+    ArchTiming t;
+    // The pull architecture has no L2 memory: clear its bus afterwards.
+    t = finalize(t, stats, params, miss_ns);
+    t.l2_bus_ms = 0;
+    t.frame_ms = std::max(t.texture_path_ms, t.host_bus_ms);
+    t.fps_bound = t.frame_ms > 0 ? 1000.0 / t.frame_ms : 0.0;
+    return t;
+}
+
+ArchTiming
+timeL2Frame(const CacheFrameStats &stats, const TimingParams &params)
+{
+    const double full_hit_ns = l2SectorNs(params);
+    const double partial_ns = hostSectorNs(params);
+    const double miss_ns =
+        hostSectorNs(params) + params.full_miss_overhead_ns;
+    double total =
+        static_cast<double>(stats.l2_full_hits) * full_hit_ns +
+        static_cast<double>(stats.l2_partial_hits) * partial_ns +
+        static_cast<double>(stats.l2_full_misses) * miss_ns;
+    ArchTiming t;
+    return finalize(t, stats, params, total);
+}
+
+double
+effectiveFractionalAdvantage(const CacheFrameStats &l2_stats,
+                             const TimingParams &params)
+{
+    if (l2_stats.l1_misses == 0)
+        return 0.0;
+    double l2_penalty = timeL2Frame(l2_stats, params).avg_miss_penalty_ns;
+    double pull_penalty = hostSectorNs(params);
+    return pull_penalty > 0 ? l2_penalty / pull_penalty : 0.0;
+}
+
+} // namespace mltc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Transaction-level timing model — an *extension* of the paper.
+ *
+ * The paper scores architectures with the closed-form average-access
+ * model of §5.4.2 (fractional advantage f, with assumed cost ratios
+ * t2full = t3/2, t2partial = t3, t2miss = c*t3). This model instead
+ * prices each counted transaction with explicit latency/bandwidth
+ * parameters for the host path (AGP + system memory) and the local L2
+ * DRAM, yielding per-frame texture-path time, bus occupancies and a
+ * frame-rate bound — and an *effective* fractional advantage that can be
+ * checked against the paper's analytic one (bench `ext_timing_model`).
+ */
+#ifndef MLTC_MODEL_TIMING_MODEL_HPP
+#define MLTC_MODEL_TIMING_MODEL_HPP
+
+#include "core/cache_sim.hpp"
+
+namespace mltc {
+
+/** Latency/bandwidth parameters (defaults are 1998-era: AGP 1.0 at
+ *  512 MB/s, local SDRAM at ~2x that, per the paper's assumption). */
+struct TimingParams
+{
+    double texel_hit_ns = 2.5;        ///< pipelined L1 hit per texel
+    double host_latency_ns = 250.0;   ///< per host transaction
+    double host_bandwidth_mbps = 512.0;  ///< AGP 1.0 sustained
+    double l2_latency_ns = 100.0;     ///< local DRAM access setup
+    double l2_bandwidth_mbps = 1024.0;   ///< local memory, ~2x host
+    /**
+     * Extra cost of an L2 full miss beyond the sector download: victim
+     * search + three external read-modify-writes (§5.4.2 discussion).
+     */
+    double full_miss_overhead_ns = 320.0;
+    uint64_t l1_tile_bytes = 64;      ///< one sector / L1 tile
+};
+
+/** Per-frame timing results for one architecture. */
+struct ArchTiming
+{
+    double texture_path_ms = 0;   ///< serialized texel-access time
+    double host_bus_ms = 0;       ///< host/AGP occupancy
+    double l2_bus_ms = 0;         ///< local L2 memory occupancy
+    double frame_ms = 0;          ///< max of the above (pipelined units)
+    double fps_bound = 0;         ///< 1000 / frame_ms
+    double avg_miss_penalty_ns = 0; ///< mean cost of an L1 miss
+};
+
+/** Time one frame of the pull architecture from its counters. */
+ArchTiming timePullFrame(const CacheFrameStats &stats,
+                         const TimingParams &params = {});
+
+/** Time one frame of the L2 caching architecture from its counters. */
+ArchTiming timeL2Frame(const CacheFrameStats &stats,
+                       const TimingParams &params = {});
+
+/**
+ * Effective fractional advantage: the L2 architecture's average L1-miss
+ * penalty divided by the pull architecture's for the *same* miss stream
+ * (the measured analogue of the paper's f; < 1 means L2 wins).
+ */
+double effectiveFractionalAdvantage(const CacheFrameStats &l2_stats,
+                                    const TimingParams &params = {});
+
+} // namespace mltc
+
+#endif // MLTC_MODEL_TIMING_MODEL_HPP

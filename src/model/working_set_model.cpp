@@ -1,0 +1,29 @@
+#include "model/working_set_model.hpp"
+
+#include <stdexcept>
+
+namespace mltc {
+
+double
+expectedWorkingSetBytes(uint64_t resolution_pixels, double depth_complexity,
+                        double utilization)
+{
+    if (utilization <= 0.0)
+        throw std::invalid_argument("utilization must be positive");
+    return static_cast<double>(resolution_pixels) * depth_complexity * 4.0 /
+           utilization;
+}
+
+double
+measuredUtilization(uint64_t pixel_refs, uint64_t blocks_touched,
+                    uint32_t l2_tile)
+{
+    if (blocks_touched == 0)
+        return 0.0;
+    double texels = static_cast<double>(blocks_touched) *
+                    static_cast<double>(l2_tile) *
+                    static_cast<double>(l2_tile);
+    return static_cast<double>(pixel_refs) / texels;
+}
+
+} // namespace mltc

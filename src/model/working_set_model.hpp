@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Expected inter-frame working set model (paper §4.1, Figure 3).
+ *
+ * W = (R * d * 4) / utilization
+ *
+ * where R is the screen resolution in pixels, d the depth complexity
+ * (textured pixels per pixel location), 4 the bytes per 32-bit texel and
+ * utilization the block utilisation (texel references per texel of
+ * touched blocks; > 1 under texture repetition).
+ */
+#ifndef MLTC_MODEL_WORKING_SET_MODEL_HPP
+#define MLTC_MODEL_WORKING_SET_MODEL_HPP
+
+#include <cstdint>
+
+namespace mltc {
+
+/**
+ * Expected inter-frame working set in bytes (§4.1).
+ * @param resolution_pixels screen pixels R (e.g. 1024*768)
+ * @param depth_complexity average textured pixels per location d
+ * @param utilization block utilisation (0 excluded)
+ */
+double expectedWorkingSetBytes(uint64_t resolution_pixels,
+                               double depth_complexity, double utilization);
+
+/**
+ * Block utilisation from measured per-frame statistics (§4.1 inverted):
+ * pixel references / (blocks touched * texels per block).
+ */
+double measuredUtilization(uint64_t pixel_refs, uint64_t blocks_touched,
+                           uint32_t l2_tile);
+
+} // namespace mltc
+
+#endif // MLTC_MODEL_WORKING_SET_MODEL_HPP

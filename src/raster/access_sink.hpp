@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Consumer interface for the per-pixel texel access stream.
+ *
+ * The rasterizer announces the bound texture once per object, then emits
+ * every texel reference (texel coordinates + MIP level) generated while
+ * scan-converting that object. Cache simulators and the statistics
+ * library both attach here — this mirrors the paper's approach of
+ * instrumenting the renderer with "calls to our own tracing library from
+ * appropriate code sites" (§3.2).
+ */
+#ifndef MLTC_RASTER_ACCESS_SINK_HPP
+#define MLTC_RASTER_ACCESS_SINK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "texture/tiled_layout.hpp"
+
+namespace mltc {
+
+/** Receives the texel access stream from the rasterizer. */
+class TexelAccessSink
+{
+  public:
+    virtual ~TexelAccessSink() = default;
+
+    /**
+     * All subsequent access() calls refer to texture @p tid (the
+     * accelerator's "current texture" register, §5.2).
+     */
+    virtual void bindTexture(TextureId tid) = 0;
+
+    /** One texel reference at (x, y) of MIP level @p mip. */
+    virtual void access(uint32_t x, uint32_t y, uint32_t mip) = 0;
+
+    /**
+     * A bilinear footprint: the four texels (x0|x1, y0|y1) of level
+     * @p mip, where x1/y1 are the (wrapped) neighbours of x0/y0. The
+     * default expands to four access() calls; cache simulators override
+     * it to coalesce the footprint (it usually lands in one tile).
+     */
+    virtual void
+    accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+               uint32_t mip)
+    {
+        access(x0, y0, mip);
+        access(x1, y0, mip);
+        access(x0, y1, mip);
+        access(x1, y1, mip);
+    }
+};
+
+/** Sink that drops everything (render-only paths). */
+class NullSink final : public TexelAccessSink
+{
+  public:
+    void bindTexture(TextureId) override {}
+    void access(uint32_t, uint32_t, uint32_t) override {}
+    void accessQuad(uint32_t, uint32_t, uint32_t, uint32_t,
+                    uint32_t) override
+    {
+    }
+};
+
+/** Sink that counts accesses (testing and quick statistics). */
+class CountingSink final : public TexelAccessSink
+{
+  public:
+    void bindTexture(TextureId tid) override { last_tid = tid; }
+
+    void
+    access(uint32_t, uint32_t, uint32_t) override
+    {
+        ++count;
+    }
+
+    void
+    accessQuad(uint32_t, uint32_t, uint32_t, uint32_t, uint32_t) override
+    {
+        count += 4;
+    }
+
+    uint64_t count = 0;
+    TextureId last_tid = 0;
+};
+
+/** Fan a single access stream out to several sinks (multi-config runs). */
+class FanoutSink final : public TexelAccessSink
+{
+  public:
+    /** Attach a downstream sink; not owned. */
+    void add(TexelAccessSink *sink) { sinks_.push_back(sink); }
+
+    void clear() { sinks_.clear(); }
+
+    void
+    bindTexture(TextureId tid) override
+    {
+        for (auto *s : sinks_)
+            s->bindTexture(tid);
+    }
+
+    void
+    access(uint32_t x, uint32_t y, uint32_t mip) override
+    {
+        for (auto *s : sinks_)
+            s->access(x, y, mip);
+    }
+
+    void
+    accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+               uint32_t mip) override
+    {
+        for (auto *s : sinks_)
+            s->accessQuad(x0, y0, x1, y1, mip);
+    }
+
+  private:
+    std::vector<TexelAccessSink *> sinks_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_RASTER_ACCESS_SINK_HPP

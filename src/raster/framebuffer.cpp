@@ -1,0 +1,31 @@
+#include "raster/framebuffer.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mltc {
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height),
+      color_(static_cast<size_t>(width) * static_cast<size_t>(height)),
+      depth_(color_.size(), std::numeric_limits<float>::infinity())
+{
+    if (width <= 0 || height <= 0)
+        throw std::invalid_argument("Framebuffer: bad dimensions");
+}
+
+void
+Framebuffer::clear(uint32_t color)
+{
+    std::fill(color_.begin(), color_.end(), color);
+    clearDepth();
+}
+
+void
+Framebuffer::clearDepth()
+{
+    std::fill(depth_.begin(), depth_.end(),
+              std::numeric_limits<float>::infinity());
+}
+
+} // namespace mltc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Color + depth framebuffer for rendered output (example snapshots) and
+ * for the z-prepass extension.
+ */
+#ifndef MLTC_RASTER_FRAMEBUFFER_HPP
+#define MLTC_RASTER_FRAMEBUFFER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mltc {
+
+/** Simple color (32-bit RGBA) + depth (float NDC z) buffer. */
+class Framebuffer
+{
+  public:
+    Framebuffer(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Reset color to @p color and depth to +infinity. */
+    void clear(uint32_t color = 0xff000000u);
+
+    /** Reset depth only. */
+    void clearDepth();
+
+    uint32_t
+    pixel(int x, int y) const
+    {
+        return color_[index(x, y)];
+    }
+
+    float
+    depth(int x, int y) const
+    {
+        return depth_[index(x, y)];
+    }
+
+    /**
+     * Depth-test-and-set at (x, y): when @p z passes (less-equal), write
+     * color+depth and return true.
+     */
+    bool
+    shade(int x, int y, float z, uint32_t color)
+    {
+        size_t i = index(x, y);
+        if (z <= depth_[i]) {
+            depth_[i] = z;
+            color_[i] = color;
+            return true;
+        }
+        return false;
+    }
+
+    /** Depth-only update (z-prepass). Returns true when z won. */
+    bool
+    depthOnly(int x, int y, float z)
+    {
+        size_t i = index(x, y);
+        if (z <= depth_[i]) {
+            depth_[i] = z;
+            return true;
+        }
+        return false;
+    }
+
+    /** True when @p z is the surviving (front-most) depth at (x, y). */
+    bool
+    depthMatches(int x, int y, float z, float eps = 1e-5f) const
+    {
+        return z <= depth_[index(x, y)] + eps;
+    }
+
+    /** Packed color plane, row-major top-first (for PPM output). */
+    const std::vector<uint32_t> &colors() const { return color_; }
+
+  private:
+    size_t
+    index(int x, int y) const
+    {
+        return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+               static_cast<size_t>(x);
+    }
+
+    int width_;
+    int height_;
+    std::vector<uint32_t> color_;
+    std::vector<float> depth_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_RASTER_FRAMEBUFFER_HPP

@@ -1,0 +1,21 @@
+#include "scene/camera.hpp"
+
+namespace mltc {
+
+Camera::Camera(float fovy_radians, float aspect, float z_near, float z_far)
+    : proj_(Mat4::perspective(fovy_radians, aspect, z_near, z_far)),
+      view_(Mat4::identity()), view_proj_(proj_), frustum_(view_proj_),
+      z_near_(z_near), z_far_(z_far)
+{
+}
+
+void
+Camera::lookAt(Vec3 eye, Vec3 target, Vec3 up)
+{
+    eye_ = eye;
+    view_ = Mat4::lookAt(eye, target, up);
+    view_proj_ = proj_ * view_;
+    frustum_ = Frustum(view_proj_);
+}
+
+} // namespace mltc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Perspective camera: pose + projection, with cached matrices.
+ */
+#ifndef MLTC_SCENE_CAMERA_HPP
+#define MLTC_SCENE_CAMERA_HPP
+
+#include "geom/frustum.hpp"
+#include "geom/mat4.hpp"
+
+namespace mltc {
+
+/** Perspective camera; paper experiments use 1024x768. */
+class Camera
+{
+  public:
+    /**
+     * @param fovy_radians vertical field of view
+     * @param aspect width / height
+     * @param z_near near plane (> 0)
+     * @param z_far far plane (> z_near)
+     */
+    Camera(float fovy_radians, float aspect, float z_near, float z_far);
+
+    /** Place the camera at @p eye looking at @p target. */
+    void lookAt(Vec3 eye, Vec3 target, Vec3 up = {0.0f, 1.0f, 0.0f});
+
+    const Mat4 &view() const { return view_; }
+    const Mat4 &projection() const { return proj_; }
+    const Mat4 &viewProjection() const { return view_proj_; }
+    const Frustum &frustum() const { return frustum_; }
+
+    Vec3 eye() const { return eye_; }
+    float nearPlane() const { return z_near_; }
+    float farPlane() const { return z_far_; }
+
+  private:
+    Mat4 proj_;
+    Mat4 view_;
+    Mat4 view_proj_;
+    Frustum frustum_;
+    Vec3 eye_;
+    float z_near_;
+    float z_far_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_SCENE_CAMERA_HPP

@@ -1,0 +1,59 @@
+#include "scene/camera_path.hpp"
+
+#include <cmath>
+
+namespace mltc {
+
+namespace {
+
+Vec3
+catmullRom(Vec3 p0, Vec3 p1, Vec3 p2, Vec3 p3, float t)
+{
+    float t2 = t * t;
+    float t3 = t2 * t;
+    return (p1 * 2.0f + (p2 - p0) * t +
+            (p0 * 2.0f - p1 * 5.0f + p2 * 4.0f - p3) * t2 +
+            (p1 * 3.0f - p0 - p2 * 3.0f + p3) * t3) *
+           0.5f;
+}
+
+} // namespace
+
+void
+CameraPath::addKey(Vec3 eye, Vec3 target)
+{
+    keys_.push_back({eye, target});
+}
+
+CameraPose
+CameraPath::sample(float t) const
+{
+    if (keys_.empty())
+        return {};
+    if (keys_.size() == 1)
+        return keys_[0];
+
+    t = clampf(t, 0.0f, 1.0f);
+    float ft = t * static_cast<float>(keys_.size() - 1);
+    int seg = static_cast<int>(ft);
+    int last = static_cast<int>(keys_.size()) - 1;
+    if (seg >= last)
+        seg = last - 1;
+    float local = ft - static_cast<float>(seg);
+
+    auto key = [&](int i) -> const CameraPose & {
+        if (i < 0) i = 0;
+        if (i > last) i = last;
+        return keys_[static_cast<size_t>(i)];
+    };
+
+    const CameraPose &k0 = key(seg - 1);
+    const CameraPose &k1 = key(seg);
+    const CameraPose &k2 = key(seg + 1);
+    const CameraPose &k3 = key(seg + 2);
+
+    return {catmullRom(k0.eye, k1.eye, k2.eye, k3.eye, local),
+            catmullRom(k0.target, k1.target, k2.target, k3.target, local)};
+}
+
+} // namespace mltc

@@ -1,0 +1,156 @@
+#include "scene/mesh.hpp"
+
+namespace mltc {
+
+Aabb
+Mesh::bounds() const
+{
+    Aabb box;
+    for (const auto &v : vertices)
+        box.extend(v.position);
+    return box;
+}
+
+Mesh
+makeQuadXZ(float size_x, float size_z, float uv_repeat_x, float uv_repeat_z)
+{
+    Mesh m;
+    float hx = size_x * 0.5f, hz = size_z * 0.5f;
+    m.vertices = {
+        {{-hx, 0.0f, -hz}, {0.0f, 0.0f}},
+        {{hx, 0.0f, -hz}, {uv_repeat_x, 0.0f}},
+        {{hx, 0.0f, hz}, {uv_repeat_x, uv_repeat_z}},
+        {{-hx, 0.0f, hz}, {0.0f, uv_repeat_z}},
+    };
+    // Wound so the face normal points +Y (visible from above).
+    m.indices = {0, 2, 1, 0, 3, 2};
+    return m;
+}
+
+Mesh
+makeQuadXY(float size_x, float size_y, float uv_repeat_x, float uv_repeat_y)
+{
+    Mesh m;
+    float hx = size_x * 0.5f;
+    m.vertices = {
+        {{-hx, 0.0f, 0.0f}, {0.0f, uv_repeat_y}},
+        {{hx, 0.0f, 0.0f}, {uv_repeat_x, uv_repeat_y}},
+        {{hx, size_y, 0.0f}, {uv_repeat_x, 0.0f}},
+        {{-hx, size_y, 0.0f}, {0.0f, 0.0f}},
+    };
+    m.indices = {0, 1, 2, 0, 2, 3};
+    return m;
+}
+
+Mesh
+makeBox(float sx, float sy, float sz, float uv_per_unit)
+{
+    Mesh m;
+    float hx = sx * 0.5f, hz = sz * 0.5f;
+    float ux = sx * uv_per_unit;
+    float uy = sy * uv_per_unit;
+    float uz = sz * uv_per_unit;
+
+    auto addFace = [&m](Vec3 a, Vec3 b, Vec3 c, Vec3 d, float uu, float vv) {
+        uint32_t base = static_cast<uint32_t>(m.vertices.size());
+        m.vertices.push_back({a, {0.0f, vv}});
+        m.vertices.push_back({b, {uu, vv}});
+        m.vertices.push_back({c, {uu, 0.0f}});
+        m.vertices.push_back({d, {0.0f, 0.0f}});
+        for (uint32_t i : {0u, 1u, 2u, 0u, 2u, 3u})
+            m.indices.push_back(base + i);
+    };
+
+    // Four side walls, then the top.
+    addFace({-hx, 0, hz}, {hx, 0, hz}, {hx, sy, hz}, {-hx, sy, hz}, ux, uy);
+    addFace({hx, 0, hz}, {hx, 0, -hz}, {hx, sy, -hz}, {hx, sy, hz}, uz, uy);
+    addFace({hx, 0, -hz}, {-hx, 0, -hz}, {-hx, sy, -hz}, {hx, sy, -hz}, ux, uy);
+    addFace({-hx, 0, -hz}, {-hx, 0, hz}, {-hx, sy, hz}, {-hx, sy, -hz}, uz, uy);
+    addFace({-hx, sy, hz}, {hx, sy, hz}, {hx, sy, -hz}, {-hx, sy, -hz}, ux, uz);
+    return m;
+}
+
+Mesh
+makeGroundGrid(float extent, int cells, float uv_repeat)
+{
+    Mesh m;
+    if (cells < 1)
+        cells = 1;
+    float step = extent / static_cast<float>(cells);
+    float uv_step = uv_repeat / static_cast<float>(cells);
+    float half = extent * 0.5f;
+    for (int j = 0; j <= cells; ++j)
+        for (int i = 0; i <= cells; ++i) {
+            float x = -half + static_cast<float>(i) * step;
+            float z = -half + static_cast<float>(j) * step;
+            m.vertices.push_back(
+                {{x, 0.0f, z},
+                 {static_cast<float>(i) * uv_step,
+                  static_cast<float>(j) * uv_step}});
+        }
+    auto vid = [cells](int i, int j) {
+        return static_cast<uint32_t>(j * (cells + 1) + i);
+    };
+    for (int j = 0; j < cells; ++j)
+        for (int i = 0; i < cells; ++i) {
+            // Wound so the face normal points +Y (visible from above).
+            for (uint32_t idx : {vid(i, j), vid(i + 1, j + 1), vid(i + 1, j),
+                                 vid(i, j), vid(i, j + 1), vid(i + 1, j + 1)})
+                m.indices.push_back(idx);
+        }
+    return m;
+}
+
+Mesh
+makeGabledRoof(float sx, float sz, float base_y, float ridge_y,
+               float uv_repeat)
+{
+    Mesh m;
+    float hx = sx * 0.5f, hz = sz * 0.5f;
+    auto addSlope = [&](Vec3 a, Vec3 b, Vec3 c, Vec3 d) {
+        uint32_t base = static_cast<uint32_t>(m.vertices.size());
+        m.vertices.push_back({a, {0.0f, uv_repeat}});
+        m.vertices.push_back({b, {uv_repeat, uv_repeat}});
+        m.vertices.push_back({c, {uv_repeat, 0.0f}});
+        m.vertices.push_back({d, {0.0f, 0.0f}});
+        for (uint32_t i : {0u, 1u, 2u, 0u, 2u, 3u})
+            m.indices.push_back(base + i);
+    };
+    // Two slopes meeting at the ridge running along X.
+    addSlope({-hx, base_y, hz}, {hx, base_y, hz}, {hx, ridge_y, 0.0f},
+             {-hx, ridge_y, 0.0f});
+    addSlope({hx, base_y, -hz}, {-hx, base_y, -hz}, {-hx, ridge_y, 0.0f},
+             {hx, ridge_y, 0.0f});
+    // Gable end triangles.
+    uint32_t base = static_cast<uint32_t>(m.vertices.size());
+    m.vertices.push_back({{-hx, base_y, hz}, {0.0f, uv_repeat}});
+    m.vertices.push_back({{-hx, base_y, -hz}, {uv_repeat, uv_repeat}});
+    m.vertices.push_back({{-hx, ridge_y, 0.0f}, {uv_repeat * 0.5f, 0.0f}});
+    m.vertices.push_back({{hx, base_y, -hz}, {0.0f, uv_repeat}});
+    m.vertices.push_back({{hx, base_y, hz}, {uv_repeat, uv_repeat}});
+    m.vertices.push_back({{hx, ridge_y, 0.0f}, {uv_repeat * 0.5f, 0.0f}});
+    // Gable winding order chosen so normals point outward (-X / +X).
+    for (uint32_t i : {0u, 2u, 1u, 3u, 5u, 4u})
+        m.indices.push_back(base + i);
+    return m;
+}
+
+void
+appendMesh(Mesh &dst, const Mesh &src)
+{
+    uint32_t base = static_cast<uint32_t>(dst.vertices.size());
+    dst.vertices.insert(dst.vertices.end(), src.vertices.begin(),
+                        src.vertices.end());
+    dst.indices.reserve(dst.indices.size() + src.indices.size());
+    for (uint32_t i : src.indices)
+        dst.indices.push_back(base + i);
+}
+
+void
+transformMesh(Mesh &mesh, const Mat4 &transform)
+{
+    for (auto &v : mesh.vertices)
+        v.position = transform.transformPoint(v.position);
+}
+
+} // namespace mltc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Triangle meshes with texture coordinates, plus the primitive builders
+ * the procedural workloads are assembled from.
+ */
+#ifndef MLTC_SCENE_MESH_HPP
+#define MLTC_SCENE_MESH_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/mat4.hpp"
+#include "geom/vec.hpp"
+
+namespace mltc {
+
+/** One mesh vertex: object-space position and texture coordinate. */
+struct MeshVertex
+{
+    Vec3 position;
+    Vec2 uv;
+};
+
+/** Indexed triangle mesh. */
+struct Mesh
+{
+    std::vector<MeshVertex> vertices;
+    std::vector<uint32_t> indices; ///< 3 per triangle
+
+    /** Number of triangles. */
+    size_t triangleCount() const { return indices.size() / 3; }
+
+    /** Object-space bounding box. */
+    Aabb bounds() const;
+};
+
+/** Shared immutable mesh handle (objects commonly share geometry). */
+using MeshPtr = std::shared_ptr<const Mesh>;
+
+/**
+ * Unit quad in the XZ plane, centred at origin, facing +Y, with uv
+ * repeated @p uv_repeat times across each axis.
+ */
+Mesh makeQuadXZ(float size_x, float size_z, float uv_repeat_x,
+                float uv_repeat_z);
+
+/** Vertical quad in the XY plane facing +Z (billboards, walls). */
+Mesh makeQuadXY(float size_x, float size_y, float uv_repeat_x,
+                float uv_repeat_y);
+
+/**
+ * Axis-aligned box spanning [-sx/2, sx/2] x [0, sy] x [-sz/2, sz/2].
+ * Side faces map uv with @p uv_per_unit texture repeats per world unit;
+ * the top face likewise. The bottom face is omitted (never visible in
+ * the workloads).
+ */
+Mesh makeBox(float sx, float sy, float sz, float uv_per_unit);
+
+/**
+ * Ground grid of quads (subdividing improves frustum-clip behaviour for
+ * very large ground planes), uv repeated @p uv_repeat times across the
+ * whole extent.
+ */
+Mesh makeGroundGrid(float extent, int cells, float uv_repeat);
+
+/**
+ * Gabled roof (two sloped quads) spanning a sx x sz footprint at height
+ * @p base_y rising to @p ridge_y.
+ */
+Mesh makeGabledRoof(float sx, float sz, float base_y, float ridge_y,
+                    float uv_repeat);
+
+/** Append @p src to @p dst (indices rebased). */
+void appendMesh(Mesh &dst, const Mesh &src);
+
+/** Transform all vertex positions of @p mesh by @p transform in place. */
+void transformMesh(Mesh &mesh, const Mat4 &transform);
+
+} // namespace mltc
+
+#endif // MLTC_SCENE_MESH_HPP

@@ -1,0 +1,53 @@
+#include "scene/scene.hpp"
+
+namespace mltc {
+
+size_t
+Scene::addObject(MeshPtr mesh, const Mat4 &transform, TextureId texture,
+                 std::string name, bool two_sided)
+{
+    SceneObject obj;
+    obj.mesh = std::move(mesh);
+    obj.transform = transform;
+    obj.texture = texture;
+    obj.name = std::move(name);
+    obj.two_sided = two_sided;
+    // World bounds: transform the object-space AABB corners (conservative).
+    Aabb local = obj.mesh->bounds();
+    if (!local.empty())
+        for (int i = 0; i < 8; ++i)
+            obj.world_bounds.extend(transform.transformPoint(local.corner(i)));
+    objects_.push_back(std::move(obj));
+    return objects_.size() - 1;
+}
+
+uint64_t
+Scene::triangleCount() const
+{
+    uint64_t total = 0;
+    for (const auto &o : objects_)
+        total += o.mesh->triangleCount();
+    return total;
+}
+
+Aabb
+Scene::bounds() const
+{
+    Aabb box;
+    for (const auto &o : objects_)
+        box.extend(o.world_bounds);
+    return box;
+}
+
+std::vector<size_t>
+Scene::visibleObjects(const Frustum &frustum) const
+{
+    std::vector<size_t> out;
+    out.reserve(objects_.size());
+    for (size_t i = 0; i < objects_.size(); ++i)
+        if (frustum.intersects(objects_[i].world_bounds))
+            out.push_back(i);
+    return out;
+}
+
+} // namespace mltc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scene container: textured objects with world transforms and cached
+ * world-space bounds, plus frustum culling (the ISM's "object-space
+ * visibility culling" stage we substitute).
+ */
+#ifndef MLTC_SCENE_SCENE_HPP
+#define MLTC_SCENE_SCENE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/frustum.hpp"
+#include "geom/mat4.hpp"
+#include "scene/mesh.hpp"
+#include "texture/tiled_layout.hpp"
+
+namespace mltc {
+
+/** One renderable: shared mesh + transform + texture binding. */
+struct SceneObject
+{
+    MeshPtr mesh;
+    Mat4 transform = Mat4::identity();
+    TextureId texture = 0;
+    Aabb world_bounds; ///< cached; filled by Scene::addObject
+    std::string name;
+    bool two_sided = false; ///< rasterize both windings (billboards)
+    /**
+     * Optional second texture layer (detail map / lightmap), rendered
+     * as an additional pass per 1998 multi-pass multitexturing. The
+     * paper's §4 calls out multi-texture hardware as a driver of
+     * intra-frame texture locality.
+     */
+    TextureId detail_texture = 0;
+    float detail_uv_scale = 8.0f; ///< uv multiplier for the detail pass
+};
+
+/** A scene: a flat list of objects (no hierarchy needed here). */
+class Scene
+{
+  public:
+    Scene() = default;
+
+    /**
+     * Add an object; computes and caches its world bounds.
+     * @return index of the new object.
+     */
+    size_t addObject(MeshPtr mesh, const Mat4 &transform, TextureId texture,
+                     std::string name = {}, bool two_sided = false);
+
+    const std::vector<SceneObject> &objects() const { return objects_; }
+
+    /** Mutable object access (e.g. to attach detail textures). */
+    SceneObject &object(size_t index) { return objects_[index]; }
+
+    /** Total triangles over all objects. */
+    uint64_t triangleCount() const;
+
+    /** World bounds of the whole scene. */
+    Aabb bounds() const;
+
+    /**
+     * Indices of objects at least partially inside @p frustum
+     * (object-space culling).
+     */
+    std::vector<size_t> visibleObjects(const Frustum &frustum) const;
+
+  private:
+    std::vector<SceneObject> objects_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_SCENE_SCENE_HPP

@@ -1,0 +1,87 @@
+#include "sim/multi_config_runner.hpp"
+
+#include "raster/access_sink.hpp"
+
+namespace mltc {
+
+MultiConfigRunner::MultiConfigRunner(Workload &workload,
+                                     const DriverConfig &config)
+    : workload_(workload), config_(config)
+{
+}
+
+CacheSim &
+MultiConfigRunner::addSim(const CacheSimConfig &config, std::string label)
+{
+    sims_.push_back(std::make_unique<CacheSim>(*workload_.textures, config,
+                                               std::move(label)));
+    return *sims_.back();
+}
+
+WorkingSetCollector &
+MultiConfigRunner::addWorkingSets(std::vector<uint32_t> l2_tiles,
+                                  std::vector<uint32_t> l1_tiles)
+{
+    working_sets_ = std::make_unique<WorkingSetCollector>(
+        *workload_.textures, std::move(l2_tiles), std::move(l1_tiles));
+    return *working_sets_;
+}
+
+PushArchitectureModel &
+MultiConfigRunner::addPushModel()
+{
+    push_ = std::make_unique<PushArchitectureModel>(*workload_.textures);
+    return *push_;
+}
+
+void
+MultiConfigRunner::addExtraSink(TexelAccessSink *sink)
+{
+    extra_sinks_.push_back(sink);
+}
+
+void
+MultiConfigRunner::run(const RowCallback &cb)
+{
+    rows_.clear();
+
+    FanoutSink fanout;
+    for (auto &sim : sims_)
+        fanout.add(sim.get());
+    if (working_sets_)
+        fanout.add(working_sets_.get());
+    if (push_)
+        fanout.add(push_.get());
+    for (auto *s : extra_sinks_)
+        fanout.add(s);
+
+    runAnimation(workload_, config_, &fanout,
+                 [&](int frame, const FrameStats &fs) {
+                     FrameRow row;
+                     row.frame = frame;
+                     row.raster = fs;
+                     row.sims.reserve(sims_.size());
+                     for (auto &sim : sims_)
+                         row.sims.push_back(sim->endFrame());
+                     if (working_sets_)
+                         row.working_sets = working_sets_->endFrame();
+                     if (push_)
+                         row.push_bytes = push_->endFrame();
+                     rows_.push_back(std::move(row));
+                     if (cb)
+                         cb(rows_.back());
+                 });
+}
+
+double
+MultiConfigRunner::averageHostBytesPerFrame(size_t idx) const
+{
+    if (rows_.empty())
+        return 0.0;
+    uint64_t total = 0;
+    for (const auto &row : rows_)
+        total += row.sims[idx].host_bytes;
+    return static_cast<double>(total) / static_cast<double>(rows_.size());
+}
+
+} // namespace mltc

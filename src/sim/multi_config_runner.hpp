@@ -1,0 +1,96 @@
+/**
+ * @file
+ * One-pass multi-configuration simulation.
+ *
+ * Rasterization dominates runtime, so each frame's access stream is
+ * generated once and fanned out to every registered consumer: cache
+ * simulators (CacheSim and friends), the working-set statistics
+ * collector and the push-architecture model. This is how all the
+ * parameter sweeps (Figures 9/10, Tables 2/3/5-8) are produced.
+ */
+#ifndef MLTC_SIM_MULTI_CONFIG_RUNNER_HPP
+#define MLTC_SIM_MULTI_CONFIG_RUNNER_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cache_sim.hpp"
+#include "core/push_model.hpp"
+#include "sim/animation_driver.hpp"
+#include "trace/working_set_collector.hpp"
+
+namespace mltc {
+
+/** Everything measured for one frame across all registered consumers. */
+struct FrameRow
+{
+    int frame = 0;
+    FrameStats raster;                    ///< pipeline counters
+    std::vector<CacheFrameStats> sims;    ///< one per registered CacheSim
+    std::optional<FrameWorkingSet> working_sets;
+    uint64_t push_bytes = 0;              ///< oracle push memory (if enabled)
+};
+
+/** Per-frame observer; also receives the row after it is stored. */
+using RowCallback = std::function<void(const FrameRow &)>;
+
+/** Owns the consumers and runs the animation once. */
+class MultiConfigRunner
+{
+  public:
+    /**
+     * @param workload the scene/animation to drive (must outlive the
+     *        runner; its TextureManager is shared by all consumers)
+     * @param config frame count, filter, resolution
+     */
+    MultiConfigRunner(Workload &workload, const DriverConfig &config);
+
+    /** Register a cache simulator; returned reference stays valid. */
+    CacheSim &addSim(const CacheSimConfig &config, std::string label);
+
+    /** Register the working-set statistics collector (at most one). */
+    WorkingSetCollector &addWorkingSets(std::vector<uint32_t> l2_tiles,
+                                        std::vector<uint32_t> l1_tiles);
+
+    /** Register the push-architecture oracle model (at most one). */
+    PushArchitectureModel &addPushModel();
+
+    /**
+     * Attach an extra raw sink (e.g. SetAssocL2Sim); the caller handles
+     * its frame boundaries via the row callback.
+     */
+    void addExtraSink(TexelAccessSink *sink);
+
+    /** Run the animation; rows accumulate and @p cb fires per frame. */
+    void run(const RowCallback &cb = {});
+
+    /** All rows from the last run(). */
+    const std::vector<FrameRow> &rows() const { return rows_; }
+
+    /** Registered simulators, in registration order. */
+    const std::vector<std::unique_ptr<CacheSim>> &sims() const
+    {
+        return sims_;
+    }
+
+    /**
+     * Average per-frame host download bytes for simulator @p idx over
+     * the last run.
+     */
+    double averageHostBytesPerFrame(size_t idx) const;
+
+  private:
+    Workload &workload_;
+    DriverConfig config_;
+    std::vector<std::unique_ptr<CacheSim>> sims_;
+    std::unique_ptr<WorkingSetCollector> working_sets_;
+    std::unique_ptr<PushArchitectureModel> push_;
+    std::vector<TexelAccessSink *> extra_sinks_;
+    std::vector<FrameRow> rows_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_SIM_MULTI_CONFIG_RUNNER_HPP

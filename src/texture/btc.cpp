@@ -1,0 +1,135 @@
+#include "texture/btc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mltc {
+
+namespace {
+
+/** Integer luminance (Rec.601-ish weights scaled by 256). */
+uint32_t
+luminance(uint32_t texel)
+{
+    return 77u * channel(texel, 0) + 150u * channel(texel, 1) +
+           29u * channel(texel, 2);
+}
+
+} // namespace
+
+uint16_t
+packRgb565(uint8_t r, uint8_t g, uint8_t b)
+{
+    return static_cast<uint16_t>(((r >> 3) << 11) | ((g >> 2) << 5) |
+                                 (b >> 3));
+}
+
+uint32_t
+unpackRgb565(uint16_t c)
+{
+    // Expand with bit replication so white stays white.
+    uint32_t r5 = (c >> 11) & 0x1f;
+    uint32_t g6 = (c >> 5) & 0x3f;
+    uint32_t b5 = c & 0x1f;
+    uint8_t r = static_cast<uint8_t>((r5 << 3) | (r5 >> 2));
+    uint8_t g = static_cast<uint8_t>((g6 << 2) | (g6 >> 4));
+    uint8_t b = static_cast<uint8_t>((b5 << 3) | (b5 >> 2));
+    return packRgba(r, g, b);
+}
+
+BtcImage
+encodeBtc(const Image &img)
+{
+    if (img.width() < 4 || img.height() < 4)
+        throw std::invalid_argument("encodeBtc: image smaller than a block");
+
+    BtcImage out;
+    out.width = img.width();
+    out.height = img.height();
+    const uint32_t bw = img.width() / 4;
+    const uint32_t bh = img.height() / 4;
+    out.blocks.resize(static_cast<size_t>(bw) * bh);
+
+    for (uint32_t by = 0; by < bh; ++by) {
+        for (uint32_t bx = 0; bx < bw; ++bx) {
+            // Threshold on the block's mean luminance.
+            uint32_t texels[16];
+            uint64_t lum_sum = 0;
+            for (uint32_t i = 0; i < 16; ++i) {
+                texels[i] = img.texel(bx * 4 + (i & 3), by * 4 + (i >> 2));
+                lum_sum += luminance(texels[i]);
+            }
+            const uint64_t mean = lum_sum / 16;
+
+            uint16_t mask = 0;
+            uint32_t sum_lo[3] = {}, sum_hi[3] = {};
+            uint32_t n_lo = 0, n_hi = 0;
+            for (uint32_t i = 0; i < 16; ++i) {
+                if (luminance(texels[i]) > mean) {
+                    mask |= static_cast<uint16_t>(1u << i);
+                    for (int ch = 0; ch < 3; ++ch)
+                        sum_hi[ch] += channel(texels[i], ch);
+                    ++n_hi;
+                } else {
+                    for (int ch = 0; ch < 3; ++ch)
+                        sum_lo[ch] += channel(texels[i], ch);
+                    ++n_lo;
+                }
+            }
+
+            BtcBlock &blk = out.blocks[static_cast<size_t>(by) * bw + bx];
+            blk.mask = mask;
+            auto avg = [](uint32_t sum, uint32_t n) {
+                return static_cast<uint8_t>(n ? (sum + n / 2) / n : 0);
+            };
+            blk.color_lo = packRgb565(avg(sum_lo[0], n_lo),
+                                      avg(sum_lo[1], n_lo),
+                                      avg(sum_lo[2], n_lo));
+            blk.color_hi = n_hi ? packRgb565(avg(sum_hi[0], n_hi),
+                                             avg(sum_hi[1], n_hi),
+                                             avg(sum_hi[2], n_hi))
+                                : blk.color_lo;
+        }
+    }
+    return out;
+}
+
+Image
+decodeBtc(const BtcImage &compressed)
+{
+    Image out(compressed.width, compressed.height);
+    const uint32_t bw = compressed.width / 4;
+    for (uint32_t by = 0; by < compressed.height / 4; ++by) {
+        for (uint32_t bx = 0; bx < bw; ++bx) {
+            const BtcBlock &blk =
+                compressed.blocks[static_cast<size_t>(by) * bw + bx];
+            uint32_t lo = unpackRgb565(blk.color_lo);
+            uint32_t hi = unpackRgb565(blk.color_hi);
+            for (uint32_t i = 0; i < 16; ++i)
+                out.setTexel(bx * 4 + (i & 3), by * 4 + (i >> 2),
+                             (blk.mask >> i) & 1 ? hi : lo);
+        }
+    }
+    return out;
+}
+
+double
+meanAbsoluteError(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        throw std::invalid_argument("meanAbsoluteError: size mismatch");
+    uint64_t total = 0;
+    for (uint32_t y = 0; y < a.height(); ++y)
+        for (uint32_t x = 0; x < a.width(); ++x) {
+            uint32_t ta = a.texel(x, y), tb = b.texel(x, y);
+            for (int ch = 0; ch < 3; ++ch)
+                total += static_cast<uint64_t>(
+                    std::abs(static_cast<int>(channel(ta, ch)) -
+                             static_cast<int>(channel(tb, ch))));
+        }
+    return static_cast<double>(total) /
+           (3.0 * static_cast<double>(a.width()) *
+            static_cast<double>(a.height()));
+}
+
+} // namespace mltc

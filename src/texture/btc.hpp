@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Block Truncation Coding (BTC) texture compression — an extension.
+ *
+ * The paper stores textures in host memory at their "original depth"
+ * and expands to 32 bits in the cache (§3.2); contemporaries such as
+ * Talisman [26] leaned on compressed textures to stretch exactly the
+ * host-to-accelerator bandwidth this paper studies. This module
+ * implements a classic BTC variant: each 4x4 texel block is encoded as
+ * two RGB565 endpoint colors plus a 16-bit selector mask — 48 bits per
+ * block, i.e. **3 bits per texel**, a 10.7x reduction over 32-bit
+ * texels.
+ *
+ * The simulator only needs the *rate* (TextureManager tracks host bits
+ * per texel); the codec here is complete anyway so examples can render
+ * the decoded result and tests can bound the quality loss.
+ */
+#ifndef MLTC_TEXTURE_BTC_HPP
+#define MLTC_TEXTURE_BTC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "texture/image.hpp"
+
+namespace mltc {
+
+/** Bits per texel of the BTC encoding ((2 x 16 + 16) bits / 16). */
+constexpr uint32_t kBtcBitsPerTexel = 3;
+
+/** One encoded 4x4 block. */
+struct BtcBlock
+{
+    uint16_t color_lo = 0; ///< RGB565 endpoint for selector 0
+    uint16_t color_hi = 0; ///< RGB565 endpoint for selector 1
+    uint16_t mask = 0;     ///< one selector bit per texel, row-major
+};
+
+/** A BTC-compressed image (dimensions in texels, multiples of 4). */
+struct BtcImage
+{
+    uint32_t width = 0;
+    uint32_t height = 0;
+    std::vector<BtcBlock> blocks; ///< (width/4) * (height/4), row-major
+
+    /** Compressed size in bytes. */
+    size_t bytes() const { return blocks.size() * sizeof(BtcBlock); }
+};
+
+/** Pack an RGB888 color to RGB565. */
+uint16_t packRgb565(uint8_t r, uint8_t g, uint8_t b);
+
+/** Expand RGB565 back to a packed 32-bit texel (alpha = 255). */
+uint32_t unpackRgb565(uint16_t c);
+
+/**
+ * Encode @p img (power-of-two, >= 4x4) with per-block mean-threshold
+ * BTC over luminance; endpoints are the mean colors of each partition.
+ */
+BtcImage encodeBtc(const Image &img);
+
+/** Decode back to a 32-bit image. */
+Image decodeBtc(const BtcImage &compressed);
+
+/**
+ * Mean absolute per-channel error between two equal-size images
+ * (quality metric for tests).
+ */
+double meanAbsoluteError(const Image &a, const Image &b);
+
+} // namespace mltc
+
+#endif // MLTC_TEXTURE_BTC_HPP

@@ -1,0 +1,15 @@
+#include "texture/image.hpp"
+
+#include <stdexcept>
+
+namespace mltc {
+
+Image::Image(uint32_t width, uint32_t height, uint32_t fill)
+    : width_(width), height_(height),
+      data_(static_cast<size_t>(width) * height, fill)
+{
+    if (!isPowerOfTwo(width) || !isPowerOfTwo(height))
+        throw std::invalid_argument("Image: dimensions must be powers of two");
+}
+
+} // namespace mltc

@@ -1,0 +1,58 @@
+#include "texture/mip_pyramid.hpp"
+
+namespace mltc {
+
+namespace {
+
+/** Average a 2x2 quad of texels channelwise (rounding to nearest). */
+uint32_t
+boxFilter(uint32_t a, uint32_t b, uint32_t c, uint32_t d)
+{
+    uint32_t out = 0;
+    for (int ch = 0; ch < 4; ++ch) {
+        uint32_t sum = static_cast<uint32_t>(channel(a, ch)) + channel(b, ch) +
+                       channel(c, ch) + channel(d, ch);
+        out |= ((sum + 2) / 4) << (8 * ch);
+    }
+    return out;
+}
+
+Image
+downsample(const Image &src)
+{
+    uint32_t w = src.width() > 1 ? src.width() / 2 : 1;
+    uint32_t h = src.height() > 1 ? src.height() / 2 : 1;
+    Image dst(w, h);
+    for (uint32_t y = 0; y < h; ++y) {
+        for (uint32_t x = 0; x < w; ++x) {
+            uint32_t sx = src.width() > 1 ? 2 * x : x;
+            uint32_t sy = src.height() > 1 ? 2 * y : y;
+            uint32_t sx1 = src.width() > 1 ? sx + 1 : sx;
+            uint32_t sy1 = src.height() > 1 ? sy + 1 : sy;
+            dst.setTexel(x, y,
+                         boxFilter(src.texel(sx, sy), src.texel(sx1, sy),
+                                   src.texel(sx, sy1), src.texel(sx1, sy1)));
+        }
+    }
+    return dst;
+}
+
+} // namespace
+
+MipPyramid::MipPyramid(Image base)
+{
+    levels_.push_back(std::move(base));
+    while (levels_.back().width() > 1 || levels_.back().height() > 1)
+        levels_.push_back(downsample(levels_.back()));
+}
+
+uint64_t
+MipPyramid::totalTexels() const
+{
+    uint64_t total = 0;
+    for (const auto &img : levels_)
+        total += static_cast<uint64_t>(img.width()) * img.height();
+    return total;
+}
+
+} // namespace mltc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * MIP pyramid (Williams [31]): a chain of images, each a 2x2 box-filtered
+ * quarter of the previous, down to 1x1.
+ */
+#ifndef MLTC_TEXTURE_MIP_PYRAMID_HPP
+#define MLTC_TEXTURE_MIP_PYRAMID_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "texture/image.hpp"
+
+namespace mltc {
+
+/**
+ * Full MIP chain for one texture. Level 0 is the base (highest
+ * resolution); level levels()-1 is 1x1 (for square textures) or the
+ * smallest level where the larger dimension reaches 1.
+ */
+class MipPyramid
+{
+  public:
+    MipPyramid() = default;
+
+    /** Build the chain from the base image by repeated box filtering. */
+    explicit MipPyramid(Image base);
+
+    /** Number of levels (>= 1). */
+    uint32_t levels() const { return static_cast<uint32_t>(levels_.size()); }
+
+    /** Image for level @p m (0 = base). */
+    const Image &
+    level(uint32_t m) const
+    {
+        assert(m < levels_.size());
+        return levels_[m];
+    }
+
+    /** Base width. */
+    uint32_t width() const { return levels_.empty() ? 0 : levels_[0].width(); }
+
+    /** Base height. */
+    uint32_t
+    height() const
+    {
+        return levels_.empty() ? 0 : levels_[0].height();
+    }
+
+    /** Total texels summed over all levels. */
+    uint64_t totalTexels() const;
+
+    /** Total bytes at 32 bits per texel, summed over all levels. */
+    uint64_t
+    totalBytes() const
+    {
+        return totalTexels() * 4;
+    }
+
+  private:
+    std::vector<Image> levels_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_TEXTURE_MIP_PYRAMID_HPP

@@ -1,0 +1,337 @@
+#include "texture/procedural.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/vec.hpp"
+
+namespace mltc {
+
+namespace {
+
+/** Stateless 2D lattice hash -> [0, 1). */
+float
+latticeHash(uint32_t x, uint32_t y, uint64_t seed)
+{
+    uint64_t h = seed;
+    h ^= (static_cast<uint64_t>(x) << 32) | y;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return static_cast<float>(h >> 40) * 0x1.0p-24f;
+}
+
+float
+smoothstep(float t)
+{
+    return t * t * (3.0f - 2.0f * t);
+}
+
+/** Single-octave tiling value noise at integer texel coords. */
+float
+valueNoise(float x, float y, uint32_t period, uint64_t seed)
+{
+    float fx = std::floor(x), fy = std::floor(y);
+    uint32_t ix = static_cast<uint32_t>(static_cast<int64_t>(fx)) & (period - 1);
+    uint32_t iy = static_cast<uint32_t>(static_cast<int64_t>(fy)) & (period - 1);
+    uint32_t ix1 = (ix + 1) & (period - 1);
+    uint32_t iy1 = (iy + 1) & (period - 1);
+    float tx = smoothstep(x - fx);
+    float ty = smoothstep(y - fy);
+    float a = latticeHash(ix, iy, seed);
+    float b = latticeHash(ix1, iy, seed);
+    float c = latticeHash(ix, iy1, seed);
+    float d = latticeHash(ix1, iy1, seed);
+    return lerp(lerp(a, b, tx), lerp(c, d, tx), ty);
+}
+
+uint32_t
+shade(Vec3 color, float scale, float alpha = 1.0f)
+{
+    auto to8 = [](float v) {
+        return static_cast<uint8_t>(clampf(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+    };
+    return packRgba(to8(color.x * scale), to8(color.y * scale),
+                    to8(color.z * scale), to8(alpha));
+}
+
+} // namespace
+
+float
+fractalNoise(int32_t x, int32_t y, uint32_t period, uint64_t seed, int octaves)
+{
+    float sum = 0.0f, amp = 0.5f, total = 0.0f;
+    float fx = static_cast<float>(x), fy = static_cast<float>(y);
+    float freq = 1.0f / 32.0f;
+    uint32_t p = std::max<uint32_t>(period / 32, 2);
+    for (int o = 0; o < octaves; ++o) {
+        sum += amp * valueNoise(fx * freq, fy * freq, p,
+                                seed + static_cast<uint64_t>(o) * 0x9e37u);
+        total += amp;
+        amp *= 0.5f;
+        freq *= 2.0f;
+        p = std::min(p * 2, period);
+    }
+    return total > 0.0f ? sum / total : 0.0f;
+}
+
+Image
+makeChecker(uint32_t size, uint32_t cell, uint32_t color_a, uint32_t color_b)
+{
+    Image img(size, size);
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x)
+            img.setTexel(x, y,
+                         (((x / cell) + (y / cell)) & 1) ? color_b : color_a);
+    return img;
+}
+
+Image
+makeBrickWall(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    const uint32_t brick_h = std::max(size / 16, 4u);
+    const uint32_t brick_w = brick_h * 2;
+    const uint32_t mortar = std::max(brick_h / 6, 1u);
+    const Vec3 brick{0.62f, 0.27f, 0.20f};
+    const Vec3 mortar_c{0.72f, 0.70f, 0.66f};
+    for (uint32_t y = 0; y < size; ++y) {
+        uint32_t row = y / brick_h;
+        uint32_t stagger = (row & 1) ? brick_w / 2 : 0;
+        for (uint32_t x = 0; x < size; ++x) {
+            uint32_t bx = (x + stagger) % size;
+            bool in_mortar =
+                (y % brick_h) < mortar || (bx % brick_w) < mortar;
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed);
+            if (in_mortar) {
+                img.setTexel(x, y, shade(mortar_c, 0.8f + 0.2f * n));
+            } else {
+                // Per-brick color jitter keyed on the brick's lattice cell.
+                float jitter =
+                    latticeHash((x + stagger) / brick_w, row, seed ^ 0xb51cull);
+                float s = 0.75f + 0.25f * jitter + 0.15f * (n - 0.5f);
+                img.setTexel(x, y, shade(brick, s));
+            }
+        }
+    }
+    return img;
+}
+
+Image
+makeRoofShingles(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    const uint32_t row_h = std::max(size / 12, 4u);
+    const uint32_t shingle_w = row_h * 2;
+    const Vec3 base{0.35f, 0.23f, 0.18f};
+    for (uint32_t y = 0; y < size; ++y) {
+        uint32_t row = y / row_h;
+        uint32_t stagger = (row & 1) ? shingle_w / 2 : 0;
+        float row_fade = 1.0f - 0.35f * (static_cast<float>(y % row_h) /
+                                         static_cast<float>(row_h));
+        for (uint32_t x = 0; x < size; ++x) {
+            float jitter =
+                latticeHash((x + stagger) / shingle_w, row, seed ^ 0x5511ull);
+            bool gap = ((x + stagger) % shingle_w) <
+                       std::max(shingle_w / 16, 1u);
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 3);
+            float s = gap ? 0.4f : (0.7f + 0.3f * jitter) * row_fade +
+                                       0.1f * (n - 0.5f);
+            img.setTexel(x, y, shade(base, s + 0.3f));
+        }
+    }
+    return img;
+}
+
+Image
+makeGrass(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 5);
+            float patch = fractalNoise(static_cast<int32_t>(x),
+                                       static_cast<int32_t>(y), size,
+                                       seed ^ 0x6a5aull, 2);
+            Vec3 green = lerp(Vec3{0.18f, 0.42f, 0.12f},
+                              Vec3{0.35f, 0.52f, 0.20f}, patch);
+            img.setTexel(x, y, shade(green, 0.75f + 0.5f * (n - 0.5f)));
+        }
+    return img;
+}
+
+Image
+makeDirt(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 5);
+            Vec3 c = lerp(Vec3{0.45f, 0.35f, 0.22f}, Vec3{0.6f, 0.5f, 0.35f}, n);
+            img.setTexel(x, y, shade(c, 1.0f));
+        }
+    return img;
+}
+
+Image
+makeRoad(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    const uint32_t line_half = std::max(size / 64, 1u);
+    const uint32_t dash = size / 8;
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 4);
+            uint32_t mid = size / 2;
+            bool on_line = (x >= mid - line_half && x <= mid + line_half) &&
+                           ((y / dash) & 1) == 0;
+            Vec3 c = on_line ? Vec3{0.85f, 0.8f, 0.3f}
+                             : Vec3{0.25f, 0.25f, 0.27f};
+            img.setTexel(x, y, shade(c, 0.8f + 0.4f * (n - 0.5f)));
+        }
+    return img;
+}
+
+Image
+makeFacade(uint32_t size, uint64_t seed, uint32_t stories, uint32_t columns)
+{
+    Image img(size, size);
+    stories = std::max(stories, 1u);
+    columns = std::max(columns, 1u);
+    const uint32_t cell_h = size / stories;
+    const uint32_t cell_w = size / columns;
+    const Vec3 wall = lerp(Vec3{0.55f, 0.53f, 0.5f}, Vec3{0.7f, 0.65f, 0.55f},
+                           latticeHash(0, 0, seed));
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            uint32_t cx = x / cell_w, cy = y / cell_h;
+            uint32_t lx = x % cell_w, ly = y % cell_h;
+            // Window occupies the middle ~55% of each grid cell.
+            bool in_window = lx > cell_w / 4 && lx < cell_w * 3 / 4 &&
+                             ly > cell_h / 4 && ly < cell_h * 3 / 4;
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 3);
+            if (in_window) {
+                bool lit = latticeHash(cx, cy, seed ^ 0x11full) > 0.7f;
+                Vec3 c = lit ? Vec3{0.95f, 0.85f, 0.4f}
+                             : Vec3{0.15f, 0.2f, 0.3f};
+                img.setTexel(x, y, shade(c, 0.9f + 0.2f * (n - 0.5f)));
+            } else {
+                img.setTexel(x, y, shade(wall, 0.85f + 0.3f * (n - 0.5f)));
+            }
+        }
+    return img;
+}
+
+Image
+makeSky(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    for (uint32_t y = 0; y < size; ++y) {
+        float t = static_cast<float>(y) / static_cast<float>(size);
+        Vec3 grad = lerp(Vec3{0.35f, 0.55f, 0.9f}, Vec3{0.75f, 0.85f, 0.95f}, t);
+        for (uint32_t x = 0; x < size; ++x) {
+            float clouds = fractalNoise(static_cast<int32_t>(x),
+                                        static_cast<int32_t>(y), size, seed, 5);
+            float cloud_mask = clampf((clouds - 0.55f) * 4.0f, 0.0f, 1.0f);
+            Vec3 c = lerp(grad, Vec3{1.0f, 1.0f, 1.0f}, cloud_mask);
+            img.setTexel(x, y, shade(c, 1.0f));
+        }
+    }
+    return img;
+}
+
+Image
+makeWoodPlanks(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    const uint32_t plank_w = std::max(size / 8, 4u);
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            uint32_t plank = x / plank_w;
+            float jitter = latticeHash(plank, 0, seed);
+            // Grain: stretched noise along y.
+            float grain = valueNoise(static_cast<float>(x) * 0.5f,
+                                     static_cast<float>(y) * 0.04f,
+                                     std::max(size / 8, 2u), seed ^ plank);
+            bool joint = (x % plank_w) < std::max(plank_w / 12, 1u);
+            Vec3 wood = lerp(Vec3{0.45f, 0.3f, 0.15f},
+                             Vec3{0.6f, 0.42f, 0.22f}, jitter);
+            float s = joint ? 0.5f : 0.8f + 0.3f * (grain - 0.5f);
+            img.setTexel(x, y, shade(wood, s));
+        }
+    return img;
+}
+
+Image
+makeStone(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    const uint32_t block = std::max(size / 8, 4u);
+    for (uint32_t y = 0; y < size; ++y) {
+        uint32_t row = y / block;
+        uint32_t stagger = (row & 1) ? block / 2 : 0;
+        for (uint32_t x = 0; x < size; ++x) {
+            float jitter =
+                latticeHash((x + stagger) / block, row, seed ^ 0x57ull);
+            bool joint = (y % block) < std::max(block / 10, 1u) ||
+                         ((x + stagger) % block) < std::max(block / 10, 1u);
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 4);
+            Vec3 stone = lerp(Vec3{0.5f, 0.5f, 0.48f}, Vec3{0.65f, 0.62f, 0.58f},
+                              jitter);
+            float s = joint ? 0.45f : 0.8f + 0.4f * (n - 0.5f);
+            img.setTexel(x, y, shade(stone, s));
+        }
+    }
+    return img;
+}
+
+Image
+makeFoliage(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    float half = static_cast<float>(size) * 0.5f;
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            float dx = (static_cast<float>(x) - half) / half;
+            float dy = (static_cast<float>(y) - half) / half;
+            float r = std::sqrt(dx * dx + dy * dy);
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 5);
+            // Canopy: noisy disc; alpha = 0 outside.
+            bool leaf = r + 0.4f * (n - 0.5f) < 0.85f;
+            Vec3 green = lerp(Vec3{0.1f, 0.3f, 0.08f}, Vec3{0.3f, 0.5f, 0.15f},
+                              n);
+            img.setTexel(x, y,
+                         leaf ? shade(green, 1.0f) : packRgba(0, 0, 0, 0));
+        }
+    return img;
+}
+
+Image
+makePlaster(uint32_t size, uint64_t seed)
+{
+    Image img(size, size);
+    Vec3 base = lerp(Vec3{0.85f, 0.8f, 0.7f}, Vec3{0.9f, 0.88f, 0.8f},
+                     latticeHash(1, 1, seed));
+    for (uint32_t y = 0; y < size; ++y)
+        for (uint32_t x = 0; x < size; ++x) {
+            float n = fractalNoise(static_cast<int32_t>(x),
+                                   static_cast<int32_t>(y), size, seed, 5);
+            float stain = fractalNoise(static_cast<int32_t>(x),
+                                       static_cast<int32_t>(y), size,
+                                       seed ^ 0xdeadull, 2);
+            float s = 0.9f + 0.2f * (n - 0.5f) - 0.15f * stain * stain;
+            img.setTexel(x, y, shade(base, s));
+        }
+    return img;
+}
+
+} // namespace mltc

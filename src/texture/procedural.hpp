@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Procedural texture synthesis.
+ *
+ * The paper's workloads use proprietary artwork (E&S Village, UCLA City).
+ * We substitute deterministic procedural textures with comparable sizes
+ * and visual structure: brick, roof shingles, grass/dirt ground, roads,
+ * building facades with window grids, wood, stone, foliage and sky. The
+ * cache study only depends on texture *sizes and mappings*, not pixel
+ * content, but real content keeps the rendered examples interpretable
+ * (Figure 12 style snapshots).
+ */
+#ifndef MLTC_TEXTURE_PROCEDURAL_HPP
+#define MLTC_TEXTURE_PROCEDURAL_HPP
+
+#include <cstdint>
+
+#include "texture/image.hpp"
+
+namespace mltc {
+
+/**
+ * Deterministic 2D value noise with fractal octaves; output in [0, 1].
+ * Tiles with period @p period (power of two).
+ */
+float fractalNoise(int32_t x, int32_t y, uint32_t period, uint64_t seed,
+                   int octaves = 4);
+
+/** Simple two-color checkerboard with @p cell texel squares. */
+Image makeChecker(uint32_t size, uint32_t cell, uint32_t color_a,
+                  uint32_t color_b);
+
+/** Brick wall: staggered courses with mortar joints, color jitter. */
+Image makeBrickWall(uint32_t size, uint64_t seed);
+
+/** Roof shingles: overlapping rows with per-shingle shading. */
+Image makeRoofShingles(uint32_t size, uint64_t seed);
+
+/** Grass / meadow ground: green noise with patchiness. */
+Image makeGrass(uint32_t size, uint64_t seed);
+
+/** Packed dirt / gravel path. */
+Image makeDirt(uint32_t size, uint64_t seed);
+
+/** Asphalt road with center line markings. */
+Image makeRoad(uint32_t size, uint64_t seed);
+
+/**
+ * Building facade: a grid of windows on a wall color; some windows lit.
+ * @p stories and @p columns control the window grid.
+ */
+Image makeFacade(uint32_t size, uint64_t seed, uint32_t stories,
+                 uint32_t columns);
+
+/** Vertical sky gradient with noise clouds. */
+Image makeSky(uint32_t size, uint64_t seed);
+
+/** Wood planks with grain. */
+Image makeWoodPlanks(uint32_t size, uint64_t seed);
+
+/** Rough stone blocks. */
+Image makeStone(uint32_t size, uint64_t seed);
+
+/** Leafy foliage for tree billboards (alpha marks gaps). */
+Image makeFoliage(uint32_t size, uint64_t seed);
+
+/** Plastered wall with subtle stains. */
+Image makePlaster(uint32_t size, uint64_t seed);
+
+} // namespace mltc
+
+#endif // MLTC_TEXTURE_PROCEDURAL_HPP

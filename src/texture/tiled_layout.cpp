@@ -1,0 +1,57 @@
+#include "texture/tiled_layout.hpp"
+
+#include <stdexcept>
+
+namespace mltc {
+
+TiledLayout::TiledLayout(uint32_t width, uint32_t height, uint32_t levels,
+                         TileSpec spec)
+    : spec_(spec)
+{
+    if (!isPowerOfTwo(width) || !isPowerOfTwo(height))
+        throw std::invalid_argument("TiledLayout: non-power-of-two texture");
+    if (!isPowerOfTwo(spec.l2_tile) || !isPowerOfTwo(spec.l1_tile) ||
+        spec.l1_tile == 0 || spec.l2_tile < spec.l1_tile)
+        throw std::invalid_argument("TiledLayout: bad tile spec");
+    if (levels == 0)
+        throw std::invalid_argument("TiledLayout: zero levels");
+
+    l2_shift_ = log2u(spec.l2_tile);
+    l1_shift_ = log2u(spec.l1_tile);
+    l2_mask_ = spec.l2_tile - 1;
+    sub_shift_ = log2u(spec.l2_tile / spec.l1_tile);
+
+    tiles_x_.resize(levels);
+    tiles_y_.resize(levels);
+    level_base_.resize(levels);
+
+    for (uint32_t m = 0; m < levels; ++m) {
+        uint32_t w = width >> m;
+        uint32_t h = height >> m;
+        if (w == 0) w = 1;
+        if (h == 0) h = 1;
+        tiles_x_[m] = (w + spec.l2_tile - 1) >> l2_shift_;
+        tiles_y_[m] = (h + spec.l2_tile - 1) >> l2_shift_;
+    }
+
+    // L2 blocks are numbered from the lowest-resolution level upward
+    // (Figure 2): the smallest level owns block 0. Morton layouts pad
+    // each level to a power-of-two square grid so interleaved codes are
+    // unique (sparse numbering is fine there: Morton layouts are used
+    // for cache tags, not page-table allocation).
+    uint32_t next = 0;
+    for (uint32_t m = levels; m-- > 0;) {
+        level_base_[m] = next;
+        if (spec.morton) {
+            uint32_t p = 1;
+            while (p < tiles_x_[m] || p < tiles_y_[m])
+                p <<= 1;
+            next += p * p;
+        } else {
+            next += tiles_x_[m] * tiles_y_[m];
+        }
+    }
+    total_l2_blocks_ = next;
+}
+
+} // namespace mltc

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Hierarchical texture tiling and the virtual texture block address
+ * <tid, L2, L1> of the paper's Figure 2.
+ *
+ * Each MIP level of a texture is partitioned into L2 tiles; each L2 tile
+ * into L1 sub-tiles. Within a texture, L2 block numbers are assigned
+ * sequentially from the first block of the *lowest-resolution* MIP level
+ * to the last block of the highest-resolution level, and each level
+ * starts a new L2 block. L1 sub-blocks are numbered only within their
+ * parent L2 block. Translation from <u, v, m> is a handful of shifts and
+ * adds plus a per-level base-table lookup, exactly as §2.2 promises.
+ */
+#ifndef MLTC_TEXTURE_TILED_LAYOUT_HPP
+#define MLTC_TEXTURE_TILED_LAYOUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "texture/image.hpp"
+
+namespace mltc {
+
+/** Texture id assigned by TextureManager. */
+using TextureId = uint32_t;
+
+/** Tiling parameters: L2 and L1 tile edge lengths in texels. */
+struct TileSpec
+{
+    uint32_t l2_tile = 16; ///< L2 tile edge (8, 16 or 32 in the paper)
+    uint32_t l1_tile = 4;  ///< L1 tile edge (4 or 8 in the paper)
+    /**
+     * Morton (bit-interleaved) block numbering within each MIP level
+     * instead of row-major. Combined with Morton L1 sub-block numbering
+     * this realises Hakura's "6D blocked representation": the linearised
+     * block index of a tile equals the Morton code of its global tile
+     * coordinates, so 2D tile regions spread perfectly over cache sets.
+     * Used for L1 tag/index computation; the L2 page table keeps dense
+     * row-major numbering (per-level padding would waste table entries).
+     */
+    bool morton = false;
+
+    /** L1 sub-blocks per L2 block. */
+    constexpr uint32_t
+    l1PerL2() const
+    {
+        uint32_t per_edge = l2_tile / l1_tile;
+        return per_edge * per_edge;
+    }
+
+    /** Bytes of one L1 tile at 32-bit texels. */
+    constexpr uint32_t l1TileBytes() const { return l1_tile * l1_tile * 4; }
+
+    /** Bytes of one L2 tile at 32-bit texels. */
+    constexpr uint32_t l2TileBytes() const { return l2_tile * l2_tile * 4; }
+
+    /** Dense key for layout caching. */
+    constexpr uint32_t
+    key() const
+    {
+        return (static_cast<uint32_t>(morton) << 16) | (l2_tile << 8) |
+               l1_tile;
+    }
+
+    constexpr bool
+    operator==(const TileSpec &o) const
+    {
+        return l2_tile == o.l2_tile && l1_tile == o.l1_tile &&
+               morton == o.morton;
+    }
+};
+
+/** Interleave the low 16 bits of x and y (Morton/Z-order code). */
+constexpr uint32_t
+mortonInterleave(uint32_t x, uint32_t y)
+{
+    auto spread = [](uint32_t v) constexpr {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff00ff;
+        v = (v | (v << 4)) & 0x0f0f0f0f;
+        v = (v | (v << 2)) & 0x33333333;
+        v = (v | (v << 1)) & 0x55555555;
+        return v;
+    };
+    return spread(x) | (spread(y) << 1);
+}
+
+/** Virtual texture block address <tid, L2, L1>. */
+struct VirtualBlock
+{
+    TextureId tid = 0;
+    uint32_t l2_block = 0; ///< L2 block number within the texture
+    uint32_t l1_sub = 0;   ///< L1 sub-block number within the L2 block
+
+    constexpr bool
+    operator==(const VirtualBlock &o) const
+    {
+        return tid == o.tid && l2_block == o.l2_block && l1_sub == o.l1_sub;
+    }
+};
+
+/**
+ * Pack a virtual block into a 64-bit key (tid:32 | L2:24 | L1:8) for use
+ * as an L1 cache tag and in hash sets.
+ */
+constexpr uint64_t
+packBlock(const VirtualBlock &b)
+{
+    return (static_cast<uint64_t>(b.tid) << 32) |
+           (static_cast<uint64_t>(b.l2_block) << 8) |
+           static_cast<uint64_t>(b.l1_sub);
+}
+
+/** Inverse of packBlock. */
+constexpr VirtualBlock
+unpackBlock(uint64_t key)
+{
+    return {static_cast<TextureId>(key >> 32),
+            static_cast<uint32_t>((key >> 8) & 0xffffff),
+            static_cast<uint32_t>(key & 0xff)};
+}
+
+/** Drop the L1 sub-block: key of the containing L2 block. */
+constexpr uint64_t
+l2KeyOf(uint64_t block_key)
+{
+    return block_key & ~0xffull;
+}
+
+/**
+ * Precomputed tiling of one texture's MIP pyramid under one TileSpec.
+ *
+ * Immutable after construction; all per-texel queries are O(1).
+ */
+class TiledLayout
+{
+  public:
+    /**
+     * Build the layout for a @p width x @p height power-of-two texture
+     * with @p levels MIP levels under @p spec.
+     */
+    TiledLayout(uint32_t width, uint32_t height, uint32_t levels,
+                TileSpec spec);
+
+    /** The tiling parameters this layout was built with. */
+    const TileSpec &spec() const { return spec_; }
+
+    /** Number of MIP levels covered. */
+    uint32_t levels() const { return static_cast<uint32_t>(tiles_x_.size()); }
+
+    /** Total number of L2 blocks across all levels (the paper's tlen). */
+    uint32_t totalL2Blocks() const { return total_l2_blocks_; }
+
+    /** First L2 block number of level @p m (0 = base level). */
+    uint32_t
+    levelBase(uint32_t m) const
+    {
+        return level_base_[m];
+    }
+
+    /** L2 tiles across level @p m. */
+    uint32_t tilesX(uint32_t m) const { return tiles_x_[m]; }
+
+    /** L2 tiles down level @p m. */
+    uint32_t tilesY(uint32_t m) const { return tiles_y_[m]; }
+
+    /**
+     * Virtual block containing texel (x, y) of MIP level @p m.
+     * Coordinates must lie within the level.
+     */
+    VirtualBlock
+    blockOf(TextureId tid, uint32_t x, uint32_t y, uint32_t m) const
+    {
+        uint32_t tx = x >> l2_shift_;
+        uint32_t ty = y >> l2_shift_;
+        uint32_t lx = (x & l2_mask_) >> l1_shift_;
+        uint32_t ly = (y & l2_mask_) >> l1_shift_;
+        uint32_t l2, l1;
+        if (spec_.morton) {
+            l2 = level_base_[m] + mortonInterleave(tx, ty);
+            l1 = mortonInterleave(lx, ly);
+        } else {
+            l2 = level_base_[m] + ty * tiles_x_[m] + tx;
+            l1 = (ly << sub_shift_) + lx;
+        }
+        return {tid, l2, l1};
+    }
+
+    /** Packed key form of blockOf (fast path for the simulator). */
+    uint64_t
+    blockKeyOf(TextureId tid, uint32_t x, uint32_t y, uint32_t m) const
+    {
+        VirtualBlock b = blockOf(tid, x, y, m);
+        return (static_cast<uint64_t>(tid) << 32) |
+               (static_cast<uint64_t>(b.l2_block) << 8) |
+               static_cast<uint64_t>(b.l1_sub);
+    }
+
+  private:
+    TileSpec spec_;
+    uint32_t l2_shift_;  ///< log2(l2_tile)
+    uint32_t l1_shift_;  ///< log2(l1_tile)
+    uint32_t l2_mask_;   ///< l2_tile - 1
+    uint32_t sub_shift_; ///< log2(l2_tile / l1_tile)
+    uint32_t total_l2_blocks_ = 0;
+    std::vector<uint32_t> level_base_; ///< first L2 block per level
+    std::vector<uint32_t> tiles_x_;    ///< L2 tiles across, per level
+    std::vector<uint32_t> tiles_y_;    ///< L2 tiles down, per level
+};
+
+} // namespace mltc
+
+#endif // MLTC_TEXTURE_TILED_LAYOUT_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Open-addressing hash set of 64-bit keys, tuned for the access-trace
+ * hot path: tens of millions of inserts per frame with O(1) clearing.
+ *
+ * Clearing uses epoch stamping (no memset of the key array), and probing
+ * is linear with a strong 64-bit mix, so per-frame reuse is cheap.
+ */
+#ifndef MLTC_TRACE_FLAT_SET_HPP
+#define MLTC_TRACE_FLAT_SET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mltc {
+
+/** Insert-only hash set of uint64 keys with epoch-based clear. */
+class FlatSet64
+{
+  public:
+    /** @param initial_capacity rounded up to a power of two (>= 64). */
+    explicit FlatSet64(size_t initial_capacity = 1024)
+    {
+        size_t cap = 64;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        keys_.resize(cap);
+        epochs_.resize(cap, 0);
+        mask_ = cap - 1;
+    }
+
+    /** Number of keys inserted since the last clear(). */
+    size_t size() const { return size_; }
+
+    /** Remove all keys in O(1) (amortised; epoch wrap handled). */
+    void
+    clear()
+    {
+        ++epoch_;
+        size_ = 0;
+        if (epoch_ == 0) { // wrapped: hard reset the stamps
+            std::fill(epochs_.begin(), epochs_.end(), 0);
+            epoch_ = 1;
+        }
+    }
+
+    /**
+     * Insert @p key.
+     * @return true when the key was not already present.
+     */
+    bool
+    insert(uint64_t key)
+    {
+        if (size_ + (size_ >> 2) >= capacity())
+            grow();
+        size_t i = mix(key) & mask_;
+        while (epochs_[i] == epoch_) {
+            if (keys_[i] == key)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        keys_[i] = key;
+        epochs_[i] = epoch_;
+        ++size_;
+        return true;
+    }
+
+    /** True when @p key is present. */
+    bool
+    contains(uint64_t key) const
+    {
+        size_t i = mix(key) & mask_;
+        while (epochs_[i] == epoch_) {
+            if (keys_[i] == key)
+                return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** Apply @p fn to every key currently in the set. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t i = 0; i < keys_.size(); ++i)
+            if (epochs_[i] == epoch_)
+                fn(keys_[i]);
+    }
+
+    /** Current bucket capacity. */
+    size_t capacity() const { return keys_.size(); }
+
+  private:
+    static size_t
+    mix(uint64_t key)
+    {
+        key ^= key >> 33;
+        key *= 0xff51afd7ed558ccdull;
+        key ^= key >> 33;
+        return static_cast<size_t>(key);
+    }
+
+    void
+    grow()
+    {
+        FlatSet64 bigger(capacity() * 2);
+        forEach([&](uint64_t k) { bigger.insert(k); });
+        *this = std::move(bigger);
+    }
+
+    std::vector<uint64_t> keys_;
+    std::vector<uint32_t> epochs_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+    uint32_t epoch_ = 1;
+};
+
+} // namespace mltc
+
+#endif // MLTC_TRACE_FLAT_SET_HPP

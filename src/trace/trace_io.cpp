@@ -1,0 +1,135 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mltc {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'T', 'C', 'T', 'R', 'C', '1'};
+
+enum Opcode : uint8_t { kBind = 1, kAccess = 2, kEndFrame = 3 };
+
+void
+writeU32(std::FILE *f, uint32_t v)
+{
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1)
+        throw std::runtime_error("trace write failed");
+}
+
+bool
+readU32(std::FILE *f, uint32_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        throw std::runtime_error("TraceWriter: cannot open " + path);
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, file_) != 1)
+        throw std::runtime_error("TraceWriter: header write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void
+TraceWriter::bindTexture(TextureId tid)
+{
+    uint8_t op = kBind;
+    std::fwrite(&op, 1, 1, file_);
+    writeU32(file_, tid);
+}
+
+void
+TraceWriter::access(uint32_t x, uint32_t y, uint32_t mip)
+{
+    uint8_t op = kAccess;
+    std::fwrite(&op, 1, 1, file_);
+    writeU32(file_, x);
+    writeU32(file_, y);
+    writeU32(file_, mip);
+}
+
+void
+TraceWriter::endFrame()
+{
+    uint8_t op = kEndFrame;
+    std::fwrite(&op, 1, 1, file_);
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        throw std::runtime_error("TraceReader: cannot open " + path);
+    char magic[8];
+    if (std::fread(magic, sizeof(magic), 1, file_) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("TraceReader: bad magic in " + path);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::replayFrame(TexelAccessSink &sink)
+{
+    bool any = false;
+    uint8_t op = 0;
+    while (std::fread(&op, 1, 1, file_) == 1) {
+        any = true;
+        switch (op) {
+          case kBind: {
+            uint32_t tid;
+            if (!readU32(file_, tid))
+                throw std::runtime_error("TraceReader: truncated bind");
+            sink.bindTexture(tid);
+            break;
+          }
+          case kAccess: {
+            uint32_t x, y, mip;
+            if (!readU32(file_, x) || !readU32(file_, y) ||
+                !readU32(file_, mip))
+                throw std::runtime_error("TraceReader: truncated access");
+            sink.access(x, y, mip);
+            break;
+          }
+          case kEndFrame:
+            return true;
+          default:
+            throw std::runtime_error("TraceReader: bad opcode");
+        }
+    }
+    return any;
+}
+
+uint64_t
+TraceReader::replayAll(TexelAccessSink &sink)
+{
+    uint64_t frames = 0;
+    while (replayFrame(sink))
+        ++frames;
+    return frames;
+}
+
+} // namespace mltc

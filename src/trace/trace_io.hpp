@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary texel-access trace recording and replay.
+ *
+ * Lets a workload be rasterized once and the resulting access stream be
+ * replayed into any number of cache configurations later (trace-driven
+ * simulation, as the paper's methodology is). Traces of full animations
+ * are large, so this is primarily used for short test clips and for
+ * decoupling unit tests from the rasterizer.
+ */
+#ifndef MLTC_TRACE_TRACE_IO_HPP
+#define MLTC_TRACE_TRACE_IO_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "raster/access_sink.hpp"
+
+namespace mltc {
+
+/** Sink that serialises the access stream to a file. */
+class TraceWriter final : public TexelAccessSink
+{
+  public:
+    /** Open @p path; throws std::runtime_error on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void bindTexture(TextureId tid) override;
+    void access(uint32_t x, uint32_t y, uint32_t mip) override;
+
+    /** Mark a frame boundary. */
+    void endFrame();
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+/** Replays a recorded trace into a sink. */
+class TraceReader
+{
+  public:
+    /** Open @p path; throws std::runtime_error on failure or bad magic. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Replay events into @p sink until the next frame boundary or end of
+     * trace.
+     * @return true when a frame was delivered, false at end of trace.
+     */
+    bool replayFrame(TexelAccessSink &sink);
+
+    /** Replay the whole trace; @return number of frames delivered. */
+    uint64_t replayAll(TexelAccessSink &sink);
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace mltc
+
+#endif // MLTC_TRACE_TRACE_IO_HPP

@@ -1,0 +1,115 @@
+#include "trace/working_set_collector.hpp"
+
+namespace mltc {
+
+WorkingSetCollector::WorkingSetCollector(TextureManager &textures,
+                                         std::vector<uint32_t> l2_tiles,
+                                         std::vector<uint32_t> l1_tiles)
+    : textures_(textures)
+{
+    for (uint32_t t : l2_tiles) {
+        Tracker tr;
+        tr.tile = t;
+        tr.is_l2 = true;
+        trackers_.push_back(std::move(tr));
+    }
+    for (uint32_t t : l1_tiles) {
+        Tracker tr;
+        tr.tile = t;
+        tr.is_l2 = false;
+        trackers_.push_back(std::move(tr));
+    }
+}
+
+void
+WorkingSetCollector::bindTexture(TextureId tid)
+{
+    bound_ = tid;
+    for (auto &tr : trackers_) {
+        // L2 trackers tile by the L2 size (L1 granularity is irrelevant
+        // for block counting); L1 trackers use the paper's fixed 16x16
+        // L2 granulation with the tracked L1 tile.
+        TileSpec spec = tr.is_l2 ? TileSpec{tr.tile, 4}
+                                 : TileSpec{16, tr.tile};
+        if (spec.l1_tile > spec.l2_tile)
+            spec.l2_tile = spec.l1_tile;
+        tr.layout = &textures_.layout(tid, spec);
+        tr.last_key = ~0ull;
+    }
+    if (textures_this_frame_.insert(tid))
+        push_bytes_ += textures_.texture(tid).hostBytes();
+}
+
+void
+WorkingSetCollector::access(uint32_t x, uint32_t y, uint32_t mip)
+{
+    ++pixel_refs_;
+    recordTexel(x, y, mip);
+}
+
+void
+WorkingSetCollector::accessQuad(uint32_t x0, uint32_t y0, uint32_t x1,
+                                uint32_t y1, uint32_t mip)
+{
+    pixel_refs_ += 4;
+    // Every tracked tile size is >= 4 texels, so corners sharing a 4x4
+    // cell share every tracked block; record the distinct corners only.
+    const bool dx = (x0 >> 2) != (x1 >> 2);
+    const bool dy = (y0 >> 2) != (y1 >> 2);
+    recordTexel(x0, y0, mip);
+    if (dx)
+        recordTexel(x1, y0, mip);
+    if (dy) {
+        recordTexel(x0, y1, mip);
+        if (dx)
+            recordTexel(x1, y1, mip);
+    }
+}
+
+void
+WorkingSetCollector::recordTexel(uint32_t x, uint32_t y, uint32_t mip)
+{
+    for (auto &tr : trackers_) {
+        uint64_t key = tr.layout->blockKeyOf(bound_, x, y, mip);
+        if (tr.is_l2)
+            key = l2KeyOf(key);
+        if (key == tr.last_key)
+            continue; // spatially coherent fast path
+        tr.last_key = key;
+        tr.current.insert(key);
+    }
+}
+
+FrameWorkingSet
+WorkingSetCollector::endFrame()
+{
+    FrameWorkingSet out;
+    out.pixel_refs = pixel_refs_;
+    out.textures_touched = textures_this_frame_.size();
+    out.push_bytes = push_bytes_;
+    out.loaded_bytes = textures_.totalHostBytes();
+
+    for (auto &tr : trackers_) {
+        uint64_t total = tr.current.size();
+        uint64_t fresh = 0;
+        tr.current.forEach([&](uint64_t k) {
+            if (!tr.previous.contains(k))
+                ++fresh;
+        });
+        if (tr.is_l2)
+            out.l2.push_back({tr.tile, total, fresh});
+        else
+            out.l1.push_back({tr.tile, total, fresh});
+
+        std::swap(tr.current, tr.previous);
+        tr.current.clear();
+        tr.last_key = ~0ull;
+    }
+
+    textures_this_frame_.clear();
+    pixel_refs_ = 0;
+    push_bytes_ = 0;
+    return out;
+}
+
+} // namespace mltc

@@ -1,0 +1,87 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace mltc {
+
+namespace {
+
+bool
+isOption(const std::string &arg)
+{
+    return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+} // namespace
+
+CommandLine::CommandLine(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!isOption(arg)) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--key value` form: consume the next token unless it is itself
+        // an option; otherwise this is a bare flag.
+        if (i + 1 < argc && !isOption(argv[i + 1])) {
+            options_[body] = argv[++i];
+        } else {
+            options_[body] = "1";
+        }
+    }
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return options_.count(name) != 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name, const std::string &def) const
+{
+    auto it = options_.find(name);
+    return it == options_.end() ? def : it->second;
+}
+
+long
+CommandLine::getInt(const std::string &name, long def) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return def;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 10);
+    return (end && *end == '\0') ? v : def;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double def) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    return (end && *end == '\0') ? v : def;
+}
+
+bool
+CommandLine::getFlag(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return false;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace mltc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tiny command-line option parser used by examples and bench drivers.
+ *
+ * Supports `--flag`, `--key=value` and `--key value` forms plus
+ * positional arguments. All lookups are typed with defaults so drivers
+ * stay one-liners.
+ */
+#ifndef MLTC_UTIL_CLI_HPP
+#define MLTC_UTIL_CLI_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/** Parsed command line: options (key -> last value) and positionals. */
+class CommandLine
+{
+  public:
+    /**
+     * Parse argv. `--key=value` and `--key value` set options; a `--key`
+     * followed by another option or end of argv becomes a boolean flag
+     * with value "1". Everything else is positional.
+     */
+    CommandLine(int argc, const char *const *argv);
+
+    /** True if --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p def if absent. */
+    std::string getString(const std::string &name, const std::string &def) const;
+
+    /** Integer value of --name, or @p def if absent/unparseable. */
+    long getInt(const std::string &name, long def) const;
+
+    /** Double value of --name, or @p def if absent/unparseable. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: present and not "0"/"false". */
+    bool getFlag(const std::string &name) const;
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_CLI_HPP

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mltc {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &columns)
+    : path_(path), out_(path), columns_(columns.size())
+{
+    if (!out_)
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+    for (size_t i = 0; i < columns.size(); ++i)
+        out_ << (i ? "," : "") << columns[i];
+    out_ << "\n";
+}
+
+void
+CsvWriter::row(const std::vector<double> &values)
+{
+    if (values.size() != columns_)
+        throw std::invalid_argument("CsvWriter: row width mismatch");
+    std::ostringstream os;
+    for (size_t i = 0; i < values.size(); ++i)
+        os << (i ? "," : "") << values[i];
+    out_ << os.str() << "\n";
+}
+
+void
+CsvWriter::rowStrings(const std::vector<std::string> &values)
+{
+    if (values.size() != columns_)
+        throw std::invalid_argument("CsvWriter: row width mismatch");
+    for (size_t i = 0; i < values.size(); ++i)
+        out_ << (i ? "," : "") << values[i];
+    out_ << "\n";
+}
+
+} // namespace mltc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CSV emission for per-frame series (the paper's figures are line charts
+ * over frame number; benches dump them as CSV next to the binary output).
+ */
+#ifndef MLTC_UTIL_CSV_HPP
+#define MLTC_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/**
+ * Streaming CSV writer. Columns are fixed at construction; each row is
+ * appended with exactly that many values.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header row.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    CsvWriter(const std::string &path, const std::vector<std::string> &columns);
+
+    /** Append one row; size must match the header. */
+    void row(const std::vector<double> &values);
+
+    /** Append one row of preformatted strings; size must match. */
+    void rowStrings(const std::vector<std::string> &values);
+
+    /** Path the writer was opened with. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    size_t columns_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_CSV_HPP

@@ -1,0 +1,121 @@
+#include "util/csv_reader.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mltc {
+
+namespace {
+
+std::vector<std::string>
+splitLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::stringstream ss(line);
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.emplace_back();
+    return cells;
+}
+
+} // namespace
+
+CsvTable
+CsvTable::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("CsvTable: cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+CsvTable
+CsvTable::parse(const std::string &text)
+{
+    CsvTable table;
+    std::stringstream ss(text);
+    std::string line;
+    bool first = true;
+    while (std::getline(ss, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        auto cells = splitLine(line);
+        if (first) {
+            table.header_ = std::move(cells);
+            first = false;
+        } else {
+            if (cells.size() != table.header_.size())
+                throw std::runtime_error("CsvTable: ragged row");
+            table.rows_.push_back(std::move(cells));
+        }
+    }
+    if (first)
+        throw std::runtime_error("CsvTable: empty input");
+    return table;
+}
+
+const std::string &
+CsvTable::cell(size_t row, size_t col) const
+{
+    return rows_.at(row).at(col);
+}
+
+int
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < header_.size(); ++i)
+        if (header_[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<double>
+CsvTable::numericColumn(const std::string &name) const
+{
+    int idx = columnIndex(name);
+    if (idx < 0)
+        throw std::invalid_argument("CsvTable: no column " + name);
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto &row : rows_) {
+        const std::string &cell_text = row[static_cast<size_t>(idx)];
+        char *end = nullptr;
+        double v = std::strtod(cell_text.c_str(), &end);
+        out.push_back((end && *end == '\0' && !cell_text.empty())
+                          ? v
+                          : std::numeric_limits<double>::quiet_NaN());
+    }
+    return out;
+}
+
+SeriesSummary
+summarize(const std::vector<double> &values)
+{
+    SeriesSummary s;
+    for (double v : values) {
+        if (std::isnan(v))
+            continue;
+        if (s.count == 0) {
+            s.min = s.max = v;
+        } else {
+            s.min = std::min(s.min, v);
+            s.max = std::max(s.max, v);
+        }
+        s.total += v;
+        ++s.count;
+    }
+    s.mean = s.count ? s.total / static_cast<double>(s.count) : 0.0;
+    return s;
+}
+
+} // namespace mltc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CSV reading for post-processing the bench artifacts (the counterpart
+ * of CsvWriter): header-aware, numeric column extraction, summary
+ * statistics.
+ */
+#ifndef MLTC_UTIL_CSV_READER_HPP
+#define MLTC_UTIL_CSV_READER_HPP
+
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/** A parsed CSV: header plus string cells, rectangular. */
+class CsvTable
+{
+  public:
+    /** Parse @p path; throws std::runtime_error on I/O or shape errors. */
+    static CsvTable load(const std::string &path);
+
+    /** Parse CSV text directly (for tests). */
+    static CsvTable parse(const std::string &text);
+
+    const std::vector<std::string> &header() const { return header_; }
+
+    size_t rowCount() const { return rows_.size(); }
+
+    size_t columnCount() const { return header_.size(); }
+
+    /** Cell (row, col) as text. */
+    const std::string &cell(size_t row, size_t col) const;
+
+    /**
+     * Index of the column named @p name.
+     * @return -1 when absent.
+     */
+    int columnIndex(const std::string &name) const;
+
+    /**
+     * Column @p name parsed as doubles; non-numeric cells become NaN.
+     * @throws std::invalid_argument for unknown columns.
+     */
+    std::vector<double> numericColumn(const std::string &name) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Summary statistics of a numeric series (NaNs skipped). */
+struct SeriesSummary
+{
+    size_t count = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double total = 0;
+};
+
+/** Summarise @p values, ignoring NaNs. */
+SeriesSummary summarize(const std::vector<double> &values);
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_CSV_READER_HPP

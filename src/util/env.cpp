@@ -1,0 +1,37 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace mltc {
+
+long
+envInt(const char *name, long def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    long out = std::strtol(v, &end, 10);
+    return (end && *end == '\0') ? out : def;
+}
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? v : def;
+}
+
+int
+benchFrameCount(int bench_default)
+{
+    return static_cast<int>(envInt("MLTC_FRAMES", bench_default));
+}
+
+std::string
+benchOutputDir()
+{
+    return envString("MLTC_OUT_DIR", ".");
+}
+
+} // namespace mltc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Environment-variable knobs shared by benches and examples.
+ *
+ * `MLTC_FRAMES` overrides the number of animation frames simulated by the
+ * bench binaries (the paper uses 411/525; benches default lower to keep
+ * single-core runtimes short). `MLTC_OUT_DIR` redirects CSV output.
+ */
+#ifndef MLTC_UTIL_ENV_HPP
+#define MLTC_UTIL_ENV_HPP
+
+#include <string>
+
+namespace mltc {
+
+/** Integer env var, or @p def when unset/unparseable. */
+long envInt(const char *name, long def);
+
+/** String env var, or @p def when unset. */
+std::string envString(const char *name, const std::string &def);
+
+/**
+ * Frame count a bench should simulate: MLTC_FRAMES if set, else
+ * @p bench_default.
+ */
+int benchFrameCount(int bench_default);
+
+/** Directory for bench CSV output: MLTC_OUT_DIR if set, else ".". */
+std::string benchOutputDir();
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_ENV_HPP

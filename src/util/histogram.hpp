@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Small integer histogram for distribution analyses (e.g. the clock
+ * algorithm's victim-search lengths, §5.4.2's "pesky" study).
+ */
+#ifndef MLTC_UTIL_HISTOGRAM_HPP
+#define MLTC_UTIL_HISTOGRAM_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mltc {
+
+/**
+ * Histogram over non-negative integer samples. Values above the
+ * configured cap land in an overflow bucket but still contribute to the
+ * max and count.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value largest value with its own bucket. */
+    explicit Histogram(uint32_t max_value = 4096)
+        : buckets_(max_value + 2, 0), cap_(max_value)
+    {
+    }
+
+    /** Record one sample. */
+    void
+    add(uint64_t value)
+    {
+        ++count_;
+        sum_ += value;
+        max_ = std::max(max_, value);
+        size_t idx = value > cap_ ? cap_ + 1 : static_cast<size_t>(value);
+        ++buckets_[idx];
+    }
+
+    /** Number of samples recorded. */
+    uint64_t count() const { return count_; }
+
+    /** Largest sample. */
+    uint64_t max() const { return max_; }
+
+    /** Mean sample (0 when empty). */
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Smallest value v such that at least @p q of the samples are <= v
+     * (q in [0, 1]). Samples above the cap report cap+1.
+     */
+    uint64_t
+    percentile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        uint64_t target = static_cast<uint64_t>(
+            q * static_cast<double>(count_) + 0.5);
+        if (target == 0)
+            target = 1;
+        uint64_t seen = 0;
+        for (size_t i = 0; i < buckets_.size(); ++i) {
+            seen += buckets_[i];
+            if (seen >= target)
+                return static_cast<uint64_t>(i);
+        }
+        return cap_ + 1;
+    }
+
+    /** Samples exactly equal to @p value (values above cap aggregate). */
+    uint64_t
+    bucket(uint64_t value) const
+    {
+        size_t idx = value > cap_ ? cap_ + 1 : static_cast<size_t>(value);
+        return buckets_[idx];
+    }
+
+    /** Fraction of samples <= @p value. */
+    double
+    cdf(uint64_t value) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        uint64_t seen = 0;
+        size_t limit = value > cap_ ? cap_ + 1 : static_cast<size_t>(value);
+        for (size_t i = 0; i <= limit; ++i)
+            seen += buckets_[i];
+        return static_cast<double>(seen) / static_cast<double>(count_);
+    }
+
+    /** Forget everything. */
+    void
+    clear()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint32_t cap_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace mltc {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < g_level)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace mltc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator.
+ *
+ * The simulator is single-threaded and log volume is low (per-frame or
+ * per-run messages), so this is deliberately simple: a global level and
+ * printf-style helpers writing to stderr.
+ */
+#ifndef MLTC_UTIL_LOG_HPP
+#define MLTC_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace mltc {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global log threshold; messages below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Emit @p msg at @p level if it passes the global threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Log at Debug level; arguments are streamed together. */
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Debug)
+        logMessage(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log at Info level; arguments are streamed together. */
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Info)
+        logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log at Warn level; arguments are streamed together. */
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Warn)
+        logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log at Error level; arguments are streamed together. */
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    if (logLevel() <= LogLevel::Error)
+        logMessage(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_LOG_HPP

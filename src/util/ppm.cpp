@@ -1,0 +1,40 @@
+#include "util/ppm.hpp"
+
+#include <cstdio>
+
+namespace mltc {
+
+bool
+writePpm(const std::string &path, int width, int height,
+         const std::vector<uint32_t> &rgba)
+{
+    if (width <= 0 || height <= 0 ||
+        rgba.size() < static_cast<size_t>(width) * static_cast<size_t>(height))
+        return false;
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", width, height);
+    std::vector<uint8_t> row(static_cast<size_t>(width) * 3);
+    for (int y = 0; y < height; ++y) {
+        const uint32_t *src = &rgba[static_cast<size_t>(y) *
+                                    static_cast<size_t>(width)];
+        for (int x = 0; x < width; ++x) {
+            uint32_t p = src[x];
+            row[static_cast<size_t>(x) * 3 + 0] = static_cast<uint8_t>(p & 0xff);
+            row[static_cast<size_t>(x) * 3 + 1] =
+                static_cast<uint8_t>((p >> 8) & 0xff);
+            row[static_cast<size_t>(x) * 3 + 2] =
+                static_cast<uint8_t>((p >> 16) & 0xff);
+        }
+        if (std::fwrite(row.data(), 1, row.size(), f) != row.size()) {
+            std::fclose(f);
+            return false;
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace mltc

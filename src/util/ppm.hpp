@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Binary PPM (P6) image output so the examples can dump rendered frames
+ * (the paper's Figure 12 snapshots) without any external image library.
+ */
+#ifndef MLTC_UTIL_PPM_HPP
+#define MLTC_UTIL_PPM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/**
+ * Write a 24-bit PPM. @p rgba holds width*height packed 0xAABBGGRR
+ * (little-endian byte order R,G,B,A) pixels, row-major, top row first.
+ * @return true on success.
+ */
+bool writePpm(const std::string &path, int width, int height,
+              const std::vector<uint32_t> &rgba);
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_PPM_HPP

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Workloads must be exactly reproducible across runs and platforms, so we
+ * use our own SplitMix64/xoshiro256** implementation rather than the
+ * standard library engines (whose distributions are not
+ * implementation-defined-stable).
+ */
+#ifndef MLTC_UTIL_RNG_HPP
+#define MLTC_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace mltc {
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64.
+ *
+ * Deterministic across platforms; adequate statistical quality for
+ * procedural geometry and texture synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialise state from @p seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitMix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniformf(float lo, float hi)
+    {
+        return lo + (hi - lo) * static_cast<float>(uniform());
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the small ranges used in workload synthesis.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    range(int lo, int hi)
+    {
+        return lo + static_cast<int>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitMix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[4] = {};
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_RNG_HPP

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mltc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : width_(header.size())
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(width_);
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &values,
+                  int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(width_, 0);
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < width_; ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        for (size_t c = 0; c < width_; ++c) {
+            os << rows_[r][c]
+               << std::string(widths[c] - rows_[r][c].size(), ' ');
+            if (c + 1 < width_)
+                os << "  ";
+        }
+        os << "\n";
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t c = 0; c < width_; ++c)
+                total += widths[c] + (c + 1 < width_ ? 2 : 0);
+            os << std::string(total, '-') << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+    return buf;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+} // namespace mltc

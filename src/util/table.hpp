@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aligned plain-text table printer used to reproduce the paper's tables
+ * on stdout in the bench binaries.
+ */
+#ifndef MLTC_UTIL_TABLE_HPP
+#define MLTC_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/**
+ * Column-aligned table built row by row and rendered with a separator
+ * under the header, in the spirit of the paper's tables.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given header cells. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row (padded/truncated to header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with @p precision and append. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 2);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    size_t width_;
+};
+
+/** Format a byte count as a human-readable "12.3 MB" style string. */
+std::string formatBytes(double bytes);
+
+/** Format @p v with @p precision fractional digits. */
+std::string formatDouble(double v, int precision = 2);
+
+/** Format a ratio in [0,1] as a percentage like "93.4%". */
+std::string formatPercent(double ratio, int precision = 1);
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_TABLE_HPP

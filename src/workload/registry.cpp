@@ -1,0 +1,35 @@
+#include "workload/registry.hpp"
+
+#include <stdexcept>
+
+#include "workload/city.hpp"
+#include "workload/terrain.hpp"
+#include "workload/village.hpp"
+
+namespace mltc {
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"village", "city"};
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    return {"village", "city", "terrain"};
+}
+
+Workload
+buildWorkload(const std::string &name)
+{
+    if (name == "village")
+        return buildVillage();
+    if (name == "city")
+        return buildCity();
+    if (name == "terrain")
+        return buildTerrain();
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+} // namespace mltc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Name-based workload lookup for the bench and example drivers.
+ */
+#ifndef MLTC_WORKLOAD_REGISTRY_HPP
+#define MLTC_WORKLOAD_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace mltc {
+
+/**
+ * Names of the paper's workloads ("village", "city") — the set every
+ * paper-table bench iterates over.
+ */
+std::vector<std::string> workloadNames();
+
+/** All workloads including extensions ("terrain"). */
+std::vector<std::string> allWorkloadNames();
+
+/**
+ * Build a workload by name ("village", "city", "terrain").
+ * @throws std::invalid_argument for unknown names.
+ */
+Workload buildWorkload(const std::string &name);
+
+} // namespace mltc
+
+#endif // MLTC_WORKLOAD_REGISTRY_HPP

@@ -1,0 +1,17 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+
+namespace mltc {
+
+Camera
+Workload::cameraAtFrame(int frame, int total_frames, float aspect) const
+{
+    Camera cam(fovy_degrees * 3.14159265358979f / 180.0f, aspect, z_near,
+               z_far);
+    CameraPose pose = path.atFrame(frame, total_frames);
+    cam.lookAt(pose.eye, pose.target);
+    return cam;
+}
+
+} // namespace mltc

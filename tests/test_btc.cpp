@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the BTC texture compression extension.
+ */
+#include <gtest/gtest.h>
+
+#include "texture/btc.hpp"
+#include "texture/procedural.hpp"
+#include "texture/texture_manager.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(Rgb565, RoundTripEndpoints)
+{
+    EXPECT_EQ(unpackRgb565(packRgb565(0, 0, 0)), packRgba(0, 0, 0));
+    EXPECT_EQ(unpackRgb565(packRgb565(255, 255, 255)),
+              packRgba(255, 255, 255));
+}
+
+TEST(Rgb565, QuantisationErrorBounded)
+{
+    for (int v = 0; v < 256; v += 7) {
+        uint32_t t = unpackRgb565(packRgb565(static_cast<uint8_t>(v),
+                                             static_cast<uint8_t>(v),
+                                             static_cast<uint8_t>(v)));
+        EXPECT_NEAR(channel(t, 0), v, 8); // 5-bit channel
+        EXPECT_NEAR(channel(t, 1), v, 4); // 6-bit channel
+        EXPECT_NEAR(channel(t, 2), v, 8);
+    }
+}
+
+TEST(Btc, RateIsThreeBitsPerTexel)
+{
+    Image img(64, 64, packRgba(100, 120, 140));
+    BtcImage c = encodeBtc(img);
+    EXPECT_EQ(c.blocks.size(), 16u * 16u);
+    // 48-bit blocks over 16 texels = 3 bits/texel.
+    EXPECT_EQ(c.bytes(), 64u * 64u * kBtcBitsPerTexel / 8);
+    EXPECT_EQ(sizeof(BtcBlock), 6u);
+}
+
+TEST(Btc, RejectsTinyImages)
+{
+    EXPECT_THROW(encodeBtc(Image(2, 2)), std::invalid_argument);
+}
+
+TEST(Btc, FlatImageIsExact)
+{
+    Image img(16, 16, packRgba(96, 160, 224));
+    Image back = decodeBtc(encodeBtc(img));
+    // Only RGB565 quantisation error remains on a flat image.
+    EXPECT_LT(meanAbsoluteError(img, back), 4.5);
+}
+
+TEST(Btc, TwoToneBlockIsNearExact)
+{
+    // A black/white checker alternates within each block: BTC's two
+    // endpoints represent it exactly (up to 565 quantisation).
+    Image img = makeChecker(32, 2, packRgba(0, 0, 0),
+                            packRgba(255, 255, 255));
+    Image back = decodeBtc(encodeBtc(img));
+    EXPECT_LT(meanAbsoluteError(img, back), 1.0);
+}
+
+TEST(Btc, NaturalTextureQualityReasonable)
+{
+    Image img = makeBrickWall(128, 3);
+    Image back = decodeBtc(encodeBtc(img));
+    // Lossy but recognisable: mean error well under 10% of full scale.
+    EXPECT_LT(meanAbsoluteError(img, back), 20.0);
+}
+
+TEST(Btc, DecodePreservesDimensions)
+{
+    Image img = makeGrass(64, 9);
+    Image back = decodeBtc(encodeBtc(img));
+    EXPECT_EQ(back.width(), 64u);
+    EXPECT_EQ(back.height(), 64u);
+}
+
+TEST(Btc, MaskSelectsBrighterTexels)
+{
+    Image img(4, 4, packRgba(10, 10, 10));
+    img.setTexel(0, 0, packRgba(250, 250, 250));
+    img.setTexel(3, 3, packRgba(250, 250, 250));
+    BtcImage c = encodeBtc(img);
+    ASSERT_EQ(c.blocks.size(), 1u);
+    EXPECT_TRUE(c.blocks[0].mask & 1u);          // (0,0)
+    EXPECT_TRUE(c.blocks[0].mask & (1u << 15));  // (3,3)
+    EXPECT_FALSE(c.blocks[0].mask & (1u << 5));  // (1,1) dark
+}
+
+TEST(Btc, MeanAbsoluteErrorValidation)
+{
+    Image a(4, 4, packRgba(10, 10, 10));
+    Image b(4, 4, packRgba(13, 10, 7));
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(a, b), 2.0);
+    EXPECT_THROW(meanAbsoluteError(a, Image(8, 8)),
+                 std::invalid_argument);
+}
+
+TEST(Btc, ManagerTracksCompressedDepth)
+{
+    TextureManager tm;
+    TextureId t = tm.load("c", MipPyramid(Image(64, 64)));
+    uint64_t texels = tm.texture(t).pyramid.totalTexels();
+    EXPECT_EQ(tm.texture(t).hostBytes(), texels * 4);
+    tm.setHostBitsPerTexel(t, kBtcBitsPerTexel);
+    EXPECT_EQ(tm.texture(t).hostBytes(), texels * kBtcBitsPerTexel / 8);
+    EXPECT_THROW(tm.setHostBitsPerTexel(t, 0), std::invalid_argument);
+    EXPECT_THROW(tm.setHostBitsPerTexel(99, 4), std::out_of_range);
+}
+
+} // namespace
+} // namespace mltc

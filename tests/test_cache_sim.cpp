@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Integration tests for the CacheSim controller (Figure 7 flow): pull vs
+ * two-level behaviour, sector mapping bandwidth invariants, per-frame
+ * accounting and TLB wiring.
+ */
+#include <gtest/gtest.h>
+
+#include "core/cache_sim.hpp"
+#include "util/rng.hpp"
+
+namespace mltc {
+namespace {
+
+class CacheSimTest : public ::testing::Test
+{
+  protected:
+    CacheSimTest()
+    {
+        tex = tm.load("t", MipPyramid(Image(256, 256)));
+    }
+
+    /** Stream a row-major walk over a region of the base level. */
+    template <typename Sim>
+    void
+    walk(Sim &sim, uint32_t x0, uint32_t y0, uint32_t w, uint32_t h)
+    {
+        sim.bindTexture(tex);
+        for (uint32_t y = y0; y < y0 + h; ++y)
+            for (uint32_t x = x0; x < x0 + w; ++x)
+                sim.access(x, y, 0);
+    }
+
+    TextureManager tm;
+    TextureId tex;
+};
+
+TEST_F(CacheSimTest, FactoryConfigs)
+{
+    CacheSimConfig pull = CacheSimConfig::pull(2048);
+    EXPECT_FALSE(pull.l2_enabled);
+    EXPECT_EQ(pull.l1.size_bytes, 2048u);
+
+    CacheSimConfig two = CacheSimConfig::twoLevel(2048, 1 << 20, 32, 8);
+    EXPECT_TRUE(two.l2_enabled);
+    EXPECT_EQ(two.l2.l2_tile, 32u);
+    EXPECT_EQ(two.l1.l1_tile, 8u);
+    EXPECT_EQ(two.l2.l1_tile, 8u); // sector granularity follows L1 tile
+}
+
+TEST_F(CacheSimTest, PullDownloadsOneTilePerMiss)
+{
+    CacheSim sim(tm, CacheSimConfig::pull(16 * 1024), "pull");
+    walk(sim, 0, 0, 64, 64);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.accesses, 64u * 64u);
+    // A cold 64x64 walk touches 256 distinct 4x4 tiles; each misses at
+    // least once, plus at most a few set-conflict evictions within the
+    // hashed 2-way cache.
+    EXPECT_GE(fs.l1_misses, 256u);
+    EXPECT_LE(fs.l1_misses, 290u);
+    EXPECT_EQ(fs.host_bytes, fs.l1_misses * 64u);
+    EXPECT_EQ(fs.l2_full_hits + fs.l2_partial_hits + fs.l2_full_misses, 0u);
+}
+
+TEST_F(CacheSimTest, SecondFrameHitsInL1WhenItFits)
+{
+    CacheSim sim(tm, CacheSimConfig::pull(16 * 1024), "pull");
+    walk(sim, 0, 0, 64, 64);
+    sim.endFrame();
+    walk(sim, 0, 0, 64, 64);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.l1_misses, 0u);
+    EXPECT_EQ(fs.host_bytes, 0u);
+    EXPECT_DOUBLE_EQ(fs.l1HitRate(), 1.0);
+}
+
+TEST_F(CacheSimTest, L2AbsorbsRefetchesAfterL1Eviction)
+{
+    // Tiny L1 (2 KB = 32 tiles) + roomy L2: walking a 128x128 region
+    // (1024 tiles) twice thrashes L1, but the second pass is served
+    // from L2, not host.
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 1ull << 20),
+                 "two");
+    walk(sim, 0, 0, 128, 128);
+    CacheFrameStats first = sim.endFrame();
+    walk(sim, 0, 0, 128, 128);
+    CacheFrameStats second = sim.endFrame();
+
+    EXPECT_EQ(first.host_bytes, 1024u * 64u); // cold downloads
+    EXPECT_GT(second.l1_misses, 0u);          // L1 thrashes
+    EXPECT_EQ(second.host_bytes, 0u);         // ... but L2 serves it all
+    EXPECT_EQ(second.l2_full_hits, second.l1_misses);
+    EXPECT_EQ(second.l2_read_bytes, second.l1_misses * 64u);
+}
+
+TEST_F(CacheSimTest, PullAndL2HaveIdenticalL1Behaviour)
+{
+    // The L1 tag path is independent of the L2 configuration (§3.3).
+    CacheSim pull(tm, CacheSimConfig::pull(2 * 1024), "pull");
+    CacheSim two(tm, CacheSimConfig::twoLevel(2 * 1024, 1ull << 20),
+                 "two");
+    Rng rng(12);
+    pull.bindTexture(tex);
+    two.bindTexture(tex);
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t x = static_cast<uint32_t>(rng.below(256));
+        uint32_t y = static_cast<uint32_t>(rng.below(256));
+        uint32_t m = static_cast<uint32_t>(rng.below(3));
+        uint32_t dim = 256u >> m;
+        pull.access(x % dim, y % dim, m);
+        two.access(x % dim, y % dim, m);
+    }
+    CacheFrameStats a = pull.endFrame();
+    CacheFrameStats b = two.endFrame();
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.accesses, b.accesses);
+}
+
+TEST_F(CacheSimTest, L2NeverCostsMoreHostBandwidthThanPull)
+{
+    // Sector mapping guarantee: with the same L1, host bytes with L2
+    // <= host bytes without, for any access pattern.
+    CacheSim pull(tm, CacheSimConfig::pull(2 * 1024), "pull");
+    CacheSim two(tm, CacheSimConfig::twoLevel(2 * 1024, 256 * 1024),
+                 "two");
+    Rng rng(77);
+    pull.bindTexture(tex);
+    two.bindTexture(tex);
+    for (int i = 0; i < 50000; ++i) {
+        uint32_t x = static_cast<uint32_t>(rng.below(256));
+        uint32_t y = static_cast<uint32_t>(rng.below(256));
+        pull.access(x, y, 0);
+        two.access(x, y, 0);
+    }
+    EXPECT_LE(two.endFrame().host_bytes, pull.endFrame().host_bytes);
+}
+
+TEST_F(CacheSimTest, HostBytesScaleWithOriginalDepth)
+{
+    TextureId t16 = tm.load("t16", MipPyramid(Image(64, 64)), 2);
+    CacheSim sim(tm, CacheSimConfig::pull(2 * 1024), "pull");
+    sim.bindTexture(t16);
+    sim.access(0, 0, 0); // one tile miss
+    CacheFrameStats fs = sim.endFrame();
+    // 4x4 texels at 2 bytes each.
+    EXPECT_EQ(fs.host_bytes, 32u);
+}
+
+TEST_F(CacheSimTest, TlbProbedOncePerL1Miss)
+{
+    CacheSimConfig cfg = CacheSimConfig::twoLevel(2 * 1024, 1ull << 20);
+    cfg.tlb_entries = 4;
+    CacheSim sim(tm, cfg, "tlb");
+    walk(sim, 0, 0, 64, 64);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.tlb_probes, fs.l1_misses);
+    EXPECT_GT(fs.tlb_hits, 0u);
+    ASSERT_NE(sim.tlb(), nullptr);
+}
+
+TEST_F(CacheSimTest, NoTlbByDefault)
+{
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 1ull << 20), "x");
+    EXPECT_EQ(sim.tlb(), nullptr);
+    walk(sim, 0, 0, 8, 8);
+    EXPECT_EQ(sim.endFrame().tlb_probes, 0u);
+}
+
+TEST_F(CacheSimTest, EndFrameResetsPerFrameCounters)
+{
+    CacheSim sim(tm, CacheSimConfig::pull(2 * 1024), "p");
+    walk(sim, 0, 0, 16, 16);
+    CacheFrameStats f1 = sim.endFrame();
+    EXPECT_GT(f1.accesses, 0u);
+    CacheFrameStats f2 = sim.endFrame();
+    EXPECT_EQ(f2.accesses, 0u);
+    EXPECT_EQ(sim.frames(), 2u);
+    EXPECT_EQ(sim.totals().accesses, f1.accesses);
+}
+
+TEST_F(CacheSimTest, ConditionalRatesSumBelowOne)
+{
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 64 * 1024), "x");
+    Rng rng(3);
+    sim.bindTexture(tex);
+    for (int i = 0; i < 30000; ++i)
+        sim.access(static_cast<uint32_t>(rng.below(256)),
+                   static_cast<uint32_t>(rng.below(256)), 0);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.l2_full_hits + fs.l2_partial_hits + fs.l2_full_misses,
+              fs.l1_misses);
+    EXPECT_LE(fs.l2FullHitRate() + fs.l2PartialHitRate(), 1.0 + 1e-12);
+}
+
+TEST_F(CacheSimTest, MipLevelsMapToDistinctBlocks)
+{
+    // Accessing (0,0) of every level must produce one miss per level
+    // (each level starts a new L2 block, Figure 2).
+    CacheSim sim(tm, CacheSimConfig::twoLevel(16 * 1024, 1ull << 20),
+                 "x");
+    sim.bindTexture(tex);
+    uint32_t levels = tm.texture(tex).pyramid.levels();
+    for (uint32_t m = 0; m < levels; ++m)
+        sim.access(0, 0, m);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.l1_misses, levels);
+    EXPECT_EQ(fs.l2_full_misses, levels);
+}
+
+TEST_F(CacheSimTest, InclusionIsNotMaintained)
+{
+    // Paper footnote 5: an L1 block loaded from L2 block B may remain in
+    // L1 after B is replaced in L2. Build exactly that scenario: a big
+    // fully-associative L1 (so no set aliasing can evict tile A) while a
+    // tiny L2 is flooded past A's block.
+    CacheSimConfig cfg = CacheSimConfig::twoLevel(64 * 1024, 0);
+    cfg.l1.assoc = 0; // fully associative
+    cfg.l2.size_bytes = 4 * cfg.l2.blockBytes(); // 4-block L2
+    CacheSim sim(tm, cfg, "tiny-l2");
+    sim.bindTexture(tex);
+
+    sim.access(0, 0, 0); // tile A: L1 + L2 resident
+    // Flood the L2 with 8 other L2 blocks (64 texels apart in y).
+    for (uint32_t i = 1; i <= 8; ++i)
+        sim.access(0, i * 16, 0);
+    CacheFrameStats warm = sim.endFrame();
+    EXPECT_GT(warm.l2_full_misses, 4u); // the flood caused evictions
+
+    // Tile A must still hit in L1 even though its L2 block is gone.
+    sim.access(0, 0, 0);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.l1_misses, 0u);
+    EXPECT_EQ(fs.host_bytes, 0u);
+}
+
+TEST_F(CacheSimTest, FrameStatsAddAccumulates)
+{
+    CacheFrameStats a, b;
+    a.accesses = 10;
+    a.l1_misses = 2;
+    a.host_bytes = 100;
+    a.victim_steps_max = 3;
+    b.accesses = 5;
+    b.l1_misses = 1;
+    b.host_bytes = 50;
+    b.victim_steps_max = 7;
+    a.add(b);
+    EXPECT_EQ(a.accesses, 15u);
+    EXPECT_EQ(a.l1_misses, 3u);
+    EXPECT_EQ(a.host_bytes, 150u);
+    EXPECT_EQ(a.victim_steps_max, 7u); // max, not sum
+}
+
+TEST_F(CacheSimTest, RateHelpersHandleZeroDenominators)
+{
+    CacheFrameStats empty;
+    EXPECT_DOUBLE_EQ(empty.l1HitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.l2FullHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.l2PartialHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.tlbHitRate(), 0.0);
+}
+
+TEST_F(CacheSimTest, MultipleTexturesDoNotAlias)
+{
+    TextureId other = tm.load("u", MipPyramid(Image(256, 256)));
+    CacheSim sim(tm, CacheSimConfig::twoLevel(16 * 1024, 1ull << 20),
+                 "x");
+    sim.bindTexture(tex);
+    sim.access(0, 0, 0);
+    sim.bindTexture(other);
+    sim.access(0, 0, 0); // same coordinates, different texture
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.l1_misses, 2u);
+    EXPECT_EQ(fs.l2_full_misses, 2u);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Equivalence tests for the access-coalescing fast paths: the batched
+ * accessQuad path and the one-entry filter must never change miss
+ * counts, download bytes or L2 state relative to plain per-texel
+ * accesses — only LRU stamp freshness may differ.
+ */
+#include <gtest/gtest.h>
+
+#include "core/cache_sim.hpp"
+#include "core/set_assoc_l2.hpp"
+#include "util/rng.hpp"
+
+namespace mltc {
+namespace {
+
+class CoalescingTest : public ::testing::Test
+{
+  protected:
+    CoalescingTest()
+    {
+        tex = tm.load("t", MipPyramid(Image(256, 256)));
+        tex2 = tm.load("u", MipPyramid(Image(128, 128)));
+    }
+
+    /** Random bilinear footprint anchored at (x, y) with wrap. */
+    struct Quad
+    {
+        uint32_t x0, y0, x1, y1, mip;
+        TextureId tid;
+    };
+
+    std::vector<Quad>
+    randomQuads(int count, uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<Quad> out;
+        out.reserve(static_cast<size_t>(count));
+        for (int i = 0; i < count; ++i) {
+            TextureId tid = rng.chance(0.2) ? tex2 : tex;
+            uint32_t base = tid == tex ? 256 : 128;
+            uint32_t mip = static_cast<uint32_t>(rng.below(3));
+            uint32_t dim = base >> mip;
+            uint32_t x0 = static_cast<uint32_t>(rng.below(dim));
+            uint32_t y0 = static_cast<uint32_t>(rng.below(dim));
+            out.push_back({x0, y0, (x0 + 1) % dim, (y0 + 1) % dim, mip,
+                           tid});
+        }
+        return out;
+    }
+
+    TextureManager tm;
+    TextureId tex, tex2;
+};
+
+TEST_F(CoalescingTest, QuadPathMatchesScalarPathPull)
+{
+    CacheSim scalar(tm, CacheSimConfig::pull(2 * 1024), "scalar");
+    CacheSim quad(tm, CacheSimConfig::pull(2 * 1024), "quad");
+    for (const Quad &q : randomQuads(20000, 11)) {
+        scalar.bindTexture(q.tid);
+        quad.bindTexture(q.tid);
+        scalar.access(q.x0, q.y0, q.mip);
+        scalar.access(q.x1, q.y0, q.mip);
+        scalar.access(q.x0, q.y1, q.mip);
+        scalar.access(q.x1, q.y1, q.mip);
+        quad.accessQuad(q.x0, q.y0, q.x1, q.y1, q.mip);
+    }
+    CacheFrameStats a = scalar.endFrame();
+    CacheFrameStats b = quad.endFrame();
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.host_bytes, b.host_bytes);
+}
+
+TEST_F(CoalescingTest, QuadPathMatchesScalarPathTwoLevel)
+{
+    CacheSim scalar(tm, CacheSimConfig::twoLevel(2 * 1024, 256 * 1024),
+                    "scalar");
+    CacheSim quad(tm, CacheSimConfig::twoLevel(2 * 1024, 256 * 1024),
+                  "quad");
+    for (const Quad &q : randomQuads(20000, 17)) {
+        scalar.bindTexture(q.tid);
+        quad.bindTexture(q.tid);
+        scalar.access(q.x0, q.y0, q.mip);
+        scalar.access(q.x1, q.y0, q.mip);
+        scalar.access(q.x0, q.y1, q.mip);
+        scalar.access(q.x1, q.y1, q.mip);
+        quad.accessQuad(q.x0, q.y0, q.x1, q.y1, q.mip);
+    }
+    CacheFrameStats a = scalar.endFrame();
+    CacheFrameStats b = quad.endFrame();
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.l2_full_hits, b.l2_full_hits);
+    EXPECT_EQ(a.l2_partial_hits, b.l2_partial_hits);
+    EXPECT_EQ(a.l2_full_misses, b.l2_full_misses);
+    EXPECT_EQ(a.host_bytes, b.host_bytes);
+    EXPECT_EQ(a.l2_read_bytes, b.l2_read_bytes);
+}
+
+TEST_F(CoalescingTest, FilterInvalidatedAcrossBind)
+{
+    // Same coordinates in two different textures must not be coalesced.
+    CacheSim sim(tm, CacheSimConfig::pull(2 * 1024), "sim");
+    sim.bindTexture(tex);
+    sim.access(0, 0, 0);
+    sim.bindTexture(tex2);
+    sim.access(0, 0, 0);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.l1_misses, 2u);
+}
+
+TEST_F(CoalescingTest, RepeatedSameTexelCountsAccesses)
+{
+    CacheSim sim(tm, CacheSimConfig::pull(2 * 1024), "sim");
+    sim.bindTexture(tex);
+    for (int i = 0; i < 100; ++i)
+        sim.access(5, 5, 0);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.accesses, 100u);
+    EXPECT_EQ(fs.l1_misses, 1u);
+}
+
+TEST_F(CoalescingTest, SetAssocQuadPathMatchesScalar)
+{
+    SetAssocL2Config cfg;
+    cfg.l1.size_bytes = 2 * 1024;
+    cfg.l2_size_bytes = 256 * 1024;
+    cfg.l2_assoc = 4;
+    SetAssocL2Sim scalar(tm, cfg, "scalar");
+    SetAssocL2Sim quad(tm, cfg, "quad");
+    for (const Quad &q : randomQuads(10000, 23)) {
+        scalar.bindTexture(q.tid);
+        quad.bindTexture(q.tid);
+        scalar.access(q.x0, q.y0, q.mip);
+        scalar.access(q.x1, q.y0, q.mip);
+        scalar.access(q.x0, q.y1, q.mip);
+        scalar.access(q.x1, q.y1, q.mip);
+        quad.accessQuad(q.x0, q.y0, q.x1, q.y1, q.mip);
+    }
+    CacheFrameStats a = scalar.endFrame();
+    CacheFrameStats b = quad.endFrame();
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.host_bytes, b.host_bytes);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the CSV reader and series summaries.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv_reader.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(CsvTable, ParsesHeaderAndCells)
+{
+    CsvTable t = CsvTable::parse("a,b,c\n1,2,3\n4,5,6\n");
+    ASSERT_EQ(t.columnCount(), 3u);
+    ASSERT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.header()[1], "b");
+    EXPECT_EQ(t.cell(1, 2), "6");
+}
+
+TEST(CsvTable, HandlesCrlfAndBlankLines)
+{
+    CsvTable t = CsvTable::parse("x,y\r\n1,2\r\n\r\n3,4\r\n");
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.cell(1, 0), "3");
+}
+
+TEST(CsvTable, RejectsRaggedRows)
+{
+    EXPECT_THROW(CsvTable::parse("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvTable, RejectsEmpty)
+{
+    EXPECT_THROW(CsvTable::parse(""), std::runtime_error);
+}
+
+TEST(CsvTable, ColumnIndexLookup)
+{
+    CsvTable t = CsvTable::parse("alpha,beta\n1,2\n");
+    EXPECT_EQ(t.columnIndex("beta"), 1);
+    EXPECT_EQ(t.columnIndex("gamma"), -1);
+}
+
+TEST(CsvTable, NumericColumnWithNaNs)
+{
+    CsvTable t = CsvTable::parse("k,v\nfoo,1.5\nbar,oops\nbaz,2.5\n");
+    auto vals = t.numericColumn("v");
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_DOUBLE_EQ(vals[0], 1.5);
+    EXPECT_TRUE(std::isnan(vals[1]));
+    EXPECT_DOUBLE_EQ(vals[2], 2.5);
+    EXPECT_THROW(t.numericColumn("nope"), std::invalid_argument);
+}
+
+TEST(CsvTable, LoadRoundTrip)
+{
+    std::string path = testing::TempDir() + "mltc_reader_test.csv";
+    {
+        std::ofstream out(path);
+        out << "frame,mb\n0,1.25\n1,2.75\n";
+    }
+    CsvTable t = CsvTable::load(path);
+    EXPECT_EQ(t.rowCount(), 2u);
+    auto s = summarize(t.numericColumn("mb"));
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    std::remove(path.c_str());
+    EXPECT_THROW(CsvTable::load("/no/such/file.csv"), std::runtime_error);
+}
+
+TEST(Summarize, SkipsNaNsAndComputesStats)
+{
+    std::vector<double> v{1.0, std::nan(""), 3.0, 5.0};
+    SeriesSummary s = summarize(v);
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.total, 9.0);
+}
+
+TEST(Summarize, EmptyIsZeroed)
+{
+    SeriesSummary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+} // namespace
+} // namespace mltc

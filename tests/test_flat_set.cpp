@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit + property tests for FlatSet64, the trace hot-path hash set.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/flat_set.hpp"
+#include "util/rng.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(FlatSet64, InsertReturnsNewness)
+{
+    FlatSet64 set;
+    EXPECT_TRUE(set.insert(42));
+    EXPECT_FALSE(set.insert(42));
+    EXPECT_TRUE(set.insert(43));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatSet64, ContainsAfterInsert)
+{
+    FlatSet64 set;
+    set.insert(7);
+    EXPECT_TRUE(set.contains(7));
+    EXPECT_FALSE(set.contains(8));
+}
+
+TEST(FlatSet64, ClearEmptiesWithoutRehash)
+{
+    FlatSet64 set;
+    for (uint64_t i = 0; i < 100; ++i)
+        set.insert(i);
+    size_t cap = set.capacity();
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_EQ(set.capacity(), cap);
+    EXPECT_FALSE(set.contains(5));
+    EXPECT_TRUE(set.insert(5));
+}
+
+TEST(FlatSet64, GrowsUnderLoad)
+{
+    FlatSet64 set(64);
+    for (uint64_t i = 0; i < 1000; ++i)
+        set.insert(i * 0x9e3779b97f4a7c15ull);
+    EXPECT_EQ(set.size(), 1000u);
+    EXPECT_GT(set.capacity(), 1000u);
+    // All keys survive the growth rehash.
+    for (uint64_t i = 0; i < 1000; ++i)
+        EXPECT_TRUE(set.contains(i * 0x9e3779b97f4a7c15ull));
+}
+
+TEST(FlatSet64, ForEachVisitsExactlyCurrentKeys)
+{
+    FlatSet64 set;
+    set.insert(1);
+    set.insert(2);
+    set.clear();
+    set.insert(3);
+    std::set<uint64_t> seen;
+    set.forEach([&](uint64_t k) { seen.insert(k); });
+    EXPECT_EQ(seen, (std::set<uint64_t>{3}));
+}
+
+TEST(FlatSet64, ManyEpochsStayCorrect)
+{
+    FlatSet64 set(64);
+    for (int epoch = 0; epoch < 1000; ++epoch) {
+        EXPECT_TRUE(set.insert(static_cast<uint64_t>(epoch)));
+        EXPECT_TRUE(set.contains(static_cast<uint64_t>(epoch)));
+        set.clear();
+        EXPECT_FALSE(set.contains(static_cast<uint64_t>(epoch)));
+    }
+}
+
+TEST(FlatSet64, MatchesReferenceSetRandomised)
+{
+    FlatSet64 set(256);
+    std::set<uint64_t> ref;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t key = rng.below(4096);
+        bool fresh_ref = ref.insert(key).second;
+        bool fresh = set.insert(key);
+        ASSERT_EQ(fresh, fresh_ref) << "key " << key << " iter " << i;
+        if (i % 5000 == 4999) {
+            EXPECT_EQ(set.size(), ref.size());
+            set.clear();
+            ref.clear();
+        }
+    }
+}
+
+TEST(FlatSet64, ZeroAndMaxKeysWork)
+{
+    FlatSet64 set;
+    EXPECT_TRUE(set.insert(0));
+    EXPECT_TRUE(set.insert(~0ull));
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_TRUE(set.contains(~0ull));
+    EXPECT_FALSE(set.insert(0));
+}
+
+} // namespace
+} // namespace mltc

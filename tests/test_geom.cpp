@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the geometry module: vector/matrix algebra, AABBs,
+ * frustum extraction and box classification.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/aabb.hpp"
+#include "geom/frustum.hpp"
+#include "geom/mat4.hpp"
+#include "geom/vec.hpp"
+
+namespace mltc {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+// --- Vec ----------------------------------------------------------------
+
+TEST(Vec3, BasicArithmetic)
+{
+    Vec3 a{1, 2, 3}, b{4, 5, 6};
+    Vec3 s = a + b;
+    EXPECT_FLOAT_EQ(s.x, 5);
+    EXPECT_FLOAT_EQ(s.y, 7);
+    EXPECT_FLOAT_EQ(s.z, 9);
+    Vec3 d = b - a;
+    EXPECT_FLOAT_EQ(d.x, 3);
+    Vec3 m = a * 2.0f;
+    EXPECT_FLOAT_EQ(m.z, 6);
+}
+
+TEST(Vec3, DotAndCross)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0};
+    EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+    Vec3 z = x.cross(y);
+    EXPECT_FLOAT_EQ(z.x, 0);
+    EXPECT_FLOAT_EQ(z.y, 0);
+    EXPECT_FLOAT_EQ(z.z, 1);
+}
+
+TEST(Vec3, NormalizedHasUnitLength)
+{
+    Vec3 v{3, 4, 12};
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3, NormalizedZeroIsZero)
+{
+    Vec3 v{0, 0, 0};
+    EXPECT_FLOAT_EQ(v.normalized().length(), 0.0f);
+}
+
+TEST(Vec2, LengthAndOps)
+{
+    Vec2 v{3, 4};
+    EXPECT_FLOAT_EQ(v.length(), 5.0f);
+    EXPECT_FLOAT_EQ((v / 2.0f).x, 1.5f);
+}
+
+TEST(Vec4, DotProduct)
+{
+    Vec4 a{1, 2, 3, 4}, b{5, 6, 7, 8};
+    EXPECT_FLOAT_EQ(a.dot(b), 70.0f);
+}
+
+TEST(Lerp, InterpolatesEndpointsAndMid)
+{
+    EXPECT_FLOAT_EQ(lerp(2.0f, 4.0f, 0.0f), 2.0f);
+    EXPECT_FLOAT_EQ(lerp(2.0f, 4.0f, 1.0f), 4.0f);
+    EXPECT_FLOAT_EQ(lerp(2.0f, 4.0f, 0.5f), 3.0f);
+}
+
+TEST(Clampf, Clamps)
+{
+    EXPECT_FLOAT_EQ(clampf(-1.0f, 0.0f, 1.0f), 0.0f);
+    EXPECT_FLOAT_EQ(clampf(2.0f, 0.0f, 1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(clampf(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+// --- Mat4 ---------------------------------------------------------------
+
+TEST(Mat4, IdentityIsNeutral)
+{
+    Mat4 id = Mat4::identity();
+    Vec3 p{1, 2, 3};
+    Vec3 q = id.transformPoint(p);
+    EXPECT_FLOAT_EQ(q.x, 1);
+    EXPECT_FLOAT_EQ(q.y, 2);
+    EXPECT_FLOAT_EQ(q.z, 3);
+}
+
+TEST(Mat4, TranslateMovesPointsNotDirections)
+{
+    Mat4 t = Mat4::translate({1, 2, 3});
+    Vec3 p = t.transformPoint({0, 0, 0});
+    EXPECT_FLOAT_EQ(p.x, 1);
+    EXPECT_FLOAT_EQ(p.y, 2);
+    EXPECT_FLOAT_EQ(p.z, 3);
+    Vec3 d = t.transformDirection({1, 0, 0});
+    EXPECT_FLOAT_EQ(d.x, 1);
+    EXPECT_FLOAT_EQ(d.y, 0);
+}
+
+TEST(Mat4, ScaleScales)
+{
+    Mat4 s = Mat4::scale({2, 3, 4});
+    Vec3 p = s.transformPoint({1, 1, 1});
+    EXPECT_FLOAT_EQ(p.x, 2);
+    EXPECT_FLOAT_EQ(p.y, 3);
+    EXPECT_FLOAT_EQ(p.z, 4);
+}
+
+TEST(Mat4, RotateYQuarterTurn)
+{
+    Mat4 r = Mat4::rotateY(kPi * 0.5f);
+    Vec3 p = r.transformPoint({1, 0, 0});
+    EXPECT_NEAR(p.x, 0, 1e-6f);
+    EXPECT_NEAR(p.z, -1, 1e-6f);
+}
+
+TEST(Mat4, RotateXQuarterTurn)
+{
+    Mat4 r = Mat4::rotateX(kPi * 0.5f);
+    Vec3 p = r.transformPoint({0, 1, 0});
+    EXPECT_NEAR(p.y, 0, 1e-6f);
+    EXPECT_NEAR(p.z, 1, 1e-6f);
+}
+
+TEST(Mat4, RotateZQuarterTurn)
+{
+    Mat4 r = Mat4::rotateZ(kPi * 0.5f);
+    Vec3 p = r.transformPoint({1, 0, 0});
+    EXPECT_NEAR(p.x, 0, 1e-6f);
+    EXPECT_NEAR(p.y, 1, 1e-6f);
+}
+
+TEST(Mat4, CompositionOrder)
+{
+    // M = T * R applies rotation first, translation second.
+    Mat4 m = Mat4::translate({10, 0, 0}) * Mat4::rotateY(kPi * 0.5f);
+    Vec3 p = m.transformPoint({1, 0, 0});
+    EXPECT_NEAR(p.x, 10, 1e-5f);
+    EXPECT_NEAR(p.z, -1, 1e-5f);
+}
+
+TEST(Mat4, LookAtMapsEyeToOrigin)
+{
+    Mat4 v = Mat4::lookAt({5, 3, 2}, {0, 0, 0}, {0, 1, 0});
+    Vec3 p = v.transformPoint({5, 3, 2});
+    EXPECT_NEAR(p.length(), 0.0f, 1e-5f);
+}
+
+TEST(Mat4, LookAtTargetOnNegativeZ)
+{
+    Mat4 v = Mat4::lookAt({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+    Vec3 p = v.transformPoint({0, 0, 0});
+    EXPECT_NEAR(p.x, 0, 1e-5f);
+    EXPECT_NEAR(p.y, 0, 1e-5f);
+    EXPECT_NEAR(p.z, -5, 1e-5f);
+}
+
+TEST(Mat4, LookAtDegenerateDoesNotNan)
+{
+    Mat4 v = Mat4::lookAt({1, 1, 1}, {1, 1, 1}, {0, 1, 0});
+    Vec3 p = v.transformPoint({0, 0, 0});
+    EXPECT_FALSE(std::isnan(p.x));
+    EXPECT_FALSE(std::isnan(p.y));
+    EXPECT_FALSE(std::isnan(p.z));
+}
+
+TEST(Mat4, PerspectiveMapsNearFarToClipRange)
+{
+    float n = 1.0f, f = 100.0f;
+    Mat4 p = Mat4::perspective(kPi / 3.0f, 4.0f / 3.0f, n, f);
+    Vec4 near_pt = p * Vec4{0, 0, -n, 1};
+    Vec4 far_pt = p * Vec4{0, 0, -f, 1};
+    EXPECT_NEAR(near_pt.z / near_pt.w, -1.0f, 1e-4f);
+    EXPECT_NEAR(far_pt.z / far_pt.w, 1.0f, 1e-4f);
+}
+
+TEST(Mat4, PerspectiveWEqualsViewDistance)
+{
+    Mat4 p = Mat4::perspective(kPi / 3.0f, 1.0f, 0.5f, 100.0f);
+    Vec4 c = p * Vec4{0, 0, -7.0f, 1};
+    EXPECT_NEAR(c.w, 7.0f, 1e-5f);
+}
+
+// --- Aabb ----------------------------------------------------------------
+
+TEST(Aabb, StartsEmpty)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+}
+
+TEST(Aabb, ExtendPoints)
+{
+    Aabb box;
+    box.extend({1, 2, 3});
+    box.extend({-1, 5, 0});
+    EXPECT_FALSE(box.empty());
+    EXPECT_FLOAT_EQ(box.min.x, -1);
+    EXPECT_FLOAT_EQ(box.max.y, 5);
+    EXPECT_FLOAT_EQ(box.min.z, 0);
+}
+
+TEST(Aabb, CenterAndCorners)
+{
+    Aabb box;
+    box.extend({0, 0, 0});
+    box.extend({2, 4, 6});
+    Vec3 c = box.center();
+    EXPECT_FLOAT_EQ(c.x, 1);
+    EXPECT_FLOAT_EQ(c.y, 2);
+    EXPECT_FLOAT_EQ(c.z, 3);
+    // Corner 0 = min, corner 7 = max.
+    EXPECT_FLOAT_EQ(box.corner(0).x, 0);
+    EXPECT_FLOAT_EQ(box.corner(7).z, 6);
+}
+
+TEST(Aabb, ExtendBox)
+{
+    Aabb a, b;
+    a.extend({0, 0, 0});
+    b.extend({5, 5, 5});
+    a.extend(b);
+    EXPECT_FLOAT_EQ(a.max.x, 5);
+    Aabb empty;
+    a.extend(empty); // no-op
+    EXPECT_FLOAT_EQ(a.max.x, 5);
+}
+
+// --- Frustum --------------------------------------------------------------
+
+class FrustumTest : public ::testing::Test
+{
+  protected:
+    FrustumTest()
+        : proj(Mat4::perspective(kPi / 3.0f, 1.0f, 0.5f, 100.0f)),
+          view(Mat4::lookAt({0, 0, 0}, {0, 0, -1}, {0, 1, 0})),
+          frustum(proj * view)
+    {}
+
+    Aabb
+    boxAt(Vec3 center, float half)
+    {
+        Aabb b;
+        b.extend(center - Vec3{half, half, half});
+        b.extend(center + Vec3{half, half, half});
+        return b;
+    }
+
+    Mat4 proj, view;
+    Frustum frustum;
+};
+
+TEST_F(FrustumTest, BoxInFrontIsInside)
+{
+    EXPECT_EQ(frustum.classify(boxAt({0, 0, -10}, 1.0f)),
+              CullResult::Inside);
+}
+
+TEST_F(FrustumTest, BoxBehindIsOutside)
+{
+    EXPECT_EQ(frustum.classify(boxAt({0, 0, 10}, 1.0f)),
+              CullResult::Outside);
+}
+
+TEST_F(FrustumTest, BoxBeyondFarIsOutside)
+{
+    EXPECT_EQ(frustum.classify(boxAt({0, 0, -500}, 1.0f)),
+              CullResult::Outside);
+}
+
+TEST_F(FrustumTest, BoxFarLeftIsOutside)
+{
+    EXPECT_EQ(frustum.classify(boxAt({-100, 0, -10}, 1.0f)),
+              CullResult::Outside);
+}
+
+TEST_F(FrustumTest, BoxStraddlingNearIsIntersecting)
+{
+    EXPECT_EQ(frustum.classify(boxAt({0, 0, -0.5f}, 1.0f)),
+              CullResult::Intersecting);
+}
+
+TEST_F(FrustumTest, HugeBoxIntersects)
+{
+    EXPECT_EQ(frustum.classify(boxAt({0, 0, 0}, 1000.0f)),
+              CullResult::Intersecting);
+    EXPECT_TRUE(frustum.intersects(boxAt({0, 0, 0}, 1000.0f)));
+}
+
+TEST_F(FrustumTest, EmptyBoxIsOutside)
+{
+    Aabb empty;
+    EXPECT_EQ(frustum.classify(empty), CullResult::Outside);
+}
+
+TEST_F(FrustumTest, PlanesAreNormalized)
+{
+    for (int i = 0; i < 6; ++i)
+        EXPECT_NEAR(frustum.plane(i).normal.length(), 1.0f, 1e-4f);
+}
+
+} // namespace
+} // namespace mltc

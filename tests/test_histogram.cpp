@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the Histogram utility.
+ */
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.cdf(10), 0.0);
+}
+
+TEST(Histogram, BasicStats)
+{
+    Histogram h;
+    for (uint64_t v : {1, 2, 2, 3, 4})
+        h.add(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.max(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 12.0 / 5.0);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(5), 0u);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.99), 99u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.percentile(0.01), 1u);
+}
+
+TEST(Histogram, CdfMonotone)
+{
+    Histogram h;
+    for (uint64_t v : {0, 1, 1, 5, 9})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.cdf(0), 0.2);
+    EXPECT_DOUBLE_EQ(h.cdf(1), 0.6);
+    EXPECT_DOUBLE_EQ(h.cdf(4), 0.6);
+    EXPECT_DOUBLE_EQ(h.cdf(9), 1.0);
+}
+
+TEST(Histogram, OverflowBucketAggregates)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(100);
+    h.add(200);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max(), 200u);
+    EXPECT_EQ(h.bucket(100), 2u); // both overflow samples
+    EXPECT_EQ(h.bucket(200), 2u); // same overflow bucket
+    EXPECT_EQ(h.percentile(1.0), 11u); // cap+1 marker
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(7);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(7), 0u);
+    h.add(3);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+} // namespace
+} // namespace mltc

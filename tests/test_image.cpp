@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for Image, texel packing and MipPyramid construction.
+ */
+#include <gtest/gtest.h>
+
+#include "texture/image.hpp"
+#include "texture/mip_pyramid.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(TexelPacking, RoundTripsChannels)
+{
+    uint32_t t = packRgba(10, 20, 30, 40);
+    EXPECT_EQ(channel(t, 0), 10);
+    EXPECT_EQ(channel(t, 1), 20);
+    EXPECT_EQ(channel(t, 2), 30);
+    EXPECT_EQ(channel(t, 3), 40);
+}
+
+TEST(TexelPacking, DefaultAlphaOpaque)
+{
+    EXPECT_EQ(channel(packRgba(1, 2, 3), 3), 255);
+}
+
+TEST(PowerOfTwo, Detection)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(256));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(255));
+}
+
+TEST(Log2u, Values)
+{
+    EXPECT_EQ(log2u(1), 0u);
+    EXPECT_EQ(log2u(2), 1u);
+    EXPECT_EQ(log2u(1024), 10u);
+}
+
+TEST(Image, ConstructsWithFill)
+{
+    Image img(4, 8, 0xdeadbeefu);
+    EXPECT_EQ(img.width(), 4u);
+    EXPECT_EQ(img.height(), 8u);
+    EXPECT_EQ(img.texel(3, 7), 0xdeadbeefu);
+    EXPECT_EQ(img.bytes(), 4u * 8u * 4u);
+}
+
+TEST(Image, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(Image(3, 4), std::invalid_argument);
+    EXPECT_THROW(Image(4, 6), std::invalid_argument);
+}
+
+TEST(Image, SetAndGetTexel)
+{
+    Image img(8, 8);
+    img.setTexel(5, 2, 42);
+    EXPECT_EQ(img.texel(5, 2), 42u);
+    EXPECT_EQ(img.texel(5, 3), 0u);
+}
+
+TEST(Image, WrappedAccessRepeats)
+{
+    Image img(4, 4);
+    img.setTexel(1, 2, 7);
+    EXPECT_EQ(img.texelWrapped(1 + 4, 2 - 4), 7u);
+    EXPECT_EQ(img.texelWrapped(-3, 2), 7u); // -3 mod 4 == 1
+}
+
+TEST(MipPyramid, LevelCountForSquare)
+{
+    MipPyramid p(Image(256, 256));
+    EXPECT_EQ(p.levels(), 9u); // 256..1
+    EXPECT_EQ(p.level(0).width(), 256u);
+    EXPECT_EQ(p.level(8).width(), 1u);
+    EXPECT_EQ(p.level(8).height(), 1u);
+}
+
+TEST(MipPyramid, LevelCountForRectangular)
+{
+    MipPyramid p(Image(64, 16));
+    // Levels: 64x16, 32x8, 16x4, 8x2, 4x1, 2x1, 1x1 -> 7 levels.
+    EXPECT_EQ(p.levels(), 7u);
+    EXPECT_EQ(p.level(4).width(), 4u);
+    EXPECT_EQ(p.level(4).height(), 1u);
+}
+
+TEST(MipPyramid, BoxFilterAveragesUniformImage)
+{
+    Image base(8, 8, packRgba(100, 100, 100, 255));
+    MipPyramid p(std::move(base));
+    for (uint32_t m = 0; m < p.levels(); ++m)
+        EXPECT_EQ(channel(p.level(m).texel(0, 0), 0), 100);
+}
+
+TEST(MipPyramid, BoxFilterAveragesCheckerToMid)
+{
+    Image base(2, 2);
+    base.setTexel(0, 0, packRgba(0, 0, 0));
+    base.setTexel(1, 0, packRgba(200, 0, 0));
+    base.setTexel(0, 1, packRgba(200, 0, 0));
+    base.setTexel(1, 1, packRgba(0, 0, 0));
+    MipPyramid p(std::move(base));
+    EXPECT_EQ(p.levels(), 2u);
+    EXPECT_EQ(channel(p.level(1).texel(0, 0), 0), 100);
+}
+
+TEST(MipPyramid, TotalTexelsMatchesGeometricSum)
+{
+    MipPyramid p(Image(16, 16));
+    // 256 + 64 + 16 + 4 + 1 = 341
+    EXPECT_EQ(p.totalTexels(), 341u);
+    EXPECT_EQ(p.totalBytes(), 341u * 4u);
+}
+
+TEST(MipPyramid, OneByOneBase)
+{
+    MipPyramid p(Image(1, 1, 5));
+    EXPECT_EQ(p.levels(), 1u);
+    EXPECT_EQ(p.totalTexels(), 1u);
+}
+
+TEST(MipPyramid, PreservesAlphaChannel)
+{
+    Image base(4, 4, packRgba(0, 0, 0, 128));
+    MipPyramid p(std::move(base));
+    EXPECT_EQ(channel(p.level(2).texel(0, 0), 3), 128);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end integration tests: small workloads driven through the full
+ * rasterizer -> sinks pipeline, checking cross-module invariants that
+ * the paper's experiments rest on.
+ */
+#include <gtest/gtest.h>
+
+#include "core/push_model.hpp"
+#include "sim/multi_config_runner.hpp"
+#include "workload/city.hpp"
+#include "workload/village.hpp"
+
+namespace mltc {
+namespace {
+
+/** A miniature Village for fast end-to-end runs. */
+Workload
+tinyVillage()
+{
+    VillageParams p;
+    p.houses = 8;
+    p.trees = 6;
+    p.extent = 120.0f;
+    p.ground_texture_size = 128;
+    p.wall_texture_size = 128;
+    return buildVillage(p);
+}
+
+DriverConfig
+tinyConfig(FilterMode filter = FilterMode::Bilinear, int frames = 4)
+{
+    DriverConfig cfg;
+    cfg.width = 160;
+    cfg.height = 120;
+    cfg.filter = filter;
+    cfg.frames = frames;
+    return cfg;
+}
+
+TEST(Integration, RunAnimationProducesAccesses)
+{
+    Workload wl = tinyVillage();
+    CountingSink sink;
+    FrameStats total = runAnimation(wl, tinyConfig(), &sink);
+    EXPECT_GT(total.pixels_textured, 0u);
+    EXPECT_EQ(sink.count, total.texel_accesses);
+    // Bilinear: 4 texels per textured pixel.
+    EXPECT_EQ(total.texel_accesses, total.pixels_textured * 4);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    Workload a = tinyVillage();
+    Workload b = tinyVillage();
+    CountingSink sa, sb;
+    runAnimation(a, tinyConfig(), &sa);
+    runAnimation(b, tinyConfig(), &sb);
+    EXPECT_EQ(sa.count, sb.count);
+}
+
+TEST(Integration, MultiConfigRunnerRowsComplete)
+{
+    Workload wl = tinyVillage();
+    MultiConfigRunner runner(wl, tinyConfig());
+    runner.addSim(CacheSimConfig::pull(2 * 1024), "pull");
+    runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 1ull << 20), "two");
+    runner.addWorkingSets({16}, {4});
+    runner.addPushModel();
+
+    int callbacks = 0;
+    runner.run([&](const FrameRow &row) {
+        ++callbacks;
+        ASSERT_EQ(row.sims.size(), 2u);
+        ASSERT_TRUE(row.working_sets.has_value());
+        EXPECT_GT(row.push_bytes, 0u);
+        // Identical access streams: both sims see the same count.
+        EXPECT_EQ(row.sims[0].accesses, row.sims[1].accesses);
+    });
+    EXPECT_EQ(callbacks, 4);
+    EXPECT_EQ(runner.rows().size(), 4u);
+}
+
+TEST(Integration, L2ArchitectureNeverUsesMoreHostBandwidth)
+{
+    // The paper's sector-mapping guarantee, end-to-end: with identical
+    // L1, the L2 architecture's host traffic is <= pull's in every
+    // frame.
+    Workload wl = tinyVillage();
+    MultiConfigRunner runner(wl, tinyConfig(FilterMode::Trilinear, 6));
+    runner.addSim(CacheSimConfig::pull(2 * 1024), "pull");
+    runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20), "two");
+    runner.run([&](const FrameRow &row) {
+        EXPECT_LE(row.sims[1].host_bytes, row.sims[0].host_bytes);
+        EXPECT_EQ(row.sims[0].l1_misses, row.sims[1].l1_misses);
+    });
+}
+
+TEST(Integration, BiggerL1NeverMoreMisses)
+{
+    Workload wl = tinyVillage();
+    MultiConfigRunner runner(wl, tinyConfig());
+    runner.addSim(CacheSimConfig::pull(2 * 1024), "2k");
+    runner.addSim(CacheSimConfig::pull(16 * 1024), "16k");
+    runner.run();
+    EXPECT_LE(runner.sims()[1]->totals().l1_misses,
+              runner.sims()[0]->totals().l1_misses);
+}
+
+TEST(Integration, BiggerL2NeverMoreHostBytes)
+{
+    Workload wl = tinyVillage();
+    MultiConfigRunner runner(wl, tinyConfig(FilterMode::Bilinear, 6));
+    runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 512 * 1024), "small");
+    runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 4ull << 20), "big");
+    runner.run();
+    EXPECT_LE(runner.sims()[1]->totals().host_bytes,
+              runner.sims()[0]->totals().host_bytes * 11 / 10);
+}
+
+TEST(Integration, WorkingSetNewLessThanTotalAfterWarmup)
+{
+    Workload wl = tinyVillage();
+    MultiConfigRunner runner(wl, tinyConfig(FilterMode::Point, 8));
+    runner.addWorkingSets({16}, {4});
+    runner.run();
+    for (const auto &row : runner.rows()) {
+        if (row.frame == 0)
+            continue;
+        const auto &ws = row.working_sets->l2[0];
+        EXPECT_LE(ws.blocks_new, ws.blocks_touched);
+        // Incremental camera: most blocks repeat from last frame.
+        EXPECT_LT(ws.blocks_new, ws.blocks_touched);
+    }
+}
+
+TEST(Integration, ZPrepassReducesAccessesNotCoverage)
+{
+    Workload wl = tinyVillage();
+    DriverConfig base = tinyConfig(FilterMode::Bilinear, 3);
+    DriverConfig zp = base;
+    zp.z_prepass = true;
+
+    CountingSink s1, s2;
+    FrameStats f1 = runAnimation(wl, base, &s1);
+    FrameStats f2 = runAnimation(wl, zp, &s2);
+    EXPECT_LT(f2.pixels_textured, f1.pixels_textured);
+    EXPECT_GT(f2.pixels_textured, 0u);
+}
+
+TEST(Integration, TrilinearUsesMoreBandwidthThanBilinear)
+{
+    Workload wl = tinyVillage();
+    uint64_t bytes[2];
+    for (int i = 0; i < 2; ++i) {
+        MultiConfigRunner runner(
+            wl, tinyConfig(i ? FilterMode::Trilinear : FilterMode::Bilinear,
+                           4));
+        runner.addSim(CacheSimConfig::pull(2 * 1024), "p");
+        runner.run();
+        bytes[i] = runner.sims()[0]->totals().host_bytes;
+    }
+    EXPECT_GT(bytes[1], bytes[0]);
+}
+
+TEST(Integration, CityRunsEndToEnd)
+{
+    CityParams p;
+    p.blocks_x = p.blocks_z = 3;
+    p.facade_texture_size = 64;
+    Workload wl = buildCity(p);
+    MultiConfigRunner runner(wl, tinyConfig(FilterMode::Trilinear, 4));
+    CacheSimConfig sc = CacheSimConfig::twoLevel(2 * 1024, 1ull << 20);
+    sc.tlb_entries = 8;
+    runner.addSim(sc, "city-sim");
+    runner.run();
+    const CacheFrameStats &t = runner.sims()[0]->totals();
+    EXPECT_GT(t.accesses, 0u);
+    EXPECT_GT(t.tlb_probes, 0u);
+    EXPECT_GT(t.l1HitRate(), 0.5);
+}
+
+} // namespace
+} // namespace mltc

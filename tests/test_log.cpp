@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the logging utility (level filtering and message assembly).
+ */
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace mltc {
+namespace {
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setLogLevel(LogLevel::Info); }
+};
+
+TEST_F(LogTest, LevelRoundTrips)
+{
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+}
+
+TEST_F(LogTest, ConcatBuildsMessage)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST_F(LogTest, OffSuppressesEverything)
+{
+    setLogLevel(LogLevel::Off);
+    // Nothing should crash; output cannot easily be captured here, but
+    // the calls must be safe at every level.
+    logDebug("d");
+    logInfo("i");
+    logWarn("w");
+    logError("e");
+}
+
+TEST_F(LogTest, OrderingOfLevels)
+{
+    EXPECT_LT(static_cast<int>(LogLevel::Debug),
+              static_cast<int>(LogLevel::Info));
+    EXPECT_LT(static_cast<int>(LogLevel::Info),
+              static_cast<int>(LogLevel::Warn));
+    EXPECT_LT(static_cast<int>(LogLevel::Warn),
+              static_cast<int>(LogLevel::Error));
+    EXPECT_LT(static_cast<int>(LogLevel::Error),
+              static_cast<int>(LogLevel::Off));
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for mesh primitives and mesh utilities.
+ */
+#include <gtest/gtest.h>
+
+#include "scene/mesh.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(Mesh, QuadXZGeometry)
+{
+    Mesh m = makeQuadXZ(4.0f, 2.0f, 3.0f, 5.0f);
+    ASSERT_EQ(m.vertices.size(), 4u);
+    ASSERT_EQ(m.triangleCount(), 2u);
+    Aabb b = m.bounds();
+    EXPECT_FLOAT_EQ(b.min.x, -2.0f);
+    EXPECT_FLOAT_EQ(b.max.x, 2.0f);
+    EXPECT_FLOAT_EQ(b.min.z, -1.0f);
+    EXPECT_FLOAT_EQ(b.max.z, 1.0f);
+    EXPECT_FLOAT_EQ(b.min.y, 0.0f);
+    EXPECT_FLOAT_EQ(b.max.y, 0.0f);
+    // UVs cover the requested repeats.
+    float max_u = 0, max_v = 0;
+    for (const auto &v : m.vertices) {
+        max_u = std::max(max_u, v.uv.x);
+        max_v = std::max(max_v, v.uv.y);
+    }
+    EXPECT_FLOAT_EQ(max_u, 3.0f);
+    EXPECT_FLOAT_EQ(max_v, 5.0f);
+}
+
+TEST(Mesh, QuadXYStandsUp)
+{
+    Mesh m = makeQuadXY(2.0f, 6.0f, 1.0f, 1.0f);
+    Aabb b = m.bounds();
+    EXPECT_FLOAT_EQ(b.min.y, 0.0f);
+    EXPECT_FLOAT_EQ(b.max.y, 6.0f);
+    EXPECT_FLOAT_EQ(b.min.z, 0.0f);
+    EXPECT_FLOAT_EQ(b.max.z, 0.0f);
+}
+
+TEST(Mesh, BoxHasFiveFaces)
+{
+    Mesh m = makeBox(2.0f, 3.0f, 4.0f, 1.0f);
+    // 5 faces (no bottom) x 2 triangles.
+    EXPECT_EQ(m.triangleCount(), 10u);
+    Aabb b = m.bounds();
+    EXPECT_FLOAT_EQ(b.min.y, 0.0f);
+    EXPECT_FLOAT_EQ(b.max.y, 3.0f);
+    EXPECT_FLOAT_EQ(b.max.x, 1.0f);
+    EXPECT_FLOAT_EQ(b.max.z, 2.0f);
+}
+
+TEST(Mesh, BoxUvScalesWithSize)
+{
+    Mesh m = makeBox(8.0f, 2.0f, 8.0f, 0.5f);
+    float max_u = 0;
+    for (const auto &v : m.vertices)
+        max_u = std::max(max_u, v.uv.x);
+    EXPECT_FLOAT_EQ(max_u, 4.0f); // 8 units * 0.5 repeats/unit
+}
+
+TEST(Mesh, GroundGridCounts)
+{
+    Mesh m = makeGroundGrid(100.0f, 4, 10.0f);
+    EXPECT_EQ(m.vertices.size(), 25u);
+    EXPECT_EQ(m.triangleCount(), 32u);
+    Aabb b = m.bounds();
+    EXPECT_FLOAT_EQ(b.min.x, -50.0f);
+    EXPECT_FLOAT_EQ(b.max.z, 50.0f);
+}
+
+TEST(Mesh, GroundGridClampsCells)
+{
+    Mesh m = makeGroundGrid(10.0f, 0, 1.0f);
+    EXPECT_EQ(m.triangleCount(), 2u);
+}
+
+TEST(Mesh, GabledRoofGeometry)
+{
+    Mesh m = makeGabledRoof(6.0f, 4.0f, 3.0f, 5.0f, 2.0f);
+    // 2 slopes x 2 triangles + 2 gable triangles.
+    EXPECT_EQ(m.triangleCount(), 6u);
+    Aabb b = m.bounds();
+    EXPECT_FLOAT_EQ(b.min.y, 3.0f);
+    EXPECT_FLOAT_EQ(b.max.y, 5.0f);
+}
+
+TEST(Mesh, AppendRebasesIndices)
+{
+    Mesh a = makeQuadXZ(1, 1, 1, 1);
+    Mesh b = makeQuadXZ(2, 2, 1, 1);
+    size_t a_verts = a.vertices.size();
+    appendMesh(a, b);
+    EXPECT_EQ(a.vertices.size(), 8u);
+    EXPECT_EQ(a.triangleCount(), 4u);
+    // Appended indices reference appended vertices.
+    for (size_t i = 6; i < a.indices.size(); ++i)
+        EXPECT_GE(a.indices[i], a_verts);
+}
+
+TEST(Mesh, TransformMovesBounds)
+{
+    Mesh m = makeQuadXZ(2, 2, 1, 1);
+    transformMesh(m, Mat4::translate({10, 5, 0}));
+    Aabb b = m.bounds();
+    EXPECT_FLOAT_EQ(b.center().x, 10.0f);
+    EXPECT_FLOAT_EQ(b.center().y, 5.0f);
+}
+
+TEST(Mesh, EmptyMeshBoundsEmpty)
+{
+    Mesh m;
+    EXPECT_TRUE(m.bounds().empty());
+    EXPECT_EQ(m.triangleCount(), 0u);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the analytic models: expected working set (Fig. 3),
+ * structure sizes (Table 4) and the fractional-advantage performance
+ * model (Tables 5-7). Includes checks against the paper's quoted
+ * numbers.
+ */
+#include <gtest/gtest.h>
+
+#include "model/performance_model.hpp"
+#include "model/structure_size_model.hpp"
+#include "model/working_set_model.hpp"
+
+namespace mltc {
+namespace {
+
+// --- Working-set model -----------------------------------------------------
+
+TEST(WorkingSetModel, MatchesPaperVillageNumber)
+{
+    // Paper Table 1: Village, d = 3.8, utilization = 4.7 at 1024x768
+    // -> W = 2.43 MB.
+    double w = expectedWorkingSetBytes(1024ull * 768, 3.8, 4.7);
+    EXPECT_NEAR(w / (1024 * 1024), 2.43, 0.12);
+}
+
+TEST(WorkingSetModel, MatchesPaperCityNumber)
+{
+    // Paper Table 1: City, d = 1.9, utilization = 7.8 -> W = 0.73 MB.
+    double w = expectedWorkingSetBytes(1024ull * 768, 1.9, 7.8);
+    EXPECT_NEAR(w / (1024 * 1024), 0.73, 0.05);
+}
+
+TEST(WorkingSetModel, LinearInDepthInverseInUtilization)
+{
+    double base = expectedWorkingSetBytes(1000, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(expectedWorkingSetBytes(1000, 2.0, 1.0), 2 * base);
+    EXPECT_DOUBLE_EQ(expectedWorkingSetBytes(1000, 1.0, 2.0), base / 2);
+    EXPECT_DOUBLE_EQ(base, 4000.0);
+}
+
+TEST(WorkingSetModel, RejectsNonPositiveUtilization)
+{
+    EXPECT_THROW(expectedWorkingSetBytes(1000, 1.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(expectedWorkingSetBytes(1000, 1.0, -1.0),
+                 std::invalid_argument);
+}
+
+TEST(WorkingSetModel, MeasuredUtilizationInvertsDefinition)
+{
+    // 512 refs over 2 blocks of 16x16 texels -> 512 / 512 = 1.0.
+    EXPECT_DOUBLE_EQ(measuredUtilization(512, 2, 16), 1.0);
+    EXPECT_DOUBLE_EQ(measuredUtilization(1024, 2, 16), 2.0);
+    EXPECT_DOUBLE_EQ(measuredUtilization(100, 0, 16), 0.0);
+}
+
+// --- Structure sizes (Table 4) ----------------------------------------------
+
+TEST(StructureSizes, PageTableMatchesPaperRow)
+{
+    // Paper: 16 MB host texture with 16x16 32-bit tiles -> 16K entries
+    // -> 64 KB table.
+    StructureSizeParams p;
+    p.host_texture_bytes = 16ull << 20;
+    StructureSizes s = computeStructureSizes(p);
+    EXPECT_EQ(s.page_table_entries, 16u * 1024u);
+    EXPECT_EQ(s.page_table_bytes, 64u * 1024u);
+}
+
+TEST(StructureSizes, PageTableScalesLinearly)
+{
+    StructureSizeParams p;
+    p.host_texture_bytes = 1ull << 30; // 1 GB
+    StructureSizes s = computeStructureSizes(p);
+    EXPECT_EQ(s.page_table_bytes, 4096u * 1024u); // paper: 4096 KB
+}
+
+TEST(StructureSizes, BrlSizesMatchPaperRows)
+{
+    for (uint64_t l2_mb : {2ull, 4ull, 8ull}) {
+        StructureSizeParams p;
+        p.l2_cache_bytes = l2_mb << 20;
+        StructureSizes s = computeStructureSizes(p);
+        EXPECT_EQ(s.l2_blocks, l2_mb * 1024); // 1 KB blocks
+        // Active bits: 0.25/0.5/1 KB.
+        EXPECT_EQ(s.brl_active_bits_bytes, l2_mb * 128);
+        // t-index storage: 8/16/32 KB.
+        EXPECT_EQ(s.brl_index_bytes, l2_mb * 4096);
+    }
+}
+
+TEST(StructureSizes, SectorBitsGrowEntrySize)
+{
+    StructureSizeParams p;
+    p.host_texture_bytes = 1 << 20;
+    p.l2_tile = 32;
+    p.l1_tile = 4; // 64 sectors -> 4 sector words + 1 block word
+    StructureSizes s = computeStructureSizes(p);
+    uint64_t entries = (1 << 20) / (32 * 32 * 4);
+    EXPECT_EQ(s.page_table_bytes, entries * 10);
+}
+
+TEST(StructureSizes, RejectsBadTiles)
+{
+    StructureSizeParams p;
+    p.l1_tile = 0;
+    EXPECT_THROW(computeStructureSizes(p), std::invalid_argument);
+    p.l1_tile = 32;
+    p.l2_tile = 16;
+    EXPECT_THROW(computeStructureSizes(p), std::invalid_argument);
+}
+
+// --- Performance model (fractional advantage) -------------------------------
+
+TEST(PerformanceModel, PerfectL2FullHitsGiveHalf)
+{
+    // All L1 misses served as L2 full hits: f = c - (c - 1/2) = 1/2
+    // (local memory is 2x host bandwidth, §5.4.2).
+    PerformanceInputs in;
+    in.l2_full_hit_rate = 1.0;
+    in.full_miss_cost = 8.0;
+    EXPECT_DOUBLE_EQ(fractionalAdvantage(in), 0.5);
+}
+
+TEST(PerformanceModel, AllPartialHitsGiveOne)
+{
+    // Partial hits download exactly like the pull architecture: f = 1.
+    PerformanceInputs in;
+    in.l2_partial_hit_rate = 1.0;
+    in.full_miss_cost = 8.0;
+    EXPECT_DOUBLE_EQ(fractionalAdvantage(in), 1.0);
+}
+
+TEST(PerformanceModel, AllFullMissesCostC)
+{
+    PerformanceInputs in;
+    in.full_miss_cost = 8.0;
+    EXPECT_DOUBLE_EQ(fractionalAdvantage(in), 8.0);
+}
+
+TEST(PerformanceModel, TypicalMeasuredRatesBeatPull)
+{
+    // Rates in the ballpark of the paper's Tables 5/6: h2full ~ 0.95.
+    PerformanceInputs in;
+    in.l1_hit_rate = 0.98;
+    in.l2_full_hit_rate = 0.95;
+    in.l2_partial_hit_rate = 0.04;
+    in.full_miss_cost = 8.0;
+    double f = fractionalAdvantage(in);
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(l2Speedup(in), 1.0);
+}
+
+TEST(PerformanceModel, AccessCostsConsistent)
+{
+    PerformanceInputs in;
+    in.l1_hit_rate = 0.9;
+    in.l2_full_hit_rate = 1.0;
+    in.full_miss_cost = 8.0;
+    EXPECT_DOUBLE_EQ(pullAverageAccessCost(in), 0.1);
+    EXPECT_NEAR(l2AverageAccessCost(in), 0.05, 1e-12);
+    EXPECT_NEAR(l2Speedup(in), 2.0, 1e-9);
+}
+
+TEST(PerformanceModel, RejectsNonPositiveCost)
+{
+    PerformanceInputs in;
+    in.full_miss_cost = 0.0;
+    EXPECT_THROW(fractionalAdvantage(in), std::invalid_argument);
+}
+
+TEST(PerformanceModel, FIsMonotoneInHitRates)
+{
+    PerformanceInputs lo, hi;
+    lo.full_miss_cost = hi.full_miss_cost = 8.0;
+    lo.l2_full_hit_rate = 0.5;
+    hi.l2_full_hit_rate = 0.9;
+    EXPECT_GT(fractionalAdvantage(lo), fractionalAdvantage(hi));
+}
+
+} // namespace
+} // namespace mltc

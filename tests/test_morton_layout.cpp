@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit + property tests for the Morton ("6D blocked") tiled layout used
+ * for L1 tag/index computation.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "texture/texture_manager.hpp"
+#include "texture/tiled_layout.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(Morton, InterleaveKnownValues)
+{
+    EXPECT_EQ(mortonInterleave(0, 0), 0u);
+    EXPECT_EQ(mortonInterleave(1, 0), 1u);
+    EXPECT_EQ(mortonInterleave(0, 1), 2u);
+    EXPECT_EQ(mortonInterleave(1, 1), 3u);
+    EXPECT_EQ(mortonInterleave(2, 0), 4u);
+    EXPECT_EQ(mortonInterleave(0, 2), 8u);
+    EXPECT_EQ(mortonInterleave(3, 3), 15u);
+    EXPECT_EQ(mortonInterleave(4, 0), 16u);
+}
+
+TEST(Morton, InterleaveInjectiveOnGrid)
+{
+    std::set<uint32_t> seen;
+    for (uint32_t y = 0; y < 32; ++y)
+        for (uint32_t x = 0; x < 32; ++x)
+            EXPECT_TRUE(seen.insert(mortonInterleave(x, y)).second);
+    EXPECT_EQ(seen.size(), 1024u);
+    // A 32x32 grid fills [0, 1024) densely.
+    EXPECT_EQ(*seen.rbegin(), 1023u);
+}
+
+TEST(MortonLayout, SpecKeyDistinguishesMorton)
+{
+    TileSpec row{16, 4, false};
+    TileSpec mor{16, 4, true};
+    EXPECT_NE(row.key(), mor.key());
+    EXPECT_FALSE(row == mor);
+}
+
+TEST(MortonLayout, ManagerCachesSeparately)
+{
+    TextureManager tm;
+    TextureId t = tm.load("t", MipPyramid(Image(64, 64)));
+    const TiledLayout &a = tm.layout(t, TileSpec{16, 4, false});
+    const TiledLayout &b = tm.layout(t, TileSpec{16, 4, true});
+    EXPECT_NE(&a, &b);
+}
+
+TEST(MortonLayout, LinearisedIndexIsGlobalMortonCode)
+{
+    // The defining property: l2_block_offset * subs + l1_sub equals the
+    // Morton code of the global L1-tile coordinates.
+    TiledLayout layout(256, 256, 1, TileSpec{16, 4, true});
+    const uint32_t subs = 16; // (16/4)^2
+    for (uint32_t ty = 0; ty < 64; ++ty) {
+        for (uint32_t tx = 0; tx < 64; ++tx) {
+            VirtualBlock b = layout.blockOf(1, tx * 4, ty * 4, 0);
+            uint32_t linear =
+                (b.l2_block - layout.levelBase(0)) * subs + b.l1_sub;
+            EXPECT_EQ(linear, mortonInterleave(tx, ty))
+                << "tile (" << tx << "," << ty << ")";
+        }
+    }
+}
+
+TEST(MortonLayout, UniqueAcrossLevels)
+{
+    TiledLayout layout(128, 128, 8, TileSpec{16, 4, true});
+    std::set<uint64_t> seen;
+    for (uint32_t m = 0; m < 8; ++m) {
+        uint32_t dim = std::max(1u, 128u >> m);
+        for (uint32_t y = 0; y < dim; y += 4)
+            for (uint32_t x = 0; x < dim; x += 4)
+                EXPECT_TRUE(seen.insert(layout.blockKeyOf(1, x, y, m)).second)
+                    << "m=" << m << " (" << x << "," << y << ")";
+    }
+}
+
+TEST(MortonLayout, RectangularTexturePadsButStaysUnique)
+{
+    // 128x32: levels padded to square power-of-two grids for the
+    // interleave; addresses must stay unique within each level.
+    TiledLayout layout(128, 32, 1, TileSpec{16, 4, true});
+    std::set<uint64_t> seen;
+    for (uint32_t y = 0; y < 32; y += 4)
+        for (uint32_t x = 0; x < 128; x += 4)
+            EXPECT_TRUE(seen.insert(layout.blockKeyOf(1, x, y, 0)).second);
+    EXPECT_EQ(seen.size(), 32u * 8u / 1u); // 32x8 L1 tiles
+}
+
+TEST(MortonLayout, RowMajorAndMortonTouchSameTileSets)
+{
+    // The two layouts must partition texels identically (same tile
+    // membership), just with different numbering.
+    TiledLayout row(64, 64, 1, TileSpec{16, 4, false});
+    TiledLayout mor(64, 64, 1, TileSpec{16, 4, true});
+    // Two texels share a row-major tile iff they share a Morton tile.
+    struct Probe
+    {
+        uint32_t x1, y1, x2, y2;
+    } probes[] = {
+        {0, 0, 3, 3},   {0, 0, 4, 0},   {17, 9, 18, 10}, {17, 9, 20, 9},
+        {63, 63, 60, 60}, {31, 0, 32, 0}, {15, 15, 16, 16},
+    };
+    for (const auto &p : probes) {
+        bool same_row = row.blockKeyOf(1, p.x1, p.y1, 0) ==
+                        row.blockKeyOf(1, p.x2, p.y2, 0);
+        bool same_mor = mor.blockKeyOf(1, p.x1, p.y1, 0) ==
+                        mor.blockKeyOf(1, p.x2, p.y2, 0);
+        EXPECT_EQ(same_row, same_mor)
+            << "(" << p.x1 << "," << p.y1 << ") vs (" << p.x2 << ","
+            << p.y2 << ")";
+    }
+}
+
+TEST(MortonLayout, ContiguousRegionSpreadsOverSets)
+{
+    // The reason Morton exists here: a 64x64-texel region's linearised
+    // indices must cover all residues mod any power-of-two set count up
+    // to the region's tile count.
+    TiledLayout layout(256, 256, 1, TileSpec{16, 4, true});
+    const uint32_t subs = 16;
+    std::set<uint32_t> residues;
+    for (uint32_t y = 0; y < 64; y += 4)
+        for (uint32_t x = 0; x < 64; x += 4) {
+            VirtualBlock b = layout.blockOf(1, x, y, 0);
+            uint32_t linear =
+                (b.l2_block - layout.levelBase(0)) * subs + b.l1_sub;
+            residues.insert(linear & 127); // 128 sets
+        }
+    EXPECT_EQ(residues.size(), 128u) << "region must fill every set";
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the L2 sector prefetch extension.
+ */
+#include <gtest/gtest.h>
+
+#include "core/l2_cache.hpp"
+
+namespace mltc {
+namespace {
+
+class PrefetchTest : public ::testing::Test
+{
+  protected:
+    PrefetchTest()
+    {
+        tex = tm.load("t", MipPyramid(Image(64, 64)));
+    }
+
+    L2TextureCache
+    cache(PrefetchPolicy policy)
+    {
+        L2Config c;
+        c.l2_tile = 16;
+        c.l1_tile = 4; // 16 sectors, 4 per row
+        c.size_bytes = 8 * c.blockBytes();
+        c.prefetch = policy;
+        return L2TextureCache(tm, c);
+    }
+
+    TextureManager tm;
+    TextureId tex;
+};
+
+TEST_F(PrefetchTest, PolicyNames)
+{
+    EXPECT_STREQ(prefetchPolicyName(PrefetchPolicy::None), "none");
+    EXPECT_STREQ(prefetchPolicyName(PrefetchPolicy::AdjacentSector),
+                 "adjacent");
+    EXPECT_STREQ(prefetchPolicyName(PrefetchPolicy::WholeBlock),
+                 "whole-block");
+}
+
+TEST_F(PrefetchTest, NonePrefetchesNothing)
+{
+    L2TextureCache l2 = cache(PrefetchPolicy::None);
+    l2.access(0, 0, 64);
+    EXPECT_EQ(l2.stats().prefetch_sectors, 0u);
+    EXPECT_EQ(l2.lastDownloadSectors(), 1u);
+    EXPECT_FALSE(l2.probe(0, 1));
+}
+
+TEST_F(PrefetchTest, AdjacentFetchesNextSectorInRow)
+{
+    L2TextureCache l2 = cache(PrefetchPolicy::AdjacentSector);
+    l2.access(0, 0, 64);
+    EXPECT_EQ(l2.stats().prefetch_sectors, 1u);
+    EXPECT_EQ(l2.lastDownloadSectors(), 2u);
+    EXPECT_TRUE(l2.probe(0, 1)); // sector 1 prefetched
+    EXPECT_FALSE(l2.probe(0, 2));
+    // Host bytes include the prefetch.
+    EXPECT_EQ(l2.stats().host_bytes, 128u);
+}
+
+TEST_F(PrefetchTest, AdjacentStopsAtRowEnd)
+{
+    L2TextureCache l2 = cache(PrefetchPolicy::AdjacentSector);
+    // Sector 3 is the last in its row (4 per row): no prefetch.
+    l2.access(0, 3, 64);
+    EXPECT_EQ(l2.stats().prefetch_sectors, 0u);
+    EXPECT_FALSE(l2.probe(0, 4)); // next row not fetched
+}
+
+TEST_F(PrefetchTest, PrefetchedSectorIsFullHitAndCountedUseful)
+{
+    L2TextureCache l2 = cache(PrefetchPolicy::AdjacentSector);
+    l2.access(0, 0, 64);
+    EXPECT_EQ(l2.access(0, 1, 64), L2Result::FullHit);
+    EXPECT_EQ(l2.stats().prefetch_useful, 1u);
+    // A second demand on the same sector is no longer "useful".
+    l2.access(0, 1, 64);
+    EXPECT_EQ(l2.stats().prefetch_useful, 1u);
+}
+
+TEST_F(PrefetchTest, AdjacentDoesNotRefetchPresentSector)
+{
+    L2TextureCache l2 = cache(PrefetchPolicy::AdjacentSector);
+    l2.access(0, 1, 64); // brings 1 (demand) and 2 (prefetch)
+    uint64_t bytes = l2.stats().host_bytes;
+    l2.access(0, 0, 64); // demand 0; adjacent 1 already present
+    EXPECT_EQ(l2.stats().host_bytes, bytes + 64);
+    EXPECT_EQ(l2.lastDownloadSectors(), 1u);
+}
+
+TEST_F(PrefetchTest, WholeBlockFetchesAllSectors)
+{
+    L2TextureCache l2 = cache(PrefetchPolicy::WholeBlock);
+    l2.access(0, 5, 64);
+    EXPECT_EQ(l2.stats().prefetch_sectors, 15u);
+    EXPECT_EQ(l2.lastDownloadSectors(), 16u);
+    for (uint32_t s = 0; s < 16; ++s)
+        EXPECT_TRUE(l2.probe(0, s));
+    // Every later sector demand is a full hit.
+    for (uint32_t s = 0; s < 16; ++s)
+        EXPECT_EQ(l2.access(0, s, 64), L2Result::FullHit);
+    EXPECT_EQ(l2.stats().prefetch_useful, 15u);
+}
+
+TEST_F(PrefetchTest, EvictionClearsPrefetchState)
+{
+    L2Config c;
+    c.l2_tile = 16;
+    c.l1_tile = 4;
+    c.size_bytes = 2 * c.blockBytes(); // 2 physical blocks
+    c.prefetch = PrefetchPolicy::WholeBlock;
+    L2TextureCache l2(tm, c);
+    l2.access(0, 0, 64);
+    l2.access(1, 0, 64);
+    l2.access(2, 0, 64); // evicts one block
+    // The evicted virtual block must come back as a full miss, not a
+    // stale prefetched hit.
+    uint32_t evicted = l2.probe(0, 0) ? 1 : 0;
+    EXPECT_EQ(l2.access(evicted, 0, 64), L2Result::FullMiss);
+}
+
+TEST_F(PrefetchTest, WholeBlockUsesMoreBandwidthThanDemand)
+{
+    L2TextureCache demand = cache(PrefetchPolicy::None);
+    L2TextureCache whole = cache(PrefetchPolicy::WholeBlock);
+    // Demand just 2 sectors of one block.
+    demand.access(0, 0, 64);
+    demand.access(0, 1, 64);
+    whole.access(0, 0, 64);
+    whole.access(0, 1, 64);
+    EXPECT_EQ(demand.stats().host_bytes, 128u);
+    EXPECT_EQ(whole.stats().host_bytes, 16u * 64u);
+}
+
+} // namespace
+} // namespace mltc

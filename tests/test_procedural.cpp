@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for procedural texture synthesis: determinism, dimensions,
+ * structural properties (mortar lines, window grids, alpha cutouts) and
+ * value ranges.
+ */
+#include <gtest/gtest.h>
+
+#include "texture/procedural.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(FractalNoise, DeterministicAndBounded)
+{
+    for (int i = 0; i < 100; ++i) {
+        float a = fractalNoise(i * 7, i * 3, 256, 42);
+        float b = fractalNoise(i * 7, i * 3, 256, 42);
+        EXPECT_EQ(a, b);
+        EXPECT_GE(a, 0.0f);
+        EXPECT_LE(a, 1.0f);
+    }
+}
+
+TEST(FractalNoise, SeedChangesField)
+{
+    int diff = 0;
+    for (int i = 0; i < 50; ++i)
+        if (fractalNoise(i, i, 256, 1) != fractalNoise(i, i, 256, 2))
+            ++diff;
+    EXPECT_GT(diff, 40);
+}
+
+TEST(Checker, AlternatesCells)
+{
+    Image img = makeChecker(8, 2, 1, 2);
+    EXPECT_EQ(img.texel(0, 0), 1u);
+    EXPECT_EQ(img.texel(2, 0), 2u);
+    EXPECT_EQ(img.texel(0, 2), 2u);
+    EXPECT_EQ(img.texel(2, 2), 1u);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<int>
+{
+};
+
+/** Every generator yields the requested power-of-two size and is
+ *  deterministic in its seed. */
+TEST_P(GeneratorTest, SizeAndDeterminism)
+{
+    const uint32_t size = 64;
+    const uint64_t seed = 99;
+    auto make = [&](uint64_t s) -> Image {
+        switch (GetParam()) {
+          case 0: return makeBrickWall(size, s);
+          case 1: return makeRoofShingles(size, s);
+          case 2: return makeGrass(size, s);
+          case 3: return makeDirt(size, s);
+          case 4: return makeRoad(size, s);
+          case 5: return makeFacade(size, s, 4, 4);
+          case 6: return makeSky(size, s);
+          case 7: return makeWoodPlanks(size, s);
+          case 8: return makeStone(size, s);
+          case 9: return makeFoliage(size, s);
+          default: return makePlaster(size, s);
+        }
+    };
+    Image a = make(seed);
+    Image b = make(seed);
+    ASSERT_EQ(a.width(), size);
+    ASSERT_EQ(a.height(), size);
+    EXPECT_EQ(a.data(), b.data());
+    // A different seed must change at least some texels (sky gradient
+    // dominated images still have noise clouds).
+    Image c = make(seed + 1);
+    EXPECT_NE(a.data(), c.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorTest,
+                         ::testing::Range(0, 11));
+
+TEST(Brick, HasDistinctMortarAndBrickColors)
+{
+    Image img = makeBrickWall(64, 5);
+    // Bricks are red-dominant; mortar is grey (R ~= G). Expect both
+    // kinds of texel to appear.
+    int red_dominant = 0, greyish = 0;
+    for (uint32_t y = 0; y < 64; ++y)
+        for (uint32_t x = 0; x < 64; ++x) {
+            uint32_t t = img.texel(x, y);
+            int r = channel(t, 0), g = channel(t, 1);
+            if (r > g + 40)
+                ++red_dominant;
+            else if (std::abs(r - g) < 25)
+                ++greyish;
+        }
+    EXPECT_GT(red_dominant, 64 * 64 / 4);
+    EXPECT_GT(greyish, 64 * 64 / 20);
+}
+
+TEST(Facade, HasLitAndDarkWindows)
+{
+    Image img = makeFacade(128, 7, 6, 6);
+    int bright = 0, dark = 0;
+    for (uint32_t y = 0; y < 128; ++y)
+        for (uint32_t x = 0; x < 128; ++x) {
+            uint32_t t = img.texel(x, y);
+            int lum = channel(t, 0) + channel(t, 1) + channel(t, 2);
+            if (lum > 470) // lit windows reach ~(242,217,102)
+                ++bright;
+            if (lum < 220)
+                ++dark;
+        }
+    EXPECT_GT(dark, 100) << "expected unlit window texels";
+    EXPECT_GT(bright, 0) << "expected some lit windows or highlights";
+}
+
+TEST(Foliage, HasTransparentGaps)
+{
+    Image img = makeFoliage(64, 11);
+    int transparent = 0, opaque = 0;
+    for (uint32_t y = 0; y < 64; ++y)
+        for (uint32_t x = 0; x < 64; ++x) {
+            if (channel(img.texel(x, y), 3) == 0)
+                ++transparent;
+            else
+                ++opaque;
+        }
+    EXPECT_GT(transparent, 64);
+    EXPECT_GT(opaque, 64 * 64 / 4);
+    // Corners are outside the canopy disc.
+    EXPECT_EQ(channel(img.texel(0, 0), 3), 0);
+}
+
+TEST(Sky, TopDarkerBlueThanBottom)
+{
+    Image img = makeSky(64, 13);
+    // The gradient runs darker blue at y=0 to pale at y=max; compare
+    // average red channel (pale has more red).
+    long top = 0, bottom = 0;
+    for (uint32_t x = 0; x < 64; ++x) {
+        top += channel(img.texel(x, 1), 0);
+        bottom += channel(img.texel(x, 62), 0);
+    }
+    EXPECT_LT(top, bottom);
+}
+
+TEST(Grass, IsGreenDominant)
+{
+    Image img = makeGrass(64, 17);
+    long r = 0, g = 0, b = 0;
+    for (uint32_t y = 0; y < 64; ++y)
+        for (uint32_t x = 0; x < 64; ++x) {
+            uint32_t t = img.texel(x, y);
+            r += channel(t, 0);
+            g += channel(t, 1);
+            b += channel(t, 2);
+        }
+    EXPECT_GT(g, r);
+    EXPECT_GT(g, b);
+}
+
+TEST(Road, HasLaneMarkings)
+{
+    Image img = makeRoad(128, 19);
+    // Some texels near the center column should be yellowish (R,G >> B).
+    int markings = 0;
+    for (uint32_t y = 0; y < 128; ++y) {
+        uint32_t t = img.texel(64, y);
+        if (channel(t, 0) > 120 && channel(t, 1) > 110 &&
+            channel(t, 2) < 110)
+            ++markings;
+    }
+    EXPECT_GT(markings, 8);
+}
+
+} // namespace
+} // namespace mltc

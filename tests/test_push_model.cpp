@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the push-architecture oracle memory model.
+ */
+#include <gtest/gtest.h>
+
+#include "core/push_model.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(PushModel, SumsWholeTexturesTouched)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", MipPyramid(Image(64, 64)));
+    TextureId b = tm.load("b", MipPyramid(Image(32, 32)), 2);
+
+    PushArchitectureModel push(tm);
+    push.bindTexture(a);
+    push.access(0, 0, 0);
+    push.bindTexture(b);
+    uint64_t expected = tm.texture(a).hostBytes() +
+                        tm.texture(b).hostBytes();
+    EXPECT_EQ(push.endFrame(), expected);
+}
+
+TEST(PushModel, RebindDoesNotDoubleCount)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", MipPyramid(Image(64, 64)));
+    PushArchitectureModel push(tm);
+    push.bindTexture(a);
+    push.bindTexture(a);
+    push.bindTexture(a);
+    EXPECT_EQ(push.endFrame(), tm.texture(a).hostBytes());
+}
+
+TEST(PushModel, FrameBoundaryResets)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", MipPyramid(Image(64, 64)));
+    PushArchitectureModel push(tm);
+    push.bindTexture(a);
+    push.endFrame();
+    // Untouched frame costs nothing (oracle replacement).
+    EXPECT_EQ(push.endFrame(), 0u);
+    // Touching again next frame counts again.
+    push.bindTexture(a);
+    EXPECT_EQ(push.endFrame(), tm.texture(a).hostBytes());
+}
+
+TEST(PushModel, UsesOriginalDepth)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", MipPyramid(Image(16, 16)), 1); // 8-bit
+    PushArchitectureModel push(tm);
+    push.bindTexture(a);
+    EXPECT_EQ(push.endFrame(), tm.texture(a).pyramid.totalTexels());
+}
+
+} // namespace
+} // namespace mltc

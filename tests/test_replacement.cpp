@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the victim selectors: clock, exact LRU, FIFO, random.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/replacement.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(PolicyParsing, RoundTrips)
+{
+    for (auto p : {ReplacementPolicy::Clock, ReplacementPolicy::Lru,
+                   ReplacementPolicy::Fifo, ReplacementPolicy::Random})
+        EXPECT_EQ(parseReplacementPolicy(replacementPolicyName(p)), p);
+    EXPECT_THROW(parseReplacementPolicy("bogus"), std::invalid_argument);
+}
+
+TEST(Factory, MakesEachKind)
+{
+    for (auto p : {ReplacementPolicy::Clock, ReplacementPolicy::Lru,
+                   ReplacementPolicy::Fifo, ReplacementPolicy::Random}) {
+        auto sel = makeVictimSelector(p, 8);
+        ASSERT_NE(sel, nullptr);
+        uint32_t v = sel->selectVictim();
+        EXPECT_LT(v, 8u);
+    }
+}
+
+// --- Clock -----------------------------------------------------------------
+
+TEST(Clock, EvictsInactiveFirst)
+{
+    ClockSelector clock(4);
+    clock.onAccess(0);
+    clock.onAccess(1);
+    // 2 and 3 inactive; hand at 0: clears 0,1 then takes 2.
+    EXPECT_EQ(clock.selectVictim(), 2u);
+    EXPECT_EQ(clock.lastSearchSteps(), 3u);
+}
+
+TEST(Clock, SecondChanceSemantics)
+{
+    ClockSelector clock(2);
+    clock.onAccess(0);
+    clock.onAccess(1);
+    // All active: first sweep clears both, second sweep takes index 0.
+    EXPECT_EQ(clock.selectVictim(), 0u);
+    // 1's bit was cleared; it goes next.
+    EXPECT_EQ(clock.selectVictim(), 1u);
+}
+
+TEST(Clock, HandAdvances)
+{
+    ClockSelector clock(4);
+    // No activity: victims come out in circular order.
+    EXPECT_EQ(clock.selectVictim(), 0u);
+    EXPECT_EQ(clock.selectVictim(), 1u);
+    EXPECT_EQ(clock.selectVictim(), 2u);
+    EXPECT_EQ(clock.selectVictim(), 3u);
+    EXPECT_EQ(clock.selectVictim(), 0u);
+}
+
+TEST(Clock, ResetRestoresInitialState)
+{
+    ClockSelector clock(4);
+    clock.onAccess(0);
+    clock.selectVictim();
+    clock.reset();
+    EXPECT_EQ(clock.selectVictim(), 0u);
+    EXPECT_EQ(clock.lastSearchSteps(), 1u);
+}
+
+TEST(Clock, ApproximatesLruUnderSkew)
+{
+    // Keep block 5 hot; it should never be chosen over 16 evictions.
+    ClockSelector clock(8);
+    for (int i = 0; i < 16; ++i) {
+        clock.onAccess(5);
+        EXPECT_NE(clock.selectVictim(), 5u);
+    }
+}
+
+// --- LRU ---------------------------------------------------------------------
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruSelector lru(4);
+    lru.onAccess(3);
+    lru.onAccess(2);
+    lru.onAccess(1);
+    lru.onAccess(0);
+    // Recency now 0 (MRU) .. 3 (LRU).
+    EXPECT_EQ(lru.selectVictim(), 3u);
+    lru.onAccess(3); // victim reused -> becomes MRU
+    EXPECT_EQ(lru.selectVictim(), 2u);
+}
+
+TEST(Lru, TouchMovesToFront)
+{
+    LruSelector lru(3);
+    lru.onAccess(0);
+    lru.onAccess(1);
+    lru.onAccess(2); // order: 2,1,0
+    lru.onAccess(0); // order: 0,2,1
+    EXPECT_EQ(lru.selectVictim(), 1u);
+}
+
+TEST(Lru, RepeatedTouchOfHeadIsNoop)
+{
+    LruSelector lru(3);
+    lru.onAccess(2);
+    lru.onAccess(2);
+    lru.onAccess(2);
+    EXPECT_EQ(lru.selectVictim(), 1u); // initial order 0,1 behind 2...
+}
+
+TEST(Lru, ExhaustiveRotation)
+{
+    LruSelector lru(4);
+    // Touch everything in order; LRU should be the first touched.
+    for (uint32_t i = 0; i < 4; ++i)
+        lru.onAccess(i);
+    EXPECT_EQ(lru.selectVictim(), 0u);
+}
+
+TEST(Lru, ResetRestoresOrder)
+{
+    LruSelector lru(4);
+    lru.onAccess(3);
+    lru.reset();
+    EXPECT_EQ(lru.selectVictim(), 3u); // initial LRU is highest index
+}
+
+// --- FIFO ---------------------------------------------------------------------
+
+TEST(Fifo, IgnoresTouches)
+{
+    FifoSelector fifo(3);
+    fifo.onAccess(0);
+    fifo.onAccess(0);
+    EXPECT_EQ(fifo.selectVictim(), 0u);
+    EXPECT_EQ(fifo.selectVictim(), 1u);
+    EXPECT_EQ(fifo.selectVictim(), 2u);
+    EXPECT_EQ(fifo.selectVictim(), 0u);
+}
+
+// --- Random ---------------------------------------------------------------------
+
+TEST(Random, StaysInRangeAndCoversSpace)
+{
+    RandomSelector rnd(16);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        uint32_t v = rnd.selectVictim();
+        ASSERT_LT(v, 16u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 16u); // all blocks eventually chosen
+}
+
+TEST(Random, ResetReproduces)
+{
+    RandomSelector rnd(16);
+    uint32_t first = rnd.selectVictim();
+    rnd.selectVictim();
+    rnd.reset();
+    EXPECT_EQ(rnd.selectVictim(), first);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the sim module: the animation driver and the
+ * multi-configuration runner plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/multi_config_runner.hpp"
+#include "workload/village.hpp"
+
+namespace mltc {
+namespace {
+
+Workload
+tiny()
+{
+    VillageParams p;
+    p.houses = 4;
+    p.trees = 2;
+    p.extent = 80.0f;
+    p.ground_texture_size = 64;
+    p.wall_texture_size = 64;
+    return buildVillage(p);
+}
+
+TEST(AnimationDriver, HonoursFrameCount)
+{
+    Workload wl = tiny();
+    int frames_seen = 0;
+    DriverConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.frames = 5;
+    runAnimation(wl, cfg, nullptr,
+                 [&](int f, const FrameStats &) { EXPECT_EQ(f, frames_seen++); });
+    EXPECT_EQ(frames_seen, 5);
+}
+
+TEST(AnimationDriver, ZeroFramesUsesWorkloadDefault)
+{
+    Workload wl = tiny();
+    wl.default_frames = 3;
+    int frames_seen = 0;
+    DriverConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.frames = 0;
+    runAnimation(wl, cfg, nullptr,
+                 [&](int, const FrameStats &) { ++frames_seen; });
+    EXPECT_EQ(frames_seen, 3);
+}
+
+TEST(AnimationDriver, AggregatesTotals)
+{
+    Workload wl = tiny();
+    DriverConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.frames = 3;
+    uint64_t pixel_sum = 0;
+    FrameStats total =
+        runAnimation(wl, cfg, nullptr, [&](int, const FrameStats &fs) {
+            pixel_sum += fs.pixels_textured;
+        });
+    EXPECT_EQ(total.pixels_textured, pixel_sum);
+    EXPECT_GT(total.triangles_in, 0u);
+}
+
+TEST(AnimationDriver, FilterAffectsAccessCount)
+{
+    Workload wl = tiny();
+    DriverConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.frames = 2;
+    cfg.filter = FilterMode::Point;
+    FrameStats pt = runAnimation(wl, cfg, nullptr);
+    cfg.filter = FilterMode::Bilinear;
+    FrameStats bl = runAnimation(wl, cfg, nullptr);
+    EXPECT_EQ(bl.texel_accesses, pt.texel_accesses * 4);
+}
+
+TEST(MultiConfigRunner, AverageHostBytes)
+{
+    Workload wl = tiny();
+    DriverConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.frames = 4;
+    MultiConfigRunner runner(wl, cfg);
+    runner.addSim(CacheSimConfig::pull(2 * 1024), "p");
+    runner.run();
+    uint64_t total = 0;
+    for (const auto &row : runner.rows())
+        total += row.sims[0].host_bytes;
+    EXPECT_DOUBLE_EQ(runner.averageHostBytesPerFrame(0),
+                     static_cast<double>(total) / 4.0);
+}
+
+TEST(MultiConfigRunner, RerunClearsRows)
+{
+    Workload wl = tiny();
+    DriverConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.frames = 2;
+    MultiConfigRunner runner(wl, cfg);
+    runner.addSim(CacheSimConfig::pull(2 * 1024), "p");
+    runner.run();
+    EXPECT_EQ(runner.rows().size(), 2u);
+    runner.run();
+    EXPECT_EQ(runner.rows().size(), 2u); // cleared, not appended
+}
+
+TEST(MultiConfigRunner, SimLabelsPreserved)
+{
+    Workload wl = tiny();
+    DriverConfig cfg;
+    cfg.frames = 1;
+    cfg.width = 32;
+    cfg.height = 32;
+    MultiConfigRunner runner(wl, cfg);
+    runner.addSim(CacheSimConfig::pull(2 * 1024), "alpha");
+    runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 1 << 20), "beta");
+    EXPECT_EQ(runner.sims()[0]->label(), "alpha");
+    EXPECT_EQ(runner.sims()[1]->label(), "beta");
+}
+
+TEST(MultiConfigRunner, NoConsumersStillRuns)
+{
+    Workload wl = tiny();
+    DriverConfig cfg;
+    cfg.frames = 2;
+    cfg.width = 32;
+    cfg.height = 32;
+    MultiConfigRunner runner(wl, cfg);
+    runner.run();
+    EXPECT_EQ(runner.rows().size(), 2u);
+    EXPECT_TRUE(runner.rows()[0].sims.empty());
+    EXPECT_FALSE(runner.rows()[0].working_sets.has_value());
+}
+
+} // namespace
+} // namespace mltc

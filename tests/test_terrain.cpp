@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the Terrain extension workload and its registry entry.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/multi_config_runner.hpp"
+#include "workload/registry.hpp"
+#include "workload/terrain.hpp"
+
+namespace mltc {
+namespace {
+
+TerrainParams
+tinyParams()
+{
+    TerrainParams p;
+    p.grid = 12;
+    p.rocks = 4;
+    p.satellite_texture_size = 256;
+    p.extent = 400.0f;
+    return p;
+}
+
+TEST(Terrain, RegisteredAsExtensionOnly)
+{
+    auto paper = workloadNames();
+    EXPECT_EQ(paper.size(), 2u); // paper benches must not pick it up
+    auto all = allWorkloadNames();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[2], "terrain");
+    Workload wl = buildWorkload("terrain");
+    EXPECT_EQ(wl.name, "terrain");
+}
+
+TEST(Terrain, DeterministicInSeed)
+{
+    Workload a = buildTerrain(tinyParams());
+    Workload b = buildTerrain(tinyParams());
+    EXPECT_EQ(a.scene.objects().size(), b.scene.objects().size());
+    EXPECT_EQ(a.textures->totalHostBytes(), b.textures->totalHostBytes());
+}
+
+TEST(Terrain, HeightfieldIsDisplaced)
+{
+    Workload wl = buildTerrain(tinyParams());
+    const SceneObject &terrain = wl.scene.objects()[0];
+    EXPECT_EQ(terrain.name, "terrain");
+    Aabb b = terrain.world_bounds;
+    // Hills rise and valleys dip: a real height range.
+    EXPECT_GT(b.max.y - b.min.y, 10.0f);
+}
+
+TEST(Terrain, SatelliteTextureMappedOnce)
+{
+    Workload wl = buildTerrain(tinyParams());
+    const Mesh &mesh = *wl.scene.objects()[0].mesh;
+    float max_uv = 0.0f;
+    for (const auto &v : mesh.vertices)
+        max_uv = std::max({max_uv, v.uv.x, v.uv.y});
+    EXPECT_LE(max_uv, 1.0f + 1e-5f); // no repetition: unique texels
+}
+
+TEST(Terrain, CameraStaysAboveTerrain)
+{
+    TerrainParams p = tinyParams();
+    Workload wl = buildTerrain(p);
+    // Sample the flight path; the eye must stay above the heightfield's
+    // minimum and below a sane ceiling.
+    Aabb b = wl.scene.objects()[0].world_bounds;
+    for (int f = 0; f < 60; ++f) {
+        CameraPose pose = wl.path.atFrame(f, 60);
+        EXPECT_GT(pose.eye.y, b.min.y);
+        EXPECT_LT(pose.eye.y, b.max.y + 150.0f);
+    }
+}
+
+TEST(Terrain, UtilizationBelowVillage)
+{
+    // The workload's defining property: unique texel mapping gives low
+    // block utilisation (the paper's Village/City are > 1).
+    TerrainParams p = tinyParams();
+    Workload wl = buildTerrain(p);
+    DriverConfig cfg;
+    cfg.width = 256;
+    cfg.height = 192;
+    cfg.filter = FilterMode::Point;
+    cfg.frames = 4;
+    MultiConfigRunner runner(wl, cfg);
+    runner.addWorkingSets({16}, {});
+    runner.run();
+    double util = 0;
+    for (const auto &row : runner.rows())
+        util += row.working_sets->utilization(0);
+    util /= static_cast<double>(runner.rows().size());
+    EXPECT_LT(util, 3.0); // far below Village(~3.4)/City(~8.6)
+    EXPECT_GT(util, 0.05);
+}
+
+TEST(Terrain, RunsEndToEndThroughCacheSim)
+{
+    Workload wl = buildTerrain(tinyParams());
+    DriverConfig cfg;
+    cfg.width = 160;
+    cfg.height = 120;
+    cfg.filter = FilterMode::Trilinear;
+    cfg.frames = 3;
+    MultiConfigRunner runner(wl, cfg);
+    runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 1ull << 20), "sim");
+    runner.run();
+    EXPECT_GT(runner.sims()[0]->totals().accesses, 0u);
+    EXPECT_GT(runner.sims()[0]->totals().l1HitRate(), 0.5);
+}
+
+} // namespace
+} // namespace mltc

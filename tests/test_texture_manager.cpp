@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for TextureManager: id assignment, load/unload, byte
+ * accounting and layout caching.
+ */
+#include <gtest/gtest.h>
+
+#include "texture/texture_manager.hpp"
+
+namespace mltc {
+namespace {
+
+MipPyramid
+pyr(uint32_t size)
+{
+    return MipPyramid(Image(size, size));
+}
+
+TEST(TextureManager, IdsStartAtOneAndIncrement)
+{
+    TextureManager tm;
+    EXPECT_EQ(tm.load("a", pyr(16)), 1u);
+    EXPECT_EQ(tm.load("b", pyr(16)), 2u);
+    EXPECT_EQ(tm.textureCount(), 2u);
+}
+
+TEST(TextureManager, ZeroTidIsInvalid)
+{
+    TextureManager tm;
+    tm.load("a", pyr(16));
+    EXPECT_FALSE(tm.isLoaded(0));
+    EXPECT_THROW(tm.texture(0), std::out_of_range);
+}
+
+TEST(TextureManager, UnknownTidThrows)
+{
+    TextureManager tm;
+    EXPECT_THROW(tm.texture(5), std::out_of_range);
+    EXPECT_THROW(tm.unload(5), std::out_of_range);
+}
+
+TEST(TextureManager, UnloadKeepsIdStable)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", pyr(16));
+    TextureId b = tm.load("b", pyr(16));
+    tm.unload(a);
+    EXPECT_FALSE(tm.isLoaded(a));
+    EXPECT_TRUE(tm.isLoaded(b));
+    EXPECT_EQ(tm.texture(b).name, "b");
+}
+
+TEST(TextureManager, HostBytesUseOriginalDepth)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a16", pyr(16), 2); // 16-bit original depth
+    const TextureEntry &e = tm.texture(a);
+    // 16x16 chain has 341 texels.
+    EXPECT_EQ(e.hostBytes(), 341u * 2u);
+    EXPECT_EQ(tm.totalHostBytes(), 341u * 2u);
+    EXPECT_EQ(tm.totalExpandedBytes(), 341u * 4u);
+}
+
+TEST(TextureManager, TotalsSkipUnloaded)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", pyr(16));
+    tm.load("b", pyr(16));
+    uint64_t both = tm.totalHostBytes();
+    tm.unload(a);
+    EXPECT_EQ(tm.totalHostBytes(), both / 2);
+}
+
+TEST(TextureManager, LayoutIsCachedAndStable)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", pyr(64));
+    const TiledLayout &l1 = tm.layout(a, TileSpec{16, 4});
+    const TiledLayout &l2 = tm.layout(a, TileSpec{16, 4});
+    EXPECT_EQ(&l1, &l2); // same cached object
+    const TiledLayout &other = tm.layout(a, TileSpec{32, 4});
+    EXPECT_NE(&l1, &other);
+    EXPECT_EQ(l1.levels(), 7u);
+}
+
+TEST(TextureManager, LayoutMatchesPyramidGeometry)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", pyr(128));
+    const TiledLayout &layout = tm.layout(a, TileSpec{16, 4});
+    EXPECT_EQ(layout.levels(), tm.texture(a).pyramid.levels());
+}
+
+TEST(TextureManager, ForEachLoadedVisitsOnlyLoaded)
+{
+    TextureManager tm;
+    TextureId a = tm.load("a", pyr(16));
+    tm.load("b", pyr(16));
+    tm.unload(a);
+    int count = 0;
+    tm.forEachLoaded([&](const TextureEntry &e) {
+        ++count;
+        EXPECT_EQ(e.name, "b");
+    });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(TextureManager, RejectsEmptyPyramid)
+{
+    TextureManager tm;
+    EXPECT_THROW(tm.load("empty", MipPyramid()), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mltc

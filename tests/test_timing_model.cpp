@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the transaction-level timing model extension.
+ */
+#include <gtest/gtest.h>
+
+#include "model/timing_model.hpp"
+
+namespace mltc {
+namespace {
+
+CacheFrameStats
+statsWith(uint64_t accesses, uint64_t misses, uint64_t full_hits,
+          uint64_t partial, uint64_t full_miss)
+{
+    CacheFrameStats s;
+    s.accesses = accesses;
+    s.l1_misses = misses;
+    s.l2_full_hits = full_hits;
+    s.l2_partial_hits = partial;
+    s.l2_full_misses = full_miss;
+    s.host_bytes = (partial + full_miss) * 64;
+    s.l2_read_bytes = full_hits * 64;
+    return s;
+}
+
+TEST(TimingModel, NoMissesIsPureHitTime)
+{
+    CacheFrameStats s = statsWith(1000, 0, 0, 0, 0);
+    TimingParams p;
+    ArchTiming t = timePullFrame(s, p);
+    EXPECT_NEAR(t.texture_path_ms, 1000 * p.texel_hit_ns * 1e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(t.host_bus_ms, 0.0);
+    EXPECT_DOUBLE_EQ(t.avg_miss_penalty_ns, 0.0);
+}
+
+TEST(TimingModel, PullMissPenaltyIsHostTransaction)
+{
+    CacheFrameStats s = statsWith(1000, 100, 0, 0, 0);
+    s.host_bytes = 100 * 64;
+    TimingParams p;
+    ArchTiming t = timePullFrame(s, p);
+    // Each miss pays latency + 64B transfer.
+    double expect = p.host_latency_ns +
+                    64.0 / (p.host_bandwidth_mbps * 1048576.0) * 1e9;
+    EXPECT_NEAR(t.avg_miss_penalty_ns, expect, 1e-6);
+    EXPECT_GT(t.texture_path_ms, 0.0);
+    EXPECT_GT(t.fps_bound, 0.0);
+}
+
+TEST(TimingModel, L2FullHitsCheaperThanHost)
+{
+    TimingParams p;
+    CacheFrameStats l2_hits = statsWith(1000, 100, 100, 0, 0);
+    CacheFrameStats host = statsWith(1000, 100, 0, 100, 0);
+    double hit_pen = timeL2Frame(l2_hits, p).avg_miss_penalty_ns;
+    double host_pen = timeL2Frame(host, p).avg_miss_penalty_ns;
+    EXPECT_LT(hit_pen, host_pen);
+}
+
+TEST(TimingModel, FullMissCostliest)
+{
+    TimingParams p;
+    CacheFrameStats partial = statsWith(1000, 100, 0, 100, 0);
+    CacheFrameStats full_miss = statsWith(1000, 100, 0, 0, 100);
+    EXPECT_LT(timeL2Frame(partial, p).avg_miss_penalty_ns,
+              timeL2Frame(full_miss, p).avg_miss_penalty_ns);
+}
+
+TEST(TimingModel, FrameTimeIsMaxOfBounds)
+{
+    // Saturate the host bus: enormous bytes with few misses.
+    CacheFrameStats s = statsWith(100, 10, 0, 10, 0);
+    s.host_bytes = 512ull << 20; // a full second of AGP
+    TimingParams p;
+    ArchTiming t = timePullFrame(s, p);
+    EXPECT_NEAR(t.frame_ms, t.host_bus_ms, 1e-9);
+    EXPECT_GT(t.host_bus_ms, t.texture_path_ms);
+}
+
+TEST(TimingModel, EffectiveAdvantageBelowOneForHitDominated)
+{
+    // 95% of misses served from L2: effective f must be < 1.
+    CacheFrameStats s = statsWith(100000, 1000, 950, 40, 10);
+    EXPECT_LT(effectiveFractionalAdvantage(s), 1.0);
+    EXPECT_GT(effectiveFractionalAdvantage(s), 0.0);
+}
+
+TEST(TimingModel, EffectiveAdvantageAboveOneForMissDominated)
+{
+    // All full misses with overhead: worse than pull on the miss path.
+    CacheFrameStats s = statsWith(100000, 1000, 0, 0, 1000);
+    EXPECT_GT(effectiveFractionalAdvantage(s), 1.0);
+}
+
+TEST(TimingModel, ZeroMissesGivesZeroAdvantage)
+{
+    CacheFrameStats s = statsWith(1000, 0, 0, 0, 0);
+    EXPECT_DOUBLE_EQ(effectiveFractionalAdvantage(s), 0.0);
+}
+
+TEST(TimingModel, FasterHostShrinksGap)
+{
+    CacheFrameStats s = statsWith(100000, 1000, 950, 40, 10);
+    TimingParams slow, fast;
+    fast.host_bandwidth_mbps = 4096;
+    fast.host_latency_ns = 50;
+    double f_slow = effectiveFractionalAdvantage(s, slow);
+    double f_fast = effectiveFractionalAdvantage(s, fast);
+    // With a faster host, the relative benefit of the L2 shrinks (f
+    // rises towards 1) because L2 latency stays fixed.
+    EXPECT_GT(f_fast, f_slow);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Round-trip tests for the access trace recorder/replayer.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.hpp"
+
+namespace mltc {
+namespace {
+
+/** Sink recording everything for comparison. */
+class RecordingSink final : public TexelAccessSink
+{
+  public:
+    void
+    bindTexture(TextureId tid) override
+    {
+        events.push_back({0, tid, 0, 0});
+    }
+
+    void
+    access(uint32_t x, uint32_t y, uint32_t mip) override
+    {
+        events.push_back({1, x, y, mip});
+    }
+
+    struct Ev
+    {
+        uint32_t kind, a, b, c;
+
+        bool
+        operator==(const Ev &o) const
+        {
+            return kind == o.kind && a == o.a && b == o.b && c == o.c;
+        }
+    };
+    std::vector<Ev> events;
+};
+
+std::string
+tempTrace(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(TraceIo, RoundTripsEvents)
+{
+    std::string path = tempTrace("trace_roundtrip.bin");
+    {
+        TraceWriter w(path);
+        w.bindTexture(3);
+        w.access(1, 2, 0);
+        w.access(100, 200, 5);
+        w.endFrame();
+        w.bindTexture(4);
+        w.access(7, 8, 1);
+        w.endFrame();
+    }
+    TraceReader r(path);
+    RecordingSink sink;
+    EXPECT_TRUE(r.replayFrame(sink));
+    ASSERT_EQ(sink.events.size(), 3u);
+    EXPECT_EQ(sink.events[0], (RecordingSink::Ev{0, 3, 0, 0}));
+    EXPECT_EQ(sink.events[1], (RecordingSink::Ev{1, 1, 2, 0}));
+    EXPECT_EQ(sink.events[2], (RecordingSink::Ev{1, 100, 200, 5}));
+
+    sink.events.clear();
+    EXPECT_TRUE(r.replayFrame(sink));
+    ASSERT_EQ(sink.events.size(), 2u);
+    EXPECT_EQ(sink.events[1], (RecordingSink::Ev{1, 7, 8, 1}));
+
+    EXPECT_FALSE(r.replayFrame(sink)); // end of trace
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayAllCountsFrames)
+{
+    std::string path = tempTrace("trace_frames.bin");
+    {
+        TraceWriter w(path);
+        for (int f = 0; f < 5; ++f) {
+            w.bindTexture(1);
+            w.access(static_cast<uint32_t>(f), 0, 0);
+            w.endFrame();
+        }
+    }
+    TraceReader r(path);
+    RecordingSink sink;
+    EXPECT_EQ(r.replayAll(sink), 5u);
+    EXPECT_EQ(sink.events.size(), 10u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceYieldsNoFrames)
+{
+    std::string path = tempTrace("trace_empty.bin");
+    {
+        TraceWriter w(path);
+    }
+    TraceReader r(path);
+    RecordingSink sink;
+    EXPECT_FALSE(r.replayFrame(sink));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/trace.bin"),
+                 std::runtime_error);
+    EXPECT_THROW(TraceWriter("/nonexistent_dir/trace.bin"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::string path = tempTrace("trace_badmagic.bin");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("NOTATRACE", 1, 9, f);
+    std::fclose(f);
+    EXPECT_THROW(TraceReader reader(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedAccessThrows)
+{
+    std::string path = tempTrace("trace_trunc.bin");
+    {
+        TraceWriter w(path);
+        w.bindTexture(1);
+        w.access(1, 2, 3);
+    }
+    // Chop the last 2 bytes off.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 2), 0);
+
+    TraceReader r(path);
+    RecordingSink sink;
+    EXPECT_THROW(r.replayFrame(sink), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Unit tests for the util module: CLI parsing, CSV/table formatting,
+ * PRNG determinism and distribution sanity, env knobs, PPM output.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/ppm.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mltc {
+namespace {
+
+// --- CommandLine -------------------------------------------------------
+
+TEST(CommandLine, ParsesKeyEqualsValue)
+{
+    const char *argv[] = {"prog", "--workload=city", "--frames=42"};
+    CommandLine cli(3, argv);
+    EXPECT_EQ(cli.getString("workload", ""), "city");
+    EXPECT_EQ(cli.getInt("frames", 0), 42);
+}
+
+TEST(CommandLine, ParsesKeySpaceValue)
+{
+    const char *argv[] = {"prog", "--frames", "17", "--name", "x"};
+    CommandLine cli(5, argv);
+    EXPECT_EQ(cli.getInt("frames", 0), 17);
+    EXPECT_EQ(cli.getString("name", ""), "x");
+}
+
+TEST(CommandLine, BareFlagIsTrue)
+{
+    const char *argv[] = {"prog", "--verbose", "--count=3"};
+    CommandLine cli(3, argv);
+    EXPECT_TRUE(cli.getFlag("verbose"));
+    EXPECT_FALSE(cli.getFlag("quiet"));
+}
+
+TEST(CommandLine, FlagFollowedByFlagDoesNotConsume)
+{
+    const char *argv[] = {"prog", "--a", "--b"};
+    CommandLine cli(3, argv);
+    EXPECT_TRUE(cli.getFlag("a"));
+    EXPECT_TRUE(cli.getFlag("b"));
+}
+
+TEST(CommandLine, PositionalArguments)
+{
+    const char *argv[] = {"prog", "input.txt", "--k=v", "more"};
+    CommandLine cli(4, argv);
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.txt");
+    EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(CommandLine, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    CommandLine cli(1, argv);
+    EXPECT_EQ(cli.getInt("missing", -7), -7);
+    EXPECT_DOUBLE_EQ(cli.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(cli.getString("missing", "d"), "d");
+}
+
+TEST(CommandLine, UnparseableIntFallsBack)
+{
+    const char *argv[] = {"prog", "--n=abc"};
+    CommandLine cli(2, argv);
+    EXPECT_EQ(cli.getInt("n", 5), 5);
+}
+
+TEST(CommandLine, DoubleParsing)
+{
+    const char *argv[] = {"prog", "--x=2.75"};
+    CommandLine cli(2, argv);
+    EXPECT_DOUBLE_EQ(cli.getDouble("x", 0.0), 2.75);
+}
+
+TEST(CommandLine, FlagValueZeroIsFalse)
+{
+    const char *argv[] = {"prog", "--opt=0"};
+    CommandLine cli(2, argv);
+    EXPECT_TRUE(cli.has("opt"));
+    EXPECT_FALSE(cli.getFlag("opt"));
+}
+
+// --- Rng ----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntervalRespectsBounds)
+{
+    Rng rng(10);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(12);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int v = rng.range(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, MeanIsRoughlyHalf)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng rng(77);
+    uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(77);
+    EXPECT_EQ(rng.next(), first);
+}
+
+// --- Table formatting ----------------------------------------------------
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"a", "bb"});
+    t.addRow({"1", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t({"x", "y", "z"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NumericRowFormatting)
+{
+    TextTable t({"label", "v1", "v2"});
+    t.addRow("row", {1.234, 5.678}, 1);
+    std::string out = t.render();
+    EXPECT_NE(out.find("1.2"), std::string::npos);
+    EXPECT_NE(out.find("5.7"), std::string::npos);
+}
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.50 MB");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.5), "50.0%");
+    EXPECT_EQ(formatPercent(0.987, 2), "98.70%");
+}
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+// --- CSV -----------------------------------------------------------------
+
+TEST(CsvWriter, WritesHeaderAndRows)
+{
+    std::string path = testing::TempDir() + "mltc_csv_test.csv";
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.row({1.5, 2.5});
+        csv.rowStrings({"x", "y"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2.5");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch)
+{
+    std::string path = testing::TempDir() + "mltc_csv_test2.csv";
+    CsvWriter csv(path, {"a", "b"});
+    EXPECT_THROW(csv.row({1.0}), std::invalid_argument);
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+                 std::runtime_error);
+}
+
+// --- PPM -----------------------------------------------------------------
+
+TEST(Ppm, WritesValidHeaderAndSize)
+{
+    std::string path = testing::TempDir() + "mltc_ppm_test.ppm";
+    std::vector<uint32_t> pixels(4, 0xff0000ffu); // red
+    ASSERT_TRUE(writePpm(path, 2, 2, pixels));
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    in >> magic;
+    EXPECT_EQ(magic, "P6");
+    int w, h, maxv;
+    in >> w >> h >> maxv;
+    EXPECT_EQ(w, 2);
+    EXPECT_EQ(h, 2);
+    EXPECT_EQ(maxv, 255);
+    in.get(); // single whitespace after header
+    unsigned char rgb[3];
+    in.read(reinterpret_cast<char *>(rgb), 3);
+    EXPECT_EQ(rgb[0], 255); // R
+    EXPECT_EQ(rgb[1], 0);   // G
+    EXPECT_EQ(rgb[2], 0);   // B
+    std::remove(path.c_str());
+}
+
+TEST(Ppm, RejectsShortBuffer)
+{
+    std::vector<uint32_t> pixels(3);
+    EXPECT_FALSE(writePpm(testing::TempDir() + "x.ppm", 2, 2, pixels));
+}
+
+TEST(Ppm, RejectsBadDimensions)
+{
+    std::vector<uint32_t> pixels(4);
+    EXPECT_FALSE(writePpm(testing::TempDir() + "x.ppm", 0, 2, pixels));
+}
+
+// --- Env -----------------------------------------------------------------
+
+TEST(Env, IntFallsBackWhenUnset)
+{
+    unsetenv("MLTC_TEST_UNSET_VAR");
+    EXPECT_EQ(envInt("MLTC_TEST_UNSET_VAR", 99), 99);
+}
+
+TEST(Env, IntParsesWhenSet)
+{
+    setenv("MLTC_TEST_VAR", "123", 1);
+    EXPECT_EQ(envInt("MLTC_TEST_VAR", 0), 123);
+    unsetenv("MLTC_TEST_VAR");
+}
+
+TEST(Env, BenchFrameCountUsesOverride)
+{
+    setenv("MLTC_FRAMES", "7", 1);
+    EXPECT_EQ(benchFrameCount(100), 7);
+    unsetenv("MLTC_FRAMES");
+    EXPECT_EQ(benchFrameCount(100), 100);
+}
+
+} // namespace
+} // namespace mltc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the working-set statistics collector (Figures 4-6 and
+ * Table 1 machinery).
+ */
+#include <gtest/gtest.h>
+
+#include "trace/working_set_collector.hpp"
+
+namespace mltc {
+namespace {
+
+class WorkingSetTest : public ::testing::Test
+{
+  protected:
+    WorkingSetTest()
+    {
+        tex_a = tm.load("a", MipPyramid(Image(64, 64)));
+        tex_b = tm.load("b", MipPyramid(Image(64, 64)), 2); // 16-bit
+    }
+
+    TextureManager tm;
+    TextureId tex_a, tex_b;
+};
+
+TEST_F(WorkingSetTest, CountsDistinctL2Blocks)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    // Touch two texels in the same 16x16 block and one in another.
+    ws.access(0, 0, 0);
+    ws.access(5, 5, 0);
+    ws.access(20, 0, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.l2[0].blocks_touched, 2u);
+    EXPECT_EQ(fs.l2[0].blocks_new, 2u);
+    EXPECT_EQ(fs.l2[0].bytesTouched(), 2u * 1024u);
+    EXPECT_EQ(fs.pixel_refs, 3u);
+}
+
+TEST_F(WorkingSetTest, NewBlocksRelativeToPreviousFrame)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    ws.access(20, 0, 0);
+    ws.endFrame();
+
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);  // repeated from last frame
+    ws.access(40, 0, 0); // new block
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.l2[0].blocks_touched, 2u);
+    EXPECT_EQ(fs.l2[0].blocks_new, 1u);
+}
+
+TEST_F(WorkingSetTest, PreviousFrameWindowIsOneFrame)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    ws.endFrame();
+    // Frame 2: different block.
+    ws.bindTexture(tex_a);
+    ws.access(20, 0, 0);
+    ws.endFrame();
+    // Frame 3: the block from frame 1 is "new" again (not in frame 2).
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.l2[0].blocks_new, 1u);
+}
+
+TEST_F(WorkingSetTest, TracksMultipleTileSizesIndependently)
+{
+    WorkingSetCollector ws(tm, {8, 16, 32}, {4, 8});
+    ws.bindTexture(tex_a);
+    // A 20x20 texel region from the origin.
+    for (uint32_t y = 0; y < 20; ++y)
+        for (uint32_t x = 0; x < 20; ++x)
+            ws.access(x, y, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    ASSERT_EQ(fs.l2.size(), 3u);
+    ASSERT_EQ(fs.l1.size(), 2u);
+    EXPECT_EQ(fs.l2[0].blocks_touched, 9u);  // 8x8 tiles: 3x3
+    EXPECT_EQ(fs.l2[1].blocks_touched, 4u);  // 16x16 tiles: 2x2
+    EXPECT_EQ(fs.l2[2].blocks_touched, 1u);  // 32x32 tiles: 1
+    EXPECT_EQ(fs.l1[0].tiles_touched, 25u);  // 4x4 L1 tiles: 5x5
+    EXPECT_EQ(fs.l1[1].tiles_touched, 9u);   // 8x8 L1 tiles: 3x3
+}
+
+TEST_F(WorkingSetTest, UtilizationReflectsReuse)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    // 256 refs into a single 16x16 block = utilization 1.0.
+    for (uint32_t y = 0; y < 16; ++y)
+        for (uint32_t x = 0; x < 16; ++x)
+            ws.access(x, y, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_DOUBLE_EQ(fs.utilization(0), 1.0);
+
+    // Same block touched 512 times -> utilization 2.0 (texel reuse).
+    ws.bindTexture(tex_a);
+    for (int r = 0; r < 2; ++r)
+        for (uint32_t y = 0; y < 16; ++y)
+            for (uint32_t x = 0; x < 16; ++x)
+                ws.access(x, y, 0);
+    fs = ws.endFrame();
+    EXPECT_DOUBLE_EQ(fs.utilization(0), 2.0);
+}
+
+TEST_F(WorkingSetTest, PushBytesCountWholeTexturesOnce)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    ws.bindTexture(tex_a); // rebinding must not double-count
+    ws.access(1, 0, 0);
+    ws.bindTexture(tex_b);
+    ws.access(0, 0, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.textures_touched, 2u);
+    uint64_t expected = tm.texture(tex_a).hostBytes() +
+                        tm.texture(tex_b).hostBytes();
+    EXPECT_EQ(fs.push_bytes, expected);
+    EXPECT_EQ(fs.loaded_bytes, tm.totalHostBytes());
+}
+
+TEST_F(WorkingSetTest, DifferentTexturesNeverShareBlocks)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    ws.bindTexture(tex_b);
+    ws.access(0, 0, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.l2[0].blocks_touched, 2u);
+}
+
+TEST_F(WorkingSetTest, MipLevelsCountSeparately)
+{
+    WorkingSetCollector ws(tm, {16}, {});
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    ws.access(0, 0, 1);
+    ws.access(0, 0, 2);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.l2[0].blocks_touched, 3u);
+}
+
+TEST_F(WorkingSetTest, EmptyFrameIsZero)
+{
+    WorkingSetCollector ws(tm, {16}, {4});
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.pixel_refs, 0u);
+    EXPECT_EQ(fs.l2[0].blocks_touched, 0u);
+    EXPECT_EQ(fs.l1[0].tiles_touched, 0u);
+    EXPECT_EQ(fs.push_bytes, 0u);
+}
+
+TEST_F(WorkingSetTest, L1BytesUseTileSize)
+{
+    WorkingSetCollector ws(tm, {}, {4, 8});
+    ws.bindTexture(tex_a);
+    ws.access(0, 0, 0);
+    FrameWorkingSet fs = ws.endFrame();
+    EXPECT_EQ(fs.l1[0].bytesTouched(), 4u * 4u * 4u);
+    EXPECT_EQ(fs.l1[1].bytesTouched(), 8u * 8u * 4u);
+    EXPECT_EQ(fs.l1[0].bytesNew(), fs.l1[0].bytesTouched());
+}
+
+} // namespace
+} // namespace mltc
