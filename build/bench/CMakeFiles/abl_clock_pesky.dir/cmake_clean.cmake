@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clock_pesky.dir/abl_clock_pesky.cpp.o"
+  "CMakeFiles/abl_clock_pesky.dir/abl_clock_pesky.cpp.o.d"
+  "abl_clock_pesky"
+  "abl_clock_pesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clock_pesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

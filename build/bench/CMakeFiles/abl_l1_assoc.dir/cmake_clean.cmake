@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_l1_assoc.dir/abl_l1_assoc.cpp.o"
+  "CMakeFiles/abl_l1_assoc.dir/abl_l1_assoc.cpp.o.d"
+  "abl_l1_assoc"
+  "abl_l1_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l1_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_l1_assoc.
+# This may be replaced when dependencies are built.

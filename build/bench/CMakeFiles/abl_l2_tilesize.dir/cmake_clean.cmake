@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_l2_tilesize.dir/abl_l2_tilesize.cpp.o"
+  "CMakeFiles/abl_l2_tilesize.dir/abl_l2_tilesize.cpp.o.d"
+  "abl_l2_tilesize"
+  "abl_l2_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l2_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_set_assoc_l2.dir/abl_set_assoc_l2.cpp.o"
+  "CMakeFiles/abl_set_assoc_l2.dir/abl_set_assoc_l2.cpp.o.d"
+  "abl_set_assoc_l2"
+  "abl_set_assoc_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_set_assoc_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

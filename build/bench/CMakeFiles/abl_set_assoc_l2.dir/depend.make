@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_set_assoc_l2.
+# This may be replaced when dependencies are built.

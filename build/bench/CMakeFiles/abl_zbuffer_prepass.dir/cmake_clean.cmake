@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_zbuffer_prepass.dir/abl_zbuffer_prepass.cpp.o"
+  "CMakeFiles/abl_zbuffer_prepass.dir/abl_zbuffer_prepass.cpp.o.d"
+  "abl_zbuffer_prepass"
+  "abl_zbuffer_prepass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_zbuffer_prepass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

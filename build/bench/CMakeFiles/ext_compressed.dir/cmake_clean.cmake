@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_compressed.dir/ext_compressed.cpp.o"
+  "CMakeFiles/ext_compressed.dir/ext_compressed.cpp.o.d"
+  "ext_compressed"
+  "ext_compressed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_compressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

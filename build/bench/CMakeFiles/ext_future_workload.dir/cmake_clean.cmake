@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_future_workload.dir/ext_future_workload.cpp.o"
+  "CMakeFiles/ext_future_workload.dir/ext_future_workload.cpp.o.d"
+  "ext_future_workload"
+  "ext_future_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_future_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

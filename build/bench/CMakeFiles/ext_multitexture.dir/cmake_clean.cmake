@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multitexture.dir/ext_multitexture.cpp.o"
+  "CMakeFiles/ext_multitexture.dir/ext_multitexture.cpp.o.d"
+  "ext_multitexture"
+  "ext_multitexture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multitexture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_timing_model.dir/ext_timing_model.cpp.o"
+  "CMakeFiles/ext_timing_model.dir/ext_timing_model.cpp.o.d"
+  "ext_timing_model"
+  "ext_timing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_min_memory.dir/fig04_min_memory.cpp.o"
+  "CMakeFiles/fig04_min_memory.dir/fig04_min_memory.cpp.o.d"
+  "fig04_min_memory"
+  "fig04_min_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_min_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

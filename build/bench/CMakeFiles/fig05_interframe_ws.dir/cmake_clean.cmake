@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_interframe_ws.dir/fig05_interframe_ws.cpp.o"
+  "CMakeFiles/fig05_interframe_ws.dir/fig05_interframe_ws.cpp.o.d"
+  "fig05_interframe_ws"
+  "fig05_interframe_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_interframe_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

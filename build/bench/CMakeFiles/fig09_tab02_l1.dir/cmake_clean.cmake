@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tab02_l1.dir/fig09_tab02_l1.cpp.o"
+  "CMakeFiles/fig09_tab02_l1.dir/fig09_tab02_l1.cpp.o.d"
+  "fig09_tab02_l1"
+  "fig09_tab02_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tab02_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

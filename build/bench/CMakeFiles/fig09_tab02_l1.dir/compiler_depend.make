@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_tab02_l1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tab08_tlb.dir/fig11_tab08_tlb.cpp.o"
+  "CMakeFiles/fig11_tab08_tlb.dir/fig11_tab08_tlb.cpp.o.d"
+  "fig11_tab08_tlb"
+  "fig11_tab08_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tab08_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_tab08_tlb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_workload_stats.dir/tab01_workload_stats.cpp.o"
+  "CMakeFiles/tab01_workload_stats.dir/tab01_workload_stats.cpp.o.d"
+  "tab01_workload_stats"
+  "tab01_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_avg_bandwidth.dir/tab03_avg_bandwidth.cpp.o"
+  "CMakeFiles/tab03_avg_bandwidth.dir/tab03_avg_bandwidth.cpp.o.d"
+  "tab03_avg_bandwidth"
+  "tab03_avg_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_avg_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_structure_sizes.dir/tab04_structure_sizes.cpp.o"
+  "CMakeFiles/tab04_structure_sizes.dir/tab04_structure_sizes.cpp.o.d"
+  "tab04_structure_sizes"
+  "tab04_structure_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_structure_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

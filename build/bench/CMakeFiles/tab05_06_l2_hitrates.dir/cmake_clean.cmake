@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_06_l2_hitrates.dir/tab05_06_l2_hitrates.cpp.o"
+  "CMakeFiles/tab05_06_l2_hitrates.dir/tab05_06_l2_hitrates.cpp.o.d"
+  "tab05_06_l2_hitrates"
+  "tab05_06_l2_hitrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_06_l2_hitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab05_06_l2_hitrates.
+# This may be replaced when dependencies are built.

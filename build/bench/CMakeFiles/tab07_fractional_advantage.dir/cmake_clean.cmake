@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_fractional_advantage.dir/tab07_fractional_advantage.cpp.o"
+  "CMakeFiles/tab07_fractional_advantage.dir/tab07_fractional_advantage.cpp.o.d"
+  "tab07_fractional_advantage"
+  "tab07_fractional_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_fractional_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

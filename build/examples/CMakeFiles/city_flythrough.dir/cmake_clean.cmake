@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_flythrough.dir/city_flythrough.cpp.o"
+  "CMakeFiles/city_flythrough.dir/city_flythrough.cpp.o.d"
+  "city_flythrough"
+  "city_flythrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_flythrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report.dir/report.cpp.o"
+  "CMakeFiles/report.dir/report.cpp.o.d"
+  "report"
+  "report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

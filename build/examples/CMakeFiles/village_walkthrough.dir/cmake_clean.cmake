@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/village_walkthrough.dir/village_walkthrough.cpp.o"
+  "CMakeFiles/village_walkthrough.dir/village_walkthrough.cpp.o.d"
+  "village_walkthrough"
+  "village_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/village_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_sim.cpp" "src/core/CMakeFiles/mltc_core.dir/cache_sim.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/core/l1_cache.cpp" "src/core/CMakeFiles/mltc_core.dir/l1_cache.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/l1_cache.cpp.o.d"
+  "/root/repo/src/core/l2_cache.cpp" "src/core/CMakeFiles/mltc_core.dir/l2_cache.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/l2_cache.cpp.o.d"
+  "/root/repo/src/core/push_model.cpp" "src/core/CMakeFiles/mltc_core.dir/push_model.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/push_model.cpp.o.d"
+  "/root/repo/src/core/replacement.cpp" "src/core/CMakeFiles/mltc_core.dir/replacement.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/replacement.cpp.o.d"
+  "/root/repo/src/core/set_assoc_l2.cpp" "src/core/CMakeFiles/mltc_core.dir/set_assoc_l2.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/set_assoc_l2.cpp.o.d"
+  "/root/repo/src/core/texture_tlb.cpp" "src/core/CMakeFiles/mltc_core.dir/texture_tlb.cpp.o" "gcc" "src/core/CMakeFiles/mltc_core.dir/texture_tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/texture/CMakeFiles/mltc_texture.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/mltc_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mltc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/mltc_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mltc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_core.dir/cache_sim.cpp.o"
+  "CMakeFiles/mltc_core.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/mltc_core.dir/l1_cache.cpp.o"
+  "CMakeFiles/mltc_core.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/mltc_core.dir/l2_cache.cpp.o"
+  "CMakeFiles/mltc_core.dir/l2_cache.cpp.o.d"
+  "CMakeFiles/mltc_core.dir/push_model.cpp.o"
+  "CMakeFiles/mltc_core.dir/push_model.cpp.o.d"
+  "CMakeFiles/mltc_core.dir/replacement.cpp.o"
+  "CMakeFiles/mltc_core.dir/replacement.cpp.o.d"
+  "CMakeFiles/mltc_core.dir/set_assoc_l2.cpp.o"
+  "CMakeFiles/mltc_core.dir/set_assoc_l2.cpp.o.d"
+  "CMakeFiles/mltc_core.dir/texture_tlb.cpp.o"
+  "CMakeFiles/mltc_core.dir/texture_tlb.cpp.o.d"
+  "libmltc_core.a"
+  "libmltc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

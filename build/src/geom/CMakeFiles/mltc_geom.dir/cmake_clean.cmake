@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_geom.dir/frustum.cpp.o"
+  "CMakeFiles/mltc_geom.dir/frustum.cpp.o.d"
+  "CMakeFiles/mltc_geom.dir/mat4.cpp.o"
+  "CMakeFiles/mltc_geom.dir/mat4.cpp.o.d"
+  "libmltc_geom.a"
+  "libmltc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_model.dir/performance_model.cpp.o"
+  "CMakeFiles/mltc_model.dir/performance_model.cpp.o.d"
+  "CMakeFiles/mltc_model.dir/structure_size_model.cpp.o"
+  "CMakeFiles/mltc_model.dir/structure_size_model.cpp.o.d"
+  "CMakeFiles/mltc_model.dir/timing_model.cpp.o"
+  "CMakeFiles/mltc_model.dir/timing_model.cpp.o.d"
+  "CMakeFiles/mltc_model.dir/working_set_model.cpp.o"
+  "CMakeFiles/mltc_model.dir/working_set_model.cpp.o.d"
+  "libmltc_model.a"
+  "libmltc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raster/framebuffer.cpp" "src/raster/CMakeFiles/mltc_raster.dir/framebuffer.cpp.o" "gcc" "src/raster/CMakeFiles/mltc_raster.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/raster/rasterizer.cpp" "src/raster/CMakeFiles/mltc_raster.dir/rasterizer.cpp.o" "gcc" "src/raster/CMakeFiles/mltc_raster.dir/rasterizer.cpp.o.d"
+  "/root/repo/src/raster/sampler.cpp" "src/raster/CMakeFiles/mltc_raster.dir/sampler.cpp.o" "gcc" "src/raster/CMakeFiles/mltc_raster.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/mltc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/texture/CMakeFiles/mltc_texture.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/mltc_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mltc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_raster.dir/framebuffer.cpp.o"
+  "CMakeFiles/mltc_raster.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/mltc_raster.dir/rasterizer.cpp.o"
+  "CMakeFiles/mltc_raster.dir/rasterizer.cpp.o.d"
+  "CMakeFiles/mltc_raster.dir/sampler.cpp.o"
+  "CMakeFiles/mltc_raster.dir/sampler.cpp.o.d"
+  "libmltc_raster.a"
+  "libmltc_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_scene.dir/camera.cpp.o"
+  "CMakeFiles/mltc_scene.dir/camera.cpp.o.d"
+  "CMakeFiles/mltc_scene.dir/camera_path.cpp.o"
+  "CMakeFiles/mltc_scene.dir/camera_path.cpp.o.d"
+  "CMakeFiles/mltc_scene.dir/mesh.cpp.o"
+  "CMakeFiles/mltc_scene.dir/mesh.cpp.o.d"
+  "CMakeFiles/mltc_scene.dir/scene.cpp.o"
+  "CMakeFiles/mltc_scene.dir/scene.cpp.o.d"
+  "libmltc_scene.a"
+  "libmltc_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

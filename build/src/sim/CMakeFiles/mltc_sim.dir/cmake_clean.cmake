@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_sim.dir/animation_driver.cpp.o"
+  "CMakeFiles/mltc_sim.dir/animation_driver.cpp.o.d"
+  "CMakeFiles/mltc_sim.dir/multi_config_runner.cpp.o"
+  "CMakeFiles/mltc_sim.dir/multi_config_runner.cpp.o.d"
+  "libmltc_sim.a"
+  "libmltc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/texture/btc.cpp" "src/texture/CMakeFiles/mltc_texture.dir/btc.cpp.o" "gcc" "src/texture/CMakeFiles/mltc_texture.dir/btc.cpp.o.d"
+  "/root/repo/src/texture/image.cpp" "src/texture/CMakeFiles/mltc_texture.dir/image.cpp.o" "gcc" "src/texture/CMakeFiles/mltc_texture.dir/image.cpp.o.d"
+  "/root/repo/src/texture/mip_pyramid.cpp" "src/texture/CMakeFiles/mltc_texture.dir/mip_pyramid.cpp.o" "gcc" "src/texture/CMakeFiles/mltc_texture.dir/mip_pyramid.cpp.o.d"
+  "/root/repo/src/texture/procedural.cpp" "src/texture/CMakeFiles/mltc_texture.dir/procedural.cpp.o" "gcc" "src/texture/CMakeFiles/mltc_texture.dir/procedural.cpp.o.d"
+  "/root/repo/src/texture/texture_manager.cpp" "src/texture/CMakeFiles/mltc_texture.dir/texture_manager.cpp.o" "gcc" "src/texture/CMakeFiles/mltc_texture.dir/texture_manager.cpp.o.d"
+  "/root/repo/src/texture/tiled_layout.cpp" "src/texture/CMakeFiles/mltc_texture.dir/tiled_layout.cpp.o" "gcc" "src/texture/CMakeFiles/mltc_texture.dir/tiled_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mltc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mltc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_texture.dir/btc.cpp.o"
+  "CMakeFiles/mltc_texture.dir/btc.cpp.o.d"
+  "CMakeFiles/mltc_texture.dir/image.cpp.o"
+  "CMakeFiles/mltc_texture.dir/image.cpp.o.d"
+  "CMakeFiles/mltc_texture.dir/mip_pyramid.cpp.o"
+  "CMakeFiles/mltc_texture.dir/mip_pyramid.cpp.o.d"
+  "CMakeFiles/mltc_texture.dir/procedural.cpp.o"
+  "CMakeFiles/mltc_texture.dir/procedural.cpp.o.d"
+  "CMakeFiles/mltc_texture.dir/texture_manager.cpp.o"
+  "CMakeFiles/mltc_texture.dir/texture_manager.cpp.o.d"
+  "CMakeFiles/mltc_texture.dir/tiled_layout.cpp.o"
+  "CMakeFiles/mltc_texture.dir/tiled_layout.cpp.o.d"
+  "libmltc_texture.a"
+  "libmltc_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mltc_texture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/mltc_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/mltc_trace.dir/working_set_collector.cpp.o"
+  "CMakeFiles/mltc_trace.dir/working_set_collector.cpp.o.d"
+  "libmltc_trace.a"
+  "libmltc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

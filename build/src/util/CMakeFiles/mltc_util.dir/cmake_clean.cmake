@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_util.dir/cli.cpp.o"
+  "CMakeFiles/mltc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mltc_util.dir/csv.cpp.o"
+  "CMakeFiles/mltc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mltc_util.dir/csv_reader.cpp.o"
+  "CMakeFiles/mltc_util.dir/csv_reader.cpp.o.d"
+  "CMakeFiles/mltc_util.dir/env.cpp.o"
+  "CMakeFiles/mltc_util.dir/env.cpp.o.d"
+  "CMakeFiles/mltc_util.dir/log.cpp.o"
+  "CMakeFiles/mltc_util.dir/log.cpp.o.d"
+  "CMakeFiles/mltc_util.dir/ppm.cpp.o"
+  "CMakeFiles/mltc_util.dir/ppm.cpp.o.d"
+  "CMakeFiles/mltc_util.dir/table.cpp.o"
+  "CMakeFiles/mltc_util.dir/table.cpp.o.d"
+  "libmltc_util.a"
+  "libmltc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

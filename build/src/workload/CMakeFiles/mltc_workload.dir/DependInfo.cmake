@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/city.cpp" "src/workload/CMakeFiles/mltc_workload.dir/city.cpp.o" "gcc" "src/workload/CMakeFiles/mltc_workload.dir/city.cpp.o.d"
+  "/root/repo/src/workload/registry.cpp" "src/workload/CMakeFiles/mltc_workload.dir/registry.cpp.o" "gcc" "src/workload/CMakeFiles/mltc_workload.dir/registry.cpp.o.d"
+  "/root/repo/src/workload/terrain.cpp" "src/workload/CMakeFiles/mltc_workload.dir/terrain.cpp.o" "gcc" "src/workload/CMakeFiles/mltc_workload.dir/terrain.cpp.o.d"
+  "/root/repo/src/workload/village.cpp" "src/workload/CMakeFiles/mltc_workload.dir/village.cpp.o" "gcc" "src/workload/CMakeFiles/mltc_workload.dir/village.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/mltc_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/mltc_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scene/CMakeFiles/mltc_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/texture/CMakeFiles/mltc_texture.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mltc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mltc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mltc_workload.dir/city.cpp.o"
+  "CMakeFiles/mltc_workload.dir/city.cpp.o.d"
+  "CMakeFiles/mltc_workload.dir/registry.cpp.o"
+  "CMakeFiles/mltc_workload.dir/registry.cpp.o.d"
+  "CMakeFiles/mltc_workload.dir/terrain.cpp.o"
+  "CMakeFiles/mltc_workload.dir/terrain.cpp.o.d"
+  "CMakeFiles/mltc_workload.dir/village.cpp.o"
+  "CMakeFiles/mltc_workload.dir/village.cpp.o.d"
+  "CMakeFiles/mltc_workload.dir/workload.cpp.o"
+  "CMakeFiles/mltc_workload.dir/workload.cpp.o.d"
+  "libmltc_workload.a"
+  "libmltc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mltc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_set.dir/test_flat_set.cpp.o"
+  "CMakeFiles/test_flat_set.dir/test_flat_set.cpp.o.d"
+  "test_flat_set"
+  "test_flat_set.pdb"
+  "test_flat_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

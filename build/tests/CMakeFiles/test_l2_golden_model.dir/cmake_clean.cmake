@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2_golden_model.dir/test_l2_golden_model.cpp.o"
+  "CMakeFiles/test_l2_golden_model.dir/test_l2_golden_model.cpp.o.d"
+  "test_l2_golden_model"
+  "test_l2_golden_model.pdb"
+  "test_l2_golden_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2_golden_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

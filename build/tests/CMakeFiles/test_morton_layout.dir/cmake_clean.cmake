@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_morton_layout.dir/test_morton_layout.cpp.o"
+  "CMakeFiles/test_morton_layout.dir/test_morton_layout.cpp.o.d"
+  "test_morton_layout"
+  "test_morton_layout.pdb"
+  "test_morton_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_morton_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

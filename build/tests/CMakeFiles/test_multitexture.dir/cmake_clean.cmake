@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multitexture.dir/test_multitexture.cpp.o"
+  "CMakeFiles/test_multitexture.dir/test_multitexture.cpp.o.d"
+  "test_multitexture"
+  "test_multitexture.pdb"
+  "test_multitexture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multitexture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

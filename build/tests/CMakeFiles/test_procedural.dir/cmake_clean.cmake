@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procedural.dir/test_procedural.cpp.o"
+  "CMakeFiles/test_procedural.dir/test_procedural.cpp.o.d"
+  "test_procedural"
+  "test_procedural.pdb"
+  "test_procedural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procedural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_push_model.dir/test_push_model.cpp.o"
+  "CMakeFiles/test_push_model.dir/test_push_model.cpp.o.d"
+  "test_push_model"
+  "test_push_model.pdb"
+  "test_push_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_push_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raster_fuzz.dir/test_raster_fuzz.cpp.o"
+  "CMakeFiles/test_raster_fuzz.dir/test_raster_fuzz.cpp.o.d"
+  "test_raster_fuzz"
+  "test_raster_fuzz.pdb"
+  "test_raster_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raster_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raster_properties.dir/test_raster_properties.cpp.o"
+  "CMakeFiles/test_raster_properties.dir/test_raster_properties.cpp.o.d"
+  "test_raster_properties"
+  "test_raster_properties.pdb"
+  "test_raster_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raster_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rasterizer.dir/test_rasterizer.cpp.o"
+  "CMakeFiles/test_rasterizer.dir/test_rasterizer.cpp.o.d"
+  "test_rasterizer"
+  "test_rasterizer.pdb"
+  "test_rasterizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rasterizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

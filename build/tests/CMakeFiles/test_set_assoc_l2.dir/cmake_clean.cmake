@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_assoc_l2.dir/test_set_assoc_l2.cpp.o"
+  "CMakeFiles/test_set_assoc_l2.dir/test_set_assoc_l2.cpp.o.d"
+  "test_set_assoc_l2"
+  "test_set_assoc_l2.pdb"
+  "test_set_assoc_l2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_assoc_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mltc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mltc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mltc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mltc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/mltc_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/mltc_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/texture/CMakeFiles/mltc_texture.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mltc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mltc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mltc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

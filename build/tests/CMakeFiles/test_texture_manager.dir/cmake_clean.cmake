@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_texture_manager.dir/test_texture_manager.cpp.o"
+  "CMakeFiles/test_texture_manager.dir/test_texture_manager.cpp.o.d"
+  "test_texture_manager"
+  "test_texture_manager.pdb"
+  "test_texture_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_texture_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled_layout.dir/test_tiled_layout.cpp.o"
+  "CMakeFiles/test_tiled_layout.dir/test_tiled_layout.cpp.o.d"
+  "test_tiled_layout"
+  "test_tiled_layout.pdb"
+  "test_tiled_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_working_sets.dir/test_working_sets.cpp.o"
+  "CMakeFiles/test_working_sets.dir/test_working_sets.cpp.o.d"
+  "test_working_sets"
+  "test_working_sets.pdb"
+  "test_working_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_working_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
