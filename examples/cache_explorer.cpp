@@ -11,11 +11,18 @@
  *   cache_explorer --sweep l2tile --frames 120
  *   cache_explorer --sweep tlb
  *   cache_explorer --sweep policy
+ *   cache_explorer --sweep faults --fault-seed 7
+ *   cache_explorer --sweep l2 --faults --fault-drop 0.1
+ *
+ * Any sweep accepts the --faults / --fault-* / --retry-* family (see
+ * host/host_cli.hpp) to run it over the fault-injectable host backend;
+ * `--sweep faults` sweeps the fault rate itself.
  */
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "host/host_cli.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -52,24 +59,33 @@ main(int argc, char **argv)
 
     MultiConfigRunner runner(wl, cfg);
 
+    // Optional fault scenario applied to every swept configuration.
+    const HostPathConfig host = hostPathFromCli(cli);
+    auto withHost = [&](CacheSimConfig sc) {
+        sc.host = host;
+        return sc;
+    };
+
     if (sweep == "l1") {
-        for (uint64_t kb : {1, 2, 4, 8, 16, 32, 64})
-            runner.addSim(CacheSimConfig::pull(kb * 1024),
+        for (uint64_t kb : {1u, 2u, 4u, 8u, 16u, 32u, 64u})
+            runner.addSim(withHost(CacheSimConfig::pull(kb * 1024)),
                           std::to_string(kb) + " KB L1 (pull)");
     } else if (sweep == "l2") {
-        for (uint64_t mb : {1, 2, 4, 8, 16})
-            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, mb << 20),
-                          std::to_string(mb) + " MB L2");
+        for (uint64_t mb : {1u, 2u, 4u, 8u, 16u})
+            runner.addSim(
+                withHost(CacheSimConfig::twoLevel(2 * 1024, mb << 20)),
+                std::to_string(mb) + " MB L2");
     } else if (sweep == "l2tile") {
         for (uint32_t tile : {8u, 16u, 32u})
             runner.addSim(
-                CacheSimConfig::twoLevel(2 * 1024, 2ull << 20, tile),
+                withHost(
+                    CacheSimConfig::twoLevel(2 * 1024, 2ull << 20, tile)),
                 std::to_string(tile) + "x" + std::to_string(tile) +
                     " L2 tiles");
     } else if (sweep == "tlb") {
         for (uint32_t entries : {1u, 2u, 4u, 8u, 16u, 32u}) {
             CacheSimConfig sc =
-                CacheSimConfig::twoLevel(2 * 1024, 2ull << 20);
+                withHost(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
             sc.tlb_entries = entries;
             runner.addSim(sc, std::to_string(entries) + "-entry TLB");
         }
@@ -77,13 +93,23 @@ main(int argc, char **argv)
         for (auto p : {ReplacementPolicy::Clock, ReplacementPolicy::Lru,
                        ReplacementPolicy::Fifo, ReplacementPolicy::Random}) {
             CacheSimConfig sc =
-                CacheSimConfig::twoLevel(2 * 1024, 2ull << 20);
+                withHost(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
             sc.l2.policy = p;
             runner.addSim(sc, replacementPolicyName(p));
         }
+    } else if (sweep == "faults") {
+        for (double rate : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+            CacheSimConfig sc =
+                withHost(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
+            sc.host.fault_injection = true;
+            sc.host.faults.drop_rate = rate;
+            sc.host.faults.corrupt_rate = rate / 2.0;
+            runner.addSim(sc, formatPercent(rate, 0) + " fault rate");
+        }
     } else {
-        std::printf("unknown sweep '%s' (try l1|l2|l2tile|tlb|policy)\n",
-                    sweep.c_str());
+        std::printf(
+            "unknown sweep '%s' (try l1|l2|l2tile|tlb|policy|faults)\n",
+            sweep.c_str());
         return 1;
     }
 
@@ -93,16 +119,19 @@ main(int argc, char **argv)
     runner.run();
 
     TextTable table({"configuration", "L1 hit", "L2 full hit", "TLB hit",
-                     "host MB/frame"});
+                     "host MB/frame", "retries", "degraded"});
     for (size_t i = 0; i < runner.sims().size(); ++i) {
         const CacheSim &sim = *runner.sims()[i];
         const CacheFrameStats &t = sim.totals();
+        const bool faulty = sim.hostPath() != nullptr;
         table.addRow(
             {sim.label(), formatPercent(t.l1HitRate(), 2),
              sim.l2() ? formatPercent(t.l2FullHitRate()) : "-",
              sim.tlb() ? formatPercent(t.tlbHitRate()) : "-",
              formatDouble(runner.averageHostBytesPerFrame(i) / (1 << 20),
-                          3)});
+                          3),
+             faulty ? std::to_string(t.host_retries) : "-",
+             faulty ? std::to_string(t.degraded_accesses) : "-"});
     }
     table.print();
     return 0;

@@ -7,10 +7,16 @@
  *
  * Usage: record_replay [--workload village|city|terrain] [--frames N]
  *        [--trace path.bin] [--keep]
+ *        [--faults | --fault-drop R --fault-corrupt R ... --retry-max N]
+ *
+ * With a fault scenario enabled (see host/host_cli.hpp) the replayed
+ * configurations run over the fault-injectable host backend and report
+ * retries and MIP-degraded accesses per configuration.
  */
 #include <cstdio>
 
 #include "core/cache_sim.hpp"
+#include "host/host_cli.hpp"
 #include "sim/animation_driver.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
@@ -38,6 +44,7 @@ main(int argc, char **argv)
         cfg.frames = frames;
         runAnimation(wl, cfg, &writer,
                      [&](int, const FrameStats &) { writer.endFrame(); });
+        writer.close(); // fails loudly on a truncated trace
     }
 
     // --- Replay into several configurations ------------------------------
@@ -52,9 +59,19 @@ main(int argc, char **argv)
         {"2KB + 4MB L2", CacheSimConfig::twoLevel(2 * 1024, 4ull << 20)},
     };
 
-    TextTable table({"configuration", "L1 hit", "host MB/frame"});
+    const HostPathConfig host = hostPathFromCli(cli);
+    if (host.fault_injection)
+        std::printf("replaying over a faulty host channel (seed %llu, "
+                    "drop %.3f, corrupt %.3f)\n",
+                    static_cast<unsigned long long>(host.faults.seed),
+                    host.faults.drop_rate, host.faults.corrupt_rate);
+
+    TextTable table({"configuration", "L1 hit", "host MB/frame", "retries",
+                     "degraded"});
     for (const auto &cand : candidates) {
-        CacheSim sim(*wl.textures, cand.config, cand.label);
+        CacheSimConfig sc = cand.config;
+        sc.host = host;
+        CacheSim sim(*wl.textures, sc, cand.label);
         TraceReader reader(path);
         uint64_t replayed = 0;
         while (reader.replayFrame(sim)) {
@@ -66,7 +83,12 @@ main(int argc, char **argv)
                       formatDouble(static_cast<double>(t.host_bytes) /
                                        static_cast<double>(replayed) /
                                        (1 << 20),
-                                   3)});
+                                   3),
+                      host.fault_injection ? std::to_string(t.host_retries)
+                                           : "-",
+                      host.fault_injection
+                          ? std::to_string(t.degraded_accesses)
+                          : "-"});
     }
     table.print();
 

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Run the tier-1 test suite under ASan + UBSan (the MLTC_SANITIZE build).
+#
+# Usage: scripts/sanitize.sh [extra cmake args...]
+# The sanitized tree lives in build-asan/ so it never disturbs the
+# regular build/ directory. See docs/fault_model.md.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DMLTC_SANITIZE=ON "$@"
+cmake --build build-asan -j"$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)"

@@ -17,6 +17,10 @@ CacheFrameStats::add(const CacheFrameStats &o)
     tlb_probes += o.tlb_probes;
     tlb_hits += o.tlb_hits;
     victim_steps_max = std::max(victim_steps_max, o.victim_steps_max);
+    host_retries += o.host_retries;
+    host_failures += o.host_failures;
+    degraded_accesses += o.degraded_accesses;
+    degraded_mip_bias += o.degraded_mip_bias;
 }
 
 CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
@@ -31,6 +35,12 @@ CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
     }
     if (cfg_.tlb_entries > 0)
         tlb_ = std::make_unique<TextureTlb>(cfg_.tlb_entries);
+    if (cfg_.host.fault_injection) {
+        auto backend = std::make_unique<FaultyHostBackend>(cfg_.host.faults);
+        faulty_ = backend.get();
+        host_ = std::make_unique<HostFetchPath>(std::move(backend),
+                                                cfg_.host.retry);
+    }
     l1_shift_ = log2u(cfg_.l1.l1_tile);
 }
 
@@ -110,6 +120,11 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
 
     if (!l2_) {
         // Pull architecture: download one L1 tile from host memory.
+        if (host_ && !fetchFromHost(0)) {
+            degradeToResidentMip(x, y, mip);
+            last_tile_ = tile;
+            return;
+        }
         frame_.host_bytes += host_sector_bytes_;
         l1_.fill(key);
         last_tile_ = tile;
@@ -124,6 +139,17 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
         ++frame_.tlb_probes;
         if (tlb_->probe(t_index))
             ++frame_.tlb_hits;
+    }
+
+    // Under fault injection, any access that needs a download (partial
+    // hit or full miss) must survive the fallible host channel before
+    // the L2 may mutate: on retry exhaustion no block is allocated, no
+    // sector bit is set, and the access degrades to a coarser resident
+    // level instead.
+    if (host_ && !l2_->probe(t_index, vb.l1_sub) && !fetchFromHost(t_index)) {
+        degradeToResidentMip(x, y, mip);
+        last_tile_ = tile;
+        return;
     }
 
     switch (l2_->access(t_index, vb.l1_sub, host_sector_bytes_)) {
@@ -148,6 +174,53 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
     // Step F downloads into L1 in parallel with L2.
     l1_.fill(key);
     last_tile_ = tile;
+}
+
+bool
+CacheSim::fetchFromHost(uint32_t t_index)
+{
+    const HostFetchResult r = host_->fetch({t_index, host_sector_bytes_});
+    frame_.host_retries += r.retries;
+    // Corrupted payloads crossed the bus before being discarded.
+    frame_.host_bytes += host_sector_bytes_ * r.corrupt_transfers;
+    if (!r.success)
+        ++frame_.host_failures;
+    return r.success;
+}
+
+void
+CacheSim::degradeToResidentMip(uint32_t x, uint32_t y, uint32_t mip)
+{
+    const TiledLayout *layout = l2_ ? l2_layout_ : l1_layout_;
+    const uint32_t levels = layout->levels();
+    for (uint32_t m = mip + 1; m < levels; ++m) {
+        const uint32_t shift = m - mip;
+        const uint32_t cx = x >> shift;
+        const uint32_t cy = y >> shift;
+        bool resident;
+        if (l2_) {
+            const VirtualBlock vb = l2_layout_->blockOf(bound_, cx, cy, m);
+            resident = l2_->probe(tstart_ + vb.l2_block, vb.l1_sub);
+        } else {
+            resident = l1_.probe(l1_layout_->blockKeyOf(bound_, cx, cy, m));
+        }
+        if (!resident)
+            continue;
+        ++frame_.degraded_accesses;
+        frame_.degraded_mip_bias += shift;
+        if (l2_) {
+            // The coarse sector is read from L2 and parked in L1 so an
+            // immediate repeat hits on-chip.
+            frame_.l2_read_bytes += cfg_.l1.lineBytes();
+            const uint64_t ck = l1_layout_->blockKeyOf(bound_, cx, cy, m);
+            if (!l1_.probe(ck))
+                l1_.fill(ck);
+        }
+        return;
+    }
+    // Hard failure: nothing coarser is resident either. The fetch was
+    // already counted in host_failures; the gap host_failures -
+    // degraded_accesses is the hard-failure count.
 }
 
 CacheFrameStats

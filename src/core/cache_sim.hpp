@@ -22,6 +22,7 @@
 #include "core/l1_cache.hpp"
 #include "core/l2_cache.hpp"
 #include "core/texture_tlb.hpp"
+#include "host/host_backend.hpp"
 #include "raster/access_sink.hpp"
 #include "texture/texture_manager.hpp"
 
@@ -34,6 +35,12 @@ struct CacheSimConfig
     bool l2_enabled = true;
     L2Config l2;
     uint32_t tlb_entries = 0; ///< 0 disables TLB modelling
+    /**
+     * Host download path robustness model. With fault_injection off
+     * (the default) downloads are the seed's infallible byte counter
+     * and every counter is bit-identical to the seed simulator.
+     */
+    HostPathConfig host;
 
     /** Pull architecture (L1 only) with the given L1 size. */
     static CacheSimConfig
@@ -76,6 +83,17 @@ struct CacheFrameStats
     uint64_t tlb_hits = 0;
     uint32_t victim_steps_max = 0; ///< worst clock search this frame
 
+    // Host-path robustness counters (all zero with faults disabled).
+    uint64_t host_retries = 0;  ///< transfer attempts beyond the first
+    uint64_t host_failures = 0; ///< fetches that exhausted their retries
+    /**
+     * Failed fetches served from a coarser resident MIP level instead.
+     * host_failures - degraded_accesses = hard failures (nothing
+     * coarser was resident either).
+     */
+    uint64_t degraded_accesses = 0;
+    uint64_t degraded_mip_bias = 0; ///< sum of (fallback mip - wanted mip)
+
     double
     l1HitRate() const
     {
@@ -108,6 +126,16 @@ struct CacheFrameStats
         return tlb_probes ? static_cast<double>(tlb_hits) /
                                 static_cast<double>(tlb_probes)
                           : 0.0;
+    }
+
+    /** Mean MIP-level penalty over degraded accesses. */
+    double
+    meanDegradedMipBias() const
+    {
+        return degraded_accesses
+                   ? static_cast<double>(degraded_mip_bias) /
+                         static_cast<double>(degraded_accesses)
+                   : 0.0;
     }
 
     /** Accumulate another frame's counters (for whole-run averages). */
@@ -154,9 +182,36 @@ class CacheSim final : public TexelAccessSink
 
     const TextureTlb *tlb() const { return tlb_.get(); }
 
+    /** The host fetch path, present only under fault injection. */
+    const HostFetchPath *hostPath() const { return host_.get(); }
+
+    /**
+     * The fault injector, present only under fault injection. Non-const
+     * so benches/tests can reconfigure the scenario mid-run.
+     */
+    FaultInjector *faultInjector()
+    {
+        return faulty_ ? &faulty_->injector() : nullptr;
+    }
+
   private:
     /** Service one texel reference (shared by access/accessQuad). */
     void handleTexel(uint32_t x, uint32_t y, uint32_t mip);
+
+    /**
+     * Issue one host sector download through the fallible path,
+     * accounting retries and wasted (corrupt) bus traffic.
+     * @return true when the sector arrived intact.
+     */
+    bool fetchFromHost(uint32_t t_index);
+
+    /**
+     * Retry exhaustion: serve the access from the nearest coarser MIP
+     * level whose block is still resident (L2 sector-valid, or L1 in
+     * the pull architecture), counting the degradation; a hard failure
+     * (nothing coarser resident) only bumps host_failures.
+     */
+    void degradeToResidentMip(uint32_t x, uint32_t y, uint32_t mip);
 
     TextureManager &textures_;
     CacheSimConfig cfg_;
@@ -164,6 +219,8 @@ class CacheSim final : public TexelAccessSink
     L1Cache l1_;
     std::unique_ptr<L2TextureCache> l2_;
     std::unique_ptr<TextureTlb> tlb_;
+    std::unique_ptr<HostFetchPath> host_; ///< null = infallible host
+    FaultyHostBackend *faulty_ = nullptr;  ///< owned by host_
 
     // Per-bound-texture cached state (hot path).
     const TiledLayout *l1_layout_ = nullptr;

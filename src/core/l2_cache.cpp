@@ -1,8 +1,26 @@
 #include "core/l2_cache.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace mltc {
+
+namespace {
+
+/** Bounds guard shared by access()/probe(). */
+void
+checkTableIndex(uint32_t t_index, size_t entries)
+{
+    if (t_index >= entries)
+        throw Exception(ErrorCode::OutOfRange,
+                        "L2TextureCache: page-table index " +
+                            std::to_string(t_index) + " out of range (" +
+                            std::to_string(entries) + " entries)");
+}
+
+} // namespace
 
 const char *
 prefetchPolicyName(PrefetchPolicy policy)
@@ -56,6 +74,7 @@ L2Result
 L2TextureCache::access(uint32_t t_index, uint32_t l1_sub,
                        uint64_t host_sector_bytes)
 {
+    checkTableIndex(t_index, table_.size());
     ++stats_.lookups;
     TableEntry &entry = table_[t_index];
     const uint64_t sector_bit = 1ull << l1_sub;
@@ -160,6 +179,7 @@ L2TextureCache::prefetchAfterDemand(TableEntry &entry, uint32_t l1_sub,
 bool
 L2TextureCache::probe(uint32_t t_index, uint32_t l1_sub) const
 {
+    checkTableIndex(t_index, table_.size());
     const TableEntry &entry = table_[t_index];
     return entry.phys_plus1 != 0 && (entry.sectors & (1ull << l1_sub));
 }

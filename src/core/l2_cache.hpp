@@ -121,11 +121,18 @@ class L2TextureCache
      * Service an L1 miss for sector @p l1_sub of the virtual block at
      * page-table index @p t_index. @p host_sector_bytes is the size of
      * one downloaded sector at the texture's original host depth.
+     * @throws mltc::Exception (OutOfRange) for an index outside the
+     *         page table — malformed traces must not scribble memory.
      */
     L2Result access(uint32_t t_index, uint32_t l1_sub,
                     uint64_t host_sector_bytes);
 
-    /** True when the sector is resident (no state change; for tests). */
+    /**
+     * Residency probe: true when the sector is resident, with no state
+     * change. Used by tests and by CacheSim's graceful-degradation
+     * fallback to find a coarser MIP level that is still sector-valid.
+     * @throws mltc::Exception (OutOfRange) for a bad index.
+     */
     bool probe(uint32_t t_index, uint32_t l1_sub) const;
 
     /** Physical blocks currently allocated. */

@@ -1,0 +1,65 @@
+#include "host/fault_injector.hpp"
+
+namespace mltc {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::Drop: return "drop";
+      case FaultKind::Corrupt: return "corrupt";
+      case FaultKind::LatencySpike: return "latency-spike";
+      case FaultKind::BurstOutage: return "burst-outage";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+}
+
+void
+FaultInjector::reconfigure(const FaultConfig &config)
+{
+    cfg_ = config;
+    rng_.reseed(config.seed);
+    seq_ = 0;
+}
+
+FaultDecision
+FaultInjector::decide()
+{
+    const uint64_t seq = seq_++;
+    ++stats_.attempts;
+
+    // Scheduled burst outages trump the probabilistic faults. One PRNG
+    // draw is still consumed so the post-burst stream does not depend on
+    // where the burst windows fell.
+    const double u = rng_.uniform();
+    if (cfg_.burst_period > 0 && cfg_.burst_length > 0 &&
+        seq % cfg_.burst_period >=
+            static_cast<uint64_t>(cfg_.burst_period) - cfg_.burst_length) {
+        ++stats_.burst_failures;
+        return {FaultKind::BurstOutage, cfg_.base_latency_us};
+    }
+
+    // One partitioned draw per attempt keeps PRNG consumption constant
+    // regardless of which fault fires.
+    if (u < cfg_.drop_rate) {
+        ++stats_.drops;
+        return {FaultKind::Drop, cfg_.base_latency_us};
+    }
+    if (u < cfg_.drop_rate + cfg_.corrupt_rate) {
+        ++stats_.corruptions;
+        return {FaultKind::Corrupt, cfg_.base_latency_us};
+    }
+    if (u < cfg_.drop_rate + cfg_.corrupt_rate + cfg_.spike_rate) {
+        ++stats_.spikes;
+        return {FaultKind::LatencySpike, cfg_.spike_latency_us};
+    }
+    return {FaultKind::None, cfg_.base_latency_us};
+}
+
+} // namespace mltc

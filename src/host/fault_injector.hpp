@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic fault injection for the host-memory download path.
+ *
+ * The paper's L2 architecture makes host memory over AGP the backing
+ * store for all texture data; a production system has to survive that
+ * channel stalling, dropping or corrupting transfers (cf. virtual
+ * texturing systems, which degrade to coarser resident MIP levels).
+ * The injector adjudicates every transfer *attempt* from a seeded PRNG
+ * plus a deterministic burst-outage schedule, so a fault scenario is a
+ * pure function of (seed, attempt ordinal) and any run can be replayed
+ * bit-identically.
+ */
+#ifndef MLTC_HOST_FAULT_INJECTOR_HPP
+#define MLTC_HOST_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace mltc {
+
+/** What the injector decrees for one transfer attempt. */
+enum class FaultKind : uint8_t
+{
+    None,        ///< transfer succeeds at base latency
+    Drop,        ///< transient failure, nothing crosses the bus
+    Corrupt,     ///< bytes cross the bus but fail the integrity check
+    LatencySpike,///< transfer succeeds but far over base latency
+    BurstOutage, ///< scheduled outage window: behaves like Drop
+};
+
+/** Stable name of @p kind for logs and CSVs. */
+const char *faultKindName(FaultKind kind);
+
+/** A seeded fault scenario. All-zero rates model a perfect channel. */
+struct FaultConfig
+{
+    uint64_t seed = 42;       ///< PRNG seed; same seed => same scenario
+    double drop_rate = 0.0;   ///< P(attempt is dropped)
+    double corrupt_rate = 0.0;///< P(attempt delivers corrupted bytes)
+    double spike_rate = 0.0;  ///< P(attempt suffers a latency spike)
+    uint32_t base_latency_us = 10;   ///< nominal sector transfer latency
+    uint32_t spike_latency_us = 400; ///< latency under a spike
+    /**
+     * Burst outages: within every window of @c burst_period attempts the
+     * last @c burst_length attempts fail outright. 0 disables bursts.
+     */
+    uint32_t burst_period = 0;
+    uint32_t burst_length = 0;
+
+    /** True when any fault source is active. */
+    bool
+    anyFaults() const
+    {
+        return drop_rate > 0.0 || corrupt_rate > 0.0 || spike_rate > 0.0 ||
+               (burst_period > 0 && burst_length > 0);
+    }
+};
+
+/** Verdict for one attempt. */
+struct FaultDecision
+{
+    FaultKind kind = FaultKind::None;
+    uint32_t latency_us = 0; ///< simulated latency of the attempt
+};
+
+/** Cumulative injector counters (per simulator, across frames). */
+struct FaultStats
+{
+    uint64_t attempts = 0;
+    uint64_t drops = 0;
+    uint64_t corruptions = 0;
+    uint64_t spikes = 0;
+    uint64_t burst_failures = 0;
+};
+
+/**
+ * The injector proper. Single-threaded, like the simulator that owns
+ * it: determinism follows from the stable attempt order.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /** Adjudicate the next transfer attempt. */
+    FaultDecision decide();
+
+    /**
+     * Replace the scenario: reseeds the PRNG and restarts the attempt
+     * ordinal (a fresh scenario, not a continuation). Stats are kept.
+     */
+    void reconfigure(const FaultConfig &config);
+
+    const FaultConfig &config() const { return cfg_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /** Attempts adjudicated since the last (re)configure. */
+    uint64_t attempts() const { return seq_; }
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_;
+    uint64_t seq_ = 0;
+    FaultStats stats_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_HOST_FAULT_INJECTOR_HPP

@@ -1,0 +1,79 @@
+#include "host/host_backend.hpp"
+
+#include <string>
+
+namespace mltc {
+
+HostTransfer
+FaultyHostBackend::transfer(const HostRequest &)
+{
+    const FaultDecision d = injector_.decide();
+    switch (d.kind) {
+      case FaultKind::None:
+      case FaultKind::LatencySpike:
+        return {HostTransferStatus::Ok, d.latency_us};
+      case FaultKind::Drop:
+      case FaultKind::BurstOutage:
+        return {HostTransferStatus::Dropped, d.latency_us};
+      case FaultKind::Corrupt:
+        return {HostTransferStatus::Corrupt, d.latency_us};
+    }
+    return {HostTransferStatus::Ok, d.latency_us};
+}
+
+HostFetchPath::HostFetchPath(std::unique_ptr<HostMemoryBackend> backend,
+                             const RetryConfig &retry)
+    : backend_(std::move(backend)), policy_(retry)
+{
+}
+
+HostFetchResult
+HostFetchPath::fetch(const HostRequest &request)
+{
+    ++stats_.requests;
+    HostFetchResult r;
+    const RetryConfig &cfg = policy_.config();
+
+    while (policy_.attemptAllowed(r.attempts + 1, r.elapsed_us)) {
+        const HostTransfer t = backend_->transfer(request);
+        ++r.attempts;
+        ++stats_.attempts;
+        r.elapsed_us += t.latency_us;
+
+        HostTransferStatus status = t.status;
+        // A nominally successful transfer that blew the per-attempt
+        // timeout was already abandoned by the requester: retryable.
+        if (status == HostTransferStatus::Ok &&
+            t.latency_us > cfg.attempt_timeout_us) {
+            ++stats_.timeouts;
+            status = HostTransferStatus::Dropped;
+        }
+        if (status == HostTransferStatus::Corrupt)
+            ++r.corrupt_transfers;
+        if (status == HostTransferStatus::Ok) {
+            r.success = true;
+            r.retries = r.attempts - 1;
+            stats_.retries += r.retries;
+            stats_.elapsed_us += r.elapsed_us;
+            return r;
+        }
+        // Failed attempt: back off before the next one, unless the
+        // backoff itself would exhaust the request's time budget.
+        const uint32_t backoff = policy_.backoffAfter(r.attempts);
+        if (!policy_.attemptAllowed(r.attempts + 1, r.elapsed_us + backoff))
+            break;
+        r.elapsed_us += backoff;
+    }
+
+    r.retries = r.attempts ? r.attempts - 1 : 0;
+    stats_.retries += r.retries;
+    stats_.elapsed_us += r.elapsed_us;
+    ++stats_.failures;
+    r.error = {ErrorCode::RetryExhausted,
+               "host fetch failed after " + std::to_string(r.attempts) +
+                   " attempts (t_index " + std::to_string(request.t_index) +
+                   ", " + std::to_string(r.elapsed_us) + "us elapsed)"};
+    return r;
+}
+
+} // namespace mltc

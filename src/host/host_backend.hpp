@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The host-memory download path as an explicit, fallible subsystem.
+ *
+ * The seed simulator modelled every host download as an infallible byte
+ * counter. Here each sector download is a request against a
+ * HostMemoryBackend that can succeed, be delayed past its timeout, fail
+ * transiently, or deliver corrupted bytes. HostFetchPath wraps a backend
+ * with the retry/backoff policy and per-request timeout budget; when
+ * retries are exhausted it reports a typed Error and the cache
+ * controller degrades gracefully (re-issuing the access against a
+ * coarser resident MIP level) instead of crashing or miscounting.
+ */
+#ifndef MLTC_HOST_HOST_BACKEND_HPP
+#define MLTC_HOST_HOST_BACKEND_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "host/fault_injector.hpp"
+#include "host/retry_policy.hpp"
+#include "util/error.hpp"
+
+namespace mltc {
+
+/** One sector download request. */
+struct HostRequest
+{
+    uint32_t t_index = 0; ///< page-table index, for diagnostics (0 = pull)
+    uint64_t bytes = 0;   ///< payload size at the texture's host depth
+};
+
+/** Outcome of a single transfer attempt. */
+enum class HostTransferStatus : uint8_t
+{
+    Ok,      ///< payload delivered intact
+    Dropped, ///< transient failure, nothing delivered
+    Corrupt, ///< payload delivered but failed the integrity check
+};
+
+/** One transfer attempt's result. */
+struct HostTransfer
+{
+    HostTransferStatus status = HostTransferStatus::Ok;
+    uint32_t latency_us = 0;
+
+    /** Whether bytes crossed the bus (even if discarded afterwards). */
+    bool
+    movedBytes() const
+    {
+        return status != HostTransferStatus::Dropped;
+    }
+};
+
+/** Abstract host-memory channel: one sector transfer attempt at a time. */
+class HostMemoryBackend
+{
+  public:
+    virtual ~HostMemoryBackend() = default;
+
+    /** Attempt one sector transfer. */
+    virtual HostTransfer transfer(const HostRequest &request) = 0;
+};
+
+/** Infallible channel: the seed simulator's implicit model. */
+class ReliableHostBackend final : public HostMemoryBackend
+{
+  public:
+    explicit ReliableHostBackend(uint32_t latency_us = 10)
+        : latency_us_(latency_us)
+    {
+    }
+
+    HostTransfer
+    transfer(const HostRequest &) override
+    {
+        return {HostTransferStatus::Ok, latency_us_};
+    }
+
+  private:
+    uint32_t latency_us_;
+};
+
+/** Channel whose attempts are adjudicated by a FaultInjector. */
+class FaultyHostBackend final : public HostMemoryBackend
+{
+  public:
+    explicit FaultyHostBackend(const FaultConfig &faults)
+        : injector_(faults)
+    {
+    }
+
+    HostTransfer transfer(const HostRequest &request) override;
+
+    FaultInjector &injector() { return injector_; }
+    const FaultInjector &injector() const { return injector_; }
+
+  private:
+    FaultInjector injector_;
+};
+
+/** Final verdict of one retried host fetch. */
+struct HostFetchResult
+{
+    bool success = false;
+    uint32_t attempts = 0;          ///< transfer attempts made (>= 1)
+    uint32_t retries = 0;           ///< attempts beyond the first
+    uint32_t corrupt_transfers = 0; ///< attempts that moved garbage bytes
+    uint64_t elapsed_us = 0;        ///< simulated transfer + backoff time
+    Error error;                    ///< set when !success
+};
+
+/** Cumulative fetch-path counters (per simulator, across frames). */
+struct HostPathStats
+{
+    uint64_t requests = 0;
+    uint64_t attempts = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;       ///< attempts abandoned past the timeout
+    uint64_t failures = 0;       ///< requests that exhausted retries
+    uint64_t elapsed_us = 0;     ///< total simulated stall time
+};
+
+/**
+ * Everything CacheSim needs to turn on the fallible host path. With
+ * fault_injection false the simulator keeps the seed's infallible byte
+ * counter and is bit-identical to it.
+ */
+struct HostPathConfig
+{
+    bool fault_injection = false;
+    FaultConfig faults;
+    RetryConfig retry;
+};
+
+/**
+ * The executor: drives a backend under the retry policy. Attempts whose
+ * latency exceeds the per-attempt timeout are abandoned (retryable);
+ * corrupted payloads are detected and refetched; retries stop when the
+ * attempt count or the request's time budget runs out.
+ */
+class HostFetchPath
+{
+  public:
+    HostFetchPath(std::unique_ptr<HostMemoryBackend> backend,
+                  const RetryConfig &retry);
+
+    /** Perform one sector download with retries. Never throws. */
+    HostFetchResult fetch(const HostRequest &request);
+
+    HostMemoryBackend &backend() { return *backend_; }
+    const RetryPolicy &policy() const { return policy_; }
+    const HostPathStats &stats() const { return stats_; }
+
+  private:
+    std::unique_ptr<HostMemoryBackend> backend_;
+    RetryPolicy policy_;
+    HostPathStats stats_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_HOST_HOST_BACKEND_HPP

@@ -1,0 +1,32 @@
+#include "host/host_cli.hpp"
+
+namespace mltc {
+
+HostPathConfig
+hostPathFromCli(const CommandLine &cli)
+{
+    HostPathConfig host;
+    host.faults.seed =
+        static_cast<uint64_t>(cli.getInt("fault-seed", 42));
+    host.faults.drop_rate = cli.getDouble("fault-drop", 0.0);
+    host.faults.corrupt_rate = cli.getDouble("fault-corrupt", 0.0);
+    host.faults.spike_rate = cli.getDouble("fault-spike", 0.0);
+    host.faults.burst_period =
+        static_cast<uint32_t>(cli.getInt("fault-burst-period", 0));
+    host.faults.burst_length =
+        static_cast<uint32_t>(cli.getInt("fault-burst-len", 0));
+    host.retry.max_attempts = static_cast<uint32_t>(
+        cli.getInt("retry-max", host.retry.max_attempts));
+    host.retry.base_backoff_us = static_cast<uint32_t>(
+        cli.getInt("retry-backoff-us", host.retry.base_backoff_us));
+    host.retry.request_budget_us = static_cast<uint32_t>(
+        cli.getInt("retry-budget-us", host.retry.request_budget_us));
+    host.fault_injection =
+        cli.getFlag("faults") || cli.has("fault-seed") ||
+        cli.has("fault-drop") || cli.has("fault-corrupt") ||
+        cli.has("fault-spike") || cli.has("fault-burst-period") ||
+        cli.has("fault-burst-len");
+    return host;
+}
+
+} // namespace mltc

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Command-line plumbing for fault scenarios, shared by cache_explorer,
+ * record_replay and any future driver: one function mapping the
+ * `--faults` / `--fault-*` / `--retry-*` option family onto a
+ * HostPathConfig.
+ */
+#ifndef MLTC_HOST_HOST_CLI_HPP
+#define MLTC_HOST_HOST_CLI_HPP
+
+#include "host/host_backend.hpp"
+#include "util/cli.hpp"
+
+namespace mltc {
+
+/**
+ * Build a HostPathConfig from the command line. Fault injection is
+ * enabled by `--faults` or by any `--fault-*` option being present.
+ *
+ * Options (defaults in FaultConfig / RetryConfig):
+ *   --faults                  enable fault injection
+ *   --fault-seed N            scenario seed
+ *   --fault-drop R            transient drop probability [0,1]
+ *   --fault-corrupt R         corrupted-payload probability [0,1]
+ *   --fault-spike R           latency-spike probability [0,1]
+ *   --fault-burst-period N    attempts per burst-outage window
+ *   --fault-burst-len N       failing attempts at the end of each window
+ *   --retry-max N             attempts per request (first included)
+ *   --retry-backoff-us N      base backoff before the 2nd attempt
+ *   --retry-budget-us N       total per-request time budget
+ */
+HostPathConfig hostPathFromCli(const CommandLine &cli);
+
+} // namespace mltc
+
+#endif // MLTC_HOST_HOST_CLI_HPP

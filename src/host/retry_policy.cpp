@@ -1,0 +1,19 @@
+#include "host/retry_policy.hpp"
+
+namespace mltc {
+
+uint32_t
+RetryPolicy::backoffAfter(uint32_t attempt) const
+{
+    double backoff = cfg_.base_backoff_us;
+    for (uint32_t i = 1; i < attempt; ++i) {
+        backoff *= cfg_.backoff_multiplier;
+        if (backoff >= cfg_.max_backoff_us)
+            return cfg_.max_backoff_us;
+    }
+    if (backoff >= cfg_.max_backoff_us)
+        return cfg_.max_backoff_us;
+    return static_cast<uint32_t>(backoff);
+}
+
+} // namespace mltc

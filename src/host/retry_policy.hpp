@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bounded-exponential-backoff retry policy for host sector downloads.
+ *
+ * Pure policy: given an attempt ordinal it yields the backoff to wait
+ * before the next attempt, and given elapsed simulated time it says
+ * whether another attempt still fits the per-request budget. The
+ * executor that applies it lives in host_backend.hpp (HostFetchPath).
+ */
+#ifndef MLTC_HOST_RETRY_POLICY_HPP
+#define MLTC_HOST_RETRY_POLICY_HPP
+
+#include <cstdint>
+
+namespace mltc {
+
+/** Retry/backoff/timeout knobs for one host fetch. */
+struct RetryConfig
+{
+    uint32_t max_attempts = 4;      ///< total attempts, first included
+    uint32_t base_backoff_us = 20;  ///< backoff before the 2nd attempt
+    double backoff_multiplier = 2.0;///< growth factor per further attempt
+    uint32_t max_backoff_us = 1000; ///< backoff cap (bounded exponential)
+    /**
+     * An attempt whose simulated latency exceeds this is abandoned and
+     * treated as a timeout (retryable).
+     */
+    uint32_t attempt_timeout_us = 200;
+    /**
+     * Total simulated time budget (transfers + backoffs) for one
+     * request; once exceeded, no further attempts are made.
+     */
+    uint32_t request_budget_us = 5000;
+};
+
+/** Deterministic backoff schedule over a RetryConfig. */
+class RetryPolicy
+{
+  public:
+    explicit RetryPolicy(const RetryConfig &config) : cfg_(config) {}
+
+    const RetryConfig &config() const { return cfg_; }
+
+    /**
+     * Backoff in microseconds after failed attempt number @p attempt
+     * (1-based): base * multiplier^(attempt-1), capped at max_backoff_us.
+     */
+    uint32_t backoffAfter(uint32_t attempt) const;
+
+    /** True when attempt number @p next_attempt (1-based) may run. */
+    bool
+    attemptAllowed(uint32_t next_attempt, uint64_t elapsed_us) const
+    {
+        return next_attempt <= cfg_.max_attempts &&
+               elapsed_us < cfg_.request_budget_us;
+    }
+
+  private:
+    RetryConfig cfg_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_HOST_RETRY_POLICY_HPP

@@ -1,7 +1,8 @@
 #include "trace/trace_io.hpp"
 
 #include <cstring>
-#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace mltc {
 
@@ -15,7 +16,14 @@ void
 writeU32(std::FILE *f, uint32_t v)
 {
     if (std::fwrite(&v, sizeof(v), 1, f) != 1)
-        throw std::runtime_error("trace write failed");
+        throw Exception(ErrorCode::Io, "TraceWriter: short write");
+}
+
+void
+writeOp(std::FILE *f, uint8_t op)
+{
+    if (std::fwrite(&op, 1, 1, f) != 1)
+        throw Exception(ErrorCode::Io, "TraceWriter: short write");
 }
 
 bool
@@ -24,25 +32,32 @@ readU32(std::FILE *f, uint32_t &v)
     return std::fread(&v, sizeof(v), 1, f) == 1;
 }
 
+std::string
+offsetOf(std::FILE *f)
+{
+    const long pos = std::ftell(f);
+    return pos < 0 ? std::string("?") : std::to_string(pos);
+}
+
 } // namespace
 
 TraceWriter::TraceWriter(const std::string &path)
     : file_(std::fopen(path.c_str(), "wb"))
 {
     if (!file_)
-        throw std::runtime_error("TraceWriter: cannot open " + path);
-    if (std::fwrite(kMagic, sizeof(kMagic), 1, file_) != 1)
-        throw std::runtime_error("TraceWriter: header write failed");
+        throw Exception(ErrorCode::Io, "TraceWriter: cannot open " + path);
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw Exception(ErrorCode::Io,
+                        "TraceWriter: header write failed for " + path);
+    }
 }
 
 TraceWriter::~TraceWriter()
 {
-    close();
-}
-
-void
-TraceWriter::close()
-{
+    // Best-effort: destructors must not throw. Call close() explicitly
+    // to learn about flush failures (truncated traces fail loudly).
     if (file_) {
         std::fclose(file_);
         file_ = nullptr;
@@ -50,18 +65,28 @@ TraceWriter::close()
 }
 
 void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    std::FILE *f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0)
+        throw Exception(ErrorCode::Io,
+                        "TraceWriter: close failed (trace truncated?)");
+}
+
+void
 TraceWriter::bindTexture(TextureId tid)
 {
-    uint8_t op = kBind;
-    std::fwrite(&op, 1, 1, file_);
+    writeOp(file_, kBind);
     writeU32(file_, tid);
 }
 
 void
 TraceWriter::access(uint32_t x, uint32_t y, uint32_t mip)
 {
-    uint8_t op = kAccess;
-    std::fwrite(&op, 1, 1, file_);
+    writeOp(file_, kAccess);
     writeU32(file_, x);
     writeU32(file_, y);
     writeU32(file_, mip);
@@ -70,19 +95,29 @@ TraceWriter::access(uint32_t x, uint32_t y, uint32_t mip)
 void
 TraceWriter::endFrame()
 {
-    uint8_t op = kEndFrame;
-    std::fwrite(&op, 1, 1, file_);
+    writeOp(file_, kEndFrame);
 }
 
 TraceReader::TraceReader(const std::string &path)
     : file_(std::fopen(path.c_str(), "rb"))
 {
     if (!file_)
-        throw std::runtime_error("TraceReader: cannot open " + path);
+        throw Exception(ErrorCode::Io, "TraceReader: cannot open " + path);
     char magic[8];
-    if (std::fread(magic, sizeof(magic), 1, file_) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw std::runtime_error("TraceReader: bad magic in " + path);
+    // Close before throwing: a throwing constructor never runs the
+    // destructor, so the handle would leak otherwise.
+    if (std::fread(magic, sizeof(magic), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw Exception(ErrorCode::Truncated,
+                        "TraceReader: truncated header in " + path);
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw Exception(ErrorCode::BadMagic,
+                        "TraceReader: bad magic in " + path);
+    }
 }
 
 TraceReader::~TraceReader()
@@ -96,13 +131,18 @@ TraceReader::replayFrame(TexelAccessSink &sink)
 {
     bool any = false;
     uint8_t op = 0;
-    while (std::fread(&op, 1, 1, file_) == 1) {
+    while (true) {
+        const std::string at = offsetOf(file_);
+        if (std::fread(&op, 1, 1, file_) != 1)
+            break;
         any = true;
         switch (op) {
           case kBind: {
             uint32_t tid;
             if (!readU32(file_, tid))
-                throw std::runtime_error("TraceReader: truncated bind");
+                throw Exception(ErrorCode::Truncated,
+                                "TraceReader: truncated bind at offset " +
+                                    at);
             sink.bindTexture(tid);
             break;
           }
@@ -110,14 +150,18 @@ TraceReader::replayFrame(TexelAccessSink &sink)
             uint32_t x, y, mip;
             if (!readU32(file_, x) || !readU32(file_, y) ||
                 !readU32(file_, mip))
-                throw std::runtime_error("TraceReader: truncated access");
+                throw Exception(ErrorCode::Truncated,
+                                "TraceReader: truncated access at offset " +
+                                    at);
             sink.access(x, y, mip);
             break;
           }
           case kEndFrame:
             return true;
           default:
-            throw std::runtime_error("TraceReader: bad opcode");
+            throw Exception(ErrorCode::BadOpcode,
+                            "TraceReader: bad opcode " +
+                                std::to_string(op) + " at offset " + at);
         }
     }
     return any;

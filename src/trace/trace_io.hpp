@@ -19,11 +19,19 @@
 
 namespace mltc {
 
-/** Sink that serialises the access stream to a file. */
+/**
+ * Sink that serialises the access stream to a file.
+ *
+ * Every write is checked: a full disk or a vanished file throws a typed
+ * mltc::Exception (ErrorCode::Io) at the offending event rather than
+ * silently producing a truncated trace. Call close() before relying on
+ * the file — it reports fclose failure; the destructor only closes
+ * best-effort.
+ */
 class TraceWriter final : public TexelAccessSink
 {
   public:
-    /** Open @p path; throws std::runtime_error on failure. */
+    /** Open @p path; throws mltc::Exception (Io) on failure. */
     explicit TraceWriter(const std::string &path);
     ~TraceWriter() override;
 
@@ -36,18 +44,31 @@ class TraceWriter final : public TexelAccessSink
     /** Mark a frame boundary. */
     void endFrame();
 
-    /** Flush and close (also done by the destructor). */
+    /**
+     * Flush and close; throws mltc::Exception (Io) when fclose reports
+     * failure. The destructor closes silently instead.
+     */
     void close();
 
   private:
     std::FILE *file_ = nullptr;
 };
 
-/** Replays a recorded trace into a sink. */
+/**
+ * Replays a recorded trace into a sink.
+ *
+ * Malformed input (truncated records, unknown opcodes, bad header) is
+ * rejected with a typed mltc::Exception naming the offending offset or
+ * opcode — never a crash, hang or silent misparse. mltc::Exception
+ * derives std::runtime_error, so existing catch sites keep working.
+ */
 class TraceReader
 {
   public:
-    /** Open @p path; throws std::runtime_error on failure or bad magic. */
+    /**
+     * Open @p path; throws mltc::Exception (Io / Truncated / BadMagic)
+     * on failure, without leaking the handle.
+     */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 

@@ -1,0 +1,29 @@
+#include "util/error.hpp"
+
+namespace mltc {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "none";
+      case ErrorCode::Io: return "io";
+      case ErrorCode::Truncated: return "truncated";
+      case ErrorCode::BadMagic: return "bad-magic";
+      case ErrorCode::BadOpcode: return "bad-opcode";
+      case ErrorCode::Corrupt: return "corrupt";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::Transient: return "transient";
+      case ErrorCode::RetryExhausted: return "retry-exhausted";
+      case ErrorCode::OutOfRange: return "out-of-range";
+    }
+    return "?";
+}
+
+std::string
+Error::describe() const
+{
+    return "[" + std::string(errorCodeName(code)) + "] " + message;
+}
+
+} // namespace mltc

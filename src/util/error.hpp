@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Error taxonomy shared by the robustness-hardened layers (host download
+ * path, trace I/O): a small closed set of error codes, an `Error` value
+ * carrying code + human-readable message, a `Result<T>` for call sites
+ * that prefer values over exceptions, and an `Exception` wrapper (derived
+ * from std::runtime_error so legacy catch sites keep working) for call
+ * sites that throw.
+ */
+#ifndef MLTC_UTIL_ERROR_HPP
+#define MLTC_UTIL_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mltc {
+
+/** Closed error taxonomy (see docs/fault_model.md). */
+enum class ErrorCode : uint8_t
+{
+    None = 0,
+    Io,             ///< OS-level file/stream failure (open/write/close)
+    Truncated,      ///< input ended mid-record
+    BadMagic,       ///< file header is not the expected format
+    BadOpcode,      ///< record tag outside the known opcode set
+    Corrupt,        ///< payload failed an integrity check
+    Timeout,        ///< a transfer exceeded its latency budget
+    Transient,      ///< a retryable transfer failure (drop / outage)
+    RetryExhausted, ///< all retry attempts / the backoff budget consumed
+    OutOfRange,     ///< index outside a structure's valid range
+};
+
+/** Stable lowercase name of @p code for logs and CSVs. */
+const char *errorCodeName(ErrorCode code);
+
+/** An error value: what went wrong plus a message naming where. */
+struct Error
+{
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+
+    /** "[code] message" for logs. */
+    std::string describe() const;
+};
+
+/**
+ * Exception carrying a typed Error. Derives std::runtime_error so
+ * pre-taxonomy `catch (const std::runtime_error &)` sites still work.
+ */
+class Exception : public std::runtime_error
+{
+  public:
+    Exception(ErrorCode code, std::string message)
+        : std::runtime_error(message), error_{code, std::move(message)}
+    {
+    }
+
+    const Error &error() const { return error_; }
+    ErrorCode code() const { return error_.code; }
+
+  private:
+    Error error_;
+};
+
+/**
+ * Value-or-Error result for APIs where failure is an expected outcome
+ * (the host download path) rather than a programming error.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value) : v_(std::move(value)) {}
+    /* implicit */ Result(Error error) : v_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; only valid when ok(). */
+    const T &value() const { return std::get<T>(v_); }
+    T &value() { return std::get<T>(v_); }
+
+    /** The error; only valid when !ok(). */
+    const Error &error() const { return std::get<Error>(v_); }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_ERROR_HPP

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the fallible host-memory path: deterministic fault
+ * scenarios, retry/backoff mechanics, and CacheSim's graceful
+ * degradation to a coarser resident MIP level on retry exhaustion.
+ */
+#include <gtest/gtest.h>
+
+#include "core/cache_sim.hpp"
+#include "host/host_backend.hpp"
+#include "util/rng.hpp"
+
+namespace mltc {
+namespace {
+
+/** Field-by-field equality of two frame-stat snapshots. */
+void
+expectStatsEqual(const CacheFrameStats &a, const CacheFrameStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.l2_full_hits, b.l2_full_hits);
+    EXPECT_EQ(a.l2_partial_hits, b.l2_partial_hits);
+    EXPECT_EQ(a.l2_full_misses, b.l2_full_misses);
+    EXPECT_EQ(a.host_bytes, b.host_bytes);
+    EXPECT_EQ(a.l2_read_bytes, b.l2_read_bytes);
+    EXPECT_EQ(a.tlb_probes, b.tlb_probes);
+    EXPECT_EQ(a.tlb_hits, b.tlb_hits);
+    EXPECT_EQ(a.host_retries, b.host_retries);
+    EXPECT_EQ(a.host_failures, b.host_failures);
+    EXPECT_EQ(a.degraded_accesses, b.degraded_accesses);
+    EXPECT_EQ(a.degraded_mip_bias, b.degraded_mip_bias);
+}
+
+TEST(FaultInjector, SameSeedSameScenario)
+{
+    FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.drop_rate = 0.2;
+    cfg.corrupt_rate = 0.1;
+    cfg.spike_rate = 0.1;
+    FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 10000; ++i) {
+        FaultDecision da = a.decide();
+        FaultDecision db = b.decide();
+        EXPECT_EQ(da.kind, db.kind);
+        EXPECT_EQ(da.latency_us, db.latency_us);
+    }
+    EXPECT_EQ(a.stats().drops, b.stats().drops);
+    EXPECT_GT(a.stats().drops, 0u);
+    EXPECT_GT(a.stats().corruptions, 0u);
+    EXPECT_GT(a.stats().spikes, 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultConfig cfg;
+    cfg.drop_rate = 0.5;
+    cfg.seed = 1;
+    FaultInjector a(cfg);
+    cfg.seed = 2;
+    FaultInjector b(cfg);
+    int diverged = 0;
+    for (int i = 0; i < 1000; ++i)
+        diverged += a.decide().kind != b.decide().kind;
+    EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultInjector, BurstWindowFailsTailOfEachPeriod)
+{
+    FaultConfig cfg;
+    cfg.burst_period = 10;
+    cfg.burst_length = 3;
+    FaultInjector inj(cfg);
+    for (int period = 0; period < 5; ++period)
+        for (uint32_t i = 0; i < 10; ++i) {
+            FaultDecision d = inj.decide();
+            if (i >= 7)
+                EXPECT_EQ(d.kind, FaultKind::BurstOutage);
+            else
+                EXPECT_EQ(d.kind, FaultKind::None);
+        }
+    EXPECT_EQ(inj.stats().burst_failures, 15u);
+}
+
+TEST(FaultInjector, ZeroRatesNeverFault)
+{
+    FaultInjector inj(FaultConfig{});
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(inj.decide().kind, FaultKind::None);
+}
+
+TEST(RetryPolicy, BackoffIsBoundedExponential)
+{
+    RetryConfig cfg;
+    cfg.base_backoff_us = 20;
+    cfg.backoff_multiplier = 2.0;
+    cfg.max_backoff_us = 100;
+    RetryPolicy p(cfg);
+    EXPECT_EQ(p.backoffAfter(1), 20u);
+    EXPECT_EQ(p.backoffAfter(2), 40u);
+    EXPECT_EQ(p.backoffAfter(3), 80u);
+    EXPECT_EQ(p.backoffAfter(4), 100u); // capped
+    EXPECT_EQ(p.backoffAfter(20), 100u);
+}
+
+/** Scripted backend: fails the first N attempts, then succeeds. */
+class FlakyBackend final : public HostMemoryBackend
+{
+  public:
+    explicit FlakyBackend(uint32_t failures,
+                          HostTransferStatus failure_status =
+                              HostTransferStatus::Dropped)
+        : failures_(failures), failure_status_(failure_status)
+    {
+    }
+
+    HostTransfer
+    transfer(const HostRequest &) override
+    {
+        if (seen_++ < failures_)
+            return {failure_status_, 10};
+        return {HostTransferStatus::Ok, 10};
+    }
+
+  private:
+    uint32_t failures_;
+    HostTransferStatus failure_status_;
+    uint32_t seen_ = 0;
+};
+
+TEST(HostFetchPath, RetriesUntilSuccess)
+{
+    RetryConfig cfg;
+    cfg.max_attempts = 4;
+    HostFetchPath path(std::make_unique<FlakyBackend>(2), cfg);
+    HostFetchResult r = path.fetch({5, 64});
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.retries, 2u);
+    EXPECT_EQ(path.stats().retries, 2u);
+    EXPECT_EQ(path.stats().failures, 0u);
+}
+
+TEST(HostFetchPath, ExhaustionYieldsTypedError)
+{
+    RetryConfig cfg;
+    cfg.max_attempts = 3;
+    HostFetchPath path(std::make_unique<FlakyBackend>(100), cfg);
+    HostFetchResult r = path.fetch({9, 64});
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.error.code, ErrorCode::RetryExhausted);
+    EXPECT_NE(r.error.message.find("t_index 9"), std::string::npos);
+    EXPECT_EQ(path.stats().failures, 1u);
+}
+
+TEST(HostFetchPath, CorruptTransfersAreRetriedAndCounted)
+{
+    RetryConfig cfg;
+    cfg.max_attempts = 4;
+    HostFetchPath path(std::make_unique<FlakyBackend>(
+                           2, HostTransferStatus::Corrupt),
+                       cfg);
+    HostFetchResult r = path.fetch({0, 64});
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.corrupt_transfers, 2u);
+}
+
+TEST(HostFetchPath, SlowAttemptsTimeOutAndRetry)
+{
+    /** Always succeeds, but far over the per-attempt timeout. */
+    class SlowBackend final : public HostMemoryBackend
+    {
+      public:
+        HostTransfer
+        transfer(const HostRequest &) override
+        {
+            return {HostTransferStatus::Ok, 500};
+        }
+    };
+    RetryConfig cfg;
+    cfg.max_attempts = 3;
+    cfg.attempt_timeout_us = 200;
+    cfg.request_budget_us = 100000;
+    HostFetchPath path(std::make_unique<SlowBackend>(), cfg);
+    HostFetchResult r = path.fetch({0, 64});
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(path.stats().timeouts, 3u);
+}
+
+TEST(HostFetchPath, BudgetStopsRetriesEarly)
+{
+    RetryConfig cfg;
+    cfg.max_attempts = 100;
+    cfg.base_backoff_us = 1000;
+    cfg.max_backoff_us = 1000;
+    cfg.request_budget_us = 2500; // fits ~2 attempts + 1-2 backoffs
+    HostFetchPath path(std::make_unique<FlakyBackend>(1000), cfg);
+    HostFetchResult r = path.fetch({0, 64});
+    EXPECT_FALSE(r.success);
+    EXPECT_LT(r.attempts, 5u);
+    EXPECT_LE(r.elapsed_us, cfg.request_budget_us + cfg.max_backoff_us);
+}
+
+class FaultSimTest : public ::testing::Test
+{
+  protected:
+    FaultSimTest() { tex = tm.load("t", MipPyramid(Image(256, 256))); }
+
+    /** Two-level config with the given fault scenario enabled. */
+    static CacheSimConfig
+    faultyConfig(double drop, uint64_t seed = 42)
+    {
+        CacheSimConfig cfg = CacheSimConfig::twoLevel(2 * 1024, 1ull << 20);
+        cfg.host.fault_injection = true;
+        cfg.host.faults.seed = seed;
+        cfg.host.faults.drop_rate = drop;
+        return cfg;
+    }
+
+    /** Pseudo-random multi-MIP access stream. */
+    void
+    stream(CacheSim &sim, uint64_t seed, int n)
+    {
+        Rng rng(seed);
+        sim.bindTexture(tex);
+        for (int i = 0; i < n; ++i) {
+            uint32_t m = static_cast<uint32_t>(rng.below(3));
+            uint32_t dim = 256u >> m;
+            sim.access(static_cast<uint32_t>(rng.below(dim)),
+                       static_cast<uint32_t>(rng.below(dim)), m);
+        }
+    }
+
+    TextureManager tm;
+    TextureId tex;
+};
+
+TEST_F(FaultSimTest, ZeroRateScenarioMatchesDisabledPath)
+{
+    // Fault injection enabled with an all-zero scenario must not
+    // perturb a single counter relative to the seed (disabled) path.
+    CacheSim plain(tm, CacheSimConfig::twoLevel(2 * 1024, 1ull << 20),
+                   "plain");
+    CacheSim faulty(tm, faultyConfig(0.0), "faulty");
+    stream(plain, 99, 20000);
+    stream(faulty, 99, 20000);
+    CacheFrameStats a = plain.endFrame();
+    CacheFrameStats b = faulty.endFrame();
+    expectStatsEqual(a, b);
+    EXPECT_EQ(b.host_retries, 0u);
+    EXPECT_EQ(b.host_failures, 0u);
+    EXPECT_EQ(b.degraded_accesses, 0u);
+}
+
+TEST_F(FaultSimTest, SeededScenarioReplaysIdentically)
+{
+    CacheFrameStats runs[2];
+    for (int run = 0; run < 2; ++run) {
+        CacheSimConfig cfg = faultyConfig(0.3, 7);
+        cfg.host.faults.corrupt_rate = 0.1;
+        cfg.host.faults.spike_rate = 0.05;
+        CacheSim sim(tm, cfg, "det");
+        stream(sim, 5, 30000);
+        sim.endFrame();
+        stream(sim, 6, 30000);
+        sim.endFrame();
+        runs[run] = sim.totals();
+    }
+    expectStatsEqual(runs[0], runs[1]);
+    EXPECT_GT(runs[0].host_retries, 0u);
+    EXPECT_GT(runs[0].host_failures, 0u);
+}
+
+TEST_F(FaultSimTest, ExhaustionDegradesToResidentCoarserMip)
+{
+    CacheSim sim(tm, faultyConfig(0.0), "degrade");
+    sim.bindTexture(tex);
+    // Warm MIP level 1 so its block is sector-valid in the L2.
+    sim.access(4, 4, 1);
+    ASSERT_EQ(sim.endFrame().host_failures, 0u);
+
+    // Now make every transfer fail and touch the corresponding finer
+    // texel: (8..11, 8..11, mip 0) maps onto (4.., 4.., mip 1).
+    ASSERT_NE(sim.faultInjector(), nullptr);
+    FaultConfig fail = sim.faultInjector()->config();
+    fail.drop_rate = 1.0;
+    sim.faultInjector()->reconfigure(fail);
+
+    sim.access(8, 8, 0);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.host_failures, 1u);
+    EXPECT_EQ(fs.degraded_accesses, 1u);
+    EXPECT_EQ(fs.degraded_mip_bias, 1u); // landed exactly one level up
+    EXPECT_EQ(fs.l2_full_hits + fs.l2_partial_hits + fs.l2_full_misses, 0u);
+    EXPECT_EQ(fs.host_bytes, 0u); // nothing crossed the bus
+}
+
+TEST_F(FaultSimTest, NothingResidentCountsHardFailure)
+{
+    CacheSim sim(tm, faultyConfig(1.0), "hard");
+    sim.bindTexture(tex);
+    sim.access(0, 0, 0);
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.host_failures, 1u);
+    EXPECT_EQ(fs.degraded_accesses, 0u); // cold caches: no fallback
+    EXPECT_EQ(fs.degraded_mip_bias, 0u);
+    // max_attempts (default 4) => 3 retries for the one request.
+    EXPECT_EQ(fs.host_retries, 3u);
+}
+
+TEST_F(FaultSimTest, PullArchitectureDegradesViaL1)
+{
+    CacheSimConfig cfg = CacheSimConfig::pull(16 * 1024);
+    cfg.host.fault_injection = true;
+    cfg.host.faults.seed = 3;
+    CacheSim sim(tm, cfg, "pull-degrade");
+    sim.bindTexture(tex);
+    sim.access(4, 4, 2); // coarse tile lands in L1
+    sim.endFrame();
+
+    FaultConfig fail = sim.faultInjector()->config();
+    fail.drop_rate = 1.0;
+    sim.faultInjector()->reconfigure(fail);
+    sim.access(8, 8, 1); // (8,8,1) >> 1 = (4,4,2): resident in L1
+    CacheFrameStats fs = sim.endFrame();
+    EXPECT_EQ(fs.host_failures, 1u);
+    EXPECT_EQ(fs.degraded_accesses, 1u);
+    EXPECT_EQ(fs.degraded_mip_bias, 1u);
+}
+
+TEST_F(FaultSimTest, DegradedRepeatHitsOnChip)
+{
+    CacheSim sim(tm, faultyConfig(0.0), "repeat");
+    sim.bindTexture(tex);
+    sim.access(4, 4, 1);
+    sim.endFrame();
+    FaultConfig fail = sim.faultInjector()->config();
+    fail.drop_rate = 1.0;
+    sim.faultInjector()->reconfigure(fail);
+
+    sim.access(8, 8, 0);
+    CacheFrameStats first = sim.endFrame();
+    EXPECT_EQ(first.degraded_accesses, 1u);
+    // The coarse tile was parked in L1: replaying the same quad region
+    // must not re-degrade (coalescing) nor touch the host.
+    sim.access(8, 8, 0);
+    CacheFrameStats again = sim.endFrame();
+    EXPECT_EQ(again.host_failures, 0u);
+    EXPECT_EQ(again.host_bytes, 0u);
+}
+
+TEST_F(FaultSimTest, DisabledPathHasNoHostMachinery)
+{
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 1ull << 20), "x");
+    EXPECT_EQ(sim.hostPath(), nullptr);
+    EXPECT_EQ(sim.faultInjector(), nullptr);
+}
+
+TEST_F(FaultSimTest, CorruptTransfersBurnBandwidth)
+{
+    CacheSimConfig cfg = faultyConfig(0.0, 11);
+    cfg.host.faults.corrupt_rate = 0.5;
+    CacheSim faulty(tm, cfg, "corrupt");
+    CacheSim plain(tm, CacheSimConfig::twoLevel(2 * 1024, 1ull << 20),
+                   "plain");
+    stream(faulty, 21, 20000);
+    stream(plain, 21, 20000);
+    CacheFrameStats a = faulty.endFrame();
+    CacheFrameStats b = plain.endFrame();
+    // Corrupted payloads cross the bus before being discarded, so the
+    // faulty channel costs strictly more host traffic for the same
+    // access stream (every eventual success still downloads its bytes).
+    EXPECT_GT(a.host_bytes, b.host_bytes);
+    EXPECT_GT(a.host_retries, 0u);
+}
+
+TEST_F(FaultSimTest, FrameStatsAddAccumulatesHostCounters)
+{
+    CacheFrameStats a, b;
+    a.host_retries = 3;
+    a.host_failures = 1;
+    a.degraded_accesses = 1;
+    a.degraded_mip_bias = 2;
+    b.host_retries = 7;
+    b.host_failures = 2;
+    b.degraded_accesses = 2;
+    b.degraded_mip_bias = 3;
+    a.add(b);
+    EXPECT_EQ(a.host_retries, 10u);
+    EXPECT_EQ(a.host_failures, 3u);
+    EXPECT_EQ(a.degraded_accesses, 3u);
+    EXPECT_EQ(a.degraded_mip_bias, 5u);
+    EXPECT_DOUBLE_EQ(a.meanDegradedMipBias(), 5.0 / 3.0);
+}
+
+} // namespace
+} // namespace mltc
