@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <string>
 
+#include "sim/multi_config_runner.hpp"
+#include "sim/resilience.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
@@ -61,6 +63,54 @@ inline void
 wroteCsv(const std::string &path)
 {
     std::printf("[csv] %s\n\n", path.c_str());
+}
+
+/** Close (flushing + checking the stream) and note the CSV artefact. */
+inline void
+wroteCsv(CsvWriter &csv)
+{
+    csv.close();
+    wroteCsv(csv.path());
+}
+
+/**
+ * Per-leg resilience config for benches that run several runners in one
+ * process (per workload, per filter): each leg checkpoints to
+ * `<base>.<leg>.snap`. On --resume a leg whose checkpoint is missing
+ * (the crash happened before its first checkpoint) simply starts fresh;
+ * a completed leg resumes at its last frame, i.e. is a cheap no-op.
+ */
+inline ResilienceConfig
+legResilience(const ResilienceConfig &base, const std::string &leg)
+{
+    ResilienceConfig rc = base;
+    if (!rc.checkpoint_path.empty()) {
+        rc.checkpoint_path += "." + leg + ".snap";
+        if (rc.resume) {
+            if (std::FILE *f = std::fopen(rc.checkpoint_path.c_str(), "rb"))
+                std::fclose(f);
+            else
+                rc.resume = false;
+        }
+    }
+    return rc;
+}
+
+/** Report a supervised leg's outcome; quarantines go to stderr. */
+inline void
+reportManifest(const std::string &leg, const RunManifest &manifest)
+{
+    if (manifest.outcome != RunOutcome::Completed)
+        std::fprintf(stderr, "[%s] run %s after %d frames\n", leg.c_str(),
+                     runOutcomeName(manifest.outcome),
+                     manifest.frames_completed);
+    for (const auto &sim : manifest.sims)
+        if (sim.quarantined)
+            std::fprintf(stderr,
+                         "[%s] sim '%s' quarantined at frame %d: %s\n",
+                         leg.c_str(), sim.label.c_str(),
+                         sim.quarantined_at_frame,
+                         sim.error.describe().c_str());
 }
 
 } // namespace mltc::bench

@@ -16,10 +16,14 @@
 #include "workload/registry.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mltc;
     using namespace mltc::bench;
+
+    CommandLine cli(argc, argv);
+    const ResilienceConfig resilience = resilienceFromCli(cli);
+    installCancellationHandlers();
 
     banner("Extension: host-path fault tolerance",
            "Seeded fault sweep: degraded quality vs host fault rate "
@@ -52,7 +56,11 @@ main()
             sc.host.faults.spike_rate = rate / 2.0;
             runner.addSim(sc, formatPercent(rate, 0) + " faults");
         }
-        runner.run();
+        RunManifest manifest =
+            runner.runSupervised(legResilience(resilience, name));
+        reportManifest(name, manifest);
+        if (manifest.outcome != RunOutcome::Completed)
+            return 1;
 
         TextTable table({name + " fault rate", "retries", "failures",
                          "degraded", "hard", "mip bias", "MB/frame"});
@@ -82,6 +90,6 @@ main()
     std::printf("(degradation = access served from a coarser resident MIP "
                 "after retry exhaustion; hard = nothing coarser was "
                 "resident either. Same seed => identical CSV.)\n");
-    wroteCsv(csv.path());
+    wroteCsv(csv);
     return 0;
 }

@@ -6,16 +6,25 @@
  *
  * Paper headline: 16 KB is nearly as good as 32 KB; even 2 KB peaks
  * below ~4% (bilinear) / ~5% (trilinear) miss rate.
+ *
+ * Supports the shared resilience flags (--checkpoint, --resume,
+ * --deadline-ms, --budget-ms, --audit; see sim/resilience.hpp). The CSV
+ * is emitted from the accumulated rows *after* the run, so a resumed
+ * run writes the complete series, not just the frames it rendered.
  */
 #include "bench_common.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "workload/registry.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mltc;
     using namespace mltc::bench;
+
+    CommandLine cli(argc, argv);
+    const ResilienceConfig resilience = resilienceFromCli(cli);
+    installCancellationHandlers();
 
     banner("Figure 9 / Table 2",
            "L1 miss rate by cache size (Village); average hit rates for "
@@ -40,6 +49,13 @@ main()
             runner.addSim(CacheSimConfig::pull(s * 1024),
                           std::to_string(s) + "KB");
 
+        const std::string leg = std::string(filterModeName(filter));
+        RunManifest manifest =
+            runner.runSupervised(legResilience(resilience, leg));
+        reportManifest(leg, manifest);
+        if (manifest.outcome != RunOutcome::Completed)
+            return 1;
+
         // Figure 9 proper is the trilinear... the paper plots both
         // bilinear and trilinear peaks; we emit one CSV per filter.
         std::string csv_name = std::string("fig09_l1_missrate_village_") +
@@ -47,18 +63,18 @@ main()
         CsvWriter csv(csvPath(csv_name),
                       {"frame", "miss_2kb", "miss_4kb", "miss_8kb",
                        "miss_16kb", "miss_32kb"});
-        runner.run([&](const FrameRow &row) {
+        for (const FrameRow &row : runner.rows()) {
             std::vector<double> vals{static_cast<double>(row.frame)};
             for (const auto &sim : row.sims)
                 vals.push_back(1.0 - sim.l1HitRate());
             csv.row(vals);
-        });
+        }
 
         for (size_t i = 0; i < 5; ++i) {
             double hit = runner.sims()[i]->totals().l1HitRate();
             (pass == 0 ? bl_hit : tl_hit)[i] = hit;
         }
-        wroteCsv(csv.path());
+        wroteCsv(csv);
     }
 
     for (size_t i = 0; i < 5; ++i)

@@ -7,16 +7,25 @@
  * Paper headline: without L2 the Village needs ~1.6 GB/s (2 KB L1) or
  * ~475 MB/s (16 KB L1) at 30 Hz — beyond AGP; a 2 MB L2 drops the 2 KB
  * L1 requirement to ~92 MB/s, a 5x-18x saving.
+ *
+ * Supports the shared resilience flags (--checkpoint, --resume,
+ * --deadline-ms, --budget-ms, --audit; see sim/resilience.hpp). The CSV
+ * is emitted from the accumulated rows *after* the run, so a resumed
+ * run writes the complete series, not just the frames it rendered.
  */
 #include "bench_common.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "workload/registry.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mltc;
     using namespace mltc::bench;
+
+    CommandLine cli(argc, argv);
+    const ResilienceConfig resilience = resilienceFromCli(cli);
+    installCancellationHandlers();
 
     banner("Figure 10",
            "Per-frame download bandwidth (MB/frame), trilinear, 16x16 L2 "
@@ -39,15 +48,21 @@ main()
         runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 8ull << 20),
                       "2KB+8MB");
 
+        RunManifest manifest =
+            runner.runSupervised(legResilience(resilience, name));
+        reportManifest(name, manifest);
+        if (manifest.outcome != RunOutcome::Completed)
+            return 1;
+
         CsvWriter csv(csvPath("fig10_bandwidth_" + name + ".csv"),
                       {"frame", "pull_2kb_mb", "pull_16kb_mb",
                        "l2_2mb_mb", "l2_4mb_mb", "l2_8mb_mb"});
-        runner.run([&](const FrameRow &row) {
+        for (const FrameRow &row : runner.rows()) {
             std::vector<double> vals{static_cast<double>(row.frame)};
             for (const auto &sim : row.sims)
                 vals.push_back(mb(sim.host_bytes));
             csv.row(vals);
-        });
+        }
 
         std::printf("%-8s avg MB/frame (MB/s @30Hz):\n", name.c_str());
         double pull2 = 0;
@@ -63,7 +78,7 @@ main()
                                      .c_str()
                                : "");
         }
-        wroteCsv(csv.path());
+        wroteCsv(csv);
     }
     std::printf("(paper shape: 2MB L2 saves 5x-18x vs pull; AGP 1.0 "
                 "delivers ~512 MB/s)\n\n");

@@ -3,16 +3,31 @@
  * Table 3: average host/AGP bandwidth (MB/frame) for the Village and
  * City under bilinear and trilinear filtering, with no L2 (pull, 2 KB
  * and 16 KB L1) and with 2/4/8 MB L2 caches of 16x16 tiles.
+ *
+ * Runs under watchdog supervision; the resilience flags are shared with
+ * every bench (see sim/resilience.hpp):
+ *   --checkpoint=PATH [--checkpoint-every=N] [--resume]
+ *   --deadline-ms=D --budget-ms=B --audit=off|cheap|full
+ * plus the --faults / --fault-* family (host/host_cli.hpp) to run the
+ * whole table over the fault-injectable host backend. A run killed
+ * mid-table resumes from its per-leg checkpoints and emits an identical
+ * CSV (scripts/kill_resume.sh proves this with a real SIGKILL).
  */
 #include "bench_common.hpp"
+#include "host/host_cli.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "workload/registry.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace mltc;
     using namespace mltc::bench;
+
+    CommandLine cli(argc, argv);
+    const ResilienceConfig resilience = resilienceFromCli(cli);
+    const HostPathConfig host = hostPathFromCli(cli);
+    installCancellationHandlers();
 
     banner("Table 3",
            "Average download bandwidth MB/frame, bilinear (BL) and "
@@ -37,16 +52,31 @@ main()
             cfg.filter = filter;
             cfg.frames = n_frames;
 
+            auto withHost = [&](CacheSimConfig sc) {
+                sc.host = host;
+                return sc;
+            };
             MultiConfigRunner runner(wl, cfg);
-            runner.addSim(CacheSimConfig::pull(2 * 1024), "p2");
-            runner.addSim(CacheSimConfig::pull(16 * 1024), "p16");
-            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20),
-                          "l2_2");
-            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 4ull << 20),
-                          "l2_4");
-            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 8ull << 20),
-                          "l2_8");
-            runner.run();
+            runner.addSim(withHost(CacheSimConfig::pull(2 * 1024)), "p2");
+            runner.addSim(withHost(CacheSimConfig::pull(16 * 1024)), "p16");
+            runner.addSim(
+                withHost(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20)),
+                "l2_2");
+            runner.addSim(
+                withHost(CacheSimConfig::twoLevel(2 * 1024, 4ull << 20)),
+                "l2_4");
+            runner.addSim(
+                withHost(CacheSimConfig::twoLevel(2 * 1024, 8ull << 20)),
+                "l2_8");
+
+            const std::string leg =
+                name + "_" + filterModeName(filter);
+            RunManifest manifest =
+                runner.runSupervised(legResilience(resilience, leg));
+            reportManifest(leg, manifest);
+            if (manifest.outcome != RunOutcome::Completed)
+                return 1; // partial table; checkpoints allow resuming
+
             for (size_t i = 0; i < 5; ++i) {
                 avgs[pass][i] = runner.averageHostBytesPerFrame(i) /
                                 (1024.0 * 1024.0);
@@ -60,6 +90,6 @@ main()
         table.print();
         std::printf("\n");
     }
-    wroteCsv(csv.path());
+    wroteCsv(csv);
     return 0;
 }

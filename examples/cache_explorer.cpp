@@ -13,10 +13,17 @@
  *   cache_explorer --sweep policy
  *   cache_explorer --sweep faults --fault-seed 7
  *   cache_explorer --sweep l2 --faults --fault-drop 0.1
+ *   cache_explorer --sweep l2 --checkpoint /tmp/l2.snap --checkpoint-every 16
+ *   cache_explorer --sweep l2 --checkpoint /tmp/l2.snap --resume
  *
  * Any sweep accepts the --faults / --fault-* / --retry-* family (see
  * host/host_cli.hpp) to run it over the fault-injectable host backend;
- * `--sweep faults` sweeps the fault rate itself.
+ * `--sweep faults` sweeps the fault rate itself. Every sweep also runs
+ * under watchdog supervision with the shared resilience flags
+ * (sim/resilience.hpp): --checkpoint=PATH, --checkpoint-every=N,
+ * --resume, --deadline-ms=D, --budget-ms=B, --audit=off|cheap|full.
+ * Ctrl-C checkpoints at the next frame boundary and exits cleanly;
+ * rerun with --resume to finish.
  */
 #include <cstdio>
 #include <string>
@@ -24,6 +31,7 @@
 
 #include "host/host_cli.hpp"
 #include "sim/multi_config_runner.hpp"
+#include "sim/resilience.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
@@ -51,6 +59,8 @@ main(int argc, char **argv)
     const std::string sweep = cli.getString("sweep", "l1");
     const std::string workload = cli.getString("workload", "village");
     const int frames = static_cast<int>(cli.getInt("frames", 48));
+    const ResilienceConfig resilience = resilienceFromCli(cli);
+    installCancellationHandlers();
 
     Workload wl = buildWorkload(workload);
     DriverConfig cfg;
@@ -116,7 +126,14 @@ main(int argc, char **argv)
     std::printf("sweeping '%s' over %s (%d frames, %s filtering)...\n",
                 sweep.c_str(), workload.c_str(), frames,
                 filterModeName(cfg.filter));
-    runner.run();
+    const RunManifest manifest = runner.runSupervised(resilience);
+    if (manifest.outcome != RunOutcome::Completed)
+        std::printf("run %s after %d frames%s\n",
+                    runOutcomeName(manifest.outcome),
+                    manifest.frames_completed,
+                    manifest.checkpoint.empty()
+                        ? ""
+                        : " (rerun with --resume to finish)");
 
     TextTable table({"configuration", "L1 hit", "L2 full hit", "TLB hit",
                      "host MB/frame", "retries", "degraded"});
@@ -124,15 +141,22 @@ main(int argc, char **argv)
         const CacheSim &sim = *runner.sims()[i];
         const CacheFrameStats &t = sim.totals();
         const bool faulty = sim.hostPath() != nullptr;
+        const bool dead = manifest.sims[i].quarantined;
         table.addRow(
-            {sim.label(), formatPercent(t.l1HitRate(), 2),
+            {sim.label() + (dead ? " [quarantined]" : ""),
+             formatPercent(t.l1HitRate(), 2),
              sim.l2() ? formatPercent(t.l2FullHitRate()) : "-",
              sim.tlb() ? formatPercent(t.tlbHitRate()) : "-",
              formatDouble(runner.averageHostBytesPerFrame(i) / (1 << 20),
                           3),
              faulty ? std::to_string(t.host_retries) : "-",
              faulty ? std::to_string(t.degraded_accesses) : "-"});
+        if (dead)
+            std::fprintf(stderr, "sim '%s' quarantined at frame %d: %s\n",
+                         sim.label().c_str(),
+                         manifest.sims[i].quarantined_at_frame,
+                         manifest.sims[i].error.describe().c_str());
     }
     table.print();
-    return 0;
+    return manifest.outcome == RunOutcome::Completed ? 0 : 2;
 }

@@ -8,18 +8,29 @@
  * Usage: record_replay [--workload village|city|terrain] [--frames N]
  *        [--trace path.bin] [--keep]
  *        [--faults | --fault-drop R --fault-corrupt R ... --retry-max N]
+ *        [--audit off|cheap|full] [--checkpoint base [--resume]]
  *
  * With a fault scenario enabled (see host/host_cli.hpp) the replayed
  * configurations run over the fault-injectable host backend and report
  * retries and MIP-degraded accesses per configuration.
+ *
+ * Every replayed simulator is audited at frame boundaries (--audit,
+ * default cheap). With --checkpoint=BASE each configuration's full
+ * simulator state is snapshot to `BASE.<config>.snap` after the replay;
+ * with --resume it is restored from there first, so a clip can be
+ * replayed in warm-cache sessions across process restarts — the direct
+ * CacheSim save/load path under the runner-level machinery.
  */
 #include <cstdio>
+#include <string>
 
 #include "core/cache_sim.hpp"
 #include "host/host_cli.hpp"
 #include "sim/animation_driver.hpp"
+#include "sim/resilience.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/serializer.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
@@ -31,6 +42,7 @@ main(int argc, char **argv)
     const std::string name = cli.getString("workload", "village");
     const int frames = static_cast<int>(cli.getInt("frames", 8));
     const std::string path = cli.getString("trace", "/tmp/mltc_clip.bin");
+    const ResilienceConfig resilience = resilienceFromCli(cli);
 
     Workload wl = buildWorkload(name);
 
@@ -51,12 +63,15 @@ main(int argc, char **argv)
     struct Candidate
     {
         const char *label;
+        const char *slug; ///< checkpoint-file suffix
         CacheSimConfig config;
     } candidates[] = {
-        {"pull 2KB", CacheSimConfig::pull(2 * 1024)},
-        {"pull 16KB", CacheSimConfig::pull(16 * 1024)},
-        {"2KB + 1MB L2", CacheSimConfig::twoLevel(2 * 1024, 1ull << 20)},
-        {"2KB + 4MB L2", CacheSimConfig::twoLevel(2 * 1024, 4ull << 20)},
+        {"pull 2KB", "pull2", CacheSimConfig::pull(2 * 1024)},
+        {"pull 16KB", "pull16", CacheSimConfig::pull(16 * 1024)},
+        {"2KB + 1MB L2", "l2_1mb",
+         CacheSimConfig::twoLevel(2 * 1024, 1ull << 20)},
+        {"2KB + 4MB L2", "l2_4mb",
+         CacheSimConfig::twoLevel(2 * 1024, 4ull << 20)},
     };
 
     const HostPathConfig host = hostPathFromCli(cli);
@@ -72,16 +87,34 @@ main(int argc, char **argv)
         CacheSimConfig sc = cand.config;
         sc.host = host;
         CacheSim sim(*wl.textures, sc, cand.label);
+        const std::string snap =
+            resilience.checkpoint_path.empty()
+                ? std::string()
+                : resilience.checkpoint_path + "." + cand.slug + ".snap";
+        if (resilience.resume && !snap.empty()) {
+            SnapshotReader r(snap);
+            sim.load(r);
+            r.expectEnd();
+        }
         TraceReader reader(path);
         uint64_t replayed = 0;
         while (reader.replayFrame(sim)) {
             sim.endFrame();
+            sim.audit(resilience.audit);
             ++replayed;
         }
+        if (!snap.empty()) {
+            SnapshotWriter w(snap);
+            sim.save(w);
+            w.finish();
+            std::printf("[snapshot] %s\n", snap.c_str());
+        }
+        (void)replayed;
         const CacheFrameStats &t = sim.totals();
+        // totals() and frames() span resumed sessions consistently.
         table.addRow({cand.label, formatPercent(t.l1HitRate(), 2),
                       formatDouble(static_cast<double>(t.host_bytes) /
-                                       static_cast<double>(replayed) /
+                                       static_cast<double>(sim.frames()) /
                                        (1 << 20),
                                    3),
                       host.fault_injection ? std::to_string(t.host_retries)

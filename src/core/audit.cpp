@@ -1,0 +1,325 @@
+#include "core/audit.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+AuditLevel
+parseAuditLevel(const char *name)
+{
+    if (std::strcmp(name, "off") == 0)
+        return AuditLevel::Off;
+    if (std::strcmp(name, "cheap") == 0)
+        return AuditLevel::Cheap;
+    if (std::strcmp(name, "full") == 0)
+        return AuditLevel::Full;
+    throw Exception(ErrorCode::BadArgument,
+                    std::string("unknown audit level: '") + name +
+                        "' (expected off, cheap or full)");
+}
+
+const char *
+auditLevelName(AuditLevel level)
+{
+    switch (level) {
+      case AuditLevel::Off: return "off";
+      case AuditLevel::Cheap: return "cheap";
+      case AuditLevel::Full: return "full";
+    }
+    return "?";
+}
+
+namespace {
+
+[[noreturn]] void
+violation(const std::string &structure, uint64_t index,
+          const std::string &what)
+{
+    throw Exception(ErrorCode::AuditViolation,
+                    structure + "[" + std::to_string(index) + "]: " + what);
+}
+
+[[noreturn]] void
+violation(const std::string &structure, const std::string &what)
+{
+    throw Exception(ErrorCode::AuditViolation, structure + ": " + what);
+}
+
+void
+checkStats(const CacheFrameStats &s, const char *which)
+{
+    if (s.l1_misses > s.accesses)
+        violation(std::string(which),
+                  "more L1 misses than accesses (" +
+                      std::to_string(s.l1_misses) + " > " +
+                      std::to_string(s.accesses) + ")");
+    if (s.l2_full_hits + s.l2_partial_hits + s.l2_full_misses > s.l1_misses)
+        violation(std::string(which),
+                  "L2 outcome count exceeds L1 miss count");
+    if (s.tlb_hits > s.tlb_probes)
+        violation(std::string(which), "more TLB hits than probes");
+}
+
+} // namespace
+
+void
+CacheAuditor::check(const CacheSim &sim, AuditLevel level)
+{
+    switch (level) {
+      case AuditLevel::Off:
+        return;
+      case AuditLevel::Cheap:
+        checkCheap(sim);
+        return;
+      case AuditLevel::Full:
+        checkFull(sim);
+        return;
+    }
+}
+
+void
+CacheAuditor::checkCheap(const CacheSim &sim)
+{
+    const L1Cache &l1 = sim.l1_;
+    if (l1.stats_.misses > l1.stats_.accesses)
+        violation("L1Cache.stats", "more misses than accesses");
+    if (l1.tags_.size() != static_cast<size_t>(l1.sets_) * l1.assoc_ ||
+        l1.stamps_.size() != l1.tags_.size())
+        violation("L1Cache", "tag/stamp store size disagrees with geometry");
+
+    checkStats(sim.frame_, "CacheSim.frame");
+    checkStats(sim.totals_, "CacheSim.totals");
+
+    if (sim.l2_)
+        cheapL2(*sim.l2_);
+
+    if (sim.tlb_) {
+        const TextureTlb &tlb = *sim.tlb_;
+        if (tlb.stats_.hits > tlb.stats_.probes)
+            violation("TextureTlb.stats", "more hits than probes");
+        if (tlb.hand_ >= tlb.slots_.size())
+            violation("TextureTlb", tlb.hand_, "refill hand out of range");
+    }
+}
+
+void
+CacheAuditor::cheapL2(const L2TextureCache &l2)
+{
+    if (l2.allocated_ > l2.cfg_.blocks())
+        violation("L2TextureCache",
+                  "allocated " + std::to_string(l2.allocated_) +
+                      " physical blocks, capacity " +
+                      std::to_string(l2.cfg_.blocks()));
+    if (l2.brl_owner_.size() != l2.cfg_.blocks())
+        violation("BRL", "size disagrees with block capacity");
+    const L2Stats &s = l2.stats_;
+    if (s.full_hits + s.partial_hits + s.full_misses != s.lookups)
+        violation("L2TextureCache.stats",
+                  "hit/miss breakdown does not sum to lookups");
+    if (s.evictions > s.full_misses)
+        violation("L2TextureCache.stats", "more evictions than full misses");
+    if (s.prefetch_useful > s.prefetch_sectors)
+        violation("L2TextureCache.stats",
+                  "more useful prefetches than prefetched sectors");
+}
+
+void
+CacheAuditor::checkFull(const CacheSim &sim)
+{
+    checkCheap(sim);
+    fullL1(sim.l1_, sim.textures_.textureCount());
+    if (sim.l2_) {
+        fullL2(*sim.l2_);
+        if (sim.tlb_)
+            fullTlb(*sim.tlb_, sim.l2_->tableEntries());
+    }
+}
+
+void
+CacheAuditor::fullL1(const L1Cache &l1, uint32_t texture_count)
+{
+    for (size_t i = 0; i < l1.tags_.size(); ++i) {
+        const uint64_t tag = l1.tags_[i];
+        if (tag == 0) {
+            if (l1.stamps_[i] > l1.tick_)
+                violation("L1Cache.stamps", i, "stamp beyond global tick");
+            continue;
+        }
+        const uint32_t tid = static_cast<uint32_t>(tag >> 32);
+        const uint32_t l1_sub = static_cast<uint32_t>(tag & 0xff);
+        if (tid == 0 || tid > texture_count)
+            violation("L1Cache.tags", i,
+                      "tag decodes to texture id " + std::to_string(tid) +
+                          " outside [1, " + std::to_string(texture_count) +
+                          "]");
+        if (l1_sub >= l1.subs_per_block_)
+            violation("L1Cache.tags", i,
+                      "tag decodes to L1 sub-block " + std::to_string(l1_sub) +
+                          " >= " + std::to_string(l1.subs_per_block_));
+        const uint32_t set = static_cast<uint32_t>(i / l1.assoc_);
+        if (l1.setIndex(tag) != set)
+            violation("L1Cache.tags", i,
+                      "tag hashes to set " + std::to_string(l1.setIndex(tag)) +
+                          " but is stored in set " + std::to_string(set));
+        if (l1.stamps_[i] == 0 || l1.stamps_[i] > l1.tick_)
+            violation("L1Cache.stamps", i,
+                      "valid line with stamp outside (0, tick]");
+    }
+}
+
+void
+CacheAuditor::fullL2(const L2TextureCache &l2)
+{
+    const uint32_t sectors = l2.cfg_.sectors();
+    // Mask of legal sector bits; sectors == 64 would make `1 << 64` UB,
+    // so build the mask from the top.
+    const uint64_t legal =
+        sectors >= 64 ? ~0ull : (1ull << sectors) - 1;
+
+    uint64_t mapped_entries = 0;
+    for (size_t t = 0; t < l2.table_.size(); ++t) {
+        const auto &entry = l2.table_[t];
+        if (entry.phys_plus1 == 0) {
+            if (entry.sectors != 0)
+                violation("t_table", t,
+                          "sector bits set on an entry with no physical "
+                          "block");
+            if (entry.prefetched != 0)
+                violation("t_table", t,
+                          "prefetched bits set on an entry with no physical "
+                          "block");
+            continue;
+        }
+        ++mapped_entries;
+        const uint32_t phys = entry.phys_plus1 - 1;
+        if (phys >= l2.brl_owner_.size())
+            violation("t_table", t,
+                      "physical block " + std::to_string(phys) +
+                          " out of range");
+        if (l2.brl_owner_[phys] != t + 1)
+            violation("t_table", t,
+                      "physical block " + std::to_string(phys) +
+                          " is owned by BRL entry " +
+                          std::to_string(l2.brl_owner_[phys]) +
+                          " (expected " + std::to_string(t + 1) + ")");
+        if (entry.sectors == 0)
+            violation("t_table", t,
+                      "allocated physical block with no resident sectors");
+        if (entry.sectors & ~legal)
+            violation("t_table", t,
+                      "sector bits beyond the configured " +
+                          std::to_string(sectors) + " sectors per block");
+        if (entry.prefetched & ~entry.sectors)
+            violation("t_table", t,
+                      "prefetched bits are not a subset of the sector bits");
+    }
+
+    uint64_t owned_blocks = 0;
+    for (size_t p = 0; p < l2.brl_owner_.size(); ++p) {
+        const uint32_t owner = l2.brl_owner_[p];
+        if (owner == 0) {
+            if (p < l2.allocated_)
+                violation("BRL", p,
+                          "block below the allocation watermark has no "
+                          "owner");
+            continue;
+        }
+        ++owned_blocks;
+        if (p >= l2.allocated_)
+            violation("BRL", p,
+                      "block above the allocation watermark has owner " +
+                          std::to_string(owner));
+        if (owner - 1 >= l2.table_.size())
+            violation("BRL", p,
+                      "owner t_index " + std::to_string(owner - 1) +
+                          " out of range");
+        if (l2.table_[owner - 1].phys_plus1 != p + 1)
+            violation("BRL", p,
+                      "owner t_table[" + std::to_string(owner - 1) +
+                          "] maps to physical block " +
+                          std::to_string(l2.table_[owner - 1].phys_plus1) +
+                          "-1 (expected " + std::to_string(p) + ")");
+    }
+    if (mapped_entries != owned_blocks || owned_blocks != l2.allocated_)
+        violation("L2TextureCache",
+                  "mapped t_table entries (" + std::to_string(mapped_entries) +
+                      "), owned BRL blocks (" + std::to_string(owned_blocks) +
+                      ") and the allocation watermark (" +
+                      std::to_string(l2.allocated_) + ") disagree");
+
+    fullSelector(*l2.selector_, l2.cfg_.policy,
+                 static_cast<uint32_t>(l2.cfg_.blocks()));
+}
+
+void
+CacheAuditor::fullTlb(const TextureTlb &tlb, uint32_t table_entries)
+{
+    for (size_t i = 0; i < tlb.slots_.size(); ++i) {
+        const uint32_t slot = tlb.slots_[i];
+        if (slot != 0 && slot - 1 >= table_entries)
+            violation("TextureTlb.slots", i,
+                      "translation to t_index " + std::to_string(slot - 1) +
+                          " out of range (" + std::to_string(table_entries) +
+                          " entries)");
+    }
+}
+
+void
+CacheAuditor::fullSelector(const VictimSelector &selector,
+                           ReplacementPolicy policy, uint32_t blocks)
+{
+    if (policy == ReplacementPolicy::Clock) {
+        const auto &clock = static_cast<const ClockSelector &>(selector);
+        if (clock.active_.size() != blocks)
+            violation("ClockSelector", "active-bit count disagrees with "
+                                       "block capacity");
+        if (clock.hand_ >= blocks)
+            violation("ClockSelector", clock.hand_, "hand out of range");
+        return;
+    }
+    if (policy == ReplacementPolicy::Lru) {
+        const auto &lru = static_cast<const LruSelector &>(selector);
+        if (lru.prev_.size() != blocks || lru.next_.size() != blocks)
+            violation("LruSelector", "link array size disagrees with block "
+                                     "capacity");
+        // Walk head -> tail: must visit every block exactly once with
+        // mutually consistent prev/next links (a valid permutation).
+        std::vector<uint8_t> seen(blocks, 0);
+        uint32_t node = lru.head_;
+        uint32_t prev = blocks; // sentinel
+        uint32_t visited = 0;
+        while (node != blocks) {
+            if (node >= blocks)
+                violation("LruSelector.next", prev, "link out of range");
+            if (seen[node])
+                violation("LruSelector", node, "recency list revisits block");
+            seen[node] = 1;
+            ++visited;
+            if (lru.prev_[node] != prev)
+                violation("LruSelector.prev", node,
+                          "back link does not match walk order");
+            prev = node;
+            node = lru.next_[node];
+        }
+        if (visited != blocks)
+            violation("LruSelector",
+                      "recency list covers " + std::to_string(visited) +
+                          " of " + std::to_string(blocks) + " blocks");
+        if (lru.tail_ != prev)
+            violation("LruSelector", lru.tail_,
+                      "tail does not terminate the recency list");
+    }
+    // FIFO and random selectors hold no cross-linked state to audit.
+}
+
+void
+CacheSim::audit(AuditLevel level) const
+{
+    CacheAuditor::check(*this, level);
+}
+
+} // namespace mltc

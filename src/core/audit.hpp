@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Always-on state invariant auditor for the cache simulator.
+ *
+ * Long simulations (and checkpoint/resume) are only trustworthy if the
+ * simulator's linked structures stay mutually consistent; a silent
+ * corruption would skew every counter after it. The auditor checks the
+ * structural invariants that the paper's design implies:
+ *
+ *  - sector bits only on allocated t_table entries, and only below the
+ *    configured sectors-per-block;
+ *  - prefetched bits are a subset of the sector bits;
+ *  - BRL[] and t_table[] back-pointers are mutually consistent in both
+ *    directions, and physical-block usage never exceeds capacity;
+ *  - TLB entries translate to valid page-table indices;
+ *  - L1 tags decode to valid <tid, L2 block, L1 sub-block> triples that
+ *    hash back to the set holding them, with LRU stamps bounded by the
+ *    global tick;
+ *  - the exact-LRU recency list is a valid permutation of the blocks.
+ *
+ * Cheap checks are O(1)-ish and run at every frame boundary when
+ * auditing is enabled; the Full sweep is O(state) and is meant for
+ * checkpoint boundaries, `--audit=full` runs and tests. Violations
+ * throw mltc::Exception (ErrorCode::AuditViolation) naming the
+ * structure and index, so a failing run dies loudly at the first
+ * inconsistency instead of producing plausible-looking garbage.
+ */
+#ifndef MLTC_CORE_AUDIT_HPP
+#define MLTC_CORE_AUDIT_HPP
+
+#include "core/cache_sim.hpp"
+
+namespace mltc {
+
+/** Parse an audit level name ("off", "cheap", "full"). */
+AuditLevel parseAuditLevel(const char *name);
+
+/** Stable name of @p level for reports. */
+const char *auditLevelName(AuditLevel level);
+
+/**
+ * The auditor. Stateless; every entry point throws mltc::Exception
+ * (AuditViolation) on the first violated invariant and returns normally
+ * otherwise.
+ */
+class CacheAuditor
+{
+  public:
+    /** Audit @p sim at @p level (Off returns immediately). */
+    static void check(const CacheSim &sim, AuditLevel level);
+
+    /** Cheap counter/cursor sanity only. */
+    static void checkCheap(const CacheSim &sim);
+
+    /** Exhaustive structural sweep (includes the cheap checks). */
+    static void checkFull(const CacheSim &sim);
+
+  private:
+    static void cheapL2(const L2TextureCache &l2);
+    static void fullL1(const L1Cache &l1, uint32_t texture_count);
+    static void fullL2(const L2TextureCache &l2);
+    static void fullTlb(const TextureTlb &tlb, uint32_t table_entries);
+    static void fullSelector(const VictimSelector &selector,
+                             ReplacementPolicy policy, uint32_t blocks);
+};
+
+} // namespace mltc
+
+#endif // MLTC_CORE_AUDIT_HPP

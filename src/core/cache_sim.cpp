@@ -1,6 +1,9 @@
 #include "core/cache_sim.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace mltc {
 
@@ -231,6 +234,126 @@ CacheSim::endFrame()
     frame_ = {};
     ++frames_;
     return out;
+}
+
+void
+CacheFrameStats::save(SnapshotWriter &w) const
+{
+    w.u64(accesses);
+    w.u64(l1_misses);
+    w.u64(l2_full_hits);
+    w.u64(l2_partial_hits);
+    w.u64(l2_full_misses);
+    w.u64(host_bytes);
+    w.u64(l2_read_bytes);
+    w.u64(tlb_probes);
+    w.u64(tlb_hits);
+    w.u32(victim_steps_max);
+    w.u64(host_retries);
+    w.u64(host_failures);
+    w.u64(degraded_accesses);
+    w.u64(degraded_mip_bias);
+}
+
+void
+CacheFrameStats::load(SnapshotReader &r)
+{
+    accesses = r.u64();
+    l1_misses = r.u64();
+    l2_full_hits = r.u64();
+    l2_partial_hits = r.u64();
+    l2_full_misses = r.u64();
+    host_bytes = r.u64();
+    l2_read_bytes = r.u64();
+    tlb_probes = r.u64();
+    tlb_hits = r.u64();
+    victim_steps_max = r.u32();
+    host_retries = r.u64();
+    host_failures = r.u64();
+    degraded_accesses = r.u64();
+    degraded_mip_bias = r.u64();
+}
+
+namespace {
+constexpr uint32_t kSimTag = snapTag("SIM ");
+} // namespace
+
+void
+CacheSim::save(SnapshotWriter &w) const
+{
+    w.section(kSimTag);
+    // Component-presence flags: a snapshot taken under a different
+    // architecture (pull vs L2, TLB on/off, faults on/off) must fail
+    // typed, not misparse.
+    uint8_t flags = 0;
+    if (l2_)
+        flags |= 1u;
+    if (tlb_)
+        flags |= 2u;
+    if (host_)
+        flags |= 4u;
+    w.u8(flags);
+    l1_.save(w);
+    if (l2_)
+        l2_->save(w);
+    if (tlb_)
+        tlb_->save(w);
+    if (host_) {
+        host_->save(w);
+        faulty_->injector().save(w);
+    }
+    w.u32(bound_);
+    w.u64(last_tile_);
+    frame_.save(w);
+    totals_.save(w);
+    w.u32(frames_);
+}
+
+void
+CacheSim::load(SnapshotReader &r)
+{
+    r.expectSection(kSimTag, "CacheSim");
+    uint8_t expect = 0;
+    if (l2_)
+        expect |= 1u;
+    if (tlb_)
+        expect |= 2u;
+    if (host_)
+        expect |= 4u;
+    const uint8_t flags = r.u8();
+    if (flags != expect)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "CacheSim '" + label_ +
+                            "': snapshot architecture flags " +
+                            std::to_string(flags) + " do not match the "
+                            "configured simulator (" +
+                            std::to_string(expect) + ")");
+    l1_.load(r);
+    if (l2_)
+        l2_->load(r);
+    if (tlb_)
+        tlb_->load(r);
+    if (host_) {
+        host_->load(r);
+        faulty_->injector().load(r);
+    }
+    const TextureId bound = r.u32();
+    const uint64_t last_tile = r.u64();
+    if (bound != 0) {
+        // Re-derive the cached layout pointers / tstart / sector size
+        // from the texture registry (bindTexture clears the coalescing
+        // filter, so restore it afterwards).
+        if (bound > textures_.textureCount())
+            throw Exception(ErrorCode::Corrupt,
+                            "CacheSim '" + label_ +
+                                "': snapshot bound texture id " +
+                                std::to_string(bound) + " out of range");
+        bindTexture(bound);
+        last_tile_ = last_tile;
+    }
+    frame_.load(r);
+    totals_.load(r);
+    frames_ = r.u32();
 }
 
 } // namespace mltc

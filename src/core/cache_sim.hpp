@@ -140,6 +140,20 @@ struct CacheFrameStats
 
     /** Accumulate another frame's counters (for whole-run averages). */
     void add(const CacheFrameStats &o);
+
+    /** Serialize all counters for a checkpoint. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restore counters captured by save(). */
+    void load(SnapshotReader &r);
+};
+
+/** How much of the state invariants to check (see core/audit.hpp). */
+enum class AuditLevel : uint8_t
+{
+    Off,   ///< no checking
+    Cheap, ///< O(1)-ish sanity checks, safe at every frame boundary
+    Full,  ///< exhaustive structural sweep (tests, --audit=full)
 };
 
 /**
@@ -194,7 +208,31 @@ class CacheSim final : public TexelAccessSink
         return faulty_ ? &faulty_->injector() : nullptr;
     }
 
+    /**
+     * Serialize the complete simulator state (caches, TLB, host path,
+     * bound-texture hot state, per-frame and total counters) so a
+     * resumed run continues bit-identically.
+     */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save() into a simulator constructed
+     * with the same configuration over the same texture set.
+     * @throws mltc::Exception (VersionMismatch) on configuration skew,
+     *         (Corrupt/Truncated) on damaged snapshots.
+     */
+    void load(SnapshotReader &r);
+
+    /**
+     * Check state invariants at the given level (see CacheAuditor).
+     * @throws mltc::Exception (AuditViolation) naming the structure and
+     *         index of the first violated invariant.
+     */
+    void audit(AuditLevel level) const;
+
   private:
+    friend class CacheAuditor;
+    friend class AuditTestPeer;
     /** Service one texel reference (shared by access/accessQuad). */
     void handleTexel(uint32_t x, uint32_t y, uint32_t mip);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace mltc {
 
 L1Cache::L1Cache(const L1Config &config) : cfg_(config)
@@ -96,6 +98,52 @@ L1Cache::reset()
     std::fill(tags_.begin(), tags_.end(), 0);
     std::fill(stamps_.begin(), stamps_.end(), 0);
     tick_ = 0;
+}
+
+namespace {
+constexpr uint32_t kL1Tag = snapTag("L1C ");
+} // namespace
+
+void
+L1Cache::save(SnapshotWriter &w) const
+{
+    w.section(kL1Tag);
+    w.u64(cfg_.size_bytes);
+    w.u32(cfg_.assoc);
+    w.u32(cfg_.l1_tile);
+    w.u64Vec(tags_);
+    w.u64Vec(stamps_);
+    w.u64(tick_);
+    w.u64(stats_.accesses);
+    w.u64(stats_.misses);
+}
+
+void
+L1Cache::load(SnapshotReader &r)
+{
+    r.expectSection(kL1Tag, "L1Cache");
+    const uint64_t size_bytes = r.u64();
+    const uint32_t assoc = r.u32();
+    const uint32_t l1_tile = r.u32();
+    if (size_bytes != cfg_.size_bytes || assoc != cfg_.assoc ||
+        l1_tile != cfg_.l1_tile)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "L1Cache: snapshot geometry (" +
+                            std::to_string(size_bytes) + " B, assoc " +
+                            std::to_string(assoc) + ", tile " +
+                            std::to_string(l1_tile) +
+                            ") does not match the configured cache");
+    std::vector<uint64_t> tags, stamps;
+    r.u64Vec(tags);
+    r.u64Vec(stamps);
+    if (tags.size() != tags_.size() || stamps.size() != stamps_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "L1Cache: snapshot line count mismatch");
+    tags_ = std::move(tags);
+    stamps_ = std::move(stamps);
+    tick_ = r.u64();
+    stats_.accesses = r.u64();
+    stats_.misses = r.u64();
 }
 
 } // namespace mltc

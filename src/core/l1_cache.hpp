@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "texture/tiled_layout.hpp"
+#include "util/serializer.hpp"
 
 namespace mltc {
 
@@ -89,7 +90,20 @@ class L1Cache
     /** Number of sets. */
     uint32_t sets() const { return sets_; }
 
+    /** Serialize content, LRU stamps and counters for a checkpoint. */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) when the snapshot was
+     *         taken under a different cache geometry.
+     */
+    void load(SnapshotReader &r);
+
   private:
+    friend class CacheAuditor;
+    friend class AuditTestPeer;
+
     uint32_t setIndex(uint64_t key) const;
 
     L1Config cfg_;

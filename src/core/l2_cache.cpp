@@ -193,4 +193,115 @@ L2TextureCache::reset()
     allocated_ = 0;
 }
 
+namespace {
+constexpr uint32_t kL2Tag = snapTag("L2C ");
+} // namespace
+
+void
+L2TextureCache::save(SnapshotWriter &w) const
+{
+    w.section(kL2Tag);
+    w.u64(cfg_.size_bytes);
+    w.u32(cfg_.l2_tile);
+    w.u32(cfg_.l1_tile);
+    w.u8(static_cast<uint8_t>(cfg_.policy));
+    w.u8(static_cast<uint8_t>(cfg_.prefetch));
+    w.u32(static_cast<uint32_t>(table_.size()));
+
+    // Page table as parallel columns (cheaper than per-entry framing).
+    std::vector<uint64_t> sectors(table_.size()), prefetched(table_.size());
+    std::vector<uint32_t> phys(table_.size());
+    for (size_t i = 0; i < table_.size(); ++i) {
+        sectors[i] = table_[i].sectors;
+        prefetched[i] = table_[i].prefetched;
+        phys[i] = table_[i].phys_plus1;
+    }
+    w.u64Vec(sectors);
+    w.u64Vec(prefetched);
+    w.u32Vec(phys);
+    w.u32Vec(brl_owner_);
+    selector_->save(w);
+    w.u64(allocated_);
+    w.u32(last_victim_steps_);
+    w.u32(last_download_sectors_);
+    w.u64(stats_.lookups);
+    w.u64(stats_.full_hits);
+    w.u64(stats_.partial_hits);
+    w.u64(stats_.full_misses);
+    w.u64(stats_.evictions);
+    w.u64(stats_.host_bytes);
+    w.u64(stats_.l2_read_bytes);
+    w.u64(stats_.victim_steps);
+    w.u32(stats_.victim_steps_max);
+    w.u64(stats_.prefetch_sectors);
+    w.u64(stats_.prefetch_useful);
+}
+
+void
+L2TextureCache::load(SnapshotReader &r)
+{
+    r.expectSection(kL2Tag, "L2TextureCache");
+    const uint64_t size_bytes = r.u64();
+    const uint32_t l2_tile = r.u32();
+    const uint32_t l1_tile = r.u32();
+    const uint8_t policy = r.u8();
+    const uint8_t prefetch = r.u8();
+    if (size_bytes != cfg_.size_bytes || l2_tile != cfg_.l2_tile ||
+        l1_tile != cfg_.l1_tile ||
+        policy != static_cast<uint8_t>(cfg_.policy) ||
+        prefetch != static_cast<uint8_t>(cfg_.prefetch))
+        throw Exception(ErrorCode::VersionMismatch,
+                        "L2TextureCache: snapshot geometry/policy does not "
+                        "match the configured cache");
+    const uint32_t entries = r.u32();
+    if (entries != table_.size())
+        throw Exception(ErrorCode::VersionMismatch,
+                        "L2TextureCache: snapshot page table has " +
+                            std::to_string(entries) + " entries, expected " +
+                            std::to_string(table_.size()) +
+                            " (different texture set?)");
+
+    std::vector<uint64_t> sectors, prefetched;
+    std::vector<uint32_t> phys;
+    r.u64Vec(sectors);
+    r.u64Vec(prefetched);
+    r.u32Vec(phys);
+    if (sectors.size() != table_.size() || prefetched.size() != table_.size() ||
+        phys.size() != table_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "L2TextureCache: snapshot page-table columns "
+                        "disagree on entry count");
+    std::vector<uint32_t> brl;
+    r.u32Vec(brl);
+    if (brl.size() != brl_owner_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "L2TextureCache: snapshot BRL size mismatch");
+
+    for (size_t i = 0; i < table_.size(); ++i) {
+        table_[i].sectors = sectors[i];
+        table_[i].prefetched = prefetched[i];
+        table_[i].phys_plus1 = phys[i];
+    }
+    brl_owner_ = std::move(brl);
+    selector_->load(r);
+    allocated_ = r.u64();
+    if (allocated_ > cfg_.blocks())
+        throw Exception(ErrorCode::Corrupt,
+                        "L2TextureCache: snapshot allocated block count "
+                        "exceeds capacity");
+    last_victim_steps_ = r.u32();
+    last_download_sectors_ = r.u32();
+    stats_.lookups = r.u64();
+    stats_.full_hits = r.u64();
+    stats_.partial_hits = r.u64();
+    stats_.full_misses = r.u64();
+    stats_.evictions = r.u64();
+    stats_.host_bytes = r.u64();
+    stats_.l2_read_bytes = r.u64();
+    stats_.victim_steps = r.u64();
+    stats_.victim_steps_max = r.u32();
+    stats_.prefetch_sectors = r.u64();
+    stats_.prefetch_useful = r.u64();
+}
+
 } // namespace mltc

@@ -154,7 +154,20 @@ class L2TextureCache
     /** Drop all cached blocks and reset replacement state. */
     void reset();
 
+    /** Serialize page table, BRL, selector and counters. */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) on geometry/policy skew,
+     *         (Corrupt) on internally inconsistent snapshot content.
+     */
+    void load(SnapshotReader &r);
+
   private:
+    friend class CacheAuditor;
+    friend class AuditTestPeer;
+
     struct TableEntry
     {
         uint64_t sectors = 0;    ///< bit per L1 sub-block present

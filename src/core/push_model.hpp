@@ -58,6 +58,24 @@ class PushArchitectureModel final : public TexelAccessSink
         return out;
     }
 
+    /** Serialize the frame's touched-texture set and byte accumulator. */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.section(snapTag("PSH "));
+        touched_.save(w);
+        w.u64(frame_bytes_);
+    }
+
+    /** Restore state captured by save(). */
+    void
+    load(SnapshotReader &r)
+    {
+        r.expectSection(snapTag("PSH "), "PushArchitectureModel");
+        touched_.load(r);
+        frame_bytes_ = r.u64();
+    }
+
   private:
     TextureManager &textures_;
     FlatSet64 touched_{256};

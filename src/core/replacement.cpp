@@ -3,7 +3,36 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace mltc {
+
+namespace {
+
+constexpr uint32_t kSelTag = snapTag("SEL ");
+
+/// Shared section framing: every selector writes its policy byte so a
+/// snapshot taken under a different policy fails typed, not garbled.
+void
+writeSelectorHeader(SnapshotWriter &w, ReplacementPolicy policy)
+{
+    w.section(kSelTag);
+    w.u8(static_cast<uint8_t>(policy));
+}
+
+void
+readSelectorHeader(SnapshotReader &r, ReplacementPolicy policy)
+{
+    r.expectSection(kSelTag, "VictimSelector");
+    const uint8_t got = r.u8();
+    if (got != static_cast<uint8_t>(policy))
+        throw Exception(ErrorCode::VersionMismatch,
+                        std::string("VictimSelector: snapshot uses policy #") +
+                            std::to_string(got) + ", configured policy is " +
+                            replacementPolicyName(policy));
+}
+
+} // namespace
 
 ReplacementPolicy
 parseReplacementPolicy(const char *name)
@@ -119,6 +148,98 @@ uint32_t
 LruSelector::selectVictim()
 {
     return tail_;
+}
+
+void
+ClockSelector::save(SnapshotWriter &w) const
+{
+    writeSelectorHeader(w, ReplacementPolicy::Clock);
+    w.u8Vec(active_);
+    w.u32(hand_);
+    w.u32(last_steps_);
+}
+
+void
+ClockSelector::load(SnapshotReader &r)
+{
+    readSelectorHeader(r, ReplacementPolicy::Clock);
+    std::vector<uint8_t> active;
+    r.u8Vec(active);
+    if (active.size() != active_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "ClockSelector: snapshot block count mismatch");
+    active_ = std::move(active);
+    hand_ = r.u32();
+    last_steps_ = r.u32();
+    if (hand_ >= active_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "ClockSelector: snapshot hand out of range");
+}
+
+void
+LruSelector::save(SnapshotWriter &w) const
+{
+    writeSelectorHeader(w, ReplacementPolicy::Lru);
+    w.u32Vec(prev_);
+    w.u32Vec(next_);
+    w.u32(head_);
+    w.u32(tail_);
+}
+
+void
+LruSelector::load(SnapshotReader &r)
+{
+    readSelectorHeader(r, ReplacementPolicy::Lru);
+    std::vector<uint32_t> prev, next;
+    r.u32Vec(prev);
+    r.u32Vec(next);
+    if (prev.size() != blocks_ || next.size() != blocks_)
+        throw Exception(ErrorCode::Corrupt,
+                        "LruSelector: snapshot block count mismatch");
+    prev_ = std::move(prev);
+    next_ = std::move(next);
+    head_ = r.u32();
+    tail_ = r.u32();
+    if (head_ > blocks_ || tail_ > blocks_)
+        throw Exception(ErrorCode::Corrupt,
+                        "LruSelector: snapshot list heads out of range");
+}
+
+void
+FifoSelector::save(SnapshotWriter &w) const
+{
+    writeSelectorHeader(w, ReplacementPolicy::Fifo);
+    w.u32(hand_);
+}
+
+void
+FifoSelector::load(SnapshotReader &r)
+{
+    readSelectorHeader(r, ReplacementPolicy::Fifo);
+    hand_ = r.u32();
+    if (hand_ >= blocks_)
+        throw Exception(ErrorCode::Corrupt,
+                        "FifoSelector: snapshot hand out of range");
+}
+
+void
+RandomSelector::save(SnapshotWriter &w) const
+{
+    writeSelectorHeader(w, ReplacementPolicy::Random);
+    uint64_t state[4];
+    rng_.saveState(state);
+    for (uint64_t word : state)
+        w.u64(word);
+}
+
+void
+RandomSelector::load(SnapshotReader &r)
+{
+    readSelectorHeader(r, ReplacementPolicy::Random);
+    uint64_t state[4];
+    for (auto &word : state)
+        word = r.u64();
+    rng_.loadState(state);
 }
 
 std::unique_ptr<VictimSelector>

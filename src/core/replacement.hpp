@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/serializer.hpp"
 
 namespace mltc {
 
@@ -50,6 +51,12 @@ class VictimSelector
 
     /** Reset all state. */
     virtual void reset() = 0;
+
+    /** Serialize the selector's state for a checkpoint. */
+    virtual void save(SnapshotWriter &w) const = 0;
+
+    /** Restore state captured by save() of the same policy and size. */
+    virtual void load(SnapshotReader &r) = 0;
 };
 
 /**
@@ -66,8 +73,13 @@ class ClockSelector final : public VictimSelector
     uint32_t selectVictim() override;
     uint32_t lastSearchSteps() const override { return last_steps_; }
     void reset() override;
+    void save(SnapshotWriter &w) const override;
+    void load(SnapshotReader &r) override;
 
   private:
+    friend class CacheAuditor;
+    friend class AuditTestPeer;
+
     std::vector<uint8_t> active_;
     uint32_t hand_ = 0;
     uint32_t last_steps_ = 0;
@@ -82,8 +94,13 @@ class LruSelector final : public VictimSelector
     void onAccess(uint32_t index) override;
     uint32_t selectVictim() override;
     void reset() override;
+    void save(SnapshotWriter &w) const override;
+    void load(SnapshotReader &r) override;
 
   private:
+    friend class CacheAuditor;
+    friend class AuditTestPeer;
+
     void unlink(uint32_t index);
     void pushFront(uint32_t index);
 
@@ -110,6 +127,8 @@ class FifoSelector final : public VictimSelector
     }
 
     void reset() override { hand_ = 0; }
+    void save(SnapshotWriter &w) const override;
+    void load(SnapshotReader &r) override;
 
   private:
     uint32_t blocks_;
@@ -133,6 +152,8 @@ class RandomSelector final : public VictimSelector
     }
 
     void reset() override { rng_.reseed(0x5eedull); }
+    void save(SnapshotWriter &w) const override;
+    void load(SnapshotReader &r) override;
 
   private:
     uint32_t blocks_;

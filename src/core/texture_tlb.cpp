@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace mltc {
 
@@ -17,6 +20,41 @@ TextureTlb::reset()
 {
     std::fill(slots_.begin(), slots_.end(), 0);
     hand_ = 0;
+}
+
+namespace {
+constexpr uint32_t kTlbTag = snapTag("TLB ");
+} // namespace
+
+void
+TextureTlb::save(SnapshotWriter &w) const
+{
+    w.section(kTlbTag);
+    w.u32Vec(slots_);
+    w.u32(hand_);
+    w.u64(stats_.probes);
+    w.u64(stats_.hits);
+}
+
+void
+TextureTlb::load(SnapshotReader &r)
+{
+    r.expectSection(kTlbTag, "TextureTlb");
+    std::vector<uint32_t> slots;
+    r.u32Vec(slots);
+    if (slots.size() != slots_.size())
+        throw Exception(ErrorCode::VersionMismatch,
+                        "TextureTlb: snapshot has " +
+                            std::to_string(slots.size()) +
+                            " entries, configured " +
+                            std::to_string(slots_.size()));
+    slots_ = std::move(slots);
+    hand_ = r.u32();
+    if (hand_ >= slots_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "TextureTlb: snapshot hand out of range");
+    stats_.probes = r.u64();
+    stats_.hits = r.u64();
 }
 
 } // namespace mltc

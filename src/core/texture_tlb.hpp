@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serializer.hpp"
+
 namespace mltc {
 
 /** TLB hit/miss counters. */
@@ -69,7 +71,19 @@ class TextureTlb
     /** Invalidate all entries. */
     void reset();
 
+    /** Serialize slots, hand and counters. */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) on capacity skew.
+     */
+    void load(SnapshotReader &r);
+
   private:
+    friend class CacheAuditor;
+    friend class AuditTestPeer;
+
     std::vector<uint32_t> slots_; ///< t_index + 1; 0 = empty
     uint32_t hand_ = 0;
     TlbStats stats_;

@@ -62,4 +62,58 @@ FaultInjector::decide()
     return {FaultKind::None, cfg_.base_latency_us};
 }
 
+namespace {
+constexpr uint32_t kFaultTag = snapTag("FLT ");
+} // namespace
+
+void
+FaultInjector::save(SnapshotWriter &w) const
+{
+    w.section(kFaultTag);
+    // Full scenario config: a resumed run continues the snapshot's
+    // scenario even if benches reconfigured it mid-run.
+    w.u64(cfg_.seed);
+    w.f64(cfg_.drop_rate);
+    w.f64(cfg_.corrupt_rate);
+    w.f64(cfg_.spike_rate);
+    w.u32(cfg_.base_latency_us);
+    w.u32(cfg_.spike_latency_us);
+    w.u32(cfg_.burst_period);
+    w.u32(cfg_.burst_length);
+    uint64_t state[4];
+    rng_.saveState(state);
+    for (uint64_t word : state)
+        w.u64(word);
+    w.u64(seq_);
+    w.u64(stats_.attempts);
+    w.u64(stats_.drops);
+    w.u64(stats_.corruptions);
+    w.u64(stats_.spikes);
+    w.u64(stats_.burst_failures);
+}
+
+void
+FaultInjector::load(SnapshotReader &r)
+{
+    r.expectSection(kFaultTag, "FaultInjector");
+    cfg_.seed = r.u64();
+    cfg_.drop_rate = r.f64();
+    cfg_.corrupt_rate = r.f64();
+    cfg_.spike_rate = r.f64();
+    cfg_.base_latency_us = r.u32();
+    cfg_.spike_latency_us = r.u32();
+    cfg_.burst_period = r.u32();
+    cfg_.burst_length = r.u32();
+    uint64_t state[4];
+    for (auto &word : state)
+        word = r.u64();
+    rng_.loadState(state);
+    seq_ = r.u64();
+    stats_.attempts = r.u64();
+    stats_.drops = r.u64();
+    stats_.corruptions = r.u64();
+    stats_.spikes = r.u64();
+    stats_.burst_failures = r.u64();
+}
+
 } // namespace mltc

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "util/rng.hpp"
+#include "util/serializer.hpp"
 
 namespace mltc {
 
@@ -98,6 +99,15 @@ class FaultInjector
 
     /** Attempts adjudicated since the last (re)configure. */
     uint64_t attempts() const { return seq_; }
+
+    /**
+     * Serialize scenario config, PRNG state, attempt ordinal and
+     * counters; load() resumes the fault stream bit-identically.
+     */
+    void save(SnapshotWriter &w) const;
+
+    /** Restore state captured by save() (config included). */
+    void load(SnapshotReader &r);
 
   private:
     FaultConfig cfg_;

@@ -76,4 +76,32 @@ HostFetchPath::fetch(const HostRequest &request)
     return r;
 }
 
+namespace {
+constexpr uint32_t kHostTag = snapTag("HST ");
+} // namespace
+
+void
+HostFetchPath::save(SnapshotWriter &w) const
+{
+    w.section(kHostTag);
+    w.u64(stats_.requests);
+    w.u64(stats_.attempts);
+    w.u64(stats_.retries);
+    w.u64(stats_.timeouts);
+    w.u64(stats_.failures);
+    w.u64(stats_.elapsed_us);
+}
+
+void
+HostFetchPath::load(SnapshotReader &r)
+{
+    r.expectSection(kHostTag, "HostFetchPath");
+    stats_.requests = r.u64();
+    stats_.attempts = r.u64();
+    stats_.retries = r.u64();
+    stats_.timeouts = r.u64();
+    stats_.failures = r.u64();
+    stats_.elapsed_us = r.u64();
+}
+
 } // namespace mltc

@@ -152,6 +152,12 @@ class HostFetchPath
     const RetryPolicy &policy() const { return policy_; }
     const HostPathStats &stats() const { return stats_; }
 
+    /** Serialize the cumulative fetch-path counters. */
+    void save(SnapshotWriter &w) const;
+
+    /** Restore counters captured by save(). */
+    void load(SnapshotReader &r);
+
   private:
     std::unique_ptr<HostMemoryBackend> backend_;
     RetryPolicy policy_;

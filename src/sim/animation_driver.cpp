@@ -3,8 +3,9 @@
 namespace mltc {
 
 FrameStats
-runAnimation(const Workload &workload, const DriverConfig &config,
-             TexelAccessSink *sink, const FrameCallback &per_frame)
+runAnimationRange(const Workload &workload, const DriverConfig &config,
+                  TexelAccessSink *sink, int start_frame,
+                  const FrameCallback &per_frame, const FrameGate &gate)
 {
     Rasterizer raster(config.width, config.height);
     raster.setFilter(config.filter);
@@ -17,7 +18,9 @@ runAnimation(const Workload &workload, const DriverConfig &config,
                          static_cast<float>(config.height);
 
     FrameStats total;
-    for (int f = 0; f < frames; ++f) {
+    for (int f = start_frame; f < frames; ++f) {
+        if (gate && !gate(f))
+            break;
         Camera cam = workload.cameraAtFrame(f, frames, aspect);
         FrameStats fs = raster.renderFrame(workload.scene, cam,
                                            *workload.textures);
@@ -30,6 +33,13 @@ runAnimation(const Workload &workload, const DriverConfig &config,
             per_frame(f, fs);
     }
     return total;
+}
+
+FrameStats
+runAnimation(const Workload &workload, const DriverConfig &config,
+             TexelAccessSink *sink, const FrameCallback &per_frame)
+{
+    return runAnimationRange(workload, config, sink, 0, per_frame, {});
 }
 
 } // namespace mltc

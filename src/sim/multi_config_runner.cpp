@@ -1,8 +1,37 @@
 #include "sim/multi_config_runner.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <string>
+
 #include "raster/access_sink.hpp"
+#include "util/csv.hpp"
+#include "util/serializer.hpp"
 
 namespace mltc {
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed: return "completed";
+      case RunOutcome::Cancelled: return "cancelled";
+      case RunOutcome::DeadlineExceeded: return "deadline-exceeded";
+      case RunOutcome::BudgetExhausted: return "budget-exhausted";
+    }
+    return "?";
+}
+
+size_t
+RunManifest::quarantinedCount() const
+{
+    size_t n = 0;
+    for (const auto &s : sims)
+        if (s.quarantined)
+            ++n;
+    return n;
+}
 
 MultiConfigRunner::MultiConfigRunner(Workload &workload,
                                      const DriverConfig &config)
@@ -41,6 +70,25 @@ MultiConfigRunner::addExtraSink(TexelAccessSink *sink)
 }
 
 void
+MultiConfigRunner::harvestRow(int frame, const FrameStats &fs,
+                              const RowCallback &cb)
+{
+    FrameRow row;
+    row.frame = frame;
+    row.raster = fs;
+    row.sims.reserve(sims_.size());
+    for (auto &sim : sims_)
+        row.sims.push_back(sim->endFrame());
+    if (working_sets_)
+        row.working_sets = working_sets_->endFrame();
+    if (push_)
+        row.push_bytes = push_->endFrame();
+    rows_.push_back(std::move(row));
+    if (cb)
+        cb(rows_.back());
+}
+
+void
 MultiConfigRunner::run(const RowCallback &cb)
 {
     rows_.clear();
@@ -57,19 +105,7 @@ MultiConfigRunner::run(const RowCallback &cb)
 
     runAnimation(workload_, config_, &fanout,
                  [&](int frame, const FrameStats &fs) {
-                     FrameRow row;
-                     row.frame = frame;
-                     row.raster = fs;
-                     row.sims.reserve(sims_.size());
-                     for (auto &sim : sims_)
-                         row.sims.push_back(sim->endFrame());
-                     if (working_sets_)
-                         row.working_sets = working_sets_->endFrame();
-                     if (push_)
-                         row.push_bytes = push_->endFrame();
-                     rows_.push_back(std::move(row));
-                     if (cb)
-                         cb(rows_.back());
+                     harvestRow(frame, fs, cb);
                  });
 }
 
@@ -82,6 +118,455 @@ MultiConfigRunner::averageHostBytesPerFrame(size_t idx) const
     for (const auto &row : rows_)
         total += row.sims[idx].host_bytes;
     return static_cast<double>(total) / static_cast<double>(rows_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+
+namespace {
+
+constexpr uint32_t kRunTag = snapTag("RUN ");
+
+void
+saveFrameStats(SnapshotWriter &w, const FrameStats &fs)
+{
+    w.u64(fs.objects_visible);
+    w.u64(fs.triangles_in);
+    w.u64(fs.triangles_drawn);
+    w.u64(fs.pixels_textured);
+    w.u64(fs.texel_accesses);
+}
+
+void
+loadFrameStats(SnapshotReader &r, FrameStats &fs)
+{
+    fs.objects_visible = r.u64();
+    fs.triangles_in = r.u64();
+    fs.triangles_drawn = r.u64();
+    fs.pixels_textured = r.u64();
+    fs.texel_accesses = r.u64();
+}
+
+void
+saveWorkingSet(SnapshotWriter &w, const FrameWorkingSet &ws)
+{
+    w.u64(ws.pixel_refs);
+    w.u64(ws.textures_touched);
+    w.u64(ws.push_bytes);
+    w.u64(ws.loaded_bytes);
+    w.u32(static_cast<uint32_t>(ws.l2.size()));
+    for (const auto &e : ws.l2) {
+        w.u32(e.l2_tile);
+        w.u64(e.blocks_touched);
+        w.u64(e.blocks_new);
+    }
+    w.u32(static_cast<uint32_t>(ws.l1.size()));
+    for (const auto &e : ws.l1) {
+        w.u32(e.l1_tile);
+        w.u64(e.tiles_touched);
+        w.u64(e.tiles_new);
+    }
+}
+
+void
+loadWorkingSet(SnapshotReader &r, FrameWorkingSet &ws)
+{
+    ws.pixel_refs = r.u64();
+    ws.textures_touched = r.u64();
+    ws.push_bytes = r.u64();
+    ws.loaded_bytes = r.u64();
+    ws.l2.resize(r.u32());
+    for (auto &e : ws.l2) {
+        e.l2_tile = r.u32();
+        e.blocks_touched = r.u64();
+        e.blocks_new = r.u64();
+    }
+    ws.l1.resize(r.u32());
+    for (auto &e : ws.l1) {
+        e.l1_tile = r.u32();
+        e.tiles_touched = r.u64();
+        e.tiles_new = r.u64();
+    }
+}
+
+} // namespace
+
+void
+MultiConfigRunner::saveCheckpoint(const std::string &path,
+                                  int next_frame) const
+{
+    SnapshotWriter w(path);
+    w.section(kRunTag);
+
+    // Driver configuration fingerprint: resuming under a different
+    // resolution/filter/length would not reproduce the straight run.
+    w.u32(static_cast<uint32_t>(config_.width));
+    w.u32(static_cast<uint32_t>(config_.height));
+    w.u8(static_cast<uint8_t>(config_.filter));
+    w.u32(static_cast<uint32_t>(config_.frames));
+    w.u8(config_.z_prepass ? 1 : 0);
+
+    w.u32(static_cast<uint32_t>(next_frame));
+
+    w.u32(static_cast<uint32_t>(sims_.size()));
+    for (size_t i = 0; i < sims_.size(); ++i) {
+        w.str(sims_[i]->label());
+        const bool dead = i < quarantine_.size() && quarantine_[i].dead;
+        w.u8(dead ? 1 : 0);
+        if (dead) {
+            w.u8(static_cast<uint8_t>(quarantine_[i].error.code));
+            w.str(quarantine_[i].error.message);
+            w.u32(static_cast<uint32_t>(quarantine_[i].at_frame));
+        }
+    }
+    for (const auto &sim : sims_)
+        sim->save(w);
+
+    w.u8(working_sets_ ? 1 : 0);
+    if (working_sets_)
+        working_sets_->save(w);
+    w.u8(push_ ? 1 : 0);
+    if (push_)
+        push_->save(w);
+
+    w.u64(rows_.size());
+    for (const auto &row : rows_) {
+        w.u32(static_cast<uint32_t>(row.frame));
+        saveFrameStats(w, row.raster);
+        if (row.sims.size() != sims_.size())
+            throw Exception(ErrorCode::Corrupt,
+                            "saveCheckpoint: row " +
+                                std::to_string(row.frame) +
+                                " has an inconsistent simulator count");
+        for (const auto &s : row.sims)
+            s.save(w);
+        w.u8(row.working_sets ? 1 : 0);
+        if (row.working_sets)
+            saveWorkingSet(w, *row.working_sets);
+        w.u64(row.push_bytes);
+    }
+
+    w.finish();
+}
+
+int
+MultiConfigRunner::loadCheckpoint(const std::string &path)
+{
+    SnapshotReader r(path);
+    r.expectSection(kRunTag, "MultiConfigRunner");
+
+    const uint32_t width = r.u32();
+    const uint32_t height = r.u32();
+    const uint8_t filter = r.u8();
+    const uint32_t frames = r.u32();
+    const uint8_t z_prepass = r.u8();
+    if (width != static_cast<uint32_t>(config_.width) ||
+        height != static_cast<uint32_t>(config_.height) ||
+        filter != static_cast<uint8_t>(config_.filter) ||
+        frames != static_cast<uint32_t>(config_.frames) ||
+        (z_prepass != 0) != config_.z_prepass)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "loadCheckpoint: snapshot driver configuration "
+                        "(resolution/filter/frames) does not match this run");
+
+    const uint32_t next_frame = r.u32();
+
+    const uint32_t sim_count = r.u32();
+    if (sim_count != sims_.size())
+        throw Exception(ErrorCode::VersionMismatch,
+                        "loadCheckpoint: snapshot has " +
+                            std::to_string(sim_count) +
+                            " simulators, this runner has " +
+                            std::to_string(sims_.size()));
+    quarantine_.assign(sims_.size(), {});
+    for (size_t i = 0; i < sims_.size(); ++i) {
+        const std::string label = r.str();
+        if (label != sims_[i]->label())
+            throw Exception(ErrorCode::VersionMismatch,
+                            "loadCheckpoint: simulator " + std::to_string(i) +
+                                " is labelled '" + label +
+                                "' in the snapshot but '" +
+                                sims_[i]->label() + "' here");
+        if (r.u8() != 0) {
+            quarantine_[i].dead = true;
+            quarantine_[i].error.code = static_cast<ErrorCode>(r.u8());
+            quarantine_[i].error.message = r.str();
+            quarantine_[i].at_frame = static_cast<int>(r.u32());
+        }
+    }
+    for (auto &sim : sims_)
+        sim->load(r);
+
+    const uint8_t has_ws = r.u8();
+    if ((has_ws != 0) != (working_sets_ != nullptr))
+        throw Exception(ErrorCode::VersionMismatch,
+                        "loadCheckpoint: working-set collector presence "
+                        "differs from the snapshot");
+    if (working_sets_)
+        working_sets_->load(r);
+    const uint8_t has_push = r.u8();
+    if ((has_push != 0) != (push_ != nullptr))
+        throw Exception(ErrorCode::VersionMismatch,
+                        "loadCheckpoint: push-model presence differs from "
+                        "the snapshot");
+    if (push_)
+        push_->load(r);
+
+    const uint64_t row_count = r.u64();
+    rows_.clear();
+    rows_.reserve(row_count);
+    for (uint64_t i = 0; i < row_count; ++i) {
+        FrameRow row;
+        row.frame = static_cast<int>(r.u32());
+        loadFrameStats(r, row.raster);
+        row.sims.resize(sims_.size());
+        for (auto &s : row.sims)
+            s.load(r);
+        if (r.u8() != 0) {
+            FrameWorkingSet ws;
+            loadWorkingSet(r, ws);
+            row.working_sets = std::move(ws);
+        }
+        row.push_bytes = r.u64();
+        rows_.push_back(std::move(row));
+    }
+    r.expectEnd();
+    return static_cast<int>(next_frame);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised run
+
+namespace {
+
+/**
+ * Per-simulator isolation: forwards the access stream until the wrapped
+ * sink throws, then quarantines it (records the error, stops
+ * forwarding) so the remaining configurations finish the run.
+ */
+class GuardedSink final : public TexelAccessSink
+{
+  public:
+    GuardedSink(TexelAccessSink &inner, bool *dead, Error *error,
+                int *at_frame, const int *current_frame)
+        : inner_(inner), dead_(dead), error_(error), at_frame_(at_frame),
+          current_frame_(current_frame)
+    {
+    }
+
+    void
+    bindTexture(TextureId tid) override
+    {
+        if (*dead_)
+            return;
+        try {
+            inner_.bindTexture(tid);
+        } catch (...) {
+            quarantine();
+        }
+    }
+
+    void
+    access(uint32_t x, uint32_t y, uint32_t mip) override
+    {
+        if (*dead_)
+            return;
+        try {
+            inner_.access(x, y, mip);
+        } catch (...) {
+            quarantine();
+        }
+    }
+
+    void
+    accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+               uint32_t mip) override
+    {
+        if (*dead_)
+            return;
+        try {
+            inner_.accessQuad(x0, y0, x1, y1, mip);
+        } catch (...) {
+            quarantine();
+        }
+    }
+
+    /** Record @p err and stop forwarding (used for audit violations). */
+    void
+    quarantineWith(const Error &err)
+    {
+        *dead_ = true;
+        *error_ = err;
+        *at_frame_ = *current_frame_;
+    }
+
+  private:
+    void
+    quarantine()
+    {
+        try {
+            throw;
+        } catch (const Exception &e) {
+            quarantineWith(e.error());
+        } catch (const std::exception &e) {
+            quarantineWith({ErrorCode::None, e.what()});
+        } catch (...) {
+            quarantineWith({ErrorCode::None, "unknown exception"});
+        }
+    }
+
+    TexelAccessSink &inner_;
+    bool *dead_;
+    Error *error_;
+    int *at_frame_;
+    const int *current_frame_;
+};
+
+} // namespace
+
+void
+MultiConfigRunner::writeManifest(const RunManifest &manifest) const
+{
+    auto sanitize = [](std::string s) {
+        for (char &c : s)
+            if (c == ',' || c == '\n' || c == '\r')
+                c = ';';
+        return s;
+    };
+
+    CsvWriter csv(manifest.checkpoint + ".manifest",
+                  {"record", "label", "status", "frames_completed",
+                   "next_frame", "error_code", "error"});
+    csv.rowStrings({"run", "", runOutcomeName(manifest.outcome),
+                    std::to_string(manifest.frames_completed),
+                    std::to_string(manifest.next_frame), "", ""});
+    for (const auto &s : manifest.sims) {
+        csv.rowStrings({"sim", sanitize(s.label),
+                        s.quarantined ? "quarantined" : "ok",
+                        s.quarantined ? std::to_string(s.quarantined_at_frame)
+                                      : "",
+                        "",
+                        s.quarantined ? errorCodeName(s.error.code) : "",
+                        s.quarantined ? sanitize(s.error.message) : ""});
+    }
+    csv.close();
+}
+
+RunManifest
+MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
+                                 const RowCallback &cb)
+{
+    using Clock = std::chrono::steady_clock;
+    using MsDouble = std::chrono::duration<double, std::milli>;
+
+    int start_frame = 0;
+    if (rc.resume)
+        start_frame = loadCheckpoint(rc.checkpoint_path);
+    else {
+        rows_.clear();
+        quarantine_.assign(sims_.size(), {});
+    }
+    if (quarantine_.size() != sims_.size())
+        quarantine_.assign(sims_.size(), {});
+
+    int current_frame = start_frame;
+    std::vector<std::unique_ptr<GuardedSink>> guards;
+    guards.reserve(sims_.size());
+    FanoutSink fanout;
+    for (size_t i = 0; i < sims_.size(); ++i) {
+        guards.push_back(std::make_unique<GuardedSink>(
+            *sims_[i], &quarantine_[i].dead, &quarantine_[i].error,
+            &quarantine_[i].at_frame, &current_frame));
+        fanout.add(guards.back().get());
+    }
+    if (working_sets_)
+        fanout.add(working_sets_.get());
+    if (push_)
+        fanout.add(push_.get());
+    for (auto *s : extra_sinks_)
+        fanout.add(s);
+
+    const auto run_start = Clock::now();
+    auto frame_start = run_start;
+    RunOutcome outcome = RunOutcome::Completed;
+    int next_frame = start_frame;
+    uint32_t checkpoints_written = 0;
+    bool stop = false;
+
+    const FrameGate gate = [&](int frame) {
+        current_frame = frame;
+        next_frame = frame;
+        if (cancellationRequested()) {
+            outcome = RunOutcome::Cancelled;
+            return false;
+        }
+        if (stop)
+            return false;
+        if (rc.wall_budget_ms > 0.0 &&
+            MsDouble(Clock::now() - run_start).count() > rc.wall_budget_ms) {
+            outcome = RunOutcome::BudgetExhausted;
+            return false;
+        }
+        frame_start = Clock::now();
+        return true;
+    };
+
+    const FrameCallback per_frame = [&](int frame, const FrameStats &fs) {
+        harvestRow(frame, fs, cb);
+        next_frame = frame + 1;
+
+        // Invariant audits at the frame boundary: a violating simulator
+        // is quarantined (its state can no longer be trusted) and the
+        // healthy configurations continue.
+        if (rc.audit != AuditLevel::Off) {
+            for (size_t i = 0; i < sims_.size(); ++i) {
+                if (quarantine_[i].dead)
+                    continue;
+                try {
+                    sims_[i]->audit(rc.audit);
+                } catch (const Exception &e) {
+                    guards[i]->quarantineWith(e.error());
+                }
+            }
+        }
+
+        if (rc.frame_deadline_ms > 0.0 &&
+            MsDouble(Clock::now() - frame_start).count() >
+                rc.frame_deadline_ms) {
+            outcome = RunOutcome::DeadlineExceeded;
+            stop = true;
+        }
+
+        if (!rc.checkpoint_path.empty() && rc.checkpoint_every > 0 &&
+            static_cast<uint32_t>(frame + 1) % rc.checkpoint_every == 0) {
+            saveCheckpoint(rc.checkpoint_path, frame + 1);
+            ++checkpoints_written;
+            // Crash-path test hook: die *after* the checkpoint committed,
+            // leaving exactly the state a real crash would.
+            if (rc.die_after_checkpoints > 0 &&
+                checkpoints_written >= rc.die_after_checkpoints)
+                std::raise(SIGKILL);
+        }
+    };
+
+    runAnimationRange(workload_, config_, &fanout, start_frame, per_frame,
+                      gate);
+
+    RunManifest manifest;
+    manifest.outcome = outcome;
+    manifest.frames_completed = static_cast<int>(rows_.size());
+    manifest.next_frame = next_frame;
+    manifest.sims.reserve(sims_.size());
+    for (size_t i = 0; i < sims_.size(); ++i)
+        manifest.sims.push_back({sims_[i]->label(), quarantine_[i].dead,
+                                 quarantine_[i].at_frame,
+                                 quarantine_[i].error});
+    if (!rc.checkpoint_path.empty()) {
+        saveCheckpoint(rc.checkpoint_path, next_frame);
+        manifest.checkpoint = rc.checkpoint_path;
+        writeManifest(manifest);
+    }
+    return manifest;
 }
 
 } // namespace mltc

@@ -14,12 +14,15 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cache_sim.hpp"
 #include "core/push_model.hpp"
 #include "sim/animation_driver.hpp"
+#include "sim/resilience.hpp"
 #include "trace/working_set_collector.hpp"
+#include "util/error.hpp"
 
 namespace mltc {
 
@@ -35,6 +38,44 @@ struct FrameRow
 
 /** Per-frame observer; also receives the row after it is stored. */
 using RowCallback = std::function<void(const FrameRow &)>;
+
+/** How a supervised run ended. */
+enum class RunOutcome : uint8_t
+{
+    Completed,        ///< every frame rendered
+    Cancelled,        ///< SIGINT/SIGTERM (checkpointed at the boundary)
+    DeadlineExceeded, ///< a frame overran --deadline-ms
+    BudgetExhausted,  ///< the run overran --budget-ms
+};
+
+/** Stable name of @p outcome for the manifest. */
+const char *runOutcomeName(RunOutcome outcome);
+
+/** Per-simulator record in the run manifest. */
+struct SimManifestEntry
+{
+    std::string label;
+    bool quarantined = false;      ///< threw and was isolated
+    int quarantined_at_frame = -1; ///< frame of the first throw
+    Error error;                   ///< what it threw
+};
+
+/**
+ * Result of a supervised run: how it ended, how far it got, and the
+ * status of every registered simulator. Written next to the checkpoint
+ * as `<checkpoint>.manifest` (CSV).
+ */
+struct RunManifest
+{
+    RunOutcome outcome = RunOutcome::Completed;
+    int frames_completed = 0;  ///< rows harvested over the run's lifetime
+    int next_frame = 0;        ///< where a resume would continue
+    std::string checkpoint;    ///< final checkpoint path ("" if none)
+    std::vector<SimManifestEntry> sims;
+
+    /** Number of quarantined simulators. */
+    size_t quarantinedCount() const;
+};
 
 /** Owns the consumers and runs the animation once. */
 class MultiConfigRunner
@@ -66,6 +107,42 @@ class MultiConfigRunner
     /** Run the animation; rows accumulate and @p cb fires per frame. */
     void run(const RowCallback &cb = {});
 
+    /**
+     * Run under watchdog supervision: periodic crash-safe checkpoints,
+     * resume, invariant audits at frame boundaries, per-sim quarantine
+     * of throwing configurations, per-frame deadline / wall-clock
+     * budget, and cooperative SIGINT/SIGTERM cancellation (install the
+     * handlers with installCancellationHandlers()). With a default
+     * ResilienceConfig this renders exactly what run() renders.
+     *
+     * A quarantined simulator stops consuming accesses; its partial
+     * stats stay in the rows (zero deltas after the throwing frame) and
+     * its error is recorded in the returned manifest while the
+     * remaining configurations finish. The manifest is also written as
+     * CSV to `<checkpoint>.manifest` when checkpointing is enabled.
+     */
+    RunManifest runSupervised(const ResilienceConfig &rc,
+                              const RowCallback &cb = {});
+
+    /**
+     * Write a crash-safe snapshot of the full runner state (every
+     * simulator, working sets, push model, accumulated rows, quarantine
+     * records) such that loadCheckpoint() + finishing the run equals an
+     * uninterrupted run byte-for-byte.
+     * @param next_frame the first frame a resume should render
+     */
+    void saveCheckpoint(const std::string &path, int next_frame) const;
+
+    /**
+     * Restore state written by saveCheckpoint() into an identically
+     * configured runner (same sims in the same order, same labels, same
+     * collectors).
+     * @return the first frame to render
+     * @throws mltc::Exception — VersionMismatch on configuration skew,
+     *         Truncated/BadMagic/Corrupt on damaged snapshots.
+     */
+    int loadCheckpoint(const std::string &path);
+
     /** All rows from the last run(). */
     const std::vector<FrameRow> &rows() const { return rows_; }
 
@@ -82,6 +159,20 @@ class MultiConfigRunner
     double averageHostBytesPerFrame(size_t idx) const;
 
   private:
+    /** Quarantine state carried across checkpoint/resume. */
+    struct Quarantine
+    {
+        bool dead = false;
+        int at_frame = -1;
+        Error error;
+    };
+
+    /** Harvest one frame boundary into rows_ (shared by run paths). */
+    void harvestRow(int frame, const FrameStats &fs, const RowCallback &cb);
+
+    /** Write the manifest CSV next to the checkpoint. */
+    void writeManifest(const RunManifest &manifest) const;
+
     Workload &workload_;
     DriverConfig config_;
     std::vector<std::unique_ptr<CacheSim>> sims_;
@@ -89,6 +180,7 @@ class MultiConfigRunner
     std::unique_ptr<PushArchitectureModel> push_;
     std::vector<TexelAccessSink *> extra_sinks_;
     std::vector<FrameRow> rows_;
+    std::vector<Quarantine> quarantine_; ///< parallel to sims_ (may be empty)
 };
 
 } // namespace mltc

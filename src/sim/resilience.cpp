@@ -1,0 +1,78 @@
+#include "sim/resilience.hpp"
+
+#include <csignal>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+ResilienceConfig
+resilienceFromCli(const CommandLine &cli)
+{
+    ResilienceConfig rc;
+    rc.checkpoint_path = cli.getString("checkpoint", "");
+    rc.checkpoint_every =
+        static_cast<uint32_t>(cli.getUnsigned("checkpoint-every", 0));
+    rc.resume = cli.getFlag("resume");
+    rc.frame_deadline_ms = cli.getDouble("deadline-ms", 0.0);
+    rc.wall_budget_ms = cli.getDouble("budget-ms", 0.0);
+    rc.audit = parseAuditLevel(cli.getString("audit", "cheap").c_str());
+    rc.die_after_checkpoints =
+        static_cast<uint32_t>(cli.getUnsigned("die-after-checkpoint", 0));
+    if (rc.frame_deadline_ms < 0.0)
+        throw Exception(ErrorCode::BadArgument,
+                        "--deadline-ms: must be non-negative");
+    if (rc.wall_budget_ms < 0.0)
+        throw Exception(ErrorCode::BadArgument,
+                        "--budget-ms: must be non-negative");
+    if (rc.resume && rc.checkpoint_path.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "--resume: requires --checkpoint=PATH");
+    if ((rc.checkpoint_every > 0 || rc.die_after_checkpoints > 0) &&
+        rc.checkpoint_path.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "--checkpoint-every: requires --checkpoint=PATH");
+    return rc;
+}
+
+namespace {
+
+volatile std::sig_atomic_t g_cancel_requested = 0;
+
+void
+cancelHandler(int)
+{
+    // Async-signal-safe: only flip the flag; the run loop polls it at
+    // frame boundaries and writes the final checkpoint from normal
+    // context.
+    g_cancel_requested = 1;
+}
+
+} // namespace
+
+void
+installCancellationHandlers()
+{
+    std::signal(SIGINT, cancelHandler);
+    std::signal(SIGTERM, cancelHandler);
+}
+
+bool
+cancellationRequested()
+{
+    return g_cancel_requested != 0;
+}
+
+void
+requestCancellation()
+{
+    g_cancel_requested = 1;
+}
+
+void
+clearCancellation()
+{
+    g_cancel_requested = 0;
+}
+
+} // namespace mltc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Resilience configuration and cooperative cancellation for supervised
+ * long-running simulations.
+ *
+ * Three coordinated pieces (see docs/checkpoint_format.md and
+ * docs/fault_model.md):
+ *
+ *  - crash-safe checkpoint/resume of the full simulator state, so a
+ *    killed run finishes from its last checkpoint with byte-identical
+ *    CSV output;
+ *  - the always-on state invariant auditor (core/audit.hpp), run at
+ *    frame and checkpoint boundaries;
+ *  - watchdog supervision: a per-frame deadline, a wall-clock budget,
+ *    and SIGINT/SIGTERM handlers that request a final checkpoint at the
+ *    next frame boundary instead of dying mid-write.
+ *
+ * All knobs flow through resilienceFromCli() so every bench and example
+ * exposes the same flags: --checkpoint=PATH, --checkpoint-every=N,
+ * --resume, --deadline-ms=D, --budget-ms=B, --audit=LEVEL.
+ */
+#ifndef MLTC_SIM_RESILIENCE_HPP
+#define MLTC_SIM_RESILIENCE_HPP
+
+#include <string>
+
+#include "core/audit.hpp"
+#include "util/cli.hpp"
+
+namespace mltc {
+
+/** Supervision knobs for MultiConfigRunner::runSupervised(). */
+struct ResilienceConfig
+{
+    /** Checkpoint file; empty disables checkpointing entirely. */
+    std::string checkpoint_path;
+
+    /** Checkpoint every N frames (0 = only on cancellation/stop). */
+    uint32_t checkpoint_every = 0;
+
+    /** Resume from checkpoint_path instead of starting at frame 0. */
+    bool resume = false;
+
+    /**
+     * Per-frame wall-clock deadline in milliseconds; a frame exceeding
+     * it stops the run at the next boundary with a checkpoint (0 = no
+     * deadline).
+     */
+    double frame_deadline_ms = 0.0;
+
+    /** Whole-run wall-clock budget in milliseconds (0 = unlimited). */
+    double wall_budget_ms = 0.0;
+
+    /** Invariant auditing at frame/checkpoint boundaries. */
+    AuditLevel audit = AuditLevel::Cheap;
+
+    /**
+     * Crash-path test hook: raise SIGKILL immediately after the Nth
+     * periodic checkpoint commits (0 = disabled). Lets tests and
+     * scripts/kill_resume.sh kill a run at a deterministic point.
+     */
+    uint32_t die_after_checkpoints = 0;
+};
+
+/**
+ * Build a ResilienceConfig from the shared command-line flags.
+ * @throws mltc::Exception (BadArgument) on malformed values.
+ */
+ResilienceConfig resilienceFromCli(const CommandLine &cli);
+
+/**
+ * Install SIGINT/SIGTERM handlers that set the cancellation flag. The
+ * handlers only flip a sig_atomic_t; the supervised run loop polls it
+ * at frame boundaries and performs the final checkpoint itself.
+ */
+void installCancellationHandlers();
+
+/** True once SIGINT/SIGTERM arrived (or requestCancellation() ran). */
+bool cancellationRequested();
+
+/** Programmatic cancellation (tests; same path as the signals). */
+void requestCancellation();
+
+/** Clear the flag (between supervised runs in one process). */
+void clearCancellation();
+
+} // namespace mltc
+
+#endif // MLTC_SIM_RESILIENCE_HPP

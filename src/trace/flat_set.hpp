@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serializer.hpp"
+
 namespace mltc {
 
 /** Insert-only hash set of uint64 keys with epoch-based clear. */
@@ -91,6 +93,28 @@ class FlatSet64
 
     /** Current bucket capacity. */
     size_t capacity() const { return keys_.size(); }
+
+    /**
+     * Serialize the member keys (count + key list). The bucket layout is
+     * not captured: load() re-inserts, which is order-independent for a
+     * set, so round-tripping preserves contents exactly.
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u64(size_);
+        forEach([&](uint64_t k) { w.u64(k); });
+    }
+
+    /** Replace contents with the keys captured by save(). */
+    void
+    load(SnapshotReader &r)
+    {
+        clear();
+        const uint64_t n = r.u64();
+        for (uint64_t i = 0; i < n; ++i)
+            insert(r.u64());
+    }
 
   private:
     static size_t

@@ -1,5 +1,9 @@
 #include "trace/working_set_collector.hpp"
 
+#include <string>
+
+#include "util/error.hpp"
+
 namespace mltc {
 
 WorkingSetCollector::WorkingSetCollector(TextureManager &textures,
@@ -22,9 +26,10 @@ WorkingSetCollector::WorkingSetCollector(TextureManager &textures,
 }
 
 void
-WorkingSetCollector::bindTexture(TextureId tid)
+WorkingSetCollector::rebindLayouts()
 {
-    bound_ = tid;
+    if (bound_ == 0)
+        return;
     for (auto &tr : trackers_) {
         // L2 trackers tile by the L2 size (L1 granularity is irrelevant
         // for block counting); L1 trackers use the paper's fixed 16x16
@@ -33,9 +38,17 @@ WorkingSetCollector::bindTexture(TextureId tid)
                                  : TileSpec{16, tr.tile};
         if (spec.l1_tile > spec.l2_tile)
             spec.l2_tile = spec.l1_tile;
-        tr.layout = &textures_.layout(tid, spec);
-        tr.last_key = ~0ull;
+        tr.layout = &textures_.layout(bound_, spec);
     }
+}
+
+void
+WorkingSetCollector::bindTexture(TextureId tid)
+{
+    bound_ = tid;
+    rebindLayouts();
+    for (auto &tr : trackers_)
+        tr.last_key = ~0ull;
     if (textures_this_frame_.insert(tid))
         push_bytes_ += textures_.texture(tid).hostBytes();
 }
@@ -110,6 +123,59 @@ WorkingSetCollector::endFrame()
     pixel_refs_ = 0;
     push_bytes_ = 0;
     return out;
+}
+
+namespace {
+constexpr uint32_t kWscTag = snapTag("WSC ");
+} // namespace
+
+void
+WorkingSetCollector::save(SnapshotWriter &w) const
+{
+    w.section(kWscTag);
+    w.u32(static_cast<uint32_t>(trackers_.size()));
+    for (const auto &tr : trackers_) {
+        w.u32(tr.tile);
+        w.u8(tr.is_l2 ? 1 : 0);
+        w.u64(tr.last_key);
+        tr.current.save(w);
+        tr.previous.save(w);
+    }
+    textures_this_frame_.save(w);
+    w.u64(pixel_refs_);
+    w.u64(push_bytes_);
+    w.u32(bound_);
+}
+
+void
+WorkingSetCollector::load(SnapshotReader &r)
+{
+    r.expectSection(kWscTag, "WorkingSetCollector");
+    const uint32_t count = r.u32();
+    if (count != trackers_.size())
+        throw Exception(ErrorCode::VersionMismatch,
+                        "WorkingSetCollector: snapshot tracks " +
+                            std::to_string(count) +
+                            " tile sizes, configured " +
+                            std::to_string(trackers_.size()));
+    for (auto &tr : trackers_) {
+        const uint32_t tile = r.u32();
+        const uint8_t is_l2 = r.u8();
+        if (tile != tr.tile || (is_l2 != 0) != tr.is_l2)
+            throw Exception(ErrorCode::VersionMismatch,
+                            "WorkingSetCollector: snapshot tile size " +
+                                std::to_string(tile) +
+                                " does not match configured " +
+                                std::to_string(tr.tile));
+        tr.last_key = r.u64();
+        tr.current.load(r);
+        tr.previous.load(r);
+    }
+    textures_this_frame_.load(r);
+    pixel_refs_ = r.u64();
+    push_bytes_ = r.u64();
+    bound_ = r.u32();
+    rebindLayouts();
 }
 
 } // namespace mltc

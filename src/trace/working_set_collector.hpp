@@ -120,9 +120,26 @@ class WorkingSetCollector final : public TexelAccessSink
     /** Harvest this frame's statistics and start the next frame. */
     FrameWorkingSet endFrame();
 
+    /** Serialize tracker sets, per-frame accumulators and bound state. */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) when the tracked tile
+     *         sizes differ from the snapshot's.
+     */
+    void load(SnapshotReader &r);
+
   private:
     /** Record one texel in every tracker (no pixel_refs update). */
     void recordTexel(uint32_t x, uint32_t y, uint32_t mip);
+
+    /**
+     * Re-derive the trackers' layout pointers for the bound texture.
+     * Pure (no per-frame side effects), so load() can call it without
+     * double-counting the bind in textures_this_frame_/push_bytes_.
+     */
+    void rebindLayouts();
 
     struct Tracker
     {

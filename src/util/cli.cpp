@@ -1,6 +1,9 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace mltc {
 
@@ -10,6 +13,27 @@ bool
 isOption(const std::string &arg)
 {
     return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+[[noreturn]] void
+badValue(const std::string &name, const std::string &value,
+         const char *why)
+{
+    throw Exception(ErrorCode::BadArgument, "--" + name + ": " + why +
+                                                ": '" + value + "'");
+}
+
+long
+parseLong(const std::string &name, const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        badValue(name, value, "not an integer");
+    if (errno == ERANGE)
+        badValue(name, value, "integer out of range");
+    return v;
 }
 
 } // namespace
@@ -59,9 +83,19 @@ CommandLine::getInt(const std::string &name, long def) const
     auto it = options_.find(name);
     if (it == options_.end())
         return def;
-    char *end = nullptr;
-    long v = std::strtol(it->second.c_str(), &end, 10);
-    return (end && *end == '\0') ? v : def;
+    return parseLong(name, it->second);
+}
+
+unsigned long
+CommandLine::getUnsigned(const std::string &name, unsigned long def) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return def;
+    const long v = parseLong(name, it->second);
+    if (v < 0)
+        badValue(name, it->second, "must be non-negative");
+    return static_cast<unsigned long>(v);
 }
 
 double
@@ -70,9 +104,14 @@ CommandLine::getDouble(const std::string &name, double def) const
     auto it = options_.find(name);
     if (it == options_.end())
         return def;
+    errno = 0;
     char *end = nullptr;
-    double v = std::strtod(it->second.c_str(), &end);
-    return (end && *end == '\0') ? v : def;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        badValue(name, it->second, "not a number");
+    if (errno == ERANGE)
+        badValue(name, it->second, "number out of range");
+    return v;
 }
 
 bool

@@ -33,10 +33,28 @@ class CommandLine
     /** String value of --name, or @p def if absent. */
     std::string getString(const std::string &name, const std::string &def) const;
 
-    /** Integer value of --name, or @p def if absent/unparseable. */
+    /**
+     * Integer value of --name, or @p def if absent.
+     * @throws mltc::Exception (BadArgument) naming the flag when the
+     *         value has trailing junk, is not a number, or overflows —
+     *         malformed input must never be silently truncated to a
+     *         default or a wrapped value.
+     */
     long getInt(const std::string &name, long def) const;
 
-    /** Double value of --name, or @p def if absent/unparseable. */
+    /**
+     * Non-negative integer value of --name, or @p def if absent.
+     * @throws mltc::Exception (BadArgument) naming the flag on junk,
+     *         overflow or a negative value.
+     */
+    unsigned long getUnsigned(const std::string &name,
+                              unsigned long def) const;
+
+    /**
+     * Double value of --name, or @p def if absent.
+     * @throws mltc::Exception (BadArgument) naming the flag on junk or
+     *         overflow.
+     */
     double getDouble(const std::string &name, double def) const;
 
     /** Boolean flag: present and not "0"/"false". */

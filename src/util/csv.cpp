@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace mltc {
 
 CsvWriter::CsvWriter(const std::string &path,
@@ -10,10 +12,21 @@ CsvWriter::CsvWriter(const std::string &path,
     : path_(path), out_(path), columns_(columns.size())
 {
     if (!out_)
-        throw std::runtime_error("CsvWriter: cannot open " + path);
+        throw Exception(ErrorCode::Io, "CsvWriter: cannot open " + path);
     for (size_t i = 0; i < columns.size(); ++i)
         out_ << (i ? "," : "") << columns[i];
     out_ << "\n";
+    checkStream();
+}
+
+void
+CsvWriter::checkStream()
+{
+    // A full disk or vanished file must fail loudly at the offending
+    // row, not silently truncate the bench's CSV artefact.
+    if (!out_)
+        throw Exception(ErrorCode::Io,
+                        "CsvWriter: write failed for " + path_);
 }
 
 void
@@ -25,6 +38,7 @@ CsvWriter::row(const std::vector<double> &values)
     for (size_t i = 0; i < values.size(); ++i)
         os << (i ? "," : "") << values[i];
     out_ << os.str() << "\n";
+    checkStream();
 }
 
 void
@@ -35,6 +49,21 @@ CsvWriter::rowStrings(const std::vector<std::string> &values)
     for (size_t i = 0; i < values.size(); ++i)
         out_ << (i ? "," : "") << values[i];
     out_ << "\n";
+    checkStream();
+}
+
+void
+CsvWriter::close()
+{
+    if (!out_.is_open())
+        return;
+    out_.flush();
+    checkStream();
+    out_.close();
+    if (out_.fail())
+        throw Exception(ErrorCode::Io,
+                        "CsvWriter: close failed for " + path_ +
+                            " (file truncated?)");
 }
 
 } // namespace mltc

@@ -15,13 +15,19 @@ namespace mltc {
 /**
  * Streaming CSV writer. Columns are fixed at construction; each row is
  * appended with exactly that many values.
+ *
+ * Every write is checked: a full disk or vanished file throws a typed
+ * mltc::Exception (ErrorCode::Io) naming the path at the offending row
+ * rather than silently truncating the artefact. Call close() before
+ * relying on the file — it reports flush failure; the destructor only
+ * closes best-effort.
  */
 class CsvWriter
 {
   public:
     /**
      * Open @p path for writing and emit the header row.
-     * @throws std::runtime_error when the file cannot be opened.
+     * @throws mltc::Exception (Io) when the file cannot be opened.
      */
     CsvWriter(const std::string &path, const std::vector<std::string> &columns);
 
@@ -31,10 +37,18 @@ class CsvWriter
     /** Append one row of preformatted strings; size must match. */
     void rowStrings(const std::vector<std::string> &values);
 
+    /**
+     * Flush and close; throws mltc::Exception (Io) naming the path when
+     * the flush fails. The destructor closes silently instead.
+     */
+    void close();
+
     /** Path the writer was opened with. */
     const std::string &path() const { return path_; }
 
   private:
+    void checkStream();
+
     std::string path_;
     std::ofstream out_;
     size_t columns_;

@@ -16,6 +16,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Transient: return "transient";
       case ErrorCode::RetryExhausted: return "retry-exhausted";
       case ErrorCode::OutOfRange: return "out-of-range";
+      case ErrorCode::BadArgument: return "bad-argument";
+      case ErrorCode::VersionMismatch: return "version-mismatch";
+      case ErrorCode::AuditViolation: return "audit-violation";
     }
     return "?";
 }

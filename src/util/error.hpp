@@ -30,6 +30,9 @@ enum class ErrorCode : uint8_t
     Transient,      ///< a retryable transfer failure (drop / outage)
     RetryExhausted, ///< all retry attempts / the backoff budget consumed
     OutOfRange,     ///< index outside a structure's valid range
+    BadArgument,    ///< malformed command-line / configuration value
+    VersionMismatch,///< snapshot version or configuration skew on resume
+    AuditViolation, ///< a state invariant check failed (core/audit.hpp)
 };
 
 /** Stable lowercase name of @p code for logs and CSVs. */

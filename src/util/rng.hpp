@@ -91,6 +91,25 @@ class Rng
     /** Bernoulli draw with probability @p p of returning true. */
     bool chance(double p) { return uniform() < p; }
 
+    /**
+     * Copy the raw engine state (exactly 4 words) for checkpointing;
+     * restoring it with loadState() resumes the stream bit-identically.
+     */
+    void
+    saveState(uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Restore engine state captured by saveState(). */
+    void
+    loadState(const uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
   private:
     static uint64_t
     rotl(uint64_t x, int k)

@@ -1,0 +1,349 @@
+#include "util/serializer.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'T', 'C', 'S', 'N', 'P', '1'};
+
+/** Header: magic, version, payload length, payload CRC32. */
+constexpr size_t kHeaderSize = sizeof(kMagic) + 4 + 8 + 4;
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    putU32(out, static_cast<uint32_t>(v));
+    putU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(getU32(p)) |
+           static_cast<uint64_t>(getU32(p + 4)) << 32;
+}
+
+std::string
+tagName(uint32_t tag)
+{
+    std::string s;
+    for (int i = 0; i < 4; ++i) {
+        char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+        s += (c >= 32 && c < 127) ? c : '?';
+    }
+    return s;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t size, uint32_t seed)
+{
+    // IEEE 802.3 reflected polynomial, nibble-at-a-time (no 1 KB table).
+    static const uint32_t nibble[16] = {
+        0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac,
+        0x76dc4190, 0x6b6b51f4, 0x4db26158, 0x5005713c,
+        0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+        0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
+    uint32_t crc = ~seed;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        crc ^= p[i];
+        crc = (crc >> 4) ^ nibble[crc & 0xf];
+        crc = (crc >> 4) ^ nibble[crc & 0xf];
+    }
+    return ~crc;
+}
+
+void
+SnapshotWriter::u32(uint32_t v)
+{
+    putU32(payload_, v);
+}
+
+void
+SnapshotWriter::u64(uint64_t v)
+{
+    putU64(payload_, v);
+}
+
+void
+SnapshotWriter::f64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+SnapshotWriter::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    payload_.insert(payload_.end(), s.begin(), s.end());
+}
+
+void
+SnapshotWriter::u8Vec(const std::vector<uint8_t> &v)
+{
+    u64(v.size());
+    payload_.insert(payload_.end(), v.begin(), v.end());
+}
+
+void
+SnapshotWriter::u32Vec(const std::vector<uint32_t> &v)
+{
+    u64(v.size());
+    for (uint32_t x : v)
+        u32(x);
+}
+
+void
+SnapshotWriter::u64Vec(const std::vector<uint64_t> &v)
+{
+    u64(v.size());
+    for (uint64_t x : v)
+        u64(x);
+}
+
+void
+SnapshotWriter::finish()
+{
+    std::vector<uint8_t> header;
+    header.reserve(kHeaderSize);
+    header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+    putU32(header, kSnapshotVersion);
+    putU64(header, payload_.size());
+    putU32(header, crc32(payload_.data(), payload_.size()));
+
+    const std::string tmp = path_ + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw Exception(ErrorCode::Io,
+                        "SnapshotWriter: cannot open " + tmp);
+    bool ok =
+        std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+        (payload_.empty() ||
+         std::fwrite(payload_.data(), 1, payload_.size(), f) ==
+             payload_.size()) &&
+        std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+    // Always close; only then decide. fclose failure also invalidates.
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw Exception(ErrorCode::Io,
+                        "SnapshotWriter: write/fsync failed for " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw Exception(ErrorCode::Io, "SnapshotWriter: cannot rename " +
+                                           tmp + " to " + path_);
+    }
+}
+
+SnapshotReader::SnapshotReader(const std::string &path) : name_(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw Exception(ErrorCode::Io,
+                        "SnapshotReader: cannot open " + path);
+    std::vector<uint8_t> bytes;
+    // Close before any throw: a throwing constructor never runs the
+    // destructor, so the handle would leak otherwise.
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        std::fclose(f);
+        throw Exception(ErrorCode::Io,
+                        "SnapshotReader: cannot seek in " + path);
+    }
+    const long end = std::ftell(f);
+    if (end < 0) {
+        std::fclose(f);
+        throw Exception(ErrorCode::Io,
+                        "SnapshotReader: cannot tell in " + path);
+    }
+    std::fseek(f, 0, SEEK_SET);
+    bytes.resize(static_cast<size_t>(end));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        throw Exception(ErrorCode::Io,
+                        "SnapshotReader: short read from " + path);
+    }
+    std::fclose(f);
+    validate(bytes.data(), bytes.size());
+}
+
+SnapshotReader::SnapshotReader(const uint8_t *data, size_t size,
+                               std::string name)
+    : name_(std::move(name))
+{
+    validate(data, size);
+}
+
+void
+SnapshotReader::validate(const uint8_t *data, size_t size)
+{
+    if (size < kHeaderSize)
+        throw Exception(ErrorCode::Truncated,
+                        "snapshot " + name_ + ": " + std::to_string(size) +
+                            " bytes, shorter than the " +
+                            std::to_string(kHeaderSize) + "-byte header");
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        throw Exception(ErrorCode::BadMagic,
+                        "snapshot " + name_ + ": bad magic");
+    const uint32_t version = getU32(data + 8);
+    if (version != kSnapshotVersion)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "snapshot " + name_ + ": version " +
+                            std::to_string(version) + ", expected " +
+                            std::to_string(kSnapshotVersion));
+    const uint64_t len = getU64(data + 12);
+    if (len != size - kHeaderSize)
+        throw Exception(ErrorCode::Truncated,
+                        "snapshot " + name_ + ": payload length " +
+                            std::to_string(len) + " but " +
+                            std::to_string(size - kHeaderSize) +
+                            " bytes present");
+    const uint32_t want_crc = getU32(data + 20);
+    const uint32_t got_crc = crc32(data + kHeaderSize, len);
+    if (want_crc != got_crc)
+        throw Exception(ErrorCode::Corrupt,
+                        "snapshot " + name_ + ": CRC mismatch (stored " +
+                            std::to_string(want_crc) + ", computed " +
+                            std::to_string(got_crc) + ")");
+    payload_.assign(data + kHeaderSize, data + size);
+}
+
+void
+SnapshotReader::need(size_t bytes, const char *what)
+{
+    if (remaining() < bytes)
+        throw Exception(ErrorCode::Truncated,
+                        "snapshot " + name_ + ": truncated " + what +
+                            " at payload offset " + std::to_string(cursor_));
+}
+
+uint8_t
+SnapshotReader::u8()
+{
+    need(1, "u8");
+    return payload_[cursor_++];
+}
+
+uint32_t
+SnapshotReader::u32()
+{
+    need(4, "u32");
+    uint32_t v = getU32(payload_.data() + cursor_);
+    cursor_ += 4;
+    return v;
+}
+
+uint64_t
+SnapshotReader::u64()
+{
+    need(8, "u64");
+    uint64_t v = getU64(payload_.data() + cursor_);
+    cursor_ += 8;
+    return v;
+}
+
+double
+SnapshotReader::f64()
+{
+    uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+SnapshotReader::str()
+{
+    const uint32_t len = u32();
+    need(len, "string");
+    std::string s(reinterpret_cast<const char *>(payload_.data() + cursor_),
+                  len);
+    cursor_ += len;
+    return s;
+}
+
+void
+SnapshotReader::u8Vec(std::vector<uint8_t> &out)
+{
+    const uint64_t n = u64();
+    need(n, "u8 vector"); // bounds length before allocating
+    out.assign(payload_.begin() + static_cast<long>(cursor_),
+               payload_.begin() + static_cast<long>(cursor_ + n));
+    cursor_ += n;
+}
+
+void
+SnapshotReader::u32Vec(std::vector<uint32_t> &out)
+{
+    const uint64_t n = u64();
+    if (n > remaining() / 4) // length checked before any allocation
+        need(remaining() + 1, "u32 vector");
+    out.resize(n);
+    for (uint64_t i = 0; i < n; ++i)
+        out[i] = u32();
+}
+
+void
+SnapshotReader::u64Vec(std::vector<uint64_t> &out)
+{
+    const uint64_t n = u64();
+    if (n > remaining() / 8)
+        need(remaining() + 1, "u64 vector");
+    out.resize(n);
+    for (uint64_t i = 0; i < n; ++i)
+        out[i] = u64();
+}
+
+void
+SnapshotReader::expectSection(uint32_t tag, const char *what)
+{
+    const size_t at = cursor_;
+    const uint32_t got = u32();
+    if (got != tag)
+        throw Exception(ErrorCode::Corrupt,
+                        "snapshot " + name_ + ": expected section '" +
+                            tagName(tag) + "' (" + what + ") at offset " +
+                            std::to_string(at) + ", found '" +
+                            tagName(got) + "'");
+}
+
+void
+SnapshotReader::expectEnd()
+{
+    if (remaining() != 0)
+        throw Exception(ErrorCode::Corrupt,
+                        "snapshot " + name_ + ": " +
+                            std::to_string(remaining()) +
+                            " unconsumed payload bytes");
+}
+
+} // namespace mltc

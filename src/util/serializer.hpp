@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Crash-safe binary snapshot serialization for checkpoint/resume.
+ *
+ * A snapshot is a single file: an 8-byte magic, a format version, the
+ * payload length and a CRC32 over the payload, then the payload itself.
+ * SnapshotWriter buffers the payload in memory and commits it atomically
+ * (`tmp + fsync + rename`), so a crash mid-write can never leave a
+ * half-written checkpoint under the final name. SnapshotReader validates
+ * magic, version and CRC up front and bounds-checks every read, so a
+ * truncated or bit-flipped file yields a typed mltc::Exception — never a
+ * crash or silently-loaded garbage (see docs/checkpoint_format.md).
+ *
+ * Components serialize themselves with `save(SnapshotWriter&)` /
+ * `load(SnapshotReader&)` member functions, each framed by a section tag
+ * so a mismatched or reordered stream fails naming the structure.
+ */
+#ifndef MLTC_UTIL_SERIALIZER_HPP
+#define MLTC_UTIL_SERIALIZER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/** Snapshot format version; bump on any layout change. */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** CRC32 (IEEE 802.3, reflected) of @p data. */
+uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
+
+/** Four-character section tag, e.g. snapTag("L1C "). */
+constexpr uint32_t
+snapTag(const char (&s)[5])
+{
+    return static_cast<uint32_t>(static_cast<unsigned char>(s[0])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+/**
+ * Buffers a snapshot payload and commits it atomically. Nothing touches
+ * the filesystem until finish(): the payload is written to
+ * `<path>.tmp`, flushed, fsync'ed, closed and renamed over the final
+ * path, so readers only ever see either the previous complete snapshot
+ * or the new complete snapshot.
+ */
+class SnapshotWriter
+{
+  public:
+    explicit SnapshotWriter(std::string path) : path_(std::move(path)) {}
+
+    void u8(uint8_t v) { payload_.push_back(v); }
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+
+    /** Length-prefixed string. */
+    void str(const std::string &s);
+
+    /** Length-prefixed vectors. */
+    void u8Vec(const std::vector<uint8_t> &v);
+    void u32Vec(const std::vector<uint32_t> &v);
+    void u64Vec(const std::vector<uint64_t> &v);
+
+    /** Open a component section (reader must expect the same tag). */
+    void section(uint32_t tag) { u32(tag); }
+
+    /**
+     * Write header + payload to `<path>.tmp`, fsync, rename into place.
+     * @throws mltc::Exception (Io) naming the path on any failure.
+     */
+    void finish();
+
+    /** Payload bytes buffered so far. */
+    size_t size() const { return payload_.size(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<uint8_t> payload_;
+};
+
+/**
+ * Reads a snapshot written by SnapshotWriter. The whole file is read and
+ * validated in the constructor; subsequent reads only walk the verified
+ * payload and throw (Truncated) when a read would run past its end.
+ */
+class SnapshotReader
+{
+  public:
+    /**
+     * Open and validate @p path.
+     * @throws mltc::Exception — Io (cannot open/read), Truncated (file
+     *         shorter than header or payload), BadMagic, VersionMismatch
+     *         (version skew) or Corrupt (CRC failure).
+     */
+    explicit SnapshotReader(const std::string &path);
+
+    /** Parse an in-memory snapshot image (for fuzzing). Same errors. */
+    SnapshotReader(const uint8_t *data, size_t size, std::string name);
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    std::string str();
+    void u8Vec(std::vector<uint8_t> &out);
+    void u32Vec(std::vector<uint32_t> &out);
+    void u64Vec(std::vector<uint64_t> &out);
+
+    /**
+     * Consume a section tag and verify it is @p tag.
+     * @throws mltc::Exception (Corrupt) naming @p what on mismatch.
+     */
+    void expectSection(uint32_t tag, const char *what);
+
+    /** Bytes of payload not yet consumed. */
+    size_t remaining() const { return payload_.size() - cursor_; }
+
+    /** @throws mltc::Exception (Corrupt) unless all payload was read. */
+    void expectEnd();
+
+  private:
+    void validate(const uint8_t *data, size_t size);
+    void need(size_t bytes, const char *what);
+
+    std::string name_;
+    std::vector<uint8_t> payload_;
+    size_t cursor_ = 0;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_SERIALIZER_HPP

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <unistd.h>
 #include <vector>
 
 #include "trace/trace_io.hpp"
@@ -27,10 +28,12 @@ class CountingSink final : public TexelAccessSink
     uint64_t events = 0;
 };
 
+// PID-suffixed: ctest runs each test case as its own process, possibly
+// in parallel, so shared fixed names would race on create/remove.
 std::string
 tempPath(const char *name)
 {
-    return testing::TempDir() + name;
+    return testing::TempDir() + name + "." + std::to_string(getpid());
 }
 
 /** Bytes of a small valid trace (2 frames, a few events). */

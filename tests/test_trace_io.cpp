@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 
 #include "trace/trace_io.hpp"
 
@@ -40,10 +41,12 @@ class RecordingSink final : public TexelAccessSink
     std::vector<Ev> events;
 };
 
+// PID-suffixed: ctest runs each test case as its own process, possibly
+// in parallel, so shared fixed names would race on create/remove.
 std::string
 tempTrace(const char *name)
 {
-    return testing::TempDir() + name;
+    return testing::TempDir() + name + "." + std::to_string(getpid());
 }
 
 TEST(TraceIo, RoundTripsEvents)

@@ -11,6 +11,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/error.hpp"
 #include "util/ppm.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -70,11 +71,42 @@ TEST(CommandLine, DefaultsWhenAbsent)
     EXPECT_EQ(cli.getString("missing", "d"), "d");
 }
 
-TEST(CommandLine, UnparseableIntFallsBack)
+TEST(CommandLine, UnparseableIntThrowsBadArgument)
 {
     const char *argv[] = {"prog", "--n=abc"};
     CommandLine cli(2, argv);
-    EXPECT_EQ(cli.getInt("n", 5), 5);
+    try {
+        cli.getInt("n", 5);
+        FAIL() << "expected BadArgument";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadArgument);
+        EXPECT_NE(e.error().message.find("--n"), std::string::npos)
+            << "error should name the flag: " << e.error().message;
+    }
+}
+
+TEST(CommandLine, TrailingJunkThrowsBadArgument)
+{
+    const char *argv[] = {"prog", "--n=12zz", "--x=1.5q"};
+    CommandLine cli(3, argv);
+    EXPECT_THROW(cli.getInt("n", 0), Exception);
+    EXPECT_THROW(cli.getDouble("x", 0.0), Exception);
+}
+
+TEST(CommandLine, IntOverflowThrowsBadArgument)
+{
+    const char *argv[] = {"prog", "--n=99999999999999999999999"};
+    CommandLine cli(2, argv);
+    EXPECT_THROW(cli.getInt("n", 0), Exception);
+}
+
+TEST(CommandLine, NegativeForUnsignedThrowsBadArgument)
+{
+    const char *argv[] = {"prog", "--n=-3", "--m=7"};
+    CommandLine cli(3, argv);
+    EXPECT_THROW(cli.getUnsigned("n", 0), Exception);
+    EXPECT_EQ(cli.getUnsigned("m", 0), 7ul);
+    EXPECT_EQ(cli.getUnsigned("missing", 9), 9ul);
 }
 
 TEST(CommandLine, DoubleParsing)
