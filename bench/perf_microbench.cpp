@@ -1,16 +1,29 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the simulator hot paths: L1
- * lookups, the full two-level controller, virtual address translation,
- * the FlatSet64 trace structure, and end-to-end frame rasterization.
- * These bound the wall-clock cost of the experiment sweeps.
+ * lookups, the full two-level controller (plain, pull, and with 3C
+ * classification enabled), virtual address translation, the FlatSet64
+ * trace structure, and end-to-end frame rasterization. These bound the
+ * wall-clock cost of the experiment sweeps.
+ *
+ * Besides the console table, the run emits a machine-readable
+ * `BENCH_perf.json` at the repository root (override the path with
+ * MLTC_BENCH_OUT) with ns/op and ops/sec per benchmark — the file the
+ * observability perf gate diffs against to prove the disabled-mode
+ * hooks cost < 5%.
  */
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/cache_sim.hpp"
 #include "raster/rasterizer.hpp"
 #include "texture/procedural.hpp"
 #include "trace/flat_set.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "workload/village.hpp"
 
@@ -65,10 +78,10 @@ BM_AddressTranslation(benchmark::State &state)
 BENCHMARK(BM_AddressTranslation);
 
 void
-BM_CacheSimAccess(benchmark::State &state)
+runCacheSimAccess(benchmark::State &state, const CacheSimConfig &cfg)
 {
     TextureManager &tm = benchTextures();
-    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
+    CacheSim sim(tm, cfg);
     sim.bindTexture(1);
     uint32_t x = 0, y = 0;
     for (auto _ : state) {
@@ -77,8 +90,32 @@ BM_CacheSimAccess(benchmark::State &state)
             y = (y + 1) & 255;
         sim.access(x, y, 0);
     }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheSimAccess(benchmark::State &state)
+{
+    runCacheSimAccess(state, CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
 }
 BENCHMARK(BM_CacheSimAccess);
+
+void
+BM_CacheSimAccessPull(benchmark::State &state)
+{
+    runCacheSimAccess(state, CacheSimConfig::pull(16 * 1024));
+}
+BENCHMARK(BM_CacheSimAccessPull);
+
+/** The explicit-opt-in cost of the 3C shadow models (--miss-classes). */
+void
+BM_CacheSimAccessClassified(benchmark::State &state)
+{
+    CacheSimConfig cfg = CacheSimConfig::twoLevel(2 * 1024, 2ull << 20);
+    cfg.classify_misses = true;
+    runCacheSimAccess(state, cfg);
+}
+BENCHMARK(BM_CacheSimAccessClassified);
 
 void
 BM_FlatSetInsert(benchmark::State &state)
@@ -114,6 +151,96 @@ BM_RenderVillageFrame(benchmark::State &state)
 }
 BENCHMARK(BM_RenderVillageFrame)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console reporting plus capture of every per-iteration run so main()
+ * can emit the BENCH_perf.json summary.
+ */
+class JsonCaptureReporter final : public benchmark::ConsoleReporter
+{
+  public:
+    struct Result
+    {
+        std::string name;
+        double ns_per_op = 0.0;
+        double ops_per_sec = 0.0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            Result res;
+            res.name = r.benchmark_name();
+            if (r.iterations > 0 && r.real_accumulated_time > 0.0) {
+                const double s_per_op =
+                    r.real_accumulated_time /
+                    static_cast<double>(r.iterations);
+                res.ns_per_op = s_per_op * 1e9;
+                res.ops_per_sec = 1.0 / s_per_op;
+            }
+            results_.push_back(std::move(res));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Result> &results() const { return results_; }
+
+  private:
+    std::vector<Result> results_;
+};
+
+/** BENCH_perf.json destination: MLTC_BENCH_OUT or the repo root. */
+std::string
+benchOutPath()
+{
+    if (const char *env = std::getenv("MLTC_BENCH_OUT"); env && *env)
+        return env;
+#ifdef MLTC_REPO_ROOT
+    return std::string(MLTC_REPO_ROOT) + "/BENCH_perf.json";
+#else
+    return "BENCH_perf.json";
+#endif
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    mltc::JsonWriter w;
+    w.beginObject();
+    w.key("benchmarks").beginArray();
+    for (const auto &res : reporter.results()) {
+        w.beginObject()
+            .kv("name", res.name)
+            .kv("ns_per_op", res.ns_per_op)
+            .kv("ops_per_sec", res.ops_per_sec)
+            .endObject();
+    }
+    w.endArray();
+    // The headline number the sweeps scale with: simulated texel
+    // accesses per second through the two-level controller.
+    for (const auto &res : reporter.results())
+        if (res.name == "BM_CacheSimAccess")
+            w.kv("accesses_per_sec", res.ops_per_sec);
+    w.endObject();
+
+    const std::string path = benchOutPath();
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "%s\n", w.str().c_str());
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "could not write %s\n", path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -24,12 +24,20 @@
  * --resume, --deadline-ms=D, --budget-ms=B, --audit=off|cheap|full.
  * Ctrl-C checkpoints at the next frame boundary and exits cleanly;
  * rerun with --resume to finish.
+ *
+ * Observability (obs/observability.hpp, docs/observability.md):
+ *   --metrics-out=PATH  per-frame metrics registry snapshots (JSONL)
+ *   --trace-out=PATH    Chrome trace-event / Perfetto timeline (JSON)
+ *   --miss-classes      3C (compulsory/capacity/conflict) classification
+ *                       with per-texture attribution tables
+ *   --top-textures=N    rows in the top-textures-by-miss-traffic table
  */
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "host/host_cli.hpp"
+#include "obs/observability.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "sim/resilience.hpp"
 #include "util/cli.hpp"
@@ -69,10 +77,16 @@ main(int argc, char **argv)
 
     MultiConfigRunner runner(wl, cfg);
 
-    // Optional fault scenario applied to every swept configuration.
+    const ObsConfig obs_cfg = obsFromCli(cli);
+    Observability obs(obs_cfg);
+    runner.setObservability(&obs);
+
+    // Optional fault scenario and miss classification applied to every
+    // swept configuration.
     const HostPathConfig host = hostPathFromCli(cli);
     auto withHost = [&](CacheSimConfig sc) {
         sc.host = host;
+        sc.classify_misses = obs_cfg.miss_classes;
         return sc;
     };
 
@@ -158,5 +172,68 @@ main(int argc, char **argv)
                          manifest.sims[i].error.describe().c_str());
     }
     table.print();
+
+    if (obs_cfg.miss_classes) {
+        std::printf("\n3C miss classification (run totals):\n");
+        TextTable cls({"configuration", "cache", "compulsory", "capacity",
+                       "conflict"});
+        for (const auto &simp : runner.sims()) {
+            const CacheFrameStats &t = simp->totals();
+            cls.addRow({simp->label(), "L1",
+                        std::to_string(t.l1_compulsory),
+                        std::to_string(t.l1_capacity),
+                        std::to_string(t.l1_conflict)});
+            if (simp->l2Classifier())
+                cls.addRow({simp->label(), "L2",
+                            std::to_string(t.l2_compulsory),
+                            std::to_string(t.l2_capacity),
+                            std::to_string(t.l2_conflict)});
+        }
+        cls.print();
+
+        std::printf("\ntop %u textures by attributed miss traffic:\n",
+                    obs_cfg.top_textures);
+        TextTable top({"configuration", "tex", "misses", "compulsory",
+                       "capacity", "conflict", "host MB"});
+        for (const auto &simp : runner.sims()) {
+            const MissClassifier *mc = simp->l2Classifier()
+                                           ? simp->l2Classifier()
+                                           : simp->l1Classifier();
+            if (!mc)
+                continue;
+            for (const MissAttributionRow &row :
+                 mc->topTexturesByTraffic(obs_cfg.top_textures))
+                top.addRow({simp->label(), std::to_string(row.tex),
+                            std::to_string(row.counts.total()),
+                            std::to_string(row.counts.compulsory),
+                            std::to_string(row.counts.capacity),
+                            std::to_string(row.counts.conflict),
+                            formatDouble(static_cast<double>(row.bytes) /
+                                             (1 << 20),
+                                         3)});
+        }
+        top.print();
+    }
+
+    if (obs.trace()) {
+        std::printf("\nstage self-times (%s):\n",
+                    obs_cfg.trace_path.c_str());
+        TextTable st({"stage", "count", "total ms", "self ms"});
+        for (const StageStat &s : obs.trace()->stageStats())
+            st.addRow({s.name, std::to_string(s.count),
+                       formatDouble(static_cast<double>(s.total_us) / 1000.0,
+                                    2),
+                       formatDouble(static_cast<double>(s.self_us) / 1000.0,
+                                    2)});
+        st.print();
+    }
+
+    try {
+        obs.close();
+    } catch (const Exception &e) {
+        std::fprintf(stderr, "observability output failed: %s\n",
+                     e.error().describe().c_str());
+        return 1;
+    }
     return manifest.outcome == RunOutcome::Completed ? 0 : 2;
 }

@@ -2,26 +2,108 @@
  * @file
  * Summarise experiment CSVs without leaving the toolchain: per-column
  * min/mean/max over any CSV the benches emitted, or a quick comparison
- * of two columns (e.g. total vs new bandwidth).
+ * of two columns (e.g. total vs new bandwidth). Also summarises the
+ * metrics JSONL stream cache_explorer --metrics-out writes.
  *
  * Usage:
  *   report series.csv                   # summarise every numeric column
  *   report series.csv --ratio a b      # mean(a)/mean(b) and per-row max
+ *   report --metrics run.jsonl         # counter totals / gauge summary
  */
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/csv_reader.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/**
+ * Summarise a metrics JSONL file: counters are cumulative, so the last
+ * frame row carries the run totals; gauges are summarised min/mean/max
+ * over the frames. Rows without a "frame" key (mirrored log lines) are
+ * skipped.
+ */
+int
+summarizeMetrics(const std::string &path)
+{
+    using namespace mltc;
+    std::ifstream in(path);
+    if (!in) {
+        std::printf("error: cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+
+    size_t frames = 0;
+    std::map<std::string, double> last_counters;
+    std::map<std::string, std::vector<double>> gauge_values;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JsonValue row;
+        try {
+            row = parseJson(line);
+        } catch (const Exception &e) {
+            std::printf("error: %s line %zu: %s\n", path.c_str(), line_no,
+                        e.error().message.c_str());
+            return 1;
+        }
+        if (!row.find("frame"))
+            continue; // structured log row sharing the stream
+        ++frames;
+        if (const JsonValue *counters = row.find("counters")) {
+            last_counters.clear();
+            for (const auto &[key, v] : counters->asObject())
+                last_counters[key] = v.asNumber();
+        }
+        if (const JsonValue *gauges = row.find("gauges")) {
+            for (const auto &[key, v] : gauges->asObject())
+                gauge_values[key].push_back(v.asNumber());
+        }
+    }
+    std::printf("%s: %zu frame rows\n", path.c_str(), frames);
+
+    TextTable counters_out({"counter", "final (cumulative)"});
+    for (const auto &[key, v] : last_counters)
+        counters_out.addRow({key, formatDouble(v, 0)});
+    counters_out.print();
+
+    if (!gauge_values.empty()) {
+        std::printf("\n");
+        TextTable gauges_out({"gauge", "min", "mean", "max"});
+        for (const auto &[key, values] : gauge_values) {
+            const SeriesSummary s = summarize(values);
+            gauges_out.addRow({key, formatDouble(s.min, 4),
+                               formatDouble(s.mean, 4),
+                               formatDouble(s.max, 4)});
+        }
+        gauges_out.print();
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace mltc;
     CommandLine cli(argc, argv);
+    if (cli.has("metrics"))
+        return summarizeMetrics(cli.getString("metrics", ""));
     if (cli.positional().empty()) {
-        std::printf("usage: report <file.csv> [--ratio colA colB]\n");
+        std::printf("usage: report <file.csv> [--ratio colA colB] | "
+                    "report --metrics <run.jsonl>\n");
         return 1;
     }
 

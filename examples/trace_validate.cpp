@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Chrome trace-event schema validator: asserts a file written with
+ * --trace-out is a well-formed JSON object trace that Perfetto /
+ * chrome://tracing will load. Checked invariants:
+ *
+ *  - the document is an object with a `traceEvents` array;
+ *  - every event has a string `ph` and numeric `pid`/`tid`, and every
+ *    non-metadata event a numeric `ts`;
+ *  - duration events nest: every E matches the innermost open B on its
+ *    (pid, tid), none are left open, and no E closes an empty stack;
+ *  - timestamps are monotonically non-decreasing per thread;
+ *  - counter (C) and instant (i) events carry their required fields.
+ *
+ * Exits 0 and prints event counts when the trace is valid; exits 1
+ * naming the first violated invariant otherwise. Used by the
+ * trace-schema ctest (scripts/validate_trace.sh).
+ */
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mltc;
+    if (argc != 2) {
+        std::printf("usage: trace_validate <trace.json>\n");
+        return 1;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::printf("FAIL: cannot open '%s'\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    JsonValue doc;
+    try {
+        doc = parseJson(buf.str());
+    } catch (const Exception &e) {
+        std::printf("FAIL: not valid JSON: %s\n",
+                    e.error().message.c_str());
+        return 1;
+    }
+    if (!doc.isObject() || !doc.find("traceEvents") ||
+        !doc.at("traceEvents").isArray()) {
+        std::printf("FAIL: no traceEvents array at the top level\n");
+        return 1;
+    }
+
+    // Per-(pid, tid) open B/E stack and last timestamp.
+    std::map<std::pair<double, double>, std::vector<std::string>> open;
+    std::map<std::pair<double, double>, double> last_ts;
+    size_t durations = 0, counters = 0, instants = 0, metadata = 0;
+
+    const auto &events = doc.at("traceEvents").asArray();
+    for (size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &ev = events[i];
+        auto fail = [&](const std::string &why) {
+            std::printf("FAIL: event %zu: %s\n", i, why.c_str());
+            return 1;
+        };
+        if (!ev.isObject())
+            return fail("not an object");
+        const JsonValue *ph = ev.find("ph");
+        if (!ph || !ph->isString())
+            return fail("missing string 'ph'");
+        const JsonValue *pid = ev.find("pid");
+        const JsonValue *tid = ev.find("tid");
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            return fail("missing numeric 'pid'/'tid'");
+        const std::string &phase = ph->asString();
+
+        if (phase == "M") {
+            ++metadata;
+            continue; // metadata carries no timestamp
+        }
+        const JsonValue *ts = ev.find("ts");
+        if (!ts || !ts->isNumber())
+            return fail("missing numeric 'ts'");
+        const auto thread =
+            std::make_pair(pid->asNumber(), tid->asNumber());
+        const auto it = last_ts.find(thread);
+        if (it != last_ts.end() && ts->asNumber() < it->second)
+            return fail("timestamp decreases on its thread");
+        last_ts[thread] = ts->asNumber();
+
+        const JsonValue *name = ev.find("name");
+        if (phase == "B") {
+            if (!name || !name->isString())
+                return fail("B event without a string 'name'");
+            open[thread].push_back(name->asString());
+            ++durations;
+        } else if (phase == "E") {
+            auto &stack = open[thread];
+            if (stack.empty())
+                return fail("E event with no open B on its thread");
+            stack.pop_back();
+        } else if (phase == "C") {
+            const JsonValue *args = ev.find("args");
+            if (!name || !name->isString())
+                return fail("C event without a string 'name'");
+            if (!args || !args->isObject() || args->asObject().empty())
+                return fail("C event without a non-empty args object");
+            for (const auto &[series, v] : args->asObject())
+                if (!v.isNumber())
+                    return fail("C series '" + series + "' not numeric");
+            ++counters;
+        } else if (phase == "i") {
+            if (!name || !name->isString())
+                return fail("i event without a string 'name'");
+            ++instants;
+        } else {
+            return fail("unknown phase '" + phase + "'");
+        }
+    }
+
+    for (const auto &[thread, stack] : open)
+        if (!stack.empty()) {
+            std::printf("FAIL: scope '%s' left open at end of trace\n",
+                        stack.back().c_str());
+            return 1;
+        }
+
+    std::printf("OK: %zu events (%zu B/E pairs, %zu counters, "
+                "%zu instants, %zu metadata)\n",
+                events.size(), durations, counters, instants, metadata);
+    return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# End-to-end observability proof: run a short cache_explorer sweep with
+# every observability output enabled, then require
+#
+#  - the Chrome trace to pass the full trace_validate schema check
+#    (balanced B/E pairs, per-thread monotonic timestamps, typed
+#    counter/instant events);
+#  - the metrics JSONL to contain one parseable frame row per frame,
+#    carrying the per-frame L1/L2/TLB counters and the 3C miss-class
+#    breakdown;
+#  - report --metrics to summarise that stream successfully.
+#
+# Usage: scripts/validate_trace.sh <cache_explorer> <trace_validate> <report>
+# Registered as the ctest case `trace_schema_script`.
+set -eu
+
+EXPLORER="$1"
+VALIDATE="$2"
+REPORT="$3"
+FRAMES="${MLTC_FRAMES:-4}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mltc_trace.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+echo "== sweep with observability enabled =="
+"$EXPLORER" --sweep l2 --workload village --frames "$FRAMES" \
+    --trace-out "$WORK/run.json" --metrics-out "$WORK/run.jsonl" \
+    --miss-classes >/dev/null
+
+echo "== trace schema =="
+"$VALIDATE" "$WORK/run.json"
+
+echo "== metrics JSONL =="
+rows="$(grep -c '"frame":' "$WORK/run.jsonl")"
+if [ "$rows" -ne "$FRAMES" ]; then
+    echo "FAIL: expected $FRAMES frame rows, found $rows"
+    exit 1
+fi
+for key in '"l1.miss{sim=' '"l2.full_miss{sim=' '"tlb.probe{sim=' \
+           '"l1.miss.class{class=compulsory' \
+           '"l2.miss.class{class=conflict'; do
+    if ! grep -q "$key" "$WORK/run.jsonl"; then
+        echo "FAIL: metrics rows missing $key"
+        exit 1
+    fi
+done
+
+echo "== report --metrics =="
+"$REPORT" --metrics "$WORK/run.jsonl" >/dev/null
+
+echo "OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace_event.hpp"
 #include "util/error.hpp"
 
 namespace mltc {
@@ -24,6 +25,12 @@ CacheFrameStats::add(const CacheFrameStats &o)
     host_failures += o.host_failures;
     degraded_accesses += o.degraded_accesses;
     degraded_mip_bias += o.degraded_mip_bias;
+    l1_compulsory += o.l1_compulsory;
+    l1_capacity += o.l1_capacity;
+    l1_conflict += o.l1_conflict;
+    l2_compulsory += o.l2_compulsory;
+    l2_capacity += o.l2_capacity;
+    l2_conflict += o.l2_conflict;
 }
 
 CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
@@ -43,6 +50,13 @@ CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
         faulty_ = backend.get();
         host_ = std::make_unique<HostFetchPath>(std::move(backend),
                                                 cfg_.host.retry);
+    }
+    if (cfg_.classify_misses) {
+        // Shadow capacities are the real caches' capacities in their
+        // allocation units: L1 lines, L2 blocks.
+        l1_class_ = std::make_unique<MissClassifier>(cfg_.l1.lines());
+        if (cfg_.l2_enabled)
+            l2_class_ = std::make_unique<MissClassifier>(cfg_.l2.blocks());
     }
     l1_shift_ = log2u(cfg_.l1.l1_tile);
 }
@@ -74,6 +88,15 @@ CacheSim::bindTexture(TextureId tid)
 void
 CacheSim::access(uint32_t x, uint32_t y, uint32_t mip)
 {
+    // The SelfTimer scope lives only on the traced branch: its
+    // destructor would otherwise force cleanup codegen onto the
+    // untraced hot path (measured ~3 ns/access).
+    if (globalTracer() != nullptr) [[unlikely]] {
+        SelfTimer timer(&access_ns_);
+        ++frame_.accesses;
+        handleTexel(x, y, mip);
+        return;
+    }
     ++frame_.accesses;
     handleTexel(x, y, mip);
 }
@@ -81,6 +104,18 @@ CacheSim::access(uint32_t x, uint32_t y, uint32_t mip)
 void
 CacheSim::accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
                      uint32_t mip)
+{
+    if (globalTracer() != nullptr) [[unlikely]] {
+        SelfTimer timer(&access_ns_);
+        quadImpl(x0, y0, x1, y1, mip);
+        return;
+    }
+    quadImpl(x0, y0, x1, y1, mip);
+}
+
+void
+CacheSim::quadImpl(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                   uint32_t mip)
 {
     frame_.accesses += 4;
     // The bilinear footprint spans at most 2x2 L1 tiles, and usually
@@ -114,7 +149,22 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
     if (tile == last_tile_)
         return;
     const uint64_t key = l1_layout_->blockKeyOf(bound_, x, y, mip);
-    if (l1_.lookup(key)) {
+    const bool l1_hit = l1_.lookup(key);
+    if (l1_class_) {
+        // The classifier sees the same post-coalescing stream the real
+        // L1 sees; a miss is attributed the L1 fill traffic it causes.
+        const auto c = l1_class_->access(key, key, l1_hit, bound_, mip,
+                                         l2_ ? cfg_.l1.lineBytes()
+                                             : host_sector_bytes_);
+        if (c) {
+            switch (*c) {
+              case MissClass::Compulsory: ++frame_.l1_compulsory; break;
+              case MissClass::Capacity: ++frame_.l1_capacity; break;
+              case MissClass::Conflict: ++frame_.l1_conflict; break;
+            }
+        }
+    }
+    if (l1_hit) {
         last_tile_ = tile;
         return; // step B: L1 hit
     }
@@ -155,7 +205,8 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
         return;
     }
 
-    switch (l2_->access(t_index, vb.l1_sub, host_sector_bytes_)) {
+    const L2Result res = l2_->access(t_index, vb.l1_sub, host_sector_bytes_);
+    switch (res) {
       case L2Result::FullHit:
         ++frame_.l2_full_hits;
         frame_.l2_read_bytes += cfg_.l1.lineBytes();
@@ -173,6 +224,26 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
                                            l2_->lastVictimSteps());
         break;
     }
+    if (l2_class_) {
+        // Sector-granular classification over a block-granular shadow:
+        // the unit of "seen" is the (block, sector) pair, while the
+        // fully-associative LRU shadows whole blocks (the allocation
+        // unit), so conflict = a clock-vs-LRU replacement loss.
+        const uint64_t sector_key =
+            (static_cast<uint64_t>(t_index) << 16) | vb.l1_sub;
+        const bool full_hit = res == L2Result::FullHit;
+        const auto c = l2_class_->access(
+            sector_key, t_index, full_hit, bound_, mip,
+            full_hit ? 0
+                     : host_sector_bytes_ * l2_->lastDownloadSectors());
+        if (c) {
+            switch (*c) {
+              case MissClass::Compulsory: ++frame_.l2_compulsory; break;
+              case MissClass::Capacity: ++frame_.l2_capacity; break;
+              case MissClass::Conflict: ++frame_.l2_conflict; break;
+            }
+        }
+    }
 
     // Step F downloads into L1 in parallel with L2.
     l1_.fill(key);
@@ -188,6 +259,13 @@ CacheSim::fetchFromHost(uint32_t t_index)
     frame_.host_bytes += host_sector_bytes_ * r.corrupt_transfers;
     if (!r.success)
         ++frame_.host_failures;
+    if (ChromeTraceWriter *t = globalTracer()) {
+        // Rare occurrences only — a healthy fetch emits nothing.
+        if (!r.success)
+            t->instant("host.fetch.failed", "host");
+        else if (r.retries)
+            t->instant("host.fetch.retried", "host");
+    }
     return r.success;
 }
 
@@ -253,6 +331,12 @@ CacheFrameStats::save(SnapshotWriter &w) const
     w.u64(host_failures);
     w.u64(degraded_accesses);
     w.u64(degraded_mip_bias);
+    w.u64(l1_compulsory);
+    w.u64(l1_capacity);
+    w.u64(l1_conflict);
+    w.u64(l2_compulsory);
+    w.u64(l2_capacity);
+    w.u64(l2_conflict);
 }
 
 void
@@ -272,6 +356,12 @@ CacheFrameStats::load(SnapshotReader &r)
     host_failures = r.u64();
     degraded_accesses = r.u64();
     degraded_mip_bias = r.u64();
+    l1_compulsory = r.u64();
+    l1_capacity = r.u64();
+    l1_conflict = r.u64();
+    l2_compulsory = r.u64();
+    l2_capacity = r.u64();
+    l2_conflict = r.u64();
 }
 
 namespace {
@@ -292,6 +382,8 @@ CacheSim::save(SnapshotWriter &w) const
         flags |= 2u;
     if (host_)
         flags |= 4u;
+    if (l1_class_)
+        flags |= 8u;
     w.u8(flags);
     l1_.save(w);
     if (l2_)
@@ -301,6 +393,11 @@ CacheSim::save(SnapshotWriter &w) const
     if (host_) {
         host_->save(w);
         faulty_->injector().save(w);
+    }
+    if (l1_class_) {
+        l1_class_->save(w);
+        if (l2_class_)
+            l2_class_->save(w);
     }
     w.u32(bound_);
     w.u64(last_tile_);
@@ -320,6 +417,8 @@ CacheSim::load(SnapshotReader &r)
         expect |= 2u;
     if (host_)
         expect |= 4u;
+    if (l1_class_)
+        expect |= 8u;
     const uint8_t flags = r.u8();
     if (flags != expect)
         throw Exception(ErrorCode::VersionMismatch,
@@ -336,6 +435,11 @@ CacheSim::load(SnapshotReader &r)
     if (host_) {
         host_->load(r);
         faulty_->injector().load(r);
+    }
+    if (l1_class_) {
+        l1_class_->load(r);
+        if (l2_class_)
+            l2_class_->load(r);
     }
     const TextureId bound = r.u32();
     const uint64_t last_tile = r.u64();

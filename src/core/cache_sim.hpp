@@ -23,6 +23,7 @@
 #include "core/l2_cache.hpp"
 #include "core/texture_tlb.hpp"
 #include "host/host_backend.hpp"
+#include "obs/miss_classify.hpp"
 #include "raster/access_sink.hpp"
 #include "texture/texture_manager.hpp"
 
@@ -35,6 +36,13 @@ struct CacheSimConfig
     bool l2_enabled = true;
     L2Config l2;
     uint32_t tlb_entries = 0; ///< 0 disables TLB modelling
+    /**
+     * Run 3C (compulsory/capacity/conflict) miss classification beside
+     * the real caches (--miss-classes). The shadow models are simulator
+     * state: they are serialized in checkpoints and never perturb the
+     * real caches, so every seed counter stays bit-identical.
+     */
+    bool classify_misses = false;
     /**
      * Host download path robustness model. With fault_injection off
      * (the default) downloads are the seed's infallible byte counter
@@ -93,6 +101,16 @@ struct CacheFrameStats
      */
     uint64_t degraded_accesses = 0;
     uint64_t degraded_mip_bias = 0; ///< sum of (fallback mip - wanted mip)
+
+    // 3C miss-class deltas (all zero unless classify_misses is set).
+    // L1 classes partition l1_misses; L2 classes partition the sector
+    // misses (l2_partial_hits + l2_full_misses) that reached the L2.
+    uint64_t l1_compulsory = 0;
+    uint64_t l1_capacity = 0;
+    uint64_t l1_conflict = 0;
+    uint64_t l2_compulsory = 0;
+    uint64_t l2_capacity = 0;
+    uint64_t l2_conflict = 0;
 
     double
     l1HitRate() const
@@ -199,6 +217,25 @@ class CacheSim final : public TexelAccessSink
     /** The host fetch path, present only under fault injection. */
     const HostFetchPath *hostPath() const { return host_.get(); }
 
+    /** L1 3C classifier, present only with classify_misses. */
+    const MissClassifier *l1Classifier() const { return l1_class_.get(); }
+
+    /** L2 3C classifier, present with classify_misses + an L2. */
+    const MissClassifier *l2Classifier() const { return l2_class_.get(); }
+
+    /**
+     * Harvest (and reset) wall time accumulated inside the texel access
+     * path while a global tracer was installed. Observability-derived,
+     * not simulator state: never serialized.
+     */
+    uint64_t
+    takeAccessNs()
+    {
+        const uint64_t ns = access_ns_;
+        access_ns_ = 0;
+        return ns;
+    }
+
     /**
      * The fault injector, present only under fault injection. Non-const
      * so benches/tests can reconfigure the scenario mid-run.
@@ -236,6 +273,10 @@ class CacheSim final : public TexelAccessSink
     /** Service one texel reference (shared by access/accessQuad). */
     void handleTexel(uint32_t x, uint32_t y, uint32_t mip);
 
+    /** accessQuad body, shared by the traced and untraced branches. */
+    void quadImpl(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                  uint32_t mip);
+
     /**
      * Issue one host sector download through the fallible path,
      * accounting retries and wasted (corrupt) bus traffic.
@@ -259,6 +300,9 @@ class CacheSim final : public TexelAccessSink
     std::unique_ptr<TextureTlb> tlb_;
     std::unique_ptr<HostFetchPath> host_; ///< null = infallible host
     FaultyHostBackend *faulty_ = nullptr;  ///< owned by host_
+    std::unique_ptr<MissClassifier> l1_class_; ///< null unless classifying
+    std::unique_ptr<MissClassifier> l2_class_; ///< null unless L2 + classify
+    uint64_t access_ns_ = 0; ///< SelfTimer accumulator (tracing only)
 
     // Per-bound-texture cached state (hot path).
     const TiledLayout *l1_layout_ = nullptr;

@@ -116,6 +116,7 @@ L2TextureCache::access(uint32_t t_index, uint32_t l1_sub,
         stats_.victim_steps += steps;
         if (steps > stats_.victim_steps_max)
             stats_.victim_steps_max = steps;
+        victim_hist_.add(steps);
         uint32_t old_owner = brl_owner_[phys];
         if (old_owner != 0) {
             // Notify the victim: clear the virtual block's ownership.
@@ -235,6 +236,7 @@ L2TextureCache::save(SnapshotWriter &w) const
     w.u32(stats_.victim_steps_max);
     w.u64(stats_.prefetch_sectors);
     w.u64(stats_.prefetch_useful);
+    victim_hist_.save(w);
 }
 
 void
@@ -302,6 +304,7 @@ L2TextureCache::load(SnapshotReader &r)
     stats_.victim_steps_max = r.u32();
     stats_.prefetch_sectors = r.u64();
     stats_.prefetch_useful = r.u64();
+    victim_hist_.load(r);
 }
 
 } // namespace mltc

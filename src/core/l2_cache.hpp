@@ -23,6 +23,7 @@
 
 #include "core/replacement.hpp"
 #include "texture/texture_manager.hpp"
+#include "util/histogram.hpp"
 
 namespace mltc {
 
@@ -149,7 +150,19 @@ class L2TextureCache
 
     const L2Stats &stats() const { return stats_; }
 
-    void clearStats() { stats_ = {}; }
+    /**
+     * Distribution of clock victim-search lengths, one sample per
+     * eviction search (§5.3 replacement behaviour). Serialized with the
+     * cache so resumed distributions match straight runs.
+     */
+    const Histogram &victimStepsHistogram() const { return victim_hist_; }
+
+    void
+    clearStats()
+    {
+        stats_ = {};
+        victim_hist_.clear();
+    }
 
     /** Drop all cached blocks and reset replacement state. */
     void reset();
@@ -190,6 +203,7 @@ class L2TextureCache
     uint32_t last_victim_steps_ = 0;
     uint32_t last_download_sectors_ = 0;
     L2Stats stats_;
+    Histogram victim_hist_{256}; ///< clock scan lengths, per eviction
 };
 
 } // namespace mltc

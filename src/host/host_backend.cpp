@@ -55,6 +55,7 @@ HostFetchPath::fetch(const HostRequest &request)
             r.retries = r.attempts - 1;
             stats_.retries += r.retries;
             stats_.elapsed_us += r.elapsed_us;
+            latency_hist_.add(r.elapsed_us);
             return r;
         }
         // Failed attempt: back off before the next one, unless the
@@ -68,6 +69,7 @@ HostFetchPath::fetch(const HostRequest &request)
     r.retries = r.attempts ? r.attempts - 1 : 0;
     stats_.retries += r.retries;
     stats_.elapsed_us += r.elapsed_us;
+    latency_hist_.add(r.elapsed_us);
     ++stats_.failures;
     r.error = {ErrorCode::RetryExhausted,
                "host fetch failed after " + std::to_string(r.attempts) +
@@ -90,6 +92,7 @@ HostFetchPath::save(SnapshotWriter &w) const
     w.u64(stats_.timeouts);
     w.u64(stats_.failures);
     w.u64(stats_.elapsed_us);
+    latency_hist_.save(w);
 }
 
 void
@@ -102,6 +105,7 @@ HostFetchPath::load(SnapshotReader &r)
     stats_.timeouts = r.u64();
     stats_.failures = r.u64();
     stats_.elapsed_us = r.u64();
+    latency_hist_.load(r);
 }
 
 } // namespace mltc

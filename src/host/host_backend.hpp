@@ -20,6 +20,7 @@
 #include "host/fault_injector.hpp"
 #include "host/retry_policy.hpp"
 #include "util/error.hpp"
+#include "util/histogram.hpp"
 
 namespace mltc {
 
@@ -152,6 +153,13 @@ class HostFetchPath
     const RetryPolicy &policy() const { return policy_; }
     const HostPathStats &stats() const { return stats_; }
 
+    /**
+     * Distribution of per-fetch simulated latency (transfer + backoff
+     * µs, one sample per fetch, failures included). Serialized with the
+     * path so resumed distributions match straight runs.
+     */
+    const Histogram &latencyHistogram() const { return latency_hist_; }
+
     /** Serialize the cumulative fetch-path counters. */
     void save(SnapshotWriter &w) const;
 
@@ -162,6 +170,7 @@ class HostFetchPath
     std::unique_ptr<HostMemoryBackend> backend_;
     RetryPolicy policy_;
     HostPathStats stats_;
+    Histogram latency_hist_{4096}; ///< per-fetch simulated µs
 };
 
 } // namespace mltc

@@ -1,0 +1,146 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+std::string
+metricKey(const std::string &name, const MetricLabels &labels)
+{
+    if (labels.empty())
+        return name;
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 1; i < sorted.size(); ++i)
+        if (sorted[i].first == sorted[i - 1].first)
+            throw Exception(ErrorCode::BadArgument,
+                            "metricKey: duplicate label '" +
+                                sorted[i].first + "' on metric '" + name +
+                                "'");
+    std::string key = name + '{';
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i)
+            key += ',';
+        key += sorted[i].first;
+        key += '=';
+        key += sorted[i].second;
+    }
+    key += '}';
+    return key;
+}
+
+MetricsRegistry::Entry *
+MetricsRegistry::resolve(const std::string &name, const MetricLabels &labels,
+                         MetricKind kind)
+{
+    if (!enabled_)
+        return nullptr;
+    const std::string key = metricKey(name, labels);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        if (it->second.kind != kind)
+            throw Exception(ErrorCode::BadArgument,
+                            "MetricsRegistry: metric '" + key +
+                                "' re-registered as a different kind");
+        return &it->second;
+    }
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::Counter:
+        e.index = counters_.size();
+        counters_.push_back(0);
+        break;
+      case MetricKind::Gauge:
+        e.index = gauges_.size();
+        gauges_.push_back(0.0);
+        break;
+      case MetricKind::Histogram:
+        // Caller sizes the histogram in histogram(); placeholder here.
+        e.index = histograms_.size();
+        break;
+    }
+    return &entries_.emplace(key, e).first->second;
+}
+
+CounterHandle
+MetricsRegistry::counter(const std::string &name, const MetricLabels &labels)
+{
+    Entry *e = resolve(name, labels, MetricKind::Counter);
+    return e ? CounterHandle(&counters_[e->index]) : CounterHandle();
+}
+
+GaugeHandle
+MetricsRegistry::gauge(const std::string &name, const MetricLabels &labels)
+{
+    Entry *e = resolve(name, labels, MetricKind::Gauge);
+    return e ? GaugeHandle(&gauges_[e->index]) : GaugeHandle();
+}
+
+HistogramHandle
+MetricsRegistry::histogram(const std::string &name,
+                           const MetricLabels &labels, uint32_t max_value)
+{
+    if (!enabled_)
+        return HistogramHandle();
+    const size_t before = histograms_.size();
+    Entry *e = resolve(name, labels, MetricKind::Histogram);
+    if (histograms_.size() == before && e->index == before)
+        histograms_.emplace_back(max_value); // first registration
+    return HistogramHandle(&histograms_[e->index]);
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.kind != MetricKind::Counter)
+        return 0;
+    return counters_[it->second.index];
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &key) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.kind != MetricKind::Gauge)
+        return 0.0;
+    return gauges_[it->second.index];
+}
+
+std::string
+MetricsRegistry::frameSnapshotJson(int64_t frame) const
+{
+    JsonWriter w;
+    w.beginObject().kv("frame", frame);
+    // entries_ is an ordered map, so each section lists keys sorted.
+    w.key("counters").beginObject();
+    for (const auto &[key, e] : entries_)
+        if (e.kind == MetricKind::Counter)
+            w.kv(key, counters_[e.index]);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[key, e] : entries_)
+        if (e.kind == MetricKind::Gauge)
+            w.kv(key, gauges_[e.index]);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[key, e] : entries_) {
+        if (e.kind != MetricKind::Histogram)
+            continue;
+        w.key(key);
+        histograms_[e.index].writeJson(w);
+    }
+    w.endObject().endObject();
+    return w.str();
+}
+
+void
+MetricsRegistry::writeFrameSnapshot(JsonlFileSink &sink, int64_t frame) const
+{
+    sink.writeLine(frameSnapshotJson(frame));
+}
+
+} // namespace mltc

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and histograms with
+ * hierarchical dotted names and sorted key=value labels, e.g.
+ *
+ *     l2.miss{class=capacity,sim=4 MB L2}
+ *     l2.miss.tex{level=2,sim=4 MB L2,tex=5}
+ *
+ * The registry exists in one of two modes, decided at construction:
+ *
+ *  - enabled: handles point at registry-owned storage; updates are a
+ *    pointer write. The whole registry snapshots to one JSONL row per
+ *    frame (cumulative values — consumers diff adjacent rows for
+ *    per-frame deltas).
+ *  - disabled: every handle is null and every operation is a single
+ *    predictable branch. No allocation, no hashing, no I/O — the mode
+ *    the perf acceptance gate (<5% on perf_microbench) measures.
+ *
+ * Metric values are *derived* state: they are recomputed from simulator
+ * counters at every frame boundary, never fed back into the simulation,
+ * so attaching or detaching the registry can never perturb
+ * checkpoint/resume bit-equivalence (see docs/observability.md).
+ */
+#ifndef MLTC_OBS_METRICS_HPP
+#define MLTC_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace mltc {
+
+/** One metric label; sets of labels are sorted by key when rendered. */
+using MetricLabel = std::pair<std::string, std::string>;
+using MetricLabels = std::vector<MetricLabel>;
+
+/**
+ * Canonical metric key: `name` or `name{k1=v1,k2=v2}` with labels
+ * sorted by key. Duplicate label keys throw (BadArgument) — a metric
+ * with two `tex=` labels is a caller bug worth failing loudly on.
+ */
+std::string metricKey(const std::string &name, const MetricLabels &labels);
+
+/** Monotonic counter handle; null (disabled) handles are no-ops. */
+class CounterHandle
+{
+  public:
+    CounterHandle() = default;
+    explicit CounterHandle(uint64_t *v) : v_(v) {}
+
+    void
+    inc(uint64_t n = 1)
+    {
+        if (v_)
+            *v_ += n;
+    }
+
+    /** Overwrite with a cumulative value computed elsewhere. */
+    void
+    set(uint64_t value)
+    {
+        if (v_)
+            *v_ = value;
+    }
+
+    uint64_t value() const { return v_ ? *v_ : 0; }
+    explicit operator bool() const { return v_ != nullptr; }
+
+  private:
+    uint64_t *v_ = nullptr;
+};
+
+/** Point-in-time gauge handle; null (disabled) handles are no-ops. */
+class GaugeHandle
+{
+  public:
+    GaugeHandle() = default;
+    explicit GaugeHandle(double *v) : v_(v) {}
+
+    void
+    set(double value)
+    {
+        if (v_)
+            *v_ = value;
+    }
+
+    double value() const { return v_ ? *v_ : 0.0; }
+    explicit operator bool() const { return v_ != nullptr; }
+
+  private:
+    double *v_ = nullptr;
+};
+
+/** Distribution handle; null (disabled) handles are no-ops. */
+class HistogramHandle
+{
+  public:
+    HistogramHandle() = default;
+    explicit HistogramHandle(Histogram *h) : h_(h) {}
+
+    void
+    observe(uint64_t value)
+    {
+        if (h_)
+            h_->add(value);
+    }
+
+    const Histogram *histogram() const { return h_; }
+    explicit operator bool() const { return h_ != nullptr; }
+
+  private:
+    Histogram *h_ = nullptr;
+};
+
+/** Kind tag for registry introspection. */
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+/**
+ * The registry. Handle acquisition is idempotent: asking twice for the
+ * same canonical key returns a handle onto the same storage (the kind
+ * must match; a kind clash throws BadArgument). Handles stay valid for
+ * the registry's lifetime — storage is deque-backed and never moves.
+ */
+class MetricsRegistry
+{
+  public:
+    explicit MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    bool enabled() const { return enabled_; }
+
+    CounterHandle counter(const std::string &name,
+                          const MetricLabels &labels = {});
+    GaugeHandle gauge(const std::string &name,
+                      const MetricLabels &labels = {});
+    HistogramHandle histogram(const std::string &name,
+                              const MetricLabels &labels = {},
+                              uint32_t max_value = 4096);
+
+    /** Registered metric count (0 while disabled). */
+    size_t size() const { return entries_.size(); }
+
+    /** Value of a counter by canonical key (0 when absent). */
+    uint64_t counterValue(const std::string &key) const;
+
+    /** Value of a gauge by canonical key (0 when absent). */
+    double gaugeValue(const std::string &key) const;
+
+    /**
+     * One JSONL row of every registered metric, cumulative:
+     * {"frame":N,"counters":{...},"gauges":{...},"histograms":{...}}.
+     * Keys appear in sorted order so rows diff cleanly.
+     */
+    std::string frameSnapshotJson(int64_t frame) const;
+
+    /** Append frameSnapshotJson(@p frame) to @p sink. */
+    void writeFrameSnapshot(JsonlFileSink &sink, int64_t frame) const;
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        size_t index; ///< into the per-kind storage deque
+    };
+
+    /** Find-or-create; null when disabled, throws on kind clash. */
+    Entry *resolve(const std::string &name, const MetricLabels &labels,
+                   MetricKind kind);
+
+    bool enabled_;
+    std::map<std::string, Entry> entries_; ///< canonical key -> entry
+    std::deque<uint64_t> counters_;        ///< stable addresses
+    std::deque<double> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_OBS_METRICS_HPP

@@ -1,0 +1,203 @@
+#include "obs/miss_classify.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+const char *
+missClassName(MissClass c)
+{
+    switch (c) {
+      case MissClass::Compulsory: return "compulsory";
+      case MissClass::Capacity: return "capacity";
+      case MissClass::Conflict: return "conflict";
+    }
+    return "?";
+}
+
+bool
+ShadowLru::access(uint64_t key)
+{
+    if (capacity_ == 0)
+        return false;
+    auto it = where_.find(key);
+    if (it != where_.end()) {
+        order_.splice(order_.begin(), order_, it->second);
+        return true;
+    }
+    order_.push_front(key);
+    where_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+        where_.erase(order_.back());
+        order_.pop_back();
+    }
+    return false;
+}
+
+void
+ShadowLru::save(SnapshotWriter &w) const
+{
+    w.u64(capacity_);
+    // MRU-to-LRU order is the state; rebuild the index on load.
+    std::vector<uint64_t> keys(order_.begin(), order_.end());
+    w.u64Vec(keys);
+}
+
+void
+ShadowLru::load(SnapshotReader &r)
+{
+    const uint64_t capacity = r.u64();
+    if (capacity != capacity_)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "ShadowLru: snapshot capacity " +
+                            std::to_string(capacity) +
+                            " does not match configured capacity " +
+                            std::to_string(capacity_));
+    std::vector<uint64_t> keys;
+    r.u64Vec(keys);
+    if (keys.size() > capacity_)
+        throw Exception(ErrorCode::Corrupt,
+                        "ShadowLru: snapshot holds more keys than its "
+                        "capacity");
+    order_.clear();
+    where_.clear();
+    for (uint64_t key : keys) {
+        order_.push_back(key);
+        auto it = std::prev(order_.end());
+        if (!where_.emplace(key, it).second)
+            throw Exception(ErrorCode::Corrupt,
+                            "ShadowLru: duplicate key in snapshot");
+    }
+}
+
+std::optional<MissClass>
+MissClassifier::access(uint64_t unit_key, uint64_t shadow_key, bool real_hit,
+                       uint32_t tex, uint32_t mip, uint64_t miss_bytes)
+{
+    // Both shadow models observe every access, hit or miss, so their
+    // contents depend only on the reference stream — never on the real
+    // cache's outcomes.
+    const bool shadow_hit = shadow_.access(shadow_key);
+    const bool first_touch = seen_.insert(unit_key).second;
+    if (real_hit)
+        return std::nullopt;
+
+    MissClass c;
+    if (first_touch)
+        c = MissClass::Compulsory;
+    else if (shadow_hit)
+        c = MissClass::Conflict;
+    else
+        c = MissClass::Capacity;
+
+    totals_.add(c);
+    Attribution &a = attribution_[{tex, mip}];
+    a.counts.add(c);
+    a.bytes += miss_bytes;
+    return c;
+}
+
+std::vector<MissAttributionRow>
+MissClassifier::attributionRows() const
+{
+    std::vector<MissAttributionRow> rows;
+    rows.reserve(attribution_.size());
+    for (const auto &[key, a] : attribution_)
+        rows.push_back({key.first, key.second, a.counts, a.bytes});
+    return rows;
+}
+
+std::vector<MissAttributionRow>
+MissClassifier::topTexturesByTraffic(size_t n) const
+{
+    std::map<uint32_t, MissAttributionRow> per_tex;
+    for (const auto &[key, a] : attribution_) {
+        MissAttributionRow &row = per_tex[key.first];
+        row.tex = key.first;
+        row.counts.compulsory += a.counts.compulsory;
+        row.counts.capacity += a.counts.capacity;
+        row.counts.conflict += a.counts.conflict;
+        row.bytes += a.bytes;
+    }
+    std::vector<MissAttributionRow> rows;
+    rows.reserve(per_tex.size());
+    for (const auto &[tex, row] : per_tex)
+        rows.push_back(row);
+    std::sort(rows.begin(), rows.end(),
+              [](const MissAttributionRow &a, const MissAttributionRow &b) {
+                  if (a.bytes != b.bytes)
+                      return a.bytes > b.bytes;
+                  if (a.counts.total() != b.counts.total())
+                      return a.counts.total() > b.counts.total();
+                  return a.tex < b.tex;
+              });
+    if (rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+namespace {
+constexpr uint32_t kClassifierTag = snapTag("3CCL");
+} // namespace
+
+void
+MissClassifier::save(SnapshotWriter &w) const
+{
+    w.section(kClassifierTag);
+    shadow_.save(w);
+    // The seen-set is unordered; serialize sorted so identical states
+    // produce identical snapshots.
+    std::vector<uint64_t> seen(seen_.begin(), seen_.end());
+    std::sort(seen.begin(), seen.end());
+    w.u64Vec(seen);
+    w.u64(totals_.compulsory);
+    w.u64(totals_.capacity);
+    w.u64(totals_.conflict);
+    w.u32(static_cast<uint32_t>(attribution_.size()));
+    for (const auto &[key, a] : attribution_) {
+        w.u32(key.first);
+        w.u32(key.second);
+        w.u64(a.counts.compulsory);
+        w.u64(a.counts.capacity);
+        w.u64(a.counts.conflict);
+        w.u64(a.bytes);
+    }
+}
+
+void
+MissClassifier::load(SnapshotReader &r)
+{
+    r.expectSection(kClassifierTag, "MissClassifier");
+    shadow_.load(r);
+    std::vector<uint64_t> seen;
+    r.u64Vec(seen);
+    seen_.clear();
+    seen_.reserve(seen.size());
+    for (uint64_t key : seen)
+        if (!seen_.insert(key).second)
+            throw Exception(ErrorCode::Corrupt,
+                            "MissClassifier: duplicate seen-set key in "
+                            "snapshot");
+    totals_.compulsory = r.u64();
+    totals_.capacity = r.u64();
+    totals_.conflict = r.u64();
+    const uint32_t rows = r.u32();
+    attribution_.clear();
+    for (uint32_t i = 0; i < rows; ++i) {
+        const uint32_t tex = r.u32();
+        const uint32_t mip = r.u32();
+        Attribution a;
+        a.counts.compulsory = r.u64();
+        a.counts.capacity = r.u64();
+        a.counts.conflict = r.u64();
+        a.bytes = r.u64();
+        if (!attribution_.emplace(std::make_pair(tex, mip), a).second)
+            throw Exception(ErrorCode::Corrupt,
+                            "MissClassifier: duplicate attribution row in "
+                            "snapshot");
+    }
+}
+
+} // namespace mltc

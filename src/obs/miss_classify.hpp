@@ -1,0 +1,169 @@
+/**
+ * @file
+ * 3C miss classification (Hill's compulsory / capacity / conflict
+ * taxonomy) with per-texture / per-MIP-level attribution, the lens
+ * Mosaic-style demand attribution gives a memory system: *where* does
+ * miss traffic come from and *what kind* of miss is it.
+ *
+ * Two shadow models run beside the real cache, fed the identical
+ * access stream:
+ *
+ *  - an infinite cache (a seen-set) — a miss on a never-seen unit is
+ *    **compulsory** (cold): no cache of any size avoids it;
+ *  - a fully-associative LRU cache of the real cache's capacity — a
+ *    real miss the shadow *hits* is **conflict** (for the
+ *    set-associative L1: set conflicts; for the fully-associative
+ *    clock-replaced L2: replacement-policy losses vs LRU), and a real
+ *    miss the shadow also misses is **capacity**: the working set
+ *    plainly exceeds the cache.
+ *
+ * The unit key (what "seen" means) and the shadow key (what occupies
+ * LRU capacity) are distinct so the L2 can classify at sector
+ * granularity while shadowing at block granularity (the allocation
+ * unit); for the L1 both are the line key.
+ *
+ * Classifier state is part of simulator state: it is fed from the
+ * access path and serialized in CacheSim checkpoints, so a resumed run
+ * classifies bit-identically to a straight one.
+ */
+#ifndef MLTC_OBS_MISS_CLASSIFY_HPP
+#define MLTC_OBS_MISS_CLASSIFY_HPP
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/serializer.hpp"
+
+namespace mltc {
+
+/** Hill's 3C miss classes. */
+enum class MissClass : uint8_t { Compulsory = 0, Capacity = 1, Conflict = 2 };
+
+/** Stable lowercase name of @p c ("compulsory"/"capacity"/"conflict"). */
+const char *missClassName(MissClass c);
+
+/** Per-class miss counts. */
+struct MissClassCounts
+{
+    uint64_t compulsory = 0;
+    uint64_t capacity = 0;
+    uint64_t conflict = 0;
+
+    uint64_t total() const { return compulsory + capacity + conflict; }
+
+    void
+    add(MissClass c)
+    {
+        switch (c) {
+          case MissClass::Compulsory: ++compulsory; break;
+          case MissClass::Capacity: ++capacity; break;
+          case MissClass::Conflict: ++conflict; break;
+        }
+    }
+};
+
+/** One attribution row: misses charged to a (texture, MIP) pair. */
+struct MissAttributionRow
+{
+    uint32_t tex = 0;
+    uint32_t mip = 0;
+    MissClassCounts counts;
+    uint64_t bytes = 0; ///< host download traffic those misses caused
+};
+
+/**
+ * Fully-associative LRU shadow cache (tags only). Deterministic and
+ * serializable; capacity 0 disables it (every access reports a miss).
+ */
+class ShadowLru
+{
+  public:
+    explicit ShadowLru(uint64_t capacity) : capacity_(capacity) {}
+
+    /** Touch @p key: true on hit; on miss insert + evict LRU. */
+    bool access(uint64_t key);
+
+    uint64_t size() const { return order_.size(); }
+    uint64_t capacity() const { return capacity_; }
+
+    void save(SnapshotWriter &w) const;
+    void load(SnapshotReader &r);
+
+  private:
+    uint64_t capacity_;
+    std::list<uint64_t> order_; ///< front = MRU, back = LRU
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+};
+
+/** The classifier: shadow models + counters + attribution tables. */
+class MissClassifier
+{
+  public:
+    /** @param shadow_capacity real cache capacity in allocation units. */
+    explicit MissClassifier(uint64_t shadow_capacity)
+        : shadow_(shadow_capacity)
+    {
+    }
+
+    /**
+     * Observe one access (hits included — the shadow LRU must see the
+     * full reference stream to stay honest).
+     *
+     * @param unit_key identity of the referenced unit (line / sector)
+     * @param shadow_key identity of its allocation unit in the shadow
+     * @param real_hit whether the real cache hit
+     * @param tex texture id, @param mip MIP level (attribution)
+     * @param miss_bytes host bytes this miss cost (attribution)
+     * @return the class when the real cache missed; nullopt on a hit
+     */
+    std::optional<MissClass> access(uint64_t unit_key, uint64_t shadow_key,
+                                    bool real_hit, uint32_t tex,
+                                    uint32_t mip, uint64_t miss_bytes);
+
+    /** Classified miss totals since construction. */
+    const MissClassCounts &totals() const { return totals_; }
+
+    /** Distinct units ever referenced (the compulsory frontier). */
+    uint64_t unitsSeen() const { return seen_.size(); }
+
+    /** Attribution rows ordered by (tex, mip). */
+    std::vector<MissAttributionRow> attributionRows() const;
+
+    /**
+     * The @p n heaviest textures by attributed miss traffic (bytes,
+     * tie-broken by miss count then id), MIP levels folded together.
+     */
+    std::vector<MissAttributionRow> topTexturesByTraffic(size_t n) const;
+
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) on shadow-capacity
+     *         skew, (Corrupt) on inconsistent content.
+     */
+    void load(SnapshotReader &r);
+
+  private:
+    struct Attribution
+    {
+        MissClassCounts counts;
+        uint64_t bytes = 0;
+    };
+
+    ShadowLru shadow_;
+    std::unordered_set<uint64_t> seen_;
+    MissClassCounts totals_;
+    /** Ordered so iteration (reports, snapshots) is deterministic. */
+    std::map<std::pair<uint32_t, uint32_t>, Attribution> attribution_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_OBS_MISS_CLASSIFY_HPP

@@ -1,0 +1,58 @@
+#include "obs/observability.hpp"
+
+#include "util/log.hpp"
+
+namespace mltc {
+
+ObsConfig
+obsFromCli(const CommandLine &cli)
+{
+    ObsConfig cfg;
+    cfg.metrics_path = cli.getString("metrics-out", "");
+    cfg.trace_path = cli.getString("trace-out", "");
+    cfg.miss_classes = cli.getFlag("miss-classes");
+    cfg.top_textures =
+        static_cast<uint32_t>(cli.getUnsigned("top-textures", 8));
+    return cfg;
+}
+
+Observability::Observability(const ObsConfig &config)
+    : cfg_(config), metrics_(!config.metrics_path.empty())
+{
+    if (!cfg_.metrics_path.empty()) {
+        metrics_sink_ = std::make_unique<JsonlFileSink>(cfg_.metrics_path);
+        // One shared JSONL stream: log rows carry ts/level/msg keys,
+        // metric rows carry frame/counters/... keys.
+        setLogJsonlSink(metrics_sink_.get());
+    }
+    if (!cfg_.trace_path.empty()) {
+        trace_ = std::make_unique<ChromeTraceWriter>(cfg_.trace_path);
+        setGlobalTracer(trace_.get());
+    }
+}
+
+Observability::~Observability()
+{
+    if (metrics_sink_)
+        setLogJsonlSink(nullptr);
+    if (trace_ && globalTracer() == trace_.get())
+        setGlobalTracer(nullptr);
+    // Sinks close themselves best-effort; explicit close() reports I/O
+    // failures as typed errors.
+}
+
+void
+Observability::close()
+{
+    if (trace_) {
+        if (globalTracer() == trace_.get())
+            setGlobalTracer(nullptr);
+        trace_->close();
+    }
+    if (metrics_sink_) {
+        setLogJsonlSink(nullptr);
+        metrics_sink_->close();
+    }
+}
+
+} // namespace mltc

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The per-run observability bundle and its shared command-line flags.
+ *
+ * Every example and bench driver exposes the same three knobs:
+ *
+ *   --metrics-out=PATH   per-frame metrics registry snapshots (JSONL)
+ *   --trace-out=PATH     Chrome trace-event / Perfetto timeline (JSON)
+ *   --miss-classes       3C miss classification + attribution tables
+ *   --top-textures=N     rows in the top-textures summary (default 8)
+ *
+ * Observability owns the registry, the trace writer and the JSONL
+ * sinks, installs itself as the process-global tracer for its
+ * lifetime, and mirrors the structured log stream into the metrics
+ * JSONL file (one shared sink, rows distinguished by their keys).
+ * Attach it to a MultiConfigRunner with setObservability(); call
+ * close() before reading the output files.
+ */
+#ifndef MLTC_OBS_OBSERVABILITY_HPP
+#define MLTC_OBS_OBSERVABILITY_HPP
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+#include "util/cli.hpp"
+
+namespace mltc {
+
+/** Parsed observability knobs. */
+struct ObsConfig
+{
+    std::string metrics_path; ///< empty = metrics registry disabled
+    std::string trace_path;   ///< empty = tracing disabled
+    bool miss_classes = false;
+    uint32_t top_textures = 8;
+
+    bool
+    anyEnabled() const
+    {
+        return !metrics_path.empty() || !trace_path.empty() || miss_classes;
+    }
+};
+
+/**
+ * Read the shared observability flags.
+ * @throws mltc::Exception (BadArgument) on malformed values.
+ */
+ObsConfig obsFromCli(const CommandLine &cli);
+
+/** Owns the run's metric/trace state; see file comment. */
+class Observability
+{
+  public:
+    explicit Observability(const ObsConfig &config);
+
+    /** Uninstalls the global tracer; best-effort close. */
+    ~Observability();
+
+    Observability(const Observability &) = delete;
+    Observability &operator=(const Observability &) = delete;
+
+    const ObsConfig &config() const { return cfg_; }
+
+    /** Always valid; disabled (null handles) without --metrics-out. */
+    MetricsRegistry &metrics() { return metrics_; }
+
+    /** Null without --trace-out. */
+    ChromeTraceWriter *trace() { return trace_.get(); }
+
+    /** Null without --metrics-out. */
+    JsonlFileSink *metricsSink() { return metrics_sink_.get(); }
+
+    /**
+     * Flush and close every sink.
+     * @throws mltc::Exception (Io) when any output file failed.
+     */
+    void close();
+
+  private:
+    ObsConfig cfg_;
+    MetricsRegistry metrics_;
+    std::unique_ptr<JsonlFileSink> metrics_sink_;
+    std::unique_ptr<ChromeTraceWriter> trace_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_OBS_OBSERVABILITY_HPP

@@ -1,0 +1,196 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mltc {
+
+void
+setGlobalTracer(ChromeTraceWriter *tracer)
+{
+    detail::g_tracer = tracer;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+    : path_(path), t0_(std::chrono::steady_clock::now())
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw Exception(ErrorCode::Io,
+                        "ChromeTraceWriter: cannot open '" + path + "'");
+    if (std::fputs("{\"traceEvents\":[", file_) == EOF)
+        failed_ = true;
+    // Process/thread metadata so Perfetto shows meaningful track names.
+    if (std::fputs("\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+                   "\"name\":\"process_name\","
+                   "\"args\":{\"name\":\"mltc\"}},"
+                   "\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+                   "\"name\":\"thread_name\","
+                   "\"args\":{\"name\":\"simulation\"}}",
+                   file_) == EOF)
+        failed_ = true;
+    first_ = false; // metadata already needs comma separation
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    if (file_) {
+        try {
+            close();
+        } catch (...) {
+            // Destructor must not throw; close() explicitly to observe
+            // write failures.
+        }
+    }
+}
+
+uint64_t
+ChromeTraceWriter::nowUs()
+{
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    // Clamp for monotonicity: the schema requires non-decreasing ts.
+    last_ts_ = std::max(last_ts_, static_cast<uint64_t>(us));
+    return last_ts_;
+}
+
+void
+ChromeTraceWriter::emitPrefix(char ph, uint64_t ts)
+{
+    if (!file_)
+        return;
+    if (std::fprintf(file_, "%s\n{\"ph\":\"%c\",\"pid\":1,\"tid\":1,"
+                            "\"ts\":%" PRIu64,
+                     first_ ? "" : ",", ph, ts) < 0)
+        failed_ = true;
+    first_ = false;
+}
+
+void
+ChromeTraceWriter::emitCommon(const std::string &name, const char *cat)
+{
+    if (!file_)
+        return;
+    if (std::fprintf(file_, ",\"name\":\"%s\",\"cat\":\"%s\"",
+                     jsonEscape(name).c_str(), cat) < 0)
+        failed_ = true;
+}
+
+void
+ChromeTraceWriter::finishEvent()
+{
+    if (!file_)
+        return;
+    if (std::fputc('}', file_) == EOF)
+        failed_ = true;
+    ++events_;
+}
+
+void
+ChromeTraceWriter::begin(const std::string &name, const char *cat)
+{
+    const uint64_t ts = nowUs();
+    emitPrefix('B', ts);
+    emitCommon(name, cat);
+    finishEvent();
+    stack_.push_back({name, ts, 0});
+}
+
+void
+ChromeTraceWriter::end()
+{
+    if (stack_.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "ChromeTraceWriter: end() without a matching begin()");
+    const uint64_t ts = nowUs();
+    Scope scope = std::move(stack_.back());
+    stack_.pop_back();
+    emitPrefix('E', ts);
+    finishEvent();
+
+    const uint64_t inclusive = ts - scope.start_us;
+    StageStat &stat = stages_[scope.name];
+    stat.name = scope.name;
+    ++stat.count;
+    stat.total_us += inclusive;
+    stat.self_us += inclusive - std::min(scope.child_us, inclusive);
+    if (!stack_.empty())
+        stack_.back().child_us += inclusive;
+}
+
+void
+ChromeTraceWriter::instant(const std::string &name, const char *cat)
+{
+    emitPrefix('i', nowUs());
+    emitCommon(name, cat);
+    if (file_ && std::fputs(",\"s\":\"t\"", file_) == EOF)
+        failed_ = true;
+    finishEvent();
+}
+
+void
+ChromeTraceWriter::counter(
+    const std::string &name,
+    const std::vector<std::pair<std::string, double>> &series)
+{
+    emitPrefix('C', nowUs());
+    emitCommon(name, "metric");
+    if (file_) {
+        JsonWriter args;
+        args.beginObject();
+        for (const auto &[k, v] : series)
+            args.kv(k, v);
+        args.endObject();
+        if (std::fprintf(file_, ",\"args\":%s", args.str().c_str()) < 0)
+            failed_ = true;
+    }
+    finishEvent();
+}
+
+void
+ChromeTraceWriter::recordAggregate(const std::string &name, uint64_t duration_us)
+{
+    StageStat &stat = stages_[name];
+    stat.name = name;
+    ++stat.count;
+    stat.total_us += duration_us;
+    stat.self_us += duration_us;
+}
+
+std::vector<StageStat>
+ChromeTraceWriter::stageStats() const
+{
+    std::vector<StageStat> out;
+    out.reserve(stages_.size());
+    for (const auto &[name, stat] : stages_)
+        out.push_back(stat);
+    std::sort(out.begin(), out.end(),
+              [](const StageStat &a, const StageStat &b) {
+                  return a.total_us > b.total_us;
+              });
+    return out;
+}
+
+void
+ChromeTraceWriter::close()
+{
+    if (!file_)
+        return;
+    while (!stack_.empty())
+        end(); // a truncated run still yields matched B/E pairs
+    if (std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", file_) == EOF)
+        failed_ = true;
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (detail::g_tracer == this)
+        detail::g_tracer = nullptr;
+    if (rc != 0 || failed_)
+        throw Exception(ErrorCode::Io,
+                        "ChromeTraceWriter: write failure on '" + path_ + "'");
+}
+
+} // namespace mltc

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto-loadable timeline emission.
+ *
+ * ChromeTraceWriter streams a JSON object trace file
+ * (`{"traceEvents":[...],"displayTimeUnit":"ms"}`) whose events follow
+ * the Chrome Trace Event Format:
+ *
+ *  - duration events (ph B/E) from ScopedTrace profiling scopes,
+ *    strictly nested per thread id, with non-decreasing timestamps;
+ *  - counter events (ph C) for per-frame tracks (miss rates, AGP
+ *    bandwidth);
+ *  - instant events (ph i) for notable occurrences (checkpoint
+ *    committed, simulator quarantined, host fetch failed);
+ *  - metadata events (ph M) naming the process and threads.
+ *
+ * Load the file in Perfetto (ui.perfetto.dev) or chrome://tracing; see
+ * docs/observability.md for the walkthrough.
+ *
+ * A process-global tracer pointer lets hot paths (rasterizer, sampler,
+ * CacheSim, host fetch) instrument themselves without plumbing a
+ * writer through every constructor: when no tracer is installed every
+ * hook is one null-check. The simulator is single-threaded; the global
+ * is not synchronized.
+ *
+ * The writer also aggregates per-stage totals (count, total wall time,
+ * self time excluding children) from its scopes so drivers can print a
+ * stage self-time summary without re-parsing the file.
+ */
+#ifndef MLTC_OBS_TRACE_EVENT_HPP
+#define MLTC_OBS_TRACE_EVENT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mltc {
+
+/** Aggregated wall-time of one named stage across the run. */
+struct StageStat
+{
+    std::string name;
+    uint64_t count = 0;    ///< times the scope ran
+    uint64_t total_us = 0; ///< inclusive wall time
+    uint64_t self_us = 0;  ///< total minus enclosed child scopes
+};
+
+/** Streams one Chrome trace file. Single-threaded use only. */
+class ChromeTraceWriter
+{
+  public:
+    /**
+     * Open (truncate) @p path and write the prologue + process
+     * metadata.
+     * @throws mltc::Exception (Io) when the file cannot be opened.
+     */
+    explicit ChromeTraceWriter(const std::string &path);
+
+    /** Closes the file (best-effort) if close() was not called. */
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** Microseconds since construction (monotonic, never decreasing). */
+    uint64_t nowUs();
+
+    /** Open a duration scope (ph B). Pair with end(). */
+    void begin(const std::string &name, const char *cat);
+
+    /** Close the innermost duration scope (ph E). */
+    void end();
+
+    /** Emit an instant event (ph i, thread scope). */
+    void instant(const std::string &name, const char *cat);
+
+    /** Emit one counter sample (ph C): a named track of series. */
+    void counter(const std::string &name,
+                 const std::vector<std::pair<std::string, double>> &series);
+
+    /**
+     * Record wall time measured elsewhere (e.g. accumulated per-call
+     * sampler/CacheSim self time) into the stage aggregates without
+     * emitting a timeline event.
+     */
+    void recordAggregate(const std::string &name, uint64_t duration_us);
+
+    /** Events written so far (excluding metadata). */
+    uint64_t events() const { return events_; }
+
+    /** Open duration scopes (for tests; 0 when balanced). */
+    size_t openScopes() const { return stack_.size(); }
+
+    /** Stage aggregates, most total time first. */
+    std::vector<StageStat> stageStats() const;
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Close any scopes left open, write the epilogue and close the
+     * file.
+     * @throws mltc::Exception (Io) if any write failed — a truncated
+     *         trace must not pass silently as a complete one.
+     */
+    void close();
+
+  private:
+    struct Scope
+    {
+        std::string name;
+        uint64_t start_us = 0;
+        uint64_t child_us = 0;
+    };
+
+    void emitPrefix(char ph, uint64_t ts);
+    void emitCommon(const std::string &name, const char *cat);
+    void finishEvent();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::chrono::steady_clock::time_point t0_;
+    uint64_t last_ts_ = 0;
+    uint64_t events_ = 0;
+    bool first_ = true;
+    bool failed_ = false;
+    std::vector<Scope> stack_;
+    std::map<std::string, StageStat> stages_;
+};
+
+namespace detail {
+/** The process-global tracer slot; use globalTracer()/setGlobalTracer. */
+inline ChromeTraceWriter *g_tracer = nullptr;
+} // namespace detail
+
+/** Install @p tracer as the process-global tracer (null to remove). */
+void setGlobalTracer(ChromeTraceWriter *tracer);
+
+/**
+ * The process-global tracer, or null when tracing is disabled. Inline
+ * so hot-path hooks (SelfTimer, per-texel guards) compile down to one
+ * load + branch instead of a cross-TU call.
+ */
+inline ChromeTraceWriter *
+globalTracer()
+{
+    return detail::g_tracer;
+}
+
+/** RAII duration scope against the global tracer; no-op when absent. */
+class ScopedTrace
+{
+  public:
+    ScopedTrace(const char *name, const char *cat) : t_(globalTracer())
+    {
+        if (t_)
+            t_->begin(name, cat);
+    }
+
+    ~ScopedTrace()
+    {
+        if (t_)
+            t_->end();
+    }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    ChromeTraceWriter *t_;
+};
+
+/**
+ * Accumulating timer for hot paths too fine-grained for one trace
+ * event each (per-texel access, per-sample sink dispatch): adds the
+ * scope's wall time to @p accum_ns only while a global tracer is
+ * installed; otherwise construction is a single null-check.
+ */
+class SelfTimer
+{
+  public:
+    explicit SelfTimer(uint64_t *accum_ns)
+        : accum_(globalTracer() ? accum_ns : nullptr)
+    {
+        if (accum_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~SelfTimer()
+    {
+        if (accum_)
+            *accum_ += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+    }
+
+    SelfTimer(const SelfTimer &) = delete;
+    SelfTimer &operator=(const SelfTimer &) = delete;
+
+  private:
+    uint64_t *accum_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_OBS_TRACE_EVENT_HPP

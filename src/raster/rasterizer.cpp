@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace_event.hpp"
+
 namespace mltc {
 
 Rasterizer::Rasterizer(int width, int height)
@@ -39,21 +41,28 @@ Rasterizer::renderFrame(const Scene &scene, const Camera &camera,
             framebuffer_ ? framebuffer_ : internal_fb_.get();
         depth_fb->clearDepth();
         // Depth-only pass: establish the front-most surface per pixel.
+        ScopedTrace pass_scope("raster.depth_prepass", "raster");
         for (size_t idx : visible)
             drawObject(scene.objects()[idx], camera, textures,
                        Pass::DepthOnly, stats);
     }
 
-    for (size_t idx : visible) {
-        const SceneObject &obj = scene.objects()[idx];
-        drawObject(obj, camera, textures, Pass::Texture, stats);
-        // Multi-pass multitexturing: the detail layer re-rasterizes the
-        // object bound to its second texture (as 1998 hardware without
-        // single-pass multitexture did).
-        if (obj.detail_texture != 0)
-            drawObject(obj, camera, textures, Pass::Texture, stats,
-                       /*detail_pass=*/true);
+    {
+        ScopedTrace pass_scope("raster.texture_pass", "raster");
+        for (size_t idx : visible) {
+            const SceneObject &obj = scene.objects()[idx];
+            drawObject(obj, camera, textures, Pass::Texture, stats);
+            // Multi-pass multitexturing: the detail layer re-rasterizes
+            // the object bound to its second texture (as 1998 hardware
+            // without single-pass multitexture did).
+            if (obj.detail_texture != 0)
+                drawObject(obj, camera, textures, Pass::Texture, stats,
+                           /*detail_pass=*/true);
+        }
     }
+
+    if (ChromeTraceWriter *t = globalTracer())
+        t->recordAggregate("sampler.sample", sampler_.takeSampleNs() / 1000);
 
     stats.texel_accesses = sampler_.accessCount() - access_base;
     return stats;

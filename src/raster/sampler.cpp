@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "geom/vec.hpp"
+#include "obs/trace_event.hpp"
 
 namespace mltc {
 
@@ -92,6 +93,18 @@ TextureSampler::sampleBilinear(float u, float v, uint32_t m)
 
 uint32_t
 TextureSampler::sample(float u, float v, float lambda)
+{
+    // The SelfTimer scope lives only on the traced branch so its
+    // destructor cannot burden the untraced per-pixel hot path.
+    if (globalTracer() != nullptr) [[unlikely]] {
+        SelfTimer timer(&sample_ns_);
+        return sampleImpl(u, v, lambda);
+    }
+    return sampleImpl(u, v, lambda);
+}
+
+uint32_t
+TextureSampler::sampleImpl(float u, float v, float lambda)
 {
     switch (filter_) {
       case FilterMode::Point: {

@@ -84,8 +84,105 @@ MultiConfigRunner::harvestRow(int frame, const FrameStats &fs,
     if (push_)
         row.push_bytes = push_->endFrame();
     rows_.push_back(std::move(row));
+    publishFrame(rows_.back());
     if (cb)
         cb(rows_.back());
+}
+
+void
+MultiConfigRunner::publishFrame(const FrameRow &row)
+{
+    if (ChromeTraceWriter *t = globalTracer()) {
+        // Hot-path self time accumulated by SelfTimer inside the access
+        // path, surfaced as a stage aggregate (no timeline event).
+        uint64_t access_ns = 0;
+        for (auto &sim : sims_)
+            access_ns += sim->takeAccessNs();
+        t->recordAggregate("cachesim.access", access_ns / 1000);
+
+        for (size_t i = 0; i < sims_.size(); ++i) {
+            const CacheFrameStats &s = row.sims[i];
+            const std::string &label = sims_[i]->label();
+            const double sector_misses = static_cast<double>(
+                s.l2_partial_hits + s.l2_full_misses);
+            t->counter(
+                "miss_rates/" + label,
+                {{"l1", s.accesses ? static_cast<double>(s.l1_misses) /
+                                         static_cast<double>(s.accesses)
+                                   : 0.0},
+                 {"l2_sector",
+                  s.l1_misses ? sector_misses /
+                                    static_cast<double>(s.l1_misses)
+                              : 0.0},
+                 {"tlb", s.tlb_probes
+                             ? 1.0 - static_cast<double>(s.tlb_hits) /
+                                         static_cast<double>(s.tlb_probes)
+                             : 0.0}});
+            t->counter("agp_bytes/" + label,
+                       {{"host", static_cast<double>(s.host_bytes)},
+                        {"l2_read", static_cast<double>(s.l2_read_bytes)}});
+        }
+    }
+
+    if (!obs_ || !obs_->metrics().enabled())
+        return;
+    MetricsRegistry &m = obs_->metrics();
+    for (size_t i = 0; i < sims_.size(); ++i) {
+        const CacheSim &sim = *sims_[i];
+        const CacheFrameStats &tot = sim.totals();
+        const CacheFrameStats &fr = row.sims[i];
+        const MetricLabels ls{{"sim", sim.label()}};
+        // Counters are cumulative (consumers diff adjacent rows);
+        // everything is *derived* from simulator totals each frame.
+        m.counter("accesses", ls).set(tot.accesses);
+        m.counter("l1.miss", ls).set(tot.l1_misses);
+        m.counter("l2.full_hit", ls).set(tot.l2_full_hits);
+        m.counter("l2.partial_hit", ls).set(tot.l2_partial_hits);
+        m.counter("l2.full_miss", ls).set(tot.l2_full_misses);
+        m.counter("host.bytes", ls).set(tot.host_bytes);
+        m.counter("l2.read_bytes", ls).set(tot.l2_read_bytes);
+        m.counter("tlb.probe", ls).set(tot.tlb_probes);
+        m.counter("tlb.hit", ls).set(tot.tlb_hits);
+        m.counter("host.retry", ls).set(tot.host_retries);
+        m.counter("host.failure", ls).set(tot.host_failures);
+        m.counter("degraded.access", ls).set(tot.degraded_accesses);
+        // Gauges carry this frame's instantaneous rates.
+        m.gauge("l1.hit_rate", ls).set(fr.l1HitRate());
+        m.gauge("l2.full_hit_rate", ls).set(fr.l2FullHitRate());
+        m.gauge("tlb.hit_rate", ls).set(fr.tlbHitRate());
+        if (sim.config().classify_misses) {
+            auto cls = [&](const char *name, const char *cls_name,
+                           uint64_t v) {
+                MetricLabels l = ls;
+                l.push_back({"class", cls_name});
+                m.counter(name, l).set(v);
+            };
+            cls("l1.miss.class", "compulsory", tot.l1_compulsory);
+            cls("l1.miss.class", "capacity", tot.l1_capacity);
+            cls("l1.miss.class", "conflict", tot.l1_conflict);
+            if (sim.l2Classifier()) {
+                cls("l2.miss.class", "compulsory", tot.l2_compulsory);
+                cls("l2.miss.class", "capacity", tot.l2_capacity);
+                cls("l2.miss.class", "conflict", tot.l2_conflict);
+            }
+        }
+        if (const L2TextureCache *l2 = sim.l2()) {
+            const Histogram &vh = l2->victimStepsHistogram();
+            m.gauge("l2.victim_steps.p50", ls).set(
+                static_cast<double>(vh.percentile(0.50)));
+            m.gauge("l2.victim_steps.p99", ls).set(
+                static_cast<double>(vh.percentile(0.99)));
+        }
+        if (const HostFetchPath *hp = sim.hostPath()) {
+            const Histogram &lh = hp->latencyHistogram();
+            m.gauge("host.fetch_us.p50", ls).set(
+                static_cast<double>(lh.percentile(0.50)));
+            m.gauge("host.fetch_us.p99", ls).set(
+                static_cast<double>(lh.percentile(0.99)));
+        }
+    }
+    if (obs_->metricsSink())
+        m.writeFrameSnapshot(*obs_->metricsSink(), row.frame);
 }
 
 void
@@ -103,10 +200,18 @@ MultiConfigRunner::run(const RowCallback &cb)
     for (auto *s : extra_sinks_)
         fanout.add(s);
 
-    runAnimation(workload_, config_, &fanout,
-                 [&](int frame, const FrameStats &fs) {
-                     harvestRow(frame, fs, cb);
-                 });
+    const FrameGate gate = [](int) {
+        if (ChromeTraceWriter *t = globalTracer())
+            t->begin("frame", "frame");
+        return true;
+    };
+    runAnimationRange(workload_, config_, &fanout, 0,
+                      [&](int frame, const FrameStats &fs) {
+                          harvestRow(frame, fs, cb);
+                          if (ChromeTraceWriter *t = globalTracer())
+                              t->end();
+                      },
+                      gate);
 }
 
 double
@@ -398,6 +503,8 @@ class GuardedSink final : public TexelAccessSink
         *dead_ = true;
         *error_ = err;
         *at_frame_ = *current_frame_;
+        if (ChromeTraceWriter *t = globalTracer())
+            t->instant("sim.quarantined", "runner");
     }
 
   private:
@@ -508,11 +615,15 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
             return false;
         }
         frame_start = Clock::now();
+        if (ChromeTraceWriter *t = globalTracer())
+            t->begin("frame", "frame");
         return true;
     };
 
     const FrameCallback per_frame = [&](int frame, const FrameStats &fs) {
         harvestRow(frame, fs, cb);
+        if (ChromeTraceWriter *t = globalTracer())
+            t->end();
         next_frame = frame + 1;
 
         // Invariant audits at the frame boundary: a violating simulator
@@ -541,6 +652,8 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
             static_cast<uint32_t>(frame + 1) % rc.checkpoint_every == 0) {
             saveCheckpoint(rc.checkpoint_path, frame + 1);
             ++checkpoints_written;
+            if (ChromeTraceWriter *t = globalTracer())
+                t->instant("checkpoint.saved", "runner");
             // Crash-path test hook: die *after* the checkpoint committed,
             // leaving exactly the state a real crash would.
             if (rc.die_after_checkpoints > 0 &&

@@ -19,6 +19,7 @@
 
 #include "core/cache_sim.hpp"
 #include "core/push_model.hpp"
+#include "obs/observability.hpp"
 #include "sim/animation_driver.hpp"
 #include "sim/resilience.hpp"
 #include "trace/working_set_collector.hpp"
@@ -104,6 +105,17 @@ class MultiConfigRunner
      */
     void addExtraSink(TexelAccessSink *sink);
 
+    /**
+     * Attach per-run observability (not owned; may be null to detach).
+     * At every frame boundary the runner re-derives the registry's
+     * counters/gauges from the simulators' cumulative totals, appends
+     * one JSONL snapshot row, and emits per-simulator trace counter
+     * tracks (L1/L2/TLB miss rates, AGP bytes). Metric state is derived,
+     * never fed back, so attaching observability cannot change a single
+     * simulated counter or checkpoint byte.
+     */
+    void setObservability(Observability *obs) { obs_ = obs; }
+
     /** Run the animation; rows accumulate and @p cb fires per frame. */
     void run(const RowCallback &cb = {});
 
@@ -170,6 +182,9 @@ class MultiConfigRunner
     /** Harvest one frame boundary into rows_ (shared by run paths). */
     void harvestRow(int frame, const FrameStats &fs, const RowCallback &cb);
 
+    /** Derive metrics + trace counter tracks from the finished row. */
+    void publishFrame(const FrameRow &row);
+
     /** Write the manifest CSV next to the checkpoint. */
     void writeManifest(const RunManifest &manifest) const;
 
@@ -179,6 +194,7 @@ class MultiConfigRunner
     std::unique_ptr<WorkingSetCollector> working_sets_;
     std::unique_ptr<PushArchitectureModel> push_;
     std::vector<TexelAccessSink *> extra_sinks_;
+    Observability *obs_ = nullptr; ///< not owned; null = no observability
     std::vector<FrameRow> rows_;
     std::vector<Quarantine> quarantine_; ///< parallel to sims_ (may be empty)
 };

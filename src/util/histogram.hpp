@@ -1,14 +1,20 @@
 /**
  * @file
  * Small integer histogram for distribution analyses (e.g. the clock
- * algorithm's victim-search lengths, §5.4.2's "pesky" study).
+ * algorithm's victim-search lengths, §5.4.2's "pesky" study, and the
+ * host fetch-latency distribution under fault injection).
  */
 #ifndef MLTC_UTIL_HISTOGRAM_HPP
 #define MLTC_UTIL_HISTOGRAM_HPP
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/serializer.hpp"
 
 namespace mltc {
 
@@ -93,6 +99,111 @@ class Histogram
         for (size_t i = 0; i <= limit; ++i)
             seen += buckets_[i];
         return static_cast<double>(seen) / static_cast<double>(count_);
+    }
+
+    /** Sum of all samples. */
+    uint64_t sum() const { return sum_; }
+
+    /** Largest value with its own bucket (overflow aggregates above). */
+    uint32_t cap() const { return cap_; }
+
+    /**
+     * Fold another histogram's samples into this one.
+     * @throws mltc::Exception (BadArgument) when the bucket caps differ
+     *         — merging across geometries would silently misbucket.
+     */
+    void
+    merge(const Histogram &o)
+    {
+        if (o.cap_ != cap_)
+            throw Exception(ErrorCode::BadArgument,
+                            "Histogram::merge: bucket cap mismatch (" +
+                                std::to_string(cap_) + " vs " +
+                                std::to_string(o.cap_) + ")");
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += o.buckets_[i];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        max_ = std::max(max_, o.max_);
+    }
+
+    /**
+     * CSV rendering: `value,count` rows for every non-empty bucket, a
+     * final `overflow,count` row when samples exceeded the cap.
+     */
+    std::string
+    toCsv() const
+    {
+        std::string out = "value,count\n";
+        for (size_t i = 0; i + 1 < buckets_.size(); ++i)
+            if (buckets_[i])
+                out += std::to_string(i) + ',' +
+                       std::to_string(buckets_[i]) + '\n';
+        if (buckets_.back())
+            out += "overflow," + std::to_string(buckets_.back()) + '\n';
+        return out;
+    }
+
+    /**
+     * JSON rendering: summary stats plus sparse non-empty buckets, as
+     * one value into @p w (callers place it under their own key).
+     */
+    void
+    writeJson(JsonWriter &w) const
+    {
+        w.beginObject()
+            .kv("count", count_)
+            .kv("sum", sum_)
+            .kv("max", max_)
+            .kv("mean", mean())
+            .kv("p50", percentile(0.50))
+            .kv("p90", percentile(0.90))
+            .kv("p99", percentile(0.99))
+            .kv("overflow", buckets_.back());
+        w.key("buckets").beginObject();
+        for (size_t i = 0; i + 1 < buckets_.size(); ++i)
+            if (buckets_[i])
+                w.kv(std::to_string(i), buckets_[i]);
+        w.endObject().endObject();
+    }
+
+    /** Serialize for a checkpoint (see docs/checkpoint_format.md). */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.u32(cap_);
+        w.u64(count_);
+        w.u64(sum_);
+        w.u64(max_);
+        w.u64Vec(buckets_);
+    }
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) when the snapshot was
+     *         taken under a different bucket cap, (Corrupt) when the
+     *         bucket vector length is inconsistent with the cap.
+     */
+    void
+    load(SnapshotReader &r)
+    {
+        const uint32_t cap = r.u32();
+        if (cap != cap_)
+            throw Exception(ErrorCode::VersionMismatch,
+                            "Histogram: snapshot cap " +
+                                std::to_string(cap) +
+                                " does not match configured cap " +
+                                std::to_string(cap_));
+        count_ = r.u64();
+        sum_ = r.u64();
+        max_ = r.u64();
+        r.u64Vec(buckets_);
+        if (buckets_.size() != static_cast<size_t>(cap_) + 2)
+            throw Exception(ErrorCode::Corrupt,
+                            "Histogram: snapshot bucket count " +
+                                std::to_string(buckets_.size()) +
+                                " inconsistent with cap " +
+                                std::to_string(cap_));
     }
 
     /** Forget everything. */

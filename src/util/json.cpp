@@ -1,0 +1,595 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+// ---------------------------------------------------------------------------
+// Escaping / writer
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char raw : s) {
+        const unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void
+JsonWriter::beforeValue()
+{
+    if (wrote_root_ && stack_.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "JsonWriter: more than one root value");
+    if (!stack_.empty() && stack_.back() == Scope::Object && !pending_key_)
+        throw Exception(ErrorCode::BadArgument,
+                        "JsonWriter: object value without a key");
+    if (!stack_.empty() && stack_.back() == Scope::Array) {
+        if (!first_.back())
+            out_ += ',';
+        first_.back() = false;
+    }
+    pending_key_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back(Scope::Object);
+    first_.push_back(true);
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Scope::Object || pending_key_)
+        throw Exception(ErrorCode::BadArgument,
+                        "JsonWriter: endObject outside an object");
+    out_ += '}';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back(Scope::Array);
+    first_.push_back(true);
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Scope::Array)
+        throw Exception(ErrorCode::BadArgument,
+                        "JsonWriter: endArray outside an array");
+    out_ += ']';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    if (stack_.empty() || stack_.back() != Scope::Object || pending_key_)
+        throw Exception(ErrorCode::BadArgument,
+                        "JsonWriter: key() outside an object");
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out_ += b ? "true" : "false";
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    beforeValue();
+    if (std::isfinite(d)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        out_ += buf;
+    } else {
+        out_ += "null"; // NaN/Inf are not representable in JSON
+    }
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out_ += buf;
+    wrote_root_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    beforeValue();
+    out_ += "null";
+    wrote_root_ = true;
+    return *this;
+}
+
+void
+JsonWriter::reset()
+{
+    out_.clear();
+    stack_.clear();
+    first_.clear();
+    pending_key_ = false;
+    wrote_root_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::Bool)
+        throw Exception(ErrorCode::BadArgument, "JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (type_ != Type::Number)
+        throw Exception(ErrorCode::BadArgument, "JsonValue: not a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type_ != Type::String)
+        throw Exception(ErrorCode::BadArgument, "JsonValue: not a string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (type_ != Type::Array)
+        throw Exception(ErrorCode::BadArgument, "JsonValue: not an array");
+    return arr_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (type_ != Type::Object)
+        throw Exception(ErrorCode::BadArgument, "JsonValue: not an object");
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    auto it = obj_.find(name);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v)
+        throw Exception(ErrorCode::Corrupt,
+                        "JsonValue: missing member '" + name + "'");
+    return *v;
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> a)
+{
+    JsonValue v;
+    v.type_ = Type::Array;
+    v.arr_ = std::move(a);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> m)
+{
+    JsonValue v;
+    v.type_ = Type::Object;
+    v.obj_ = std::move(m);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        skipWs();
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw Exception(ErrorCode::Corrupt, "JSON parse error at byte " +
+                                                std::to_string(pos_) + ": " +
+                                                what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    char
+    take()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_++];
+    }
+
+    void
+    expectLiteral(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            fail(std::string("expected '") + lit + "'");
+        pos_ += n;
+    }
+
+    JsonValue
+    parseValue(int depth)
+    {
+        if (depth > 256)
+            fail("nesting too deep");
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return JsonValue::makeString(parseString());
+          case 't': expectLiteral("true"); return JsonValue::makeBool(true);
+          case 'f': expectLiteral("false"); return JsonValue::makeBool(false);
+          case 'n': expectLiteral("null"); return JsonValue::makeNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject(int depth)
+    {
+        take(); // '{'
+        std::map<std::string, JsonValue> m;
+        skipWs();
+        if (peek() == '}') {
+            take();
+            return JsonValue::makeObject(std::move(m));
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string k = parseString();
+            skipWs();
+            if (take() != ':')
+                fail("expected ':' after object key");
+            m[std::move(k)] = parseValue(depth + 1);
+            skipWs();
+            char c = take();
+            if (c == '}')
+                break;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+        return JsonValue::makeObject(std::move(m));
+    }
+
+    JsonValue
+    parseArray(int depth)
+    {
+        take(); // '['
+        std::vector<JsonValue> a;
+        skipWs();
+        if (peek() == ']') {
+            take();
+            return JsonValue::makeArray(std::move(a));
+        }
+        for (;;) {
+            a.push_back(parseValue(depth + 1));
+            skipWs();
+            char c = take();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+        return JsonValue::makeArray(std::move(a));
+    }
+
+    std::string
+    parseString()
+    {
+        take(); // '"'
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+            if (c == '"')
+                break;
+            if (c < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                continue;
+            }
+            char e = take();
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = take();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are
+                // passed through as two 3-byte sequences; the validator
+                // does not need full surrogate decoding).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("bad escape character");
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("expected a value");
+        if (peek() == '0')
+            ++pos_;
+        else
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("expected digits after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("expected exponent digits");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return JsonValue::makeNumber(
+            std::strtod(text_.c_str() + start, nullptr));
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+// ---------------------------------------------------------------------------
+// JSONL sink
+
+JsonlFileSink::JsonlFileSink(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw Exception(ErrorCode::Io,
+                        "JsonlFileSink: cannot open '" + path + "'");
+}
+
+JsonlFileSink::~JsonlFileSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JsonlFileSink::writeLine(const std::string &line)
+{
+    if (!file_)
+        return;
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+        failed_ = true;
+        return;
+    }
+    ++lines_;
+}
+
+void
+JsonlFileSink::close()
+{
+    if (!file_)
+        return;
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0 || failed_)
+        throw Exception(ErrorCode::Io,
+                        "JsonlFileSink: write failure on '" + path_ + "'");
+}
+
+} // namespace mltc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * (used by the metrics JSONL sink, the Chrome-trace emitter and the
+ * bench/perf baseline), a small recursive-descent parser (used by the
+ * trace-schema validator and tests), and a shared line-oriented JSONL
+ * file sink.
+ *
+ * The writer produces compact, valid JSON only — keys and values are
+ * escaped, doubles are emitted with enough precision to round-trip, and
+ * NaN/Inf (not representable in JSON) are written as null. The parser
+ * accepts exactly RFC 8259 JSON and throws typed mltc::Exception
+ * (Corrupt) with a byte offset on malformed input.
+ */
+#ifndef MLTC_UTIL_JSON_HPP
+#define MLTC_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/** Escape @p s for use inside a JSON string literal (no quotes added). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer building into an internal string. Structural
+ * calls (beginObject/endObject/beginArray/endArray) nest; key() must
+ * precede each value inside an object. Commas are inserted
+ * automatically. Misuse (value without key inside an object, endObject
+ * inside an array, ...) throws mltc::Exception (BadArgument) — writer
+ * bugs must fail loudly, not emit unparseable telemetry.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(bool b);
+    JsonWriter &value(double d);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+    JsonWriter &nullValue();
+
+    /** Convenience: key + value. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** The document so far. Complete once all scopes are closed. */
+    const std::string &str() const { return out_; }
+
+    /** True when every opened scope has been closed. */
+    bool complete() const { return stack_.empty() && wrote_root_; }
+
+    /** Discard everything and start a fresh document. */
+    void reset();
+
+  private:
+    enum class Scope : uint8_t { Object, Array };
+
+    void beforeValue();
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> first_;  ///< parallel to stack_: no comma yet
+    bool pending_key_ = false; ///< key() emitted, value expected
+    bool wrote_root_ = false;
+};
+
+/** Parsed JSON value (tree form; for validators and tests). */
+class JsonValue
+{
+  public:
+    enum class Type : uint8_t { Null, Bool, Number, String, Array, Object };
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; throw (BadArgument) on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member lookup; null pointer when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** Shorthand: member @p name must exist; throws (Corrupt) if not. */
+    const JsonValue &at(const std::string &name) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double d);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue makeObject(std::map<std::string, JsonValue> m);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+/**
+ * Parse one complete JSON document from @p text.
+ * @throws mltc::Exception (Corrupt) naming the byte offset on any
+ *         syntax error, trailing garbage, or unterminated construct.
+ */
+JsonValue parseJson(const std::string &text);
+
+/**
+ * Append-oriented JSONL (one JSON document per line) file sink, shared
+ * by the metrics registry and the structured log sink. Lines are
+ * flushed as they are written so a crashed run keeps every complete
+ * row; write failures throw typed (Io) errors at close() and are
+ * remembered so telemetry loss is never silent.
+ */
+class JsonlFileSink
+{
+  public:
+    /**
+     * Open (truncate) @p path for writing.
+     * @throws mltc::Exception (Io) when the file cannot be opened.
+     */
+    explicit JsonlFileSink(const std::string &path);
+    ~JsonlFileSink();
+
+    JsonlFileSink(const JsonlFileSink &) = delete;
+    JsonlFileSink &operator=(const JsonlFileSink &) = delete;
+
+    /** Write one document (no trailing newline in @p line) as a line. */
+    void writeLine(const std::string &line);
+
+    const std::string &path() const { return path_; }
+
+    /** Lines written so far. */
+    uint64_t lines() const { return lines_; }
+
+    /**
+     * Flush and close.
+     * @throws mltc::Exception (Io) if any write or the close failed.
+     */
+    void close();
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    uint64_t lines_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_JSON_HPP

@@ -1,15 +1,22 @@
 #include "util/log.hpp"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "util/json.hpp"
 
 namespace mltc {
 
 namespace {
 
 LogLevel g_level = LogLevel::Info;
+bool g_env_applied = false;
+JsonlFileSink *g_jsonl = nullptr;
 
 const char *
-levelName(LogLevel level)
+levelTag(LogLevel level)
 {
     switch (level) {
       case LogLevel::Debug: return "DEBUG";
@@ -21,26 +28,119 @@ levelName(LogLevel level)
     return "?";
 }
 
+/** Apply MLTC_LOG exactly once, before the first threshold decision. */
+void
+applyEnvOnce()
+{
+    if (g_env_applied)
+        return;
+    g_env_applied = true;
+    const char *env = std::getenv("MLTC_LOG");
+    if (!env || !*env)
+        return;
+    LogLevel level;
+    if (parseLogLevel(env, level))
+        g_level = level;
+    else
+        std::fprintf(stderr, "[%s] [WARN] MLTC_LOG='%s' is not a level "
+                             "(debug|info|warn|error|off); keeping '%s'\n",
+                     logTimestampUtc().c_str(), env, logLevelName(g_level));
+}
+
 } // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    std::string low;
+    low.reserve(name.size());
+    for (char c : name)
+        low += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (low == "debug")
+        out = LogLevel::Debug;
+    else if (low == "info")
+        out = LogLevel::Info;
+    else if (low == "warn" || low == "warning")
+        out = LogLevel::Warn;
+    else if (low == "error")
+        out = LogLevel::Error;
+    else if (low == "off" || low == "none")
+        out = LogLevel::Off;
+    else
+        return false;
+    return true;
+}
 
 void
 setLogLevel(LogLevel level)
 {
+    // An explicit request wins over (and suppresses) the environment.
+    g_env_applied = true;
     g_level = level;
 }
 
 LogLevel
 logLevel()
 {
+    applyEnvOnce();
     return g_level;
+}
+
+void
+setLogJsonlSink(JsonlFileSink *sink)
+{
+    g_jsonl = sink;
+}
+
+std::string
+logTimestampUtc()
+{
+    using namespace std::chrono;
+    const auto now = system_clock::now();
+    const std::time_t secs = system_clock::to_time_t(now);
+    const auto ms =
+        duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+    return buf;
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    applyEnvOnce();
     if (level < g_level)
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    const std::string ts = logTimestampUtc();
+    std::fprintf(stderr, "[%s] [%s] %s\n", ts.c_str(), levelTag(level),
+                 msg.c_str());
+    if (g_jsonl) {
+        JsonWriter w;
+        w.beginObject()
+            .kv("ts", ts)
+            .kv("level", logLevelName(level))
+            .kv("msg", msg)
+            .endObject();
+        g_jsonl->writeLine(w.str());
+    }
 }
 
 } // namespace mltc

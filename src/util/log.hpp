@@ -4,7 +4,18 @@
  *
  * The simulator is single-threaded and log volume is low (per-frame or
  * per-run messages), so this is deliberately simple: a global level and
- * printf-style helpers writing to stderr.
+ * printf-style helpers writing to stderr. Every emitted line carries an
+ * ISO-8601 UTC timestamp and a level tag:
+ *
+ *     [2026-08-06T12:34:56.789Z] [WARN] message
+ *
+ * The startup threshold can be set without code changes through the
+ * `MLTC_LOG` environment variable (debug|info|warn|error|off); an
+ * explicit setLogLevel() always wins over the environment. An optional
+ * JSONL sink (shared with the metrics layer, util/json.hpp) mirrors
+ * every passing message as a structured row:
+ *
+ *     {"ts":"2026-08-06T12:34:56.789Z","level":"warn","msg":"..."}
  */
 #ifndef MLTC_UTIL_LOG_HPP
 #define MLTC_UTIL_LOG_HPP
@@ -14,14 +25,38 @@
 
 namespace mltc {
 
+class JsonlFileSink;
+
 /** Severity of a log message. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Stable lowercase name of @p level ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name (case-insensitive: debug|info|warn|error|off).
+ * @return true and set @p out on success; false on an unknown name.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
 
 /** Set the global log threshold; messages below it are dropped. */
 void setLogLevel(LogLevel level);
 
-/** Current global log threshold. */
+/**
+ * Current global log threshold. The first query applies `MLTC_LOG` from
+ * the environment (unknown values are ignored with a warning line).
+ */
 LogLevel logLevel();
+
+/**
+ * Mirror every passing message to @p sink as a JSONL row (in addition
+ * to stderr). Pass nullptr to detach. The sink is not owned and must
+ * outlive logging (or be detached first).
+ */
+void setLogJsonlSink(JsonlFileSink *sink);
+
+/** Current ISO-8601 UTC timestamp with millisecond precision. */
+std::string logTimestampUtc();
 
 /** Emit @p msg at @p level if it passes the global threshold. */
 void logMessage(LogLevel level, const std::string &msg);
@@ -33,7 +68,7 @@ std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    static_cast<void>((os << ... << args));
     return os.str();
 }
 

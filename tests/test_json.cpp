@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the JSON utilities backing the observability layer:
+ * the streaming JsonWriter (escaping, number formatting, misuse
+ * detection), the RFC 8259 parser (round-trips, typed failures with
+ * byte offsets), and the JSONL file sink.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace mltc {
+namespace {
+
+// PID-suffixed: ctest runs each test case as its own process, possibly
+// in parallel, so shared fixed names would race on create/remove.
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name + "." + std::to_string(getpid());
+}
+
+TEST(JsonEscape, EscapesControlAndQuotes)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, ObjectWithEveryValueType)
+{
+    JsonWriter w;
+    w.beginObject()
+        .kv("s", "text")
+        .kv("b", true)
+        .kv("i", int64_t{-7})
+        .kv("u", uint64_t{18446744073709551615ull})
+        .kv("d", 2.5)
+        .key("n")
+        .nullValue()
+        .key("a")
+        .beginArray()
+        .value(1)
+        .value(2)
+        .endArray()
+        .endObject();
+    EXPECT_TRUE(w.complete());
+
+    const JsonValue v = parseJson(w.str());
+    EXPECT_EQ(v.at("s").asString(), "text");
+    EXPECT_TRUE(v.at("b").asBool());
+    EXPECT_DOUBLE_EQ(v.at("i").asNumber(), -7.0);
+    EXPECT_DOUBLE_EQ(v.at("d").asNumber(), 2.5);
+    EXPECT_TRUE(v.at("n").isNull());
+    ASSERT_EQ(v.at("a").asArray().size(), 2u);
+    EXPECT_DOUBLE_EQ(v.at("a").asArray()[1].asNumber(), 2.0);
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    JsonWriter w;
+    const double val = 0.1234567890123456;
+    w.beginArray().value(val).endArray();
+    const JsonValue v = parseJson(w.str());
+    EXPECT_DOUBLE_EQ(v.asArray()[0].asNumber(), val);
+}
+
+TEST(JsonWriter, NanAndInfBecomeNull)
+{
+    JsonWriter w;
+    w.beginArray()
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .value(std::numeric_limits<double>::infinity())
+        .endArray();
+    const JsonValue v = parseJson(w.str());
+    EXPECT_TRUE(v.asArray()[0].isNull());
+    EXPECT_TRUE(v.asArray()[1].isNull());
+}
+
+TEST(JsonWriter, MisuseThrowsBadArgument)
+{
+    {
+        JsonWriter w; // value without key inside an object
+        w.beginObject();
+        EXPECT_THROW(w.value(1), Exception);
+    }
+    {
+        JsonWriter w; // key inside an array
+        w.beginArray();
+        EXPECT_THROW(w.key("k"), Exception);
+    }
+    {
+        JsonWriter w; // scope mismatch
+        w.beginArray();
+        try {
+            w.endObject();
+            FAIL() << "endObject inside an array must throw";
+        } catch (const Exception &e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadArgument);
+        }
+    }
+}
+
+TEST(JsonWriter, ResetStartsFreshDocument)
+{
+    JsonWriter w;
+    w.beginObject().kv("a", 1).endObject();
+    w.reset();
+    EXPECT_FALSE(w.complete());
+    w.beginArray().endArray();
+    EXPECT_EQ(w.str(), "[]");
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonParse, AcceptsNestedDocument)
+{
+    const JsonValue v = parseJson(
+        R"({"a": [1, 2.5, -3e2], "o": {"k": "v\n"}, "t": true, "z": null})");
+    EXPECT_DOUBLE_EQ(v.at("a").asArray()[2].asNumber(), -300.0);
+    EXPECT_EQ(v.at("o").at("k").asString(), "v\n");
+    EXPECT_TRUE(v.at("t").asBool());
+    EXPECT_TRUE(v.at("z").isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), Exception);
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    const JsonValue v = parseJson(R"(["Aé"])");
+    EXPECT_EQ(v.asArray()[0].asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, MalformedInputThrowsCorruptWithOffset)
+{
+    const char *bad[] = {
+        "",            // empty
+        "{",           // unterminated object
+        "[1,]",        // trailing comma
+        "{\"a\" 1}",   // missing colon
+        "\"abc",       // unterminated string
+        "01",          // leading zero
+        "[1] trailing",// trailing garbage
+        "nul",         // truncated keyword
+        "{1: 2}",      // non-string key
+    };
+    for (const char *text : bad) {
+        try {
+            parseJson(text);
+            FAIL() << "accepted malformed JSON: " << text;
+        } catch (const Exception &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Corrupt) << text;
+            EXPECT_NE(e.error().message.find("at byte"), std::string::npos)
+                << text;
+        }
+    }
+}
+
+TEST(JsonParse, TypeMismatchThrowsBadArgument)
+{
+    const JsonValue v = parseJson("[1]");
+    try {
+        (void)v.asObject();
+        FAIL() << "asObject on an array must throw";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadArgument);
+    }
+}
+
+TEST(JsonlFileSink, WritesOneDocumentPerLine)
+{
+    const std::string path = tempPath("sink.jsonl");
+    {
+        JsonlFileSink sink(path);
+        sink.writeLine("{\"row\":1}");
+        sink.writeLine("{\"row\":2}");
+        EXPECT_EQ(sink.lines(), 2u);
+        sink.close();
+    }
+    std::ifstream in(path);
+    std::string line;
+    int rows = 0;
+    while (std::getline(in, line)) {
+        const JsonValue v = parseJson(line);
+        EXPECT_DOUBLE_EQ(v.at("row").asNumber(), ++rows);
+    }
+    EXPECT_EQ(rows, 2);
+    std::remove(path.c_str());
+}
+
+TEST(JsonlFileSink, UnopenablePathThrowsIo)
+{
+    try {
+        JsonlFileSink sink(testing::TempDir() + "no_such_dir/x.jsonl");
+        FAIL() << "opening a sink under a missing directory must throw";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+    }
+}
+
+} // namespace
+} // namespace mltc
