@@ -31,13 +31,21 @@
  *   --miss-classes      3C (compulsory/capacity/conflict) classification
  *                       with per-texture attribution tables
  *   --top-textures=N    rows in the top-textures-by-miss-traffic table
+ *   --mrc               single-pass reuse-distance profiling of the
+ *                       first swept configuration: miss-ratio curves,
+ *                       working-set spectra, spatial miss heatmaps
+ *   --mrc-out=BASE      write BASE.csv / BASE.ws.csv / BASE.json
+ *   --heatmap-out=BASE  write BASE.json + PGM miss-density maps
+ *   --mrc-sample-rate=R SHARDS-style spatial sampling (default 1.0)
  */
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "host/host_cli.hpp"
 #include "obs/observability.hpp"
+#include "obs/reuse_profiler.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "sim/resilience.hpp"
 #include "util/cli.hpp"
@@ -137,6 +145,23 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Reuse-distance profiler: attached to the first swept simulator
+    // (every sweep sees the identical reference stream, so one profiled
+    // sim predicts the whole capacity axis). Must be attached before
+    // runSupervised so a --resume checkpoint restores profiler state.
+    ReuseProfilerConfig prof_cfg = mrcFromCli(cli);
+    std::unique_ptr<ReuseProfiler> profiler;
+    if (prof_cfg.enabled && !runner.sims().empty()) {
+        CacheSim &first = *runner.sims().front();
+        prof_cfg.screen_width = static_cast<uint32_t>(cfg.width);
+        prof_cfg.screen_height = static_cast<uint32_t>(cfg.height);
+        prof_cfg.l1_unit_bytes = first.config().l1.lineBytes();
+        // L2 sectors transfer L1 lines, so the sector unit is the line.
+        prof_cfg.l2_unit_bytes = first.config().l1.lineBytes();
+        profiler = std::make_unique<ReuseProfiler>(prof_cfg);
+        first.setReuseProfiler(profiler.get());
+    }
+
     std::printf("sweeping '%s' over %s (%d frames, %s filtering)...\n",
                 sweep.c_str(), workload.c_str(), frames,
                 filterModeName(cfg.filter));
@@ -213,6 +238,30 @@ main(int argc, char **argv)
                                          3)});
         }
         top.print();
+    }
+
+    if (profiler) {
+        std::printf("\nreuse-distance profile of '%s':\n%s",
+                    runner.sims().front()->label().c_str(),
+                    profiler->asciiMrc().c_str());
+        try {
+            if (!prof_cfg.mrc_out.empty()) {
+                profiler->writeMrc(prof_cfg.mrc_out);
+                std::printf("[mrc] %s.csv %s.ws.csv %s.json\n",
+                            prof_cfg.mrc_out.c_str(),
+                            prof_cfg.mrc_out.c_str(),
+                            prof_cfg.mrc_out.c_str());
+            }
+            if (!prof_cfg.heatmap_out.empty()) {
+                profiler->writeHeatmaps(prof_cfg.heatmap_out);
+                std::printf("[heatmap] %s.json + PGM maps\n",
+                            prof_cfg.heatmap_out.c_str());
+            }
+        } catch (const Exception &e) {
+            std::fprintf(stderr, "profiler output failed: %s\n",
+                         e.error().describe().c_str());
+            return 1;
+        }
     }
 
     if (obs.trace()) {

@@ -9,6 +9,13 @@
  *        [--trace path.bin] [--keep]
  *        [--faults | --fault-drop R --fault-corrupt R ... --retry-max N]
  *        [--audit off|cheap|full] [--checkpoint base [--resume]]
+ *        [--mrc [--mrc-out BASE] [--heatmap-out BASE]
+ *         [--mrc-sample-rate R]]
+ *
+ * With --mrc every replayed configuration carries a reuse-distance
+ * profiler; per-candidate outputs are written to `BASE.<config>` bases.
+ * Replayed traces carry no pixel positions, so the screen-space heatmap
+ * is absent here (texture-space maps and MRCs are unaffected).
  *
  * With a fault scenario enabled (see host/host_cli.hpp) the replayed
  * configurations run over the fault-injectable host backend and report
@@ -22,10 +29,12 @@
  * CacheSim save/load path under the runner-level machinery.
  */
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/cache_sim.hpp"
 #include "host/host_cli.hpp"
+#include "obs/reuse_profiler.hpp"
 #include "sim/animation_driver.hpp"
 #include "sim/resilience.hpp"
 #include "trace/trace_io.hpp"
@@ -74,6 +83,7 @@ main(int argc, char **argv)
          CacheSimConfig::twoLevel(2 * 1024, 4ull << 20)},
     };
 
+    const ReuseProfilerConfig prof_base = mrcFromCli(cli);
     const HostPathConfig host = hostPathFromCli(cli);
     if (host.fault_injection)
         std::printf("replaying over a faulty host channel (seed %llu, "
@@ -87,6 +97,16 @@ main(int argc, char **argv)
         CacheSimConfig sc = cand.config;
         sc.host = host;
         CacheSim sim(*wl.textures, sc, cand.label);
+        // Per-candidate profiler; attached before load() so a resumed
+        // snapshot restores the profiler state it was saved with.
+        std::unique_ptr<ReuseProfiler> profiler;
+        if (prof_base.enabled) {
+            ReuseProfilerConfig pc = prof_base;
+            pc.l1_unit_bytes = sc.l1.lineBytes();
+            pc.l2_unit_bytes = sc.l1.lineBytes();
+            profiler = std::make_unique<ReuseProfiler>(pc);
+            sim.setReuseProfiler(profiler.get());
+        }
         const std::string snap =
             resilience.checkpoint_path.empty()
                 ? std::string()
@@ -110,6 +130,15 @@ main(int argc, char **argv)
             std::printf("[snapshot] %s\n", snap.c_str());
         }
         (void)replayed;
+        if (profiler) {
+            std::printf("\nreuse-distance profile of '%s':\n%s",
+                        cand.label, profiler->asciiMrc().c_str());
+            const std::string suffix = std::string(".") + cand.slug;
+            if (!prof_base.mrc_out.empty())
+                profiler->writeMrc(prof_base.mrc_out + suffix);
+            if (!prof_base.heatmap_out.empty())
+                profiler->writeHeatmaps(prof_base.heatmap_out + suffix);
+        }
         const CacheFrameStats &t = sim.totals();
         // totals() and frames() span resumed sessions consistently.
         table.addRow({cand.label, formatPercent(t.l1HitRate(), 2),

@@ -3,20 +3,28 @@
  * Summarise experiment CSVs without leaving the toolchain: per-column
  * min/mean/max over any CSV the benches emitted, or a quick comparison
  * of two columns (e.g. total vs new bandwidth). Also summarises the
- * metrics JSONL stream cache_explorer --metrics-out writes.
+ * metrics JSONL stream cache_explorer --metrics-out writes, renders
+ * ASCII miss-ratio curves from --mrc-out CSVs, and lists the hottest
+ * texture blocks from --heatmap-out JSONs.
  *
  * Usage:
  *   report series.csv                   # summarise every numeric column
  *   report series.csv --ratio a b      # mean(a)/mean(b) and per-row max
  *   report --metrics run.jsonl         # counter totals / gauge summary
+ *   report --mrc run_mrc.csv           # ASCII miss-ratio curve plot
+ *   report --heatmap hm.json [--top-blocks N]   # hottest L2 blocks
  */
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "obs/metrics_summary.hpp"
 #include "util/cli.hpp"
 #include "util/csv_reader.hpp"
 #include "util/error.hpp"
@@ -25,70 +33,151 @@
 
 namespace {
 
-/**
- * Summarise a metrics JSONL file: counters are cumulative, so the last
- * frame row carries the run totals; gauges are summarised min/mean/max
- * over the frames. Rows without a "frame" key (mirrored log lines) are
- * skipped.
- */
+/** `report --metrics`: delegate to the obs library and print. */
 int
 summarizeMetrics(const std::string &path)
 {
     using namespace mltc;
-    std::ifstream in(path);
-    if (!in) {
-        std::printf("error: cannot open '%s'\n", path.c_str());
+    try {
+        const MetricsSummary s = summarizeMetricsFile(path);
+        std::printf("%s: %s", path.c_str(),
+                    renderMetricsSummary(s).c_str());
+    } catch (const Exception &e) {
+        std::printf("error: %s\n", e.error().message.c_str());
         return 1;
     }
+    return 0;
+}
 
-    size_t frames = 0;
-    std::map<std::string, double> last_counters;
-    std::map<std::string, std::vector<double>> gauge_values;
-    std::string line;
-    size_t line_no = 0;
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty())
-            continue;
-        JsonValue row;
-        try {
-            row = parseJson(line);
-        } catch (const Exception &e) {
-            std::printf("error: %s line %zu: %s\n", path.c_str(), line_no,
-                        e.error().message.c_str());
+/**
+ * `report --mrc`: render the miss-ratio curve CSV a profiled run wrote
+ * (columns level,capacity_units,capacity_bytes,miss_ratio) as ASCII bar
+ * plots, one per cache level.
+ */
+int
+plotMrc(const std::string &path)
+{
+    using namespace mltc;
+    CsvTable table;
+    std::vector<double> bytes, ratios;
+    int level_col = -1;
+    try {
+        table = CsvTable::load(path);
+        level_col = table.columnIndex("level");
+        bytes = table.numericColumn("capacity_bytes");
+        ratios = table.numericColumn("miss_ratio");
+    } catch (const std::exception &e) {
+        std::printf("error: %s\n", e.what());
+        return 1;
+    }
+    if (level_col < 0 || ratios.empty()) {
+        std::printf("error: %s is not an MRC CSV (need level,"
+                    "capacity_units,capacity_bytes,miss_ratio)\n",
+                    path.c_str());
+        return 1;
+    }
+    constexpr int kBarWidth = 48;
+    std::string cur_level;
+    for (size_t i = 0; i < ratios.size(); ++i) {
+        const std::string &level =
+            table.cell(i, static_cast<size_t>(level_col));
+        if (level != cur_level) {
+            cur_level = level;
+            std::printf("%s%s miss-ratio curve:\n", i == 0 ? "" : "\n",
+                        level.c_str());
+        }
+        const int bar = static_cast<int>(
+            std::lround(ratios[i] * kBarWidth));
+        std::printf("  %10s |%-*s| %6.2f%%\n",
+                    formatBytes(bytes[i]).c_str(), kBarWidth,
+                    std::string(static_cast<size_t>(bar), '#').c_str(),
+                    ratios[i] * 100.0);
+    }
+    return 0;
+}
+
+/**
+ * `report --heatmap`: list the hottest texture blocks from the heatmap
+ * JSON a profiled run wrote (textures[].blocks, hottest first).
+ */
+int
+topHeatmapBlocks(const std::string &path, size_t top_n)
+{
+    using namespace mltc;
+    JsonValue root;
+    try {
+        std::ifstream in(path);
+        if (!in) {
+            std::printf("error: cannot open '%s'\n", path.c_str());
             return 1;
         }
-        if (!row.find("frame"))
-            continue; // structured log row sharing the stream
-        ++frames;
-        if (const JsonValue *counters = row.find("counters")) {
-            last_counters.clear();
-            for (const auto &[key, v] : counters->asObject())
-                last_counters[key] = v.asNumber();
-        }
-        if (const JsonValue *gauges = row.find("gauges")) {
-            for (const auto &[key, v] : gauges->asObject())
-                gauge_values[key].push_back(v.asNumber());
+        std::ostringstream text;
+        text << in.rdbuf();
+        root = parseJson(text.str());
+    } catch (const Exception &e) {
+        std::printf("error: %s\n", e.error().message.c_str());
+        return 1;
+    }
+    const JsonValue *textures = root.find("textures");
+    if (!textures) {
+        std::printf("error: %s has no \"textures\" array\n", path.c_str());
+        return 1;
+    }
+    struct Block
+    {
+        uint64_t tex, x, y, accesses, misses;
+    };
+    std::vector<Block> blocks;
+    uint64_t granule = 0;
+    if (const JsonValue *g = root.find("granule"))
+        granule = static_cast<uint64_t>(g->asNumber());
+    const auto num = [](const JsonValue &obj, const char *key) -> uint64_t {
+        const JsonValue *v = obj.find(key);
+        return v ? static_cast<uint64_t>(v->asNumber()) : 0;
+    };
+    for (const JsonValue &tex : textures->asArray()) {
+        const uint64_t tid = num(tex, "tid");
+        const JsonValue *rows = tex.find("blocks");
+        if (!rows)
+            continue;
+        for (const JsonValue &row : rows->asArray()) {
+            Block b;
+            b.tex = tid;
+            b.x = num(row, "gx");
+            b.y = num(row, "gy");
+            b.accesses = num(row, "accesses");
+            b.misses = num(row, "misses");
+            blocks.push_back(b);
         }
     }
-    std::printf("%s: %zu frame rows\n", path.c_str(), frames);
-
-    TextTable counters_out({"counter", "final (cumulative)"});
-    for (const auto &[key, v] : last_counters)
-        counters_out.addRow({key, formatDouble(v, 0)});
-    counters_out.print();
-
-    if (!gauge_values.empty()) {
-        std::printf("\n");
-        TextTable gauges_out({"gauge", "min", "mean", "max"});
-        for (const auto &[key, values] : gauge_values) {
-            const SeriesSummary s = summarize(values);
-            gauges_out.addRow({key, formatDouble(s.min, 4),
-                               formatDouble(s.mean, 4),
-                               formatDouble(s.max, 4)});
-        }
-        gauges_out.print();
-    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const Block &a, const Block &b) {
+                  if (a.misses != b.misses)
+                      return a.misses > b.misses;
+                  if (a.accesses != b.accesses)
+                      return a.accesses > b.accesses;
+                  return std::make_tuple(a.tex, a.y, a.x) <
+                         std::make_tuple(b.tex, b.y, b.x);
+              });
+    if (blocks.size() > top_n)
+        blocks.resize(top_n);
+    std::printf("%s: top %zu texture blocks by miss density "
+                "(%llux%llu-texel granule):\n",
+                path.c_str(), blocks.size(),
+                static_cast<unsigned long long>(granule),
+                static_cast<unsigned long long>(granule));
+    TextTable out({"tex", "block x", "block y", "accesses", "misses",
+                   "miss %"});
+    for (const Block &b : blocks)
+        out.addRow({std::to_string(b.tex), std::to_string(b.x),
+                    std::to_string(b.y), std::to_string(b.accesses),
+                    std::to_string(b.misses),
+                    b.accesses == 0
+                        ? "-"
+                        : formatPercent(static_cast<double>(b.misses) /
+                                            static_cast<double>(b.accesses),
+                                        2)});
+    out.print();
     return 0;
 }
 
@@ -101,9 +190,17 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv);
     if (cli.has("metrics"))
         return summarizeMetrics(cli.getString("metrics", ""));
+    if (cli.has("mrc"))
+        return plotMrc(cli.getString("mrc", ""));
+    if (cli.has("heatmap"))
+        return topHeatmapBlocks(
+            cli.getString("heatmap", ""),
+            static_cast<size_t>(cli.getUnsigned("top-blocks", 10)));
     if (cli.positional().empty()) {
         std::printf("usage: report <file.csv> [--ratio colA colB] | "
-                    "report --metrics <run.jsonl>\n");
+                    "report --metrics <run.jsonl> | "
+                    "report --mrc <mrc.csv> | "
+                    "report --heatmap <hm.json> [--top-blocks N]\n");
         return 1;
     }
 

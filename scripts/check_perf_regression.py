@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh perf_microbench run against the
+committed BENCH_perf.json baseline.
+
+Raw ns/op is machine-dependent, so per-benchmark ratios
+(candidate / baseline) are first normalized by the median ratio across
+all shared benchmarks — the median absorbs the overall speed difference
+between the baseline machine and the current one, leaving only relative
+movement per benchmark. Any benchmark whose normalized ratio exceeds
+1 + threshold fails the gate.
+
+Usage: check_perf_regression.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_ns_per_op(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name")
+        ns = row.get("ns_per_op")
+        if isinstance(name, str) and isinstance(ns, (int, float)) and ns > 0:
+            rows[name] = float(ns)
+    if not rows:
+        print(f"error: no usable benchmark rows in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed normalized slowdown (default 0.15 = 15%%)")
+    args = ap.parse_args()
+
+    base = load_ns_per_op(args.baseline)
+    cand = load_ns_per_op(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("error: baseline and candidate share no benchmarks",
+              file=sys.stderr)
+        sys.exit(2)
+    missing = sorted(set(base) - set(cand))
+    if missing:
+        print(f"warning: candidate is missing {', '.join(missing)}",
+              file=sys.stderr)
+
+    ratios = {name: cand[name] / base[name] for name in shared}
+    scale = median(ratios.values())
+    print(f"machine-speed scale (median ratio): {scale:.3f}")
+    print(f"{'benchmark':<32} {'base ns':>10} {'cand ns':>10} "
+          f"{'normalized':>10}")
+    failures = []
+    for name in shared:
+        norm = ratios[name] / scale
+        flag = ""
+        if norm > 1.0 + args.threshold:
+            failures.append((name, norm))
+            flag = "  REGRESSION"
+        print(f"{name:<32} {base[name]:>10.2f} {cand[name]:>10.2f} "
+              f"{norm:>9.3f}x{flag}")
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
+              f"{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.3f}x)",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"OK: all {len(shared)} shared benchmarks within "
+          f"{args.threshold:.0%} of the baseline")
+
+
+if __name__ == "__main__":
+    main()

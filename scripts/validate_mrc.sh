@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# End-to-end reuse-distance profiler proof: run a short cache_explorer
+# sweep with the MRC profiler and heatmap exports enabled, then require
+#
+#  - mrc.csv to carry the documented header and, per cache level, a
+#    miss-ratio column that never increases with capacity (the Mattson
+#    stack inclusion property -- a violation means the distance
+#    histogram is corrupt);
+#  - the working-set spectrum CSV to contain at least one interval row;
+#  - the heatmap JSON plus P5 PGM images to exist and be non-empty;
+#  - report --mrc and report --heatmap to render both artifacts.
+#
+# Usage: scripts/validate_mrc.sh <cache_explorer> <report>
+# Registered as the ctest case `mrc_schema_script`.
+set -eu
+
+EXPLORER="$1"
+REPORT="$2"
+FRAMES="${MLTC_FRAMES:-4}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mltc_mrc.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+echo "== sweep with the reuse-distance profiler enabled =="
+"$EXPLORER" --sweep l2 --workload village --frames "$FRAMES" \
+    --mrc-out "$WORK/mrc" --heatmap-out "$WORK/heat" \
+    --mrc-interval 2 >/dev/null
+
+echo "== artifacts =="
+for f in mrc.csv mrc.ws.csv mrc.json heat.json heat.screen.pgm; do
+    if [ ! -s "$WORK/$f" ]; then
+        echo "FAIL: missing or empty artifact $f"
+        exit 1
+    fi
+done
+if ! ls "$WORK"/heat.tex*.pgm >/dev/null 2>&1; then
+    echo "FAIL: no per-texture heatmap images"
+    exit 1
+fi
+magic="$(head -c 2 "$WORK/heat.screen.pgm")"
+if [ "$magic" != "P5" ]; then
+    echo "FAIL: heat.screen.pgm is not a P5 PGM"
+    exit 1
+fi
+
+echo "== mrc.csv schema + monotonicity =="
+header="$(head -n 1 "$WORK/mrc.csv")"
+if [ "$header" != "level,capacity_units,capacity_bytes,miss_ratio" ]; then
+    echo "FAIL: unexpected mrc.csv header: $header"
+    exit 1
+fi
+awk -F, 'NR > 1 {
+    if ($1 == prev_level && $4 > prev_ratio + 1e-9) {
+        printf "FAIL: %s miss ratio rises at capacity %s (%s > %s)\n",
+               $1, $3, $4, prev_ratio
+        exit 1
+    }
+    prev_level = $1
+    prev_ratio = $4
+}' "$WORK/mrc.csv"
+
+rows="$(wc -l < "$WORK/mrc.ws.csv")"
+if [ "$rows" -lt 2 ]; then
+    echo "FAIL: working-set spectrum has no interval rows"
+    exit 1
+fi
+
+echo "== report --mrc / --heatmap =="
+"$REPORT" --mrc "$WORK/mrc.csv" >/dev/null
+"$REPORT" --heatmap "$WORK/heat.json" --top-blocks 5 >/dev/null
+
+echo "OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/reuse_profiler.hpp"
 #include "obs/trace_event.hpp"
 #include "util/error.hpp"
 
@@ -80,6 +81,9 @@ CacheSim::bindTexture(TextureId tid)
     const TextureEntry &tex = textures_.texture(tid);
     host_sector_bytes_ = static_cast<uint64_t>(cfg_.l1.l1_tile) *
                          cfg_.l1.l1_tile * tex.host_bits_per_texel / 8;
+    if (profiler_) [[unlikely]]
+        profiler_->bindTexture(tid, tex.pyramid.level(0).width(),
+                               tex.pyramid.level(0).height());
     // The coalescing filter caches raw tile coordinates, which do not
     // encode the texture id — invalidate it across binds.
     last_tile_ = 0;
@@ -150,6 +154,8 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
         return;
     const uint64_t key = l1_layout_->blockKeyOf(bound_, x, y, mip);
     const bool l1_hit = l1_.lookup(key);
+    if (profiler_) [[unlikely]]
+        profiler_->onL1Access(key, l1_hit, x, y, mip);
     if (l1_class_) {
         // The classifier sees the same post-coalescing stream the real
         // L1 sees; a miss is attributed the L1 fill traffic it causes.
@@ -224,6 +230,10 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
                                            l2_->lastVictimSteps());
         break;
     }
+    if (profiler_) [[unlikely]]
+        profiler_->onL2Sector(
+            (static_cast<uint64_t>(t_index) << 16) | vb.l1_sub,
+            res == L2Result::FullHit, x, y, mip);
     if (l2_class_) {
         // Sector-granular classification over a block-granular shadow:
         // the unit of "seen" is the (block, sector) pair, while the
@@ -304,9 +314,18 @@ CacheSim::degradeToResidentMip(uint32_t x, uint32_t y, uint32_t mip)
     // degraded_accesses is the hard-failure count.
 }
 
+void
+CacheSim::beginPixel(uint32_t px, uint32_t py)
+{
+    if (profiler_) [[unlikely]]
+        profiler_->beginPixel(px, py);
+}
+
 CacheFrameStats
 CacheSim::endFrame()
 {
+    if (profiler_) [[unlikely]]
+        profiler_->endFrame(frame_.accesses);
     CacheFrameStats out = frame_;
     totals_.add(out);
     frame_ = {};
@@ -384,6 +403,8 @@ CacheSim::save(SnapshotWriter &w) const
         flags |= 4u;
     if (l1_class_)
         flags |= 8u;
+    if (profiler_)
+        flags |= 16u;
     w.u8(flags);
     l1_.save(w);
     if (l2_)
@@ -399,6 +420,8 @@ CacheSim::save(SnapshotWriter &w) const
         if (l2_class_)
             l2_class_->save(w);
     }
+    if (profiler_)
+        profiler_->save(w);
     w.u32(bound_);
     w.u64(last_tile_);
     frame_.save(w);
@@ -419,6 +442,8 @@ CacheSim::load(SnapshotReader &r)
         expect |= 4u;
     if (l1_class_)
         expect |= 8u;
+    if (profiler_)
+        expect |= 16u;
     const uint8_t flags = r.u8();
     if (flags != expect)
         throw Exception(ErrorCode::VersionMismatch,
@@ -441,6 +466,8 @@ CacheSim::load(SnapshotReader &r)
         if (l2_class_)
             l2_class_->load(r);
     }
+    if (profiler_)
+        profiler_->load(r);
     const TextureId bound = r.u32();
     const uint64_t last_tile = r.u64();
     if (bound != 0) {

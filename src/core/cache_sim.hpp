@@ -29,6 +29,8 @@
 
 namespace mltc {
 
+class ReuseProfiler;
+
 /** Full simulator configuration. */
 struct CacheSimConfig
 {
@@ -197,6 +199,7 @@ class CacheSim final : public TexelAccessSink
     void access(uint32_t x, uint32_t y, uint32_t mip) override;
     void accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
                     uint32_t mip) override;
+    void beginPixel(uint32_t px, uint32_t py) override;
 
     /** Harvest this frame's counter deltas and mark the boundary. */
     CacheFrameStats endFrame();
@@ -216,6 +219,18 @@ class CacheSim final : public TexelAccessSink
 
     /** The host fetch path, present only under fault injection. */
     const HostFetchPath *hostPath() const { return host_.get(); }
+
+    /**
+     * Attach a reuse-distance profiler (null detaches). Not owned; the
+     * caller keeps it alive for the simulator's lifetime. While
+     * attached the profiler is simulator state: it is fed from the
+     * access path and serialized into snapshots, so attach it before
+     * load() when resuming a profiled run.
+     */
+    void setReuseProfiler(ReuseProfiler *profiler) { profiler_ = profiler; }
+
+    /** The attached profiler, or null. */
+    ReuseProfiler *reuseProfiler() const { return profiler_; }
 
     /** L1 3C classifier, present only with classify_misses. */
     const MissClassifier *l1Classifier() const { return l1_class_.get(); }
@@ -302,6 +317,7 @@ class CacheSim final : public TexelAccessSink
     FaultyHostBackend *faulty_ = nullptr;  ///< owned by host_
     std::unique_ptr<MissClassifier> l1_class_; ///< null unless classifying
     std::unique_ptr<MissClassifier> l2_class_; ///< null unless L2 + classify
+    ReuseProfiler *profiler_ = nullptr; ///< not owned; null = disabled
     uint64_t access_ns_ = 0; ///< SelfTimer accumulator (tracing only)
 
     // Per-bound-texture cached state (hot path).

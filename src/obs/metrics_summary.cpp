@@ -1,0 +1,85 @@
+#include "obs/metrics_summary.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace mltc {
+
+MetricsSummary
+summarizeMetricsStream(std::istream &in, const std::string &name)
+{
+    MetricsSummary out;
+    std::map<std::string, std::vector<double>> gauge_values;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JsonValue row;
+        try {
+            row = parseJson(line);
+        } catch (const Exception &e) {
+            throw Exception(ErrorCode::Corrupt,
+                            name + " line " + std::to_string(line_no) +
+                                ": " + e.error().message);
+        }
+        if (!row.find("frame")) {
+            ++out.log_rows; // structured log row sharing the stream
+            continue;
+        }
+        ++out.frame_rows;
+        if (const JsonValue *counters = row.find("counters")) {
+            out.final_counters.clear();
+            for (const auto &[key, v] : counters->asObject())
+                out.final_counters[key] = v.asNumber();
+        }
+        if (const JsonValue *gauges = row.find("gauges")) {
+            for (const auto &[key, v] : gauges->asObject())
+                gauge_values[key].push_back(v.asNumber());
+        }
+    }
+    for (const auto &[key, values] : gauge_values)
+        out.gauges[key] = summarize(values);
+    return out;
+}
+
+MetricsSummary
+summarizeMetricsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw Exception(ErrorCode::Io, "cannot open '" + path + "'");
+    return summarizeMetricsStream(in, path);
+}
+
+std::string
+renderMetricsSummary(const MetricsSummary &s)
+{
+    std::string out = std::to_string(s.frame_rows) + " frame rows";
+    if (s.log_rows > 0)
+        out += " (+" + std::to_string(s.log_rows) + " log rows)";
+    out += "\n";
+
+    TextTable counters_out({"counter", "final (cumulative)"});
+    for (const auto &[key, v] : s.final_counters)
+        counters_out.addRow({key, formatDouble(v, 0)});
+    out += counters_out.render();
+
+    if (!s.gauges.empty()) {
+        out += "\n";
+        TextTable gauges_out({"gauge", "min", "mean", "max"});
+        for (const auto &[key, g] : s.gauges)
+            gauges_out.addRow({key, formatDouble(g.min, 4),
+                               formatDouble(g.mean, 4),
+                               formatDouble(g.max, 4)});
+        out += gauges_out.render();
+    }
+    return out;
+}
+
+} // namespace mltc

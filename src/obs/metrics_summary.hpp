@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Library form of the `report --metrics` summarization so the logic is
+ * unit-testable and reusable from other drivers: fold a metrics JSONL
+ * stream (as written by JsonlFileSink behind MetricsRegistry) into
+ * final counter totals and per-gauge series statistics.
+ *
+ * Counters are cumulative, so the last frame row carries the run
+ * totals; gauges are summarized min/mean/max across frames. Rows
+ * without a "frame" key are mirrored structured-log lines sharing the
+ * stream and are counted but otherwise skipped.
+ */
+#ifndef MLTC_OBS_METRICS_SUMMARY_HPP
+#define MLTC_OBS_METRICS_SUMMARY_HPP
+
+#include <istream>
+#include <map>
+#include <string>
+
+#include "util/csv_reader.hpp"
+
+namespace mltc {
+
+/** Folded view of one metrics JSONL stream. */
+struct MetricsSummary
+{
+    size_t frame_rows = 0; ///< rows carrying a "frame" key
+    size_t log_rows = 0;   ///< mirrored log rows (no "frame" key)
+    /** Final cumulative value per counter, keyed by counter name. */
+    std::map<std::string, double> final_counters;
+    /** Per-gauge series statistics across all frame rows. */
+    std::map<std::string, SeriesSummary> gauges;
+};
+
+/**
+ * Summarize a metrics JSONL stream read from @p in. @p name labels the
+ * stream in error messages.
+ * @throws mltc::Exception (Corrupt) on a malformed JSONL row, with the
+ *         offending line number in the message.
+ */
+MetricsSummary summarizeMetricsStream(std::istream &in,
+                                      const std::string &name = "<stream>");
+
+/**
+ * Summarize the metrics JSONL file at @p path.
+ * @throws mltc::Exception (Io) when the file cannot be opened,
+ *         (Corrupt) on a malformed row.
+ */
+MetricsSummary summarizeMetricsFile(const std::string &path);
+
+/**
+ * Render @p s as the aligned text tables `report --metrics` prints
+ * (counter totals, then gauge min/mean/max when any gauge was seen).
+ */
+std::string renderMetricsSummary(const MetricsSummary &s);
+
+} // namespace mltc
+
+#endif // MLTC_OBS_METRICS_SUMMARY_HPP

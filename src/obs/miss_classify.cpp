@@ -27,11 +27,22 @@ ShadowLru::access(uint64_t key)
         order_.splice(order_.begin(), order_, it->second);
         return true;
     }
-    order_.push_front(key);
-    where_[key] = order_.begin();
-    if (order_.size() > capacity_) {
-        where_.erase(order_.back());
-        order_.pop_back();
+    if (order_.size() >= capacity_) {
+        // Miss at capacity: evicting the LRU and inserting the new key
+        // allocates nothing — recycle the LRU's list node (splice it to
+        // the front and overwrite the key) and the hash node (extract,
+        // rekey, reinsert). A thrashing stream otherwise pays an
+        // alloc/free pair per access in each container.
+        const uint64_t victim = order_.back();
+        order_.splice(order_.begin(), order_, std::prev(order_.end()));
+        order_.front() = key;
+        auto node = where_.extract(victim);
+        node.key() = key;
+        node.mapped() = order_.begin();
+        where_.insert(std::move(node));
+    } else {
+        order_.push_front(key);
+        where_.emplace(key, order_.begin());
     }
     return false;
 }
@@ -79,8 +90,32 @@ MissClassifier::access(uint64_t unit_key, uint64_t shadow_key, bool real_hit,
     // Both shadow models observe every access, hit or miss, so their
     // contents depend only on the reference stream — never on the real
     // cache's outcomes.
-    const bool shadow_hit = shadow_.access(shadow_key);
-    const bool first_touch = seen_.insert(unit_key).second;
+    //
+    // Consecutive same-key memoization: the access stream has strong
+    // run locality (the L2 classifier sees the same block for every
+    // sector of an L1 tile walk), and a key equal to the immediately
+    // preceding one is guaranteed at the shadow's MRU position — the
+    // hit outcome and a splice-to-front are both identity operations,
+    // so skip the hash lookups entirely. Pure caching: every outcome
+    // and every byte of shadow state is identical to the unmemoized
+    // path. The shadow memo is only valid when a shadow exists
+    // (capacity 0 always misses, even on repeats).
+    bool shadow_hit;
+    if (have_last_ && shadow_key == last_shadow_key_ &&
+        shadow_.capacity() > 0) {
+        shadow_hit = true;
+    } else {
+        shadow_hit = shadow_.access(shadow_key);
+        last_shadow_key_ = shadow_key;
+    }
+    bool first_touch;
+    if (have_last_ && unit_key == last_unit_key_) {
+        first_touch = false;
+    } else {
+        first_touch = seen_.insert(unit_key).second;
+        last_unit_key_ = unit_key;
+    }
+    have_last_ = true;
     if (real_hit)
         return std::nullopt;
 
@@ -93,9 +128,16 @@ MissClassifier::access(uint64_t unit_key, uint64_t shadow_key, bool real_hit,
         c = MissClass::Capacity;
 
     totals_.add(c);
-    Attribution &a = attribution_[{tex, mip}];
-    a.counts.add(c);
-    a.bytes += miss_bytes;
+    // The attribution row is a std::map walk; (tex, mip) repeats for
+    // long runs of accesses, so cache the row pointer (std::map nodes
+    // are stable across inserts).
+    if (!last_attr_ || tex != last_tex_ || mip != last_mip_) {
+        last_attr_ = &attribution_[{tex, mip}];
+        last_tex_ = tex;
+        last_mip_ = mip;
+    }
+    last_attr_->counts.add(c);
+    last_attr_->bytes += miss_bytes;
     return c;
 }
 
@@ -183,6 +225,9 @@ MissClassifier::load(SnapshotReader &r)
     totals_.compulsory = r.u64();
     totals_.capacity = r.u64();
     totals_.conflict = r.u64();
+    // The memo caches reference pre-load state; drop them.
+    have_last_ = false;
+    last_attr_ = nullptr;
     const uint32_t rows = r.u32();
     attribution_.clear();
     for (uint32_t i = 0; i < rows; ++i) {

@@ -162,6 +162,15 @@ class MissClassifier
     MissClassCounts totals_;
     /** Ordered so iteration (reports, snapshots) is deterministic. */
     std::map<std::pair<uint32_t, uint32_t>, Attribution> attribution_;
+
+    // Consecutive same-key memos (hot path; see access()). Pure caches
+    // of the maps above — never serialized, reset on load().
+    bool have_last_ = false;
+    uint64_t last_shadow_key_ = 0;
+    uint64_t last_unit_key_ = 0;
+    Attribution *last_attr_ = nullptr;
+    uint32_t last_tex_ = 0;
+    uint32_t last_mip_ = 0;
 };
 
 } // namespace mltc

@@ -42,6 +42,13 @@ Observability::~Observability()
 }
 
 void
+Observability::flush()
+{
+    if (trace_)
+        trace_->flush();
+}
+
+void
 Observability::close()
 {
     if (trace_) {

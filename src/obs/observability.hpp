@@ -73,6 +73,14 @@ class Observability
     JsonlFileSink *metricsSink() { return metrics_sink_.get(); }
 
     /**
+     * Flush every sink without closing it, so an interrupted run keeps
+     * everything emitted so far. The metrics JSONL sink already flushes
+     * per line; this pushes the buffered trace events out too. Safe to
+     * call repeatedly; never throws (failures surface at close()).
+     */
+    void flush();
+
+    /**
      * Flush and close every sink.
      * @throws mltc::Exception (Io) when any output file failed.
      */

@@ -47,6 +47,13 @@ ChromeTraceWriter::~ChromeTraceWriter()
     }
 }
 
+void
+ChromeTraceWriter::flush()
+{
+    if (file_ && std::fflush(file_) != 0)
+        failed_ = true;
+}
+
 uint64_t
 ChromeTraceWriter::nowUs()
 {

@@ -95,6 +95,15 @@ class ChromeTraceWriter
     /** Open duration scopes (for tests; 0 when balanced). */
     size_t openScopes() const { return stack_.size(); }
 
+    /**
+     * Push buffered events to the OS (fflush). The file stays open and
+     * incomplete (no epilogue) but every event emitted so far survives
+     * an abrupt process death; Perfetto loads such truncated traces.
+     * Called on cancellation and quarantine paths so an interrupted run
+     * keeps its last complete frame of events.
+     */
+    void flush();
+
     /** Stage aggregates, most total time first. */
     std::vector<StageStat> stageStats() const;
 

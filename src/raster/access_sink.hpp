@@ -31,6 +31,18 @@ class TexelAccessSink
      */
     virtual void bindTexture(TextureId tid) = 0;
 
+    /**
+     * Subsequent accesses shade screen pixel (px, py). Optional
+     * position metadata for spatial profilers (screen-space miss
+     * heatmaps); the default ignores it, and trace replay does not
+     * reproduce it.
+     */
+    virtual void beginPixel(uint32_t px, uint32_t py)
+    {
+        (void)px;
+        (void)py;
+    }
+
     /** One texel reference at (x, y) of MIP level @p mip. */
     virtual void access(uint32_t x, uint32_t y, uint32_t mip) = 0;
 
@@ -99,6 +111,13 @@ class FanoutSink final : public TexelAccessSink
     {
         for (auto *s : sinks_)
             s->bindTexture(tid);
+    }
+
+    void
+    beginPixel(uint32_t px, uint32_t py) override
+    {
+        for (auto *s : sinks_)
+            s->beginPixel(px, py);
     }
 
     void

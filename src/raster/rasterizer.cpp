@@ -295,6 +295,8 @@ Rasterizer::rasterizeTriangle(const ScreenVertex &a, const ScreenVertex &b,
             const float lambda =
                 rho2 > 0.0f ? 0.5f * std::log2(rho2) : -16.0f;
 
+            sampler_.beginPixel(static_cast<uint32_t>(px),
+                                static_cast<uint32_t>(py));
             const uint32_t color = sampler_.sample(u, v, lambda);
             ++stats.pixels_textured;
             if (shade)

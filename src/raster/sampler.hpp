@@ -50,6 +50,14 @@ class TextureSampler
      */
     void bind(const TextureEntry &entry);
 
+    /** Announce the screen pixel subsequent samples shade (profiling). */
+    void
+    beginPixel(uint32_t px, uint32_t py)
+    {
+        if (sink_)
+            sink_->beginPixel(px, py);
+    }
+
     /**
      * Sample the bound texture at normalised coordinates (u, v) (repeat
      * wrapping) with LOD @p lambda = log2(texels per pixel) measured in

@@ -472,6 +472,18 @@ class GuardedSink final : public TexelAccessSink
     }
 
     void
+    beginPixel(uint32_t px, uint32_t py) override
+    {
+        if (*dead_)
+            return;
+        try {
+            inner_.beginPixel(px, py);
+        } catch (...) {
+            quarantine();
+        }
+    }
+
+    void
     access(uint32_t x, uint32_t y, uint32_t mip) override
     {
         if (*dead_)
@@ -503,8 +515,12 @@ class GuardedSink final : public TexelAccessSink
         *dead_ = true;
         *error_ = err;
         *at_frame_ = *current_frame_;
-        if (ChromeTraceWriter *t = globalTracer())
+        if (ChromeTraceWriter *t = globalTracer()) {
             t->instant("sim.quarantined", "runner");
+            // A quarantine often precedes an operator killing the run:
+            // make sure the evidence reaches the file now.
+            t->flush();
+        }
     }
 
   private:
@@ -664,6 +680,18 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
 
     runAnimationRange(workload_, config_, &fanout, start_frame, per_frame,
                       gate);
+
+    if (outcome != RunOutcome::Completed) {
+        // Interrupted (SIGINT/SIGTERM, deadline, budget): make sure
+        // every telemetry row/event up to the last complete frame is on
+        // disk even if the process is killed before close(). The
+        // metrics JSONL sink flushes per line already; the trace buffer
+        // is the one that loses data.
+        if (obs_)
+            obs_->flush();
+        else if (ChromeTraceWriter *t = globalTracer())
+            t->flush();
+    }
 
     RunManifest manifest;
     manifest.outcome = outcome;

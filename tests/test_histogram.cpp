@@ -66,6 +66,63 @@ TEST(Histogram, OverflowBucketAggregates)
     EXPECT_EQ(h.percentile(1.0), 11u); // cap+1 marker
 }
 
+TEST(Histogram, EmptyPercentileIsZeroAtEveryQuantile)
+{
+    Histogram h;
+    for (double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(q), 0u) << "q=" << q;
+}
+
+TEST(Histogram, SingleBucketGeometry)
+{
+    // cap 0: one real bucket (value 0) plus the overflow bucket.
+    Histogram h(0);
+    h.add(0);
+    h.add(0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+    EXPECT_DOUBLE_EQ(h.cdf(0), 1.0);
+    h.add(7); // overflows the single bucket
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.percentile(1.0), 1u); // cap+1 marker
+    EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(Histogram, MergeOfDisjointRanges)
+{
+    Histogram lo, hi;
+    for (uint64_t v = 1; v <= 10; ++v)
+        lo.add(v);
+    for (uint64_t v = 101; v <= 110; ++v)
+        hi.add(v);
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), 20u);
+    EXPECT_EQ(lo.max(), 110u);
+    EXPECT_EQ(lo.sum(), 55u + 1055u);
+    EXPECT_EQ(lo.bucket(5), 1u);
+    EXPECT_EQ(lo.bucket(105), 1u);
+    EXPECT_EQ(lo.bucket(50), 0u); // the gap stays empty
+    EXPECT_EQ(lo.percentile(0.5), 10u);
+    EXPECT_EQ(lo.percentile(1.0), 110u);
+    EXPECT_DOUBLE_EQ(lo.cdf(10), 0.5);
+}
+
+TEST(Histogram, MergeRejectsCapMismatch)
+{
+    Histogram a(10);
+    Histogram b(20);
+    b.add(3);
+    try {
+        a.merge(b);
+        FAIL() << "cap mismatch must throw";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadArgument);
+    }
+    EXPECT_EQ(a.count(), 0u); // unchanged on rejection
+}
+
 TEST(Histogram, ClearResets)
 {
     Histogram h;

@@ -204,6 +204,45 @@ TEST(MissClassifier, AgreesWithGoldenModelOnRandomStream)
     EXPECT_GT(expected.conflict, 0u);
 }
 
+TEST(MissClassifier, RepeatHeavyStreamMatchesGoldenModel)
+{
+    // The hot path memoizes consecutive same-key lookups (a guaranteed
+    // MRU hit), so hammer exactly that pattern: long runs of one key,
+    // interleaved with keys that break the run, against the golden
+    // model that has no memo at all.
+    constexpr size_t kCapacity = 4;
+    MissClassifier mc(kCapacity);
+    GoldenClassifier golden(kCapacity);
+    DirectMapped real(kCapacity);
+    Rng rng(4321);
+    for (int run = 0; run < 800; ++run) {
+        const uint64_t key = rng.below(16);
+        const int len = 1 + static_cast<int>(rng.below(6));
+        for (int i = 0; i < len; ++i) {
+            const bool real_hit = real.access(key);
+            const auto got = mc.access(key, key, real_hit,
+                                       static_cast<uint32_t>(key % 3), 0,
+                                       64);
+            const auto want = golden.access(key, real_hit);
+            ASSERT_EQ(got, want) << "run " << run << " rep " << i
+                                 << " key " << key;
+        }
+    }
+    EXPECT_EQ(mc.unitsSeen(), golden.seen.size());
+}
+
+TEST(MissClassifier, RepeatsWithZeroCapacityShadowStayCapacityMisses)
+{
+    // Capacity 0 always misses in the shadow; the consecutive-key memo
+    // must not fabricate a shadow hit (which would misclassify the
+    // repeat as a conflict miss).
+    MissClassifier mc(0);
+    EXPECT_EQ(mc.access(5, 5, false, 0, 0, 64), MissClass::Compulsory);
+    EXPECT_EQ(mc.access(5, 5, false, 0, 0, 64), MissClass::Capacity);
+    EXPECT_EQ(mc.access(5, 5, false, 0, 0, 64), MissClass::Capacity);
+    EXPECT_EQ(mc.totals().conflict, 0u);
+}
+
 TEST(MissClassifier, AttributionRowsAndTopTextures)
 {
     MissClassifier mc(4);

@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Unit tests for the single-pass reuse-distance profiler: the
+ * order-statistic treap against a brute-force model, exact
+ * stack-distance miss ratios against independently simulated
+ * fully-associative LRU caches, SHARDS sampling error bounds,
+ * coalesced-repeat accounting, working-set intervals, heatmap
+ * bucketing, and snapshot round-trips (mid-stream resume
+ * bit-equivalence at both tracker and whole-CacheSim level).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <list>
+#include <unistd.h>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cache_sim.hpp"
+#include "obs/reuse_profiler.hpp"
+#include "texture/texture_manager.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/serializer.hpp"
+
+namespace mltc {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name + "." + std::to_string(getpid());
+}
+
+std::vector<uint8_t>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<uint8_t> bytes;
+    int ch;
+    while (f && (ch = std::fgetc(f)) != EOF)
+        bytes.push_back(static_cast<uint8_t>(ch));
+    if (f)
+        std::fclose(f);
+    return bytes;
+}
+
+// ------------------------------------------------------ OrderStatTree
+
+TEST(OrderStatTree, MatchesBruteForceOverRandomOps)
+{
+    OrderStatTree tree;
+    std::vector<uint64_t> live;
+    Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        const int op = static_cast<int>(rng.below(3));
+        if (op < 2 || live.empty()) {
+            uint64_t key = rng.below(1 << 20);
+            while (std::find(live.begin(), live.end(), key) != live.end())
+                ++key;
+            tree.insert(key);
+            live.push_back(key);
+        } else {
+            const size_t at = static_cast<size_t>(rng.below(
+                static_cast<uint64_t>(live.size())));
+            tree.erase(live[at]);
+            live.erase(live.begin() + static_cast<ptrdiff_t>(at));
+        }
+        ASSERT_EQ(tree.size(), live.size());
+        if (!live.empty() && i % 16 == 0) {
+            const uint64_t probe = live[live.size() / 2];
+            uint64_t greater = 0;
+            for (uint64_t k : live)
+                if (k > probe)
+                    ++greater;
+            ASSERT_EQ(tree.countGreater(probe), greater) << "op " << i;
+        }
+    }
+}
+
+TEST(OrderStatTree, EraseOfAbsentKeyThrows)
+{
+    OrderStatTree tree;
+    tree.insert(7);
+    EXPECT_THROW(tree.erase(8), Exception);
+    tree.clear();
+    EXPECT_EQ(tree.size(), 0u);
+}
+
+// ------------------------------------------------ ReuseDistanceTracker
+
+/** Plain fully-associative LRU simulated with a list, for reference. */
+uint64_t
+lruMisses(const std::vector<uint64_t> &stream, size_t capacity)
+{
+    std::list<uint64_t> order;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where;
+    uint64_t misses = 0;
+    for (uint64_t key : stream) {
+        auto it = where.find(key);
+        if (it != where.end()) {
+            order.splice(order.begin(), order, it->second);
+            continue;
+        }
+        ++misses;
+        order.push_front(key);
+        where[key] = order.begin();
+        if (order.size() > capacity) {
+            where.erase(order.back());
+            order.pop_back();
+        }
+    }
+    return misses;
+}
+
+std::vector<uint64_t>
+skewedStream(uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> stream;
+    stream.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        // Hot set, looping sweep and cold tail — all three stack shapes.
+        const uint64_t pick = rng.below(10);
+        if (pick < 5)
+            stream.push_back(rng.below(24));
+        else if (pick < 8)
+            stream.push_back(1000 + (i % 300));
+        else
+            stream.push_back(10000 + rng.below(50000));
+    }
+    return stream;
+}
+
+TEST(ReuseDistanceTracker, ExactMissRatiosMatchSimulatedLru)
+{
+    const std::vector<uint64_t> stream = skewedStream(7, 30000);
+    ReuseDistanceTracker t(1.0);
+    for (uint64_t key : stream)
+        t.record(key);
+    EXPECT_EQ(t.totalAccesses(), stream.size());
+    for (size_t capacity : {1u, 2u, 8u, 32u, 128u, 512u}) {
+        const double predicted = t.missRatio(capacity);
+        const double simulated =
+            static_cast<double>(lruMisses(stream, capacity)) /
+            static_cast<double>(stream.size());
+        EXPECT_NEAR(predicted, simulated, 1e-12) << "capacity " << capacity;
+    }
+    // Curve covers the whole distinct set and ends at the cold ratio.
+    const auto curve = t.curve();
+    ASSERT_FALSE(curve.empty());
+    EXPECT_GE(curve.back().capacity_units, t.distinctUnits());
+    EXPECT_NEAR(curve.back().miss_ratio,
+                static_cast<double>(t.coldAccesses()) /
+                    static_cast<double>(t.totalAccesses()),
+                1e-12);
+    // Monotone non-increasing in capacity.
+    for (size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i].miss_ratio, curve[i - 1].miss_ratio + 1e-12);
+}
+
+TEST(ReuseDistanceTracker, RepeatsEnterDenominatorAsGuaranteedHits)
+{
+    ReuseDistanceTracker t(1.0);
+    t.record(1);
+    t.record(2);
+    t.record(1);
+    t.addRepeats(7); // distance-zero accesses: hits at any capacity >= 1
+    EXPECT_EQ(t.totalAccesses(), 10u);
+    // Capacity 1: the 1,2,1 stream misses all three times; repeats hit.
+    EXPECT_NEAR(t.missRatio(1), 3.0 / 10.0, 1e-12);
+    EXPECT_NEAR(t.missRatio(2), 2.0 / 10.0, 1e-12);
+    EXPECT_NEAR(t.missRatio(0), 1.0, 1e-12);
+}
+
+TEST(ReuseDistanceTracker, ShardsSamplingApproximatesExactCurve)
+{
+    // Spatial sampling needs a wide key population: with only a handful
+    // of hot keys the estimator's variance is huge by construction. Use
+    // a stream whose hot set alone has thousands of keys.
+    std::vector<uint64_t> stream;
+    Rng rng(99);
+    stream.reserve(120000);
+    for (size_t i = 0; i < 120000; ++i) {
+        const uint64_t pick = rng.below(10);
+        if (pick < 5)
+            stream.push_back(rng.below(4000));
+        else if (pick < 8)
+            stream.push_back(100000 + (i % 8000));
+        else
+            stream.push_back(1000000 + rng.below(200000));
+    }
+    ReuseDistanceTracker exact(1.0);
+    ReuseDistanceTracker sampled(0.25);
+    for (uint64_t key : stream) {
+        exact.record(key);
+        sampled.record(key);
+    }
+    // Totals are estimates scaled by 1/rate; distinct units likewise.
+    EXPECT_NEAR(static_cast<double>(sampled.totalAccesses()),
+                static_cast<double>(exact.totalAccesses()),
+                0.1 * static_cast<double>(exact.totalAccesses()));
+    for (size_t capacity : {8u, 64u, 512u}) {
+        EXPECT_NEAR(sampled.missRatio(capacity), exact.missRatio(capacity),
+                    0.05)
+            << "capacity " << capacity;
+    }
+    // The sampled tracker holds roughly rate * distinct keys.
+    EXPECT_LT(sampled.trackedUnits(), exact.trackedUnits());
+}
+
+TEST(ReuseDistanceTracker, IntervalRowsCountDistinctAndCold)
+{
+    ReuseDistanceTracker t(1.0);
+    t.record(1);
+    t.record(2);
+    t.record(1);
+    t.addRepeats(3);
+    const WorkingSetRow a = t.closeInterval(0, 4);
+    EXPECT_EQ(a.frame_begin, 0u);
+    EXPECT_EQ(a.frame_end, 4u);
+    EXPECT_EQ(a.accesses, 6u);       // 3 recorded + 3 repeats
+    EXPECT_EQ(a.distinct_units, 2u); // keys 1, 2
+    EXPECT_EQ(a.cold_units, 2u);     // both first-ever touches
+
+    t.record(1); // seen before, but first touch in THIS interval
+    t.record(9); // never seen
+    const WorkingSetRow b = t.peekInterval(4, 8);
+    EXPECT_EQ(b.accesses, 2u);
+    EXPECT_EQ(b.distinct_units, 2u);
+    EXPECT_EQ(b.cold_units, 1u);
+    // peek must not close: closing now returns the same row.
+    const WorkingSetRow c = t.closeInterval(4, 8);
+    EXPECT_EQ(c.distinct_units, b.distinct_units);
+    EXPECT_EQ(c.cold_units, b.cold_units);
+}
+
+TEST(ReuseDistanceTracker, SaveLoadResumeIsBitEquivalent)
+{
+    const std::vector<uint64_t> stream = skewedStream(5, 20000);
+    const std::string path = tempPath("tracker.snap");
+
+    ReuseDistanceTracker straight(1.0);
+    for (uint64_t key : stream)
+        straight.record(key);
+
+    ReuseDistanceTracker first(1.0);
+    const size_t mid = stream.size() / 2;
+    for (size_t i = 0; i < mid; ++i)
+        first.record(stream[i]);
+    {
+        SnapshotWriter w(path);
+        first.save(w);
+        w.finish();
+    }
+    ReuseDistanceTracker resumed(1.0);
+    {
+        SnapshotReader r(path);
+        resumed.load(r);
+        r.expectEnd();
+    }
+    for (size_t i = mid; i < stream.size(); ++i)
+        resumed.record(stream[i]);
+
+    const std::string pa = tempPath("tracker_a.snap");
+    const std::string pb = tempPath("tracker_b.snap");
+    {
+        SnapshotWriter wa(pa);
+        straight.save(wa);
+        wa.finish();
+        SnapshotWriter wb(pb);
+        resumed.save(wb);
+        wb.finish();
+    }
+    EXPECT_EQ(slurp(pa), slurp(pb))
+        << "straight and resumed tracker snapshots differ";
+    for (size_t capacity : {4u, 64u, 1024u})
+        EXPECT_EQ(straight.missRatio(capacity), resumed.missRatio(capacity));
+    std::remove(path.c_str());
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
+
+TEST(ReuseDistanceTracker, LoadRejectsSampleRateSkew)
+{
+    const std::string path = tempPath("tracker_skew.snap");
+    ReuseDistanceTracker a(1.0);
+    a.record(1);
+    {
+        SnapshotWriter w(path);
+        a.save(w);
+        w.finish();
+    }
+    ReuseDistanceTracker b(0.5);
+    SnapshotReader r(path);
+    try {
+        b.load(r);
+        FAIL() << "sample-rate skew must be rejected";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::VersionMismatch);
+    }
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- ReuseProfiler
+
+ReuseProfilerConfig
+profilerConfig()
+{
+    ReuseProfilerConfig cfg;
+    cfg.enabled = true;
+    cfg.interval_frames = 2;
+    cfg.screen_width = 64;
+    cfg.screen_height = 32;
+    cfg.tex_granule = 16;
+    return cfg;
+}
+
+TEST(ReuseProfiler, HeatmapsBucketAccessesAndMisses)
+{
+    ReuseProfiler p(profilerConfig());
+    p.bindTexture(3, 64, 64); // 4x4 grid at granule 16
+    p.beginPixel(5, 7);
+    p.onL1Access(100, /*l1_hit=*/false, 0, 0, 0);  // cell (0,0), miss
+    p.onL1Access(100, /*l1_hit=*/true, 17, 0, 0);  // cell (1,0), hit
+    p.onL1Access(101, /*l1_hit=*/false, 8, 8, 1);  // mip 1 folds to (1,1)
+    p.onL2Sector(900, /*full_hit=*/false, 0, 0, 0);
+    p.endFrame(5);
+
+    const auto &grids = p.textureGrids();
+    ASSERT_EQ(grids.size(), 1u);
+    const HeatmapGrid &g = grids.at(3);
+    ASSERT_EQ(g.width, 4u);
+    ASSERT_EQ(g.height, 4u);
+    EXPECT_EQ(g.accesses[0], 1u);
+    EXPECT_EQ(g.misses[0], 1u);
+    EXPECT_EQ(g.accesses[1], 1u);
+    EXPECT_EQ(g.misses[1], 0u);
+    EXPECT_EQ(g.accesses[4 * 1 + 1], 1u); // mip-folded cell (1,1)
+
+    // Screen: L1 misses land in accesses[], L2 misses in misses[].
+    const HeatmapGrid &s = p.screenGrid();
+    ASSERT_EQ(s.width, 64u);
+    EXPECT_EQ(s.accesses[7 * 64 + 5], 2u); // two L1 misses at (5,7)
+    EXPECT_EQ(s.misses[7 * 64 + 5], 1u);   // one L2 full miss
+    EXPECT_TRUE(p.hasL2Stream());
+
+    // Repeat accounting: 5 frame accesses - 3 recorded = 2 repeats.
+    EXPECT_EQ(p.l1().totalAccesses(), 5u);
+}
+
+TEST(ReuseProfiler, SpectrumRowsIncludeOpenTail)
+{
+    ReuseProfiler p(profilerConfig()); // interval = 2 frames
+    p.bindTexture(1, 32, 32);
+    p.onL1Access(1, false, 0, 0, 0);
+    p.endFrame(1);
+    // One frame done, interval still open: workingSet is empty but the
+    // exports see the partial row.
+    EXPECT_TRUE(p.workingSet(false).empty());
+    const auto rows = p.spectrumRows(false);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].frame_begin, 0u);
+    EXPECT_EQ(rows[0].frame_end, 1u);
+    EXPECT_EQ(rows[0].accesses, 1u);
+
+    p.onL1Access(2, false, 0, 0, 0);
+    p.endFrame(1);
+    // Interval closed at frame 2: one closed row, no tail.
+    ASSERT_EQ(p.workingSet(false).size(), 1u);
+    EXPECT_EQ(p.spectrumRows(false).size(), 1u);
+    EXPECT_EQ(p.workingSet(false)[0].distinct_units, 2u);
+}
+
+TEST(ReuseProfiler, SaveLoadResumeIsBitEquivalent)
+{
+    const std::string path = tempPath("profiler.snap");
+    Rng rng(11);
+    const auto drive = [&](ReuseProfiler &p, uint64_t seed, int frames) {
+        Rng local(seed);
+        for (int f = 0; f < frames; ++f) {
+            p.bindTexture(1 + static_cast<uint32_t>(local.below(2)), 64,
+                          64);
+            uint64_t accesses = 0;
+            for (int i = 0; i < 200; ++i) {
+                p.beginPixel(static_cast<uint32_t>(local.below(64)),
+                             static_cast<uint32_t>(local.below(32)));
+                const uint64_t key = local.below(40);
+                p.onL1Access(key, local.below(4) != 0,
+                             static_cast<uint32_t>(local.below(64)),
+                             static_cast<uint32_t>(local.below(64)),
+                             static_cast<uint32_t>(local.below(2)));
+                ++accesses;
+                if (local.below(3) == 0) {
+                    p.onL2Sector(500 + local.below(12), local.below(2) == 0,
+                                 0, 0, 0);
+                }
+            }
+            p.endFrame(accesses + 17); // 17 coalesced repeats per frame
+        }
+    };
+
+    ReuseProfiler straight(profilerConfig());
+    drive(straight, 1, 4);
+    drive(straight, 2, 4);
+
+    ReuseProfiler first(profilerConfig());
+    drive(first, 1, 4);
+    {
+        SnapshotWriter w(path);
+        first.save(w);
+        w.finish();
+    }
+    ReuseProfiler resumed(profilerConfig());
+    {
+        SnapshotReader r(path);
+        resumed.load(r);
+        r.expectEnd();
+    }
+    drive(resumed, 2, 4);
+
+    const std::string pa = tempPath("profiler_a.snap");
+    const std::string pb = tempPath("profiler_b.snap");
+    {
+        SnapshotWriter wa(pa);
+        straight.save(wa);
+        wa.finish();
+        SnapshotWriter wb(pb);
+        resumed.save(wb);
+        wb.finish();
+    }
+    EXPECT_EQ(slurp(pa), slurp(pb))
+        << "straight and resumed profiler snapshots differ";
+    EXPECT_EQ(straight.asciiMrc(), resumed.asciiMrc());
+    std::remove(path.c_str());
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
+
+TEST(ReuseProfiler, LoadRejectsConfigSkew)
+{
+    const std::string path = tempPath("profiler_skew.snap");
+    ReuseProfiler a(profilerConfig());
+    a.bindTexture(1, 32, 32);
+    a.onL1Access(1, false, 0, 0, 0);
+    a.endFrame(1);
+    {
+        SnapshotWriter w(path);
+        a.save(w);
+        w.finish();
+    }
+    ReuseProfilerConfig other = profilerConfig();
+    other.interval_frames = 9;
+    ReuseProfiler b(other);
+    SnapshotReader r(path);
+    try {
+        b.load(r);
+        FAIL() << "config skew must be rejected";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::VersionMismatch);
+    }
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------- CacheSim integration
+
+/** A tiny two-texture registry for CacheSim-level tests. */
+std::unique_ptr<TextureManager>
+smallTextures()
+{
+    auto tm = std::make_unique<TextureManager>();
+    tm->load("a", MipPyramid(Image(64, 64)));
+    tm->load("b", MipPyramid(Image(64, 64)));
+    return tm;
+}
+
+TEST(ReuseProfilerCacheSim, SnapshotRoundTripsThroughCacheSim)
+{
+    auto textures = smallTextures();
+    const std::string path = tempPath("sim_profiler.snap");
+    CacheSimConfig sc = CacheSimConfig::twoLevel(1024, 1ull << 18);
+
+    const auto drive = [](CacheSim &sim, uint32_t seed, int frames) {
+        Rng rng(seed);
+        for (int f = 0; f < frames; ++f) {
+            for (int i = 0; i < 400; ++i) {
+                sim.bindTexture(1 + static_cast<TextureId>(rng.below(2)));
+                sim.beginPixel(static_cast<uint32_t>(rng.below(64)),
+                               static_cast<uint32_t>(rng.below(64)));
+                // Coords < 32 stay in range at both swept MIP levels.
+                sim.access(static_cast<uint32_t>(rng.below(32)),
+                           static_cast<uint32_t>(rng.below(32)),
+                           static_cast<uint32_t>(rng.below(2)));
+            }
+            sim.endFrame();
+        }
+    };
+
+    ReuseProfilerConfig pc = profilerConfig();
+
+    CacheSim straight(*textures, sc, "straight");
+    ReuseProfiler p_straight(pc);
+    straight.setReuseProfiler(&p_straight);
+    drive(straight, 1, 3);
+    drive(straight, 2, 3);
+
+    CacheSim first(*textures, sc, "first");
+    ReuseProfiler p_first(pc);
+    first.setReuseProfiler(&p_first);
+    drive(first, 1, 3);
+    {
+        SnapshotWriter w(path);
+        first.save(w);
+        w.finish();
+    }
+    CacheSim resumed(*textures, sc, "resumed");
+    ReuseProfiler p_resumed(pc);
+    resumed.setReuseProfiler(&p_resumed);
+    {
+        SnapshotReader r(path);
+        resumed.load(r);
+        r.expectEnd();
+    }
+    drive(resumed, 2, 3);
+
+    EXPECT_EQ(p_straight.asciiMrc(), p_resumed.asciiMrc());
+    EXPECT_EQ(p_straight.l1().totalAccesses(),
+              p_resumed.l1().totalAccesses());
+    EXPECT_EQ(p_straight.frames(), p_resumed.frames());
+    EXPECT_EQ(straight.totals().accesses, resumed.totals().accesses);
+
+    const std::string pa = tempPath("sim_profiler_a.snap");
+    const std::string pb = tempPath("sim_profiler_b.snap");
+    {
+        SnapshotWriter wa(pa);
+        straight.save(wa);
+        wa.finish();
+        SnapshotWriter wb(pb);
+        resumed.save(wb);
+        wb.finish();
+    }
+    EXPECT_EQ(slurp(pa), slurp(pb))
+        << "straight and resumed CacheSim+profiler snapshots differ";
+    std::remove(path.c_str());
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
+
+TEST(ReuseProfilerCacheSim, LoadWithoutProfilerRejectsProfiledSnapshot)
+{
+    auto textures = smallTextures();
+    const std::string path = tempPath("sim_profiler_flags.snap");
+    CacheSimConfig sc = CacheSimConfig::pull(1024);
+
+    CacheSim a(*textures, sc, "with");
+    ReuseProfiler p(profilerConfig());
+    a.setReuseProfiler(&p);
+    a.bindTexture(1);
+    a.access(0, 0, 0);
+    a.endFrame();
+    {
+        SnapshotWriter w(path);
+        a.save(w);
+        w.finish();
+    }
+    CacheSim b(*textures, sc, "without");
+    SnapshotReader r(path);
+    try {
+        b.load(r);
+        FAIL() << "profiled snapshot must not load into a bare sim";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::VersionMismatch);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ReuseProfilerCacheSim, PredictsFullyAssociativeSweepExactly)
+{
+    auto textures = smallTextures();
+    // One reference stream, recorded as raw (x, y, mip) triples so it
+    // can be replayed into every simulator identically.
+    struct Ref
+    {
+        TextureId tid;
+        uint32_t x, y, mip;
+    };
+    std::vector<Ref> refs;
+    Rng rng(31);
+    for (int i = 0; i < 30000; ++i)
+        refs.push_back({1 + static_cast<TextureId>(rng.below(2)),
+                        static_cast<uint32_t>(rng.below(32)),
+                        static_cast<uint32_t>(rng.below(32)),
+                        static_cast<uint32_t>(rng.below(2))});
+
+    const auto replay = [&](CacheSim &sim) {
+        for (const Ref &ref : refs) {
+            sim.bindTexture(ref.tid);
+            sim.access(ref.x, ref.y, ref.mip);
+        }
+        sim.endFrame();
+    };
+
+    CacheSimConfig profiled_cfg = CacheSimConfig::pull(2 * 1024);
+    CacheSim profiled(*textures, profiled_cfg, "profiled");
+    ReuseProfilerConfig pc;
+    pc.enabled = true;
+    ReuseProfiler profiler(pc);
+    profiled.setReuseProfiler(&profiler);
+    replay(profiled);
+
+    for (uint64_t lines : {4u, 16u, 64u}) {
+        CacheSimConfig sc =
+            CacheSimConfig::pull(lines * profiled_cfg.l1.lineBytes());
+        sc.l1.assoc = 0; // fully associative true-LRU
+        CacheSim swept(*textures, sc, "swept");
+        replay(swept);
+        const double measured =
+            static_cast<double>(swept.totals().l1_misses) /
+            static_cast<double>(swept.totals().accesses);
+        EXPECT_NEAR(profiler.l1().missRatio(lines), measured, 1e-12)
+            << lines << " lines";
+    }
+}
+
+} // namespace
+} // namespace mltc
