@@ -16,10 +16,12 @@
 #include <string>
 
 #include "sim/multi_config_runner.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/resilience.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mltc::bench {
 
@@ -71,6 +73,47 @@ wroteCsv(CsvWriter &csv)
 {
     csv.close();
     wroteCsv(csv.path());
+}
+
+/**
+ * Worker count for a bench sweep: MLTC_JOBS if set, else hardware
+ * concurrency. Benches take no --jobs flag (several take no flags at
+ * all), so the environment is the one knob — consistent with
+ * MLTC_FRAMES/MLTC_OUT_DIR. See docs/parallelism.md.
+ */
+inline unsigned
+benchJobs()
+{
+    return ThreadPool::defaultJobs();
+}
+
+/**
+ * Run the sweep, then report every failed or cancelled leg to stderr in
+ * leg order. Returns true iff every leg completed — benches exit
+ * non-zero otherwise, after emitting whatever legs did finish.
+ */
+inline bool
+runLegs(SweepExecutor &sweep)
+{
+    const SweepManifest manifest = sweep.run();
+    bool ok = true;
+    for (const LegResult &lr : manifest.legs) {
+        if (lr.outcome == LegOutcome::Completed)
+            continue;
+        std::fprintf(stderr, "[%s] leg %s%s%s\n", lr.name.c_str(),
+                     legOutcomeName(lr.outcome),
+                     lr.error.empty() ? "" : ": ", lr.error.c_str());
+        ok = false;
+    }
+    return ok;
+}
+
+/** wroteCsv into a leg's ordered stdout buffer. */
+inline void
+wroteCsv(LegContext &ctx, CsvWriter &csv)
+{
+    csv.close();
+    ctx.printf("[csv] %s\n\n", csv.path().c_str());
 }
 
 /**

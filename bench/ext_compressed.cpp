@@ -24,47 +24,68 @@ main()
            "storage (2KB L1, 2MB L2, trilinear)");
 
     const int n_frames = frames(36);
-    CsvWriter csv(csvPath("ext_compressed.csv"),
-                  {"workload", "config", "mb_per_frame", "host_texture_mb"});
 
-    for (const std::string &name : workloadNames()) {
+    // One leg per (workload, compression) on the work-stealing pool
+    // (MLTC_JOBS); CSV rows land in leg-indexed slots and stdout is
+    // buffered in leg order — byte-identical for any worker count.
+    const std::vector<std::string> names = workloadNames();
+    std::vector<std::vector<std::vector<std::string>>> rows(
+        names.size() * 2);
+    SweepExecutor sweep(benchJobs());
+    for (size_t w = 0; w < names.size(); ++w)
         for (int compressed = 0; compressed < 2; ++compressed) {
-            Workload wl = buildWorkload(name);
-            if (compressed)
-                for (TextureId t = 1;
-                     t <= static_cast<TextureId>(
-                              wl.textures->textureCount());
-                     ++t)
-                    wl.textures->setHostBitsPerTexel(t, kBtcBitsPerTexel);
+            const size_t slot = w * 2 + static_cast<size_t>(compressed);
+            const std::string name = names[w];
+            sweep.addLeg(name + (compressed ? "_btc" : "_raw"),
+                         [&, slot, name, compressed](LegContext &ctx) {
+                Workload wl = buildWorkload(name);
+                if (compressed)
+                    for (TextureId t = 1;
+                         t <= static_cast<TextureId>(
+                                  wl.textures->textureCount());
+                         ++t)
+                        wl.textures->setHostBitsPerTexel(
+                            t, kBtcBitsPerTexel);
 
-            DriverConfig cfg;
-            cfg.filter = FilterMode::Trilinear;
-            cfg.frames = n_frames;
+                DriverConfig cfg;
+                cfg.filter = FilterMode::Trilinear;
+                cfg.frames = n_frames;
 
-            MultiConfigRunner runner(wl, cfg);
-            runner.addSim(CacheSimConfig::pull(2 * 1024), "pull");
-            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20),
-                          "L2");
-            runner.run();
+                MultiConfigRunner runner(wl, cfg);
+                runner.addSim(CacheSimConfig::pull(2 * 1024), "pull");
+                runner.addSim(
+                    CacheSimConfig::twoLevel(2 * 1024, 2ull << 20), "L2");
+                runner.run();
 
-            double host_mb =
-                static_cast<double>(wl.textures->totalHostBytes()) /
-                (1 << 20);
-            for (size_t i = 0; i < 2; ++i) {
-                double avg = runner.averageHostBytesPerFrame(i) /
-                             (1024.0 * 1024.0);
-                std::string label =
-                    std::string(i == 0 ? "pull" : "L2-2MB") +
-                    (compressed ? "+BTC" : "");
-                std::printf("%-8s %-10s %7.3f MB/frame  (host texture "
-                            "pool %.1f MB)\n",
-                            name.c_str(), label.c_str(), avg, host_mb);
-                csv.rowStrings({name, label, formatDouble(avg, 4),
-                                formatDouble(host_mb, 2)});
-            }
+                double host_mb =
+                    static_cast<double>(wl.textures->totalHostBytes()) /
+                    (1 << 20);
+                for (size_t i = 0; i < 2; ++i) {
+                    double avg = runner.averageHostBytesPerFrame(i) /
+                                 (1024.0 * 1024.0);
+                    std::string label =
+                        std::string(i == 0 ? "pull" : "L2-2MB") +
+                        (compressed ? "+BTC" : "");
+                    ctx.printf("%-8s %-10s %7.3f MB/frame  (host texture "
+                               "pool %.1f MB)\n",
+                               name.c_str(), label.c_str(), avg, host_mb);
+                    rows[slot].push_back({name, label,
+                                          formatDouble(avg, 4),
+                                          formatDouble(host_mb, 2)});
+                }
+                if (compressed)
+                    ctx.printf("\n");
+            });
         }
-        std::printf("\n");
-    }
+    if (!runLegs(sweep))
+        return 1;
+
+    CsvWriter csv(csvPath("ext_compressed.csv"),
+                  {"workload", "config", "mb_per_frame",
+                   "host_texture_mb"});
+    for (const auto &leg_rows : rows)
+        for (const auto &row : leg_rows)
+            csv.rowStrings(row);
     std::printf("(BTC divides download cost by ~10; the L2 removes "
                 "downloads — combined they compound)\n");
     wroteCsv(csv.path());

@@ -79,70 +79,91 @@ main(int argc, char **argv)
 
     const int n_frames = frames(2);
 
+    // One leg per workload on the work-stealing pool (MLTC_JOBS); each
+    // leg records and replays its own private trace clip, so legs stay
+    // fully independent. CSV rows land in leg-indexed slots and tables
+    // stream through the ordered leg buffers — byte-identical for any
+    // worker count.
+    const std::vector<std::string> names = {"village", "city"};
+    std::vector<std::vector<std::vector<std::string>>> csv_rows(
+        names.size());
+    std::vector<int> fail_counts(names.size(), 0);
+    SweepExecutor sweep(benchJobs());
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string name = names[w];
+        sweep.addLeg(name, [&, w, name](LegContext &ctx) {
+            Workload wl = buildWorkload(name);
+            // Half-resolution keeps the trace small; the reference
+            // stream's locality structure is what matters, not the
+            // pixel count.
+            DriverConfig cfg;
+            cfg.width = 512;
+            cfg.height = 384;
+            cfg.filter = FilterMode::Bilinear;
+            cfg.frames = n_frames;
+
+            const std::string trace_path =
+                csvPath("ext_mrc_validation." + name + ".trace.bin");
+            {
+                TraceWriter writer(trace_path);
+                runAnimation(wl, cfg, &writer, [&](int, const FrameStats &) {
+                    writer.endFrame();
+                });
+                writer.close();
+            }
+
+            const auto exact = profiledReplay(trace_path, wl, 1.0);
+            const auto sampled = profiledReplay(trace_path, wl, 1.0 / 16.0);
+            const uint64_t line_bytes = exact->config().l1_unit_bytes;
+
+            TextTable table({"capacity", "predicted", "measured", "abs err",
+                             "sampled (1/16)"});
+            for (uint64_t lines : kSweptLines) {
+                CacheSimConfig sc = CacheSimConfig::pull(lines * line_bytes);
+                sc.l1.assoc = 0; // fully associative, true-LRU stamps
+                CacheSim sim(*wl.textures, sc, "swept");
+                replayInto(trace_path, sim);
+                const CacheFrameStats &t = sim.totals();
+                const double measured =
+                    static_cast<double>(t.l1_misses) /
+                    static_cast<double>(t.accesses);
+                const double predicted = exact->l1().missRatio(lines);
+                const double sampled_ratio = sampled->l1().missRatio(lines);
+                const double err = std::fabs(predicted - measured);
+                if (err > kTolerance)
+                    ++fail_counts[w];
+                table.addRow({formatBytes(static_cast<double>(
+                                  lines * line_bytes)),
+                              formatPercent(predicted, 3),
+                              formatPercent(measured, 3),
+                              formatPercent(err, 4) +
+                                  (err > kTolerance ? " FAIL" : ""),
+                              formatPercent(sampled_ratio, 3)});
+                csv_rows[w].push_back(
+                    {name, std::to_string(lines * line_bytes),
+                     formatDouble(predicted, 6), formatDouble(measured, 6),
+                     formatDouble(err, 6), formatDouble(sampled_ratio, 6)});
+            }
+            ctx.printf("\n%s (%d frames, %dx%d bilinear):\n", name.c_str(),
+                       n_frames, cfg.width, cfg.height);
+            ctx.write(table.render());
+            std::remove(trace_path.c_str());
+        });
+    }
+    if (!runLegs(sweep))
+        return 1;
+
     CsvWriter csv(csvPath("ext_mrc_validation.csv"),
                   {"workload", "capacity_bytes", "predicted_miss_ratio",
                    "measured_miss_ratio", "abs_error",
                    "sampled_miss_ratio"});
+    for (const auto &leg_rows : csv_rows)
+        for (const auto &row : leg_rows)
+            csv.rowStrings(row);
 
     int failures = 0;
-    for (const std::string &name :
-         {std::string("village"), std::string("city")}) {
-        Workload wl = buildWorkload(name);
-        // Half-resolution keeps the trace small; the reference stream's
-        // locality structure is what matters, not the pixel count.
-        DriverConfig cfg;
-        cfg.width = 512;
-        cfg.height = 384;
-        cfg.filter = FilterMode::Bilinear;
-        cfg.frames = n_frames;
-
-        const std::string trace_path =
-            csvPath("ext_mrc_validation." + name + ".trace.bin");
-        {
-            TraceWriter writer(trace_path);
-            runAnimation(wl, cfg, &writer,
-                         [&](int, const FrameStats &) { writer.endFrame(); });
-            writer.close();
-        }
-
-        const auto exact = profiledReplay(trace_path, wl, 1.0);
-        const auto sampled = profiledReplay(trace_path, wl, 1.0 / 16.0);
-        const uint64_t line_bytes = exact->config().l1_unit_bytes;
-
-        TextTable table({"capacity", "predicted", "measured", "abs err",
-                         "sampled (1/16)"});
-        for (uint64_t lines : kSweptLines) {
-            CacheSimConfig sc = CacheSimConfig::pull(lines * line_bytes);
-            sc.l1.assoc = 0; // fully associative, true-LRU stamps
-            CacheSim sim(*wl.textures, sc, "swept");
-            replayInto(trace_path, sim);
-            const CacheFrameStats &t = sim.totals();
-            const double measured =
-                static_cast<double>(t.l1_misses) /
-                static_cast<double>(t.accesses);
-            const double predicted = exact->l1().missRatio(lines);
-            const double sampled_ratio = sampled->l1().missRatio(lines);
-            const double err = std::fabs(predicted - measured);
-            if (err > kTolerance)
-                ++failures;
-            table.addRow({formatBytes(static_cast<double>(
-                              lines * line_bytes)),
-                          formatPercent(predicted, 3),
-                          formatPercent(measured, 3),
-                          formatPercent(err, 4) +
-                              (err > kTolerance ? " FAIL" : ""),
-                          formatPercent(sampled_ratio, 3)});
-            csv.rowStrings({name, std::to_string(lines * line_bytes),
-                            formatDouble(predicted, 6),
-                            formatDouble(measured, 6), formatDouble(err, 6),
-                            formatDouble(sampled_ratio, 6)});
-        }
-        std::printf("\n%s (%d frames, %dx%d bilinear):\n", name.c_str(),
-                    n_frames, cfg.width, cfg.height);
-        table.print();
-        std::remove(trace_path.c_str());
-    }
-
+    for (int f : fail_counts)
+        failures += f;
     wroteCsv(csv);
     if (failures > 0) {
         std::fprintf(stderr,

@@ -21,37 +21,44 @@ main()
            "sampling)");
 
     const int n_frames = frames(96);
-    for (const std::string &name : workloadNames()) {
-        Workload wl = buildWorkload(name);
-        DriverConfig cfg;
-        cfg.filter = FilterMode::Point;
-        cfg.frames = n_frames;
+    // One leg per workload on the work-stealing pool (MLTC_JOBS);
+    // leg-ordered buffered stdout keeps output byte-identical for any
+    // worker count.
+    SweepExecutor sweep(benchJobs());
+    for (const std::string &name : workloadNames())
+        sweep.addLeg(name, [&, name](LegContext &ctx) {
+            Workload wl = buildWorkload(name);
+            DriverConfig cfg;
+            cfg.filter = FilterMode::Point;
+            cfg.frames = n_frames;
 
-        MultiConfigRunner runner(wl, cfg);
-        runner.addWorkingSets({16}, {});
+            MultiConfigRunner runner(wl, cfg);
+            runner.addWorkingSets({16}, {});
 
-        CsvWriter csv(csvPath("fig05_interframe_ws_" + name + ".csv"),
-                      {"frame", "total_mb", "new_kb"});
-        double total_sum = 0, new_sum = 0;
-        int counted = 0;
-        runner.run([&](const FrameRow &row) {
-            const auto &ws = row.working_sets->l2[0];
-            csv.row({static_cast<double>(row.frame), mb(ws.bytesTouched()),
-                     kb(ws.bytesNew())});
-            if (row.frame > 0) { // frame 0 is all-new by construction
-                total_sum += mb(ws.bytesTouched());
-                new_sum += kb(ws.bytesNew());
-                ++counted;
-            }
+            CsvWriter csv(csvPath("fig05_interframe_ws_" + name + ".csv"),
+                          {"frame", "total_mb", "new_kb"});
+            double total_sum = 0, new_sum = 0;
+            int counted = 0;
+            runner.run([&](const FrameRow &row) {
+                const auto &ws = row.working_sets->l2[0];
+                csv.row({static_cast<double>(row.frame),
+                         mb(ws.bytesTouched()), kb(ws.bytesNew())});
+                if (row.frame > 0) { // frame 0 is all-new by construction
+                    total_sum += mb(ws.bytesTouched());
+                    new_sum += kb(ws.bytesNew());
+                    ++counted;
+                }
+            });
+            ctx.printf("%-8s avg total %.2f MB/frame, avg new %.0f "
+                       "KB/frame (paper: ~150 KB Village / ~40 KB City at "
+                       "411/525 frames)\n",
+                       name.c_str(), total_sum / counted,
+                       new_sum / counted);
+            wroteCsv(ctx, csv);
         });
-        std::printf("%-8s avg total %.2f MB/frame, avg new %.0f KB/frame "
-                    "(paper: ~150 KB Village / ~40 KB City at 411/525 "
-                    "frames)\n",
-                    name.c_str(), total_sum / counted, new_sum / counted);
-        wroteCsv(csv.path());
-    }
+    const bool ok = runLegs(sweep);
     std::printf("note: fewer frames -> faster camera -> proportionally "
                 "larger 'new' per frame; MLTC_FRAMES=411 reproduces the "
                 "paper's pacing.\n\n");
-    return 0;
+    return ok ? 0 : 1;
 }

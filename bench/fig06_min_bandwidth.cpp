@@ -23,42 +23,49 @@ main()
            "8x8 and 4x4 L1 tiles (point sampling)");
 
     const int n_frames = frames(96);
-    for (const std::string &name : workloadNames()) {
-        Workload wl = buildWorkload(name);
-        DriverConfig cfg;
-        cfg.filter = FilterMode::Point;
-        cfg.frames = n_frames;
+    // One leg per workload on the work-stealing pool (MLTC_JOBS);
+    // leg-ordered buffered stdout keeps output byte-identical for any
+    // worker count.
+    SweepExecutor sweep(benchJobs());
+    for (const std::string &name : workloadNames())
+        sweep.addLeg(name, [&, name](LegContext &ctx) {
+            Workload wl = buildWorkload(name);
+            DriverConfig cfg;
+            cfg.filter = FilterMode::Point;
+            cfg.frames = n_frames;
 
-        MultiConfigRunner runner(wl, cfg);
-        runner.addWorkingSets({}, {8, 4});
+            MultiConfigRunner runner(wl, cfg);
+            runner.addWorkingSets({}, {8, 4});
 
-        CsvWriter csv(csvPath("fig06_min_bandwidth_" + name + ".csv"),
-                      {"frame", "total_8x8_mb", "new_8x8_kb",
-                       "total_4x4_mb", "new_4x4_kb"});
-        double tot_sum[2] = {0, 0}, new_sum[2] = {0, 0};
-        int counted = 0;
-        runner.run([&](const FrameRow &row) {
-            const auto &l1 = row.working_sets->l1;
-            csv.row({static_cast<double>(row.frame),
-                     mb(l1[0].bytesTouched()), kb(l1[0].bytesNew()),
-                     mb(l1[1].bytesTouched()), kb(l1[1].bytesNew())});
-            if (row.frame > 0) {
-                for (int i = 0; i < 2; ++i) {
-                    tot_sum[i] += mb(l1[static_cast<size_t>(i)].bytesTouched());
-                    new_sum[i] += kb(l1[static_cast<size_t>(i)].bytesNew());
+            CsvWriter csv(csvPath("fig06_min_bandwidth_" + name + ".csv"),
+                          {"frame", "total_8x8_mb", "new_8x8_kb",
+                           "total_4x4_mb", "new_4x4_kb"});
+            double tot_sum[2] = {0, 0}, new_sum[2] = {0, 0};
+            int counted = 0;
+            runner.run([&](const FrameRow &row) {
+                const auto &l1 = row.working_sets->l1;
+                csv.row({static_cast<double>(row.frame),
+                         mb(l1[0].bytesTouched()), kb(l1[0].bytesNew()),
+                         mb(l1[1].bytesTouched()), kb(l1[1].bytesNew())});
+                if (row.frame > 0) {
+                    for (int i = 0; i < 2; ++i) {
+                        tot_sum[i] +=
+                            mb(l1[static_cast<size_t>(i)].bytesTouched());
+                        new_sum[i] +=
+                            kb(l1[static_cast<size_t>(i)].bytesNew());
+                    }
+                    ++counted;
                 }
-                ++counted;
+            });
+            for (int i = 0; i < 2; ++i) {
+                int tile = i == 0 ? 8 : 4;
+                ctx.printf("%-8s %dx%d: total %.2f MB/frame, new %.0f "
+                           "KB/frame -> potential AGP saving %.0fx\n",
+                           name.c_str(), tile, tile, tot_sum[i] / counted,
+                           new_sum[i] / counted,
+                           tot_sum[i] * 1024.0 / new_sum[i]);
             }
+            wroteCsv(ctx, csv);
         });
-        for (int i = 0; i < 2; ++i) {
-            int tile = i == 0 ? 8 : 4;
-            std::printf("%-8s %dx%d: total %.2f MB/frame, new %.0f "
-                        "KB/frame -> potential AGP saving %.0fx\n",
-                        name.c_str(), tile, tile, tot_sum[i] / counted,
-                        new_sum[i] / counted,
-                        tot_sum[i] * 1024.0 / new_sum[i]);
-        }
-        wroteCsv(csv.path());
-    }
-    return 0;
+    return runLegs(sweep) ? 0 : 1;
 }

@@ -35,47 +35,64 @@ main(int argc, char **argv)
 
     TextTable table({"L1 size", "BL hit rate", "TL hit rate"});
     double bl_hit[5], tl_hit[5];
+    RunManifest manifests[2];
 
+    // One leg per filter pass on the work-stealing pool (MLTC_JOBS);
+    // each leg writes its own per-filter CSV and its stdout is buffered
+    // in leg order, so output is byte-identical for any worker count.
+    SweepExecutor sweep(benchJobs());
     for (int pass = 0; pass < 2; ++pass) {
-        FilterMode filter = pass == 0 ? FilterMode::Bilinear
-                                      : FilterMode::Trilinear;
-        Workload wl = buildWorkload("village");
-        DriverConfig cfg;
-        cfg.filter = filter;
-        cfg.frames = n_frames;
+        const FilterMode filter =
+            pass == 0 ? FilterMode::Bilinear : FilterMode::Trilinear;
+        sweep.addLeg(filterModeName(filter),
+                     [&, pass, filter](LegContext &ctx) {
+            Workload wl = buildWorkload("village");
+            DriverConfig cfg;
+            cfg.filter = filter;
+            cfg.frames = n_frames;
 
-        MultiConfigRunner runner(wl, cfg);
-        for (uint64_t s : sizes_kb)
-            runner.addSim(CacheSimConfig::pull(s * 1024),
-                          std::to_string(s) + "KB");
+            MultiConfigRunner runner(wl, cfg);
+            for (uint64_t s : sizes_kb)
+                runner.addSim(CacheSimConfig::pull(s * 1024),
+                              std::to_string(s) + "KB");
 
-        const std::string leg = std::string(filterModeName(filter));
-        RunManifest manifest =
-            runner.runSupervised(legResilience(resilience, leg));
-        reportManifest(leg, manifest);
-        if (manifest.outcome != RunOutcome::Completed)
-            return 1;
+            const std::string leg = std::string(filterModeName(filter));
+            manifests[pass] =
+                runner.runSupervised(legResilience(resilience, leg));
+            if (manifests[pass].outcome != RunOutcome::Completed)
+                return;
 
-        // Figure 9 proper is the trilinear... the paper plots both
-        // bilinear and trilinear peaks; we emit one CSV per filter.
-        std::string csv_name = std::string("fig09_l1_missrate_village_") +
-                               filterModeName(filter) + ".csv";
-        CsvWriter csv(csvPath(csv_name),
-                      {"frame", "miss_2kb", "miss_4kb", "miss_8kb",
-                       "miss_16kb", "miss_32kb"});
-        for (const FrameRow &row : runner.rows()) {
-            std::vector<double> vals{static_cast<double>(row.frame)};
-            for (const auto &sim : row.sims)
-                vals.push_back(1.0 - sim.l1HitRate());
-            csv.row(vals);
-        }
+            // Figure 9 proper is the trilinear... the paper plots both
+            // bilinear and trilinear peaks; we emit one CSV per filter.
+            std::string csv_name =
+                std::string("fig09_l1_missrate_village_") +
+                filterModeName(filter) + ".csv";
+            CsvWriter csv(csvPath(csv_name),
+                          {"frame", "miss_2kb", "miss_4kb", "miss_8kb",
+                           "miss_16kb", "miss_32kb"});
+            for (const FrameRow &row : runner.rows()) {
+                std::vector<double> vals{static_cast<double>(row.frame)};
+                for (const auto &sim : row.sims)
+                    vals.push_back(1.0 - sim.l1HitRate());
+                csv.row(vals);
+            }
 
-        for (size_t i = 0; i < 5; ++i) {
-            double hit = runner.sims()[i]->totals().l1HitRate();
-            (pass == 0 ? bl_hit : tl_hit)[i] = hit;
-        }
-        wroteCsv(csv);
+            for (size_t i = 0; i < 5; ++i) {
+                double hit = runner.sims()[i]->totals().l1HitRate();
+                (pass == 0 ? bl_hit : tl_hit)[i] = hit;
+            }
+            wroteCsv(ctx, csv);
+        });
     }
+    bool ok = runLegs(sweep);
+    for (int pass = 0; pass < 2; ++pass) {
+        reportManifest(pass == 0 ? "bilinear" : "trilinear",
+                       manifests[pass]);
+        if (manifests[pass].outcome != RunOutcome::Completed)
+            ok = false;
+    }
+    if (!ok)
+        return 1;
 
     for (size_t i = 0; i < 5; ++i)
         table.addRow(std::to_string(sizes_kb[i]) + " KB",

@@ -24,8 +24,15 @@ main()
     const int n_frames = frames(36);
     const uint32_t entry_counts[] = {1, 2, 4, 8, 16};
 
+    // Three independent legs on the work-stealing pool (MLTC_JOBS):
+    // the Figure 11 per-frame run and one Table 8 run per workload.
+    // Leg-ordered buffered stdout and leg-indexed result slots keep the
+    // output byte-identical for any worker count.
+    double rates[5][2];
+    SweepExecutor sweep(benchJobs());
+
     // --- Figure 11: Village, trilinear, per-frame curves ---------------
-    {
+    sweep.addLeg("fig11_village_trilinear", [&](LegContext &ctx) {
         Workload wl = buildWorkload("village");
         DriverConfig cfg;
         cfg.filter = FilterMode::Trilinear;
@@ -47,31 +54,35 @@ main()
                 vals.push_back(sim.tlbHitRate());
             csv.row(vals);
         });
-        wroteCsv(csv.path());
-    }
+        wroteCsv(ctx, csv);
+    });
 
     // --- Table 8: both workloads, bilinear, averages --------------------
-    TextTable table({"# TLB entries", "Village hit rate", "City hit rate"});
-    double rates[5][2];
-    int col = 0;
-    for (const std::string &name : workloadNames()) {
-        Workload wl = buildWorkload(name);
-        DriverConfig cfg;
-        cfg.filter = FilterMode::Bilinear;
-        cfg.frames = n_frames;
+    const std::vector<std::string> names = workloadNames();
+    for (size_t col = 0; col < names.size(); ++col) {
+        const std::string name = names[col];
+        sweep.addLeg("tab08_" + name, [&, col, name](LegContext &) {
+            Workload wl = buildWorkload(name);
+            DriverConfig cfg;
+            cfg.filter = FilterMode::Bilinear;
+            cfg.frames = n_frames;
 
-        MultiConfigRunner runner(wl, cfg);
-        for (uint32_t e : entry_counts) {
-            CacheSimConfig sc =
-                CacheSimConfig::twoLevel(2 * 1024, 2ull << 20);
-            sc.tlb_entries = e;
-            runner.addSim(sc, std::to_string(e));
-        }
-        runner.run();
-        for (size_t i = 0; i < 5; ++i)
-            rates[i][col] = runner.sims()[i]->totals().tlbHitRate();
-        ++col;
+            MultiConfigRunner runner(wl, cfg);
+            for (uint32_t e : entry_counts) {
+                CacheSimConfig sc =
+                    CacheSimConfig::twoLevel(2 * 1024, 2ull << 20);
+                sc.tlb_entries = e;
+                runner.addSim(sc, std::to_string(e));
+            }
+            runner.run();
+            for (size_t i = 0; i < 5; ++i)
+                rates[i][col] = runner.sims()[i]->totals().tlbHitRate();
+        });
     }
+    if (!runLegs(sweep))
+        return 1;
+
+    TextTable table({"# TLB entries", "Village hit rate", "City hit rate"});
     for (size_t i = 0; i < 5; ++i)
         table.addRow(std::to_string(entry_counts[i]),
                      {rates[i][0] * 100.0, rates[i][1] * 100.0}, 1);

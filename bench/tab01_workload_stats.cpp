@@ -22,37 +22,47 @@ main()
 
     const int n_frames = frames(96);
     TextTable table({"statistic", "Village", "City"});
-    std::vector<double> d_row, util_row, w_row;
 
-    for (const std::string &name : workloadNames()) {
-        Workload wl = buildWorkload(name);
-        DriverConfig cfg;
-        cfg.filter = FilterMode::Point;
-        cfg.frames = n_frames;
+    // One leg per workload on the work-stealing pool (MLTC_JOBS);
+    // results land in leg-indexed slots and the table/CSV are rendered
+    // after the sweep — byte-identical output for any worker count.
+    const std::vector<std::string> names = workloadNames();
+    std::vector<double> d_row(names.size()), util_row(names.size()),
+        w_row(names.size());
+    SweepExecutor sweep(benchJobs());
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string name = names[w];
+        sweep.addLeg(name, [&, w, name](LegContext &) {
+            Workload wl = buildWorkload(name);
+            DriverConfig cfg;
+            cfg.filter = FilterMode::Point;
+            cfg.frames = n_frames;
 
-        MultiConfigRunner runner(wl, cfg);
-        runner.addWorkingSets({16}, {});
-        runner.run();
+            MultiConfigRunner runner(wl, cfg);
+            runner.addWorkingSets({16}, {});
+            runner.run();
 
-        // Average d and utilisation over all frames.
-        double d_sum = 0.0, util_sum = 0.0;
-        uint64_t n = 0;
-        for (const auto &row : runner.rows()) {
-            d_sum += row.raster.depthComplexity(cfg.width, cfg.height);
-            util_sum += row.working_sets->utilization(0);
-            ++n;
-        }
-        double d = d_sum / static_cast<double>(n);
-        double util = util_sum / static_cast<double>(n);
-        double w_mb = expectedWorkingSetBytes(
-                          static_cast<uint64_t>(cfg.width) *
-                              static_cast<uint64_t>(cfg.height),
-                          d, util) /
-                      (1024.0 * 1024.0);
-        d_row.push_back(d);
-        util_row.push_back(util);
-        w_row.push_back(w_mb);
+            // Average d and utilisation over all frames.
+            double d_sum = 0.0, util_sum = 0.0;
+            uint64_t n = 0;
+            for (const auto &row : runner.rows()) {
+                d_sum += row.raster.depthComplexity(cfg.width, cfg.height);
+                util_sum += row.working_sets->utilization(0);
+                ++n;
+            }
+            double d = d_sum / static_cast<double>(n);
+            double util = util_sum / static_cast<double>(n);
+            d_row[w] = d;
+            util_row[w] = util;
+            w_row[w] = expectedWorkingSetBytes(
+                           static_cast<uint64_t>(cfg.width) *
+                               static_cast<uint64_t>(cfg.height),
+                           d, util) /
+                       (1024.0 * 1024.0);
+        });
     }
+    if (!runLegs(sweep))
+        return 1;
 
     table.addRow("Depth complexity, d", d_row, 2);
     table.addRow("Block utilization", util_row, 2);
@@ -62,7 +72,6 @@ main()
     CsvWriter csv(csvPath("tab01_workload_stats.csv"),
                   {"workload", "depth_complexity", "utilization",
                    "expected_ws_mb"});
-    auto names = workloadNames();
     for (size_t i = 0; i < names.size(); ++i)
         csv.rowStrings({names[i], formatDouble(d_row[i], 3),
                         formatDouble(util_row[i], 3),

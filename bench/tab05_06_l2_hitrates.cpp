@@ -5,6 +5,8 @@
  * and trilinear filtering — 2 KB L1, 2 MB L2 of 16x16 tiles. These
  * rates feed the §5.4.2 performance model (Table 7).
  */
+#include <vector>
+
 #include "bench_common.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "workload/registry.hpp"
@@ -20,39 +22,66 @@ main()
            "16x16 tiles)");
 
     const int n_frames = frames(36);
+
+    // One leg per (workload, filter), run on the work-stealing pool
+    // (MLTC_JOBS); rates land in leg-indexed slots and the CSV/tables
+    // are rendered after the sweep in leg order, byte-identical for any
+    // worker count (docs/parallelism.md).
+    const std::vector<std::string> names = workloadNames();
+    const FilterMode filters[] = {FilterMode::Bilinear,
+                                  FilterMode::Trilinear};
+    struct Rates
+    {
+        double h1 = 0, h2f = 0, h2p = 0;
+    };
+    std::vector<Rates> rates(names.size() * 2);
+
+    SweepExecutor sweep(benchJobs());
+    for (size_t w = 0; w < names.size(); ++w)
+        for (int pass = 0; pass < 2; ++pass) {
+            const size_t slot = w * 2 + static_cast<size_t>(pass);
+            const std::string name = names[w];
+            const FilterMode filter = filters[pass];
+            sweep.addLeg(name + "_" + filterModeName(filter),
+                         [&, slot, name, filter](LegContext &) {
+                             Workload wl = buildWorkload(name);
+                             DriverConfig cfg;
+                             cfg.filter = filter;
+                             cfg.frames = n_frames;
+
+                             MultiConfigRunner runner(wl, cfg);
+                             runner.addSim(CacheSimConfig::twoLevel(
+                                               2 * 1024, 2ull << 20),
+                                           "2KB+2MB");
+                             runner.run();
+
+                             const CacheFrameStats &t =
+                                 runner.sims()[0]->totals();
+                             rates[slot] = {t.l1HitRate(),
+                                            t.l2FullHitRate(),
+                                            t.l2PartialHitRate()};
+                         });
+        }
+    if (!runLegs(sweep))
+        return 1;
+
     CsvWriter csv(csvPath("tab05_06_l2_hitrates.csv"),
                   {"workload", "filter", "h1", "h2full", "h2partial"});
-
-    for (const std::string &name : workloadNames()) {
-        TextTable table({name + " rate", "BL", "TL"});
-        double h1[2], h2f[2], h2p[2];
+    for (size_t w = 0; w < names.size(); ++w) {
+        TextTable table({names[w] + " rate", "BL", "TL"});
+        const Rates &bl = rates[w * 2];
+        const Rates &tl = rates[w * 2 + 1];
         for (int pass = 0; pass < 2; ++pass) {
-            FilterMode filter =
-                pass == 0 ? FilterMode::Bilinear : FilterMode::Trilinear;
-            Workload wl = buildWorkload(name);
-            DriverConfig cfg;
-            cfg.filter = filter;
-            cfg.frames = n_frames;
-
-            MultiConfigRunner runner(wl, cfg);
-            runner.addSim(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20),
-                          "2KB+2MB");
-            runner.run();
-
-            const CacheFrameStats &t = runner.sims()[0]->totals();
-            h1[pass] = t.l1HitRate();
-            h2f[pass] = t.l2FullHitRate();
-            h2p[pass] = t.l2PartialHitRate();
-            csv.rowStrings({name, filterModeName(filter),
-                            formatDouble(h1[pass], 4),
-                            formatDouble(h2f[pass], 4),
-                            formatDouble(h2p[pass], 4)});
+            const Rates &r = pass == 0 ? bl : tl;
+            csv.rowStrings({names[w], filterModeName(filters[pass]),
+                            formatDouble(r.h1, 4), formatDouble(r.h2f, 4),
+                            formatDouble(r.h2p, 4)});
         }
-        table.addRow("L1 hit rate h1", {h1[0] * 100, h1[1] * 100}, 2);
+        table.addRow("L1 hit rate h1", {bl.h1 * 100, tl.h1 * 100}, 2);
         table.addRow("L2 full hit h2full | L1 miss",
-                     {h2f[0] * 100, h2f[1] * 100}, 2);
+                     {bl.h2f * 100, tl.h2f * 100}, 2);
         table.addRow("L2 partial hit h2partial | L1 miss",
-                     {h2p[0] * 100, h2p[1] * 100}, 2);
+                     {bl.h2p * 100, tl.h2p * 100}, 2);
         table.print();
         std::printf("\n");
     }

@@ -9,25 +9,37 @@
  *   cache_explorer --sweep l1 --workload village
  *   cache_explorer --sweep l2 --workload city --filter bilinear
  *   cache_explorer --sweep l2tile --frames 120
- *   cache_explorer --sweep tlb
+ *   cache_explorer --sweep tlb --jobs 8
  *   cache_explorer --sweep policy
  *   cache_explorer --sweep faults --fault-seed 7
  *   cache_explorer --sweep l2 --faults --fault-drop 0.1
  *   cache_explorer --sweep l2 --checkpoint /tmp/l2.snap --checkpoint-every 16
  *   cache_explorer --sweep l2 --checkpoint /tmp/l2.snap --resume
  *
+ * Parallelism (docs/parallelism.md): every swept configuration is an
+ * independent leg (its own workload, runner, fault RNG, metrics stream
+ * and checkpoint) executed on a work-stealing pool:
+ *   --jobs=N   worker threads (default: MLTC_JOBS env, else hardware
+ *              concurrency; --jobs 1 = serial). Output bytes are
+ *              invariant to N: tables, CSVs, merged metrics and
+ *              snapshots are identical for --jobs 1 and --jobs 8.
+ *
  * Any sweep accepts the --faults / --fault-* / --retry-* family (see
  * host/host_cli.hpp) to run it over the fault-injectable host backend;
- * `--sweep faults` sweeps the fault rate itself. Every sweep also runs
- * under watchdog supervision with the shared resilience flags
- * (sim/resilience.hpp): --checkpoint=PATH, --checkpoint-every=N,
- * --resume, --deadline-ms=D, --budget-ms=B, --audit=off|cheap|full.
- * Ctrl-C checkpoints at the next frame boundary and exits cleanly;
+ * `--sweep faults` sweeps the fault rate itself. Every leg runs under
+ * watchdog supervision with the shared resilience flags
+ * (sim/resilience.hpp): --checkpoint=PATH (per-leg PATH.legN files plus
+ * a PATH.manifest sweep summary), --checkpoint-every=N, --resume,
+ * --deadline-ms=D, --budget-ms=B, --audit=off|cheap|full. Ctrl-C
+ * checkpoints every leg at its next frame boundary and exits cleanly;
  * rerun with --resume to finish.
  *
  * Observability (obs/observability.hpp, docs/observability.md):
- *   --metrics-out=PATH  per-frame metrics registry snapshots (JSONL)
- *   --trace-out=PATH    Chrome trace-event / Perfetto timeline (JSON)
+ *   --metrics-out=PATH  per-frame metrics registry snapshots (JSONL;
+ *                       per-leg streams merged in leg order)
+ *   --trace-out=PATH    Chrome trace-event / Perfetto timeline (JSON;
+ *                       one shared thread-safe writer, one tid per
+ *                       worker)
  *   --miss-classes      3C (compulsory/capacity/conflict) classification
  *                       with per-texture attribution tables
  *   --top-textures=N    rows in the top-textures-by-miss-traffic table
@@ -39,16 +51,20 @@
  *   --mrc-sample-rate=R SHARDS-style spatial sampling (default 1.0)
  */
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "host/host_cli.hpp"
 #include "obs/observability.hpp"
 #include "obs/reuse_profiler.hpp"
 #include "sim/multi_config_runner.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/resilience.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
@@ -66,6 +82,39 @@ parseFilter(const std::string &name)
     return FilterMode::Trilinear;
 }
 
+/** One swept configuration. */
+struct Candidate
+{
+    CacheSimConfig config;
+    std::string label;
+};
+
+/** Everything one finished leg leaves behind for the report phase. */
+struct LegState
+{
+    Workload wl;
+    std::unique_ptr<MultiConfigRunner> runner;
+    std::unique_ptr<Observability> obs;
+    std::unique_ptr<ReuseProfiler> profiler;
+    RunManifest manifest;
+};
+
+/** Per-leg resilience: PATH -> PATH.legN, resume only if it exists. */
+ResilienceConfig
+legResilience(const ResilienceConfig &base, size_t leg)
+{
+    ResilienceConfig rc = base;
+    if (rc.checkpoint_path.empty())
+        return rc;
+    rc.checkpoint_path += ".leg" + std::to_string(leg);
+    if (rc.resume) {
+        struct stat st;
+        if (stat(rc.checkpoint_path.c_str(), &st) != 0)
+            rc.resume = false; // this leg never checkpointed; fresh start
+    }
+    return rc;
+}
+
 } // namespace
 
 int
@@ -76,18 +125,21 @@ main(int argc, char **argv)
     const std::string workload = cli.getString("workload", "village");
     const int frames = static_cast<int>(cli.getInt("frames", 48));
     const ResilienceConfig resilience = resilienceFromCli(cli);
+    const unsigned jobs = jobsFromCli(cli);
     installCancellationHandlers();
 
-    Workload wl = buildWorkload(workload);
     DriverConfig cfg;
     cfg.filter = parseFilter(cli.getString("filter", "trilinear"));
     cfg.frames = frames;
 
-    MultiConfigRunner runner(wl, cfg);
-
     const ObsConfig obs_cfg = obsFromCli(cli);
-    Observability obs(obs_cfg);
-    runner.setObservability(&obs);
+
+    // The shared sinks: one thread-safe trace writer for every leg (a
+    // tid per worker) installed process-globally; metrics stay per-leg
+    // and are merged below.
+    ObsConfig shared_cfg = obs_cfg;
+    shared_cfg.metrics_path.clear();
+    Observability obs(shared_cfg);
 
     // Optional fault scenario and miss classification applied to every
     // swept configuration.
@@ -98,28 +150,30 @@ main(int argc, char **argv)
         return sc;
     };
 
+    std::vector<Candidate> candidates;
     if (sweep == "l1") {
         for (uint64_t kb : {1u, 2u, 4u, 8u, 16u, 32u, 64u})
-            runner.addSim(withHost(CacheSimConfig::pull(kb * 1024)),
-                          std::to_string(kb) + " KB L1 (pull)");
+            candidates.push_back({withHost(CacheSimConfig::pull(kb * 1024)),
+                                  std::to_string(kb) + " KB L1 (pull)"});
     } else if (sweep == "l2") {
         for (uint64_t mb : {1u, 2u, 4u, 8u, 16u})
-            runner.addSim(
-                withHost(CacheSimConfig::twoLevel(2 * 1024, mb << 20)),
-                std::to_string(mb) + " MB L2");
+            candidates.push_back(
+                {withHost(CacheSimConfig::twoLevel(2 * 1024, mb << 20)),
+                 std::to_string(mb) + " MB L2"});
     } else if (sweep == "l2tile") {
         for (uint32_t tile : {8u, 16u, 32u})
-            runner.addSim(
-                withHost(
-                    CacheSimConfig::twoLevel(2 * 1024, 2ull << 20, tile)),
-                std::to_string(tile) + "x" + std::to_string(tile) +
-                    " L2 tiles");
+            candidates.push_back(
+                {withHost(
+                     CacheSimConfig::twoLevel(2 * 1024, 2ull << 20, tile)),
+                 std::to_string(tile) + "x" + std::to_string(tile) +
+                     " L2 tiles"});
     } else if (sweep == "tlb") {
         for (uint32_t entries : {1u, 2u, 4u, 8u, 16u, 32u}) {
             CacheSimConfig sc =
                 withHost(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
             sc.tlb_entries = entries;
-            runner.addSim(sc, std::to_string(entries) + "-entry TLB");
+            candidates.push_back(
+                {sc, std::to_string(entries) + "-entry TLB"});
         }
     } else if (sweep == "policy") {
         for (auto p : {ReplacementPolicy::Clock, ReplacementPolicy::Lru,
@@ -127,7 +181,7 @@ main(int argc, char **argv)
             CacheSimConfig sc =
                 withHost(CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
             sc.l2.policy = p;
-            runner.addSim(sc, replacementPolicyName(p));
+            candidates.push_back({sc, replacementPolicyName(p)});
         }
     } else if (sweep == "faults") {
         for (double rate : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
@@ -136,7 +190,7 @@ main(int argc, char **argv)
             sc.host.fault_injection = true;
             sc.host.faults.drop_rate = rate;
             sc.host.faults.corrupt_rate = rate / 2.0;
-            runner.addSim(sc, formatPercent(rate, 0) + " fault rate");
+            candidates.push_back({sc, formatPercent(rate, 0) + " fault rate"});
         }
     } else {
         std::printf(
@@ -145,56 +199,130 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Reuse-distance profiler: attached to the first swept simulator
-    // (every sweep sees the identical reference stream, so one profiled
-    // sim predicts the whole capacity axis). Must be attached before
-    // runSupervised so a --resume checkpoint restores profiler state.
-    ReuseProfilerConfig prof_cfg = mrcFromCli(cli);
-    std::unique_ptr<ReuseProfiler> profiler;
-    if (prof_cfg.enabled && !runner.sims().empty()) {
-        CacheSim &first = *runner.sims().front();
-        prof_cfg.screen_width = static_cast<uint32_t>(cfg.width);
-        prof_cfg.screen_height = static_cast<uint32_t>(cfg.height);
-        prof_cfg.l1_unit_bytes = first.config().l1.lineBytes();
-        // L2 sectors transfer L1 lines, so the sector unit is the line.
-        prof_cfg.l2_unit_bytes = first.config().l1.lineBytes();
-        profiler = std::make_unique<ReuseProfiler>(prof_cfg);
-        first.setReuseProfiler(profiler.get());
+    const ReuseProfilerConfig prof_cli = mrcFromCli(cli);
+
+    std::printf("sweeping '%s' over %s (%d frames, %s filtering, "
+                "%zu legs, %u jobs)...\n",
+                sweep.c_str(), workload.c_str(), frames,
+                filterModeName(cfg.filter), candidates.size(), jobs);
+
+    // Each candidate is one leg: own workload (private TextureManager),
+    // own runner + sim (private fault RNG stream), own metrics stream
+    // and checkpoint. Results land in leg-indexed slots; every file and
+    // table below is emitted in leg order, so output bytes cannot
+    // depend on the pool's schedule.
+    std::vector<std::unique_ptr<LegState>> legs(candidates.size());
+    SweepExecutor executor(jobs);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        executor.addLeg(candidates[i].label, [&, i](LegContext &ctx) {
+            auto leg = std::make_unique<LegState>();
+            leg->wl = buildWorkload(workload);
+            leg->runner = std::make_unique<MultiConfigRunner>(leg->wl, cfg);
+            leg->runner->addSim(candidates[i].config, candidates[i].label);
+
+            if (!obs_cfg.metrics_path.empty()) {
+                ObsConfig leg_obs = obs_cfg;
+                leg_obs.trace_path.clear();
+                leg_obs.metrics_path += ".leg" + std::to_string(i);
+                leg->obs = std::make_unique<Observability>(
+                    leg_obs, /*install_process_hooks=*/false);
+                leg->runner->setObservability(leg->obs.get());
+            }
+
+            // Reuse-distance profiler: attached to the first swept
+            // configuration (every sweep sees the identical reference
+            // stream, so one profiled sim predicts the whole capacity
+            // axis). Must be attached before runSupervised so a
+            // --resume checkpoint restores profiler state.
+            if (i == 0 && prof_cli.enabled) {
+                ReuseProfilerConfig pc = prof_cli;
+                CacheSim &first = *leg->runner->sims().front();
+                pc.screen_width = static_cast<uint32_t>(cfg.width);
+                pc.screen_height = static_cast<uint32_t>(cfg.height);
+                pc.l1_unit_bytes = first.config().l1.lineBytes();
+                // L2 sectors transfer L1 lines: sector unit == line.
+                pc.l2_unit_bytes = first.config().l1.lineBytes();
+                leg->profiler = std::make_unique<ReuseProfiler>(pc);
+                first.setReuseProfiler(leg->profiler.get());
+            }
+
+            leg->manifest =
+                leg->runner->runSupervised(legResilience(resilience, i));
+            if (leg->manifest.outcome != RunOutcome::Completed)
+                ctx.printf("leg '%s' %s after %d frames%s\n",
+                           candidates[i].label.c_str(),
+                           runOutcomeName(leg->manifest.outcome),
+                           leg->manifest.frames_completed,
+                           leg->manifest.checkpoint.empty()
+                               ? ""
+                               : " (rerun with --resume to finish)");
+            if (leg->obs)
+                leg->obs->close();
+            legs[i] = std::move(leg);
+        });
+    }
+    const SweepManifest sweep_manifest = executor.run();
+    if (!resilience.checkpoint_path.empty())
+        sweep_manifest.writeCsv(resilience.checkpoint_path + ".manifest");
+
+    // Merge per-leg metrics JSONL into the requested file, leg order.
+    if (!obs_cfg.metrics_path.empty()) {
+        std::ofstream merged(obs_cfg.metrics_path, std::ios::binary);
+        for (size_t i = 0; i < legs.size(); ++i) {
+            const std::string part =
+                obs_cfg.metrics_path + ".leg" + std::to_string(i);
+            std::ifstream in(part, std::ios::binary);
+            // Skip empty parts (a leg cancelled before its first
+            // frame): streaming an empty rdbuf would set failbit on
+            // the merged stream.
+            if (in.good() && in.peek() != std::ifstream::traits_type::eof())
+                merged << in.rdbuf();
+            in.close();
+            std::remove(part.c_str());
+        }
+        if (!merged.good()) {
+            std::fprintf(stderr, "metrics merge failed: %s\n",
+                         obs_cfg.metrics_path.c_str());
+            return 1;
+        }
     }
 
-    std::printf("sweeping '%s' over %s (%d frames, %s filtering)...\n",
-                sweep.c_str(), workload.c_str(), frames,
-                filterModeName(cfg.filter));
-    const RunManifest manifest = runner.runSupervised(resilience);
-    if (manifest.outcome != RunOutcome::Completed)
-        std::printf("run %s after %d frames%s\n",
-                    runOutcomeName(manifest.outcome),
-                    manifest.frames_completed,
-                    manifest.checkpoint.empty()
-                        ? ""
-                        : " (rerun with --resume to finish)");
+    bool all_completed = true;
+    for (size_t i = 0; i < legs.size(); ++i) {
+        const LegResult &lr = sweep_manifest.legs[i];
+        if (lr.outcome == LegOutcome::Failed)
+            std::fprintf(stderr, "leg '%s' failed: %s\n", lr.name.c_str(),
+                         lr.error.c_str());
+        if (!legs[i] ||
+            legs[i]->manifest.outcome != RunOutcome::Completed)
+            all_completed = false;
+    }
 
     TextTable table({"configuration", "L1 hit", "L2 full hit", "TLB hit",
                      "host MB/frame", "retries", "degraded"});
-    for (size_t i = 0; i < runner.sims().size(); ++i) {
-        const CacheSim &sim = *runner.sims()[i];
+    for (size_t i = 0; i < legs.size(); ++i) {
+        if (!legs[i])
+            continue; // failed or cancelled before running
+        const LegState &leg = *legs[i];
+        const CacheSim &sim = *leg.runner->sims().front();
         const CacheFrameStats &t = sim.totals();
         const bool faulty = sim.hostPath() != nullptr;
-        const bool dead = manifest.sims[i].quarantined;
+        const bool dead = leg.manifest.sims[0].quarantined;
         table.addRow(
             {sim.label() + (dead ? " [quarantined]" : ""),
              formatPercent(t.l1HitRate(), 2),
              sim.l2() ? formatPercent(t.l2FullHitRate()) : "-",
              sim.tlb() ? formatPercent(t.tlbHitRate()) : "-",
-             formatDouble(runner.averageHostBytesPerFrame(i) / (1 << 20),
+             formatDouble(leg.runner->averageHostBytesPerFrame(0) /
+                              (1 << 20),
                           3),
              faulty ? std::to_string(t.host_retries) : "-",
              faulty ? std::to_string(t.degraded_accesses) : "-"});
         if (dead)
             std::fprintf(stderr, "sim '%s' quarantined at frame %d: %s\n",
                          sim.label().c_str(),
-                         manifest.sims[i].quarantined_at_frame,
-                         manifest.sims[i].error.describe().c_str());
+                         leg.manifest.sims[0].quarantined_at_frame,
+                         leg.manifest.sims[0].error.describe().c_str());
     }
     table.print();
 
@@ -202,14 +330,16 @@ main(int argc, char **argv)
         std::printf("\n3C miss classification (run totals):\n");
         TextTable cls({"configuration", "cache", "compulsory", "capacity",
                        "conflict"});
-        for (const auto &simp : runner.sims()) {
-            const CacheFrameStats &t = simp->totals();
-            cls.addRow({simp->label(), "L1",
-                        std::to_string(t.l1_compulsory),
+        for (const auto &legp : legs) {
+            if (!legp)
+                continue;
+            const CacheSim &sim = *legp->runner->sims().front();
+            const CacheFrameStats &t = sim.totals();
+            cls.addRow({sim.label(), "L1", std::to_string(t.l1_compulsory),
                         std::to_string(t.l1_capacity),
                         std::to_string(t.l1_conflict)});
-            if (simp->l2Classifier())
-                cls.addRow({simp->label(), "L2",
+            if (sim.l2Classifier())
+                cls.addRow({sim.label(), "L2",
                             std::to_string(t.l2_compulsory),
                             std::to_string(t.l2_capacity),
                             std::to_string(t.l2_conflict)});
@@ -220,15 +350,18 @@ main(int argc, char **argv)
                     obs_cfg.top_textures);
         TextTable top({"configuration", "tex", "misses", "compulsory",
                        "capacity", "conflict", "host MB"});
-        for (const auto &simp : runner.sims()) {
-            const MissClassifier *mc = simp->l2Classifier()
-                                           ? simp->l2Classifier()
-                                           : simp->l1Classifier();
+        for (const auto &legp : legs) {
+            if (!legp)
+                continue;
+            const CacheSim &sim = *legp->runner->sims().front();
+            const MissClassifier *mc = sim.l2Classifier()
+                                           ? sim.l2Classifier()
+                                           : sim.l1Classifier();
             if (!mc)
                 continue;
             for (const MissAttributionRow &row :
                  mc->topTexturesByTraffic(obs_cfg.top_textures))
-                top.addRow({simp->label(), std::to_string(row.tex),
+                top.addRow({sim.label(), std::to_string(row.tex),
                             std::to_string(row.counts.total()),
                             std::to_string(row.counts.compulsory),
                             std::to_string(row.counts.capacity),
@@ -240,22 +373,23 @@ main(int argc, char **argv)
         top.print();
     }
 
-    if (profiler) {
+    if (!legs.empty() && legs[0] && legs[0]->profiler) {
+        const ReuseProfiler &profiler = *legs[0]->profiler;
         std::printf("\nreuse-distance profile of '%s':\n%s",
-                    runner.sims().front()->label().c_str(),
-                    profiler->asciiMrc().c_str());
+                    legs[0]->runner->sims().front()->label().c_str(),
+                    profiler.asciiMrc().c_str());
         try {
-            if (!prof_cfg.mrc_out.empty()) {
-                profiler->writeMrc(prof_cfg.mrc_out);
+            if (!prof_cli.mrc_out.empty()) {
+                profiler.writeMrc(prof_cli.mrc_out);
                 std::printf("[mrc] %s.csv %s.ws.csv %s.json\n",
-                            prof_cfg.mrc_out.c_str(),
-                            prof_cfg.mrc_out.c_str(),
-                            prof_cfg.mrc_out.c_str());
+                            prof_cli.mrc_out.c_str(),
+                            prof_cli.mrc_out.c_str(),
+                            prof_cli.mrc_out.c_str());
             }
-            if (!prof_cfg.heatmap_out.empty()) {
-                profiler->writeHeatmaps(prof_cfg.heatmap_out);
+            if (!prof_cli.heatmap_out.empty()) {
+                profiler.writeHeatmaps(prof_cli.heatmap_out);
                 std::printf("[heatmap] %s.json + PGM maps\n",
-                            prof_cfg.heatmap_out.c_str());
+                            prof_cli.heatmap_out.c_str());
             }
         } catch (const Exception &e) {
             std::fprintf(stderr, "profiler output failed: %s\n",
@@ -284,5 +418,5 @@ main(int argc, char **argv)
                      e.error().describe().c_str());
         return 1;
     }
-    return manifest.outcome == RunOutcome::Completed ? 0 : 2;
+    return all_completed ? 0 : 2;
 }

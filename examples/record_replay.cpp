@@ -6,11 +6,17 @@
  * studies (and of the paper itself, §3.3).
  *
  * Usage: record_replay [--workload village|city|terrain] [--frames N]
- *        [--trace path.bin] [--keep]
+ *        [--trace path.bin] [--keep] [--jobs N]
  *        [--faults | --fault-drop R --fault-corrupt R ... --retry-max N]
  *        [--audit off|cheap|full] [--checkpoint base [--resume]]
  *        [--mrc [--mrc-out BASE] [--heatmap-out BASE]
  *         [--mrc-sample-rate R]]
+ *
+ * Recording is a single pass; the replays are independent legs run on
+ * the work-stealing pool (--jobs, default MLTC_JOBS env or hardware
+ * concurrency — see docs/parallelism.md). Each leg opens its own
+ * TraceReader over the recorded clip and replays into its own workload
+ * and simulator, so output is byte-identical for any worker count.
  *
  * With --mrc every replayed configuration carries a reuse-distance
  * profiler; per-candidate outputs are written to `BASE.<config>` bases.
@@ -31,11 +37,13 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/cache_sim.hpp"
 #include "host/host_cli.hpp"
 #include "obs/reuse_profiler.hpp"
 #include "sim/animation_driver.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/resilience.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
@@ -52,11 +60,11 @@ main(int argc, char **argv)
     const int frames = static_cast<int>(cli.getInt("frames", 8));
     const std::string path = cli.getString("trace", "/tmp/mltc_clip.bin");
     const ResilienceConfig resilience = resilienceFromCli(cli);
-
-    Workload wl = buildWorkload(name);
+    const unsigned jobs = jobsFromCli(cli);
 
     // --- Record ---------------------------------------------------------
     {
+        Workload wl = buildWorkload(name);
         std::printf("recording %d frames of '%s' to %s...\n", frames,
                     name.c_str(), path.c_str());
         TraceWriter writer(path);
@@ -82,6 +90,7 @@ main(int argc, char **argv)
         {"2KB + 4MB L2", "l2_4mb",
          CacheSimConfig::twoLevel(2 * 1024, 4ull << 20)},
     };
+    const size_t n = sizeof candidates / sizeof candidates[0];
 
     const ReuseProfilerConfig prof_base = mrcFromCli(cli);
     const HostPathConfig host = hostPathFromCli(cli);
@@ -91,66 +100,94 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(host.faults.seed),
                     host.faults.drop_rate, host.faults.corrupt_rate);
 
+    // One replay per leg: each opens its own TraceReader over the
+    // recorded clip and replays into a private workload + simulator, so
+    // the table below is byte-identical regardless of --jobs. Buffered
+    // per-leg stdout (snapshot notes, MRC ascii) flushes in leg order.
+    std::vector<std::vector<std::string>> rows(n);
+    SweepExecutor sweep(jobs);
+    for (size_t i = 0; i < n; ++i) {
+        const Candidate &cand = candidates[i];
+        sweep.addLeg(cand.label, [&, i, cand](LegContext &ctx) {
+            Workload wl = buildWorkload(name);
+            CacheSimConfig sc = cand.config;
+            sc.host = host;
+            CacheSim sim(*wl.textures, sc, cand.label);
+            // Per-candidate profiler; attached before load() so a
+            // resumed snapshot restores the profiler state it was
+            // saved with.
+            std::unique_ptr<ReuseProfiler> profiler;
+            if (prof_base.enabled) {
+                ReuseProfilerConfig pc = prof_base;
+                pc.l1_unit_bytes = sc.l1.lineBytes();
+                pc.l2_unit_bytes = sc.l1.lineBytes();
+                profiler = std::make_unique<ReuseProfiler>(pc);
+                sim.setReuseProfiler(profiler.get());
+            }
+            const std::string snap =
+                resilience.checkpoint_path.empty()
+                    ? std::string()
+                    : resilience.checkpoint_path + "." + cand.slug +
+                          ".snap";
+            if (resilience.resume && !snap.empty()) {
+                SnapshotReader r(snap);
+                sim.load(r);
+                r.expectEnd();
+            }
+            TraceReader reader(path);
+            uint64_t replayed = 0;
+            while (reader.replayFrame(sim)) {
+                sim.endFrame();
+                sim.audit(resilience.audit);
+                ++replayed;
+            }
+            if (!snap.empty()) {
+                SnapshotWriter w(snap);
+                sim.save(w);
+                w.finish();
+                ctx.printf("[snapshot] %s\n", snap.c_str());
+            }
+            (void)replayed;
+            if (profiler) {
+                ctx.printf("\nreuse-distance profile of '%s':\n%s",
+                           cand.label, profiler->asciiMrc().c_str());
+                const std::string suffix = std::string(".") + cand.slug;
+                if (!prof_base.mrc_out.empty())
+                    profiler->writeMrc(prof_base.mrc_out + suffix);
+                if (!prof_base.heatmap_out.empty())
+                    profiler->writeHeatmaps(prof_base.heatmap_out + suffix);
+            }
+            const CacheFrameStats &t = sim.totals();
+            // totals() and frames() span resumed sessions consistently.
+            rows[i] = {cand.label, formatPercent(t.l1HitRate(), 2),
+                       formatDouble(static_cast<double>(t.host_bytes) /
+                                        static_cast<double>(sim.frames()) /
+                                        (1 << 20),
+                                    3),
+                       host.fault_injection
+                           ? std::to_string(t.host_retries)
+                           : "-",
+                       host.fault_injection
+                           ? std::to_string(t.degraded_accesses)
+                           : "-"};
+        });
+    }
+    const SweepManifest manifest = sweep.run();
+
     TextTable table({"configuration", "L1 hit", "host MB/frame", "retries",
                      "degraded"});
-    for (const auto &cand : candidates) {
-        CacheSimConfig sc = cand.config;
-        sc.host = host;
-        CacheSim sim(*wl.textures, sc, cand.label);
-        // Per-candidate profiler; attached before load() so a resumed
-        // snapshot restores the profiler state it was saved with.
-        std::unique_ptr<ReuseProfiler> profiler;
-        if (prof_base.enabled) {
-            ReuseProfilerConfig pc = prof_base;
-            pc.l1_unit_bytes = sc.l1.lineBytes();
-            pc.l2_unit_bytes = sc.l1.lineBytes();
-            profiler = std::make_unique<ReuseProfiler>(pc);
-            sim.setReuseProfiler(profiler.get());
+    bool ok = true;
+    for (size_t i = 0; i < n; ++i) {
+        const LegResult &lr = manifest.legs[i];
+        if (lr.outcome != LegOutcome::Completed) {
+            std::fprintf(stderr, "replay '%s' %s%s%s\n", lr.name.c_str(),
+                         legOutcomeName(lr.outcome),
+                         lr.error.empty() ? "" : ": ",
+                         lr.error.c_str());
+            ok = false;
+            continue;
         }
-        const std::string snap =
-            resilience.checkpoint_path.empty()
-                ? std::string()
-                : resilience.checkpoint_path + "." + cand.slug + ".snap";
-        if (resilience.resume && !snap.empty()) {
-            SnapshotReader r(snap);
-            sim.load(r);
-            r.expectEnd();
-        }
-        TraceReader reader(path);
-        uint64_t replayed = 0;
-        while (reader.replayFrame(sim)) {
-            sim.endFrame();
-            sim.audit(resilience.audit);
-            ++replayed;
-        }
-        if (!snap.empty()) {
-            SnapshotWriter w(snap);
-            sim.save(w);
-            w.finish();
-            std::printf("[snapshot] %s\n", snap.c_str());
-        }
-        (void)replayed;
-        if (profiler) {
-            std::printf("\nreuse-distance profile of '%s':\n%s",
-                        cand.label, profiler->asciiMrc().c_str());
-            const std::string suffix = std::string(".") + cand.slug;
-            if (!prof_base.mrc_out.empty())
-                profiler->writeMrc(prof_base.mrc_out + suffix);
-            if (!prof_base.heatmap_out.empty())
-                profiler->writeHeatmaps(prof_base.heatmap_out + suffix);
-        }
-        const CacheFrameStats &t = sim.totals();
-        // totals() and frames() span resumed sessions consistently.
-        table.addRow({cand.label, formatPercent(t.l1HitRate(), 2),
-                      formatDouble(static_cast<double>(t.host_bytes) /
-                                       static_cast<double>(sim.frames()) /
-                                       (1 << 20),
-                                   3),
-                      host.fault_injection ? std::to_string(t.host_retries)
-                                           : "-",
-                      host.fault_injection
-                          ? std::to_string(t.degraded_accesses)
-                          : "-"});
+        table.addRow(rows[i]);
     }
     table.print();
 
@@ -158,5 +195,5 @@ main(int argc, char **argv)
         std::remove(path.c_str());
         std::printf("(trace deleted; pass --keep to keep it)\n");
     }
-    return 0;
+    return ok ? 0 : 1;
 }

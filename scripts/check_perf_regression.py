@@ -9,6 +9,13 @@ between the baseline machine and the current one, leaving only relative
 movement per benchmark. Any benchmark whose normalized ratio exceeds
 1 + threshold fails the gate.
 
+Wall-clock rows from ext_parallel_scaling (BM_ParallelSweep/jobs:N)
+are excluded: they measure thread-scaling on whatever core count the
+machine happens to have, not single-thread code quality. The
+single-thread hot-path benchmarks (BM_CacheSimAccess*) are mandatory —
+a candidate that lacks them is unusable, not merely incomplete, since
+they are the benchmarks this gate exists to protect.
+
 Usage: check_perf_regression.py BASELINE.json CANDIDATE.json [--threshold 0.15]
 Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
 """
@@ -16,6 +23,12 @@ Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
 import argparse
 import json
 import sys
+
+# Machine-dependent rows the gate must never score.
+IGNORED_PREFIXES = ("BM_ParallelSweep",)
+
+# Rows the candidate must contain for the gate to mean anything.
+REQUIRED_PREFIXES = ("BM_CacheSimAccess",)
 
 
 def load_ns_per_op(path):
@@ -30,6 +43,8 @@ def load_ns_per_op(path):
         name = row.get("name")
         ns = row.get("ns_per_op")
         if isinstance(name, str) and isinstance(ns, (int, float)) and ns > 0:
+            if name.startswith(IGNORED_PREFIXES):
+                continue
             rows[name] = float(ns)
     if not rows:
         print(f"error: no usable benchmark rows in {path}", file=sys.stderr)
@@ -55,6 +70,12 @@ def main():
 
     base = load_ns_per_op(args.baseline)
     cand = load_ns_per_op(args.candidate)
+    required = sorted(n for n in base if n.startswith(REQUIRED_PREFIXES))
+    lost = [n for n in required if n not in cand]
+    if lost:
+        print(f"error: candidate is missing required benchmark(s): "
+              f"{', '.join(lost)}", file=sys.stderr)
+        sys.exit(2)
     shared = sorted(set(base) & set(cand))
     if not shared:
         print("error: baseline and candidate share no benchmarks",

@@ -1,12 +1,36 @@
 #!/usr/bin/env sh
-# Run the tier-1 test suite under ASan + UBSan (the MLTC_SANITIZE build).
+# Run the tier-1 test suite under a sanitizer (the MLTC_SANITIZE build).
 #
-# Usage: scripts/sanitize.sh [extra cmake args...]
-# The sanitized tree lives in build-asan/ so it never disturbs the
-# regular build/ directory. See docs/fault_model.md.
+# Usage: scripts/sanitize.sh [address|thread] [extra cmake args...]
+#   address (default) - ASan + UBSan, build tree build-asan/
+#   thread            - TSan, build tree build-tsan/; this is the mode
+#                       that checks the parallel sweep executor
+#                       (docs/parallelism.md) for data races
+#
+# Each mode keeps its own build tree so neither disturbs the regular
+# build/ directory. See docs/fault_model.md.
 set -eu
 cd "$(dirname "$0")/.."
 
-cmake -B build-asan -S . -DMLTC_SANITIZE=ON "$@"
-cmake --build build-asan -j"$(nproc)"
-ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+mode=address
+case "${1-}" in
+    address|thread)
+        mode=$1
+        shift
+        ;;
+esac
+# Tree names match the CI jobs: build-asan/ (historic) and build-tsan/.
+tree=build-asan
+[ "$mode" = thread ] && tree=build-tsan
+
+# Suppress false races through uninstrumented libstdc++ internals
+# (see scripts/tsan.supp); halt_on_error turns any real race into a
+# test failure instead of a log line.
+if [ "$mode" = thread ]; then
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp halt_on_error=1 ${TSAN_OPTIONS-}"
+    export TSAN_OPTIONS
+fi
+
+cmake -B "$tree" -S . -DMLTC_SANITIZE="$mode" "$@"
+cmake --build "$tree" -j"$(nproc)"
+ctest --test-dir "$tree" --output-on-failure -j"$(nproc)"

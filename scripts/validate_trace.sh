@@ -5,9 +5,9 @@
 #  - the Chrome trace to pass the full trace_validate schema check
 #    (balanced B/E pairs, per-thread monotonic timestamps, typed
 #    counter/instant events);
-#  - the metrics JSONL to contain one parseable frame row per frame,
-#    carrying the per-frame L1/L2/TLB counters and the 3C miss-class
-#    breakdown;
+#  - the metrics JSONL to contain one parseable frame row per frame of
+#    every sweep leg (legs x frames total), carrying the per-frame
+#    L1/L2/TLB counters and the 3C miss-class breakdown;
 #  - report --metrics to summarise that stream successfully.
 #
 # Usage: scripts/validate_trace.sh <cache_explorer> <trace_validate> <report>
@@ -21,8 +21,12 @@ FRAMES="${MLTC_FRAMES:-4}"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/mltc_trace.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT INT TERM
 
+# The l2 sweep runs 5 legs (1..16 MB); --jobs 2 exercises the parallel
+# path — the merged metrics stream carries one frame row per leg-frame
+# and the shared trace writer must stay schema-valid with worker tids.
+LEGS=5
 echo "== sweep with observability enabled =="
-"$EXPLORER" --sweep l2 --workload village --frames "$FRAMES" \
+"$EXPLORER" --sweep l2 --workload village --frames "$FRAMES" --jobs 2 \
     --trace-out "$WORK/run.json" --metrics-out "$WORK/run.jsonl" \
     --miss-classes >/dev/null
 
@@ -31,8 +35,9 @@ echo "== trace schema =="
 
 echo "== metrics JSONL =="
 rows="$(grep -c '"frame":' "$WORK/run.jsonl")"
-if [ "$rows" -ne "$FRAMES" ]; then
-    echo "FAIL: expected $FRAMES frame rows, found $rows"
+want=$((LEGS * FRAMES))
+if [ "$rows" -ne "$want" ]; then
+    echo "FAIL: expected $want frame rows ($LEGS legs x $FRAMES frames), found $rows"
     exit 1
 fi
 for key in '"l1.miss{sim=' '"l2.full_miss{sim=' '"tlb.probe{sim=' \

@@ -14,6 +14,19 @@ summarizeMetricsStream(std::istream &in, const std::string &name)
 {
     MetricsSummary out;
     std::map<std::string, std::vector<double>> gauge_values;
+    // Counters are cumulative within one leg's stream, and a sweep file
+    // is per-leg streams concatenated in leg order (each leg restarts
+    // at frame 0 with a fresh registry). A leg boundary is a frame
+    // number that does not increase; fold the finished leg's final
+    // counters into the file totals there, so a parallel sweep's merged
+    // JSONL sums legs instead of reporting only the last one.
+    std::map<std::string, double> leg_counters;
+    double last_frame = -1.0;
+    auto fold_leg = [&]() {
+        for (const auto &[key, value] : leg_counters)
+            out.final_counters[key] += value;
+        leg_counters.clear();
+    };
     std::string line;
     size_t line_no = 0;
     while (std::getline(in, line)) {
@@ -28,21 +41,26 @@ summarizeMetricsStream(std::istream &in, const std::string &name)
                             name + " line " + std::to_string(line_no) +
                                 ": " + e.error().message);
         }
-        if (!row.find("frame")) {
+        const JsonValue *frame = row.find("frame");
+        if (!frame) {
             ++out.log_rows; // structured log row sharing the stream
             continue;
         }
         ++out.frame_rows;
+        if (frame->asNumber() <= last_frame)
+            fold_leg();
+        last_frame = frame->asNumber();
         if (const JsonValue *counters = row.find("counters")) {
-            out.final_counters.clear();
+            leg_counters.clear();
             for (const auto &[key, v] : counters->asObject())
-                out.final_counters[key] = v.asNumber();
+                leg_counters[key] = v.asNumber();
         }
         if (const JsonValue *gauges = row.find("gauges")) {
             for (const auto &[key, v] : gauges->asObject())
                 gauge_values[key].push_back(v.asNumber());
         }
     }
+    fold_leg();
     for (const auto &[key, values] : gauge_values)
         out.gauges[key] = summarize(values);
     return out;

@@ -16,26 +16,30 @@ obsFromCli(const CommandLine &cli)
     return cfg;
 }
 
-Observability::Observability(const ObsConfig &config)
-    : cfg_(config), metrics_(!config.metrics_path.empty())
+Observability::Observability(const ObsConfig &config,
+                             bool install_process_hooks)
+    : cfg_(config), hooks_(install_process_hooks),
+      metrics_(!config.metrics_path.empty())
 {
     if (!cfg_.metrics_path.empty()) {
         metrics_sink_ = std::make_unique<JsonlFileSink>(cfg_.metrics_path);
         // One shared JSONL stream: log rows carry ts/level/msg keys,
         // metric rows carry frame/counters/... keys.
-        setLogJsonlSink(metrics_sink_.get());
+        if (hooks_)
+            setLogJsonlSink(metrics_sink_.get());
     }
     if (!cfg_.trace_path.empty()) {
         trace_ = std::make_unique<ChromeTraceWriter>(cfg_.trace_path);
-        setGlobalTracer(trace_.get());
+        if (hooks_)
+            setGlobalTracer(trace_.get());
     }
 }
 
 Observability::~Observability()
 {
-    if (metrics_sink_)
+    if (hooks_ && metrics_sink_)
         setLogJsonlSink(nullptr);
-    if (trace_ && globalTracer() == trace_.get())
+    if (hooks_ && trace_ && globalTracer() == trace_.get())
         setGlobalTracer(nullptr);
     // Sinks close themselves best-effort; explicit close() reports I/O
     // failures as typed errors.
@@ -52,12 +56,13 @@ void
 Observability::close()
 {
     if (trace_) {
-        if (globalTracer() == trace_.get())
+        if (hooks_ && globalTracer() == trace_.get())
             setGlobalTracer(nullptr);
         trace_->close();
     }
     if (metrics_sink_) {
-        setLogJsonlSink(nullptr);
+        if (hooks_)
+            setLogJsonlSink(nullptr);
         metrics_sink_->close();
     }
 }

@@ -53,7 +53,15 @@ ObsConfig obsFromCli(const CommandLine &cli);
 class Observability
 {
   public:
-    explicit Observability(const ObsConfig &config);
+    /**
+     * @p install_process_hooks wires the process-global integrations
+     * (log-to-JSONL mirroring, global tracer). Parallel sweep legs pass
+     * false: each leg owns a private metrics sink and must not fight
+     * over process globals; the sweep driver keeps one shared,
+     * thread-safe tracer installed instead.
+     */
+    explicit Observability(const ObsConfig &config,
+                           bool install_process_hooks = true);
 
     /** Uninstalls the global tracer; best-effort close. */
     ~Observability();
@@ -88,6 +96,7 @@ class Observability
 
   private:
     ObsConfig cfg_;
+    bool hooks_;
     MetricsRegistry metrics_;
     std::unique_ptr<JsonlFileSink> metrics_sink_;
     std::unique_ptr<ChromeTraceWriter> trace_;

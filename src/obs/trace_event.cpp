@@ -11,7 +11,7 @@ namespace mltc {
 void
 setGlobalTracer(ChromeTraceWriter *tracer)
 {
-    detail::g_tracer = tracer;
+    detail::g_tracer.store(tracer, std::memory_order_release);
 }
 
 ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
@@ -50,12 +50,13 @@ ChromeTraceWriter::~ChromeTraceWriter()
 void
 ChromeTraceWriter::flush()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (file_ && std::fflush(file_) != 0)
         failed_ = true;
 }
 
 uint64_t
-ChromeTraceWriter::nowUs()
+ChromeTraceWriter::nowUsLocked()
 {
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - t0_)
@@ -65,14 +66,62 @@ ChromeTraceWriter::nowUs()
     return last_ts_;
 }
 
+uint64_t
+ChromeTraceWriter::nowUs()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nowUsLocked();
+}
+
+uint64_t
+ChromeTraceWriter::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+size_t
+ChromeTraceWriter::openScopes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t open = 0;
+    for (const auto &[id, state] : threads_)
+        open += state.stack.size();
+    return open;
+}
+
+ChromeTraceWriter::ThreadState &
+ChromeTraceWriter::threadState()
+{
+    auto [it, inserted] = threads_.try_emplace(std::this_thread::get_id());
+    ThreadState &state = it->second;
+    if (inserted) {
+        state.tid = next_tid_++;
+        // tid 1 ("simulation") is already announced in the prologue, so
+        // a single-threaded run emits byte-for-byte the old preamble;
+        // later threads introduce themselves as workers.
+        if (state.tid != 1 && file_) {
+            if (std::fprintf(file_,
+                             "%s\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu32
+                             ",\"name\":\"thread_name\","
+                             "\"args\":{\"name\":\"worker-%" PRIu32 "\"}}",
+                             first_ ? "" : ",", state.tid, state.tid) < 0)
+                failed_ = true;
+            first_ = false;
+        }
+    }
+    return state;
+}
+
 void
-ChromeTraceWriter::emitPrefix(char ph, uint64_t ts)
+ChromeTraceWriter::emitPrefix(char ph, uint64_t ts, uint32_t tid)
 {
     if (!file_)
         return;
-    if (std::fprintf(file_, "%s\n{\"ph\":\"%c\",\"pid\":1,\"tid\":1,"
-                            "\"ts\":%" PRIu64,
-                     first_ ? "" : ",", ph, ts) < 0)
+    if (std::fprintf(file_,
+                     "%s\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%" PRIu32
+                     ",\"ts\":%" PRIu64,
+                     first_ ? "" : ",", ph, tid, ts) < 0)
         failed_ = true;
     first_ = false;
 }
@@ -100,23 +149,22 @@ ChromeTraceWriter::finishEvent()
 void
 ChromeTraceWriter::begin(const std::string &name, const char *cat)
 {
-    const uint64_t ts = nowUs();
-    emitPrefix('B', ts);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ThreadState &state = threadState();
+    const uint64_t ts = nowUsLocked();
+    emitPrefix('B', ts, state.tid);
     emitCommon(name, cat);
     finishEvent();
-    stack_.push_back({name, ts, 0});
+    state.stack.push_back({name, ts, 0});
 }
 
 void
-ChromeTraceWriter::end()
+ChromeTraceWriter::endLocked(ThreadState &state)
 {
-    if (stack_.empty())
-        throw Exception(ErrorCode::BadArgument,
-                        "ChromeTraceWriter: end() without a matching begin()");
-    const uint64_t ts = nowUs();
-    Scope scope = std::move(stack_.back());
-    stack_.pop_back();
-    emitPrefix('E', ts);
+    const uint64_t ts = nowUsLocked();
+    Scope scope = std::move(state.stack.back());
+    state.stack.pop_back();
+    emitPrefix('E', ts, state.tid);
     finishEvent();
 
     const uint64_t inclusive = ts - scope.start_us;
@@ -125,14 +173,27 @@ ChromeTraceWriter::end()
     ++stat.count;
     stat.total_us += inclusive;
     stat.self_us += inclusive - std::min(scope.child_us, inclusive);
-    if (!stack_.empty())
-        stack_.back().child_us += inclusive;
+    if (!state.stack.empty())
+        state.stack.back().child_us += inclusive;
+}
+
+void
+ChromeTraceWriter::end()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ThreadState &state = threadState();
+    if (state.stack.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "ChromeTraceWriter: end() without a matching begin()");
+    endLocked(state);
 }
 
 void
 ChromeTraceWriter::instant(const std::string &name, const char *cat)
 {
-    emitPrefix('i', nowUs());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ThreadState &state = threadState();
+    emitPrefix('i', nowUsLocked(), state.tid);
     emitCommon(name, cat);
     if (file_ && std::fputs(",\"s\":\"t\"", file_) == EOF)
         failed_ = true;
@@ -144,7 +205,9 @@ ChromeTraceWriter::counter(
     const std::string &name,
     const std::vector<std::pair<std::string, double>> &series)
 {
-    emitPrefix('C', nowUs());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ThreadState &state = threadState();
+    emitPrefix('C', nowUsLocked(), state.tid);
     emitCommon(name, "metric");
     if (file_) {
         JsonWriter args;
@@ -161,6 +224,7 @@ ChromeTraceWriter::counter(
 void
 ChromeTraceWriter::recordAggregate(const std::string &name, uint64_t duration_us)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     StageStat &stat = stages_[name];
     stat.name = name;
     ++stat.count;
@@ -171,6 +235,7 @@ ChromeTraceWriter::recordAggregate(const std::string &name, uint64_t duration_us
 std::vector<StageStat>
 ChromeTraceWriter::stageStats() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<StageStat> out;
     out.reserve(stages_.size());
     for (const auto &[name, stat] : stages_)
@@ -185,17 +250,25 @@ ChromeTraceWriter::stageStats() const
 void
 ChromeTraceWriter::close()
 {
-    if (!file_)
-        return;
-    while (!stack_.empty())
-        end(); // a truncated run still yields matched B/E pairs
-    if (std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", file_) == EOF)
-        failed_ = true;
-    const int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (detail::g_tracer == this)
-        detail::g_tracer = nullptr;
-    if (rc != 0 || failed_)
+    int rc = 0;
+    bool failed = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!file_)
+            return;
+        // A truncated run still yields matched B/E pairs on every tid.
+        for (auto &[id, state] : threads_)
+            while (!state.stack.empty())
+                endLocked(state);
+        if (std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", file_) == EOF)
+            failed_ = true;
+        rc = std::fclose(file_);
+        file_ = nullptr;
+        failed = failed_;
+    }
+    ChromeTraceWriter *self = this;
+    detail::g_tracer.compare_exchange_strong(self, nullptr);
+    if (rc != 0 || failed)
         throw Exception(ErrorCode::Io,
                         "ChromeTraceWriter: write failure on '" + path_ + "'");
 }

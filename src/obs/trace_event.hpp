@@ -20,8 +20,13 @@
  * A process-global tracer pointer lets hot paths (rasterizer, sampler,
  * CacheSim, host fetch) instrument themselves without plumbing a
  * writer through every constructor: when no tracer is installed every
- * hook is one null-check. The simulator is single-threaded; the global
- * is not synchronized.
+ * hook is one null-check. The slot is an atomic and the writer is
+ * internally synchronized, so parallel sweep legs can stream into one
+ * trace file: each OS thread gets its own Chrome tid (the first thread
+ * keeps tid 1, "simulation"; workers announce themselves as
+ * "worker-N") and its own scope stack, preserving the per-(pid,tid)
+ * strict nesting and non-decreasing timestamps the schema checker
+ * (trace_validate) verifies.
  *
  * The writer also aggregates per-stage totals (count, total wall time,
  * self time excluding children) from its scopes so drivers can print a
@@ -30,11 +35,14 @@
 #ifndef MLTC_OBS_TRACE_EVENT_HPP
 #define MLTC_OBS_TRACE_EVENT_HPP
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -49,7 +57,11 @@ struct StageStat
     uint64_t self_us = 0;  ///< total minus enclosed child scopes
 };
 
-/** Streams one Chrome trace file. Single-threaded use only. */
+/**
+ * Streams one Chrome trace file. Thread-safe: concurrent begin/end/
+ * counter/instant calls from sweep workers serialize on an internal
+ * mutex and land on per-thread tids with per-thread scope stacks.
+ */
 class ChromeTraceWriter
 {
   public:
@@ -90,10 +102,10 @@ class ChromeTraceWriter
     void recordAggregate(const std::string &name, uint64_t duration_us);
 
     /** Events written so far (excluding metadata). */
-    uint64_t events() const { return events_; }
+    uint64_t events() const;
 
-    /** Open duration scopes (for tests; 0 when balanced). */
-    size_t openScopes() const { return stack_.size(); }
+    /** Open duration scopes across all threads (0 when balanced). */
+    size_t openScopes() const;
 
     /**
      * Push buffered events to the OS (fflush). The file stays open and
@@ -125,9 +137,20 @@ class ChromeTraceWriter
         uint64_t child_us = 0;
     };
 
-    void emitPrefix(char ph, uint64_t ts);
+    /** Per-OS-thread emission state: Chrome tid + open-scope stack. */
+    struct ThreadState
+    {
+        uint32_t tid = 1;
+        std::vector<Scope> stack;
+    };
+
+    // All private helpers assume mutex_ is held by the caller.
+    ThreadState &threadState();
+    void emitPrefix(char ph, uint64_t ts, uint32_t tid);
     void emitCommon(const std::string &name, const char *cat);
     void finishEvent();
+    uint64_t nowUsLocked();
+    void endLocked(ThreadState &state);
 
     std::string path_;
     std::FILE *file_ = nullptr;
@@ -136,13 +159,15 @@ class ChromeTraceWriter
     uint64_t events_ = 0;
     bool first_ = true;
     bool failed_ = false;
-    std::vector<Scope> stack_;
+    uint32_t next_tid_ = 1;
+    std::map<std::thread::id, ThreadState> threads_;
     std::map<std::string, StageStat> stages_;
+    mutable std::mutex mutex_;
 };
 
 namespace detail {
 /** The process-global tracer slot; use globalTracer()/setGlobalTracer. */
-inline ChromeTraceWriter *g_tracer = nullptr;
+inline std::atomic<ChromeTraceWriter *> g_tracer{nullptr};
 } // namespace detail
 
 /** Install @p tracer as the process-global tracer (null to remove). */
@@ -151,12 +176,14 @@ void setGlobalTracer(ChromeTraceWriter *tracer);
 /**
  * The process-global tracer, or null when tracing is disabled. Inline
  * so hot-path hooks (SelfTimer, per-texel guards) compile down to one
- * load + branch instead of a cross-TU call.
+ * atomic load + branch instead of a cross-TU call; acquire pairs with
+ * the installer's release so the writer's construction is visible to
+ * every worker that observes the pointer.
  */
 inline ChromeTraceWriter *
 globalTracer()
 {
-    return detail::g_tracer;
+    return detail::g_tracer.load(std::memory_order_acquire);
 }
 
 /** RAII duration scope against the global tracer; no-op when absent. */

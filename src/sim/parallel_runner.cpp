@@ -1,0 +1,181 @@
+#include "sim/parallel_runner.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+
+#include "sim/resilience.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mltc {
+
+const char *
+legOutcomeName(LegOutcome outcome)
+{
+    switch (outcome) {
+    case LegOutcome::Completed:
+        return "completed";
+    case LegOutcome::Failed:
+        return "failed";
+    case LegOutcome::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+bool
+SweepManifest::allCompleted() const
+{
+    for (const LegResult &leg : legs)
+        if (leg.outcome != LegOutcome::Completed)
+            return false;
+    return !legs.empty();
+}
+
+void
+SweepManifest::writeCsv(const std::string &path) const
+{
+    CsvWriter csv(path, {"leg", "name", "outcome", "error"});
+    for (size_t i = 0; i < legs.size(); ++i)
+        csv.rowStrings({std::to_string(i), legs[i].name,
+                        legOutcomeName(legs[i].outcome), legs[i].error});
+    csv.close();
+}
+
+void
+LegContext::printf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n > 0) {
+        size_t old = out_.size();
+        out_.resize(old + static_cast<size_t>(n) + 1);
+        std::vsnprintf(out_.data() + old, static_cast<size_t>(n) + 1, fmt,
+                       args);
+        out_.resize(old + static_cast<size_t>(n));
+    }
+    va_end(args);
+}
+
+SweepExecutor::SweepExecutor(unsigned jobs)
+    : jobs_(jobs == 0 ? ThreadPool::defaultJobs() : jobs)
+{
+}
+
+void
+SweepExecutor::addLeg(std::string name,
+                      std::function<void(LegContext &)> body)
+{
+    legs_.push_back({std::move(name), std::move(body)});
+}
+
+namespace {
+
+void
+runOneLeg(const std::function<void(LegContext &)> &body, LegContext &ctx,
+          LegResult &result)
+{
+    result.name = ctx.name();
+    if (cancellationRequested()) {
+        result.outcome = LegOutcome::Cancelled;
+        return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        body(ctx);
+        result.outcome = LegOutcome::Completed;
+    } catch (const std::exception &e) {
+        result.outcome = LegOutcome::Failed;
+        result.error = e.what();
+    } catch (...) {
+        result.outcome = LegOutcome::Failed;
+        result.error = "unknown exception";
+    }
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+}
+
+void
+flushLeg(const LegContext &ctx)
+{
+    const std::string &text = ctx.buffered();
+    if (!text.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+SweepManifest
+SweepExecutor::run()
+{
+    const size_t n = legs_.size();
+    SweepManifest manifest;
+    manifest.legs.resize(n);
+
+    std::vector<LegContext> ctxs;
+    ctxs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        ctxs.emplace_back(i, legs_[i].name);
+
+    if (jobs_ <= 1 || n <= 1) {
+        // Serial: bit-for-bit the pre-parallel program, including the
+        // point in time at which each leg's output reaches stdout.
+        for (size_t i = 0; i < n; ++i) {
+            runOneLeg(legs_[i].body, ctxs[i], manifest.legs[i]);
+            flushLeg(ctxs[i]);
+        }
+        return manifest;
+    }
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<char> done(n, 0);
+
+    {
+        ThreadPool pool(jobs_);
+        for (size_t i = 0; i < n; ++i) {
+            pool.submit([this, i, &ctxs, &manifest, &mutex, &cv, &done]() {
+                runOneLeg(legs_[i].body, ctxs[i], manifest.legs[i]);
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    done[i] = 1;
+                }
+                cv.notify_all();
+            });
+        }
+        // Stream buffers in registration order: leg i prints as soon as
+        // it and all earlier legs finished, however the pool scheduled
+        // them.
+        for (size_t i = 0; i < n; ++i) {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&done, i]() { return done[i] != 0; });
+            lock.unlock();
+            flushLeg(ctxs[i]);
+        }
+    } // drain + join
+    return manifest;
+}
+
+unsigned
+jobsFromCli(const CommandLine &cli)
+{
+    unsigned long jobs = cli.getUnsigned("jobs", 0);
+    if (jobs > 1024)
+        throw Exception(ErrorCode::BadArgument,
+                        "--jobs: implausible worker count");
+    if (jobs == 0)
+        return ThreadPool::defaultJobs();
+    return static_cast<unsigned>(jobs);
+}
+
+} // namespace mltc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Parallel sweep executor: runs independent simulation legs (one leg ==
+ * one MultiConfigRunner pass over its own Workload) concurrently while
+ * keeping every observable output byte-identical to the serial run and
+ * invariant to thread count.
+ *
+ * Determinism model — compute in parallel, emit in order:
+ *
+ *  - legs never share mutable state: each leg builds its own Workload
+ *    (TextureManager layouts are lazily cached), its own runner, its
+ *    own sims (so fault-injection RNG streams are per-leg exactly as in
+ *    the serial program), and writes results only into its own slot;
+ *  - console output produced inside a leg goes through
+ *    LegContext::printf into a per-leg buffer; SweepExecutor flushes
+ *    buffers to stdout strictly in leg registration order (streaming:
+ *    leg i prints the moment legs 0..i-1 have printed, even while later
+ *    legs are still running);
+ *  - CSV/metrics/snapshot emission stays in the drivers, which write
+ *    from per-leg results after (or in order during) run() — so the
+ *    bytes on disk cannot depend on completion order.
+ *
+ * Failure containment mirrors the per-sim quarantine of runSupervised:
+ * an exception escaping a leg marks that leg Failed in the
+ * SweepManifest and the remaining legs still run. Cooperative
+ * cancellation (SIGINT/SIGTERM or requestCancellation()) stops
+ * dispatching new legs; already-running legs observe the same flag at
+ * frame boundaries via their own supervised gates.
+ *
+ * See docs/parallelism.md for the full contract.
+ */
+#ifndef MLTC_SIM_PARALLEL_RUNNER_HPP
+#define MLTC_SIM_PARALLEL_RUNNER_HPP
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace mltc {
+
+/** How a sweep leg ended. */
+enum class LegOutcome
+{
+    Completed, ///< ran to the end
+    Failed,    ///< an exception escaped the leg body
+    Cancelled, ///< cancellation arrived before the leg started
+};
+
+const char *legOutcomeName(LegOutcome outcome);
+
+/** Per-leg record in the sweep manifest. */
+struct LegResult
+{
+    std::string name;
+    LegOutcome outcome = LegOutcome::Cancelled;
+    std::string error;   ///< exception text when outcome == Failed
+    double wall_ms = 0.0; ///< leg wall time (diagnostic; never emitted)
+};
+
+/** Outcome summary for a whole sweep. */
+struct SweepManifest
+{
+    std::vector<LegResult> legs;
+
+    bool allCompleted() const;
+
+    /**
+     * Write `leg,name,outcome,error` rows to @p path. Deliberately
+     * excludes timings so the file is byte-identical across thread
+     * counts and machines.
+     */
+    void writeCsv(const std::string &path) const;
+};
+
+/**
+ * Handed to each leg body: identifies the leg and buffers its console
+ * output for in-order flushing.
+ */
+class LegContext
+{
+public:
+    LegContext(size_t index, std::string name)
+        : index_(index), name_(std::move(name))
+    {
+    }
+
+    size_t index() const { return index_; }
+    const std::string &name() const { return name_; }
+
+    /** Buffered stand-in for std::printf. */
+    void printf(const char *fmt, ...)
+#if defined(__GNUC__)
+        __attribute__((format(printf, 2, 3)))
+#endif
+        ;
+
+    /** Append raw text to the leg's console buffer. */
+    void write(const std::string &text) { out_ += text; }
+
+    const std::string &buffered() const { return out_; }
+
+private:
+    size_t index_;
+    std::string name_;
+    std::string out_;
+};
+
+/**
+ * Work-stealing executor for independent sweep legs.
+ *
+ * Usage:
+ *   SweepExecutor sweep(jobs);
+ *   sweep.addLeg("village/bilinear", [&](LegContext &ctx) { ... });
+ *   SweepManifest manifest = sweep.run();
+ *
+ * jobs <= 1 runs every leg inline on the calling thread in
+ * registration order — bit-for-bit the old serial program. jobs > 1
+ * runs legs on a ThreadPool; outputs are emitted in registration order
+ * regardless of completion order, so both modes produce identical
+ * bytes.
+ */
+class SweepExecutor
+{
+public:
+    /** @p jobs 0 means ThreadPool::defaultJobs(). */
+    explicit SweepExecutor(unsigned jobs = 0);
+
+    /** Register a leg; legs run (or at least emit) in this order. */
+    void addLeg(std::string name, std::function<void(LegContext &)> body);
+
+    /** Effective worker count. */
+    unsigned jobs() const { return jobs_; }
+
+    size_t legCount() const { return legs_.size(); }
+
+    /**
+     * Run every leg and stream each leg's buffered console output to
+     * stdout in registration order. Returns the manifest; exceptions
+     * from leg bodies are captured there, never thrown.
+     */
+    SweepManifest run();
+
+private:
+    struct Leg
+    {
+        std::string name;
+        std::function<void(LegContext &)> body;
+    };
+
+    unsigned jobs_;
+    std::vector<Leg> legs_;
+};
+
+/**
+ * Parse the shared --jobs=N flag (0 or absent = default policy:
+ * MLTC_JOBS env, else hardware concurrency).
+ * @throws mltc::Exception (BadArgument) on malformed or negative N.
+ */
+unsigned jobsFromCli(const CommandLine &cli);
+
+} // namespace mltc
+
+#endif // MLTC_SIM_PARALLEL_RUNNER_HPP

@@ -1,5 +1,6 @@
 #include "sim/resilience.hpp"
 
+#include <atomic>
 #include <csignal>
 
 #include "util/error.hpp"
@@ -37,15 +38,23 @@ resilienceFromCli(const CommandLine &cli)
 
 namespace {
 
-volatile std::sig_atomic_t g_cancel_requested = 0;
+// Lock-free atomic rather than volatile sig_atomic_t: the handler may
+// fire on any thread while sweep workers poll the flag concurrently, so
+// the flag must be both async-signal-safe (lock-free atomic store) and
+// a proper synchronisation point for the data-race checker. C++ only
+// guarantees signal handler use of std::atomic when it is lock-free;
+// int is on every platform we target.
+std::atomic<int> g_cancel_requested{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "cancellation flag must be async-signal-safe");
 
 void
 cancelHandler(int)
 {
-    // Async-signal-safe: only flip the flag; the run loop polls it at
-    // frame boundaries and writes the final checkpoint from normal
-    // context.
-    g_cancel_requested = 1;
+    // Async-signal-safe: only flip the flag; every run loop (on any
+    // worker thread) polls it at frame boundaries and writes its final
+    // checkpoint from normal context.
+    g_cancel_requested.store(1, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -60,19 +69,19 @@ installCancellationHandlers()
 bool
 cancellationRequested()
 {
-    return g_cancel_requested != 0;
+    return g_cancel_requested.load(std::memory_order_relaxed) != 0;
 }
 
 void
 requestCancellation()
 {
-    g_cancel_requested = 1;
+    g_cancel_requested.store(1, std::memory_order_relaxed);
 }
 
 void
 clearCancellation()
 {
-    g_cancel_requested = 0;
+    g_cancel_requested.store(0, std::memory_order_relaxed);
 }
 
 } // namespace mltc

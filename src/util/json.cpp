@@ -570,6 +570,7 @@ JsonlFileSink::~JsonlFileSink()
 void
 JsonlFileSink::writeLine(const std::string &line)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!file_)
         return;
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
@@ -580,14 +581,27 @@ JsonlFileSink::writeLine(const std::string &line)
     ++lines_;
 }
 
+uint64_t
+JsonlFileSink::lines() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+}
+
 void
 JsonlFileSink::close()
 {
-    if (!file_)
-        return;
-    const int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0 || failed_)
+    int rc = 0;
+    bool failed = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!file_)
+            return;
+        rc = std::fclose(file_);
+        file_ = nullptr;
+        failed = failed_;
+    }
+    if (rc != 0 || failed)
         throw Exception(ErrorCode::Io,
                         "JsonlFileSink: write failure on '" + path_ + "'");
 }

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -158,13 +159,17 @@ class JsonlFileSink
     JsonlFileSink(const JsonlFileSink &) = delete;
     JsonlFileSink &operator=(const JsonlFileSink &) = delete;
 
-    /** Write one document (no trailing newline in @p line) as a line. */
+    /**
+     * Write one document (no trailing newline in @p line) as a line.
+     * Thread-safe: lines from concurrent writers never interleave
+     * (each writeLine is one atomic append under an internal mutex).
+     */
     void writeLine(const std::string &line);
 
     const std::string &path() const { return path_; }
 
     /** Lines written so far. */
-    uint64_t lines() const { return lines_; }
+    uint64_t lines() const;
 
     /**
      * Flush and close.
@@ -175,6 +180,7 @@ class JsonlFileSink
   private:
     std::string path_;
     std::FILE *file_ = nullptr;
+    mutable std::mutex mutex_;
     uint64_t lines_ = 0;
     bool failed_ = false;
 };

@@ -1,9 +1,11 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <mutex>
 
 #include "util/json.hpp"
 
@@ -11,9 +13,14 @@ namespace mltc {
 
 namespace {
 
-LogLevel g_level = LogLevel::Info;
-bool g_env_applied = false;
-JsonlFileSink *g_jsonl = nullptr;
+// Sweep legs run on pool workers, so the logging globals are shared
+// mutable state: the level and sink pointer are atomics (hot-path reads
+// stay one relaxed load) and the one-time environment application goes
+// through std::once_flag.
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::atomic<bool> g_env_applied{false};
+std::once_flag g_env_once;
+std::atomic<JsonlFileSink *> g_jsonl{nullptr};
 
 const char *
 levelTag(LogLevel level)
@@ -32,19 +39,22 @@ levelTag(LogLevel level)
 void
 applyEnvOnce()
 {
-    if (g_env_applied)
-        return;
-    g_env_applied = true;
-    const char *env = std::getenv("MLTC_LOG");
-    if (!env || !*env)
-        return;
-    LogLevel level;
-    if (parseLogLevel(env, level))
-        g_level = level;
-    else
-        std::fprintf(stderr, "[%s] [WARN] MLTC_LOG='%s' is not a level "
-                             "(debug|info|warn|error|off); keeping '%s'\n",
-                     logTimestampUtc().c_str(), env, logLevelName(g_level));
+    std::call_once(g_env_once, []() {
+        if (g_env_applied.exchange(true))
+            return; // setLogLevel() already decided; env loses
+        const char *env = std::getenv("MLTC_LOG");
+        if (!env || !*env)
+            return;
+        LogLevel level;
+        if (parseLogLevel(env, level))
+            g_level.store(level);
+        else
+            std::fprintf(stderr,
+                         "[%s] [WARN] MLTC_LOG='%s' is not a level "
+                         "(debug|info|warn|error|off); keeping '%s'\n",
+                         logTimestampUtc().c_str(), env,
+                         logLevelName(g_level.load()));
+    });
 }
 
 } // namespace
@@ -89,21 +99,21 @@ void
 setLogLevel(LogLevel level)
 {
     // An explicit request wins over (and suppresses) the environment.
-    g_env_applied = true;
-    g_level = level;
+    g_env_applied.store(true);
+    g_level.store(level);
 }
 
 LogLevel
 logLevel()
 {
     applyEnvOnce();
-    return g_level;
+    return g_level.load();
 }
 
 void
 setLogJsonlSink(JsonlFileSink *sink)
 {
-    g_jsonl = sink;
+    g_jsonl.store(sink);
 }
 
 std::string
@@ -127,19 +137,21 @@ void
 logMessage(LogLevel level, const std::string &msg)
 {
     applyEnvOnce();
-    if (level < g_level)
+    if (level < g_level.load(std::memory_order_relaxed))
         return;
     const std::string ts = logTimestampUtc();
     std::fprintf(stderr, "[%s] [%s] %s\n", ts.c_str(), levelTag(level),
                  msg.c_str());
-    if (g_jsonl) {
+    // Acquire pairs with the installer's store; JsonlFileSink::writeLine
+    // is internally mutexed, so concurrent log lines never interleave.
+    if (JsonlFileSink *sink = g_jsonl.load(std::memory_order_acquire)) {
         JsonWriter w;
         w.beginObject()
             .kv("ts", ts)
             .kv("level", logLevelName(level))
             .kv("msg", msg)
             .endObject();
-        g_jsonl->writeLine(w.str());
+        sink->writeLine(w.str());
     }
 }
 

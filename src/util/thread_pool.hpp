@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Small work-stealing thread pool for coarse-grained sweep legs.
+ *
+ * Each worker owns a deque: the owner pushes/pops at the back (LIFO,
+ * cache-friendly for nested submits) while idle workers steal from the
+ * front (FIFO, oldest-first). External threads inject through a global
+ * queue. Tasks are type-erased closures; submit() returns a
+ * std::future so exceptions thrown inside a task propagate to whoever
+ * awaits it instead of terminating the process.
+ *
+ * The pool is intended for leg-level parallelism (one task == one
+ * complete simulation leg, seconds of work), so queues are plain
+ * mutex-protected deques — contention is unmeasurable at that grain
+ * and the simple locking is trivially ThreadSanitizer-clean.
+ *
+ * Shutdown drains: the destructor lets queued tasks finish before
+ * joining, so dropping a pool never loses submitted work.
+ */
+#ifndef MLTC_UTIL_THREAD_POOL_HPP
+#define MLTC_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mltc {
+
+class ThreadPool
+{
+public:
+    /** Spin up @p workers threads; 0 means defaultJobs(). */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains every queued task, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Queue @p fn for execution. The returned future yields fn's result
+     * and rethrows anything fn throws. Safe from any thread, including
+     * from inside a running task (nested submits go to the submitting
+     * worker's own deque).
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        post([task]() { (*task)(); });
+        return fut;
+    }
+
+    /** Block until every task submitted so far has run to completion. */
+    void waitIdle();
+
+    /**
+     * Worker count policy shared by every --jobs consumer: the MLTC_JOBS
+     * environment variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency() (minimum 1).
+     */
+    static unsigned defaultJobs();
+
+private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    void post(std::function<void()> fn);
+    void workerLoop(unsigned self);
+    std::function<void()> findJob(unsigned self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_; ///< guards queued_/unfinished_/stop_ + global queue
+    std::condition_variable cv_work_;
+    std::condition_variable cv_idle_;
+    std::deque<std::function<void()>> injected_;
+    size_t queued_ = 0;     ///< tasks sitting in some queue
+    size_t unfinished_ = 0; ///< tasks queued or currently running
+    bool stop_ = false;
+};
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_THREAD_POOL_HPP

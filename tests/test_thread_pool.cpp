@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the work-stealing ThreadPool and the SweepExecutor
+ * built on it: completion, result/exception propagation through
+ * futures, nested submits, drain-on-shutdown, the MLTC_JOBS default
+ * policy, and — the property the parallel sweep engine rests on —
+ * in-registration-order emission no matter how the pool schedules the
+ * legs.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/parallel_runner.hpp"
+#include "sim/resilience.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mltc {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&ran]() { ran.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, FuturesCarryResults)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 50; ++i)
+        futs.push_back(pool.submit([i]() { return i * i; }));
+    int sum = 0;
+    for (auto &f : futs)
+        sum += f.get();
+    int expect = 0;
+    for (int i = 0; i < 50; ++i)
+        expect += i * i;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto boom = pool.submit([]() -> int {
+        throw std::runtime_error("leg exploded");
+    });
+    auto typed = pool.submit([]() -> int {
+        throw Exception(ErrorCode::Io, "disk gone");
+    });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(
+        {
+            try {
+                boom.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "leg exploded");
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_THROW(
+        {
+            try {
+                typed.get();
+            } catch (const Exception &e) {
+                EXPECT_EQ(e.code(), ErrorCode::Io);
+                throw;
+            }
+        },
+        Exception);
+    // A throwing task must not poison the pool.
+    auto after = pool.submit([]() { return 11; });
+    EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPool, NestedSubmitsComplete)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner_ran{0};
+    auto outer = pool.submit([&]() {
+        std::vector<std::future<void>> inner;
+        for (int i = 0; i < 8; ++i)
+            inner.push_back(
+                pool.submit([&inner_ran]() { inner_ran.fetch_add(1); }));
+        for (auto &f : inner)
+            f.get();
+        return inner_ran.load();
+    });
+    EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran]() {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                ran.fetch_add(1);
+            });
+        // No waitIdle(): the destructor must not drop queued tasks.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvironment)
+{
+    setenv("MLTC_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    setenv("MLTC_JOBS", "0", 1); // non-positive -> hardware policy
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    unsetenv("MLTC_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(SweepExecutor, EmitsBufferedOutputInRegistrationOrder)
+{
+    // Legs finish in reverse order (leg 0 slowest); stdout must still
+    // read leg0, leg1, ... — the byte-identical-output property.
+    for (unsigned jobs : {1u, 4u}) {
+        SweepExecutor sweep(jobs);
+        const int n = 6;
+        for (int i = 0; i < n; ++i)
+            sweep.addLeg("leg" + std::to_string(i), [i, n](LegContext &ctx) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2 * (n - i)));
+                ctx.printf("leg%d\n", i);
+            });
+        testing::internal::CaptureStdout();
+        SweepManifest manifest = sweep.run();
+        const std::string out = testing::internal::GetCapturedStdout();
+        std::string expect;
+        for (int i = 0; i < n; ++i)
+            expect += "leg" + std::to_string(i) + "\n";
+        EXPECT_EQ(out, expect) << "jobs=" << jobs;
+        EXPECT_TRUE(manifest.allCompleted()) << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepExecutor, FailedLegIsContainedAndReported)
+{
+    for (unsigned jobs : {1u, 3u}) {
+        SweepExecutor sweep(jobs);
+        std::atomic<int> ran{0};
+        sweep.addLeg("good-a", [&](LegContext &) { ran.fetch_add(1); });
+        sweep.addLeg("bad", [](LegContext &) {
+            throw Exception(ErrorCode::Corrupt, "checksum mismatch");
+        });
+        sweep.addLeg("good-b", [&](LegContext &) { ran.fetch_add(1); });
+        SweepManifest manifest = sweep.run();
+        EXPECT_EQ(ran.load(), 2);
+        ASSERT_EQ(manifest.legs.size(), 3u);
+        EXPECT_FALSE(manifest.allCompleted());
+        EXPECT_EQ(manifest.legs[0].outcome, LegOutcome::Completed);
+        EXPECT_EQ(manifest.legs[1].outcome, LegOutcome::Failed);
+        EXPECT_NE(manifest.legs[1].error.find("checksum mismatch"),
+                  std::string::npos);
+        EXPECT_EQ(manifest.legs[2].outcome, LegOutcome::Completed);
+    }
+}
+
+TEST(SweepExecutor, CancellationStopsDispatchingLegs)
+{
+    clearCancellation();
+    SweepExecutor sweep(1); // serial: deterministic dispatch order
+    std::atomic<int> ran{0};
+    sweep.addLeg("first", [&](LegContext &) {
+        ran.fetch_add(1);
+        requestCancellation();
+    });
+    sweep.addLeg("second", [&](LegContext &) { ran.fetch_add(1); });
+    SweepManifest manifest = sweep.run();
+    clearCancellation();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(manifest.legs[0].outcome, LegOutcome::Completed);
+    EXPECT_EQ(manifest.legs[1].outcome, LegOutcome::Cancelled);
+}
+
+TEST(SweepExecutor, ManifestCsvIsThreadCountInvariant)
+{
+    auto render = [](unsigned jobs) {
+        SweepExecutor sweep(jobs);
+        sweep.addLeg("alpha", [](LegContext &) {});
+        sweep.addLeg("beta", [](LegContext &) {
+            throw std::runtime_error("beta failed");
+        });
+        SweepManifest m = sweep.run();
+        const std::string path = testing::TempDir() + "sweep_manifest_j" +
+                                 std::to_string(jobs) + ".csv";
+        m.writeCsv(path);
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr);
+        std::string bytes;
+        char buf[256];
+        size_t got;
+        while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+            bytes.append(buf, got);
+        std::fclose(f);
+        std::remove(path.c_str());
+        return bytes;
+    };
+    const std::string serial = render(1);
+    const std::string parallel = render(8);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(JobsFromCli, ParsesAndDefaults)
+{
+    {
+        const char *argv[] = {"prog", "--jobs=5"};
+        CommandLine cli(2, const_cast<char **>(argv));
+        EXPECT_EQ(jobsFromCli(cli), 5u);
+    }
+    {
+        const char *argv[] = {"prog"};
+        CommandLine cli(1, const_cast<char **>(argv));
+        EXPECT_GE(jobsFromCli(cli), 1u);
+    }
+    {
+        const char *argv[] = {"prog", "--jobs=9999"};
+        CommandLine cli(2, const_cast<char **>(argv));
+        EXPECT_THROW(jobsFromCli(cli), Exception);
+    }
+}
+
+} // namespace
+} // namespace mltc
