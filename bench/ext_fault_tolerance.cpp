@@ -66,16 +66,23 @@ main(int argc, char **argv)
             if (manifests[w].outcome != RunOutcome::Completed)
                 return;
 
-            TextTable table({name + " fault rate", "retries", "failures",
-                             "degraded", "hard", "mip bias", "MB/frame"});
+            TextTable table({name + " fault rate", "retries",
+                             "retry-exhausted", "failures", "degraded",
+                             "hard", "mip bias", "MB/frame"});
             for (size_t i = 0; i < runner.sims().size(); ++i) {
                 const CacheSim &sim = *runner.sims()[i];
                 const CacheFrameStats &t = sim.totals();
                 const uint64_t hard =
                     t.host_failures - t.degraded_accesses;
+                // The host path's own request ledger, not the frame
+                // counters: requests whose whole retry/backoff budget
+                // was consumed.
+                const uint64_t exhausted =
+                    sim.hostPath() ? sim.hostPath()->stats().failures : 0;
                 const double mbpf = runner.averageHostBytesPerFrame(i) /
                                     (1024.0 * 1024.0);
                 table.addRow({sim.label(), std::to_string(t.host_retries),
+                              std::to_string(exhausted),
                               std::to_string(t.host_failures),
                               std::to_string(t.degraded_accesses),
                               std::to_string(hard),
@@ -84,6 +91,7 @@ main(int argc, char **argv)
                 csv_rows[w].push_back(
                     {name, formatDouble(rates[i], 4),
                      std::to_string(t.host_retries),
+                     std::to_string(exhausted),
                      std::to_string(t.host_failures),
                      std::to_string(t.degraded_accesses),
                      std::to_string(hard),
@@ -105,8 +113,8 @@ main(int argc, char **argv)
 
     CsvWriter csv(csvPath("ext_fault_tolerance.csv"),
                   {"workload", "fault_rate", "host_retries",
-                   "host_failures", "degraded_accesses", "hard_failures",
-                   "mean_mip_bias", "host_mb_per_frame"});
+                   "retry_exhausted", "host_failures", "degraded_accesses",
+                   "hard_failures", "mean_mip_bias", "host_mb_per_frame"});
     for (const auto &leg_rows : csv_rows)
         for (const auto &row : leg_rows)
             csv.rowStrings(row);

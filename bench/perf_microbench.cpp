@@ -117,6 +117,46 @@ BM_CacheSimAccessClassified(benchmark::State &state)
 }
 BENCHMARK(BM_CacheSimAccessClassified);
 
+/**
+ * Two tenants interleaving through one shared Utility-policy L2: the
+ * per-access cost of the multi-tenant path (stream-tagged page table,
+ * quota-constrained victim selection, per-stream stats).
+ */
+void
+BM_MultiStreamInterference(benchmark::State &state)
+{
+    static TextureManager tm_a;
+    static TextureManager tm_b;
+    static TextureId tid_a = tm_a.load(
+        "tenant_a", MipPyramid(makeChecker(256, 8, 0xff0000ffu, 0xffffffffu)));
+    static TextureId tid_b = tm_b.load(
+        "tenant_b", MipPyramid(makeChecker(256, 8, 0xff00ff00u, 0xff000000u)));
+    std::vector<TextureManager *> managers{&tm_a, &tm_b};
+    L2Config l2cfg;
+    l2cfg.size_bytes = 256ull << 10;
+    L2TextureCache l2(managers, l2cfg, L2SharePolicy::Utility);
+    CacheSim sim_a(tm_a, CacheSimConfig::pull(16 * 1024));
+    CacheSim sim_b(tm_b, CacheSimConfig::pull(16 * 1024));
+    sim_a.attachSharedL2(&l2, 0);
+    sim_b.attachSharedL2(&l2, 1);
+    sim_a.bindTexture(tid_a);
+    sim_b.bindTexture(tid_b);
+    uint32_t xa = 0, ya = 0, xb = 0, yb = 0;
+    for (auto _ : state) {
+        xa = (xa + 1) & 255;
+        if (xa == 0)
+            ya = (ya + 1) & 255;
+        sim_a.access(xa, ya, 0);
+        // The neighbor strides a tile at a time: maximal block churn.
+        xb = (xb + 16) & 255;
+        if (xb < 16)
+            yb = (yb + 16) & 255;
+        sim_b.access(xb, yb, 0);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_MultiStreamInterference);
+
 void
 BM_FlatSetInsert(benchmark::State &state)
 {

@@ -16,6 +16,24 @@
  *   cache_explorer --sweep l2 --checkpoint /tmp/l2.snap --checkpoint-every 16
  *   cache_explorer --sweep l2 --checkpoint /tmp/l2.snap --resume
  *
+ * Multi-tenant serving mode (docs/multi_tenant.md): --streams K runs K
+ * independent camera streams into one shared L2 instead of a sweep:
+ *   --streams=K              tenant count (>= 1)
+ *   --l2-policy=P            shared | static | utility
+ *   --stream-budget-mb=B     per-stream host budget per round (0 = off;
+ *                            overruns shed load via LOD bias)
+ *   --stream-workloads=LIST  comma list of workload names per stream
+ *                            ("village", "city", "thrasher"); a single
+ *                            name applies to every stream; default
+ *                            alternates village/city
+ *   --rounds=N               rounds (one frame per stream; default
+ *                            --frames)
+ *   --repartition-every=N    utility-quota retarget interval
+ *   --fail-stream=I --fail-at-round=R   quarantine-injection test hook
+ *   --csv-prefix=BASE        write BASE.streamI.csv per-round rows
+ * plus the shared --jobs / --checkpoint / --resume / --audit /
+ * --metrics-out / --trace-out families, which keep their meaning.
+ *
  * Parallelism (docs/parallelism.md): every swept configuration is an
  * independent leg (its own workload, runner, fault RNG, metrics stream
  * and checkpoint) executed on a work-stealing pool:
@@ -61,6 +79,7 @@
 #include "obs/observability.hpp"
 #include "obs/reuse_profiler.hpp"
 #include "sim/multi_config_runner.hpp"
+#include "sim/multi_stream_runner.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/resilience.hpp"
 #include "util/cli.hpp"
@@ -115,12 +134,185 @@ legResilience(const ResilienceConfig &base, size_t leg)
     return rc;
 }
 
+/**
+ * Strictly parse the multi-tenant flags: every malformed value throws
+ * mltc::Exception (BadArgument) naming the offending flag — the PR-2
+ * rule that bad input dies loudly instead of being defaulted away.
+ */
+MultiStreamConfig
+multiStreamFromCli(const CommandLine &cli)
+{
+    MultiStreamConfig ms;
+
+    const unsigned long streams = cli.getUnsigned("streams", 1);
+    if (streams == 0 || streams > 254)
+        throw Exception(ErrorCode::BadArgument,
+                        "--streams: expected a stream count in [1, 254], "
+                        "got '" + cli.getString("streams", "") + "'");
+
+    const std::string policy = cli.getString("l2-policy", "shared");
+    try {
+        ms.share = parseL2SharePolicy(policy.c_str());
+    } catch (const std::invalid_argument &) {
+        throw Exception(ErrorCode::BadArgument,
+                        "--l2-policy: unknown policy '" + policy +
+                            "' (expected shared|static|utility)");
+    }
+
+    const double budget_mb = cli.getDouble("stream-budget-mb", 0.0);
+    if (budget_mb < 0.0)
+        throw Exception(ErrorCode::BadArgument,
+                        "--stream-budget-mb: budget must be >= 0, got '" +
+                            cli.getString("stream-budget-mb", "") + "'");
+    ms.stream_budget_bytes =
+        static_cast<uint64_t>(budget_mb * (1 << 20));
+
+    ms.rounds = static_cast<uint32_t>(
+        cli.getUnsigned("rounds", cli.getUnsigned("frames", 16)));
+    ms.width = static_cast<int>(cli.getInt("width", 320));
+    ms.height = static_cast<int>(cli.getInt("height", 240));
+    ms.l1_bytes = cli.getUnsigned("l1-kb", 16) << 10;
+    ms.l2_bytes = cli.getUnsigned("l2-kb", 1024) << 10;
+    ms.repartition_every = static_cast<uint32_t>(
+        cli.getUnsigned("repartition-every", 8));
+    ms.jobs = jobsFromCli(cli);
+
+    // Stream composition: explicit comma list, a single name for all
+    // streams, or the default alternating village/city mix.
+    std::vector<std::string> names;
+    const std::string list = cli.getString("stream-workloads", "");
+    if (!list.empty()) {
+        size_t start = 0;
+        while (start <= list.size()) {
+            const size_t comma = list.find(',', start);
+            names.push_back(list.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start));
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        if (names.size() != 1 && names.size() != streams)
+            throw Exception(
+                ErrorCode::BadArgument,
+                "--stream-workloads: expected 1 or " +
+                    std::to_string(streams) + " names, got " +
+                    std::to_string(names.size()));
+    }
+
+    const long fail_stream = cli.getInt("fail-stream", -1);
+    const long fail_round = cli.getInt("fail-at-round", 0);
+    if (fail_stream >= static_cast<long>(streams))
+        throw Exception(ErrorCode::BadArgument,
+                        "--fail-stream: stream index out of range");
+
+    for (unsigned long i = 0; i < streams; ++i) {
+        StreamSpec spec;
+        if (names.empty())
+            spec.workload = (i % 2 == 0) ? "village" : "city";
+        else
+            spec.workload = names.size() == 1 ? names[0] : names[i];
+        spec.filter = (i % 2 == 0) ? FilterMode::Bilinear
+                                   : FilterMode::Trilinear;
+        if (cli.has("filter"))
+            spec.filter = parseFilter(cli.getString("filter", "bilinear"));
+        spec.phase = static_cast<uint32_t>(i * 7);
+        spec.seed = i;
+        if (fail_stream >= 0 && static_cast<unsigned long>(fail_stream) == i)
+            spec.fail_at_round = static_cast<int>(fail_round);
+        ms.streams.push_back(std::move(spec));
+    }
+    return ms;
+}
+
+int
+runMultiStream(const CommandLine &cli)
+{
+    const MultiStreamConfig ms = multiStreamFromCli(cli);
+    const ResilienceConfig resilience = resilienceFromCli(cli);
+    const ObsConfig obs_cfg = obsFromCli(cli);
+    installCancellationHandlers();
+
+    Observability obs(obs_cfg);
+    MultiStreamRunner runner(ms);
+    if (obs_cfg.anyEnabled())
+        runner.setObservability(&obs);
+
+    std::printf("serving %u streams into one %s-policy L2 "
+                "(%u rounds, %u jobs)...\n",
+                runner.streamCount(), l2SharePolicyName(ms.share),
+                ms.rounds, ms.jobs);
+
+    const MultiStreamManifest manifest = runner.run(resilience);
+
+    const std::string csv_prefix = cli.getString("csv-prefix", "");
+    if (!csv_prefix.empty())
+        for (uint32_t i = 0; i < runner.streamCount(); ++i)
+            runner.writeStreamCsv(i, csv_prefix + ".stream" +
+                                         std::to_string(i) + ".csv");
+
+    TextTable table({"stream", "L1 hit", "L2 stream miss", "host MB",
+                     "quota", "alloc", "bias", "status"});
+    for (uint32_t i = 0; i < runner.streamCount(); ++i) {
+        const CacheSim &sim = runner.sim(i);
+        const CacheFrameStats &t = sim.totals();
+        const L2StreamStats &ls = runner.l2().streamStats(i);
+        const StreamManifestEntry &e = manifest.streams[i];
+        table.addRow(
+            {runner.streamName(i), formatPercent(t.l1HitRate(), 2),
+             formatPercent(ls.missRate(), 2),
+             formatDouble(static_cast<double>(t.host_bytes) / (1 << 20), 3),
+             std::to_string(runner.l2().quotas()[i]),
+             std::to_string(runner.l2().streamAllocated(i)),
+             std::to_string(sim.l2Stream() == i
+                                ? static_cast<unsigned long>(
+                                      runner.rows(i).empty()
+                                          ? 0
+                                          : runner.rows(i).back().lod_bias)
+                                : 0ul),
+             e.quarantined ? "quarantined@" + std::to_string(e.at_round)
+                           : "ok"});
+        if (e.quarantined)
+            std::fprintf(stderr, "stream '%s' quarantined at round %u: %s\n",
+                         e.name.c_str(), e.at_round,
+                         e.error.describe().c_str());
+    }
+    table.print();
+
+    if (manifest.outcome != RunOutcome::Completed)
+        std::printf("run %s after %u rounds%s\n",
+                    runOutcomeName(manifest.outcome),
+                    manifest.rounds_completed,
+                    manifest.checkpoint.empty()
+                        ? ""
+                        : " (rerun with --resume to finish)");
+
+    try {
+        obs.close();
+    } catch (const Exception &e) {
+        std::fprintf(stderr, "observability output failed: %s\n",
+                     e.error().describe().c_str());
+        return 1;
+    }
+    return manifest.outcome == RunOutcome::Completed ? 0 : 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+
+    if (cli.has("streams")) {
+        try {
+            return runMultiStream(cli);
+        } catch (const Exception &e) {
+            std::fprintf(stderr, "%s\n", e.error().describe().c_str());
+            return 1;
+        }
+    }
+
     const std::string sweep = cli.getString("sweep", "l1");
     const std::string workload = cli.getString("workload", "village");
     const int frames = static_cast<int>(cli.getInt("frames", 48));

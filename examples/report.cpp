@@ -11,6 +11,7 @@
  *   report series.csv                   # summarise every numeric column
  *   report series.csv --ratio a b      # mean(a)/mean(b) and per-row max
  *   report --metrics run.jsonl         # counter totals / gauge summary
+ *   report --streams run.jsonl         # per-stream multi-tenant table
  *   report --mrc run_mrc.csv           # ASCII miss-ratio curve plot
  *   report --heatmap hm.json [--top-blocks N]   # hottest L2 blocks
  */
@@ -46,6 +47,90 @@ summarizeMetrics(const std::string &path)
         std::printf("error: %s\n", e.error().message.c_str());
         return 1;
     }
+    return 0;
+}
+
+/**
+ * `report --streams`: fold a multi-tenant run's merged metrics JSONL
+ * (cache_explorer --streams K --metrics-out) into one row per tenant
+ * stream. Counters are cumulative so the folded totals are the run
+ * totals; the bias and noisy flags are reported as their per-round
+ * peaks so a transient overload round is still visible.
+ */
+int
+summarizeStreams(const std::string &path)
+{
+    using namespace mltc;
+    MetricsSummary s;
+    try {
+        s = summarizeMetricsFile(path);
+    } catch (const Exception &e) {
+        std::printf("error: %s\n", e.error().message.c_str());
+        return 1;
+    }
+
+    // Metric keys carry the tenant as a label: "l1.miss{stream=3}".
+    const auto splitKey = [](const std::string &key, std::string &base,
+                             int &stream) {
+        const size_t brace = key.find("{stream=");
+        if (brace == std::string::npos || key.back() != '}')
+            return false;
+        base = key.substr(0, brace);
+        const std::string id =
+            key.substr(brace + 8, key.size() - brace - 9);
+        if (id.empty() ||
+            id.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        stream = std::stoi(id);
+        return true;
+    };
+
+    std::map<int, std::map<std::string, double>> per_stream;
+    for (const auto &[key, value] : s.final_counters) {
+        std::string base;
+        int stream = 0;
+        if (splitKey(key, base, stream))
+            per_stream[stream][base] = value;
+    }
+    for (const auto &[key, series] : s.gauges) {
+        std::string base;
+        int stream = 0;
+        if (splitKey(key, base, stream))
+            per_stream[stream]["max:" + base] = series.max;
+    }
+    if (per_stream.empty()) {
+        std::printf("error: %s has no {stream=N}-labelled metrics — "
+                    "was it written by a --streams run?\n", path.c_str());
+        return 1;
+    }
+
+    std::printf("%s: %zu tenant stream(s) over %zu frame rows\n",
+                path.c_str(), per_stream.size(), s.frame_rows);
+    TextTable out({"stream", "accesses", "L1 miss", "L2 miss", "host MB",
+                   "peak bias", "noisy", "quarantined"});
+    for (const auto &[stream, m] : per_stream) {
+        const auto get = [&m](const char *key) {
+            const auto it = m.find(key);
+            return it == m.end() ? 0.0 : it->second;
+        };
+        const double accesses = get("accesses");
+        const double l1_miss = get("l1.miss");
+        const double l2_lookups = get("l2.full_hit") +
+                                  get("l2.partial_hit") +
+                                  get("l2.full_miss");
+        out.addRow({std::to_string(stream),
+                    formatDouble(accesses, 0),
+                    accesses == 0.0 ? "-"
+                                    : formatPercent(l1_miss / accesses, 2),
+                    l2_lookups == 0.0
+                        ? "-"
+                        : formatPercent(get("l2.full_miss") / l2_lookups, 2),
+                    formatDouble(get("host.bytes") / (1024.0 * 1024.0), 2),
+                    formatDouble(get("max:lod_bias"), 0),
+                    get("max:noisy") > 0.0 ? "yes" : "no",
+                    get("quarantined") > 0.0 ? "yes" : "no"});
+    }
+    out.print();
     return 0;
 }
 
@@ -190,6 +275,8 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv);
     if (cli.has("metrics"))
         return summarizeMetrics(cli.getString("metrics", ""));
+    if (cli.has("streams"))
+        return summarizeStreams(cli.getString("streams", ""));
     if (cli.has("mrc"))
         return plotMrc(cli.getString("mrc", ""));
     if (cli.has("heatmap"))
@@ -199,6 +286,7 @@ main(int argc, char **argv)
     if (cli.positional().empty()) {
         std::printf("usage: report <file.csv> [--ratio colA colB] | "
                     "report --metrics <run.jsonl> | "
+                    "report --streams <run.jsonl> | "
                     "report --mrc <mrc.csv> | "
                     "report --heatmap <hm.json> [--top-blocks N]\n");
         return 1;

@@ -54,6 +54,34 @@ for snap in "$WORK"/e1/ckpt.snap.leg*; do
     fi
 done
 
+multistream() { # jobs outdir
+    mkdir -p "$2"
+    "$BUILD/examples/cache_explorer" --streams 4 --rounds 3 \
+        --l2-policy utility --stream-workloads village,city,thrasher,city \
+        --jobs "$1" --metrics-out "$2/run.jsonl" \
+        --checkpoint "$2/ms.snap" --checkpoint-every 2 \
+        --csv-prefix "$2/ms" > "$2/stdout.txt"
+}
+
+echo "== cache_explorer --streams 4 (jobs 1 vs 8) =="
+multistream 1 "$WORK/m1"
+multistream 8 "$WORK/m8"
+if ! cmp -s "$WORK/m1/ms.snap" "$WORK/m8/ms.snap"; then
+    echo "FAIL: multi-stream checkpoint differs between jobs=1 and jobs=8"
+    fail=1
+fi
+for f in stdout.txt run.jsonl ms.stream0.csv ms.stream1.csv \
+         ms.stream2.csv ms.stream3.csv; do
+    if ! normalize "$WORK/m1/$f" "$WORK/m1" > "$WORK/a" || \
+       ! normalize "$WORK/m8/$f" "$WORK/m8" > "$WORK/b"; then
+        echo "FAIL: missing artifact $f"; fail=1; continue
+    fi
+    if ! diff -u "$WORK/a" "$WORK/b" > /dev/null; then
+        echo "FAIL: multi-stream $f differs between jobs=1 and jobs=8"
+        fail=1
+    fi
+done
+
 for bench in tab03_avg_bandwidth tab05_06_l2_hitrates fig09_tab02_l1; do
     echo "== $bench (MLTC_JOBS 1 vs 8) =="
     mkdir -p "$WORK/b1" "$WORK/b8"

@@ -12,7 +12,8 @@ movement per benchmark. Any benchmark whose normalized ratio exceeds
 Wall-clock rows from ext_parallel_scaling (BM_ParallelSweep/jobs:N)
 are excluded: they measure thread-scaling on whatever core count the
 machine happens to have, not single-thread code quality. The
-single-thread hot-path benchmarks (BM_CacheSimAccess*) are mandatory —
+single-thread hot-path benchmarks (BM_CacheSimAccess*,
+BM_MultiStreamInterference) are mandatory —
 a candidate that lacks them is unusable, not merely incomplete, since
 they are the benchmarks this gate exists to protect.
 
@@ -28,7 +29,7 @@ import sys
 IGNORED_PREFIXES = ("BM_ParallelSweep",)
 
 # Rows the candidate must contain for the gate to mean anything.
-REQUIRED_PREFIXES = ("BM_CacheSimAccess",)
+REQUIRED_PREFIXES = ("BM_CacheSimAccess", "BM_MultiStreamInterference")
 
 
 def load_ns_per_op(path):

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -125,13 +126,60 @@ CacheAuditor::cheapL2(const L2TextureCache &l2)
     if (s.prefetch_useful > s.prefetch_sectors)
         violation("L2TextureCache.stats",
                   "more useful prefetches than prefetched sectors");
+
+    uint64_t stream_lookups = 0, stream_alloc = 0, quota_sum = 0;
+    for (uint32_t t = 0; t < l2.stream_count_; ++t) {
+        const L2StreamStats &ss = l2.stream_stats_[t];
+        if (ss.full_hits + ss.partial_hits + ss.full_misses != ss.lookups)
+            violation("L2StreamStats", t,
+                      "hit/miss breakdown does not sum to lookups");
+        stream_lookups += ss.lookups;
+        stream_alloc += l2.stream_alloc_[t];
+        if (l2.quota_[t] == 0)
+            violation("L2TextureCache.quota", t, "zero-block quota");
+        quota_sum += l2.quota_[t];
+    }
+    if (stream_lookups != s.lookups)
+        violation("L2StreamStats",
+                  "per-stream lookups sum to " +
+                      std::to_string(stream_lookups) + ", global count is " +
+                      std::to_string(s.lookups));
+    if (stream_alloc + l2.free_list_.size() >
+        (l2.share_ == L2SharePolicy::Static ? l2.cfg_.blocks()
+                                            : l2.allocated_))
+        violation("L2TextureCache",
+                  "per-stream ownership plus free list exceeds the "
+                  "allocated pool");
+    if (quota_sum != l2.cfg_.blocks())
+        violation("L2TextureCache",
+                  "stream quotas sum to " + std::to_string(quota_sum) +
+                      ", capacity is " + std::to_string(l2.cfg_.blocks()));
+    if (l2.share_ == L2SharePolicy::Static && !l2.free_list_.empty())
+        violation("L2TextureCache",
+                  "static partitioning must keep the free list empty");
+}
+
+void
+CacheAuditor::checkL2(const L2TextureCache &l2, AuditLevel level)
+{
+    switch (level) {
+      case AuditLevel::Off:
+        return;
+      case AuditLevel::Cheap:
+        cheapL2(l2);
+        return;
+      case AuditLevel::Full:
+        cheapL2(l2);
+        fullL2(l2);
+        return;
+    }
 }
 
 void
 CacheAuditor::checkFull(const CacheSim &sim)
 {
     checkCheap(sim);
-    fullL1(sim.l1_, sim.textures_.textureCount());
+    fullL1(sim.l1_, static_cast<uint32_t>(sim.textures_.textureCount()));
     if (sim.l2_) {
         fullL2(*sim.l2_);
         if (sim.tlb_)
@@ -218,25 +266,69 @@ CacheAuditor::fullL2(const L2TextureCache &l2)
                       "prefetched bits are not a subset of the sector bits");
     }
 
+    // Free-listed blocks are below the watermark but legitimately
+    // unowned (released by a quarantined stream), so index them first.
+    std::vector<uint8_t> on_free_list(l2.brl_owner_.size(), 0);
+    for (uint32_t phys : l2.free_list_) {
+        if (phys >= l2.brl_owner_.size())
+            violation("L2TextureCache.free_list", phys,
+                      "free-list entry out of range");
+        if (on_free_list[phys])
+            violation("L2TextureCache.free_list", phys,
+                      "block appears on the free list twice");
+        on_free_list[phys] = 1;
+    }
+
+    const bool is_static = l2.share_ == L2SharePolicy::Static;
+    std::vector<uint64_t> per_stream_owned(l2.stream_count_, 0);
     uint64_t owned_blocks = 0;
     for (size_t p = 0; p < l2.brl_owner_.size(); ++p) {
         const uint32_t owner = l2.brl_owner_[p];
+        const uint8_t owner_stream = l2.block_stream_[p];
         if (owner == 0) {
-            if (p < l2.allocated_)
+            if (owner_stream != L2TextureCache::kFreeBlock)
+                violation("BRL", p,
+                          "unowned block is attributed to stream " +
+                              std::to_string(owner_stream));
+            if (!is_static && p < l2.allocated_ && !on_free_list[p])
                 violation("BRL", p,
                           "block below the allocation watermark has no "
-                          "owner");
+                          "owner and is not on the free list");
             continue;
         }
         ++owned_blocks;
-        if (p >= l2.allocated_)
+        if (owner_stream == L2TextureCache::kFreeBlock)
+            violation("BRL", p, "owned block is attributed to no stream");
+        if (owner_stream >= l2.stream_count_)
+            violation("BRL", p,
+                      "block attributed to stream " +
+                          std::to_string(owner_stream) + " of " +
+                          std::to_string(l2.stream_count_));
+        ++per_stream_owned[owner_stream];
+        if (on_free_list[p])
+            violation("BRL", p, "owned block appears on the free list");
+        if (!is_static && p >= l2.allocated_)
             violation("BRL", p,
                       "block above the allocation watermark has owner " +
                           std::to_string(owner));
+        if (is_static &&
+            (p < l2.base_[owner_stream] ||
+             p >= l2.base_[owner_stream] + l2.quota_[owner_stream]))
+            violation("BRL", p,
+                      "block owned by stream " +
+                          std::to_string(owner_stream) +
+                          " lies outside its static partition");
         if (owner - 1 >= l2.table_.size())
             violation("BRL", p,
                       "owner t_index " + std::to_string(owner - 1) +
                           " out of range");
+        if (l2.streamOfIndex(owner - 1) != owner_stream)
+            violation("BRL", p,
+                      "owner t_index " + std::to_string(owner - 1) +
+                          " lies in the page-table region of stream " +
+                          std::to_string(l2.streamOfIndex(owner - 1)) +
+                          ", but the block is attributed to stream " +
+                          std::to_string(owner_stream));
         if (l2.table_[owner - 1].phys_plus1 != p + 1)
             violation("BRL", p,
                       "owner t_table[" + std::to_string(owner - 1) +
@@ -244,15 +336,30 @@ CacheAuditor::fullL2(const L2TextureCache &l2)
                           std::to_string(l2.table_[owner - 1].phys_plus1) +
                           "-1 (expected " + std::to_string(p) + ")");
     }
-    if (mapped_entries != owned_blocks || owned_blocks != l2.allocated_)
+    const uint64_t expected_owned =
+        is_static ? l2.allocated_ : l2.allocated_ - l2.free_list_.size();
+    if (mapped_entries != owned_blocks || owned_blocks != expected_owned)
         violation("L2TextureCache",
                   "mapped t_table entries (" + std::to_string(mapped_entries) +
                       "), owned BRL blocks (" + std::to_string(owned_blocks) +
                       ") and the allocation watermark (" +
-                      std::to_string(l2.allocated_) + ") disagree");
+                      std::to_string(l2.allocated_) + " minus " +
+                      std::to_string(l2.free_list_.size()) +
+                      " free-listed) disagree");
+    for (uint32_t t = 0; t < l2.stream_count_; ++t)
+        if (per_stream_owned[t] != l2.stream_alloc_[t])
+            violation("L2TextureCache.stream_alloc", t,
+                      "records " + std::to_string(l2.stream_alloc_[t]) +
+                          " owned blocks, BRL attribution counts " +
+                          std::to_string(per_stream_owned[t]));
 
-    fullSelector(*l2.selector_, l2.cfg_.policy,
-                 static_cast<uint32_t>(l2.cfg_.blocks()));
+    if (is_static)
+        for (uint32_t t = 0; t < l2.stream_count_; ++t)
+            fullSelector(*l2.part_selector_[t], l2.cfg_.policy,
+                         static_cast<uint32_t>(l2.quota_[t]));
+    else
+        fullSelector(*l2.selector_, l2.cfg_.policy,
+                     static_cast<uint32_t>(l2.cfg_.blocks()));
 }
 
 void

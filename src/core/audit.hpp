@@ -55,6 +55,13 @@ class CacheAuditor
     /** Exhaustive structural sweep (includes the cheap checks). */
     static void checkFull(const CacheSim &sim);
 
+    /**
+     * Audit a shared L2 that no simulator owns (multi-tenant serving:
+     * the per-sim audit skips an attached L2 so the owner checks it
+     * exactly once per round instead of K times).
+     */
+    static void checkL2(const L2TextureCache &l2, AuditLevel level);
+
   private:
     static void cheapL2(const L2TextureCache &l2);
     static void fullL1(const L1Cache &l1, uint32_t texture_count);

@@ -1,6 +1,7 @@
 #include "core/cache_sim.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "obs/reuse_profiler.hpp"
@@ -43,6 +44,7 @@ CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
         // The sector granularity always matches the L1 tile.
         cfg_.l2.l1_tile = cfg_.l1.l1_tile;
         l2_ = std::make_unique<L2TextureCache>(textures, cfg_.l2);
+        l2p_ = l2_.get();
     }
     if (cfg_.tlb_entries > 0)
         tlb_ = std::make_unique<TextureTlb>(cfg_.tlb_entries);
@@ -63,6 +65,26 @@ CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
 }
 
 void
+CacheSim::attachSharedL2(L2TextureCache *l2, uint32_t stream)
+{
+    if (l2_)
+        throw std::logic_error(
+            "CacheSim: attachSharedL2 on a simulator that owns an L2");
+    if (bound_ != 0)
+        throw std::logic_error(
+            "CacheSim: attachSharedL2 after a texture was bound");
+    l2p_ = l2;
+    l2_stream_ = l2 ? stream : 0;
+    if (l2 != nullptr) {
+        // Adopt the shared geometry so layout derivation and byte
+        // accounting match the cache actually being driven.
+        cfg_.l2 = l2->config();
+        if (cfg_.classify_misses && !l2_class_)
+            l2_class_ = std::make_unique<MissClassifier>(cfg_.l2.blocks());
+    }
+}
+
+void
 CacheSim::bindTexture(TextureId tid)
 {
     bound_ = tid;
@@ -73,10 +95,10 @@ CacheSim::bindTexture(TextureId tid)
     TileSpec l1_spec{std::max(16u, cfg_.l1.l1_tile), cfg_.l1.l1_tile,
                      /*morton=*/true};
     l1_layout_ = &textures_.layout(tid, l1_spec);
-    if (l2_) {
+    if (l2p_) {
         TileSpec l2_spec{cfg_.l2.l2_tile, cfg_.l2.l1_tile};
         l2_layout_ = &textures_.layout(tid, l2_spec);
-        tstart_ = l2_->tstart(tid);
+        tstart_ = l2p_->tstartFor(l2_stream_, tid);
     }
     const TextureEntry &tex = textures_.texture(tid);
     host_sector_bytes_ = static_cast<uint64_t>(cfg_.l1.l1_tile) *
@@ -160,8 +182,8 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
         // The classifier sees the same post-coalescing stream the real
         // L1 sees; a miss is attributed the L1 fill traffic it causes.
         const auto c = l1_class_->access(key, key, l1_hit, bound_, mip,
-                                         l2_ ? cfg_.l1.lineBytes()
-                                             : host_sector_bytes_);
+                                         l2p_ ? cfg_.l1.lineBytes()
+                                              : host_sector_bytes_);
         if (c) {
             switch (*c) {
               case MissClass::Compulsory: ++frame_.l1_compulsory; break;
@@ -177,7 +199,7 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
 
     ++frame_.l1_misses;
 
-    if (!l2_) {
+    if (!l2p_) {
         // Pull architecture: download one L1 tile from host memory.
         if (host_ && !fetchFromHost(0)) {
             degradeToResidentMip(x, y, mip);
@@ -194,6 +216,8 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
     // modelled), then service from L2 or download the missing sector.
     const VirtualBlock vb = l2_layout_->blockOf(bound_, x, y, mip);
     const uint32_t t_index = tstart_ + vb.l2_block;
+    if (l2_tracker_) [[unlikely]]
+        l2_tracker_->record(t_index);
     if (tlb_) {
         ++frame_.tlb_probes;
         if (tlb_->probe(t_index))
@@ -205,13 +229,14 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
     // the L2 may mutate: on retry exhaustion no block is allocated, no
     // sector bit is set, and the access degrades to a coarser resident
     // level instead.
-    if (host_ && !l2_->probe(t_index, vb.l1_sub) && !fetchFromHost(t_index)) {
+    if (host_ && !l2p_->probe(t_index, vb.l1_sub) && !fetchFromHost(t_index)) {
         degradeToResidentMip(x, y, mip);
         last_tile_ = tile;
         return;
     }
 
-    const L2Result res = l2_->access(t_index, vb.l1_sub, host_sector_bytes_);
+    const L2Result res =
+        l2p_->access(t_index, vb.l1_sub, host_sector_bytes_, l2_stream_);
     switch (res) {
       case L2Result::FullHit:
         ++frame_.l2_full_hits;
@@ -220,14 +245,14 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
       case L2Result::PartialHit:
         ++frame_.l2_partial_hits;
         frame_.host_bytes +=
-            host_sector_bytes_ * l2_->lastDownloadSectors();
+            host_sector_bytes_ * l2p_->lastDownloadSectors();
         break;
       case L2Result::FullMiss:
         ++frame_.l2_full_misses;
         frame_.host_bytes +=
-            host_sector_bytes_ * l2_->lastDownloadSectors();
+            host_sector_bytes_ * l2p_->lastDownloadSectors();
         frame_.victim_steps_max = std::max(frame_.victim_steps_max,
-                                           l2_->lastVictimSteps());
+                                           l2p_->lastVictimSteps());
         break;
     }
     if (profiler_) [[unlikely]]
@@ -245,7 +270,7 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
         const auto c = l2_class_->access(
             sector_key, t_index, full_hit, bound_, mip,
             full_hit ? 0
-                     : host_sector_bytes_ * l2_->lastDownloadSectors());
+                     : host_sector_bytes_ * l2p_->lastDownloadSectors());
         if (c) {
             switch (*c) {
               case MissClass::Compulsory: ++frame_.l2_compulsory; break;
@@ -282,16 +307,16 @@ CacheSim::fetchFromHost(uint32_t t_index)
 void
 CacheSim::degradeToResidentMip(uint32_t x, uint32_t y, uint32_t mip)
 {
-    const TiledLayout *layout = l2_ ? l2_layout_ : l1_layout_;
+    const TiledLayout *layout = l2p_ ? l2_layout_ : l1_layout_;
     const uint32_t levels = layout->levels();
     for (uint32_t m = mip + 1; m < levels; ++m) {
         const uint32_t shift = m - mip;
         const uint32_t cx = x >> shift;
         const uint32_t cy = y >> shift;
         bool resident;
-        if (l2_) {
+        if (l2p_) {
             const VirtualBlock vb = l2_layout_->blockOf(bound_, cx, cy, m);
-            resident = l2_->probe(tstart_ + vb.l2_block, vb.l1_sub);
+            resident = l2p_->probe(tstart_ + vb.l2_block, vb.l1_sub);
         } else {
             resident = l1_.probe(l1_layout_->blockKeyOf(bound_, cx, cy, m));
         }
@@ -299,7 +324,7 @@ CacheSim::degradeToResidentMip(uint32_t x, uint32_t y, uint32_t mip)
             continue;
         ++frame_.degraded_accesses;
         frame_.degraded_mip_bias += shift;
-        if (l2_) {
+        if (l2p_) {
             // The coarse sector is read from L2 and parked in L1 so an
             // immediate repeat hits on-chip.
             frame_.l2_read_bytes += cfg_.l1.lineBytes();

@@ -30,6 +30,7 @@
 namespace mltc {
 
 class ReuseProfiler;
+class ReuseDistanceTracker;
 
 /** Full simulator configuration. */
 struct CacheSimConfig
@@ -212,8 +213,33 @@ class CacheSim final : public TexelAccessSink
 
     const L1Cache &l1() const { return l1_; }
 
-    /** The L2 cache, present only when enabled. */
-    const L2TextureCache *l2() const { return l2_.get(); }
+    /** The L2 cache (owned or attached shared), null in pull mode. */
+    const L2TextureCache *l2() const { return l2p_; }
+
+    /**
+     * Multi-tenant serving: route this simulator's L1 misses through a
+     * shared L2 it does not own, as tenant @p stream. Must be called on
+     * a simulator constructed with l2_enabled = false, before any
+     * texture is bound. The shared cache is NOT serialized by this
+     * simulator's save() — the owner (the multi-stream runner)
+     * checkpoints it exactly once.
+     */
+    void attachSharedL2(L2TextureCache *l2, uint32_t stream);
+
+    /** Tenant stream id used on the attached shared L2. */
+    uint32_t l2Stream() const { return l2_stream_; }
+
+    /**
+     * Attach a reuse-distance tracker fed with the page-table index of
+     * every L2 block this simulator references on an L1 miss (null
+     * detaches). Not owned, not serialized here: the multi-stream
+     * runner persists it beside its own state. The per-stream
+     * miss-ratio curve it yields is the input to utility repartitioning.
+     */
+    void setL2BlockTracker(ReuseDistanceTracker *tracker)
+    {
+        l2_tracker_ = tracker;
+    }
 
     const TextureTlb *tlb() const { return tlb_.get(); }
 
@@ -312,6 +338,9 @@ class CacheSim final : public TexelAccessSink
     std::string label_;
     L1Cache l1_;
     std::unique_ptr<L2TextureCache> l2_;
+    L2TextureCache *l2p_ = nullptr; ///< hot-path L2: owned or shared
+    uint32_t l2_stream_ = 0;        ///< tenant id on a shared L2
+    ReuseDistanceTracker *l2_tracker_ = nullptr; ///< not owned
     std::unique_ptr<TextureTlb> tlb_;
     std::unique_ptr<HostFetchPath> host_; ///< null = infallible host
     FaultyHostBackend *faulty_ = nullptr;  ///< owned by host_

@@ -66,6 +66,50 @@ struct L2Config
     }
 };
 
+/**
+ * How K independent streams share one L2 (multi-tenant serving mode).
+ *
+ * Shared: no enforcement — every stream competes for every block (the
+ * single-stream behaviour; with one stream this is byte-identical to
+ * the pre-multi-tenant cache). Static: the block pool is split into K
+ * contiguous partitions; each stream evicts only inside its own, so a
+ * stream behaves exactly like a solo cache of its quota size. Utility:
+ * one global pool with per-stream block quotas; an over-quota stream
+ * funds its own allocations, an under-quota stream evicts from the
+ * most-over-quota stream (quotas are retargeted online from the
+ * reuse-distance miss-ratio curves).
+ */
+enum class L2SharePolicy { Shared, Static, Utility };
+
+/** Parse a share-policy name ("shared", "static", "utility"). */
+L2SharePolicy parseL2SharePolicy(const char *name);
+
+/** Name of a share policy for reports. */
+const char *l2SharePolicyName(L2SharePolicy policy);
+
+/** Per-stream L2 counters (multi-tenant attribution). */
+struct L2StreamStats
+{
+    uint64_t lookups = 0;
+    uint64_t full_hits = 0;
+    uint64_t partial_hits = 0;
+    uint64_t full_misses = 0;
+    uint64_t evictions_suffered = 0; ///< this stream's blocks evicted
+    uint64_t cross_evictions = 0;    ///< evictions inflicted on others
+    uint64_t host_bytes = 0;
+    uint64_t l2_read_bytes = 0;
+
+    /** Fraction of lookups that missed the full block (paper's L2 miss). */
+    double
+    missRate() const
+    {
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(partial_hits + full_misses) /
+                         static_cast<double>(lookups);
+    }
+};
+
 /** Outcome of an L2 access (conditional on an L1 miss). */
 enum class L2Result
 {
@@ -100,10 +144,26 @@ class L2TextureCache
   public:
     L2TextureCache(TextureManager &textures, const L2Config &config);
 
+    /**
+     * Multi-tenant construction: one page-table region per stream, in
+     * stream order, each covering that stream's TextureManager. The
+     * share policy governs victim selection (see L2SharePolicy).
+     * @throws std::invalid_argument for zero streams, more streams than
+     *         blocks (every stream needs >= 1 block) or > 254 streams.
+     */
+    L2TextureCache(const std::vector<TextureManager *> &streams,
+                   const L2Config &config, L2SharePolicy share);
+
     const L2Config &config() const { return cfg_; }
 
-    /** First page-table entry of @p tid. */
+    /** First page-table entry of @p tid (stream 0). */
     uint32_t tstart(TextureId tid) const;
+
+    /** First page-table entry of @p tid within @p stream's region. */
+    uint32_t tstartFor(uint32_t stream, TextureId tid) const;
+
+    /** Stream whose page-table region contains @p t_index. */
+    uint32_t streamOfIndex(uint32_t t_index) const;
 
     /** Page-table index of <tid, l2_block> (what the TLB caches). */
     uint32_t
@@ -123,10 +183,11 @@ class L2TextureCache
      * page-table index @p t_index. @p host_sector_bytes is the size of
      * one downloaded sector at the texture's original host depth.
      * @throws mltc::Exception (OutOfRange) for an index outside the
-     *         page table — malformed traces must not scribble memory.
+     *         page table — malformed traces must not scribble memory —
+     *         or outside the issuing stream's region.
      */
     L2Result access(uint32_t t_index, uint32_t l1_sub,
-                    uint64_t host_sector_bytes);
+                    uint64_t host_sector_bytes, uint32_t stream = 0);
 
     /**
      * Residency probe: true when the sector is resident, with no state
@@ -150,6 +211,39 @@ class L2TextureCache
 
     const L2Stats &stats() const { return stats_; }
 
+    /** Number of tenant streams (1 for the single-stream ctor). */
+    uint32_t streamCount() const { return stream_count_; }
+
+    /** The configured share policy. */
+    L2SharePolicy sharePolicy() const { return share_; }
+
+    /** Attribution counters for @p stream. */
+    const L2StreamStats &streamStats(uint32_t stream) const;
+
+    /** Physical blocks currently owned by @p stream. */
+    uint64_t streamAllocated(uint32_t stream) const;
+
+    /** Per-stream block quotas (targets under Utility, hard under Static). */
+    const std::vector<uint64_t> &quotas() const { return quota_; }
+
+    /**
+     * Retarget Utility quotas (lazy enforcement: over-quota streams lose
+     * blocks at their next eviction, nothing is reclaimed eagerly).
+     * @throws std::invalid_argument unless the policy is Utility, every
+     *         quota is >= 1 and the quotas sum to blocks().
+     */
+    void setQuotas(const std::vector<uint64_t> &quotas);
+
+    /**
+     * Quarantine support: evict every block @p stream owns and return
+     * them to the free pool. Survivor streams' cached state, recency
+     * order and counters are untouched.
+     */
+    void releaseStream(uint32_t stream);
+
+    /** Blocks currently parked on the free list (after releaseStream). */
+    uint64_t freeBlocks() const { return free_list_.size(); }
+
     /**
      * Distribution of clock victim-search lengths, one sample per
      * eviction search (§5.3 replacement behaviour). Serialized with the
@@ -161,6 +255,8 @@ class L2TextureCache
     clearStats()
     {
         stats_ = {};
+        for (auto &ss : stream_stats_)
+            ss = {};
         victim_hist_.clear();
     }
 
@@ -188,16 +284,52 @@ class L2TextureCache
         uint32_t phys_plus1 = 0; ///< 0 = no physical block allocated
     };
 
+    /** block_stream_ value for a physical block nobody owns. */
+    static constexpr uint8_t kFreeBlock = 0xFF;
+
     /** Apply the configured prefetch policy after a demand download. */
     void prefetchAfterDemand(TableEntry &entry, uint32_t l1_sub,
                              uint64_t host_sector_bytes);
 
-    TextureManager &textures_;
+    /** access() minus the per-stream byte attribution wrapper. */
+    L2Result accessImpl(uint32_t t_index, uint32_t l1_sub,
+                        uint64_t host_sector_bytes, uint32_t stream);
+
+    /** Report a touch to the selector that owns @p phys. */
+    void touchBlock(uint32_t phys);
+
+    /** Record the search cost of the eviction that just ran. */
+    void noteVictimSteps(uint32_t steps);
+
+    /**
+     * Find (and if owned, evict with attribution) a physical block for
+     * @p stream under the configured share policy.
+     */
+    uint32_t allocBlockFor(uint32_t stream);
+
+    /** Stream that must fund an eviction requested by @p stream. */
+    uint32_t victimStream(uint32_t stream) const;
+
+    /** Evict whatever owns @p phys, attributing it to @p requester. */
+    void evictPhys(uint32_t phys, uint32_t requester);
+
+    std::vector<TextureManager *> streams_; ///< one manager per stream
     L2Config cfg_;
+    L2SharePolicy share_ = L2SharePolicy::Shared;
+    uint32_t stream_count_ = 1;
     std::vector<TableEntry> table_;
     std::vector<uint32_t> brl_owner_; ///< t_index+1 per physical block
     std::unique_ptr<VictimSelector> selector_;
-    std::vector<uint32_t> tstart_;    ///< indexed by tid (0 unused)
+    std::vector<std::vector<uint32_t>> tstarts_; ///< [stream][tid], 0 unused
+    std::vector<uint32_t> region_start_; ///< K+1 page-table prefix sums
+    std::vector<uint8_t> block_stream_;  ///< owner stream, kFreeBlock = none
+    std::vector<uint64_t> stream_alloc_; ///< owned blocks per stream
+    std::vector<uint64_t> quota_;        ///< block quota per stream
+    std::vector<uint64_t> base_;         ///< Static: partition start block
+    std::vector<std::unique_ptr<VictimSelector>>
+        part_selector_;                  ///< Static: per-partition selector
+    std::vector<uint32_t> free_list_;    ///< released blocks (LIFO reuse)
+    std::vector<L2StreamStats> stream_stats_;
     uint64_t allocated_ = 0;
     uint64_t sector_read_bytes_;      ///< 32-bit bytes per sector read
     uint32_t last_victim_steps_ = 0;

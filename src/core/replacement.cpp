@@ -80,6 +80,34 @@ ClockSelector::selectVictim()
     return hand_; // unreachable: all bits were cleared in the first sweep
 }
 
+uint32_t
+ClockSelector::selectVictimAmong(const std::function<bool(uint32_t)> &allowed)
+{
+    // Same sweep as selectVictim(), but disallowed blocks are skipped
+    // *without* clearing their active bits: a partition-constrained
+    // eviction must not age other partitions' recency state. After one
+    // full revolution every allowed block's bit is clear, so the second
+    // revolution returns the first allowed block encountered.
+    last_steps_ = 0;
+    const uint32_t n = static_cast<uint32_t>(active_.size());
+    for (uint32_t step = 0; step < 2 * n; ++step) {
+        ++last_steps_;
+        uint32_t i = hand_;
+        hand_ = (hand_ + 1) % n;
+        if (!allowed(i))
+            continue;
+        if (!active_[i])
+            return i;
+        active_[i] = 0;
+    }
+    // Unreachable when the caller guarantees an allowed block exists;
+    // fall back to a plain scan so the invariant failure stays local.
+    for (uint32_t i = 0; i < n; ++i)
+        if (allowed(i))
+            return i;
+    return hand_;
+}
+
 void
 ClockSelector::reset()
 {
@@ -148,6 +176,45 @@ uint32_t
 LruSelector::selectVictim()
 {
     return tail_;
+}
+
+uint32_t
+LruSelector::selectVictimAmong(const std::function<bool(uint32_t)> &allowed)
+{
+    // Walk from coldest toward hottest until an allowed block appears.
+    for (uint32_t i = tail_; i != blocks_; i = prev_[i])
+        if (allowed(i))
+            return i;
+    return tail_;
+}
+
+uint32_t
+FifoSelector::selectVictimAmong(const std::function<bool(uint32_t)> &allowed)
+{
+    // Advance the hand past disallowed blocks without disturbing their
+    // queue position relative to each other.
+    for (uint32_t k = 0; k < blocks_; ++k) {
+        uint32_t i = (hand_ + k) % blocks_;
+        if (allowed(i)) {
+            hand_ = (i + 1) % blocks_;
+            return i;
+        }
+    }
+    return hand_;
+}
+
+uint32_t
+RandomSelector::selectVictimAmong(const std::function<bool(uint32_t)> &allowed)
+{
+    // One RNG draw (keeps the stream aligned with selectVictim), then
+    // the nearest allowed block scanning forward with wraparound.
+    uint32_t start = static_cast<uint32_t>(rng_.below(blocks_));
+    for (uint32_t k = 0; k < blocks_; ++k) {
+        uint32_t i = (start + k) % blocks_;
+        if (allowed(i))
+            return i;
+    }
+    return start;
 }
 
 void

@@ -11,6 +11,7 @@
 #define MLTC_CORE_REPLACEMENT_HPP
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,15 @@ class VictimSelector
     /** Choose a victim; also counts the search cost in steps. */
     virtual uint32_t selectVictim() = 0;
 
+    /**
+     * Choose a victim restricted to blocks for which @p allowed returns
+     * true (multi-tenant partition enforcement). The caller guarantees
+     * at least one allowed block exists. Recency state of disallowed
+     * blocks is left untouched so other partitions see no side effects.
+     */
+    virtual uint32_t
+    selectVictimAmong(const std::function<bool(uint32_t)> &allowed) = 0;
+
     /** Steps expended by the last selectVictim() (clock "peskiness"). */
     virtual uint32_t lastSearchSteps() const { return 1; }
 
@@ -71,6 +81,8 @@ class ClockSelector final : public VictimSelector
 
     void onAccess(uint32_t index) override { active_[index] = 1; }
     uint32_t selectVictim() override;
+    uint32_t
+    selectVictimAmong(const std::function<bool(uint32_t)> &allowed) override;
     uint32_t lastSearchSteps() const override { return last_steps_; }
     void reset() override;
     void save(SnapshotWriter &w) const override;
@@ -93,6 +105,8 @@ class LruSelector final : public VictimSelector
 
     void onAccess(uint32_t index) override;
     uint32_t selectVictim() override;
+    uint32_t
+    selectVictimAmong(const std::function<bool(uint32_t)> &allowed) override;
     void reset() override;
     void save(SnapshotWriter &w) const override;
     void load(SnapshotReader &r) override;
@@ -126,6 +140,9 @@ class FifoSelector final : public VictimSelector
         return v;
     }
 
+    uint32_t
+    selectVictimAmong(const std::function<bool(uint32_t)> &allowed) override;
+
     void reset() override { hand_ = 0; }
     void save(SnapshotWriter &w) const override;
     void load(SnapshotReader &r) override;
@@ -150,6 +167,9 @@ class RandomSelector final : public VictimSelector
     {
         return static_cast<uint32_t>(rng_.below(blocks_));
     }
+
+    uint32_t
+    selectVictimAmong(const std::function<bool(uint32_t)> &allowed) override;
 
     void reset() override { rng_.reseed(0x5eedull); }
     void save(SnapshotWriter &w) const override;

@@ -1,0 +1,87 @@
+#include "host/bandwidth.hpp"
+
+#include "util/error.hpp"
+#include "util/serializer.hpp"
+
+namespace mltc {
+
+namespace {
+constexpr uint32_t kBwgTag = snapTag("BWG ");
+} // namespace
+
+BandwidthGovernor::BandwidthGovernor(uint32_t streams,
+                                     const BandwidthGovernorConfig &config)
+    : cfg_(config), bias_(streams, 0), calm_streak_(streams, 0),
+      over_rounds_(streams, 0), total_bytes_(streams, 0)
+{
+}
+
+uint32_t
+BandwidthGovernor::observe(uint32_t stream, uint64_t bytes)
+{
+    total_bytes_[stream] += bytes;
+    if (cfg_.budget_bytes_per_round == 0)
+        return bias_[stream];
+
+    if (bytes > cfg_.budget_bytes_per_round) {
+        ++over_rounds_[stream];
+        calm_streak_[stream] = 0;
+        if (bias_[stream] < cfg_.max_bias)
+            ++bias_[stream];
+    } else if (bytes * 2 <= cfg_.budget_bytes_per_round) {
+        if (++calm_streak_[stream] >= 2) {
+            calm_streak_[stream] = 0;
+            if (bias_[stream] > 0)
+                --bias_[stream];
+        }
+    } else {
+        calm_streak_[stream] = 0;
+    }
+    return bias_[stream];
+}
+
+void
+BandwidthGovernor::save(SnapshotWriter &w) const
+{
+    w.section(kBwgTag);
+    w.u64(cfg_.budget_bytes_per_round);
+    w.u32(cfg_.max_bias);
+    w.u32(streamCount());
+    w.u32Vec(bias_);
+    w.u32Vec(calm_streak_);
+    w.u32Vec(over_rounds_);
+    w.u64Vec(total_bytes_);
+}
+
+void
+BandwidthGovernor::load(SnapshotReader &r)
+{
+    r.expectSection(kBwgTag, "BandwidthGovernor");
+    if (r.u64() != cfg_.budget_bytes_per_round)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "BandwidthGovernor: snapshot budget differs from "
+                        "configured budget");
+    if (r.u32() != cfg_.max_bias)
+        throw Exception(ErrorCode::VersionMismatch,
+                        "BandwidthGovernor: snapshot max bias differs from "
+                        "configured max bias");
+    if (r.u32() != streamCount())
+        throw Exception(ErrorCode::VersionMismatch,
+                        "BandwidthGovernor: snapshot stream count differs "
+                        "from configured stream count");
+    r.u32Vec(bias_);
+    r.u32Vec(calm_streak_);
+    r.u32Vec(over_rounds_);
+    r.u64Vec(total_bytes_);
+    if (bias_.size() != calm_streak_.size() ||
+        bias_.size() != over_rounds_.size() ||
+        bias_.size() != total_bytes_.size())
+        throw Exception(ErrorCode::Corrupt,
+                        "BandwidthGovernor: column sizes disagree");
+    for (uint32_t b : bias_)
+        if (b > cfg_.max_bias)
+            throw Exception(ErrorCode::Corrupt,
+                            "BandwidthGovernor: bias beyond configured max");
+}
+
+} // namespace mltc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-stream host-bandwidth governor for multi-tenant serving.
+ *
+ * Each tenant stream gets a host-download budget per round (one frame
+ * per stream). A stream that overruns its budget is degraded gracefully
+ * instead of stalled: the governor raises the stream's LOD bias by one
+ * MIP level, which the multi-stream runner applies during access
+ * replay (coarser MIP levels touch quadratically fewer texels, so
+ * download traffic collapses fast). Recovery is hysteretic — the bias
+ * only steps back down after the stream has spent two consecutive
+ * rounds under *half* its budget — so a stream oscillating around the
+ * budget line does not flap between quality levels.
+ *
+ * The governor is deterministic simulator state: it is serialized into
+ * checkpoints so a resumed run replays the same bias schedule.
+ */
+#ifndef MLTC_HOST_BANDWIDTH_HPP
+#define MLTC_HOST_BANDWIDTH_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mltc {
+
+class SnapshotWriter;
+class SnapshotReader;
+
+/** Governor knobs (shared by every stream). */
+struct BandwidthGovernorConfig
+{
+    /** Host-download budget per stream per round; 0 = unlimited. */
+    uint64_t budget_bytes_per_round = 0;
+    /** Largest LOD bias the governor will impose. */
+    uint32_t max_bias = 4;
+};
+
+/** Tracks per-stream download traffic and assigns LOD biases. */
+class BandwidthGovernor
+{
+  public:
+    BandwidthGovernor(uint32_t streams, const BandwidthGovernorConfig &config);
+
+    const BandwidthGovernorConfig &config() const { return cfg_; }
+
+    uint32_t streamCount() const { return static_cast<uint32_t>(bias_.size()); }
+
+    /** Current LOD bias for @p stream (0 = full quality). */
+    uint32_t bias(uint32_t stream) const { return bias_[stream]; }
+
+    /** Cumulative host bytes observed for @p stream. */
+    uint64_t totalBytes(uint32_t stream) const { return total_bytes_[stream]; }
+
+    /** Rounds @p stream spent over budget (shedding pressure). */
+    uint32_t overBudgetRounds(uint32_t stream) const
+    {
+        return over_rounds_[stream];
+    }
+
+    /**
+     * Feed one round's host download volume for @p stream and apply
+     * the hysteresis rule. Returns the bias to use for the *next*
+     * round.
+     */
+    uint32_t observe(uint32_t stream, uint64_t bytes);
+
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore state captured by save().
+     * @throws mltc::Exception (VersionMismatch) on stream-count or
+     *         budget skew, (Corrupt) on inconsistent content.
+     */
+    void load(SnapshotReader &r);
+
+  private:
+    BandwidthGovernorConfig cfg_;
+    std::vector<uint32_t> bias_;        ///< current LOD bias per stream
+    std::vector<uint32_t> calm_streak_; ///< consecutive rounds under budget/2
+    std::vector<uint32_t> over_rounds_; ///< total rounds spent over budget
+    std::vector<uint64_t> total_bytes_; ///< cumulative host bytes
+};
+
+} // namespace mltc
+
+#endif // MLTC_HOST_BANDWIDTH_HPP

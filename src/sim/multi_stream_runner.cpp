@@ -1,0 +1,753 @@
+#include "sim/multi_stream_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/audit.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace_event.hpp"
+#include "raster/rasterizer.hpp"
+#include "sim/parallel_runner.hpp"
+#include "texture/mip_pyramid.hpp"
+#include "texture/procedural.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/serializer.hpp"
+#include "workload/registry.hpp"
+
+namespace mltc {
+
+namespace {
+
+constexpr uint32_t kMsTag = snapTag("MST ");
+
+/** Buffers the rasterizer's texel stream as RecordedOps. */
+class RecordingSink final : public TexelAccessSink
+{
+  public:
+    explicit RecordingSink(std::vector<RecordedOp> &out) : out_(out) {}
+
+    void
+    bindTexture(TextureId tid) override
+    {
+        out_.push_back({tid, 0, 0, 0, 0, 0});
+    }
+
+    void
+    beginPixel(uint32_t px, uint32_t py) override
+    {
+        out_.push_back({px, py, 0, 0, 1, 0});
+    }
+
+    void
+    access(uint32_t x, uint32_t y, uint32_t mip) override
+    {
+        out_.push_back({x, y, 0, 0, 2, static_cast<uint8_t>(mip)});
+    }
+
+    void
+    accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+               uint32_t mip) override
+    {
+        out_.push_back({x0, y0, x1, y1, 3, static_cast<uint8_t>(mip)});
+    }
+
+  private:
+    std::vector<RecordedOp> &out_;
+};
+
+/** Smallest power of two >= @p v. */
+uint32_t
+pow2Ceil(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Remap a recorded texel coordinate one or more MIP levels coarser
+ * (the governor's LOD bias). Exact: clamps to the biased level's
+ * extent so non-square pyramids stay in range.
+ */
+void
+biasCoord(const MipPyramid &pyr, uint32_t bias, uint32_t &x, uint32_t &y,
+          uint32_t &mip)
+{
+    const uint32_t m =
+        std::min(mip + bias, pyr.levels() > 0 ? pyr.levels() - 1 : 0u);
+    const uint32_t shift = m - mip;
+    const Image &lvl = pyr.level(m);
+    x = std::min(x >> shift, lvl.width() - 1);
+    y = std::min(y >> shift, lvl.height() - 1);
+    mip = m;
+}
+
+} // namespace
+
+size_t
+MultiStreamManifest::quarantinedCount() const
+{
+    size_t n = 0;
+    for (const StreamManifestEntry &s : streams)
+        if (s.quarantined)
+            ++n;
+    return n;
+}
+
+MultiStreamRunner::MultiStreamRunner(const MultiStreamConfig &config)
+    : cfg_(config),
+      governor_(static_cast<uint32_t>(config.streams.size()),
+                BandwidthGovernorConfig{config.stream_budget_bytes, 4})
+{
+    if (cfg_.streams.empty())
+        throw std::invalid_argument(
+            "MultiStreamRunner: at least one stream is required");
+    if (cfg_.rounds == 0)
+        throw std::invalid_argument(
+            "MultiStreamRunner: at least one round is required");
+
+    streams_.reserve(cfg_.streams.size());
+    for (uint32_t i = 0; i < cfg_.streams.size(); ++i)
+        buildStream(i, cfg_.streams[i]);
+
+    // The shared L2's page table spans every stream's texture set; it
+    // must be built after the last texture is registered.
+    std::vector<TextureManager *> managers;
+    managers.reserve(streams_.size());
+    for (auto &st : streams_)
+        managers.push_back(&st->textures());
+
+    L2Config l2cfg;
+    l2cfg.size_bytes = cfg_.l2_bytes;
+    l2cfg.l2_tile = cfg_.l2_tile;
+    l2cfg.l1_tile = cfg_.l1_tile;
+    l2_ = std::make_unique<L2TextureCache>(managers, l2cfg, cfg_.share);
+
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        StreamRuntime &st = *streams_[i];
+        CacheSimConfig sc = CacheSimConfig::pull(cfg_.l1_bytes, cfg_.l1_tile);
+        sc.classify_misses = cfg_.classify_misses;
+        st.sim = std::make_unique<CacheSim>(st.textures(), sc, st.name);
+        st.sim->attachSharedL2(l2_.get(), i);
+        st.tracker = std::make_unique<ReuseDistanceTracker>(1.0);
+        st.sim->setL2BlockTracker(st.tracker.get());
+    }
+
+    rows_.resize(streams_.size());
+}
+
+MultiStreamRunner::~MultiStreamRunner() = default;
+
+void
+MultiStreamRunner::buildStream(uint32_t index, const StreamSpec &spec)
+{
+    auto st = std::make_unique<StreamRuntime>();
+    st->spec = spec;
+    st->name = std::to_string(index) + ":" + spec.workload + "/" +
+               filterModeName(spec.filter);
+
+    if (spec.workload == kThrasherWorkload) {
+        // A checker texture spanning at least twice the L2 block count
+        // so a linear sweep never re-hits before eviction.
+        const uint64_t l2_blocks =
+            cfg_.l2_bytes / (cfg_.l2_tile * cfg_.l2_tile * 4ull);
+        uint64_t edge_blocks = 1;
+        while (edge_blocks * edge_blocks < 2 * l2_blocks)
+            ++edge_blocks;
+        uint32_t side = pow2Ceil(
+            static_cast<uint32_t>(edge_blocks) * cfg_.l2_tile);
+        side = std::min(side, 4096u);
+        st->thrasher_textures = std::make_unique<TextureManager>();
+        st->thrasher_tid = st->thrasher_textures->load(
+            "thrasher", MipPyramid(makeChecker(side, cfg_.l2_tile,
+                                               0xFF808080u, 0xFFC0C0C0u)));
+        st->thrasher_grid = side / cfg_.l2_tile;
+    } else {
+        st->workload = std::make_unique<Workload>(buildWorkload(spec.workload));
+    }
+    streams_.push_back(std::move(st));
+}
+
+void
+MultiStreamRunner::recordThrasher(StreamRuntime &st)
+{
+    // Two L2 capacities' worth of distinct blocks per round, visited
+    // in a deterministic linear sweep that persists its cursor.
+    const uint64_t l2_blocks =
+        cfg_.l2_bytes / (cfg_.l2_tile * cfg_.l2_tile * 4ull);
+    const uint64_t total =
+        static_cast<uint64_t>(st.thrasher_grid) * st.thrasher_grid;
+    const uint64_t per_round = std::min(2 * l2_blocks, total);
+
+    st.pending.push_back({st.thrasher_tid, 0, 0, 0, 0, 0});
+    for (uint64_t i = 0; i < per_round; ++i) {
+        const uint64_t b = (st.thrasher_cursor + i) % total;
+        const uint32_t bx = static_cast<uint32_t>(b % st.thrasher_grid);
+        const uint32_t by = static_cast<uint32_t>(b / st.thrasher_grid);
+        st.pending.push_back(
+            {bx * cfg_.l2_tile, by * cfg_.l2_tile, 0, 0, 2, 0});
+    }
+    st.thrasher_cursor = (st.thrasher_cursor + per_round) % total;
+}
+
+void
+MultiStreamRunner::recordRound(uint32_t round)
+{
+    SweepExecutor sweep(cfg_.jobs);
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        StreamRuntime &st = *streams_[i];
+        if (st.dead)
+            continue;
+        st.pending.clear();
+        sweep.addLeg(st.name, [this, round, &st](LegContext &) {
+            if (st.workload) {
+                Rasterizer raster(cfg_.width, cfg_.height);
+                raster.setFilter(st.spec.filter);
+                RecordingSink rec(st.pending);
+                raster.setSink(&rec);
+                const int total = st.workload->default_frames;
+                const int frame =
+                    static_cast<int>(round + st.spec.phase) % total;
+                const float aspect = static_cast<float>(cfg_.width) /
+                                     static_cast<float>(cfg_.height);
+                Camera cam =
+                    st.workload->cameraAtFrame(frame, total, aspect);
+                raster.renderFrame(st.workload->scene, cam, st.textures());
+            } else {
+                recordThrasher(st);
+            }
+        });
+    }
+    SweepManifest manifest = sweep.run();
+    // A recording leg should never fail; if one does, quarantine the
+    // stream rather than abort the tenants that are fine.
+    size_t leg = 0;
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        StreamRuntime &st = *streams_[i];
+        if (st.dead)
+            continue;
+        const LegResult &lr = manifest.legs[leg++];
+        if (lr.outcome == LegOutcome::Failed)
+            quarantineStream(i, round, {ErrorCode::None, lr.error});
+    }
+}
+
+void
+MultiStreamRunner::replayStream(uint32_t index)
+{
+    StreamRuntime &st = *streams_[index];
+    CacheSim &sim = *st.sim;
+    const uint32_t bias = governor_.bias(index);
+    const MipPyramid *pyr = nullptr;
+
+    for (const RecordedOp &op : st.pending) {
+        switch (op.kind) {
+          case 0:
+            sim.bindTexture(op.a);
+            pyr = &st.textures().texture(op.a).pyramid;
+            break;
+          case 1:
+            sim.beginPixel(op.a, op.b);
+            break;
+          case 2: {
+            uint32_t x = op.a, y = op.b, mip = op.mip;
+            if (bias != 0)
+                biasCoord(*pyr, bias, x, y, mip);
+            sim.access(x, y, mip);
+            break;
+          }
+          default: {
+            uint32_t x0 = op.a, y0 = op.b, x1 = op.c, y1 = op.d;
+            uint32_t mip = op.mip;
+            if (bias != 0) {
+                uint32_t m0 = op.mip, m1 = op.mip;
+                biasCoord(*pyr, bias, x0, y0, m0);
+                biasCoord(*pyr, bias, x1, y1, m1);
+                mip = m0;
+            }
+            sim.accessQuad(x0, y0, x1, y1, mip);
+            break;
+          }
+        }
+    }
+}
+
+void
+MultiStreamRunner::harvestRow(uint32_t index, uint32_t round)
+{
+    StreamRuntime &st = *streams_[index];
+    const CacheFrameStats fr = st.sim->endFrame();
+    const L2StreamStats &ls = l2_->streamStats(index);
+
+    StreamRoundRow row;
+    row.round = round;
+    row.accesses = fr.accesses;
+    row.l1_misses = fr.l1_misses;
+    row.l2_full_hits = fr.l2_full_hits;
+    row.l2_partial_hits = fr.l2_partial_hits;
+    row.l2_full_misses = fr.l2_full_misses;
+    row.host_bytes = fr.host_bytes;
+    row.cross_evictions = ls.cross_evictions;
+    row.quota_blocks = l2_->quotas()[index];
+    row.alloc_blocks = l2_->streamAllocated(index);
+    row.lod_bias = governor_.bias(index);
+    rows_[index].push_back(row);
+
+    governor_.observe(index, fr.host_bytes);
+}
+
+void
+MultiStreamRunner::quarantineStream(uint32_t index, uint32_t round,
+                                    Error error)
+{
+    StreamRuntime &st = *streams_[index];
+    if (st.dead)
+        return;
+    st.dead = true;
+    st.error = std::move(error);
+    st.quarantined_at = round;
+    st.pending.clear();
+    // Hand the dead tenant's blocks back to the survivors.
+    l2_->releaseStream(index);
+
+    StreamRoundRow row;
+    row.round = round;
+    row.quarantined = 1;
+    rows_[index].push_back(row);
+
+    if (ChromeTraceWriter *t = globalTracer())
+        t->instant("stream.quarantined", "resilience");
+}
+
+void
+MultiStreamRunner::repartition(uint32_t round)
+{
+    const uint64_t blocks = l2_->config().blocks();
+    const uint32_t k = streamCount();
+
+    // Marginal utility of growing stream s from q to q+chunk blocks,
+    // in absolute misses saved (MRC delta times access volume).
+    const uint64_t chunk = std::max<uint64_t>(1, blocks / 64);
+    auto gain = [&](uint32_t s, uint64_t q) {
+        const ReuseDistanceTracker &t = *streams_[s]->tracker;
+        return (t.missRatio(q) - t.missRatio(q + chunk)) *
+               static_cast<double>(t.totalAccesses());
+    };
+
+    // Noisy-neighbor detection: a stream holding more than its fair
+    // share whose own marginal utility is dwarfed by what some victim
+    // would gain from the same blocks.
+    std::vector<uint8_t> noisy(k, 0);
+    for (uint32_t s = 0; s < k; ++s) {
+        if (streams_[s]->dead)
+            continue;
+        if (l2_->streamAllocated(s) <= blocks / k)
+            continue;
+        const uint64_t held = l2_->streamAllocated(s);
+        const double keep = gain(s, held > chunk ? held - chunk : 0);
+        for (uint32_t v = 0; v < k; ++v) {
+            if (v == s || streams_[v]->dead)
+                continue;
+            if (gain(v, l2_->streamAllocated(v)) > 2.0 * keep) {
+                noisy[s] = 1;
+                break;
+            }
+        }
+    }
+    for (uint32_t s = 0; s < k; ++s)
+        if (!rows_[s].empty() && rows_[s].back().round == round)
+            rows_[s].back().noisy = noisy[s];
+
+    if (cfg_.share != L2SharePolicy::Utility)
+        return;
+
+    // Greedy hill-climb: hand out the pool chunk by chunk to whichever
+    // live stream's miss-ratio curve pays most for it.
+    std::vector<uint64_t> q(k, 1);
+    uint64_t remaining = blocks - k;
+    while (remaining > 0) {
+        const uint64_t give = std::min(chunk, remaining);
+        uint32_t best = k;
+        double best_gain = -1.0;
+        for (uint32_t s = 0; s < k; ++s) {
+            if (streams_[s]->dead)
+                continue;
+            const double g = gain(s, q[s]);
+            if (g > best_gain) {
+                best_gain = g;
+                best = s;
+            }
+        }
+        if (best == k)
+            break; // every stream dead; keep the floor quotas
+        q[best] += give;
+        remaining -= give;
+    }
+    // Dead streams keep their 1-block floor; fold leftover (all-dead
+    // case) into stream 0 so the quota invariant (sum == blocks) holds.
+    q[0] += remaining;
+    l2_->setQuotas(q);
+}
+
+void
+MultiStreamRunner::publishRound(uint32_t round)
+{
+    if (!obs_ || !obs_->metrics().enabled())
+        return;
+    MetricsRegistry &m = obs_->metrics();
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        const StreamRuntime &st = *streams_[i];
+        const CacheFrameStats &tot = st.sim->totals();
+        const L2StreamStats &ls = l2_->streamStats(i);
+        const MetricLabels lbl{{"stream", std::to_string(i)}};
+        m.counter("accesses", lbl).set(tot.accesses);
+        m.counter("l1.miss", lbl).set(tot.l1_misses);
+        m.counter("l2.full_hit", lbl).set(tot.l2_full_hits);
+        m.counter("l2.partial_hit", lbl).set(tot.l2_partial_hits);
+        m.counter("l2.full_miss", lbl).set(tot.l2_full_misses);
+        m.counter("host.bytes", lbl).set(tot.host_bytes);
+        m.counter("l2.read_bytes", lbl).set(tot.l2_read_bytes);
+        m.counter("l2.evictions_suffered", lbl).set(ls.evictions_suffered);
+        m.counter("l2.cross_evictions", lbl).set(ls.cross_evictions);
+        m.counter("quarantined", lbl).set(st.dead ? 1 : 0);
+        m.gauge("l2.stream_miss_rate", lbl).set(ls.missRate());
+        m.gauge("l2.quota_blocks", lbl)
+            .set(static_cast<double>(l2_->quotas()[i]));
+        m.gauge("l2.alloc_blocks", lbl)
+            .set(static_cast<double>(l2_->streamAllocated(i)));
+        m.gauge("lod_bias", lbl).set(governor_.bias(i));
+        if (!rows_[i].empty() && rows_[i].back().round == round)
+            m.gauge("noisy", lbl).set(rows_[i].back().noisy);
+    }
+    m.writeFrameSnapshot(*obs_->metricsSink(), round);
+}
+
+MultiStreamManifest
+MultiStreamRunner::run(const ResilienceConfig &res)
+{
+    using Clock = std::chrono::steady_clock;
+    using MsDouble = std::chrono::duration<double, std::milli>;
+
+    uint32_t round = 0;
+    if (res.resume) {
+        if (res.checkpoint_path.empty())
+            throw Exception(ErrorCode::BadArgument,
+                            "--resume requires --checkpoint=PATH");
+        round = loadCheckpoint(res.checkpoint_path);
+    }
+
+    RunOutcome outcome = RunOutcome::Completed;
+    uint32_t checkpoints_written = 0;
+    const Clock::time_point run_start = Clock::now();
+
+    for (; round < cfg_.rounds; ++round) {
+        if (cancellationRequested()) {
+            outcome = RunOutcome::Cancelled;
+            break;
+        }
+        if (res.wall_budget_ms > 0.0 &&
+            MsDouble(Clock::now() - run_start).count() >=
+                res.wall_budget_ms) {
+            outcome = RunOutcome::BudgetExhausted;
+            break;
+        }
+
+        const Clock::time_point round_start = Clock::now();
+
+        // Fault-injection hooks fire before any work so a round-0
+        // failure means the stream never contributes a byte.
+        for (uint32_t i = 0; i < streams_.size(); ++i) {
+            const StreamRuntime &st = *streams_[i];
+            if (!st.dead && st.spec.fail_at_round >= 0 &&
+                static_cast<uint32_t>(st.spec.fail_at_round) == round)
+                quarantineStream(i, round,
+                                 {ErrorCode::Transient,
+                                  "injected stream fault at round " +
+                                      std::to_string(round)});
+        }
+
+        recordRound(round);
+
+        // Serial replay in stream order: the only writer of the shared
+        // L2, so output bytes cannot depend on recording concurrency.
+        for (uint32_t i = 0; i < streams_.size(); ++i) {
+            StreamRuntime &st = *streams_[i];
+            if (st.dead)
+                continue;
+            try {
+                replayStream(i);
+                harvestRow(i, round);
+                st.sim->audit(res.audit);
+            } catch (const Exception &e) {
+                quarantineStream(i, round, e.error());
+            } catch (const std::exception &e) {
+                quarantineStream(i, round, {ErrorCode::None, e.what()});
+            }
+            st.pending.clear();
+        }
+        CacheAuditor::checkL2(*l2_, res.audit);
+
+        if (cfg_.repartition_every > 0 &&
+            (round + 1) % cfg_.repartition_every == 0)
+            repartition(round);
+
+        publishRound(round);
+
+        if (res.frame_deadline_ms > 0.0 &&
+            MsDouble(Clock::now() - round_start).count() >
+                res.frame_deadline_ms) {
+            outcome = RunOutcome::DeadlineExceeded;
+            ++round;
+            break;
+        }
+
+        if (!res.checkpoint_path.empty() && res.checkpoint_every > 0 &&
+            (round + 1) % res.checkpoint_every == 0) {
+            saveCheckpoint(res.checkpoint_path, round + 1);
+            if (res.die_after_checkpoints > 0 &&
+                ++checkpoints_written >= res.die_after_checkpoints) {
+                std::fflush(nullptr);
+                std::raise(SIGKILL);
+            }
+        }
+    }
+
+    if (obs_)
+        obs_->flush();
+
+    uint32_t completed = 0;
+    for (const auto &r : rows_)
+        for (const StreamRoundRow &row : r)
+            completed = std::max(completed, row.round + 1);
+
+    MultiStreamManifest manifest = buildManifest(outcome, completed, round);
+    if (!res.checkpoint_path.empty()) {
+        saveCheckpoint(res.checkpoint_path, round);
+        manifest.checkpoint = res.checkpoint_path;
+    }
+    return manifest;
+}
+
+MultiStreamManifest
+MultiStreamRunner::buildManifest(RunOutcome outcome,
+                                 uint32_t rounds_completed,
+                                 uint32_t next_round) const
+{
+    MultiStreamManifest m;
+    m.outcome = outcome;
+    m.rounds_completed = rounds_completed;
+    m.next_round = next_round;
+    for (const auto &st : streams_) {
+        StreamManifestEntry e;
+        e.name = st->name;
+        e.quarantined = st->dead;
+        e.error = st->error;
+        e.at_round = st->quarantined_at;
+        m.streams.push_back(std::move(e));
+    }
+    return m;
+}
+
+std::vector<std::string>
+MultiStreamRunner::csvColumns()
+{
+    return {"round",        "accesses",    "l1_misses",
+            "l2_full_hits", "l2_partial_hits", "l2_full_misses",
+            "host_bytes",   "cross_evictions", "quota_blocks",
+            "alloc_blocks", "lod_bias",    "noisy",
+            "quarantined"};
+}
+
+void
+MultiStreamRunner::writeStreamCsv(uint32_t i, const std::string &path) const
+{
+    CsvWriter csv(path, csvColumns());
+    for (const StreamRoundRow &r : rows_[i]) {
+        csv.rowStrings({std::to_string(r.round),
+                        std::to_string(r.accesses),
+                        std::to_string(r.l1_misses),
+                        std::to_string(r.l2_full_hits),
+                        std::to_string(r.l2_partial_hits),
+                        std::to_string(r.l2_full_misses),
+                        std::to_string(r.host_bytes),
+                        std::to_string(r.cross_evictions),
+                        std::to_string(r.quota_blocks),
+                        std::to_string(r.alloc_blocks),
+                        std::to_string(r.lod_bias),
+                        std::to_string(static_cast<unsigned>(r.noisy)),
+                        std::to_string(
+                            static_cast<unsigned>(r.quarantined))});
+    }
+    csv.close();
+}
+
+void
+MultiStreamRunner::saveCheckpoint(const std::string &path,
+                                  uint32_t next_round) const
+{
+    SnapshotWriter w(path);
+    w.section(kMsTag);
+
+    // Configuration fingerprint: a resumed process must be running the
+    // same experiment.
+    w.u32(static_cast<uint32_t>(cfg_.width));
+    w.u32(static_cast<uint32_t>(cfg_.height));
+    w.u32(cfg_.rounds);
+    w.u64(cfg_.l1_bytes);
+    w.u64(cfg_.l2_bytes);
+    w.u32(cfg_.l2_tile);
+    w.u32(cfg_.l1_tile);
+    w.u8(static_cast<uint8_t>(cfg_.share));
+    w.u8(cfg_.classify_misses ? 1 : 0);
+    w.u64(cfg_.stream_budget_bytes);
+    w.u32(cfg_.repartition_every);
+    w.u32(streamCount());
+    for (const StreamSpec &s : cfg_.streams) {
+        w.str(s.workload);
+        w.u8(static_cast<uint8_t>(s.filter));
+        w.u32(s.phase);
+        w.u64(s.seed);
+        w.u32(static_cast<uint32_t>(s.fail_at_round + 1));
+    }
+
+    w.u32(next_round);
+    l2_->save(w); // the shared L2 is serialized exactly once
+
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        const StreamRuntime &st = *streams_[i];
+        w.u8(st.dead ? 1 : 0);
+        w.u8(static_cast<uint8_t>(st.error.code));
+        w.str(st.error.message);
+        w.u32(st.quarantined_at);
+        w.u64(st.thrasher_cursor);
+        st.sim->save(w);
+        st.tracker->save(w);
+    }
+
+    governor_.save(w);
+
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        const std::vector<StreamRoundRow> &rs = rows_[i];
+        w.u32(static_cast<uint32_t>(rs.size()));
+        for (const StreamRoundRow &r : rs) {
+            w.u32(r.round);
+            w.u64(r.accesses);
+            w.u64(r.l1_misses);
+            w.u64(r.l2_full_hits);
+            w.u64(r.l2_partial_hits);
+            w.u64(r.l2_full_misses);
+            w.u64(r.host_bytes);
+            w.u64(r.cross_evictions);
+            w.u64(r.quota_blocks);
+            w.u64(r.alloc_blocks);
+            w.u32(r.lod_bias);
+            w.u8(r.noisy);
+            w.u8(r.quarantined);
+        }
+    }
+
+    w.finish();
+}
+
+uint32_t
+MultiStreamRunner::loadCheckpoint(const std::string &path)
+{
+    SnapshotReader r(path);
+    r.expectSection(kMsTag, "MultiStreamRunner");
+
+    auto mismatch = [](const char *what) {
+        throw Exception(ErrorCode::VersionMismatch,
+                        std::string("MultiStreamRunner: checkpoint ") + what +
+                            " differs from this run's configuration");
+    };
+    if (r.u32() != static_cast<uint32_t>(cfg_.width))
+        mismatch("width");
+    if (r.u32() != static_cast<uint32_t>(cfg_.height))
+        mismatch("height");
+    if (r.u32() != cfg_.rounds)
+        mismatch("round count");
+    if (r.u64() != cfg_.l1_bytes)
+        mismatch("L1 size");
+    if (r.u64() != cfg_.l2_bytes)
+        mismatch("L2 size");
+    if (r.u32() != cfg_.l2_tile)
+        mismatch("L2 tile");
+    if (r.u32() != cfg_.l1_tile)
+        mismatch("L1 tile");
+    if (r.u8() != static_cast<uint8_t>(cfg_.share))
+        mismatch("share policy");
+    if (r.u8() != (cfg_.classify_misses ? 1 : 0))
+        mismatch("miss classification");
+    if (r.u64() != cfg_.stream_budget_bytes)
+        mismatch("stream budget");
+    if (r.u32() != cfg_.repartition_every)
+        mismatch("repartition interval");
+    if (r.u32() != streamCount())
+        mismatch("stream count");
+    for (const StreamSpec &s : cfg_.streams) {
+        if (r.str() != s.workload)
+            mismatch("stream workload");
+        if (r.u8() != static_cast<uint8_t>(s.filter))
+            mismatch("stream filter");
+        if (r.u32() != s.phase)
+            mismatch("stream phase");
+        if (r.u64() != s.seed)
+            mismatch("stream seed");
+        if (r.u32() != static_cast<uint32_t>(s.fail_at_round + 1))
+            mismatch("stream fault schedule");
+    }
+
+    const uint32_t next_round = r.u32();
+    if (next_round > cfg_.rounds)
+        throw Exception(ErrorCode::Corrupt,
+                        "MultiStreamRunner: resume round beyond the "
+                        "configured rounds");
+    l2_->load(r);
+
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        StreamRuntime &st = *streams_[i];
+        st.dead = r.u8() != 0;
+        st.error.code = static_cast<ErrorCode>(r.u8());
+        st.error.message = r.str();
+        st.quarantined_at = r.u32();
+        st.thrasher_cursor = r.u64();
+        st.sim->load(r);
+        st.tracker->load(r);
+    }
+
+    governor_.load(r);
+
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        const uint32_t n = r.u32();
+        std::vector<StreamRoundRow> &rs = rows_[i];
+        rs.clear();
+        rs.reserve(n);
+        for (uint32_t j = 0; j < n; ++j) {
+            StreamRoundRow row;
+            row.round = r.u32();
+            row.accesses = r.u64();
+            row.l1_misses = r.u64();
+            row.l2_full_hits = r.u64();
+            row.l2_partial_hits = r.u64();
+            row.l2_full_misses = r.u64();
+            row.host_bytes = r.u64();
+            row.cross_evictions = r.u64();
+            row.quota_blocks = r.u64();
+            row.alloc_blocks = r.u64();
+            row.lod_bias = r.u32();
+            row.noisy = r.u8();
+            row.quarantined = r.u8();
+            rs.push_back(row);
+        }
+    }
+
+    r.expectEnd();
+    return next_round;
+}
+
+} // namespace mltc

@@ -25,7 +25,7 @@
 namespace mltc {
 
 /** Snapshot format version; bump on any layout change. */
-constexpr uint32_t kSnapshotVersion = 3;
+constexpr uint32_t kSnapshotVersion = 4;
 
 /** CRC32 (IEEE 802.3, reflected) of @p data. */
 uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
