@@ -23,6 +23,8 @@
 #include "bench_common.hpp"
 #include "host/host_cli.hpp"
 #include "sim/multi_config_runner.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
 #include "workload/registry.hpp"
 
 int
@@ -34,6 +36,12 @@ main(int argc, char **argv)
     CommandLine cli(argc, argv);
     const ResilienceConfig resilience = resilienceFromCli(cli);
     const HostPathConfig host = hostPathFromCli(cli);
+    try {
+        installIoFaultsFromCli(cli); // --io-faults=eio=R,...,seed=S
+    } catch (const Exception &e) {
+        std::fprintf(stderr, "%s\n", e.error().describe().c_str());
+        return 1;
+    }
     installCancellationHandlers();
 
     banner("Table 3",

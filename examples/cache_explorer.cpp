@@ -84,6 +84,7 @@
 #include "sim/resilience.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
@@ -303,6 +304,12 @@ int
 main(int argc, char **argv)
 {
     CommandLine cli(argc, argv);
+    try {
+        installIoFaultsFromCli(cli); // --io-faults=eio=R,...,seed=S
+    } catch (const Exception &e) {
+        std::fprintf(stderr, "%s\n", e.error().describe().c_str());
+        return 1;
+    }
 
     if (cli.has("streams")) {
         try {

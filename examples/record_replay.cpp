@@ -47,6 +47,8 @@
 #include "sim/resilience.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/serializer.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
@@ -56,6 +58,12 @@ main(int argc, char **argv)
 {
     using namespace mltc;
     CommandLine cli(argc, argv);
+    try {
+        installIoFaultsFromCli(cli); // --io-faults=eio=R,...,seed=S
+    } catch (const Exception &e) {
+        std::fprintf(stderr, "%s\n", e.error().describe().c_str());
+        return 1;
+    }
     const std::string name = cli.getString("workload", "village");
     const int frames = static_cast<int>(cli.getInt("frames", 8));
     const std::string path = cli.getString("trace", "/tmp/mltc_clip.bin");
@@ -130,7 +138,7 @@ main(int argc, char **argv)
                     : resilience.checkpoint_path + "." + cand.slug +
                           ".snap";
             if (resilience.resume && !snap.empty()) {
-                SnapshotReader r(snap);
+                SnapshotReader r = openSnapshotGeneration(snap);
                 sim.load(r);
                 r.expectEnd();
             }
@@ -143,6 +151,7 @@ main(int argc, char **argv)
             }
             if (!snap.empty()) {
                 SnapshotWriter w(snap);
+                w.keepPrevious(true);
                 sim.save(w);
                 w.finish();
                 ctx.printf("[snapshot] %s\n", snap.c_str());

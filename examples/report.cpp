@@ -44,7 +44,7 @@ summarizeMetrics(const std::string &path)
         std::printf("%s: %s", path.c_str(),
                     renderMetricsSummary(s).c_str());
     } catch (const Exception &e) {
-        std::printf("error: %s\n", e.error().message.c_str());
+        std::printf("error: %s\n", e.error().describe().c_str());
         return 1;
     }
     return 0;
@@ -65,7 +65,7 @@ summarizeStreams(const std::string &path)
     try {
         s = summarizeMetricsFile(path);
     } catch (const Exception &e) {
-        std::printf("error: %s\n", e.error().message.c_str());
+        std::printf("error: %s\n", e.error().describe().c_str());
         return 1;
     }
 
@@ -151,6 +151,9 @@ plotMrc(const std::string &path)
         level_col = table.columnIndex("level");
         bytes = table.numericColumn("capacity_bytes");
         ratios = table.numericColumn("miss_ratio");
+    } catch (const Exception &e) {
+        std::printf("error: %s\n", e.error().describe().c_str());
+        return 1;
     } catch (const std::exception &e) {
         std::printf("error: %s\n", e.what());
         return 1;
@@ -200,7 +203,7 @@ topHeatmapBlocks(const std::string &path, size_t top_n)
         text << in.rdbuf();
         root = parseJson(text.str());
     } catch (const Exception &e) {
-        std::printf("error: %s\n", e.error().message.c_str());
+        std::printf("error: %s\n", e.error().describe().c_str());
         return 1;
     }
     const JsonValue *textures = root.find("textures");
@@ -295,6 +298,11 @@ main(int argc, char **argv)
     CsvTable table;
     try {
         table = CsvTable::load(cli.positional()[0]);
+    } catch (const Exception &e) {
+        // Typed: "[truncated] ..." / "[corrupt] ..." so scripts can
+        // distinguish a damaged artefact from a missing one.
+        std::printf("error: %s\n", e.error().describe().c_str());
+        return 1;
     } catch (const std::exception &e) {
         std::printf("error: %s\n", e.what());
         return 1;

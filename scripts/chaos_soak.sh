@@ -1,0 +1,137 @@
+#!/usr/bin/env sh
+# Chaos soak: drive the whole robustness ladder end to end and require
+# bit-for-bit output stability.
+#
+#  1. bench/ext_chaos (in-process harness): a supervised single sweep
+#     and a 4-tenant shared-L2 run under combined host faults, an I/O
+#     fault storm (EIO/ENOSPC/short writes/fsync failures/torn renames)
+#     and seeded mid-run SIGKILLs; final CSVs must be byte-identical to
+#     a clean-disk, never-killed reference.
+#  2. An external SIGKILL storm on `cache_explorer --streams 4` with
+#     --io-faults: the process is killed from outside at arbitrary
+#     wall-clock points and resumed until it completes; the per-stream
+#     CSVs must match a fault-free reference byte for byte.
+#  3. A truncated-artefact probe: `report` must exit non-zero with a
+#     typed [truncated] error on a CSV whose final newline was lost.
+#
+# Only result CSVs are compared. Run manifests are deliberately NOT:
+# they record checkpoint_write_failures, which legitimately differs
+# under an I/O storm.
+#
+# Usage: scripts/chaos_soak.sh [ext_chaos] [cache_explorer] [report]
+# Env:   CHAOS_SEED      storm + kill-schedule seed (default 7)
+#        CHAOS_WORK_DIR  keep artifacts here (CI uploads on failure);
+#                        default: private mktemp dir, removed on exit
+#        MLTC_FRAMES     frames/rounds per run (default 4)
+# Registered as the ctest-adjacent CI job `chaos` (.github/workflows).
+set -eu
+
+CHAOS="${1:-$(dirname "$0")/../build/bench/ext_chaos}"
+EXPLORER="${2:-$(dirname "$0")/../build/examples/cache_explorer}"
+REPORT="${3:-$(dirname "$0")/../build/examples/report}"
+SEED="${CHAOS_SEED:-7}"
+FRAMES="${MLTC_FRAMES:-4}"
+
+if [ -n "${CHAOS_WORK_DIR:-}" ]; then
+    WORK="$CHAOS_WORK_DIR"
+    mkdir -p "$WORK"
+else
+    WORK="$(mktemp -d "${TMPDIR:-/tmp}/mltc_chaos.XXXXXX")"
+    trap 'rm -rf "$WORK"' EXIT INT TERM
+fi
+
+fail() {
+    echo "chaos_soak: FAIL: $1" >&2
+    echo "chaos_soak: artifacts left in $WORK" >&2
+    exit 1
+}
+
+# --- 1. In-process chaos harness -------------------------------------------
+mkdir -p "$WORK/single" "$WORK/streams"
+
+echo "== chaos_soak: ext_chaos single sweep (seed $SEED) =="
+MLTC_FRAMES="$FRAMES" MLTC_OUT_DIR="$WORK/single" \
+    "$CHAOS" --seed="$SEED" || fail "ext_chaos single sweep diverged"
+
+echo "== chaos_soak: ext_chaos 4-stream serving (seed $SEED) =="
+MLTC_FRAMES="$FRAMES" MLTC_OUT_DIR="$WORK/streams" \
+    "$CHAOS" --streams=4 --seed="$SEED" \
+    || fail "ext_chaos 4-stream run diverged"
+
+# --- 2. External SIGKILL storm on cache_explorer --streams 4 ---------------
+echo "== chaos_soak: external SIGKILL storm on cache_explorer =="
+mkdir -p "$WORK/ext"
+ROUNDS=$((FRAMES + 2))
+IOSPEC="eio=0.05,enospc=0.03,short=0.05,fsync=0.1,torn=0.05,seed=$SEED"
+
+"$EXPLORER" --streams 4 --rounds "$ROUNDS" --jobs 2 \
+    --csv-prefix "$WORK/ext/ref" > /dev/null \
+    || fail "fault-free reference run failed"
+
+k=0
+while [ "$k" -lt 12 ]; do
+    # Resume only once some epoch actually committed a checkpoint;
+    # earlier kills just restart the run from scratch.
+    RESUME=""
+    [ -e "$WORK/ext/ckpt.snap" ] && RESUME="--resume"
+    # Seed-staggered kill offsets that grow with the epoch: the first
+    # few land before the first checkpoint commits (~1.2 s in, fresh
+    # restart), the middle ones land mid-run, the late ones after
+    # completion (exit 0 ends the storm).
+    DELAY="$((k / 3)).$(( (SEED + k * 3) % 9 + 1 ))"
+    status=0
+    # Subshell with stderr dropped so the shell's own job-kill
+    # diagnostics ("Killed") stay out of the log.
+    # shellcheck disable=SC2086  # $RESUME is deliberately word-split
+    ( "$EXPLORER" --streams 4 --rounds "$ROUNDS" --jobs 2 \
+          --csv-prefix "$WORK/ext/chaos" \
+          --checkpoint "$WORK/ext/ckpt.snap" --checkpoint-every 1 \
+          --io-faults "$IOSPEC" $RESUME > /dev/null 2>&1 &
+      pid=$!
+      sleep "$DELAY"
+      kill -9 "$pid" 2>/dev/null
+      wait "$pid"
+    ) 2>/dev/null || status=$?
+    if [ "$status" -eq 0 ]; then
+        echo "   storm epoch $k completed before its ${DELAY}s kill"
+        break
+    fi
+    echo "   storm epoch $k killed at ${DELAY}s (status $status)"
+    k=$((k + 1))
+done
+
+# Final uninterrupted run (resuming if a checkpoint survived):
+# guarantees completion and final CSVs.
+RESUME=""
+[ -e "$WORK/ext/ckpt.snap" ] && RESUME="--resume"
+# shellcheck disable=SC2086
+"$EXPLORER" --streams 4 --rounds "$ROUNDS" --jobs 2 \
+    --csv-prefix "$WORK/ext/chaos" \
+    --checkpoint "$WORK/ext/ckpt.snap" --checkpoint-every 1 \
+    --io-faults "$IOSPEC" $RESUME > /dev/null \
+    || fail "storm run could not be resumed to completion"
+
+i=0
+while [ "$i" -lt 4 ]; do
+    if ! cmp -s "$WORK/ext/ref.stream$i.csv" \
+                "$WORK/ext/chaos.stream$i.csv"; then
+        diff "$WORK/ext/ref.stream$i.csv" \
+             "$WORK/ext/chaos.stream$i.csv" \
+             > "$WORK/ext/stream$i.diff" 2>&1 || true
+        fail "stream $i CSV diverged under the storm (see stream$i.diff)"
+    fi
+    i=$((i + 1))
+done
+echo "   all 4 stream CSVs byte-identical to the fault-free reference"
+
+# --- 3. Truncated artefacts are typed, loud failures -----------------------
+echo "== chaos_soak: truncated-CSV probe =="
+printf '%s' "$(cat "$WORK/ext/ref.stream0.csv")" > "$WORK/ext/torn.csv"
+if "$REPORT" "$WORK/ext/torn.csv" > "$WORK/ext/report.out" 2>&1; then
+    fail "report accepted a truncated CSV"
+fi
+grep -q "truncated" "$WORK/ext/report.out" \
+    || fail "report's truncated-CSV error is not typed"
+echo "   report refused the truncated CSV with a typed error"
+
+echo "chaos_soak: PASS"

@@ -25,8 +25,27 @@ trap 'rm -rf "$WORK"' EXIT INT TERM
     > "$WORK/stdout.txt" 2> "$WORK/stderr.txt" &
 pid=$!
 
-# Give the workers time to start their first frames, then interrupt.
-sleep 3
+# Interrupt only once the sweep is demonstrably mid-flight: the workers
+# append per-leg metrics rows (m.jsonl.legN) as frames complete, so a
+# non-empty leg file proves at least one frame has run. A fixed sleep
+# here flaked both ways — too short on loaded CI (nothing started yet),
+# needlessly slow on fast machines.
+i=0
+while [ "$i" -lt 300 ]; do
+    for leg in "$WORK"/m.jsonl.leg*; do
+        [ -s "$leg" ] && break 2
+    done
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "FAIL: sweep exited before it could be interrupted" >&2
+        cat "$WORK/stderr.txt" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+# Let a few more frames land so the interrupt arrives mid-sweep rather
+# than on the very first frame boundary.
+sleep 0.5
 kill -INT "$pid"
 
 status=0

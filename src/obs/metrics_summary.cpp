@@ -1,6 +1,7 @@
 #include "obs/metrics_summary.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "util/error.hpp"
@@ -72,7 +73,17 @@ summarizeMetricsFile(const std::string &path)
     std::ifstream in(path);
     if (!in)
         throw Exception(ErrorCode::Io, "cannot open '" + path + "'");
-    return summarizeMetricsStream(in, path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    // JsonlFileSink terminates every row with '\n'; a file that stops
+    // mid-line was truncated and its last row must not be half-counted.
+    if (!text.empty() && text.back() != '\n')
+        throw Exception(ErrorCode::Truncated,
+                        "'" + path +
+                            "' does not end in a newline (truncated?)");
+    std::istringstream stream(text);
+    return summarizeMetricsStream(stream, path);
 }
 
 std::string

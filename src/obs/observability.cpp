@@ -1,5 +1,6 @@
 #include "obs/observability.hpp"
 
+#include "util/error.hpp"
 #include "util/log.hpp"
 
 namespace mltc {
@@ -55,15 +56,30 @@ Observability::flush()
 void
 Observability::close()
 {
+    // Telemetry loss must not abort the run that produced it: a sink
+    // that hit I/O failure reports a typed error here, which we log and
+    // swallow so the sweep's actual results still land.
     if (trace_) {
         if (hooks_ && globalTracer() == trace_.get())
             setGlobalTracer(nullptr);
-        trace_->close();
+        try {
+            trace_->close();
+        } catch (const Exception &e) {
+            ++sink_errors_;
+            logWarn("observability: trace sink lost: " +
+                    e.error().describe());
+        }
     }
     if (metrics_sink_) {
         if (hooks_)
             setLogJsonlSink(nullptr);
-        metrics_sink_->close();
+        try {
+            metrics_sink_->close();
+        } catch (const Exception &e) {
+            ++sink_errors_;
+            logWarn("observability: metrics sink lost: " +
+                    e.error().describe());
+        }
     }
 }
 

@@ -89,10 +89,14 @@ class Observability
     void flush();
 
     /**
-     * Flush and close every sink.
-     * @throws mltc::Exception (Io) when any output file failed.
+     * Flush and close every sink. Sink I/O failures are logged and
+     * counted (sinkErrors()) rather than thrown — lost telemetry must
+     * never take down the run that produced it.
      */
     void close();
+
+    /** Sinks lost to I/O failure at close(). */
+    int sinkErrors() const { return sink_errors_; }
 
   private:
     ObsConfig cfg_;
@@ -100,6 +104,7 @@ class Observability
     MetricsRegistry metrics_;
     std::unique_ptr<JsonlFileSink> metrics_sink_;
     std::unique_ptr<ChromeTraceWriter> trace_;
+    int sink_errors_ = 0;
 };
 
 } // namespace mltc

@@ -4,7 +4,9 @@
 #include <cinttypes>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/json.hpp"
+#include "util/log.hpp"
 
 namespace mltc {
 
@@ -17,21 +19,18 @@ setGlobalTracer(ChromeTraceWriter *tracer)
 ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
     : path_(path), t0_(std::chrono::steady_clock::now())
 {
-    file_ = std::fopen(path.c_str(), "wb");
+    file_ = FileBackend::instance().open(path, "wb");
     if (!file_)
         throw Exception(ErrorCode::Io,
                         "ChromeTraceWriter: cannot open '" + path + "'");
-    if (std::fputs("{\"traceEvents\":[", file_) == EOF)
-        failed_ = true;
+    putLocked("{\"traceEvents\":[");
     // Process/thread metadata so Perfetto shows meaningful track names.
-    if (std::fputs("\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
-                   "\"name\":\"process_name\","
-                   "\"args\":{\"name\":\"mltc\"}},"
-                   "\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
-                   "\"name\":\"thread_name\","
-                   "\"args\":{\"name\":\"simulation\"}}",
-                   file_) == EOF)
-        failed_ = true;
+    putLocked("\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+              "\"name\":\"process_name\","
+              "\"args\":{\"name\":\"mltc\"}},"
+              "\n{\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+              "\"name\":\"thread_name\","
+              "\"args\":{\"name\":\"simulation\"}}");
     first_ = false; // metadata already needs comma separation
 }
 
@@ -48,10 +47,28 @@ ChromeTraceWriter::~ChromeTraceWriter()
 }
 
 void
+ChromeTraceWriter::putLocked(const char *data, size_t size)
+{
+    if (!file_)
+        return;
+    FileBackend &fs = FileBackend::instance();
+    if (!fs.write(file_, data, size)) {
+        // Telemetry must not take the run down: on the first I/O
+        // failure the sink disables itself (the emitters all no-op on a
+        // null file) and the loss surfaces as a typed throw at close().
+        failed_ = true;
+        fs.close(file_);
+        file_ = nullptr;
+        logWarn("ChromeTraceWriter: write failed on '" + path_ +
+                "'; trace sink disabled");
+    }
+}
+
+void
 ChromeTraceWriter::flush()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (file_ && std::fflush(file_) != 0)
+    if (file_ && !FileBackend::instance().flush(file_))
         failed_ = true;
 }
 
@@ -80,6 +97,13 @@ ChromeTraceWriter::events() const
     return events_;
 }
 
+bool
+ChromeTraceWriter::disabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failed_;
+}
+
 size_t
 ChromeTraceWriter::openScopes() const
 {
@@ -101,12 +125,14 @@ ChromeTraceWriter::threadState()
         // a single-threaded run emits byte-for-byte the old preamble;
         // later threads introduce themselves as workers.
         if (state.tid != 1 && file_) {
-            if (std::fprintf(file_,
-                             "%s\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu32
-                             ",\"name\":\"thread_name\","
-                             "\"args\":{\"name\":\"worker-%" PRIu32 "\"}}",
-                             first_ ? "" : ",", state.tid, state.tid) < 0)
-                failed_ = true;
+            char buf[128];
+            const int n = std::snprintf(
+                buf, sizeof(buf),
+                "%s\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu32
+                ",\"name\":\"thread_name\","
+                "\"args\":{\"name\":\"worker-%" PRIu32 "\"}}",
+                first_ ? "" : ",", state.tid, state.tid);
+            putLocked(buf, static_cast<size_t>(n));
             first_ = false;
         }
     }
@@ -118,11 +144,12 @@ ChromeTraceWriter::emitPrefix(char ph, uint64_t ts, uint32_t tid)
 {
     if (!file_)
         return;
-    if (std::fprintf(file_,
-                     "%s\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%" PRIu32
-                     ",\"ts\":%" PRIu64,
-                     first_ ? "" : ",", ph, tid, ts) < 0)
-        failed_ = true;
+    char buf[96];
+    const int n = std::snprintf(buf, sizeof(buf),
+                                "%s\n{\"ph\":\"%c\",\"pid\":1,\"tid\":%" PRIu32
+                                ",\"ts\":%" PRIu64,
+                                first_ ? "" : ",", ph, tid, ts);
+    putLocked(buf, static_cast<size_t>(n));
     first_ = false;
 }
 
@@ -131,9 +158,8 @@ ChromeTraceWriter::emitCommon(const std::string &name, const char *cat)
 {
     if (!file_)
         return;
-    if (std::fprintf(file_, ",\"name\":\"%s\",\"cat\":\"%s\"",
-                     jsonEscape(name).c_str(), cat) < 0)
-        failed_ = true;
+    putLocked(",\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" + cat +
+              "\"");
 }
 
 void
@@ -141,8 +167,7 @@ ChromeTraceWriter::finishEvent()
 {
     if (!file_)
         return;
-    if (std::fputc('}', file_) == EOF)
-        failed_ = true;
+    putLocked("}", 1);
     ++events_;
 }
 
@@ -195,8 +220,8 @@ ChromeTraceWriter::instant(const std::string &name, const char *cat)
     ThreadState &state = threadState();
     emitPrefix('i', nowUsLocked(), state.tid);
     emitCommon(name, cat);
-    if (file_ && std::fputs(",\"s\":\"t\"", file_) == EOF)
-        failed_ = true;
+    if (file_)
+        putLocked(",\"s\":\"t\"");
     finishEvent();
 }
 
@@ -215,8 +240,7 @@ ChromeTraceWriter::counter(
         for (const auto &[k, v] : series)
             args.kv(k, v);
         args.endObject();
-        if (std::fprintf(file_, ",\"args\":%s", args.str().c_str()) < 0)
-            failed_ = true;
+        putLocked(",\"args\":" + args.str());
     }
     finishEvent();
 }
@@ -250,25 +274,30 @@ ChromeTraceWriter::stageStats() const
 void
 ChromeTraceWriter::close()
 {
-    int rc = 0;
+    bool rc = true;
     bool failed = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!file_)
-            return;
-        // A truncated run still yields matched B/E pairs on every tid.
-        for (auto &[id, state] : threads_)
-            while (!state.stack.empty())
-                endLocked(state);
-        if (std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", file_) == EOF)
-            failed_ = true;
-        rc = std::fclose(file_);
-        file_ = nullptr;
         failed = failed_;
+        if (!file_) {
+            if (!failed)
+                return; // already cleanly closed
+        } else {
+            // A truncated run still yields matched B/E pairs per tid.
+            for (auto &[id, state] : threads_)
+                while (!state.stack.empty())
+                    endLocked(state);
+            putLocked("\n],\"displayTimeUnit\":\"ms\"}\n");
+            if (file_) {
+                rc = FileBackend::instance().close(file_);
+                file_ = nullptr;
+            }
+            failed = failed_;
+        }
     }
     ChromeTraceWriter *self = this;
     detail::g_tracer.compare_exchange_strong(self, nullptr);
-    if (rc != 0 || failed)
+    if (!rc || failed)
         throw Exception(ErrorCode::Io,
                         "ChromeTraceWriter: write failure on '" + path_ + "'");
 }

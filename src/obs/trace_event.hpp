@@ -104,6 +104,9 @@ class ChromeTraceWriter
     /** Events written so far (excluding metadata). */
     uint64_t events() const;
 
+    /** True once an I/O failure disabled the sink (events dropped). */
+    bool disabled() const;
+
     /** Open duration scopes across all threads (0 when balanced). */
     size_t openScopes() const;
 
@@ -146,6 +149,8 @@ class ChromeTraceWriter
 
     // All private helpers assume mutex_ is held by the caller.
     ThreadState &threadState();
+    void putLocked(const char *data, size_t size);
+    void putLocked(const std::string &s) { putLocked(s.data(), s.size()); }
     void emitPrefix(char ph, uint64_t ts, uint32_t tid);
     void emitCommon(const std::string &name, const char *cat);
     void finishEvent();

@@ -7,6 +7,7 @@
 
 #include "raster/access_sink.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 #include "util/serializer.hpp"
 
 namespace mltc {
@@ -301,6 +302,10 @@ MultiConfigRunner::saveCheckpoint(const std::string &path,
                                   int next_frame) const
 {
     SnapshotWriter w(path);
+    // Generational commit: the last good checkpoint survives as
+    // `<path>.prev` so a torn commit (crash or injected fault) can
+    // never leave a resume with nothing valid to load.
+    w.keepPrevious(true);
     w.section(kRunTag);
 
     // Driver configuration fingerprint: resuming under a different
@@ -323,6 +328,12 @@ MultiConfigRunner::saveCheckpoint(const std::string &path,
             w.str(quarantine_[i].error.message);
             w.u32(static_cast<uint32_t>(quarantine_[i].at_frame));
         }
+        // Crash-loop state (v5): a resumed run continues the same
+        // consecutive-failure count and backoff schedule.
+        const SimQuarantine q =
+            i < quarantine_.size() ? quarantine_[i] : SimQuarantine{};
+        w.u32(q.failures);
+        w.u32(static_cast<uint32_t>(q.revive_at_frame + 1));
     }
     for (const auto &sim : sims_)
         sim->save(w);
@@ -357,7 +368,7 @@ MultiConfigRunner::saveCheckpoint(const std::string &path,
 int
 MultiConfigRunner::loadCheckpoint(const std::string &path)
 {
-    SnapshotReader r(path);
+    SnapshotReader r = openSnapshotGeneration(path);
     r.expectSection(kRunTag, "MultiConfigRunner");
 
     const uint32_t width = r.u32();
@@ -398,6 +409,8 @@ MultiConfigRunner::loadCheckpoint(const std::string &path)
             quarantine_[i].error.message = r.str();
             quarantine_[i].at_frame = static_cast<int>(r.u32());
         }
+        quarantine_[i].failures = r.u32();
+        quarantine_[i].revive_at_frame = static_cast<int>(r.u32()) - 1;
     }
     for (auto &sim : sims_)
         sim->load(r);
@@ -452,17 +465,16 @@ namespace {
 class GuardedSink final : public TexelAccessSink
 {
   public:
-    GuardedSink(TexelAccessSink &inner, bool *dead, Error *error,
-                int *at_frame, const int *current_frame)
-        : inner_(inner), dead_(dead), error_(error), at_frame_(at_frame),
-          current_frame_(current_frame)
+    GuardedSink(TexelAccessSink &inner, SimQuarantine *q,
+                const int *current_frame)
+        : inner_(inner), q_(q), current_frame_(current_frame)
     {
     }
 
     void
     bindTexture(TextureId tid) override
     {
-        if (*dead_)
+        if (q_->dead)
             return;
         try {
             inner_.bindTexture(tid);
@@ -474,7 +486,7 @@ class GuardedSink final : public TexelAccessSink
     void
     beginPixel(uint32_t px, uint32_t py) override
     {
-        if (*dead_)
+        if (q_->dead)
             return;
         try {
             inner_.beginPixel(px, py);
@@ -486,7 +498,7 @@ class GuardedSink final : public TexelAccessSink
     void
     access(uint32_t x, uint32_t y, uint32_t mip) override
     {
-        if (*dead_)
+        if (q_->dead)
             return;
         try {
             inner_.access(x, y, mip);
@@ -499,7 +511,7 @@ class GuardedSink final : public TexelAccessSink
     accessQuad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
                uint32_t mip) override
     {
-        if (*dead_)
+        if (q_->dead)
             return;
         try {
             inner_.accessQuad(x0, y0, x1, y1, mip);
@@ -512,9 +524,11 @@ class GuardedSink final : public TexelAccessSink
     void
     quarantineWith(const Error &err)
     {
-        *dead_ = true;
-        *error_ = err;
-        *at_frame_ = *current_frame_;
+        q_->dead = true;
+        q_->error = err;
+        q_->at_frame = *current_frame_;
+        ++q_->failures;
+        q_->revive_at_frame = -1; // gate reschedules from the new failure
         if (ChromeTraceWriter *t = globalTracer()) {
             t->instant("sim.quarantined", "runner");
             // A quarantine often precedes an operator killing the run:
@@ -539,9 +553,7 @@ class GuardedSink final : public TexelAccessSink
     }
 
     TexelAccessSink &inner_;
-    bool *dead_;
-    Error *error_;
-    int *at_frame_;
+    SimQuarantine *q_;
     const int *current_frame_;
 };
 
@@ -559,10 +571,12 @@ MultiConfigRunner::writeManifest(const RunManifest &manifest) const
 
     CsvWriter csv(manifest.checkpoint + ".manifest",
                   {"record", "label", "status", "frames_completed",
-                   "next_frame", "error_code", "error"});
+                   "next_frame", "error_code", "error",
+                   "checkpoint_failures"});
     csv.rowStrings({"run", "", runOutcomeName(manifest.outcome),
                     std::to_string(manifest.frames_completed),
-                    std::to_string(manifest.next_frame), "", ""});
+                    std::to_string(manifest.next_frame), "", "",
+                    std::to_string(manifest.checkpoint_write_failures)});
     for (const auto &s : manifest.sims) {
         csv.rowStrings({"sim", sanitize(s.label),
                         s.quarantined ? "quarantined" : "ok",
@@ -570,7 +584,8 @@ MultiConfigRunner::writeManifest(const RunManifest &manifest) const
                                       : "",
                         "",
                         s.quarantined ? errorCodeName(s.error.code) : "",
-                        s.quarantined ? sanitize(s.error.message) : ""});
+                        s.quarantined ? sanitize(s.error.message) : "",
+                        std::to_string(s.restart_failures)});
     }
     csv.close();
 }
@@ -598,8 +613,7 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
     FanoutSink fanout;
     for (size_t i = 0; i < sims_.size(); ++i) {
         guards.push_back(std::make_unique<GuardedSink>(
-            *sims_[i], &quarantine_[i].dead, &quarantine_[i].error,
-            &quarantine_[i].at_frame, &current_frame));
+            *sims_[i], &quarantine_[i], &current_frame));
         fanout.add(guards.back().get());
     }
     if (working_sets_)
@@ -614,6 +628,9 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
     RunOutcome outcome = RunOutcome::Completed;
     int next_frame = start_frame;
     uint32_t checkpoints_written = 0;
+    int checkpoint_write_failures = 0;
+    uint32_t ckpt_backoff = 0; ///< doubling skip multiplier (0 = healthy)
+    int ckpt_retry_at = -1;    ///< first frame allowed to retry commits
     bool stop = false;
 
     const FrameGate gate = [&](int frame) {
@@ -630,6 +647,50 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
             outcome = RunOutcome::BudgetExhausted;
             return false;
         }
+
+        // Crash-loop containment: a quarantined simulator is revived
+        // after an exponential frame backoff while its consecutive
+        // failure count stays within --restart-limit; one failure past
+        // the limit and the quarantine is permanent. Revival is gated
+        // on a clean audit so a corrupted simulator never rejoins.
+        if (rc.restart_limit > 0) {
+            for (size_t i = 0; i < sims_.size(); ++i) {
+                SimQuarantine &q = quarantine_[i];
+                if (!q.dead || q.failures > rc.restart_limit)
+                    continue;
+                if (q.revive_at_frame < 0) {
+                    const uint32_t shift =
+                        std::min<uint32_t>(q.failures > 0 ? q.failures - 1
+                                                          : 0,
+                                           16);
+                    q.revive_at_frame =
+                        q.at_frame + static_cast<int>(1u << shift);
+                }
+                if (frame < q.revive_at_frame)
+                    continue;
+                try {
+                    if (rc.audit != AuditLevel::Off)
+                        sims_[i]->audit(rc.audit);
+                    q.dead = false;
+                    q.revive_at_frame = -1;
+                    logInfo("runSupervised: restarted '" +
+                            sims_[i]->label() + "' at frame " +
+                            std::to_string(frame) + " (failure " +
+                            std::to_string(q.failures) + "/" +
+                            std::to_string(rc.restart_limit) + ")");
+                    if (ChromeTraceWriter *t = globalTracer())
+                        t->instant("sim.restarted", "runner");
+                } catch (const Exception &e) {
+                    // The revival audit failed: count it as another
+                    // consecutive failure and back off further.
+                    q.error = e.error();
+                    q.at_frame = frame;
+                    ++q.failures;
+                    q.revive_at_frame = -1;
+                }
+            }
+        }
+
         frame_start = Clock::now();
         if (ChromeTraceWriter *t = globalTracer())
             t->begin("frame", "frame");
@@ -657,6 +718,13 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
             }
         }
 
+        // A clean frame (alive, no failure recorded this frame) resets
+        // the consecutive-failure count, so only genuine crash loops
+        // accumulate toward --restart-limit.
+        for (auto &q : quarantine_)
+            if (!q.dead && q.failures > 0 && q.at_frame != frame)
+                q.failures = 0;
+
         if (rc.frame_deadline_ms > 0.0 &&
             MsDouble(Clock::now() - frame_start).count() >
                 rc.frame_deadline_ms) {
@@ -665,16 +733,43 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
         }
 
         if (!rc.checkpoint_path.empty() && rc.checkpoint_every > 0 &&
-            static_cast<uint32_t>(frame + 1) % rc.checkpoint_every == 0) {
-            saveCheckpoint(rc.checkpoint_path, frame + 1);
-            ++checkpoints_written;
-            if (ChromeTraceWriter *t = globalTracer())
-                t->instant("checkpoint.saved", "runner");
-            // Crash-path test hook: die *after* the checkpoint committed,
-            // leaving exactly the state a real crash would.
-            if (rc.die_after_checkpoints > 0 &&
-                checkpoints_written >= rc.die_after_checkpoints)
-                std::raise(SIGKILL);
+            static_cast<uint32_t>(frame + 1) % rc.checkpoint_every == 0 &&
+            frame + 1 >= ckpt_retry_at) {
+            try {
+                saveCheckpoint(rc.checkpoint_path, frame + 1);
+                ++checkpoints_written;
+                ckpt_backoff = 0;
+                ckpt_retry_at = -1;
+                if (ChromeTraceWriter *t = globalTracer())
+                    t->instant("checkpoint.saved", "runner");
+                // Crash-path test hook: die *after* the checkpoint
+                // committed, leaving exactly the state a real crash
+                // would.
+                if (rc.die_after_checkpoints > 0 &&
+                    checkpoints_written >= rc.die_after_checkpoints)
+                    std::raise(SIGKILL);
+            } catch (const Exception &e) {
+                // Checkpointing is an optimisation, not a correctness
+                // requirement: degrade to skip-with-backoff (the next
+                // attempt waits exponentially more checkpoint periods)
+                // instead of aborting a healthy simulation.
+                ++checkpoint_write_failures;
+                ckpt_backoff =
+                    std::min<uint32_t>(ckpt_backoff ? ckpt_backoff * 2 : 1,
+                                       64);
+                ckpt_retry_at =
+                    frame + 1 +
+                    static_cast<int>(ckpt_backoff *
+                                     std::max<uint32_t>(1,
+                                                        rc.checkpoint_every));
+                logWarn("runSupervised: checkpoint write failed (" +
+                        e.error().describe() + "); retrying at frame " +
+                        std::to_string(ckpt_retry_at));
+                if (obs_)
+                    obs_->metrics()
+                        .counter("checkpoint.write_failed")
+                        .inc();
+            }
         }
     };
 
@@ -701,12 +796,29 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
     for (size_t i = 0; i < sims_.size(); ++i)
         manifest.sims.push_back({sims_[i]->label(), quarantine_[i].dead,
                                  quarantine_[i].at_frame,
-                                 quarantine_[i].error});
+                                 quarantine_[i].error,
+                                 quarantine_[i].failures});
     if (!rc.checkpoint_path.empty()) {
-        saveCheckpoint(rc.checkpoint_path, next_frame);
-        manifest.checkpoint = rc.checkpoint_path;
-        writeManifest(manifest);
+        try {
+            saveCheckpoint(rc.checkpoint_path, next_frame);
+            manifest.checkpoint = rc.checkpoint_path;
+        } catch (const Exception &e) {
+            // The results are already in rows_/the caller's CSVs; a
+            // final checkpoint that cannot land must not erase them.
+            ++checkpoint_write_failures;
+            logWarn("runSupervised: final checkpoint write failed (" +
+                    e.error().describe() + ")");
+            manifest.checkpoint = rc.checkpoint_path;
+        }
+        manifest.checkpoint_write_failures = checkpoint_write_failures;
+        try {
+            writeManifest(manifest);
+        } catch (const Exception &e) {
+            logWarn("runSupervised: manifest write failed (" +
+                    e.error().describe() + ")");
+        }
     }
+    manifest.checkpoint_write_failures = checkpoint_write_failures;
     return manifest;
 }
 

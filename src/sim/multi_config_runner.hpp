@@ -59,6 +59,20 @@ struct SimManifestEntry
     bool quarantined = false;      ///< threw and was isolated
     int quarantined_at_frame = -1; ///< frame of the first throw
     Error error;                   ///< what it threw
+    uint32_t restart_failures = 0; ///< consecutive failures at run end
+};
+
+/**
+ * Per-simulator quarantine + crash-loop state, carried across
+ * checkpoint/resume so a resumed run continues the same backoff ladder.
+ */
+struct SimQuarantine
+{
+    bool dead = false;        ///< not consuming accesses
+    int at_frame = -1;        ///< frame of the most recent failure
+    Error error;              ///< what it threw most recently
+    uint32_t failures = 0;    ///< consecutive failures (clean frame resets)
+    int revive_at_frame = -1; ///< scheduled restart frame (-1 = none)
 };
 
 /**
@@ -72,6 +86,7 @@ struct RunManifest
     int frames_completed = 0;  ///< rows harvested over the run's lifetime
     int next_frame = 0;        ///< where a resume would continue
     std::string checkpoint;    ///< final checkpoint path ("" if none)
+    int checkpoint_write_failures = 0; ///< commits skipped on I/O failure
     std::vector<SimManifestEntry> sims;
 
     /** Number of quarantined simulators. */
@@ -132,6 +147,12 @@ class MultiConfigRunner
      * its error is recorded in the returned manifest while the
      * remaining configurations finish. The manifest is also written as
      * CSV to `<checkpoint>.manifest` when checkpointing is enabled.
+     *
+     * With rc.restart_limit > 0 a quarantined simulator is revived
+     * (audit-gated, state intact) at an exponentially backed-off later
+     * frame, at most restart_limit consecutive times — a crash-looping
+     * configuration stays quarantined instead of burning the run's
+     * budget. A clean frame resets the consecutive-failure count.
      */
     RunManifest runSupervised(const ResilienceConfig &rc,
                               const RowCallback &cb = {});
@@ -171,14 +192,6 @@ class MultiConfigRunner
     double averageHostBytesPerFrame(size_t idx) const;
 
   private:
-    /** Quarantine state carried across checkpoint/resume. */
-    struct Quarantine
-    {
-        bool dead = false;
-        int at_frame = -1;
-        Error error;
-    };
-
     /** Harvest one frame boundary into rows_ (shared by run paths). */
     void harvestRow(int frame, const FrameStats &fs, const RowCallback &cb);
 
@@ -196,7 +209,7 @@ class MultiConfigRunner
     std::vector<TexelAccessSink *> extra_sinks_;
     Observability *obs_ = nullptr; ///< not owned; null = no observability
     std::vector<FrameRow> rows_;
-    std::vector<Quarantine> quarantine_; ///< parallel to sims_ (may be empty)
+    std::vector<SimQuarantine> quarantine_; ///< parallel to sims_ (may be empty)
 };
 
 } // namespace mltc

@@ -15,6 +15,7 @@
 #include "texture/procedural.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/serializer.hpp"
 #include "workload/registry.hpp"
 
@@ -443,6 +444,9 @@ MultiStreamRunner::run(const ResilienceConfig &res)
 
     RunOutcome outcome = RunOutcome::Completed;
     uint32_t checkpoints_written = 0;
+    int checkpoint_write_failures = 0;
+    uint32_t ckpt_backoff = 0; ///< doubling skip multiplier (0 = healthy)
+    int ckpt_retry_at = -1;    ///< first round allowed to retry commits
     const Clock::time_point run_start = Clock::now();
 
     for (; round < cfg_.rounds; ++round) {
@@ -507,12 +511,36 @@ MultiStreamRunner::run(const ResilienceConfig &res)
         }
 
         if (!res.checkpoint_path.empty() && res.checkpoint_every > 0 &&
-            (round + 1) % res.checkpoint_every == 0) {
-            saveCheckpoint(res.checkpoint_path, round + 1);
-            if (res.die_after_checkpoints > 0 &&
-                ++checkpoints_written >= res.die_after_checkpoints) {
-                std::fflush(nullptr);
-                std::raise(SIGKILL);
+            (round + 1) % res.checkpoint_every == 0 &&
+            static_cast<int>(round + 1) >= ckpt_retry_at) {
+            try {
+                saveCheckpoint(res.checkpoint_path, round + 1);
+                ckpt_backoff = 0;
+                ckpt_retry_at = -1;
+                if (res.die_after_checkpoints > 0 &&
+                    ++checkpoints_written >= res.die_after_checkpoints) {
+                    std::fflush(nullptr);
+                    std::raise(SIGKILL);
+                }
+            } catch (const Exception &e) {
+                // Same skip-with-backoff ladder as runSupervised: a
+                // checkpoint that cannot land must not kill the serving
+                // rounds that produced it.
+                ++checkpoint_write_failures;
+                ckpt_backoff =
+                    std::min<uint32_t>(ckpt_backoff ? ckpt_backoff * 2 : 1,
+                                       64);
+                ckpt_retry_at = static_cast<int>(
+                    round + 1 +
+                    ckpt_backoff *
+                        std::max<uint32_t>(1, res.checkpoint_every));
+                logWarn("MultiStreamRunner: checkpoint write failed (" +
+                        e.error().describe() + "); retrying at round " +
+                        std::to_string(ckpt_retry_at));
+                if (obs_)
+                    obs_->metrics()
+                        .counter("checkpoint.write_failed")
+                        .inc();
             }
         }
     }
@@ -526,8 +554,15 @@ MultiStreamRunner::run(const ResilienceConfig &res)
             completed = std::max(completed, row.round + 1);
 
     MultiStreamManifest manifest = buildManifest(outcome, completed, round);
+    manifest.checkpoint_write_failures = checkpoint_write_failures;
     if (!res.checkpoint_path.empty()) {
-        saveCheckpoint(res.checkpoint_path, round);
+        try {
+            saveCheckpoint(res.checkpoint_path, round);
+        } catch (const Exception &e) {
+            ++manifest.checkpoint_write_failures;
+            logWarn("MultiStreamRunner: final checkpoint write failed (" +
+                    e.error().describe() + ")");
+        }
         manifest.checkpoint = res.checkpoint_path;
     }
     return manifest;
@@ -591,6 +626,9 @@ MultiStreamRunner::saveCheckpoint(const std::string &path,
                                   uint32_t next_round) const
 {
     SnapshotWriter w(path);
+    // Generational commit: keep the last good round's checkpoint as
+    // `<path>.prev` so a torn commit never strands a resume.
+    w.keepPrevious(true);
     w.section(kMsTag);
 
     // Configuration fingerprint: a resumed process must be running the
@@ -657,7 +695,7 @@ MultiStreamRunner::saveCheckpoint(const std::string &path,
 uint32_t
 MultiStreamRunner::loadCheckpoint(const std::string &path)
 {
-    SnapshotReader r(path);
+    SnapshotReader r = openSnapshotGeneration(path);
     r.expectSection(kMsTag, "MultiStreamRunner");
 
     auto mismatch = [](const char *what) {

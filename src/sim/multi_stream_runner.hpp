@@ -140,6 +140,7 @@ struct MultiStreamManifest
     uint32_t rounds_completed = 0;
     uint32_t next_round = 0;
     std::string checkpoint; ///< path written, empty if none
+    int checkpoint_write_failures = 0; ///< commits skipped on I/O failure
     std::vector<StreamManifestEntry> streams;
 
     size_t quarantinedCount() const;

@@ -20,6 +20,8 @@ resilienceFromCli(const CommandLine &cli)
     rc.audit = parseAuditLevel(cli.getString("audit", "cheap").c_str());
     rc.die_after_checkpoints =
         static_cast<uint32_t>(cli.getUnsigned("die-after-checkpoint", 0));
+    rc.restart_limit =
+        static_cast<uint32_t>(cli.getUnsigned("restart-limit", 0));
     if (rc.frame_deadline_ms < 0.0)
         throw Exception(ErrorCode::BadArgument,
                         "--deadline-ms: must be non-negative");

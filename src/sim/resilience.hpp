@@ -17,7 +17,8 @@
  *
  * All knobs flow through resilienceFromCli() so every bench and example
  * exposes the same flags: --checkpoint=PATH, --checkpoint-every=N,
- * --resume, --deadline-ms=D, --budget-ms=B, --audit=LEVEL.
+ * --resume, --deadline-ms=D, --budget-ms=B, --audit=LEVEL,
+ * --restart-limit=N.
  */
 #ifndef MLTC_SIM_RESILIENCE_HPP
 #define MLTC_SIM_RESILIENCE_HPP
@@ -60,6 +61,16 @@ struct ResilienceConfig
      * scripts/kill_resume.sh kill a run at a deterministic point.
      */
     uint32_t die_after_checkpoints = 0;
+
+    /**
+     * Crash-loop containment: revive a quarantined simulator after an
+     * exponential frame backoff and a clean audit, up to this many
+     * consecutive failures — one more and it stays quarantined for the
+     * rest of the run. A clean frame resets the consecutive count.
+     * 0 = never revive (quarantine is permanent, the pre-existing
+     * behaviour).
+     */
+    uint32_t restart_limit = 0;
 };
 
 /**

@@ -4,29 +4,37 @@
 #include <stdexcept>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
 
 namespace mltc {
 
 CsvWriter::CsvWriter(const std::string &path,
                      const std::vector<std::string> &columns)
-    : path_(path), out_(path), columns_(columns.size())
+    : path_(path), columns_(columns.size())
 {
-    if (!out_)
+    // Probe-open so an unwritable destination fails at construction
+    // (where the caller names the artefact), not at commit time deep in
+    // a sweep. fopen is never fault-injected, so this probe cannot
+    // spuriously kill a chaos run.
+    std::FILE *f = FileBackend::instance().open(path, "wb");
+    if (!f)
         throw Exception(ErrorCode::Io, "CsvWriter: cannot open " + path);
-    for (size_t i = 0; i < columns.size(); ++i)
-        out_ << (i ? "," : "") << columns[i];
-    out_ << "\n";
-    checkStream();
+    FileBackend::instance().close(f);
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            buf_ += ',';
+        buf_ += columns[i];
+    }
+    buf_ += '\n';
 }
 
-void
-CsvWriter::checkStream()
+CsvWriter::~CsvWriter()
 {
-    // A full disk or vanished file must fail loudly at the offending
-    // row, not silently truncate the bench's CSV artefact.
-    if (!out_)
-        throw Exception(ErrorCode::Io,
-                        "CsvWriter: write failed for " + path_);
+    try {
+        close();
+    } catch (...) {
+        // Destructor commit is best-effort; close() reports failure.
+    }
 }
 
 void
@@ -37,8 +45,8 @@ CsvWriter::row(const std::vector<double> &values)
     std::ostringstream os;
     for (size_t i = 0; i < values.size(); ++i)
         os << (i ? "," : "") << values[i];
-    out_ << os.str() << "\n";
-    checkStream();
+    buf_ += os.str();
+    buf_ += '\n';
 }
 
 void
@@ -46,24 +54,24 @@ CsvWriter::rowStrings(const std::vector<std::string> &values)
 {
     if (values.size() != columns_)
         throw std::invalid_argument("CsvWriter: row width mismatch");
-    for (size_t i = 0; i < values.size(); ++i)
-        out_ << (i ? "," : "") << values[i];
-    out_ << "\n";
-    checkStream();
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            buf_ += ',';
+        buf_ += values[i];
+    }
+    buf_ += '\n';
 }
 
 void
 CsvWriter::close()
 {
-    if (!out_.is_open())
+    if (closed_)
         return;
-    out_.flush();
-    checkStream();
-    out_.close();
-    if (out_.fail())
-        throw Exception(ErrorCode::Io,
-                        "CsvWriter: close failed for " + path_ +
-                            " (file truncated?)");
+    closed_ = true;
+    AtomicWriteOptions opts;
+    opts.max_attempts = 8;
+    opts.durable = false; // CSV artefacts need atomicity, not durability
+    atomicWriteFile(path_, buf_.data(), buf_.size(), opts);
 }
 
 } // namespace mltc

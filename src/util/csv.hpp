@@ -6,30 +6,38 @@
 #ifndef MLTC_UTIL_CSV_HPP
 #define MLTC_UTIL_CSV_HPP
 
-#include <fstream>
 #include <string>
 #include <vector>
 
 namespace mltc {
 
 /**
- * Streaming CSV writer. Columns are fixed at construction; each row is
- * appended with exactly that many values.
+ * Buffered CSV writer with an atomic commit. Columns are fixed at
+ * construction; each row is appended with exactly that many values.
  *
- * Every write is checked: a full disk or vanished file throws a typed
- * mltc::Exception (ErrorCode::Io) naming the path at the offending row
- * rather than silently truncating the artefact. Call close() before
- * relying on the file — it reports flush failure; the destructor only
- * closes best-effort.
+ * Rows accumulate in memory and land on disk only at close(), which
+ * commits the whole artefact atomically (tmp + rename, retried) through
+ * the fault-injectable FileBackend — so under an I/O fault storm the
+ * final file is either the previous complete artefact or the new
+ * complete one, never a truncated mix. A disk that stays broken through
+ * every retry throws a typed mltc::Exception (ErrorCode::Io) naming the
+ * path. The destructor commits best-effort and swallows failure; call
+ * close() before relying on the file.
  */
 class CsvWriter
 {
   public:
     /**
-     * Open @p path for writing and emit the header row.
-     * @throws mltc::Exception (Io) when the file cannot be opened.
+     * Record @p path, probe that it is writable, and buffer the header
+     * row.
+     * @throws mltc::Exception (Io) when the file cannot be created.
      */
     CsvWriter(const std::string &path, const std::vector<std::string> &columns);
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
 
     /** Append one row; size must match the header. */
     void row(const std::vector<double> &values);
@@ -38,8 +46,9 @@ class CsvWriter
     void rowStrings(const std::vector<std::string> &values);
 
     /**
-     * Flush and close; throws mltc::Exception (Io) naming the path when
-     * the flush fails. The destructor closes silently instead.
+     * Atomically commit the buffered artefact; throws mltc::Exception
+     * (Io) naming the path once commit retries exhaust. Idempotent —
+     * the destructor then has nothing left to do.
      */
     void close();
 
@@ -47,11 +56,10 @@ class CsvWriter
     const std::string &path() const { return path_; }
 
   private:
-    void checkStream();
-
     std::string path_;
-    std::ofstream out_;
+    std::string buf_;
     size_t columns_;
+    bool closed_ = false;
 };
 
 } // namespace mltc

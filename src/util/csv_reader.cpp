@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace mltc {
 
 namespace {
@@ -31,10 +33,18 @@ CsvTable::load(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        throw std::runtime_error("CsvTable: cannot open " + path);
+        throw Exception(ErrorCode::Io, "CsvTable: cannot open " + path);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    return parse(buffer.str());
+    const std::string text = buffer.str();
+    // Every writer in this codebase terminates the last row with '\n';
+    // a file that stops mid-line was truncated (crash, full disk) and
+    // summarizing the partial data would silently understate results.
+    if (!text.empty() && text.back() != '\n')
+        throw Exception(ErrorCode::Truncated,
+                        "CsvTable: " + path +
+                            " does not end in a newline (truncated?)");
+    return parse(text);
 }
 
 CsvTable
@@ -55,12 +65,17 @@ CsvTable::parse(const std::string &text)
             first = false;
         } else {
             if (cells.size() != table.header_.size())
-                throw std::runtime_error("CsvTable: ragged row");
+                throw Exception(ErrorCode::Corrupt,
+                                "CsvTable: row " +
+                                    std::to_string(table.rows_.size() + 1) +
+                                    " has " + std::to_string(cells.size()) +
+                                    " cells, header has " +
+                                    std::to_string(table.header_.size()));
             table.rows_.push_back(std::move(cells));
         }
     }
     if (first)
-        throw std::runtime_error("CsvTable: empty input");
+        throw Exception(ErrorCode::Truncated, "CsvTable: empty input");
     return table;
 }
 

@@ -16,10 +16,20 @@ namespace mltc {
 class CsvTable
 {
   public:
-    /** Parse @p path; throws std::runtime_error on I/O or shape errors. */
+    /**
+     * Parse @p path.
+     * @throws mltc::Exception — Io (cannot open), Truncated (empty, or
+     *         the file does not end in a newline — a crashed writer's
+     *         partial artefact), Corrupt (ragged row). Exception
+     *         derives std::runtime_error, so legacy catch sites work.
+     */
     static CsvTable load(const std::string &path);
 
-    /** Parse CSV text directly (for tests). */
+    /**
+     * Parse CSV text directly (for tests). Same shape errors as load()
+     * but no trailing-newline requirement (string literals in tests
+     * routinely omit it).
+     */
     static CsvTable parse(const std::string &text);
 
     const std::vector<std::string> &header() const { return header_; }

@@ -1,0 +1,512 @@
+#include "util/io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+const char *
+ioFaultKindName(IoFaultKind kind)
+{
+    switch (kind) {
+    case IoFaultKind::None:
+        return "none";
+    case IoFaultKind::Eio:
+        return "eio";
+    case IoFaultKind::Enospc:
+        return "enospc";
+    case IoFaultKind::ShortWrite:
+        return "short_write";
+    case IoFaultKind::FsyncFail:
+        return "fsync_fail";
+    case IoFaultKind::TornRename:
+        return "torn_rename";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Kind named by a spec token key; None for an unknown key. */
+IoFaultKind
+kindForKey(const std::string &key)
+{
+    if (key == "eio")
+        return IoFaultKind::Eio;
+    if (key == "enospc")
+        return IoFaultKind::Enospc;
+    if (key == "short")
+        return IoFaultKind::ShortWrite;
+    if (key == "fsync")
+        return IoFaultKind::FsyncFail;
+    if (key == "torn")
+        return IoFaultKind::TornRename;
+    return IoFaultKind::None;
+}
+
+/** Operation class a fault kind injects on. */
+IoOp
+opForKind(IoFaultKind kind)
+{
+    switch (kind) {
+    case IoFaultKind::FsyncFail:
+        return IoOp::Fsync;
+    case IoFaultKind::TornRename:
+        return IoOp::Rename;
+    default:
+        return IoOp::Write;
+    }
+}
+
+double
+parseRate(const std::string &token, const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || !end || *end != '\0' || errno != 0 || v < 0.0 ||
+        v > 1.0)
+        throw Exception(ErrorCode::BadArgument,
+                        "--io-faults: '" + token +
+                            "': rate must be a number in [0,1]");
+    return v;
+}
+
+uint64_t
+parseCount(const std::string &token, const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || !end || *end != '\0' || errno != 0 ||
+        value[0] == '-')
+        throw Exception(ErrorCode::BadArgument,
+                        "--io-faults: '" + token +
+                            "': expected an unsigned integer");
+    return v;
+}
+
+} // namespace
+
+IoFaultConfig
+parseIoFaultSpec(const std::string &spec)
+{
+    IoFaultConfig cfg;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t comma = spec.find(',', pos);
+        const std::string token =
+            spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (token.empty())
+            continue;
+
+        const size_t eq = token.find('=');
+        const size_t colon = token.find(':');
+        if (eq != std::string::npos && (colon == std::string::npos ||
+                                        eq < colon)) {
+            const std::string key = token.substr(0, eq);
+            const std::string value = token.substr(eq + 1);
+            if (key == "seed") {
+                cfg.seed = parseCount(token, value);
+                continue;
+            }
+            const IoFaultKind kind = kindForKey(key);
+            const double rate = parseRate(token, value);
+            switch (kind) {
+            case IoFaultKind::Eio:
+                cfg.eio_rate = rate;
+                break;
+            case IoFaultKind::Enospc:
+                cfg.enospc_rate = rate;
+                break;
+            case IoFaultKind::ShortWrite:
+                cfg.short_rate = rate;
+                break;
+            case IoFaultKind::FsyncFail:
+                cfg.fsync_rate = rate;
+                break;
+            case IoFaultKind::TornRename:
+                cfg.torn_rate = rate;
+                break;
+            default:
+                throw Exception(ErrorCode::BadArgument,
+                                "--io-faults: unknown fault '" + key +
+                                    "' in '" + token + "'");
+            }
+            continue;
+        }
+        if (colon != std::string::npos) {
+            const std::string key = token.substr(0, colon);
+            const IoFaultKind kind = kindForKey(key);
+            if (kind == IoFaultKind::None)
+                throw Exception(ErrorCode::BadArgument,
+                                "--io-faults: unknown fault '" + key +
+                                    "' in '" + token + "'");
+            const uint64_t nth = parseCount(token, token.substr(colon + 1));
+            if (nth == 0)
+                throw Exception(ErrorCode::BadArgument,
+                                "--io-faults: '" + token +
+                                    "': ordinals are 1-based");
+            cfg.schedule.push_back({kind, nth});
+            continue;
+        }
+        throw Exception(ErrorCode::BadArgument,
+                        "--io-faults: malformed token '" + token +
+                            "' (want key=rate, key:N or seed=S)");
+    }
+    return cfg;
+}
+
+IoFaultInjector::IoFaultInjector(const IoFaultConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+}
+
+IoFaultKind
+IoFaultInjector::decide(IoOp op)
+{
+    uint64_t ordinal = 0;
+    switch (op) {
+    case IoOp::Write:
+        ordinal = ++stats_.writes;
+        break;
+    case IoOp::Fsync:
+        ordinal = ++stats_.fsyncs;
+        break;
+    case IoOp::Rename:
+        ordinal = ++stats_.renames;
+        break;
+    }
+
+    // One uniform draw per adjudication, consumed unconditionally, so
+    // the PRNG stream (and with it the whole scenario) does not depend
+    // on which rates are enabled.
+    const double u = rng_.uniform();
+
+    IoFaultKind kind = IoFaultKind::None;
+    for (const IoFaultConfig::ScheduleEntry &e : cfg_.schedule)
+        if (opForKind(e.kind) == op && e.nth == ordinal) {
+            kind = e.kind;
+            break;
+        }
+    if (kind == IoFaultKind::None) {
+        switch (op) {
+        case IoOp::Write:
+            if (u < cfg_.eio_rate)
+                kind = IoFaultKind::Eio;
+            else if (u < cfg_.eio_rate + cfg_.enospc_rate)
+                kind = IoFaultKind::Enospc;
+            else if (u < cfg_.eio_rate + cfg_.enospc_rate + cfg_.short_rate)
+                kind = IoFaultKind::ShortWrite;
+            break;
+        case IoOp::Fsync:
+            if (u < cfg_.fsync_rate)
+                kind = IoFaultKind::FsyncFail;
+            break;
+        case IoOp::Rename:
+            if (u < cfg_.torn_rate)
+                kind = IoFaultKind::TornRename;
+            break;
+        }
+    }
+
+    switch (kind) {
+    case IoFaultKind::Eio:
+        ++stats_.eio;
+        break;
+    case IoFaultKind::Enospc:
+        ++stats_.enospc;
+        break;
+    case IoFaultKind::ShortWrite:
+        ++stats_.short_writes;
+        break;
+    case IoFaultKind::FsyncFail:
+        ++stats_.fsync_failures;
+        break;
+    case IoFaultKind::TornRename:
+        ++stats_.torn_renames;
+        break;
+    case IoFaultKind::None:
+        break;
+    }
+    return kind;
+}
+
+FileBackend &
+FileBackend::instance()
+{
+    static FileBackend backend;
+    return backend;
+}
+
+void
+FileBackend::installInjector(IoFaultInjector *injector)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector_ = injector;
+}
+
+IoFaultInjector *
+FileBackend::injector() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injector_;
+}
+
+std::FILE *
+FileBackend::open(const std::string &path, const char *mode)
+{
+    return std::fopen(path.c_str(), mode);
+}
+
+bool
+FileBackend::write(std::FILE *f, const void *data, size_t size)
+{
+    IoFaultKind kind = IoFaultKind::None;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (injector_)
+            kind = injector_->decide(IoOp::Write);
+    }
+    switch (kind) {
+    case IoFaultKind::Eio:
+        errno = EIO;
+        return false;
+    case IoFaultKind::Enospc:
+        errno = ENOSPC;
+        return false;
+    case IoFaultKind::ShortWrite:
+        // A prefix really lands, as a partial fwrite would leave it.
+        std::fwrite(data, 1, size / 2, f);
+        errno = EIO;
+        return false;
+    default:
+        break;
+    }
+    if (size == 0)
+        return true;
+    return std::fwrite(data, 1, size, f) == size;
+}
+
+bool
+FileBackend::flush(std::FILE *f)
+{
+    return std::fflush(f) == 0;
+}
+
+bool
+FileBackend::sync(std::FILE *f)
+{
+    IoFaultKind kind = IoFaultKind::None;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (injector_)
+            kind = injector_->decide(IoOp::Fsync);
+    }
+    if (std::fflush(f) != 0)
+        return false;
+    if (kind == IoFaultKind::FsyncFail) {
+        errno = EIO;
+        return false;
+    }
+    return ::fsync(fileno(f)) == 0;
+}
+
+bool
+FileBackend::close(std::FILE *f)
+{
+    return std::fclose(f) == 0;
+}
+
+bool
+FileBackend::rename(const std::string &from, const std::string &to)
+{
+    IoFaultKind kind = IoFaultKind::None;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (injector_)
+            kind = injector_->decide(IoOp::Rename);
+    }
+    if (kind == IoFaultKind::TornRename) {
+        // Model the crash-consistent worst case: the directory entry
+        // points at a half-written destination and the source is gone.
+        std::FILE *src = std::fopen(from.c_str(), "rb");
+        if (src) {
+            std::fseek(src, 0, SEEK_END);
+            const long size = std::ftell(src);
+            std::fseek(src, 0, SEEK_SET);
+            std::vector<uint8_t> bytes(
+                size > 0 ? static_cast<size_t>(size) / 2 : 0);
+            if (!bytes.empty() &&
+                std::fread(bytes.data(), 1, bytes.size(), src) !=
+                    bytes.size())
+                bytes.clear();
+            std::fclose(src);
+            if (std::FILE *dst = std::fopen(to.c_str(), "wb")) {
+                if (!bytes.empty())
+                    std::fwrite(bytes.data(), 1, bytes.size(), dst);
+                std::fclose(dst);
+            }
+            std::remove(from.c_str());
+        }
+        errno = EIO;
+        return false;
+    }
+    return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+void
+FileBackend::remove(const std::string &path)
+{
+    std::remove(path.c_str());
+}
+
+bool
+FileBackend::exists(const std::string &path) const
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+bool
+FileBackend::syncDir(const std::string &child)
+{
+    IoFaultKind kind = IoFaultKind::None;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (injector_)
+            kind = injector_->decide(IoOp::Fsync);
+    }
+    if (kind == IoFaultKind::FsyncFail) {
+        errno = EIO;
+        return false;
+    }
+    const size_t slash = child.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : child.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+void
+atomicWriteFile(const std::string &path, const void *data, size_t size,
+                const AtomicWriteOptions &opts)
+{
+    FileBackend &be = FileBackend::instance();
+    const std::string tmp = path + ".tmp";
+    const std::string prev = path + kPreviousGenerationSuffix;
+    std::string last_error = "no attempts made";
+    // Rotate the previous generation at most once per commit: if the
+    // final rename tears and leaves a truncated destination, a retry
+    // must not clobber the good .prev with that garbage.
+    bool rotated = false;
+
+    for (int attempt = 0; attempt < std::max(1, opts.max_attempts);
+         ++attempt) {
+        std::FILE *f = be.open(tmp, "wb");
+        if (!f) {
+            last_error = "cannot open " + tmp + ": " +
+                         std::string(std::strerror(errno));
+            continue;
+        }
+        bool ok = be.write(f, data, size);
+        if (ok && opts.durable)
+            ok = be.sync(f);
+        else if (ok)
+            ok = be.flush(f);
+        const int saved_errno = ok ? 0 : errno;
+        ok = be.close(f) && ok;
+        if (!ok) {
+            be.remove(tmp);
+            last_error = "write/sync failed for " + tmp + ": " +
+                         std::string(std::strerror(
+                             saved_errno ? saved_errno : errno));
+            continue;
+        }
+        if (opts.keep_previous && !rotated && be.exists(path)) {
+            if (be.rename(path, prev))
+                rotated = true;
+            else {
+                // The destination may now be torn; the commit below
+                // still replaces it, so only the old generation is at
+                // risk — carry on rather than fail the commit.
+                rotated = true;
+            }
+        }
+        if (!be.rename(tmp, path)) {
+            be.remove(tmp);
+            last_error = "cannot rename " + tmp + " to " + path + ": " +
+                         std::string(std::strerror(errno));
+            continue;
+        }
+        if (opts.durable && !be.syncDir(path)) {
+            // The data is committed under the final name; only the
+            // directory entry's durability is in doubt. Re-commit so a
+            // crash cannot lose it.
+            last_error = "cannot fsync parent directory of " + path + ": " +
+                         std::string(std::strerror(errno));
+            continue;
+        }
+        return;
+    }
+    throw Exception(ErrorCode::Io, "atomicWriteFile: " + last_error +
+                                       " (after " +
+                                       std::to_string(std::max(
+                                           1, opts.max_attempts)) +
+                                       " attempts)");
+}
+
+namespace {
+
+/** Owns the process-lifetime injector installed from the CLI. */
+std::unique_ptr<IoFaultInjector> g_process_injector;
+std::mutex g_process_injector_mutex;
+
+} // namespace
+
+IoFaultInjector &
+installProcessIoFaults(const IoFaultConfig &config)
+{
+    std::lock_guard<std::mutex> lock(g_process_injector_mutex);
+    auto injector = std::make_unique<IoFaultInjector>(config);
+    FileBackend::instance().installInjector(injector.get());
+    g_process_injector = std::move(injector);
+    return *g_process_injector;
+}
+
+void
+clearProcessIoFaults()
+{
+    std::lock_guard<std::mutex> lock(g_process_injector_mutex);
+    FileBackend::instance().installInjector(nullptr);
+    g_process_injector.reset();
+}
+
+bool
+installIoFaultsFromCli(const CommandLine &cli)
+{
+    if (!cli.has("io-faults"))
+        return false;
+    const std::string spec = cli.getString("io-faults", "");
+    if (spec.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "--io-faults: expected a fault spec "
+                        "(e.g. eio=0.02,fsync=0.05,torn:3,seed=7)");
+    const IoFaultConfig cfg = parseIoFaultSpec(spec);
+    installProcessIoFaults(cfg);
+    return true;
+}
+
+} // namespace mltc

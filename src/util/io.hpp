@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Fault-injectable file I/O layer: every byte the system persists
+ * (snapshots, CSVs, metrics/trace JSONL, manifests) flows through the
+ * process-global FileBackend, so disk failures are a first-class,
+ * deterministically injectable fault domain exactly like the host
+ * download path (host/fault_injector.hpp, docs/fault_model.md).
+ *
+ * The injector adjudicates every write / fsync / rename *attempt* from
+ * a seeded PRNG plus a deterministic nth-operation schedule, so an I/O
+ * fault scenario is a pure function of (seed, op ordinal) and any chaos
+ * run can be replayed bit-identically. Injected failures surface
+ * exactly like real ones — errno set, failure return — so the recovery
+ * ladder above (retry, atomic re-commit, generational fallback,
+ * skip-with-backoff, sink self-disable) is proven against the same
+ * paths a real full disk or dying device would take.
+ */
+#ifndef MLTC_UTIL_IO_HPP
+#define MLTC_UTIL_IO_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace mltc {
+
+/** What the injector decrees for one file-system operation attempt. */
+enum class IoFaultKind : uint8_t
+{
+    None,       ///< the operation runs against the real filesystem
+    Eio,        ///< write fails outright (errno EIO), nothing lands
+    Enospc,     ///< write fails with errno ENOSPC, nothing lands
+    ShortWrite, ///< only a prefix of the bytes lands, then failure
+    FsyncFail,  ///< fsync (file or directory) reports EIO
+    TornRename, ///< rename leaves a truncated destination, source gone
+};
+
+/** Stable name of @p kind for logs and stats tables. */
+const char *ioFaultKindName(IoFaultKind kind);
+
+/** Operation classes the injector adjudicates. */
+enum class IoOp : uint8_t
+{
+    Write,  ///< buffered data write (fwrite)
+    Fsync,  ///< durability barrier (fflush + fsync, file or directory)
+    Rename, ///< atomic-commit rename
+};
+
+/**
+ * A seeded I/O fault scenario. All-zero rates with an empty schedule
+ * model a perfect disk. Rates apply per eligible operation; schedule
+ * entries deterministically fail the Nth (1-based) operation of the
+ * matching class regardless of the rates.
+ */
+struct IoFaultConfig
+{
+    uint64_t seed = 42;        ///< PRNG seed; same seed => same storm
+    double eio_rate = 0.0;     ///< P(write fails with EIO)
+    double enospc_rate = 0.0;  ///< P(write fails with ENOSPC)
+    double short_rate = 0.0;   ///< P(write lands only a prefix)
+    double fsync_rate = 0.0;   ///< P(fsync fails)
+    double torn_rate = 0.0;    ///< P(rename is torn)
+
+    /** Deterministic one-shot: fail the Nth op of the kind's class. */
+    struct ScheduleEntry
+    {
+        IoFaultKind kind = IoFaultKind::None;
+        uint64_t nth = 0; ///< 1-based ordinal within the op class
+    };
+    std::vector<ScheduleEntry> schedule;
+
+    /** True when any fault source is active. */
+    bool
+    anyFaults() const
+    {
+        return eio_rate > 0.0 || enospc_rate > 0.0 || short_rate > 0.0 ||
+               fsync_rate > 0.0 || torn_rate > 0.0 || !schedule.empty();
+    }
+};
+
+/**
+ * Parse the --io-faults spec grammar: a comma-separated list of
+ *
+ *   eio=R | enospc=R | short=R | fsync=R | torn=R   rates in [0,1]
+ *   eio:N | enospc:N | short:N | fsync:N | torn:N   fail the Nth op
+ *   seed=S                                          PRNG seed
+ *
+ * e.g. "eio=0.02,fsync=0.05,torn:3,seed=7". See docs/fault_model.md.
+ * @throws mltc::Exception (BadArgument) naming the malformed token.
+ */
+IoFaultConfig parseIoFaultSpec(const std::string &spec);
+
+/** Cumulative injector counters (process-wide, across all files). */
+struct IoFaultStats
+{
+    uint64_t writes = 0;  ///< write ops adjudicated
+    uint64_t fsyncs = 0;  ///< fsync ops adjudicated
+    uint64_t renames = 0; ///< rename ops adjudicated
+    uint64_t eio = 0;
+    uint64_t enospc = 0;
+    uint64_t short_writes = 0;
+    uint64_t fsync_failures = 0;
+    uint64_t torn_renames = 0;
+
+    uint64_t
+    injected() const
+    {
+        return eio + enospc + short_writes + fsync_failures + torn_renames;
+    }
+};
+
+/**
+ * The injector proper. Externally synchronized: FileBackend holds its
+ * own mutex around every decide() call, so the adjudication order — and
+ * with it the scenario — is a single process-wide sequence.
+ */
+class IoFaultInjector
+{
+  public:
+    explicit IoFaultInjector(const IoFaultConfig &config);
+
+    /** Adjudicate the next operation of class @p op. */
+    IoFaultKind decide(IoOp op);
+
+    const IoFaultConfig &config() const { return cfg_; }
+    const IoFaultStats &stats() const { return stats_; }
+
+  private:
+    IoFaultConfig cfg_;
+    Rng rng_;
+    IoFaultStats stats_;
+};
+
+/**
+ * Process-global shim between the persistence layers and the
+ * filesystem. Without an installed injector every method is a thin
+ * checked wrapper over stdio/POSIX; with one, write/fsync/rename
+ * attempts are adjudicated first and injected failures are
+ * indistinguishable from real ones at the call site.
+ *
+ * Thread-safe: a single internal mutex orders all adjudications (the
+ * underlying stdio calls are themselves thread-safe; the mutex exists
+ * to keep the injector's decision stream a single sequence).
+ */
+class FileBackend
+{
+  public:
+    static FileBackend &instance();
+
+    /** Install @p injector (not owned; null uninstalls). */
+    void installInjector(IoFaultInjector *injector);
+
+    /** The installed injector, null when faults are off. */
+    IoFaultInjector *injector() const;
+
+    /** fopen; never injected (the fault model covers data paths). */
+    std::FILE *open(const std::string &path, const char *mode);
+
+    /** Write all @p size bytes. False on failure (errno says why). */
+    bool write(std::FILE *f, const void *data, size_t size);
+
+    /** fflush. */
+    bool flush(std::FILE *f);
+
+    /** Durability barrier: fflush + fsync. */
+    bool sync(std::FILE *f);
+
+    /** fclose; false when the close itself reports failure. */
+    bool close(std::FILE *f);
+
+    /** Atomic-commit rename. A torn rename (injected) leaves the
+     *  destination truncated and removes the source — the on-disk state
+     *  a crash between the metadata and data updates would leave. */
+    bool rename(const std::string &from, const std::string &to);
+
+    /** Best-effort unlink. */
+    void remove(const std::string &path);
+
+    /** True when @p path exists. */
+    bool exists(const std::string &path) const;
+
+    /** fsync the parent directory of @p child, making a completed
+     *  rename durable (adjudicated as an Fsync op). */
+    bool syncDir(const std::string &child);
+
+  private:
+    FileBackend() = default;
+
+    mutable std::mutex mutex_;
+    IoFaultInjector *injector_ = nullptr;
+};
+
+/** Suffix of the previous snapshot generation (see atomicWriteFile). */
+inline constexpr const char *kPreviousGenerationSuffix = ".prev";
+
+/** Commit policy for atomicWriteFile. */
+struct AtomicWriteOptions
+{
+    /** Whole-commit attempts before giving up (injected or real). */
+    int max_attempts = 6;
+    /** Rotate an existing destination to `<path>.prev` first, so the
+     *  last good generation survives a torn commit. */
+    bool keep_previous = false;
+    /** fsync the file and its directory (checkpoints yes, CSVs no). */
+    bool durable = true;
+};
+
+/**
+ * Atomically replace @p path with @p size bytes: write `<path>.tmp`,
+ * optionally fsync, rotate the previous generation when requested,
+ * rename into place, optionally fsync the parent directory. Any failed
+ * step discards the tmp file and retries the whole commit, so the final
+ * bytes are independent of which attempts faulted.
+ * @throws mltc::Exception (Io) naming the path once attempts exhaust.
+ */
+void atomicWriteFile(const std::string &path, const void *data, size_t size,
+                     const AtomicWriteOptions &opts = {});
+
+/**
+ * Parse --io-faults=SPEC and install a process-lifetime injector on the
+ * global FileBackend (replacing any previous one). Returns true when a
+ * scenario was installed.
+ * @throws mltc::Exception (BadArgument) on a malformed spec.
+ */
+bool installIoFaultsFromCli(const CommandLine &cli);
+
+/** Install @p config as the process-lifetime scenario (tests/benches). */
+IoFaultInjector &installProcessIoFaults(const IoFaultConfig &config);
+
+/** Uninstall the process-lifetime injector (faults off). */
+void clearProcessIoFaults();
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_IO_HPP

@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/log.hpp"
 
 namespace mltc {
 
@@ -555,7 +557,7 @@ parseJson(const std::string &text)
 
 JsonlFileSink::JsonlFileSink(const std::string &path) : path_(path)
 {
-    file_ = std::fopen(path.c_str(), "wb");
+    file_ = FileBackend::instance().open(path, "wb");
     if (!file_)
         throw Exception(ErrorCode::Io,
                         "JsonlFileSink: cannot open '" + path + "'");
@@ -564,18 +566,34 @@ JsonlFileSink::JsonlFileSink(const std::string &path) : path_(path)
 JsonlFileSink::~JsonlFileSink()
 {
     if (file_)
-        std::fclose(file_);
+        FileBackend::instance().close(file_);
 }
 
 void
 JsonlFileSink::writeLine(const std::string &line)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!file_)
+    if (!file_) {
+        if (failed_)
+            ++dropped_; // sink self-disabled earlier; count the loss
         return;
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-        std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+    }
+    FileBackend &fs = FileBackend::instance();
+    std::string out;
+    out.reserve(line.size() + 1);
+    out += line;
+    out += '\n';
+    if (!fs.write(file_, out.data(), out.size()) || !fs.flush(file_)) {
+        // Telemetry must never take the run down: on the first I/O
+        // failure the sink disables itself (the rest of the artefact
+        // would be a lie anyway) and the loss is reported via
+        // droppedLines() and the typed throw at close().
         failed_ = true;
+        fs.close(file_);
+        file_ = nullptr;
+        ++dropped_;
+        logWarn("JsonlFileSink: write failed on '" + path_ +
+                "'; sink disabled, further lines dropped");
         return;
     }
     ++lines_;
@@ -588,20 +606,37 @@ JsonlFileSink::lines() const
     return lines_;
 }
 
+uint64_t
+JsonlFileSink::droppedLines() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+bool
+JsonlFileSink::disabled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failed_;
+}
+
 void
 JsonlFileSink::close()
 {
-    int rc = 0;
+    bool rc = true;
     bool failed = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!file_)
-            return;
-        rc = std::fclose(file_);
-        file_ = nullptr;
         failed = failed_;
+        if (!file_) {
+            if (!failed)
+                return; // already cleanly closed
+        } else {
+            rc = FileBackend::instance().close(file_);
+            file_ = nullptr;
+        }
     }
-    if (rc != 0 || failed)
+    if (!rc || failed)
         throw Exception(ErrorCode::Io,
                         "JsonlFileSink: write failure on '" + path_ + "'");
 }

@@ -143,8 +143,10 @@ JsonValue parseJson(const std::string &text);
  * Append-oriented JSONL (one JSON document per line) file sink, shared
  * by the metrics registry and the structured log sink. Lines are
  * flushed as they are written so a crashed run keeps every complete
- * row; write failures throw typed (Io) errors at close() and are
- * remembered so telemetry loss is never silent.
+ * row. Telemetry is never load-bearing: the first write failure
+ * disables the sink (further lines are counted as dropped instead of
+ * killing the run) and the loss is reported via droppedLines() and a
+ * typed (Io) throw at close().
  */
 class JsonlFileSink
 {
@@ -171,6 +173,12 @@ class JsonlFileSink
     /** Lines written so far. */
     uint64_t lines() const;
 
+    /** Lines lost after the sink self-disabled on a write failure. */
+    uint64_t droppedLines() const;
+
+    /** True once a write failure has disabled the sink. */
+    bool disabled() const;
+
     /**
      * Flush and close.
      * @throws mltc::Exception (Io) if any write or the close failed.
@@ -182,6 +190,7 @@ class JsonlFileSink
     std::FILE *file_ = nullptr;
     mutable std::mutex mutex_;
     uint64_t lines_ = 0;
+    uint64_t dropped_ = 0;
     bool failed_ = false;
 };
 

@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/log.hpp"
 
 namespace mltc {
 
@@ -132,36 +134,18 @@ SnapshotWriter::u64Vec(const std::vector<uint64_t> &v)
 void
 SnapshotWriter::finish()
 {
-    std::vector<uint8_t> header;
-    header.reserve(kHeaderSize);
-    header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
-    putU32(header, kSnapshotVersion);
-    putU64(header, payload_.size());
-    putU32(header, crc32(payload_.data(), payload_.size()));
+    std::vector<uint8_t> image;
+    image.reserve(kHeaderSize + payload_.size());
+    image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+    putU32(image, kSnapshotVersion);
+    putU64(image, payload_.size());
+    putU32(image, crc32(payload_.data(), payload_.size()));
+    image.insert(image.end(), payload_.begin(), payload_.end());
 
-    const std::string tmp = path_ + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        throw Exception(ErrorCode::Io,
-                        "SnapshotWriter: cannot open " + tmp);
-    bool ok =
-        std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
-        (payload_.empty() ||
-         std::fwrite(payload_.data(), 1, payload_.size(), f) ==
-             payload_.size()) &&
-        std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-    // Always close; only then decide. fclose failure also invalidates.
-    ok = (std::fclose(f) == 0) && ok;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        throw Exception(ErrorCode::Io,
-                        "SnapshotWriter: write/fsync failed for " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw Exception(ErrorCode::Io, "SnapshotWriter: cannot rename " +
-                                           tmp + " to " + path_);
-    }
+    AtomicWriteOptions opts;
+    opts.keep_previous = keep_previous_;
+    opts.durable = true;
+    atomicWriteFile(path_, image.data(), image.size(), opts);
 }
 
 SnapshotReader::SnapshotReader(const std::string &path) : name_(path)
@@ -344,6 +328,31 @@ SnapshotReader::expectEnd()
                         "snapshot " + name_ + ": " +
                             std::to_string(remaining()) +
                             " unconsumed payload bytes");
+}
+
+SnapshotReader
+openSnapshotGeneration(const std::string &path, bool *used_previous)
+{
+    if (used_previous)
+        *used_previous = false;
+    try {
+        return SnapshotReader(path);
+    } catch (const Exception &newest_error) {
+        const std::string prev = path + kPreviousGenerationSuffix;
+        try {
+            SnapshotReader r(prev);
+            logWarn("snapshot " + path + " unusable (" +
+                    newest_error.error().describe() +
+                    "); recovered previous generation " + prev);
+            if (used_previous)
+                *used_previous = true;
+            return r;
+        } catch (const Exception &) {
+            // Report the newest generation's failure: that is the file
+            // callers asked for, and its error is the actionable one.
+            throw newest_error;
+        }
+    }
 }
 
 } // namespace mltc

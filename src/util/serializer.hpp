@@ -25,7 +25,7 @@
 namespace mltc {
 
 /** Snapshot format version; bump on any layout change. */
-constexpr uint32_t kSnapshotVersion = 4;
+constexpr uint32_t kSnapshotVersion = 5;
 
 /** CRC32 (IEEE 802.3, reflected) of @p data. */
 uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
@@ -69,8 +69,19 @@ class SnapshotWriter
     void section(uint32_t tag) { u32(tag); }
 
     /**
-     * Write header + payload to `<path>.tmp`, fsync, rename into place.
-     * @throws mltc::Exception (Io) naming the path on any failure.
+     * Generational commit: rotate an existing snapshot to
+     * `<path>.prev` before renaming the new one into place, so the
+     * last good generation survives a torn commit (checkpoint sites
+     * enable this; see openSnapshotGeneration()).
+     */
+    void keepPrevious(bool keep) { keep_previous_ = keep; }
+
+    /**
+     * Write header + payload to `<path>.tmp`, fsync, rename into
+     * place and fsync the parent directory — all through the
+     * fault-injectable FileBackend, with the whole commit retried on
+     * (injected or real) failure.
+     * @throws mltc::Exception (Io) naming the path once retries exhaust.
      */
     void finish();
 
@@ -82,6 +93,7 @@ class SnapshotWriter
   private:
     std::string path_;
     std::vector<uint8_t> payload_;
+    bool keep_previous_ = false;
 };
 
 /**
@@ -132,6 +144,17 @@ class SnapshotReader
     std::vector<uint8_t> payload_;
     size_t cursor_ = 0;
 };
+
+/**
+ * Open the newest valid generation of a generational snapshot: try
+ * @p path, and when it is missing or damaged (any typed validation
+ * failure) fall back to `<path>.prev` — the rotation SnapshotWriter
+ * performs under keepPrevious(true). The original error is rethrown
+ * when no generation validates.
+ * @param used_previous set true when the fallback generation loaded.
+ */
+SnapshotReader openSnapshotGeneration(const std::string &path,
+                                      bool *used_previous = nullptr);
 
 } // namespace mltc
 

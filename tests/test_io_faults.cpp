@@ -1,0 +1,383 @@
+/**
+ * @file
+ * The fault-injectable storage layer (util/io.hpp): spec grammar,
+ * deterministic adjudication, the FileBackend failure surface (errno +
+ * failure return, exactly like the real thing), the atomicWriteFile
+ * retry/rotation ladder under injected storms, and the self-healing
+ * behaviour of the writers built on top (CsvWriter, JsonlFileSink).
+ */
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/json.hpp"
+
+namespace mltc {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + name + "." + std::to_string(getpid());
+}
+
+std::string
+fileText(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    if (!f)
+        return {};
+    std::fseek(f, 0, SEEK_END);
+    std::string text(static_cast<size_t>(std::ftell(f)), '\0');
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(text.data(), 1, text.size(), f), text.size());
+    std::fclose(f);
+    return text;
+}
+
+/** Install @p config on the global backend for one test's scope. */
+class ScopedFaults
+{
+  public:
+    explicit ScopedFaults(const IoFaultConfig &config) : injector_(config)
+    {
+        FileBackend::instance().installInjector(&injector_);
+    }
+    ~ScopedFaults() { FileBackend::instance().installInjector(nullptr); }
+
+    IoFaultInjector &injector() { return injector_; }
+
+  private:
+    IoFaultInjector injector_;
+};
+
+IoFaultConfig
+scheduleOnly(std::vector<IoFaultConfig::ScheduleEntry> entries)
+{
+    IoFaultConfig cfg;
+    cfg.schedule = std::move(entries);
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar.
+
+TEST(IoFaultSpec, ParsesRatesScheduleAndSeed)
+{
+    const IoFaultConfig cfg =
+        parseIoFaultSpec("eio=0.02,enospc=0.5,short=1,fsync=0.25,"
+                         "torn=0.125,eio:3,torn:7,seed=99");
+    EXPECT_DOUBLE_EQ(cfg.eio_rate, 0.02);
+    EXPECT_DOUBLE_EQ(cfg.enospc_rate, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.short_rate, 1.0);
+    EXPECT_DOUBLE_EQ(cfg.fsync_rate, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.torn_rate, 0.125);
+    EXPECT_EQ(cfg.seed, 99u);
+    ASSERT_EQ(cfg.schedule.size(), 2u);
+    EXPECT_EQ(cfg.schedule[0].kind, IoFaultKind::Eio);
+    EXPECT_EQ(cfg.schedule[0].nth, 3u);
+    EXPECT_EQ(cfg.schedule[1].kind, IoFaultKind::TornRename);
+    EXPECT_EQ(cfg.schedule[1].nth, 7u);
+    EXPECT_TRUE(cfg.anyFaults());
+}
+
+TEST(IoFaultSpec, EmptySpecMeansPerfectDisk)
+{
+    const IoFaultConfig cfg = parseIoFaultSpec("");
+    EXPECT_FALSE(cfg.anyFaults());
+    EXPECT_EQ(cfg.seed, 42u); // the documented default
+}
+
+TEST(IoFaultSpec, MalformedTokensThrowTypedNamingTheToken)
+{
+    const char *bad[] = {"bogus=0.5", "bogus:3",  "eio=1.5", "eio=-0.1",
+                         "eio=abc",   "torn:0",   "torn:-1", "eio",
+                         "seed=abc",  "short=\t", "=0.5"};
+    for (const char *spec : bad) {
+        try {
+            parseIoFaultSpec(spec);
+            FAIL() << "accepted '" << spec << "'";
+        } catch (const Exception &e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadArgument) << spec;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The injector: deterministic, per-op-class ordinals, stats.
+
+TEST(IoFaultInjectorTest, ScheduleFiresExactlyOnTheNthOpOfItsClass)
+{
+    IoFaultInjector inj(scheduleOnly({{IoFaultKind::Eio, 2},
+                                      {IoFaultKind::FsyncFail, 1},
+                                      {IoFaultKind::TornRename, 3}}));
+    // Interleave classes: ordinals are per class, not global.
+    EXPECT_EQ(inj.decide(IoOp::Write), IoFaultKind::None);   // write #1
+    EXPECT_EQ(inj.decide(IoOp::Fsync), IoFaultKind::FsyncFail); // fsync #1
+    EXPECT_EQ(inj.decide(IoOp::Write), IoFaultKind::Eio);    // write #2
+    EXPECT_EQ(inj.decide(IoOp::Rename), IoFaultKind::None);  // rename #1
+    EXPECT_EQ(inj.decide(IoOp::Rename), IoFaultKind::None);  // rename #2
+    EXPECT_EQ(inj.decide(IoOp::Write), IoFaultKind::None);   // write #3
+    EXPECT_EQ(inj.decide(IoOp::Rename), IoFaultKind::TornRename);
+    EXPECT_EQ(inj.stats().writes, 3u);
+    EXPECT_EQ(inj.stats().fsyncs, 1u);
+    EXPECT_EQ(inj.stats().renames, 3u);
+    EXPECT_EQ(inj.stats().eio, 1u);
+    EXPECT_EQ(inj.stats().fsync_failures, 1u);
+    EXPECT_EQ(inj.stats().torn_renames, 1u);
+    EXPECT_EQ(inj.stats().injected(), 3u);
+}
+
+TEST(IoFaultInjectorTest, SameSeedSameScenario)
+{
+    IoFaultConfig cfg;
+    cfg.seed = 7;
+    cfg.eio_rate = 0.2;
+    cfg.short_rate = 0.2;
+    cfg.fsync_rate = 0.3;
+    cfg.torn_rate = 0.3;
+    IoFaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 500; ++i) {
+        const IoOp op = i % 3 == 0   ? IoOp::Write
+                        : i % 3 == 1 ? IoOp::Fsync
+                                     : IoOp::Rename;
+        EXPECT_EQ(a.decide(op), b.decide(op)) << "op " << i;
+    }
+    EXPECT_GT(a.stats().injected(), 0u);
+}
+
+TEST(IoFaultInjectorTest, RateOneAlwaysFaultsRateZeroNever)
+{
+    IoFaultConfig always;
+    always.eio_rate = 1.0;
+    always.fsync_rate = 1.0;
+    always.torn_rate = 1.0;
+    IoFaultInjector inj(always);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(inj.decide(IoOp::Write), IoFaultKind::Eio);
+        EXPECT_EQ(inj.decide(IoOp::Fsync), IoFaultKind::FsyncFail);
+        EXPECT_EQ(inj.decide(IoOp::Rename), IoFaultKind::TornRename);
+    }
+    IoFaultInjector clean((IoFaultConfig()));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(clean.decide(IoOp::Write), IoFaultKind::None);
+        EXPECT_EQ(clean.decide(IoOp::Fsync), IoFaultKind::None);
+        EXPECT_EQ(clean.decide(IoOp::Rename), IoFaultKind::None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend: injected failures look exactly like real ones.
+
+TEST(FileBackendTest, InjectedWriteFailuresSetErrnoAndLandNothing)
+{
+    const std::string path = tempPath("backend_eio.bin");
+    ScopedFaults faults(scheduleOnly(
+        {{IoFaultKind::Eio, 1}, {IoFaultKind::Enospc, 2}}));
+    FileBackend &be = FileBackend::instance();
+
+    std::FILE *f = be.open(path, "wb");
+    ASSERT_NE(f, nullptr);
+    errno = 0;
+    EXPECT_FALSE(be.write(f, "abcd", 4));
+    EXPECT_EQ(errno, EIO);
+    errno = 0;
+    EXPECT_FALSE(be.write(f, "abcd", 4));
+    EXPECT_EQ(errno, ENOSPC);
+    EXPECT_TRUE(be.write(f, "abcd", 4)); // write #3: clean
+    EXPECT_TRUE(be.close(f));
+    EXPECT_EQ(fileText(path), "abcd"); // the failed writes landed nothing
+    std::remove(path.c_str());
+}
+
+TEST(FileBackendTest, ShortWriteLandsAPrefixThenFails)
+{
+    const std::string path = tempPath("backend_short.bin");
+    ScopedFaults faults(scheduleOnly({{IoFaultKind::ShortWrite, 1}}));
+    FileBackend &be = FileBackend::instance();
+
+    std::FILE *f = be.open(path, "wb");
+    ASSERT_NE(f, nullptr);
+    errno = 0;
+    EXPECT_FALSE(be.write(f, "0123456789", 10));
+    EXPECT_EQ(errno, EIO);
+    EXPECT_TRUE(be.close(f));
+    EXPECT_EQ(fileText(path), "01234"); // exactly the landed prefix
+    std::remove(path.c_str());
+}
+
+TEST(FileBackendTest, TornRenameLeavesTruncatedDestinationNoSource)
+{
+    const std::string src = tempPath("backend_torn_src.bin");
+    const std::string dst = tempPath("backend_torn_dst.bin");
+    {
+        std::FILE *f = std::fopen(src.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite("0123456789", 1, 10, f);
+        std::fclose(f);
+    }
+    ScopedFaults faults(scheduleOnly({{IoFaultKind::TornRename, 1}}));
+    FileBackend &be = FileBackend::instance();
+    errno = 0;
+    EXPECT_FALSE(be.rename(src, dst));
+    EXPECT_EQ(errno, EIO);
+    EXPECT_FALSE(be.exists(src)) << "source must be gone";
+    EXPECT_EQ(fileText(dst), "01234") << "destination must be truncated";
+    std::remove(dst.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// atomicWriteFile: the retried whole-commit makes final bytes
+// independent of which attempts faulted.
+
+TEST(AtomicWrite, RetriesThroughAnOpeningFaultStorm)
+{
+    const std::string path = tempPath("atomic_retry.bin");
+    // The first two commit attempts die (a write fault, then a torn
+    // commit rename); the third lands clean.
+    ScopedFaults faults(scheduleOnly(
+        {{IoFaultKind::Eio, 1}, {IoFaultKind::TornRename, 1}}));
+    atomicWriteFile(path, "payload", 7, {6, false, false});
+    EXPECT_EQ(fileText(path), "payload");
+    EXPECT_GE(faults.injector().stats().injected(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, ExhaustedAttemptsThrowTypedIo)
+{
+    const std::string path = tempPath("atomic_dead.bin");
+    IoFaultConfig cfg;
+    cfg.eio_rate = 1.0; // every write fails, forever
+    ScopedFaults faults(cfg);
+    try {
+        atomicWriteFile(path, "payload", 7, {3, false, false});
+        FAIL() << "commit succeeded on a dead disk";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+        EXPECT_NE(std::string(e.what()).find("3 attempts"),
+                  std::string::npos);
+    }
+    EXPECT_FALSE(FileBackend::instance().exists(path));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, TornCommitRenameNeverClobbersTheRotatedGeneration)
+{
+    const std::string path = tempPath("atomic_gen.bin");
+    const std::string prev = path + kPreviousGenerationSuffix;
+    atomicWriteFile(path, "generation one", 14, {6, true, false});
+
+    // The commit rename of attempt #1 is the SECOND rename in the
+    // commit (rotation is the first); tearing it must not make a retry
+    // re-rotate the torn destination over the good .prev.
+    ScopedFaults faults(scheduleOnly({{IoFaultKind::TornRename, 2}}));
+    atomicWriteFile(path, "generation two", 14, {6, true, false});
+    EXPECT_EQ(fileText(path), "generation two");
+    EXPECT_EQ(fileText(prev), "generation one");
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+}
+
+TEST(AtomicWrite, FsyncFailuresRecommitDurably)
+{
+    const std::string path = tempPath("atomic_fsync.bin");
+    // durable=true adjudicates the file fsync and the parent-directory
+    // fsync; fail the first three fsyncs and the commit must still land.
+    ScopedFaults faults(scheduleOnly({{IoFaultKind::FsyncFail, 1},
+                                      {IoFaultKind::FsyncFail, 2},
+                                      {IoFaultKind::FsyncFail, 3}}));
+    atomicWriteFile(path, "durable", 7, {6, false, true});
+    EXPECT_EQ(fileText(path), "durable");
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Writers built on the backend.
+
+TEST(IoFaultWriters, CsvWriterCommitsIdenticalBytesUnderAStorm)
+{
+    const std::string clean_path = tempPath("csv_clean.csv");
+    {
+        CsvWriter w(clean_path, {"a", "b"});
+        w.row({1.0, 2.0});
+        w.row({3.0, 4.0});
+        w.close();
+    }
+    const std::string expected = fileText(clean_path);
+    std::remove(clean_path.c_str());
+
+    const std::string path = tempPath("csv_storm.csv");
+    IoFaultConfig cfg;
+    cfg.seed = 1234;
+    cfg.eio_rate = 0.2;
+    cfg.short_rate = 0.1;
+    cfg.torn_rate = 0.1;
+    ScopedFaults faults(cfg);
+    {
+        CsvWriter w(path, {"a", "b"});
+        w.row({1.0, 2.0});
+        w.row({3.0, 4.0});
+        w.close(); // single atomic commit, retried under the storm
+    }
+    EXPECT_EQ(fileText(path), expected);
+    std::remove(path.c_str());
+}
+
+TEST(IoFaultWriters, JsonlSinkSelfDisablesAndCountsDrops)
+{
+    const std::string path = tempPath("sink.jsonl");
+    ScopedFaults faults(scheduleOnly({{IoFaultKind::Eio, 2}}));
+    JsonlFileSink sink(path);
+    EXPECT_FALSE(sink.disabled());
+    sink.writeLine("{\"n\":1}"); // write #1: lands
+    sink.writeLine("{\"n\":2}"); // write #2: faulted -> self-disable
+    sink.writeLine("{\"n\":3}"); // dropped silently
+    sink.writeLine("{\"n\":4}"); // dropped silently
+    EXPECT_TRUE(sink.disabled());
+    EXPECT_EQ(sink.droppedLines(), 3u);
+    try {
+        sink.close();
+        FAIL() << "close() must report the lost lines";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+    }
+    EXPECT_EQ(fileText(path), "{\"n\":1}\n") << "only the landed line";
+    std::remove(path.c_str());
+}
+
+TEST(IoFaultWriters, InstallFromCliInstallsAndValidates)
+{
+    {
+        const char *argv[] = {"prog", "--io-faults=eio=0.5,seed=3"};
+        const CommandLine cli(2, const_cast<char **>(argv));
+        EXPECT_TRUE(installIoFaultsFromCli(cli));
+        IoFaultInjector *inj = FileBackend::instance().injector();
+        ASSERT_NE(inj, nullptr);
+        EXPECT_DOUBLE_EQ(inj->config().eio_rate, 0.5);
+        EXPECT_EQ(inj->config().seed, 3u);
+        clearProcessIoFaults();
+        EXPECT_EQ(FileBackend::instance().injector(), nullptr);
+    }
+    {
+        const char *argv[] = {"prog"};
+        const CommandLine cli(1, const_cast<char **>(argv));
+        EXPECT_FALSE(installIoFaultsFromCli(cli));
+    }
+    {
+        const char *argv[] = {"prog", "--io-faults=eio=2.0"};
+        const CommandLine cli(2, const_cast<char **>(argv));
+        EXPECT_THROW(installIoFaultsFromCli(cli), Exception);
+        EXPECT_EQ(FileBackend::instance().injector(), nullptr);
+    }
+}
+
+} // namespace
+} // namespace mltc
