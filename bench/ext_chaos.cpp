@@ -20,6 +20,12 @@
  * replayed exactly. Exit 0 = bit-identical, 1 = divergence or a run
  * that could not finish.
  *
+ * Streams mode also takes --fail-at-round R (seed a deterministic
+ * tenant quarantine) and --flight-out PREFIX (attach a flight recorder
+ * for the storm run); together they prove a quarantine under the full
+ * storm still lands a `PREFIX.flight/` bundle — and that attaching the
+ * recorder never changes an output byte.
+ *
  * The SIGKILLs are real: each crash epoch forks, the child raises
  * SIGKILL from inside the checkpoint path (no destructors, no atexit),
  * and the next epoch resumes from the surviving checkpoint generation.
@@ -30,10 +36,12 @@
 #include <unistd.h>
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/multi_stream_runner.hpp"
 #include "util/error.hpp"
 #include "util/io.hpp"
@@ -259,9 +267,15 @@ runStreams(const MultiStreamConfig &ms, const std::string &csv_prefix,
 
 int
 chaosStreams(uint64_t seed, unsigned streams, int rounds,
-             const IoFaultConfig &storm)
+             const IoFaultConfig &storm, int fail_at_round,
+             const std::string &flight_out)
 {
-    const MultiStreamConfig ms = streamsConfig(streams, rounds);
+    MultiStreamConfig ms = streamsConfig(streams, rounds);
+    if (fail_at_round >= 0)
+        // Seeded quarantine: a deterministic tenant death both the
+        // reference and the storm run replay identically — and the
+        // moment the flight recorder (when attached) dumps its bundle.
+        ms.streams[(seed / 7) % streams].fail_at_round = fail_at_round;
     const std::string ref_prefix = csvPath("ext_chaos_streams_ref");
     const std::string chaos_prefix = csvPath("ext_chaos_streams");
     const std::string ckpt = csvPath("ext_chaos_streams.ckpt.snap");
@@ -278,6 +292,18 @@ chaosStreams(uint64_t seed, unsigned streams, int rounds,
 
     std::printf("-- chaos %u-stream run (storm + SIGKILL epochs) --\n",
                 streams);
+    // The flight recorder rides through the storm: every SIGKILL epoch
+    // inherits it across fork(), and a quarantine inside any epoch must
+    // land a bundle through atomicWriteFile despite the injected
+    // faults. Observation only — the CSV byte-identity check below
+    // proves it never perturbs the run.
+    std::unique_ptr<FlightRecorder> flight;
+    if (!flight_out.empty()) {
+        FlightRecorder::Config fc;
+        fc.prefix = flight_out;
+        flight = std::make_unique<FlightRecorder>(fc);
+        installFlightRecorder(flight.get());
+    }
     installProcessIoFaults(storm);
     ResilienceConfig base;
     base.checkpoint_path = ckpt;
@@ -288,6 +314,8 @@ chaosStreams(uint64_t seed, unsigned streams, int rounds,
             return runStreams(ms, chaos_prefix, rc);
         },
         base);
+    if (flight)
+        installFlightRecorder(nullptr);
     if (!done) {
         std::fprintf(stderr, "chaos: storm run never completed\n");
         return 1;
@@ -298,6 +326,20 @@ chaosStreams(uint64_t seed, unsigned streams, int rounds,
                         chaos_prefix + ".stream" + std::to_string(i) +
                             ".csv") &&
              ok;
+    if (!flight_out.empty() && fail_at_round >= 0) {
+        const std::string bundle = flight_out + ".flight";
+        if (fileText(bundle + "/trace.json").empty() ||
+            fileText(bundle + "/metrics.jsonl").empty()) {
+            std::fprintf(stderr,
+                         "chaos: FAIL no flight bundle at %s despite a "
+                         "seeded quarantine\n",
+                         bundle.c_str());
+            ok = false;
+        } else {
+            std::printf("chaos: flight bundle landed at %s\n",
+                        bundle.c_str());
+        }
+    }
     return ok ? 0 : 1;
 }
 
@@ -339,9 +381,12 @@ main(int argc, char **argv)
         storm.schedule.push_back({IoFaultKind::FsyncFail, 2});
     }
 
-    const int rcode = streams > 0
-                          ? chaosStreams(seed, streams, n_frames, storm)
-                          : chaosSingle(seed, n_frames, storm);
+    const int rcode =
+        streams > 0
+            ? chaosStreams(seed, streams, n_frames, storm,
+                           static_cast<int>(cli.getInt("fail-at-round", -1)),
+                           cli.getString("flight-out", ""))
+            : chaosSingle(seed, n_frames, storm);
     if (IoFaultInjector *inj = FileBackend::instance().injector()) {
         const IoFaultStats &s = inj->stats();
         std::printf("chaos: injected %llu I/O faults (%llu eio, %llu "

@@ -14,12 +14,17 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cache_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry_server.hpp"
 #include "raster/rasterizer.hpp"
 #include "texture/procedural.hpp"
 #include "trace/flat_set.hpp"
@@ -99,6 +104,52 @@ BM_CacheSimAccess(benchmark::State &state)
     runCacheSimAccess(state, CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
 }
 BENCHMARK(BM_CacheSimAccess);
+
+/**
+ * BM_CacheSimAccess with the live telemetry plane attached: an enabled
+ * MetricsRegistry receiving frame-boundary update batches under the
+ * scrape guard, while a background thread renders the /metrics
+ * Prometheus exposition at 10 Hz — the contention pattern of a real
+ * scraped run. The perf gate holds this within 5% of the plain
+ * BM_CacheSimAccess (scripts/check_perf_regression.py --telemetry).
+ */
+void
+BM_CacheSimAccessTelemetry(benchmark::State &state)
+{
+    TextureManager &tm = benchTextures();
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
+    sim.bindTexture(1);
+    MetricsRegistry registry(true);
+    CounterHandle accesses =
+        registry.counter("accesses", {{"stream", "0"}});
+    GaugeHandle bias = registry.gauge("lod_bias", {{"stream", "0"}});
+    std::atomic<bool> stop{false};
+    std::thread scraper([&registry, &stop]() {
+        while (!stop.load(std::memory_order_relaxed)) {
+            benchmark::DoNotOptimize(renderExposition(registry));
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+    });
+    uint32_t x = 0, y = 0;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        x = (x + 1) & 255;
+        if (x == 0)
+            y = (y + 1) & 255;
+        sim.access(x, y, 0);
+        // A "frame" every 64K accesses: batch the registry update under
+        // updateGuard exactly as the runners do at round boundaries.
+        if ((++n & 0xffff) == 0) {
+            auto guard = registry.updateGuard();
+            accesses.set(n);
+            bias.set(static_cast<double>(y));
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccessTelemetry);
 
 void
 BM_CacheSimAccessPull(benchmark::State &state)

@@ -30,6 +30,8 @@
  *                            --frames)
  *   --repartition-every=N    utility-quota retarget interval
  *   --fail-stream=I --fail-at-round=R   quarantine-injection test hook
+ *   --round-sleep-ms=T       test hook: sleep T ms per round so an
+ *                            external scraper lands mid-run
  *   --csv-prefix=BASE        write BASE.streamI.csv per-round rows
  * plus the shared --jobs / --checkpoint / --resume / --audit /
  * --metrics-out / --trace-out families, which keep their meaning.
@@ -67,6 +69,15 @@
  *   --mrc-out=BASE      write BASE.csv / BASE.ws.csv / BASE.json
  *   --heatmap-out=BASE  write BASE.json + PGM miss-density maps
  *   --mrc-sample-rate=R SHARDS-style spatial sampling (default 1.0)
+ *
+ * Live telemetry plane (docs/observability.md):
+ *   --telemetry-port=P / --telemetry-port-file=F   /metrics (Prometheus
+ *                       text), /healthz and /runz on 127.0.0.1
+ *   --slo=RULES / --slo-out=PATH   per-stream burn-rate SLO alerts
+ *                       (multi-tenant mode), e.g.
+ *                       --slo "stream.miss_rate.l2<0.15@30f"
+ *   --flight-out=PREFIX always-on flight recorder; dumps
+ *                       PREFIX.flight/ on quarantine/watchdog/audit/IO
  */
 #include <cstdio>
 #include <fstream>
@@ -176,6 +187,8 @@ multiStreamFromCli(const CommandLine &cli)
     ms.l2_bytes = cli.getUnsigned("l2-kb", 1024) << 10;
     ms.repartition_every = static_cast<uint32_t>(
         cli.getUnsigned("repartition-every", 8));
+    ms.round_sleep_ms = static_cast<uint32_t>(
+        cli.getUnsigned("round-sleep-ms", 0));
     ms.jobs = jobsFromCli(cli);
 
     // Stream composition: explicit comma list, a single name for all
@@ -412,6 +425,10 @@ main(int argc, char **argv)
     // depend on the pool's schedule.
     std::vector<std::unique_ptr<LegState>> legs(candidates.size());
     SweepExecutor executor(jobs);
+    if (obs.telemetry()) {
+        obs.telemetry()->publishHealth("{\"status\":\"serving\"}");
+        executor.setTelemetry(obs.telemetry());
+    }
     for (size_t i = 0; i < candidates.size(); ++i) {
         executor.addLeg(candidates[i].label, [&, i](LegContext &ctx) {
             auto leg = std::make_unique<LegState>();
@@ -422,6 +439,14 @@ main(int argc, char **argv)
             if (!obs_cfg.metrics_path.empty()) {
                 ObsConfig leg_obs = obs_cfg;
                 leg_obs.trace_path.clear();
+                // The telemetry plane is process-wide: the shared obs
+                // owns the HTTP server and the flight recorder; a leg
+                // must not bind a second port or steal the hooks.
+                leg_obs.telemetry = false;
+                leg_obs.telemetry_port_file.clear();
+                leg_obs.slo_spec.clear();
+                leg_obs.slo_out.clear();
+                leg_obs.flight_out.clear();
                 leg_obs.metrics_path += ".leg" + std::to_string(i);
                 leg->obs = std::make_unique<Observability>(
                     leg_obs, /*install_process_hooks=*/false);
@@ -461,6 +486,11 @@ main(int argc, char **argv)
         });
     }
     const SweepManifest sweep_manifest = executor.run();
+    if (obs.telemetry())
+        obs.telemetry()->publishHealth(
+            sweep_manifest.allCompleted()
+                ? "{\"status\":\"completed\"}"
+                : "{\"status\":\"degraded\"}");
     if (!resilience.checkpoint_path.empty())
         sweep_manifest.writeCsv(resilience.checkpoint_path + ".manifest");
 

@@ -11,6 +11,12 @@
  *        [--audit off|cheap|full] [--checkpoint base [--resume]]
  *        [--mrc [--mrc-out BASE] [--heatmap-out BASE]
  *         [--mrc-sample-rate R]]
+ *        [--telemetry-port P [--telemetry-port-file F]]
+ *        [--trace-out T.json] [--flight-out PREFIX]
+ *
+ * With --telemetry-port the whole record+replay pipeline serves live
+ * /metrics, /healthz and /runz (per-leg sweep status) on 127.0.0.1 —
+ * scraping never perturbs the recorded or replayed bytes.
  *
  * Recording is a single pass; the replays are independent legs run on
  * the work-stealing pool (--jobs, default MLTC_JOBS env or hardware
@@ -41,6 +47,7 @@
 
 #include "core/cache_sim.hpp"
 #include "host/host_cli.hpp"
+#include "obs/observability.hpp"
 #include "obs/reuse_profiler.hpp"
 #include "sim/animation_driver.hpp"
 #include "sim/parallel_runner.hpp"
@@ -70,8 +77,26 @@ main(int argc, char **argv)
     const ResilienceConfig resilience = resilienceFromCli(cli);
     const unsigned jobs = jobsFromCli(cli);
 
+    // Telemetry plane: one process-wide bundle (HTTP server, shared
+    // tracer, flight recorder). Per-leg metrics JSONL is not merged
+    // here, so keep the registry driven by the sweep status only.
+    ObsConfig obs_cfg;
+    std::unique_ptr<Observability> obs;
+    try {
+        obs_cfg = obsFromCli(cli);
+        obs_cfg.metrics_path.clear();
+        if (obs_cfg.anyEnabled())
+            obs = std::make_unique<Observability>(obs_cfg);
+    } catch (const Exception &e) {
+        std::fprintf(stderr, "%s\n", e.error().describe().c_str());
+        return 1;
+    }
+
     // --- Record ---------------------------------------------------------
     {
+        if (obs && obs->telemetry())
+            obs->telemetry()->publishHealth(
+                "{\"status\":\"recording\"}");
         Workload wl = buildWorkload(name);
         std::printf("recording %d frames of '%s' to %s...\n", frames,
                     name.c_str(), path.c_str());
@@ -114,6 +139,10 @@ main(int argc, char **argv)
     // per-leg stdout (snapshot notes, MRC ascii) flushes in leg order.
     std::vector<std::vector<std::string>> rows(n);
     SweepExecutor sweep(jobs);
+    if (obs && obs->telemetry()) {
+        obs->telemetry()->publishHealth("{\"status\":\"replaying\"}");
+        sweep.setTelemetry(obs->telemetry());
+    }
     for (size_t i = 0; i < n; ++i) {
         const Candidate &cand = candidates[i];
         sweep.addLeg(cand.label, [&, i, cand](LegContext &ctx) {
@@ -203,6 +232,19 @@ main(int argc, char **argv)
     if (!cli.getFlag("keep")) {
         std::remove(path.c_str());
         std::printf("(trace deleted; pass --keep to keep it)\n");
+    }
+    if (obs) {
+        if (obs->telemetry())
+            obs->telemetry()->publishHealth(
+                ok ? "{\"status\":\"completed\"}"
+                   : "{\"status\":\"degraded\"}");
+        try {
+            obs->close();
+        } catch (const Exception &e) {
+            std::fprintf(stderr, "observability output failed: %s\n",
+                         e.error().describe().c_str());
+            return 1;
+        }
     }
     return ok ? 0 : 1;
 }

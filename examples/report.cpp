@@ -14,6 +14,9 @@
  *   report --streams run.jsonl         # per-stream multi-tenant table
  *   report --mrc run_mrc.csv           # ASCII miss-ratio curve plot
  *   report --heatmap hm.json [--top-blocks N]   # hottest L2 blocks
+ *   report compare A.jsonl B.jsonl [--threshold R]
+ *       # differential summary of two metrics files; exits 3 when any
+ *       # series' relative delta exceeds R (CI regression gate)
  */
 #include <algorithm>
 #include <cmath>
@@ -69,33 +72,62 @@ summarizeStreams(const std::string &path)
         return 1;
     }
 
-    // Metric keys carry the tenant as a label: "l1.miss{stream=3}".
-    const auto splitKey = [](const std::string &key, std::string &base,
+    // Metric keys carry the tenant as a label ("l1.miss{stream=3}");
+    // SLO attribution counters carry two ("slo.violation_rounds
+    // {cause=thrash,stream=3}", labels in sorted order).
+    const auto splitLabels =
+        [](const std::string &key, std::string &base,
+           std::map<std::string, std::string> &labels) {
+            const size_t brace = key.find('{');
+            if (brace == std::string::npos || key.back() != '}')
+                return false;
+            base = key.substr(0, brace);
+            labels.clear();
+            const std::string body =
+                key.substr(brace + 1, key.size() - brace - 2);
+            size_t start = 0;
+            while (start < body.size()) {
+                size_t comma = body.find(',', start);
+                if (comma == std::string::npos)
+                    comma = body.size();
+                const std::string pair = body.substr(start, comma - start);
+                const size_t eq = pair.find('=');
+                if (eq == std::string::npos || eq == 0)
+                    return false;
+                labels[pair.substr(0, eq)] = pair.substr(eq + 1);
+                start = comma + 1;
+            }
+            return !labels.empty();
+        };
+    const auto streamId = [](const std::map<std::string, std::string> &l,
                              int &stream) {
-        const size_t brace = key.find("{stream=");
-        if (brace == std::string::npos || key.back() != '}')
+        const auto it = l.find("stream");
+        if (it == l.end() || it->second.empty() ||
+            it->second.find_first_not_of("0123456789") != std::string::npos)
             return false;
-        base = key.substr(0, brace);
-        const std::string id =
-            key.substr(brace + 8, key.size() - brace - 9);
-        if (id.empty() ||
-            id.find_first_not_of("0123456789") != std::string::npos)
-            return false;
-        stream = std::stoi(id);
+        stream = std::stoi(it->second);
         return true;
     };
 
     std::map<int, std::map<std::string, double>> per_stream;
+    std::map<int, std::map<std::string, double>> violations;
     for (const auto &[key, value] : s.final_counters) {
         std::string base;
+        std::map<std::string, std::string> labels;
         int stream = 0;
-        if (splitKey(key, base, stream))
+        if (!splitLabels(key, base, labels) || !streamId(labels, stream))
+            continue;
+        if (base == "slo.violation_rounds" && labels.count("cause"))
+            violations[stream][labels.at("cause")] += value;
+        else if (labels.size() == 1)
             per_stream[stream][base] = value;
     }
     for (const auto &[key, series] : s.gauges) {
         std::string base;
+        std::map<std::string, std::string> labels;
         int stream = 0;
-        if (splitKey(key, base, stream))
+        if (splitLabels(key, base, labels) && streamId(labels, stream) &&
+            labels.size() == 1)
             per_stream[stream]["max:" + base] = series.max;
     }
     if (per_stream.empty()) {
@@ -107,7 +139,8 @@ summarizeStreams(const std::string &path)
     std::printf("%s: %zu tenant stream(s) over %zu frame rows\n",
                 path.c_str(), per_stream.size(), s.frame_rows);
     TextTable out({"stream", "accesses", "L1 miss", "L2 miss", "host MB",
-                   "peak bias", "noisy", "quarantined"});
+                   "peak bias", "noisy", "quarantined", "SLO rounds",
+                   "SLO cause"});
     for (const auto &[stream, m] : per_stream) {
         const auto get = [&m](const char *key) {
             const auto it = m.find(key);
@@ -118,6 +151,21 @@ summarizeStreams(const std::string &path)
         const double l2_lookups = get("l2.full_hit") +
                                   get("l2.partial_hit") +
                                   get("l2.full_miss");
+        // SLO attribution: total alerting rounds and the dominant cause
+        // (thrash = a noisy neighbour, overload = governor bias, other).
+        double slo_rounds = 0.0;
+        std::string cause = "-";
+        double cause_rounds = 0.0;
+        const auto vit = violations.find(stream);
+        if (vit != violations.end()) {
+            for (const auto &[name, rounds] : vit->second) {
+                slo_rounds += rounds;
+                if (rounds > cause_rounds) {
+                    cause_rounds = rounds;
+                    cause = name;
+                }
+            }
+        }
         out.addRow({std::to_string(stream),
                     formatDouble(accesses, 0),
                     accesses == 0.0 ? "-"
@@ -128,9 +176,43 @@ summarizeStreams(const std::string &path)
                     formatDouble(get("host.bytes") / (1024.0 * 1024.0), 2),
                     formatDouble(get("max:lod_bias"), 0),
                     get("max:noisy") > 0.0 ? "yes" : "no",
-                    get("quarantined") > 0.0 ? "yes" : "no"});
+                    get("quarantined") > 0.0 ? "yes" : "no",
+                    slo_rounds == 0.0 ? "-" : formatDouble(slo_rounds, 0),
+                    cause});
     }
     out.print();
+    return 0;
+}
+
+/**
+ * `report compare A B`: differential summary of two metrics JSONL
+ * files (counter totals and gauge means). With --threshold R, exits 3
+ * when any series' symmetric relative delta exceeds R — the scriptable
+ * form of "did this change move the numbers?".
+ */
+int
+compareMetrics(const std::string &path_a, const std::string &path_b,
+               double threshold)
+{
+    using namespace mltc;
+    MetricsSummary a, b;
+    try {
+        a = summarizeMetricsFile(path_a);
+        b = summarizeMetricsFile(path_b);
+    } catch (const Exception &e) {
+        std::printf("error: %s\n", e.error().describe().c_str());
+        return 1;
+    }
+    const MetricsDiff d = diffMetricsSummaries(a, b);
+    std::printf("A = %s (%zu frame rows), B = %s (%zu frame rows)\n%s",
+                path_a.c_str(), a.frame_rows, path_b.c_str(), b.frame_rows,
+                renderMetricsDiff(d).c_str());
+    if (threshold >= 0.0 && d.max_rel > threshold) {
+        std::printf("FAIL: max relative delta %s exceeds threshold %s\n",
+                    formatPercent(d.max_rel, 2).c_str(),
+                    formatPercent(threshold, 2).c_str());
+        return 3;
+    }
     return 0;
 }
 
@@ -276,6 +358,15 @@ main(int argc, char **argv)
 {
     using namespace mltc;
     CommandLine cli(argc, argv);
+    if (!cli.positional().empty() && cli.positional()[0] == "compare") {
+        if (cli.positional().size() < 3) {
+            std::printf("usage: report compare A.jsonl B.jsonl "
+                        "[--threshold R]\n");
+            return 1;
+        }
+        return compareMetrics(cli.positional()[1], cli.positional()[2],
+                              cli.getDouble("threshold", -1.0));
+    }
     if (cli.has("metrics"))
         return summarizeMetrics(cli.getString("metrics", ""));
     if (cli.has("streams"))
@@ -291,7 +382,8 @@ main(int argc, char **argv)
                     "report --metrics <run.jsonl> | "
                     "report --streams <run.jsonl> | "
                     "report --mrc <mrc.csv> | "
-                    "report --heatmap <hm.json> [--top-blocks N]\n");
+                    "report --heatmap <hm.json> [--top-blocks N] | "
+                    "report compare <A.jsonl> <B.jsonl> [--threshold R]\n");
         return 1;
     }
 

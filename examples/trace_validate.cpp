@@ -10,7 +10,10 @@
  *  - duration events nest: every E matches the innermost open B on its
  *    (pid, tid), none are left open, and no E closes an empty stack;
  *  - timestamps are monotonically non-decreasing per thread;
- *  - counter (C) and instant (i) events carry their required fields.
+ *  - counter (C) and instant (i) events carry their required fields;
+ *  - telemetry instants are well-formed: `flight.dumped` names its
+ *    trigger in args.reason, and `slo.*` transitions carry either the
+ *    live-tracer rule/stream strings or the flight-ring numeric seq.
  *
  * Exits 0 and prints event counts when the trace is valid; exits 1
  * naming the first violated invariant otherwise. Used by the
@@ -118,6 +121,33 @@ main(int argc, char **argv)
         } else if (phase == "i") {
             if (!name || !name->isString())
                 return fail("i event without a string 'name'");
+            const std::string &n = name->asString();
+            const JsonValue *args = ev.find("args");
+            const auto string_arg = [&args](const char *key) {
+                const JsonValue *v = args ? args->find(key) : nullptr;
+                return v != nullptr && v->isString();
+            };
+            if (n == "flight.dumped") {
+                // Flight-bundle commit record: must say why it dumped.
+                if (!args || !args->isObject() || !string_arg("reason"))
+                    return fail("flight.dumped without string args.reason");
+            } else if (n.rfind("slo.", 0) == 0) {
+                // SLO transitions come in two shapes: live-tracer
+                // instants carry the rule spec and entity as strings;
+                // flight-ring replays carry the numeric value + ring
+                // sequence instead (recognisable by args.seq).
+                if (!args || !args->isObject())
+                    return fail("slo.* instant without an args object");
+                const JsonValue *seq = args->find("seq");
+                if (seq) {
+                    if (!seq->isNumber())
+                        return fail("slo.* flight instant with "
+                                    "non-numeric args.seq");
+                } else if (!string_arg("rule") || !string_arg("stream")) {
+                    return fail("slo.* instant without string args.rule "
+                                "and args.stream");
+                }
+            }
             ++instants;
         } else {
             return fail("unknown phase '" + phase + "'");

@@ -17,6 +17,12 @@ BM_MultiStreamInterference) are mandatory —
 a candidate that lacks them is unusable, not merely incomplete, since
 they are the benchmarks this gate exists to protect.
 
+A second, machine-independent gate runs inside the candidate file
+alone: BM_CacheSimAccessTelemetry (hot path with a live registry and a
+10 Hz exposition scraper) must stay within --telemetry-threshold
+(default 5%) of BM_CacheSimAccess measured in the same run — the
+telemetry plane is contractually almost-free on the hot path.
+
 Usage: check_perf_regression.py BASELINE.json CANDIDATE.json [--threshold 0.15]
 Exit status: 0 = within budget, 1 = regression, 2 = unusable input.
 """
@@ -67,6 +73,10 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed normalized slowdown (default 0.15 = 15%%)")
+    ap.add_argument("--telemetry-threshold", type=float, default=0.05,
+                    help="allowed hot-path overhead of the live telemetry "
+                         "plane, measured within the candidate run "
+                         "(default 0.05 = 5%%)")
     args = ap.parse_args()
 
     base = load_ns_per_op(args.baseline)
@@ -101,6 +111,23 @@ def main():
             flag = "  REGRESSION"
         print(f"{name:<32} {base[name]:>10.2f} {cand[name]:>10.2f} "
               f"{norm:>9.3f}x{flag}")
+
+    # Telemetry-overhead gate: same machine, same run, no normalization
+    # needed. Only meaningful once the candidate carries both rows.
+    plain = cand.get("BM_CacheSimAccess")
+    live = cand.get("BM_CacheSimAccessTelemetry")
+    if plain and live:
+        overhead = live / plain - 1.0
+        print(f"telemetry-plane hot-path overhead: {overhead:+.1%} "
+              f"(budget {args.telemetry_threshold:.0%})")
+        if overhead > args.telemetry_threshold:
+            print(f"FAIL: live telemetry costs {overhead:.1%} on the hot "
+                  f"path (BM_CacheSimAccessTelemetry vs BM_CacheSimAccess)",
+                  file=sys.stderr)
+            sys.exit(1)
+    elif live is None and plain:
+        print("warning: candidate lacks BM_CacheSimAccessTelemetry; "
+              "telemetry-overhead gate skipped", file=sys.stderr)
 
     if failures:
         worst = max(failures, key=lambda f: f[1])

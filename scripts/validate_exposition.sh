@@ -1,0 +1,170 @@
+#!/usr/bin/env sh
+# End-to-end telemetry-plane proof, in four stages:
+#
+#  1. Perturbation freedom: a 4-stream / 8-job cache_explorer run with
+#     --telemetry-port enabled and live mid-run scrapes of /metrics,
+#     /healthz and /runz must leave stdout, every per-stream CSV and
+#     the merged metrics JSONL byte-identical to the same run with the
+#     telemetry plane disabled.
+#  2. Exposition grammar: the scraped /metrics body must parse as
+#     Prometheus text format 0.0.4 — '# TYPE mltc_*' headers and
+#     name{labels} value sample lines only, with per-stream labels.
+#  3. SLO smoke: an impossible objective (miss rate below zero) must
+#     fire a burn-rate alert into --slo-out as a 'fired' JSONL row
+#     naming the rule, and surface slo.* series in the metrics stream.
+#  4. Flight recorder: a seeded stream quarantine inside the ext_chaos
+#     harness (I/O storm + SIGKILL epochs) must dump a flight bundle
+#     whose trace passes the Chrome trace-event schema check and whose
+#     metrics snapshot is summarisable by report --metrics.
+#
+# Usage: scripts/validate_exposition.sh <cache_explorer> <ext_chaos> \
+#            <trace_validate> <report>
+# Registered as the ctest case `telemetry_exposition_script`.
+set -eu
+
+# The chaos stage below changes directory (ext_chaos drops its CSVs
+# and checkpoints in the cwd), so anchor relative binary paths first.
+abspath() {
+    case "$1" in
+    /*) printf '%s\n' "$1" ;;
+    *) printf '%s/%s\n' "$PWD" "$1" ;;
+    esac
+}
+EXPLORER="$(abspath "$1")"
+CHAOS="$(abspath "$2")"
+VALIDATE="$(abspath "$3")"
+REPORT="$(abspath "$4")"
+FRAMES="${MLTC_FRAMES:-4}"
+ROUNDS=$((FRAMES * 3))
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mltc_expo.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# Fetch one HTTP path from the embedded server into a file. curl when
+# the host has it, python3 otherwise; both fail hard on a non-200.
+scrape() {
+    port="$1"; target="$2"; out="$3"
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 10 "http://127.0.0.1:$port$target" -o "$out"
+    else
+        python3 - "$port" "$target" "$out" <<'EOF'
+import sys, urllib.request
+port, target, out = sys.argv[1], sys.argv[2], sys.argv[3]
+with urllib.request.urlopen(
+        "http://127.0.0.1:%s%s" % (port, target), timeout=10) as r:
+    open(out, "wb").write(r.read())
+EOF
+    fi
+}
+
+SLO='stream.miss_rate.l2<0.95@2f'
+
+echo "== reference run (telemetry plane off) =="
+"$EXPLORER" --streams 4 --jobs 8 --rounds "$ROUNDS" --slo "$SLO" \
+    --csv-prefix "$WORK/ref" --metrics-out "$WORK/ref.jsonl" \
+    >"$WORK/ref.stdout"
+
+echo "== live run (telemetry plane on, scraped mid-run) =="
+# --round-sleep-ms holds each round open so the scrape provably lands
+# while streams are still being served, not after the run drained.
+"$EXPLORER" --streams 4 --jobs 8 --rounds "$ROUNDS" --slo "$SLO" \
+    --csv-prefix "$WORK/live" --metrics-out "$WORK/live.jsonl" \
+    --round-sleep-ms 250 \
+    --telemetry-port 0 --telemetry-port-file "$WORK/port" \
+    >"$WORK/live.stdout" &
+RUN_PID=$!
+
+PORT=""
+tries=0
+while [ "$tries" -lt 100 ]; do
+    if [ -s "$WORK/port" ]; then
+        PORT="$(cat "$WORK/port")"
+        break
+    fi
+    if ! kill -0 "$RUN_PID" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    tries=$((tries + 1))
+done
+if [ -z "$PORT" ]; then
+    wait "$RUN_PID" || true
+    echo "FAIL: telemetry port file never appeared"
+    exit 1
+fi
+
+# The registry publishes at round boundaries, so the very first scrape
+# can race an empty exposition; keep scraping until families appear.
+tries=0
+while :; do
+    scrape "$PORT" /metrics "$WORK/metrics.scrape"
+    if grep -q '^# TYPE mltc_' "$WORK/metrics.scrape"; then
+        break
+    fi
+    if [ "$tries" -ge 100 ] || ! kill -0 "$RUN_PID" 2>/dev/null; then
+        wait "$RUN_PID" || true
+        echo "FAIL: /metrics never exposed a metric family mid-run"
+        exit 1
+    fi
+    sleep 0.1
+    tries=$((tries + 1))
+done
+scrape "$PORT" /healthz "$WORK/healthz.scrape"
+scrape "$PORT" /runz "$WORK/runz.scrape"
+
+wait "$RUN_PID"
+
+echo "== output bytes are telemetry-invariant =="
+cmp "$WORK/ref.stdout" "$WORK/live.stdout"
+cmp "$WORK/ref.jsonl" "$WORK/live.jsonl"
+for i in 0 1 2 3; do
+    cmp "$WORK/ref.stream$i.csv" "$WORK/live.stream$i.csv"
+done
+
+echo "== exposition grammar =="
+if ! grep -q '^# TYPE mltc_' "$WORK/metrics.scrape"; then
+    echo "FAIL: scrape carries no '# TYPE mltc_*' family headers"
+    exit 1
+fi
+if ! grep -q 'stream="0"' "$WORK/metrics.scrape"; then
+    echo "FAIL: scrape carries no per-stream labelled series"
+    exit 1
+fi
+if grep -v '^#' "$WORK/metrics.scrape" |
+        grep -vE '^mltc_[A-Za-z0-9_:]+(\{[^}]*\})? [-+0-9.eEInfaN]+$' |
+        grep -q .; then
+    echo "FAIL: scrape lines outside the text exposition grammar:"
+    grep -v '^#' "$WORK/metrics.scrape" |
+        grep -vE '^mltc_[A-Za-z0-9_:]+(\{[^}]*\})? [-+0-9.eEInfaN]+$'
+    exit 1
+fi
+grep -q '"status"' "$WORK/healthz.scrape" || {
+    echo "FAIL: /healthz body carries no status"; exit 1; }
+grep -q '"streams"' "$WORK/runz.scrape" || {
+    echo "FAIL: /runz body carries no streams"; exit 1; }
+
+echo "== SLO burn-rate alert fires and is attributed =="
+"$EXPLORER" --streams 2 --rounds "$ROUNDS" \
+    --slo 'stream.miss_rate.l1<0@2f' --slo-out "$WORK/slo.jsonl" \
+    --metrics-out "$WORK/slo_metrics.jsonl" >/dev/null
+grep -q '"event":"fired"' "$WORK/slo.jsonl" || {
+    echo "FAIL: impossible SLO never fired"; exit 1; }
+grep -q '"rule":"stream.miss_rate.l1<0@2f"' "$WORK/slo.jsonl" || {
+    echo "FAIL: fired row does not name its rule"; exit 1; }
+grep -q '"slo.violation_rounds{cause=' "$WORK/slo_metrics.jsonl" || {
+    echo "FAIL: metrics stream carries no attributed violation rounds"
+    exit 1; }
+"$REPORT" --metrics "$WORK/slo_metrics.jsonl" >/dev/null
+"$REPORT" --streams "$WORK/slo_metrics.jsonl" >"$WORK/streams.txt"
+grep -q 'SLO rounds' "$WORK/streams.txt" || {
+    echo "FAIL: per-stream table lost its SLO columns"; exit 1; }
+
+echo "== flight bundle from a seeded quarantine under chaos =="
+(cd "$WORK" && "$CHAOS" --streams=4 --seed=7 --fail-at-round=1 \
+    --flight-out "$WORK/chaos" >/dev/null)
+BUNDLE="$WORK/chaos.flight"
+"$VALIDATE" "$BUNDLE/trace.json"
+grep -q '"flight.dumped"' "$BUNDLE/trace.json" || {
+    echo "FAIL: flight trace has no flight.dumped marker"; exit 1; }
+"$REPORT" --metrics "$BUNDLE/metrics.jsonl" >/dev/null
+
+echo "OK"

@@ -1,0 +1,263 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include <sys/stat.h>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace mltc {
+
+namespace {
+
+void
+copyTruncated(char *dst, size_t cap, const char *src)
+{
+    size_t i = 0;
+    for (; src && src[i] && i + 1 < cap; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(const Config &config)
+    : capacity_(config.capacity == 0 ? 1 : config.capacity),
+      prefix_(config.prefix), registry_(config.registry),
+      rings_(config.workers == 0 ? 1 : config.workers),
+      t0_(std::chrono::steady_clock::now())
+{
+    for (Ring &ring : rings_)
+        ring.slots = std::vector<Slot>(capacity_);
+}
+
+FlightRecorder::Ring &
+FlightRecorder::ringForThisThread()
+{
+    // One ring per recording thread while rings last; extra threads
+    // share rings round-robin (slot indices still interleave safely
+    // through the atomic head, and the seqlock publish keeps readers
+    // consistent).
+    thread_local const FlightRecorder *t_owner = nullptr;
+    thread_local uint32_t t_ring = 0;
+    if (t_owner != this) {
+        t_owner = this;
+        t_ring = next_ring_.fetch_add(1, std::memory_order_relaxed) %
+                 static_cast<uint32_t>(rings_.size());
+    }
+    return rings_[t_ring];
+}
+
+void
+FlightRecorder::record(const char *name, const char *cat, uint8_t kind,
+                       double value)
+{
+    Ring &ring = ringForThisThread();
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const uint64_t idx =
+        ring.head.fetch_add(1, std::memory_order_relaxed) % capacity_;
+    Slot &slot = ring.slots[idx];
+    slot.seq.store(0, std::memory_order_release);
+    FlightEvent &ev = slot.event;
+    ev.seq = seq;
+    ev.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - t0_)
+                   .count();
+    ev.kind = kind;
+    copyTruncated(ev.name, sizeof ev.name, name);
+    copyTruncated(ev.cat, sizeof ev.cat, cat);
+    ev.value = value;
+    slot.seq.store(seq, std::memory_order_release);
+    if (kind == FlightEvent::Frame)
+        last_frame_.store(static_cast<int64_t>(value),
+                          std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<FlightEvent> events;
+    for (const Ring &ring : rings_) {
+        for (const Slot &slot : ring.slots) {
+            const uint64_t before =
+                slot.seq.load(std::memory_order_acquire);
+            if (before == 0)
+                continue;
+            FlightEvent ev = slot.event;
+            if (slot.seq.load(std::memory_order_acquire) != before ||
+                ev.seq != before)
+                continue; // torn by a concurrent rewrite; skip
+            events.push_back(ev);
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const FlightEvent &a, const FlightEvent &b) {
+                  return a.seq < b.seq;
+              });
+    return events;
+}
+
+std::string
+FlightRecorder::dump(const std::string &reason)
+{
+    if (prefix_.empty())
+        return "";
+    try {
+        // Collect per-ring so each ring maps onto its own Chrome tid.
+        struct Tagged
+        {
+            uint32_t ring;
+            FlightEvent event;
+        };
+        std::vector<Tagged> events;
+        for (uint32_t w = 0; w < rings_.size(); ++w) {
+            for (const Slot &slot : rings_[w].slots) {
+                const uint64_t before =
+                    slot.seq.load(std::memory_order_acquire);
+                if (before == 0)
+                    continue;
+                FlightEvent ev = slot.event;
+                if (slot.seq.load(std::memory_order_acquire) != before ||
+                    ev.seq != before)
+                    continue;
+                events.push_back(Tagged{w, ev});
+            }
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const Tagged &a, const Tagged &b) {
+                      return a.event.seq < b.event.seq;
+                  });
+
+        // --- trace.json ------------------------------------------------
+        JsonWriter w;
+        w.beginObject().key("traceEvents").beginArray();
+        w.beginObject()
+            .kv("ph", "M")
+            .kv("pid", 1)
+            .kv("tid", 1)
+            .kv("name", "process_name")
+            .key("args")
+            .beginObject()
+            .kv("name", "mltc-flight")
+            .endObject()
+            .endObject();
+        for (uint32_t r = 0; r < rings_.size(); ++r)
+            w.beginObject()
+                .kv("ph", "M")
+                .kv("pid", 1)
+                .kv("tid", static_cast<uint64_t>(r) + 1)
+                .kv("name", "thread_name")
+                .key("args")
+                .beginObject()
+                .kv("name", "flight-w" + std::to_string(r))
+                .endObject()
+                .endObject();
+        // Per-tid clamp keeps timestamps monotonic even when several
+        // threads shared a ring.
+        std::map<uint32_t, int64_t> last_ts;
+        int64_t max_ts = 0;
+        for (const Tagged &t : events) {
+            const uint32_t tid = t.ring + 1;
+            int64_t ts = t.event.ts_us;
+            auto it = last_ts.find(tid);
+            if (it != last_ts.end() && ts < it->second)
+                ts = it->second;
+            last_ts[tid] = ts;
+            max_ts = std::max(max_ts, ts);
+            w.beginObject()
+                .kv("ph", "i")
+                .kv("pid", 1)
+                .kv("tid", static_cast<uint64_t>(tid))
+                .kv("ts", ts)
+                .kv("s", "t")
+                .kv("name", std::string(t.event.name))
+                .kv("cat", std::string(t.event.cat))
+                .key("args")
+                .beginObject()
+                .kv("value", t.event.value)
+                .kv("seq", t.event.seq)
+                .endObject()
+                .endObject();
+        }
+        w.beginObject()
+            .kv("ph", "i")
+            .kv("pid", 1)
+            .kv("tid", 1)
+            .kv("ts", max_ts)
+            .kv("s", "t")
+            .kv("name", "flight.dumped")
+            .kv("cat", "flight")
+            .key("args")
+            .beginObject()
+            .kv("reason", reason)
+            .kv("events", static_cast<uint64_t>(events.size()))
+            .endObject()
+            .endObject();
+        w.endArray().kv("displayTimeUnit", "ms").endObject();
+
+        // --- metrics.jsonl ---------------------------------------------
+        JsonWriter m;
+        m.beginObject()
+            .kv("ts", logTimestampUtc())
+            .key("flight")
+            .beginObject()
+            .kv("reason", reason)
+            .kv("events", static_cast<uint64_t>(events.size()))
+            .kv("recorded", recorded())
+            .kv("capacity", capacity_)
+            .kv("workers", static_cast<uint64_t>(rings_.size()))
+            .endObject()
+            .endObject();
+        std::string metrics = m.str() + "\n";
+        if (registry_ && registry_->enabled()) {
+            auto guard = registry_->updateGuard();
+            metrics += registry_->frameSnapshotJson(
+                           last_frame_.load(std::memory_order_relaxed)) +
+                       "\n";
+        }
+
+        // --- commit through the recovery ladder -------------------------
+        const std::string dir = prefix_ + ".flight";
+        if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+            throw Exception(ErrorCode::Io,
+                            "flight: cannot create '" + dir +
+                                "': " + std::strerror(errno));
+        const std::string &trace = w.str();
+        atomicWriteFile(dir + "/trace.json", trace.data(), trace.size(),
+                        AtomicWriteOptions{});
+        atomicWriteFile(dir + "/metrics.jsonl", metrics.data(),
+                        metrics.size(), AtomicWriteOptions{});
+        logInfo("flight: dumped " + std::to_string(events.size()) +
+                " event(s) to " + dir + " (" + reason + ")");
+        return dir;
+    } catch (const Exception &e) {
+        logWarn("flight: dump failed (" + reason +
+                "): " + e.error().describe());
+    } catch (const std::exception &e) {
+        logWarn(std::string("flight: dump failed (") + reason +
+                "): " + e.what());
+    }
+    return "";
+}
+
+void
+installFlightRecorder(FlightRecorder *recorder)
+{
+    detail::g_flight.store(recorder, std::memory_order_release);
+}
+
+std::string
+flightDump(const std::string &reason)
+{
+    FlightRecorder *fr = flightRecorder();
+    return fr ? fr->dump(reason) : "";
+}
+
+} // namespace mltc

@@ -143,4 +143,25 @@ MetricsRegistry::writeFrameSnapshot(JsonlFileSink &sink, int64_t frame) const
     sink.writeLine(frameSnapshotJson(frame));
 }
 
+void
+MetricsRegistry::forEach(
+    const std::function<void(const std::string &, MetricKind, uint64_t,
+                             double, const Histogram *)> &fn) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (const auto &[key, e] : entries_) {
+        switch (e.kind) {
+          case MetricKind::Counter:
+            fn(key, e.kind, counters_[e.index], 0.0, nullptr);
+            break;
+          case MetricKind::Gauge:
+            fn(key, e.kind, 0, gauges_[e.index], nullptr);
+            break;
+          case MetricKind::Histogram:
+            fn(key, e.kind, 0, 0.0, &histograms_[e.index]);
+            break;
+        }
+    }
+}
+
 } // namespace mltc

@@ -16,6 +16,16 @@
  *    predictable branch. No allocation, no hashing, no I/O — the mode
  *    the perf acceptance gate (<5% on perf_microbench) measures.
  *
+ * Concurrency contract (the /metrics telemetry plane scrapes a live
+ * registry from its own thread): updates through handles are raw
+ * pointer writes and remain unsynchronized by design — callers that
+ * share a registry with a scraper wrap each frame-boundary update
+ * batch in updateGuard(). Readers that may run concurrently with such
+ * writers (the exposition renderer via forEach()) take the same lock.
+ * Hot paths never touch the registry per access, only at frame
+ * boundaries, so the lock is contended at most once per frame per
+ * scrape.
+ *
  * Metric values are *derived* state: they are recomputed from simulator
  * counters at every frame boundary, never fed back into the simulation,
  * so attaching or detaching the registry can never perturb
@@ -26,7 +36,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -164,6 +176,29 @@ class MetricsRegistry
     /** Append frameSnapshotJson(@p frame) to @p sink. */
     void writeFrameSnapshot(JsonlFileSink &sink, int64_t frame) const;
 
+    /**
+     * Serialize an update batch (or a snapshot read) against a
+     * concurrent scraper. Handle writes, registration and
+     * frameSnapshotJson() inside the returned lock's lifetime are
+     * atomic with respect to forEach() visitors.
+     */
+    std::unique_lock<std::mutex>
+    updateGuard() const
+    {
+        return std::unique_lock<std::mutex>(mutex_);
+    }
+
+    /**
+     * Visit every registered metric in canonical-key order, under the
+     * registry lock (do NOT hold updateGuard() while calling). The
+     * histogram pointer is only valid during the visit.
+     */
+    void forEach(const std::function<void(const std::string &key,
+                                          MetricKind kind, uint64_t counter,
+                                          double gauge,
+                                          const Histogram *histogram)> &fn)
+        const;
+
   private:
     struct Entry
     {
@@ -176,6 +211,7 @@ class MetricsRegistry
                    MetricKind kind);
 
     bool enabled_;
+    mutable std::mutex mutex_;             ///< see updateGuard()
     std::map<std::string, Entry> entries_; ///< canonical key -> entry
     std::deque<uint64_t> counters_;        ///< stable addresses
     std::deque<double> gauges_;

@@ -1,5 +1,7 @@
 #include "obs/metrics_summary.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -109,6 +111,86 @@ renderMetricsSummary(const MetricsSummary &s)
         out += gauges_out.render();
     }
     return out;
+}
+
+namespace {
+
+/** |b-a| / max(|a|,|b|): bounded, symmetric, 0 when both are 0. */
+double
+symmetricRel(double a, double b)
+{
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return scale == 0.0 ? 0.0 : std::fabs(b - a) / scale;
+}
+
+void
+diffSeries(const std::map<std::string, double> &a,
+           const std::map<std::string, double> &b,
+           const std::string &prefix, MetricsDiff &out)
+{
+    for (const auto &[key, va] : a) {
+        MetricsDiffRow row;
+        row.key = prefix + key;
+        row.a = va;
+        const auto it = b.find(key);
+        if (it == b.end()) {
+            ++out.only_a;
+            row.rel = 1.0; // structural difference: full scale
+        } else {
+            row.b = it->second;
+            row.rel = symmetricRel(va, it->second);
+        }
+        out.rows.push_back(row);
+    }
+    for (const auto &[key, vb] : b) {
+        if (a.count(key))
+            continue;
+        MetricsDiffRow row;
+        row.key = prefix + key;
+        row.b = vb;
+        row.rel = 1.0;
+        ++out.only_b;
+        out.rows.push_back(row);
+    }
+}
+
+std::map<std::string, double>
+gaugeMeans(const MetricsSummary &s)
+{
+    std::map<std::string, double> means;
+    for (const auto &[key, g] : s.gauges)
+        means[key] = g.mean;
+    return means;
+}
+
+} // namespace
+
+MetricsDiff
+diffMetricsSummaries(const MetricsSummary &a, const MetricsSummary &b)
+{
+    MetricsDiff out;
+    diffSeries(a.final_counters, b.final_counters, "", out);
+    diffSeries(gaugeMeans(a), gaugeMeans(b), "mean:", out);
+    for (const MetricsDiffRow &row : out.rows)
+        out.max_rel = std::max(out.max_rel, row.rel);
+    return out;
+}
+
+std::string
+renderMetricsDiff(const MetricsDiff &d)
+{
+    TextTable out({"series", "A", "B", "delta", "rel"});
+    for (const MetricsDiffRow &row : d.rows)
+        out.addRow({row.key, formatDouble(row.a, 4),
+                    formatDouble(row.b, 4), formatDouble(row.b - row.a, 4),
+                    formatPercent(row.rel, 2)});
+    std::string text = out.render();
+    text += "max relative delta: " + formatPercent(d.max_rel, 2);
+    if (d.only_a > 0 || d.only_b > 0)
+        text += " (" + std::to_string(d.only_a) + " series only in A, " +
+                std::to_string(d.only_b) + " only in B)";
+    text += "\n";
+    return text;
 }
 
 } // namespace mltc

@@ -54,6 +54,38 @@ MetricsSummary summarizeMetricsFile(const std::string &path);
  */
 std::string renderMetricsSummary(const MetricsSummary &s);
 
+/** One differing series between two metrics summaries. */
+struct MetricsDiffRow
+{
+    std::string key;  ///< counter name or "mean:<gauge>"
+    double a = 0.0;   ///< value in the first (baseline) summary
+    double b = 0.0;   ///< value in the second (candidate) summary
+    double rel = 0.0; ///< symmetric relative delta, see diffMetricsSummaries
+};
+
+/** Differential view of two metrics summaries (A = baseline, B = candidate). */
+struct MetricsDiff
+{
+    /** All keys seen in either summary, baseline-order, counters first. */
+    std::vector<MetricsDiffRow> rows;
+    /** Largest row |rel| (0 when the files agree on every series). */
+    double max_rel = 0.0;
+    size_t only_a = 0; ///< series present only in the baseline
+    size_t only_b = 0; ///< series present only in the candidate
+};
+
+/**
+ * Compare counter totals and gauge means of two summaries. Each row's
+ * `rel` is the symmetric relative delta |b-a| / max(|a|,|b|), which is
+ * bounded to [0,1] and treats a series missing from one side (reported
+ * in only_a/only_b) as a full-scale difference of 1.
+ */
+MetricsDiff diffMetricsSummaries(const MetricsSummary &a,
+                                 const MetricsSummary &b);
+
+/** Render @p d as the aligned text table `report compare` prints. */
+std::string renderMetricsDiff(const MetricsDiff &d);
+
 } // namespace mltc
 
 #endif // MLTC_OBS_METRICS_SUMMARY_HPP

@@ -14,14 +14,31 @@ obsFromCli(const CommandLine &cli)
     cfg.miss_classes = cli.getFlag("miss-classes");
     cfg.top_textures =
         static_cast<uint32_t>(cli.getUnsigned("top-textures", 8));
+    if (cli.has("telemetry-port")) {
+        const unsigned long port = cli.getUnsigned("telemetry-port", 0);
+        if (port > 65535)
+            throw Exception(ErrorCode::BadArgument,
+                            "--telemetry-port: not a TCP port");
+        cfg.telemetry = true;
+        cfg.telemetry_port = static_cast<uint16_t>(port);
+    }
+    cfg.telemetry_port_file = cli.getString("telemetry-port-file", "");
+    cfg.slo_spec = cli.getString("slo", "");
+    cfg.slo_out = cli.getString("slo-out", "");
+    cfg.flight_out = cli.getString("flight-out", "");
     return cfg;
 }
 
 Observability::Observability(const ObsConfig &config,
                              bool install_process_hooks)
     : cfg_(config), hooks_(install_process_hooks),
-      metrics_(!config.metrics_path.empty())
+      metrics_(!config.metrics_path.empty() || config.telemetry)
 {
+    // Parse SLO rules first: a malformed --slo must fail before any
+    // sink is created.
+    if (!cfg_.slo_spec.empty())
+        slo_rules_ = parseSloRules(cfg_.slo_spec);
+
     if (!cfg_.metrics_path.empty()) {
         metrics_sink_ = std::make_unique<JsonlFileSink>(cfg_.metrics_path);
         // One shared JSONL stream: log rows carry ts/level/msg keys,
@@ -34,6 +51,23 @@ Observability::Observability(const ObsConfig &config,
         if (hooks_)
             setGlobalTracer(trace_.get());
     }
+    if (cfg_.telemetry) {
+        TelemetryConfig tc;
+        tc.enabled = true;
+        tc.port = cfg_.telemetry_port;
+        tc.port_file = cfg_.telemetry_port_file;
+        telemetry_ = std::make_unique<TelemetryServer>(tc, &metrics_);
+    }
+    if (!cfg_.slo_out.empty())
+        slo_sink_ = std::make_unique<JsonlFileSink>(cfg_.slo_out);
+    if (!cfg_.flight_out.empty()) {
+        FlightRecorder::Config fc;
+        fc.prefix = cfg_.flight_out;
+        fc.registry = &metrics_;
+        flight_ = std::make_unique<FlightRecorder>(fc);
+        if (hooks_)
+            installFlightRecorder(flight_.get());
+    }
 }
 
 Observability::~Observability()
@@ -42,7 +76,10 @@ Observability::~Observability()
         setLogJsonlSink(nullptr);
     if (hooks_ && trace_ && globalTracer() == trace_.get())
         setGlobalTracer(nullptr);
-    // Sinks close themselves best-effort; explicit close() reports I/O
+    if (hooks_ && flight_ && flightRecorder() == flight_.get())
+        installFlightRecorder(nullptr);
+    // The telemetry server joins its thread in its own destructor;
+    // sinks close themselves best-effort; explicit close() reports I/O
     // failures as typed errors.
 }
 
@@ -59,6 +96,19 @@ Observability::close()
     // Telemetry loss must not abort the run that produced it: a sink
     // that hit I/O failure reports a typed error here, which we log and
     // swallow so the sweep's actual results still land.
+    if (telemetry_)
+        telemetry_->stop(); // joins the scrape thread
+    if (hooks_ && flight_ && flightRecorder() == flight_.get())
+        installFlightRecorder(nullptr);
+    if (slo_sink_) {
+        try {
+            slo_sink_->close();
+        } catch (const Exception &e) {
+            ++sink_errors_;
+            logWarn("observability: slo sink lost: " +
+                    e.error().describe());
+        }
+    }
     if (trace_) {
         if (hooks_ && globalTracer() == trace_.get())
             setGlobalTracer(nullptr);

@@ -9,6 +9,15 @@
  *   --miss-classes       3C miss classification + attribution tables
  *   --top-textures=N     rows in the top-textures summary (default 8)
  *
+ * plus the live telemetry plane (docs/observability.md):
+ *
+ *   --telemetry-port=P        /metrics, /healthz, /runz on 127.0.0.1:P
+ *                             (0 = kernel-assigned; see the port file)
+ *   --telemetry-port-file=F   write the bound port to F (for scripts)
+ *   --slo=RULES               per-stream SLO rules (see obs/slo.hpp)
+ *   --slo-out=PATH            SLO fire/clear transitions (JSONL)
+ *   --flight-out=PREFIX       flight-recorder bundle at PREFIX.flight/
+ *
  * Observability owns the registry, the trace writer and the JSONL
  * sinks, installs itself as the process-global tracer for its
  * lifetime, and mirrors the structured log stream into the metrics
@@ -21,8 +30,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace_event.hpp"
 #include "util/cli.hpp"
 
@@ -36,10 +49,20 @@ struct ObsConfig
     bool miss_classes = false;
     uint32_t top_textures = 8;
 
+    // Live telemetry plane (see file comment).
+    bool telemetry = false;           ///< --telemetry-port given
+    uint16_t telemetry_port = 0;      ///< 0 = kernel-assigned
+    std::string telemetry_port_file;  ///< --telemetry-port-file
+    std::string slo_spec;             ///< --slo rule list (raw text)
+    std::string slo_out;              ///< --slo-out JSONL path
+    std::string flight_out;           ///< --flight-out bundle prefix
+
     bool
     anyEnabled() const
     {
-        return !metrics_path.empty() || !trace_path.empty() || miss_classes;
+        return !metrics_path.empty() || !trace_path.empty() ||
+               miss_classes || telemetry || !slo_spec.empty() ||
+               !flight_out.empty();
     }
 };
 
@@ -71,7 +94,8 @@ class Observability
 
     const ObsConfig &config() const { return cfg_; }
 
-    /** Always valid; disabled (null handles) without --metrics-out. */
+    /** Always valid; enabled by --metrics-out and/or --telemetry-port
+     *  (a live scrape needs real storage even with no metrics file). */
     MetricsRegistry &metrics() { return metrics_; }
 
     /** Null without --trace-out. */
@@ -79,6 +103,18 @@ class Observability
 
     /** Null without --metrics-out. */
     JsonlFileSink *metricsSink() { return metrics_sink_.get(); }
+
+    /** Null without --telemetry-port. */
+    TelemetryServer *telemetry() { return telemetry_.get(); }
+
+    /** Parsed --slo rules (empty without --slo). */
+    const std::vector<SloRule> &sloRules() const { return slo_rules_; }
+
+    /** Null without --slo-out. */
+    JsonlFileSink *sloSink() { return slo_sink_.get(); }
+
+    /** Null without --flight-out. */
+    FlightRecorder *flight() { return flight_.get(); }
 
     /**
      * Flush every sink without closing it, so an interrupted run keeps
@@ -104,6 +140,10 @@ class Observability
     MetricsRegistry metrics_;
     std::unique_ptr<JsonlFileSink> metrics_sink_;
     std::unique_ptr<ChromeTraceWriter> trace_;
+    std::unique_ptr<TelemetryServer> telemetry_;
+    std::vector<SloRule> slo_rules_;
+    std::unique_ptr<JsonlFileSink> slo_sink_;
+    std::unique_ptr<FlightRecorder> flight_;
     int sink_errors_ = 0;
 };
 

@@ -1,0 +1,185 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+namespace {
+
+[[noreturn]] void
+badRule(const std::string &rule, const char *why)
+{
+    throw Exception(ErrorCode::BadArgument,
+                    "--slo: bad rule '" + rule + "': " + why);
+}
+
+SloRule
+parseOneRule(const std::string &text)
+{
+    SloRule rule;
+    rule.spec = text;
+    const size_t op = text.find_first_of("<>");
+    if (op == std::string::npos)
+        badRule(text, "expected metric<threshold@Nf or metric>...");
+    if (op == 0)
+        badRule(text, "empty metric name");
+    rule.metric = text.substr(0, op);
+    rule.op = text[op];
+
+    const size_t at = text.find('@', op + 1);
+    if (at == std::string::npos)
+        badRule(text, "missing @window (e.g. @30f)");
+    const std::string threshold = text.substr(op + 1, at - op - 1);
+    char *end = nullptr;
+    rule.threshold = std::strtod(threshold.c_str(), &end);
+    if (threshold.empty() || end != threshold.c_str() + threshold.size() ||
+        !std::isfinite(rule.threshold))
+        badRule(text, "threshold is not a number");
+
+    std::string window = text.substr(at + 1);
+    if (window.empty() || window.back() != 'f')
+        badRule(text, "window must end in 'f' (frames)");
+    window.pop_back();
+    const long frames = std::strtol(window.c_str(), &end, 10);
+    if (window.empty() || end != window.c_str() + window.size() ||
+        frames <= 0 || frames > 1000000)
+        badRule(text, "window must be a positive frame count");
+    rule.window = static_cast<uint32_t>(frames);
+    return rule;
+}
+
+} // namespace
+
+std::vector<SloRule>
+parseSloRules(const std::string &spec)
+{
+    std::vector<SloRule> rules;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string text = spec.substr(pos, comma - pos);
+        if (!text.empty())
+            rules.push_back(parseOneRule(text));
+        pos = comma + 1;
+    }
+    if (rules.empty() && !spec.empty())
+        throw Exception(ErrorCode::BadArgument,
+                        "--slo: no rules in '" + spec + "'");
+    return rules;
+}
+
+SloTracker::SloTracker(std::vector<SloRule> rules, double error_budget)
+    : rules_(std::move(rules)), budget_(error_budget)
+{
+    if (budget_ <= 0.0 || budget_ > 1.0)
+        throw Exception(ErrorCode::BadArgument,
+                        "SloTracker: error budget must be in (0, 1]");
+    state_.resize(rules_.size());
+}
+
+const SloTracker::Cell *
+SloTracker::cell(size_t rule, uint32_t entity) const
+{
+    if (rule >= state_.size() || entity >= state_[rule].size())
+        return nullptr;
+    return &state_[rule][entity];
+}
+
+bool
+SloTracker::alerting(size_t rule, uint32_t entity) const
+{
+    const Cell *c = cell(rule, entity);
+    return c && c->firing;
+}
+
+bool
+SloTracker::anyAlerting(uint32_t entity) const
+{
+    for (size_t r = 0; r < rules_.size(); ++r)
+        if (alerting(r, entity))
+            return true;
+    return false;
+}
+
+double
+SloTracker::burnFast(size_t rule, uint32_t entity) const
+{
+    const Cell *c = cell(rule, entity);
+    return c ? c->burn_fast : 0.0;
+}
+
+double
+SloTracker::burnSlow(size_t rule, uint32_t entity) const
+{
+    const Cell *c = cell(rule, entity);
+    return c ? c->burn_slow : 0.0;
+}
+
+std::vector<SloEvent>
+SloTracker::observeFrame(int64_t frame,
+                         const std::vector<std::vector<double>> &values)
+{
+    std::vector<SloEvent> events;
+    // A gap or a rewind (resume from checkpoint) invalidates every
+    // window: the skipped frames have no samples and pre-gap state must
+    // not leak burn rate into the new epoch. Alert state survives the
+    // reset so a still-bad signal re-fires only once its new windows
+    // fill again.
+    if (seen_frame_ && frame != last_frame_ + 1)
+        for (auto &rule_state : state_)
+            for (Cell &c : rule_state)
+                c.window.clear();
+    seen_frame_ = true;
+    last_frame_ = frame;
+
+    for (size_t r = 0; r < rules_.size() && r < values.size(); ++r) {
+        const SloRule &rule = rules_[r];
+        const uint32_t fast = rule.window;
+        const uint32_t slow = 4 * rule.window;
+        if (values[r].size() > state_[r].size())
+            state_[r].resize(values[r].size());
+        for (uint32_t e = 0; e < values[r].size(); ++e) {
+            Cell &c = state_[r][e];
+            const double value = values[r][e];
+            // NaN = no sample (dead stream): counts as satisfied.
+            const bool violated =
+                !std::isnan(value) && !rule.satisfied(value);
+            c.window.push_back(violated ? 1 : 0);
+            while (c.window.size() > slow)
+                c.window.pop_front();
+
+            uint64_t slow_viol = 0, fast_viol = 0;
+            const size_t n = c.window.size();
+            for (size_t i = 0; i < n; ++i) {
+                slow_viol += c.window[i];
+                if (i + fast >= n)
+                    fast_viol += c.window[i];
+            }
+            const size_t fast_n = n < fast ? n : fast;
+            c.burn_fast = fast_n == 0
+                              ? 0.0
+                              : static_cast<double>(fast_viol) /
+                                    static_cast<double>(fast_n) / budget_;
+            c.burn_slow = static_cast<double>(slow_viol) /
+                          static_cast<double>(n) / budget_;
+
+            const bool was = c.firing;
+            if (!was && n >= fast && c.burn_fast >= 2.0 &&
+                c.burn_slow >= 1.0)
+                c.firing = true;
+            else if (was && c.burn_fast < 1.0)
+                c.firing = false;
+            if (c.firing != was)
+                events.push_back(SloEvent{r, e, c.firing, frame, value,
+                                          c.burn_fast, c.burn_slow});
+        }
+    }
+    return events;
+}
+
+} // namespace mltc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Online per-stream SLOs with multi-window burn-rate alerting.
+ *
+ * Rule grammar (comma-separated list in one --slo value):
+ *
+ *     metric '<'|'>' threshold '@' window 'f'
+ *     e.g.  --slo "stream.miss_rate.l2<0.15@30f,stream.lod_bias<1@16f"
+ *
+ * The objective is "metric op threshold should hold"; a frame where it
+ * does not is a violation. Each (rule, entity) pair keeps a sliding
+ * window of the last 4W frames and compares the violating fraction in
+ * the fast window (last W frames) and the slow window (all 4W) against
+ * an error budget (default: 10% of frames may violate):
+ *
+ *     burn = violating_fraction / budget
+ *     fire  when the fast window is full, burn_fast >= 2 and
+ *           burn_slow >= 1 (both windows burning: sustained, recent);
+ *     clear when burn_fast < 1 (the fast window has recovered).
+ *
+ * The two-window AND makes the alert robust: a single bad frame cannot
+ * fire it (slow window too dilute), and a long-past incident cannot
+ * keep it firing (fast window recovers first). Non-contiguous frame
+ * numbers — a resume from checkpoint, a skipped round — reset every
+ * window, so stale pre-gap samples never contribute to a burn rate.
+ *
+ * The tracker is pure bookkeeping: callers feed one value per entity
+ * per frame and act on the returned fire/clear transitions (metrics
+ * gauges, trace instants, log lines, --slo-out JSONL).
+ */
+#ifndef MLTC_OBS_SLO_HPP
+#define MLTC_OBS_SLO_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace mltc {
+
+/** One parsed objective. */
+struct SloRule
+{
+    std::string metric;    ///< e.g. "stream.miss_rate.l2"
+    char op = '<';         ///< objective: value op threshold must hold
+    double threshold = 0.0;
+    uint32_t window = 1;   ///< fast window W in frames (slow = 4W)
+    std::string spec;      ///< original text, for labels and logs
+
+    /** True when @p value satisfies the objective. */
+    bool
+    satisfied(double value) const
+    {
+        return op == '<' ? value < threshold : value > threshold;
+    }
+};
+
+/**
+ * Parse a comma-separated rule list.
+ * @throws mltc::Exception (BadArgument) naming the offending rule on
+ *         any grammar violation (empty metric, bad op, zero window...).
+ */
+std::vector<SloRule> parseSloRules(const std::string &spec);
+
+/** One fire/clear transition returned by SloTracker::observeFrame. */
+struct SloEvent
+{
+    size_t rule = 0;     ///< index into rules()
+    uint32_t entity = 0; ///< stream / sim index
+    bool firing = false; ///< true = fired this frame, false = cleared
+    int64_t frame = 0;
+    double value = 0.0;  ///< the sample that completed the transition
+    double burn_fast = 0.0;
+    double burn_slow = 0.0;
+};
+
+/** Multi-window burn-rate evaluator; see file comment. */
+class SloTracker
+{
+  public:
+    explicit SloTracker(std::vector<SloRule> rules,
+                        double error_budget = 0.1);
+
+    const std::vector<SloRule> &rules() const { return rules_; }
+
+    /**
+     * Feed one frame: @p values[r][e] is rule r's sample for entity e
+     * (NaN = entity absent this frame, e.g. a quarantined stream —
+     * treated as satisfying the objective so a dead stream cannot keep
+     * an alert burning). Entities may grow between frames. Returns the
+     * fire/clear transitions this frame caused, in (rule, entity)
+     * order.
+     */
+    std::vector<SloEvent>
+    observeFrame(int64_t frame,
+                 const std::vector<std::vector<double>> &values);
+
+    /** Is (rule, entity) currently firing? */
+    bool alerting(size_t rule, uint32_t entity) const;
+
+    /** Any rule firing for @p entity? */
+    bool anyAlerting(uint32_t entity) const;
+
+    /** Current burn rates (0 when the pair is unknown). */
+    double burnFast(size_t rule, uint32_t entity) const;
+    double burnSlow(size_t rule, uint32_t entity) const;
+
+  private:
+    struct Cell
+    {
+        std::deque<uint8_t> window; ///< 1 = violation; back = newest
+        bool firing = false;
+        double burn_fast = 0.0;
+        double burn_slow = 0.0;
+    };
+
+    const Cell *cell(size_t rule, uint32_t entity) const;
+
+    std::vector<SloRule> rules_;
+    double budget_;
+    int64_t last_frame_ = 0;
+    bool seen_frame_ = false;
+    /** state_[rule][entity]. */
+    std::vector<std::vector<Cell>> state_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_OBS_SLO_HPP

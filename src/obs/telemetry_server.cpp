@@ -1,0 +1,201 @@
+#include "obs/telemetry_server.hpp"
+
+#include "util/error.hpp"
+#include "util/exposition.hpp"
+#include "util/io.hpp"
+
+namespace mltc {
+
+namespace {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Split a canonical registry key back into base name + labels. */
+void
+parseMetricKey(const std::string &key, std::string &base, Labels &labels)
+{
+    labels.clear();
+    const size_t brace = key.find('{');
+    if (brace == std::string::npos || key.back() != '}') {
+        base = key;
+        return;
+    }
+    base = key.substr(0, brace);
+    // "k1=v1,k2=v2" — the registry sorts and rejects duplicate keys, so
+    // a plain split is enough. Values (sim labels like "4 MB L2")
+    // contain no ',' or '=' by construction of the label sources.
+    const std::string body = key.substr(brace + 1, key.size() - brace - 2);
+    size_t pos = 0;
+    while (pos < body.size()) {
+        size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        const std::string pair = body.substr(pos, comma - pos);
+        const size_t eq = pair.find('=');
+        if (eq != std::string::npos)
+            labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+        pos = comma + 1;
+    }
+}
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "untyped";
+}
+
+/** Cumulative power-of-two `le` boundaries: 0,1,2,4,...,cap. */
+std::vector<uint64_t>
+bucketBounds(uint32_t cap)
+{
+    std::vector<uint64_t> bounds{0};
+    for (uint64_t b = 1; b <= cap; b *= 2)
+        bounds.push_back(b);
+    if (bounds.back() != cap)
+        bounds.push_back(cap);
+    return bounds;
+}
+
+void
+renderHistogram(std::string &out, const std::string &family,
+                const Labels &labels, const Histogram &h)
+{
+    uint64_t cum = 0;
+    uint64_t v = 0;
+    for (uint64_t le : bucketBounds(h.cap())) {
+        for (; v <= le; ++v)
+            cum += h.bucket(v);
+        Labels with_le = labels;
+        with_le.emplace_back("le", expositionValue(le));
+        out += family + "_bucket" + expositionLabels(with_le) + ' ' +
+               expositionValue(cum) + '\n';
+    }
+    Labels with_inf = labels;
+    with_inf.emplace_back("le", "+Inf");
+    out += family + "_bucket" + expositionLabels(with_inf) + ' ' +
+           expositionValue(h.count()) + '\n';
+    out += family + "_sum" + expositionLabels(labels) + ' ' +
+           expositionValue(h.sum()) + '\n';
+    out += family + "_count" + expositionLabels(labels) + ' ' +
+           expositionValue(h.count()) + '\n';
+}
+
+} // namespace
+
+std::string
+renderExposition(const MetricsRegistry &registry)
+{
+    // Families keyed by sanitized name; the registry iterates keys in
+    // sorted canonical order, so samples within a family keep a
+    // deterministic order and the map sorts the families themselves.
+    struct Family
+    {
+        MetricKind kind;
+        bool mixed = false;
+        std::string samples;
+    };
+    std::map<std::string, Family> families;
+
+    registry.forEach([&](const std::string &key, MetricKind kind,
+                         uint64_t counter, double gauge,
+                         const Histogram *histogram) {
+        std::string base;
+        Labels labels;
+        parseMetricKey(key, base, labels);
+        const std::string family = expositionMetricName(base);
+        auto [it, inserted] = families.emplace(family, Family{kind, false,
+                                                              {}});
+        if (!inserted && it->second.kind != kind)
+            it->second.mixed = true;
+        std::string &out = it->second.samples;
+        switch (kind) {
+          case MetricKind::Counter:
+            out += family + expositionLabels(labels) + ' ' +
+                   expositionValue(counter) + '\n';
+            break;
+          case MetricKind::Gauge:
+            out += family + expositionLabels(labels) + ' ' +
+                   expositionValue(gauge) + '\n';
+            break;
+          case MetricKind::Histogram:
+            renderHistogram(out, family, labels, *histogram);
+            break;
+        }
+    });
+
+    std::string text;
+    for (const auto &[name, family] : families) {
+        text += "# TYPE " + name + ' ' +
+                (family.mixed ? "untyped" : kindName(family.kind)) + '\n';
+        text += family.samples;
+    }
+    return text;
+}
+
+TelemetryServer::TelemetryServer(const TelemetryConfig &config,
+                                 MetricsRegistry *registry)
+    : registry_(registry)
+{
+    server_.start(config.port,
+                  [this](const HttpRequest &req) { return handle(req); });
+    if (!config.port_file.empty()) {
+        const std::string line = std::to_string(port()) + "\n";
+        atomicWriteFile(config.port_file, line.data(), line.size(),
+                        AtomicWriteOptions{});
+    }
+}
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+void
+TelemetryServer::publishHealth(const std::string &json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    health_json_ = json;
+}
+
+void
+TelemetryServer::publishRunz(const std::string &json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    runz_json_ = json;
+}
+
+HttpResponse
+TelemetryServer::handle(const HttpRequest &req)
+{
+    HttpResponse resp;
+    if (req.method != "GET" && req.method != "HEAD") {
+        resp.status = 405;
+        resp.body = "only GET is supported\n";
+        return resp;
+    }
+    if (req.target == "/metrics") {
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = renderExposition(*registry_);
+        return resp;
+    }
+    if (req.target == "/healthz" || req.target == "/runz") {
+        resp.content_type = "application/json";
+        std::lock_guard<std::mutex> lock(mutex_);
+        resp.body =
+            (req.target == "/healthz" ? health_json_ : runz_json_) + "\n";
+        return resp;
+    }
+    resp.status = 404;
+    resp.body = "unknown endpoint (try /metrics, /healthz, /runz)\n";
+    return resp;
+}
+
+} // namespace mltc

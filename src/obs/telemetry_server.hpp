@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The live telemetry plane's exposition pillar: an embedded loopback
+ * HTTP server rendering the run's MetricsRegistry in Prometheus text
+ * exposition format on demand, plus two JSON endpoints the runners
+ * push into.
+ *
+ * Endpoints:
+ *   /metrics  Prometheus text format 0.0.4, rendered live from the
+ *             registry under its update lock: every counter, gauge and
+ *             histogram (cumulative power-of-two `le` buckets plus
+ *             `_sum`/`_count`), with the registry's sorted labels
+ *             (`{stream="3"}`, `{sim="4 MB L2"}`) carried through.
+ *   /healthz  watchdog / quarantine state, pushed by the runner each
+ *             round via publishHealth() — '{"status":...}' JSON.
+ *   /runz     run manifest (config, seed, frame progress, per-leg
+ *             sweep status), pushed via publishRunz().
+ *
+ * The scrape thread only ever touches the registry through its lock
+ * and the two pushed strings under the server's own mutex, so a
+ * concurrent scrape can never perturb the simulation or its outputs —
+ * the byte-identity acceptance check in
+ * scripts/validate_exposition.sh holds for any scrape timing.
+ */
+#ifndef MLTC_OBS_TELEMETRY_SERVER_HPP
+#define MLTC_OBS_TELEMETRY_SERVER_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/http.hpp"
+
+namespace mltc {
+
+/** Telemetry-plane knobs (a slice of ObsConfig). */
+struct TelemetryConfig
+{
+    bool enabled = false;  ///< --telemetry-port given
+    uint16_t port = 0;     ///< 0 = kernel-assigned (see port())
+    std::string port_file; ///< write the bound port here, for scripts
+};
+
+/**
+ * Render @p registry in Prometheus text exposition format. Metric
+ * families are grouped and sorted by sanitized name, each preceded by
+ * one `# TYPE` line; a family whose canonical keys mix kinds after
+ * sanitization is exposed as `untyped`. Locks the registry internally.
+ */
+std::string renderExposition(const MetricsRegistry &registry);
+
+/** The embedded scrape endpoint; see file comment. */
+class TelemetryServer
+{
+  public:
+    /**
+     * Bind and start serving immediately.
+     * @throws mltc::Exception (Io) when the port cannot be bound or
+     *         the port file cannot be written.
+     */
+    TelemetryServer(const TelemetryConfig &config,
+                    MetricsRegistry *registry);
+
+    ~TelemetryServer();
+
+    TelemetryServer(const TelemetryServer &) = delete;
+    TelemetryServer &operator=(const TelemetryServer &) = delete;
+
+    /** The bound port (resolved even for port 0). */
+    uint16_t port() const { return server_.port(); }
+
+    /** Requests answered so far. */
+    uint64_t scrapes() const { return server_.requestsServed(); }
+
+    /** Replace the /healthz document (a complete JSON object). */
+    void publishHealth(const std::string &json);
+
+    /** Replace the /runz document (a complete JSON object). */
+    void publishRunz(const std::string &json);
+
+    /** Stop serving; idempotent (also run by the destructor). */
+    void stop() { server_.stop(); }
+
+  private:
+    HttpResponse handle(const HttpRequest &req);
+
+    MetricsRegistry *registry_;
+    mutable std::mutex mutex_; ///< guards the pushed documents
+    std::string health_json_ = "{\"status\":\"starting\"}";
+    std::string runz_json_ = "{}";
+    HttpServer server_;
+};
+
+} // namespace mltc
+
+#endif // MLTC_OBS_TELEMETRY_SERVER_HPP

@@ -226,6 +226,26 @@ ChromeTraceWriter::instant(const std::string &name, const char *cat)
 }
 
 void
+ChromeTraceWriter::instant(
+    const std::string &name, const char *cat,
+    const std::vector<std::pair<std::string, std::string>> &args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ThreadState &state = threadState();
+    emitPrefix('i', nowUsLocked(), state.tid);
+    emitCommon(name, cat);
+    if (file_) {
+        JsonWriter a;
+        a.beginObject();
+        for (const auto &[k, v] : args)
+            a.kv(k, v);
+        a.endObject();
+        putLocked(",\"s\":\"t\",\"args\":" + a.str());
+    }
+    finishEvent();
+}
+
+void
 ChromeTraceWriter::counter(
     const std::string &name,
     const std::vector<std::pair<std::string, double>> &series)

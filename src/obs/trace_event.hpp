@@ -90,6 +90,14 @@ class ChromeTraceWriter
     /** Emit an instant event (ph i, thread scope). */
     void instant(const std::string &name, const char *cat);
 
+    /**
+     * Emit an instant event carrying string args (SLO alerts attach
+     * rule/entity/burn context the schema validator checks).
+     */
+    void
+    instant(const std::string &name, const char *cat,
+            const std::vector<std::pair<std::string, std::string>> &args);
+
     /** Emit one counter sample (ph C): a named track of series. */
     void counter(const std::string &name,
                  const std::vector<std::pair<std::string, double>> &series);

@@ -5,8 +5,10 @@
 #include <csignal>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
 #include "raster/access_sink.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/serializer.hpp"
 
@@ -128,6 +130,9 @@ MultiConfigRunner::publishFrame(const FrameRow &row)
     if (!obs_ || !obs_->metrics().enabled())
         return;
     MetricsRegistry &m = obs_->metrics();
+    // Batch the frame's registry updates under the scrape lock so a
+    // concurrent /metrics render never sees a half-published frame.
+    auto reg_guard = m.updateGuard();
     for (size_t i = 0; i < sims_.size(); ++i) {
         const CacheSim &sim = *sims_[i];
         const CacheFrameStats &tot = sim.totals();
@@ -535,6 +540,9 @@ class GuardedSink final : public TexelAccessSink
             // make sure the evidence reaches the file now.
             t->flush();
         }
+        flightEvent("sim.quarantined", "resilience",
+                    static_cast<double>(*current_frame_));
+        flightDump("quarantine");
     }
 
   private:
@@ -633,9 +641,56 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
     int ckpt_retry_at = -1;    ///< first frame allowed to retry commits
     bool stop = false;
 
+    // Live telemetry: push /healthz + /runz documents each frame. The
+    // scrape thread only reads the pushed strings, never runner state.
+    const auto publish_telemetry = [&](const char *status, int frame) {
+        if (!obs_ || !obs_->telemetry())
+            return;
+        size_t dead = 0;
+        for (const SimQuarantine &q : quarantine_)
+            if (q.dead)
+                ++dead;
+        JsonWriter h;
+        h.beginObject();
+        h.kv("status", status);
+        h.kv("frame", static_cast<int64_t>(frame));
+        h.kv("frames", static_cast<int64_t>(config_.frames));
+        h.kv("quarantined", static_cast<uint64_t>(dead));
+        h.kv("checkpoint_write_failures",
+             static_cast<int64_t>(checkpoint_write_failures));
+        h.endObject();
+        obs_->telemetry()->publishHealth(h.str());
+
+        JsonWriter r;
+        r.beginObject();
+        r.kv("mode", "sims");
+        r.kv("width", config_.width);
+        r.kv("height", config_.height);
+        r.kv("frames", static_cast<int64_t>(config_.frames));
+        r.kv("frame", static_cast<int64_t>(frame));
+        r.key("sims");
+        r.beginArray();
+        for (size_t i = 0; i < sims_.size(); ++i) {
+            r.beginObject();
+            r.kv("index", static_cast<uint64_t>(i));
+            r.kv("label", sims_[i]->label());
+            r.kv("status",
+                 quarantine_[i].dead ? "quarantined" : "serving");
+            r.kv("failures",
+                 static_cast<uint64_t>(quarantine_[i].failures));
+            r.endObject();
+        }
+        r.endArray();
+        r.endObject();
+        obs_->telemetry()->publishRunz(r.str());
+    };
+
+    publish_telemetry("serving", start_frame);
+
     const FrameGate gate = [&](int frame) {
         current_frame = frame;
         next_frame = frame;
+        flightFrame(frame);
         if (cancellationRequested()) {
             outcome = RunOutcome::Cancelled;
             return false;
@@ -765,16 +820,25 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
                 logWarn("runSupervised: checkpoint write failed (" +
                         e.error().describe() + "); retrying at frame " +
                         std::to_string(ckpt_retry_at));
-                if (obs_)
+                if (obs_) {
+                    auto guard = obs_->metrics().updateGuard();
                     obs_->metrics()
                         .counter("checkpoint.write_failed")
                         .inc();
+                }
+                flightEvent("checkpoint.write_failed", "resilience");
             }
         }
+
+        publish_telemetry("serving", frame + 1);
     };
 
     runAnimationRange(workload_, config_, &fanout, start_frame, per_frame,
                       gate);
+
+    if (outcome == RunOutcome::DeadlineExceeded ||
+        outcome == RunOutcome::BudgetExhausted)
+        flightDump("watchdog");
 
     if (outcome != RunOutcome::Completed) {
         // Interrupted (SIGINT/SIGTERM, deadline, budget): make sure
@@ -808,6 +872,7 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
             ++checkpoint_write_failures;
             logWarn("runSupervised: final checkpoint write failed (" +
                     e.error().describe() + ")");
+            flightDump("io");
             manifest.checkpoint = rc.checkpoint_path;
         }
         manifest.checkpoint_write_failures = checkpoint_write_failures;
@@ -819,6 +884,7 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
         }
     }
     manifest.checkpoint_write_failures = checkpoint_write_failures;
+    publish_telemetry(runOutcomeName(outcome), next_frame);
     return manifest;
 }
 

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "core/audit.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace_event.hpp"
 #include "raster/rasterizer.hpp"
 #include "sim/parallel_runner.hpp"
@@ -15,6 +20,7 @@
 #include "texture/procedural.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/serializer.hpp"
 #include "workload/registry.hpp"
@@ -88,6 +94,51 @@ biasCoord(const MipPyramid &pyr, uint32_t bias, uint32_t &x, uint32_t &y,
     mip = m;
 }
 
+/** SLO metric names the multi-stream runner can sample per round. */
+constexpr const char *kSloMetrics[] = {
+    "stream.miss_rate.l1", "stream.miss_rate.l2", "stream.host_mb",
+    "stream.lod_bias"};
+
+bool
+isStreamSloMetric(const std::string &name)
+{
+    for (const char *m : kSloMetrics)
+        if (name == m)
+            return true;
+    return false;
+}
+
+/** Sample @p metric from one stream's freshly harvested round row. */
+double
+sloSample(const std::string &metric, const StreamRoundRow &row)
+{
+    if (metric == "stream.miss_rate.l1")
+        return row.accesses == 0
+                   ? 0.0
+                   : static_cast<double>(row.l1_misses) /
+                         static_cast<double>(row.accesses);
+    if (metric == "stream.miss_rate.l2") {
+        const uint64_t lookups =
+            row.l2_full_hits + row.l2_partial_hits + row.l2_full_misses;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(row.l2_full_misses) /
+                                  static_cast<double>(lookups);
+    }
+    if (metric == "stream.host_mb")
+        return static_cast<double>(row.host_bytes) / (1024.0 * 1024.0);
+    if (metric == "stream.lod_bias")
+        return static_cast<double>(row.lod_bias);
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string
+formatBurn(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
 } // namespace
 
 size_t
@@ -140,6 +191,7 @@ MultiStreamRunner::MultiStreamRunner(const MultiStreamConfig &config)
     }
 
     rows_.resize(streams_.size());
+    last_noisy_.assign(streams_.size(), 0);
 }
 
 MultiStreamRunner::~MultiStreamRunner() = default;
@@ -300,6 +352,14 @@ MultiStreamRunner::harvestRow(uint32_t index, uint32_t round)
     rows_[index].push_back(row);
 
     governor_.observe(index, fr.host_bytes);
+
+    // Feed the flight recorder's bounded ring: cheap per-round deltas
+    // so a post-mortem bundle shows each tenant's final trajectory.
+    char fname[32];
+    std::snprintf(fname, sizeof(fname), "s%u.l1_misses", index);
+    flightMetric(fname, static_cast<double>(fr.l1_misses));
+    std::snprintf(fname, sizeof(fname), "s%u.host_bytes", index);
+    flightMetric(fname, static_cast<double>(fr.host_bytes));
 }
 
 void
@@ -323,6 +383,11 @@ MultiStreamRunner::quarantineStream(uint32_t index, uint32_t round,
 
     if (ChromeTraceWriter *t = globalTracer())
         t->instant("stream.quarantined", "resilience");
+    // A tenant death is exactly what the flight recorder exists for:
+    // mark it in the ring, then land the bundle while we still can.
+    flightEvent("stream.quarantined", "resilience",
+                static_cast<double>(index));
+    flightDump("quarantine");
 }
 
 void
@@ -360,9 +425,11 @@ MultiStreamRunner::repartition(uint32_t round)
             }
         }
     }
-    for (uint32_t s = 0; s < k; ++s)
+    for (uint32_t s = 0; s < k; ++s) {
         if (!rows_[s].empty() && rows_[s].back().round == round)
             rows_[s].back().noisy = noisy[s];
+        last_noisy_[s] = noisy[s];
+    }
 
     if (cfg_.share != L2SharePolicy::Utility)
         return;
@@ -401,6 +468,10 @@ MultiStreamRunner::publishRound(uint32_t round)
     if (!obs_ || !obs_->metrics().enabled())
         return;
     MetricsRegistry &m = obs_->metrics();
+    // One guard for the whole round's batch: a concurrent /metrics
+    // scrape sees either the previous round or this one, never a
+    // half-updated registry.
+    auto guard = m.updateGuard();
     for (uint32_t i = 0; i < streams_.size(); ++i) {
         const StreamRuntime &st = *streams_[i];
         const CacheFrameStats &tot = st.sim->totals();
@@ -424,8 +495,144 @@ MultiStreamRunner::publishRound(uint32_t round)
         m.gauge("lod_bias", lbl).set(governor_.bias(i));
         if (!rows_[i].empty() && rows_[i].back().round == round)
             m.gauge("noisy", lbl).set(rows_[i].back().noisy);
+        if (slo_) {
+            const bool alerting = slo_->anyAlerting(i);
+            m.gauge("slo.alerting", lbl).set(alerting ? 1.0 : 0.0);
+            if (alerting) {
+                // Attribute the violating round: an overloaded tenant
+                // is being shed by the governor; a victim of a noisy
+                // neighbor is thrashing through no fault of its own.
+                const char *cause = "other";
+                bool neighbor_noisy = false;
+                for (uint32_t j = 0; j < streams_.size(); ++j)
+                    if (j != i && !streams_[j]->dead && last_noisy_[j])
+                        neighbor_noisy = true;
+                if (governor_.bias(i) > 0)
+                    cause = "overload";
+                else if (neighbor_noisy || last_noisy_[i])
+                    cause = "thrash";
+                m.counter("slo.violation_rounds",
+                          {{"cause", cause},
+                           {"stream", std::to_string(i)}})
+                    .inc();
+            }
+        }
     }
-    m.writeFrameSnapshot(*obs_->metricsSink(), round);
+    // --telemetry-port alone enables the registry with no JSONL sink.
+    if (obs_->metricsSink())
+        m.writeFrameSnapshot(*obs_->metricsSink(), round);
+}
+
+void
+MultiStreamRunner::evaluateSlo(uint32_t round)
+{
+    if (!slo_)
+        return;
+    const std::vector<SloRule> &rules = slo_->rules();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::vector<std::vector<double>> values(
+        rules.size(), std::vector<double>(streams_.size(), nan));
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        if (streams_[i]->dead)
+            continue; // NaN: a dead stream cannot keep an alert burning
+        if (rows_[i].empty() || rows_[i].back().round != round)
+            continue;
+        const StreamRoundRow &row = rows_[i].back();
+        for (size_t r = 0; r < rules.size(); ++r)
+            values[r][i] = sloSample(rules[r].metric, row);
+    }
+
+    for (const SloEvent &ev : slo_->observeFrame(round, values)) {
+        const SloRule &rule = rules[ev.rule];
+        const std::string stream = std::to_string(ev.entity);
+        const char *what = ev.firing ? "slo.fired" : "slo.cleared";
+        if (ChromeTraceWriter *t = globalTracer())
+            t->instant(what, "slo",
+                       {{"rule", rule.spec}, {"stream", stream}});
+        flightEvent(what, "slo", ev.value);
+        char val[32];
+        std::snprintf(val, sizeof(val), "%.4g", ev.value);
+        const std::string line =
+            std::string("MultiStreamRunner: SLO '") + rule.spec +
+            "' " + (ev.firing ? "fired" : "cleared") + " for stream " +
+            stream + " at round " + std::to_string(round) + " (value " +
+            val + ", burn fast/slow " + formatBurn(ev.burn_fast) + "/" +
+            formatBurn(ev.burn_slow) + ")";
+        if (ev.firing)
+            logWarn(line);
+        else
+            logInfo(line);
+        if (obs_ && obs_->sloSink()) {
+            JsonWriter w;
+            w.beginObject();
+            w.kv("ts", logTimestampUtc());
+            w.kv("event", ev.firing ? "fired" : "cleared");
+            w.kv("rule", rule.spec);
+            w.kv("metric", rule.metric);
+            w.kv("stream", static_cast<uint64_t>(ev.entity));
+            w.kv("round", static_cast<uint64_t>(round));
+            w.kv("value", ev.value);
+            w.kv("burn_fast", ev.burn_fast);
+            w.kv("burn_slow", ev.burn_slow);
+            w.endObject();
+            obs_->sloSink()->writeLine(w.str());
+        }
+    }
+}
+
+void
+MultiStreamRunner::publishTelemetry(const char *status, uint32_t next_round,
+                                    int checkpoint_write_failures)
+{
+    if (!obs_ || !obs_->telemetry())
+        return;
+    size_t quarantined = 0, alerting = 0;
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        if (streams_[i]->dead)
+            ++quarantined;
+        if (slo_ && slo_->anyAlerting(i))
+            ++alerting;
+    }
+
+    JsonWriter h;
+    h.beginObject();
+    h.kv("status", status);
+    h.kv("round", static_cast<uint64_t>(next_round));
+    h.kv("rounds", static_cast<uint64_t>(cfg_.rounds));
+    h.kv("quarantined", static_cast<uint64_t>(quarantined));
+    h.kv("alerting", static_cast<uint64_t>(alerting));
+    h.kv("checkpoint_write_failures",
+         static_cast<int64_t>(checkpoint_write_failures));
+    h.endObject();
+    obs_->telemetry()->publishHealth(h.str());
+
+    JsonWriter r;
+    r.beginObject();
+    r.kv("mode", "streams");
+    r.kv("width", cfg_.width);
+    r.kv("height", cfg_.height);
+    r.kv("rounds", static_cast<uint64_t>(cfg_.rounds));
+    r.kv("round", static_cast<uint64_t>(next_round));
+    r.kv("share", l2SharePolicyName(cfg_.share));
+    r.kv("jobs", static_cast<uint64_t>(cfg_.jobs));
+    r.kv("l2_bytes", cfg_.l2_bytes);
+    r.key("streams");
+    r.beginArray();
+    for (uint32_t i = 0; i < streams_.size(); ++i) {
+        const StreamRuntime &st = *streams_[i];
+        r.beginObject();
+        r.kv("index", static_cast<uint64_t>(i));
+        r.kv("name", st.name);
+        r.kv("workload", st.spec.workload);
+        r.kv("seed", st.spec.seed);
+        r.kv("status", st.dead ? "quarantined" : "serving");
+        r.kv("rounds_completed", static_cast<uint64_t>(rows_[i].size()));
+        r.kv("alerting", slo_ ? slo_->anyAlerting(i) : false);
+        r.endObject();
+    }
+    r.endArray();
+    r.endObject();
+    obs_->telemetry()->publishRunz(r.str());
 }
 
 MultiStreamManifest
@@ -442,12 +649,26 @@ MultiStreamRunner::run(const ResilienceConfig &res)
         round = loadCheckpoint(res.checkpoint_path);
     }
 
+    if (obs_ && !obs_->sloRules().empty()) {
+        for (const SloRule &r : obs_->sloRules())
+            if (!isStreamSloMetric(r.metric))
+                throw Exception(
+                    ErrorCode::BadArgument,
+                    "--slo: unknown metric '" + r.metric +
+                        "' (expected stream.miss_rate.l1, "
+                        "stream.miss_rate.l2, stream.host_mb or "
+                        "stream.lod_bias)");
+        slo_ = std::make_unique<SloTracker>(obs_->sloRules());
+    }
+
     RunOutcome outcome = RunOutcome::Completed;
     uint32_t checkpoints_written = 0;
     int checkpoint_write_failures = 0;
     uint32_t ckpt_backoff = 0; ///< doubling skip multiplier (0 = healthy)
     int ckpt_retry_at = -1;    ///< first round allowed to retry commits
     const Clock::time_point run_start = Clock::now();
+
+    publishTelemetry("serving", round, checkpoint_write_failures);
 
     for (; round < cfg_.rounds; ++round) {
         if (cancellationRequested()) {
@@ -462,6 +683,8 @@ MultiStreamRunner::run(const ResilienceConfig &res)
         }
 
         const Clock::time_point round_start = Clock::now();
+
+        flightFrame(round);
 
         // Fault-injection hooks fire before any work so a round-0
         // failure means the stream never contributes a byte.
@@ -494,13 +717,22 @@ MultiStreamRunner::run(const ResilienceConfig &res)
             }
             st.pending.clear();
         }
-        CacheAuditor::checkL2(*l2_, res.audit);
+        try {
+            CacheAuditor::checkL2(*l2_, res.audit);
+        } catch (...) {
+            // A shared-L2 invariant violation is fatal; capture the
+            // last moments before the exception unwinds the run.
+            flightDump("audit");
+            throw;
+        }
 
         if (cfg_.repartition_every > 0 &&
             (round + 1) % cfg_.repartition_every == 0)
             repartition(round);
 
+        evaluateSlo(round);
         publishRound(round);
+        publishTelemetry("serving", round + 1, checkpoint_write_failures);
 
         if (res.frame_deadline_ms > 0.0 &&
             MsDouble(Clock::now() - round_start).count() >
@@ -537,13 +769,24 @@ MultiStreamRunner::run(const ResilienceConfig &res)
                 logWarn("MultiStreamRunner: checkpoint write failed (" +
                         e.error().describe() + "); retrying at round " +
                         std::to_string(ckpt_retry_at));
-                if (obs_)
+                if (obs_) {
+                    auto guard = obs_->metrics().updateGuard();
                     obs_->metrics()
                         .counter("checkpoint.write_failed")
                         .inc();
+                }
+                flightEvent("checkpoint.write_failed", "resilience");
             }
         }
+
+        if (cfg_.round_sleep_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg_.round_sleep_ms));
     }
+
+    if (outcome == RunOutcome::DeadlineExceeded ||
+        outcome == RunOutcome::BudgetExhausted)
+        flightDump("watchdog");
 
     if (obs_)
         obs_->flush();
@@ -562,9 +805,14 @@ MultiStreamRunner::run(const ResilienceConfig &res)
             ++manifest.checkpoint_write_failures;
             logWarn("MultiStreamRunner: final checkpoint write failed (" +
                     e.error().describe() + ")");
+            // The run's durable state just failed to land: preserve the
+            // last moments for the post-mortem.
+            flightDump("io");
         }
         manifest.checkpoint = res.checkpoint_path;
     }
+    publishTelemetry(runOutcomeName(outcome), round,
+                     manifest.checkpoint_write_failures);
     return manifest;
 }
 

@@ -48,6 +48,7 @@
 namespace mltc {
 
 class Observability;
+class SloTracker;
 
 /** Name of the synthetic L2-thrashing workload. */
 inline constexpr const char *kThrasherWorkload = "thrasher";
@@ -90,6 +91,13 @@ struct MultiStreamConfig
     unsigned jobs = 1;
     /** Run the 3C classifiers beside every stream's caches. */
     bool classify_misses = false;
+    /**
+     * Test hook: sleep this long at the end of every round so an
+     * external scraper reliably lands mid-run. Pure wall-clock — no
+     * effect on any output byte — and deliberately excluded from the
+     * checkpoint fingerprint.
+     */
+    uint32_t round_sleep_ms = 0;
     std::vector<StreamSpec> streams;
 };
 
@@ -256,6 +264,9 @@ class MultiStreamRunner
     void quarantineStream(uint32_t index, uint32_t round, Error error);
     void repartition(uint32_t round);
     void publishRound(uint32_t round);
+    void evaluateSlo(uint32_t round);
+    void publishTelemetry(const char *status, uint32_t next_round,
+                          int checkpoint_write_failures);
     void saveCheckpoint(const std::string &path, uint32_t next_round) const;
     uint32_t loadCheckpoint(const std::string &path);
     MultiStreamManifest buildManifest(RunOutcome outcome,
@@ -268,6 +279,10 @@ class MultiStreamRunner
     BandwidthGovernor governor_;
     std::vector<std::vector<StreamRoundRow>> rows_;
     Observability *obs_ = nullptr;
+    std::unique_ptr<SloTracker> slo_;
+    /** Latest noisy-neighbor verdict per stream (repartition cadence);
+     *  used to attribute SLO violations to thrash vs overload. */
+    std::vector<uint8_t> last_noisy_;
 };
 
 } // namespace mltc

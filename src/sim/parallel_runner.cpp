@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/telemetry_server.hpp"
 #include "sim/resilience.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mltc {
@@ -115,6 +117,30 @@ flushLeg(const LegContext &ctx)
 
 } // namespace
 
+void
+SweepExecutor::publishLegStatus(
+    const std::vector<const char *> &status) const
+{
+    if (!telemetry_)
+        return;
+    JsonWriter w;
+    w.beginObject();
+    w.kv("mode", "sweep");
+    w.kv("jobs", static_cast<uint64_t>(jobs_));
+    w.key("legs");
+    w.beginArray();
+    for (size_t i = 0; i < legs_.size(); ++i) {
+        w.beginObject();
+        w.kv("index", static_cast<uint64_t>(i));
+        w.kv("name", legs_[i].name);
+        w.kv("status", status[i]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    telemetry_->publishRunz(w.str());
+}
+
 SweepManifest
 SweepExecutor::run()
 {
@@ -130,8 +156,14 @@ SweepExecutor::run()
     if (jobs_ <= 1 || n <= 1) {
         // Serial: bit-for-bit the pre-parallel program, including the
         // point in time at which each leg's output reaches stdout.
+        std::vector<const char *> status(n, "pending");
+        publishLegStatus(status);
         for (size_t i = 0; i < n; ++i) {
+            status[i] = "running";
+            publishLegStatus(status);
             runOneLeg(legs_[i].body, ctxs[i], manifest.legs[i]);
+            status[i] = legOutcomeName(manifest.legs[i].outcome);
+            publishLegStatus(status);
             flushLeg(ctxs[i]);
         }
         return manifest;
@@ -140,15 +172,28 @@ SweepExecutor::run()
     std::mutex mutex;
     std::condition_variable cv;
     std::vector<char> done(n, 0);
+    std::vector<const char *> status(n, "pending");
+    publishLegStatus(status);
 
     {
         ThreadPool pool(jobs_);
         for (size_t i = 0; i < n; ++i) {
-            pool.submit([this, i, &ctxs, &manifest, &mutex, &cv, &done]() {
+            pool.submit([this, i, &ctxs, &manifest, &mutex, &cv, &done,
+                         &status]() {
+                {
+                    // Status snapshots are taken under the same mutex
+                    // the flags mutate under, so /runz never shows a
+                    // torn view.
+                    std::lock_guard<std::mutex> lock(mutex);
+                    status[i] = "running";
+                    publishLegStatus(status);
+                }
                 runOneLeg(legs_[i].body, ctxs[i], manifest.legs[i]);
                 {
                     std::lock_guard<std::mutex> lock(mutex);
                     done[i] = 1;
+                    status[i] = legOutcomeName(manifest.legs[i].outcome);
+                    publishLegStatus(status);
                 }
                 cv.notify_all();
             });

@@ -41,6 +41,8 @@
 
 namespace mltc {
 
+class TelemetryServer;
+
 /** How a sweep leg ended. */
 enum class LegOutcome
 {
@@ -137,6 +139,17 @@ public:
     size_t legCount() const { return legs_.size(); }
 
     /**
+     * Publish live per-leg status (pending/running/completed/...) to
+     * @p telemetry's /runz endpoint as legs progress (null detaches;
+     * not owned). Pure observation: the sweep's outputs and scheduling
+     * are byte-identical with or without a server attached.
+     */
+    void setTelemetry(TelemetryServer *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
+    /**
      * Run every leg and stream each leg's buffered console output to
      * stdout in registration order. Returns the manifest; exceptions
      * from leg bodies are captured there, never thrown.
@@ -150,8 +163,11 @@ private:
         std::function<void(LegContext &)> body;
     };
 
+    void publishLegStatus(const std::vector<const char *> &status) const;
+
     unsigned jobs_;
     std::vector<Leg> legs_;
+    TelemetryServer *telemetry_ = nullptr;
 };
 
 /**

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Prometheus text-exposition encoding primitives (format version
+ * 0.0.4): metric-name sanitization, label-value escaping and the
+ * deterministic number formatting the /metrics endpoint and its golden
+ * tests share. The registry-aware renderer lives in
+ * obs/telemetry_server.hpp; these helpers are dependency-free so the
+ * encoding rules are unit-testable in isolation.
+ *
+ * Encoding rules:
+ *  - metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+ *    dotted names ("l2.stream_miss_rate") map dots and any other
+ *    illegal character to '_' and gain the "mltc_" namespace prefix;
+ *  - label names follow the same rule minus ':';
+ *  - label values are backslash-escaped ('\\', '"', '\n') and quoted;
+ *  - sample values render as the shortest string that round-trips the
+ *    double exactly, so scrapes of identical state are byte-identical.
+ */
+#ifndef MLTC_UTIL_EXPOSITION_HPP
+#define MLTC_UTIL_EXPOSITION_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mltc {
+
+/** Sanitize @p name into a legal, "mltc_"-prefixed metric name. */
+std::string expositionMetricName(const std::string &name);
+
+/** Sanitize @p name into a legal label name (no ':', no prefix). */
+std::string expositionLabelName(const std::string &name);
+
+/** Escape @p value for a quoted label value (no quotes added). */
+std::string expositionLabelValue(const std::string &value);
+
+/** Shortest decimal string that parses back to exactly @p v. */
+std::string expositionValue(double v);
+
+/** expositionValue for counters: exact integer rendering. */
+std::string expositionValue(uint64_t v);
+
+/**
+ * Render one label set `{k1="v1",k2="v2"}` (empty string for no
+ * labels); keys are sanitized, values escaped, order preserved.
+ */
+std::string
+expositionLabels(const std::vector<std::pair<std::string, std::string>> &labels);
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_EXPOSITION_HPP

@@ -1,0 +1,290 @@
+#include "util/http.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace mltc {
+
+namespace {
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    case 500:
+        return "Internal Server Error";
+    }
+    return "Unknown";
+}
+
+/** Write all of @p data to @p fd; false on any failure. */
+bool
+sendAll(int fd, const char *data, size_t size)
+{
+    size_t off = 0;
+    while (off < size) {
+        const ssize_t n =
+            ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+void
+setRecvTimeout(int fd, int ms)
+{
+    timeval tv;
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+} // namespace
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start(uint16_t port, HttpHandler handler)
+{
+    if (running_.load())
+        throw Exception(ErrorCode::BadArgument,
+                        "HttpServer: already started");
+    handler_ = std::move(handler);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw Exception(ErrorCode::Io,
+                        std::string("HttpServer: socket: ") +
+                            std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Exception(ErrorCode::Io,
+                        "HttpServer: cannot bind 127.0.0.1:" +
+                            std::to_string(port) + ": " +
+                            std::strerror(err));
+    }
+    if (::listen(fd, 8) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Exception(ErrorCode::Io,
+                        std::string("HttpServer: listen: ") +
+                            std::strerror(err));
+    }
+
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) !=
+        0) {
+        const int err = errno;
+        ::close(fd);
+        throw Exception(ErrorCode::Io,
+                        std::string("HttpServer: getsockname: ") +
+                            std::strerror(err));
+    }
+    listen_fd_ = fd;
+    port_ = ntohs(addr.sin_port);
+    running_.store(true);
+    thread_ = std::thread([this]() { serveLoop(); });
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (thread_.joinable())
+            thread_.join();
+        return;
+    }
+    // The serving thread polls with a short timeout and re-checks
+    // running_, so it exits within one poll interval.
+    if (thread_.joinable())
+        thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void
+HttpServer::serveLoop()
+{
+    while (running_.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int n = ::poll(&pfd, 1, 100 /* ms */);
+        if (n <= 0)
+            continue; // timeout, EINTR — re-check running_
+        if (!(pfd.revents & POLLIN))
+            continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        handleClient(client);
+        ::close(client);
+    }
+}
+
+void
+HttpServer::handleClient(int fd)
+{
+    // Read until the end of the header block (or a small cap — the
+    // telemetry endpoints take no bodies, so 8 KB is generous).
+    setRecvTimeout(fd, 2000);
+    std::string raw;
+    char buf[1024];
+    while (raw.size() < 8192 &&
+           raw.find("\r\n\r\n") == std::string::npos &&
+           raw.find("\n\n") == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        raw.append(buf, static_cast<size_t>(n));
+    }
+
+    HttpRequest req;
+    const size_t eol = raw.find_first_of("\r\n");
+    const std::string line =
+        eol == std::string::npos ? raw : raw.substr(0, eol);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    HttpResponse resp;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        resp.status = 500;
+        resp.body = "malformed request\n";
+    } else {
+        req.method = line.substr(0, sp1);
+        req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        try {
+            resp = handler_(req);
+        } catch (const std::exception &e) {
+            resp = HttpResponse{};
+            resp.status = 500;
+            resp.body = std::string("handler error: ") + e.what() + "\n";
+        } catch (...) {
+            resp = HttpResponse{};
+            resp.status = 500;
+            resp.body = "handler error\n";
+        }
+    }
+
+    std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                       statusReason(resp.status) +
+                       "\r\nContent-Type: " + resp.content_type +
+                       "\r\nContent-Length: " +
+                       std::to_string(resp.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    if (sendAll(fd, head.data(), head.size()))
+        sendAll(fd, resp.body.data(), resp.body.size());
+    served_.fetch_add(1);
+}
+
+std::string
+httpGet(uint16_t port, const std::string &target, int *status_out,
+        int timeout_ms)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw Exception(ErrorCode::Io,
+                        std::string("httpGet: socket: ") +
+                            std::strerror(errno));
+    setRecvTimeout(fd, timeout_ms);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Exception(ErrorCode::Io,
+                        "httpGet: cannot connect to 127.0.0.1:" +
+                            std::to_string(port) + ": " +
+                            std::strerror(err));
+    }
+
+    const std::string request =
+        "GET " + target + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+    if (!sendAll(fd, request.data(), request.size())) {
+        const int err = errno;
+        ::close(fd);
+        throw Exception(ErrorCode::Io,
+                        std::string("httpGet: send: ") +
+                            std::strerror(err));
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            throw Exception(ErrorCode::Io,
+                            std::string("httpGet: recv: ") +
+                                std::strerror(err));
+        }
+        if (n == 0)
+            break;
+        raw.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+    if (raw.compare(0, 5, "HTTP/") != 0)
+        throw Exception(ErrorCode::Io, "httpGet: not an HTTP response");
+    const size_t sp = raw.find(' ');
+    if (sp == std::string::npos)
+        throw Exception(ErrorCode::Io, "httpGet: malformed status line");
+    if (status_out)
+        *status_out = std::atoi(raw.c_str() + sp + 1);
+    size_t body = raw.find("\r\n\r\n");
+    size_t skip = 4;
+    if (body == std::string::npos) {
+        body = raw.find("\n\n");
+        skip = 2;
+    }
+    if (body == std::string::npos)
+        throw Exception(ErrorCode::Io, "httpGet: no header terminator");
+    return raw.substr(body + skip);
+}
+
+} // namespace mltc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal embedded HTTP support for the live telemetry plane: a
+ * poll(2)-based loopback server (no third-party dependencies) plus the
+ * tiny blocking GET client the tests and benches use to scrape it.
+ *
+ * The server is deliberately small: it binds 127.0.0.1 only (telemetry
+ * is an operator loopback interface, not a network service), accepts
+ * one connection at a time on a single background thread, answers
+ * HTTP/1.0-style GET requests through a user handler and closes the
+ * connection after each response. That is exactly what a Prometheus
+ * scraper (or curl in CI) needs, and nothing the simulation can ever
+ * block on: the serving thread shares no state with the run except
+ * what the handler itself synchronizes.
+ */
+#ifndef MLTC_UTIL_HTTP_HPP
+#define MLTC_UTIL_HTTP_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace mltc {
+
+/** One parsed request line; the server ignores headers and bodies. */
+struct HttpRequest
+{
+    std::string method; ///< "GET", "HEAD", ...
+    std::string target; ///< request path, e.g. "/metrics"
+};
+
+/** What a handler returns; the server adds framing headers. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Request handler; runs on the serving thread, may be called after
+ *  start() returns and until stop() joins. Exceptions become 500s. */
+using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
+
+/**
+ * Poll-based loopback HTTP server on a background thread. Lifecycle:
+ * construct, start() (binds and begins serving), stop() (idempotent;
+ * also run by the destructor). Requests are served strictly serially.
+ */
+class HttpServer
+{
+  public:
+    HttpServer() = default;
+
+    /** Joins the serving thread and closes the socket. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = kernel-assigned, see port()) and
+     * start the serving thread.
+     * @throws mltc::Exception (Io) when the socket cannot be bound.
+     */
+    void start(uint16_t port, HttpHandler handler);
+
+    /** The bound port (resolved after start(), also for port 0). */
+    uint16_t port() const { return port_; }
+
+    /** True between a successful start() and stop(). */
+    bool running() const { return running_.load(); }
+
+    /** Requests answered so far (any status). */
+    uint64_t requestsServed() const { return served_.load(); }
+
+    /** Stop serving and join the thread. Idempotent, never throws. */
+    void stop();
+
+  private:
+    void serveLoop();
+    void handleClient(int fd);
+
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<uint64_t> served_{0};
+    HttpHandler handler_;
+    std::thread thread_;
+};
+
+/**
+ * Blocking HTTP GET against 127.0.0.1:@p port. Returns the response
+ * body; the status code lands in @p status_out when non-null.
+ * @throws mltc::Exception (Io) on connect/read failure or a response
+ *         that is not parseable HTTP.
+ */
+std::string httpGet(uint16_t port, const std::string &target,
+                    int *status_out = nullptr, int timeout_ms = 5000);
+
+} // namespace mltc
+
+#endif // MLTC_UTIL_HTTP_HPP

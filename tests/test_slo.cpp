@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the SLO rule grammar and the multi-window burn-rate
+ * tracker: parse errors name the offending rule, alerts need both
+ * windows burning and a full fast window, recovery clears on the fast
+ * window alone, frame gaps and rewinds (checkpoint resume) reset every
+ * window, NaN samples count as satisfied, and entities track
+ * independently.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/slo.hpp"
+#include "util/error.hpp"
+
+namespace mltc {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------------
+// Grammar.
+
+TEST(SloGrammar, ParsesRuleList)
+{
+    const auto rules = parseSloRules(
+        "stream.miss_rate.l2<0.15@30f,stream.lod_bias>1@16f");
+    ASSERT_EQ(rules.size(), 2u);
+    EXPECT_EQ(rules[0].metric, "stream.miss_rate.l2");
+    EXPECT_EQ(rules[0].op, '<');
+    EXPECT_DOUBLE_EQ(rules[0].threshold, 0.15);
+    EXPECT_EQ(rules[0].window, 30u);
+    EXPECT_EQ(rules[0].spec, "stream.miss_rate.l2<0.15@30f");
+    EXPECT_EQ(rules[1].metric, "stream.lod_bias");
+    EXPECT_EQ(rules[1].op, '>');
+    EXPECT_DOUBLE_EQ(rules[1].threshold, 1.0);
+    EXPECT_EQ(rules[1].window, 16u);
+}
+
+TEST(SloGrammar, EmptySpecParsesToNoRules)
+{
+    EXPECT_TRUE(parseSloRules("").empty());
+}
+
+TEST(SloGrammar, RejectsMalformedRules)
+{
+    const char *bad[] = {
+        "noop",                    // no operator
+        "<0.5@4f",                 // empty metric
+        "m<@4f",                   // empty threshold
+        "m<abc@4f",                // non-numeric threshold
+        "m<0.5",                   // missing window
+        "m<0.5@4",                 // window without 'f'
+        "m<0.5@0f",                // zero window
+        "m<0.5@-3f",               // negative window
+    };
+    for (const char *spec : bad) {
+        try {
+            parseSloRules(spec);
+            FAIL() << "rule '" << spec << "' must be rejected";
+        } catch (const Exception &e) {
+            EXPECT_EQ(e.code(), ErrorCode::BadArgument) << spec;
+        }
+    }
+}
+
+TEST(SloGrammar, SatisfiedFollowsOperator)
+{
+    const SloRule lt = parseSloRules("m<0.5@4f")[0];
+    EXPECT_TRUE(lt.satisfied(0.4));
+    EXPECT_FALSE(lt.satisfied(0.5));
+    const SloRule gt = parseSloRules("m>0.5@4f")[0];
+    EXPECT_TRUE(gt.satisfied(0.6));
+    EXPECT_FALSE(gt.satisfied(0.5));
+}
+
+// ---------------------------------------------------------------------------
+// Burn-rate tracking. Rule "m<0.5@4f", default budget 0.1: fast
+// window 4 frames, slow 16; an all-violating fast window burns at 10x.
+
+std::vector<SloEvent>
+feed(SloTracker &t, int64_t frame, double value)
+{
+    return t.observeFrame(frame, {{value}});
+}
+
+TEST(SloTracker, FiresOnlyWhenFastWindowIsFull)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    EXPECT_TRUE(feed(t, 0, 0.9).empty());
+    EXPECT_TRUE(feed(t, 1, 0.9).empty());
+    EXPECT_TRUE(feed(t, 2, 0.9).empty());
+    const auto events = feed(t, 3, 0.9); // 4th violating frame
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_TRUE(events[0].firing);
+    EXPECT_EQ(events[0].rule, 0u);
+    EXPECT_EQ(events[0].entity, 0u);
+    EXPECT_EQ(events[0].frame, 3);
+    EXPECT_GE(events[0].burn_fast, 2.0);
+    EXPECT_GE(events[0].burn_slow, 1.0);
+    EXPECT_TRUE(t.alerting(0, 0));
+    EXPECT_TRUE(t.anyAlerting(0));
+}
+
+TEST(SloTracker, SingleBadFrameCannotFireAtSteadyState)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    // Fill the slow window (16 frames) with healthy samples first; a
+    // lone violation then burns 2.5x fast but only 0.625x slow, and
+    // the two-window AND keeps the alert quiet.
+    for (int64_t f = 0; f < 16; ++f)
+        feed(t, f, 0.1);
+    EXPECT_TRUE(feed(t, 16, 0.9).empty());
+    EXPECT_GE(t.burnFast(0, 0), 2.0);
+    EXPECT_LT(t.burnSlow(0, 0), 1.0);
+    for (int64_t f = 17; f < 30; ++f)
+        EXPECT_TRUE(feed(t, f, 0.1).empty()) << "frame " << f;
+    EXPECT_FALSE(t.alerting(0, 0));
+}
+
+TEST(SloTracker, ClearsWhenFastWindowRecovers)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    for (int64_t f = 0; f < 4; ++f)
+        feed(t, f, 0.9);
+    ASSERT_TRUE(t.alerting(0, 0));
+    // Three good frames still leave one violation in the fast window
+    // (burn_fast = 2.5): the alert holds.
+    feed(t, 4, 0.1);
+    feed(t, 5, 0.1);
+    EXPECT_TRUE(t.alerting(0, 0));
+    feed(t, 6, 0.1);
+    const auto events = feed(t, 7, 0.1); // fast window now clean
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_FALSE(events[0].firing);
+    EXPECT_FALSE(t.alerting(0, 0));
+}
+
+TEST(SloTracker, FrameGapResetsWindows)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    feed(t, 0, 0.9);
+    feed(t, 1, 0.9);
+    feed(t, 2, 0.9);
+    // Frame 3 is skipped: the pre-gap violations must not carry over,
+    // so three more violating frames still cannot fill a fast window.
+    EXPECT_TRUE(feed(t, 4, 0.9).empty());
+    EXPECT_TRUE(feed(t, 5, 0.9).empty());
+    EXPECT_TRUE(feed(t, 6, 0.9).empty());
+    EXPECT_FALSE(t.alerting(0, 0));
+    // The fourth post-gap violation completes the new window.
+    EXPECT_EQ(feed(t, 7, 0.9).size(), 1u);
+}
+
+TEST(SloTracker, RewindResetsLikeAResume)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    for (int64_t f = 0; f < 3; ++f)
+        feed(t, f, 0.9);
+    // A resume replays from an earlier frame number.
+    EXPECT_TRUE(feed(t, 1, 0.9).empty());
+    EXPECT_TRUE(feed(t, 2, 0.9).empty());
+    EXPECT_TRUE(feed(t, 3, 0.9).empty());
+    EXPECT_EQ(feed(t, 4, 0.9).size(), 1u);
+}
+
+TEST(SloTracker, NanSamplesCountAsSatisfied)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    for (int64_t f = 0; f < 12; ++f)
+        EXPECT_TRUE(feed(t, f, kNaN).empty());
+    EXPECT_FALSE(t.alerting(0, 0));
+    // A quarantined (NaN) stream also cannot keep a fired alert alive.
+    SloTracker u(parseSloRules("m<0.5@4f"));
+    for (int64_t f = 0; f < 4; ++f)
+        feed(u, f, 0.9);
+    ASSERT_TRUE(u.alerting(0, 0));
+    for (int64_t f = 4; f < 8; ++f)
+        feed(u, f, kNaN);
+    EXPECT_FALSE(u.alerting(0, 0));
+}
+
+TEST(SloTracker, EntitiesTrackIndependently)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    for (int64_t f = 0; f < 3; ++f)
+        EXPECT_TRUE(t.observeFrame(f, {{0.9, 0.1}}).empty());
+    const auto events = t.observeFrame(3, {{0.9, 0.1}});
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].entity, 0u);
+    EXPECT_TRUE(t.alerting(0, 0));
+    EXPECT_FALSE(t.alerting(0, 1));
+    EXPECT_TRUE(t.anyAlerting(0));
+    EXPECT_FALSE(t.anyAlerting(1));
+}
+
+TEST(SloTracker, EntitiesMayGrowBetweenFrames)
+{
+    SloTracker t(parseSloRules("m<0.5@4f"));
+    feed(t, 0, 0.9);
+    // A second entity appears mid-run; its window starts fresh.
+    for (int64_t f = 1; f < 4; ++f)
+        t.observeFrame(f, {{0.9, 0.9}});
+    EXPECT_TRUE(t.alerting(0, 0));  // four violations
+    EXPECT_FALSE(t.alerting(0, 1)); // only three
+}
+
+TEST(SloTracker, MultipleRulesEvaluateIndependently)
+{
+    SloTracker t(parseSloRules("m<0.5@4f,n>10@2f"));
+    for (int64_t f = 0; f < 4; ++f)
+        t.observeFrame(f, {{0.1}, {20.0}}); // both satisfied
+    EXPECT_FALSE(t.anyAlerting(0));
+    for (int64_t f = 4; f < 6; ++f)
+        t.observeFrame(f, {{0.1}, {5.0}}); // only rule 1 violates
+    EXPECT_FALSE(t.alerting(0, 0));
+    EXPECT_TRUE(t.alerting(1, 0));
+}
+
+TEST(SloTracker, RejectsBadBudget)
+{
+    try {
+        SloTracker t(parseSloRules("m<0.5@4f"), 0.0);
+        FAIL() << "zero budget must throw";
+    } catch (const Exception &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadArgument);
+    }
+}
+
+} // namespace
+} // namespace mltc
