@@ -24,7 +24,9 @@
 
 #include "core/cache_sim.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry_server.hpp"
+#include "util/build_info.hpp"
 #include "raster/rasterizer.hpp"
 #include "texture/procedural.hpp"
 #include "trace/flat_set.hpp"
@@ -150,6 +152,40 @@ BM_CacheSimAccessTelemetry(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheSimAccessTelemetry);
+
+/**
+ * BM_CacheSimAccess with the continuous profiler installed and
+ * actively sampling at the default 997 Hz: every access runs the
+ * enabled-branch ScopedProfileStage push/pop while the sampler thread
+ * snapshots the stack from outside. This prices the *enabled* mode —
+ * the disabled-mode hook cost (one atomic load + branch) is what the
+ * plain BM_CacheSimAccess row holds under the 5% baseline gate. The
+ * perf gate bounds this row against the in-run BM_CacheSimAccess via
+ * scripts/check_perf_regression.py --profile-threshold.
+ */
+void
+BM_CacheSimAccessProfiled(benchmark::State &state)
+{
+    TextureManager &tm = benchTextures();
+    CacheSim sim(tm, CacheSimConfig::twoLevel(2 * 1024, 2ull << 20));
+    sim.bindTexture(1);
+    ProfilerConfig pc;
+    pc.hz = 997;
+    pc.counters = false; // counter reads price leg/pass scopes, not this
+    StageProfiler profiler(pc);
+    installStageProfiler(&profiler);
+    uint32_t x = 0, y = 0;
+    for (auto _ : state) {
+        x = (x + 1) & 255;
+        if (x == 0)
+            y = (y + 1) & 255;
+        sim.access(x, y, 0);
+    }
+    installStageProfiler(nullptr);
+    profiler.stopSampler();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimAccessProfiled);
 
 void
 BM_CacheSimAccessPull(benchmark::State &state)
@@ -308,6 +344,9 @@ main(int argc, char **argv)
 
     mltc::JsonWriter w;
     w.beginObject();
+    // Provenance first: a checked-in baseline says what produced it.
+    w.key("build");
+    mltc::appendBuildInfo(w);
     w.key("benchmarks").beginArray();
     for (const auto &res : reporter.results()) {
         w.beginObject()

@@ -78,6 +78,16 @@
  *                       --slo "stream.miss_rate.l2<0.15@30f"
  *   --flight-out=PREFIX always-on flight recorder; dumps
  *                       PREFIX.flight/ on quarantine/watchdog/audit/IO
+ *
+ * Continuous profiling (docs/profiling.md):
+ *   --profile-out=PREFIX sampling stage profiler; writes PREFIX.folded
+ *                       (collapsed stacks, flamegraph.pl/speedscope
+ *                       compatible) and PREFIX.json (per-stage summary,
+ *                       per-leg/per-stream roll-ups, hardware counters)
+ *   --profile-hz=N      sampling rate (default 997)
+ *   --profile-no-counters  skip perf_event_open hardware counters
+ * The profiler observes and never steers: simulation outputs are
+ * byte-identical with profiling on or off, and across --jobs counts.
  */
 #include <cstdio>
 #include <fstream>
@@ -308,6 +318,10 @@ runMultiStream(const CommandLine &cli)
                      e.error().describe().c_str());
         return 1;
     }
+    if (!obs_cfg.profile_out.empty())
+        std::printf("[profile] %s.folded %s.json\n",
+                    obs_cfg.profile_out.c_str(),
+                    obs_cfg.profile_out.c_str());
     return manifest.outcome == RunOutcome::Completed ? 0 : 2;
 }
 
@@ -447,6 +461,7 @@ main(int argc, char **argv)
                 leg_obs.slo_spec.clear();
                 leg_obs.slo_out.clear();
                 leg_obs.flight_out.clear();
+                leg_obs.profile_out.clear();
                 leg_obs.metrics_path += ".leg" + std::to_string(i);
                 leg->obs = std::make_unique<Observability>(
                     leg_obs, /*install_process_hooks=*/false);
@@ -647,5 +662,9 @@ main(int argc, char **argv)
                      e.error().describe().c_str());
         return 1;
     }
+    if (!obs_cfg.profile_out.empty())
+        std::printf("[profile] %s.folded %s.json\n",
+                    obs_cfg.profile_out.c_str(),
+                    obs_cfg.profile_out.c_str());
     return all_completed ? 0 : 2;
 }

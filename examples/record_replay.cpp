@@ -13,6 +13,11 @@
  *         [--mrc-sample-rate R]]
  *        [--telemetry-port P [--telemetry-port-file F]]
  *        [--trace-out T.json] [--flight-out PREFIX]
+ *        [--profile-out PREFIX [--profile-hz N] [--profile-no-counters]]
+ *
+ * With --profile-out the sampling stage profiler (docs/profiling.md)
+ * covers both phases: record-time raster/sampler stages and replay-time
+ * per-leg "leg:<config>" roots land in PREFIX.folded / PREFIX.json.
  *
  * With --telemetry-port the whole record+replay pipeline serves live
  * /metrics, /healthz and /runz (per-leg sweep status) on 127.0.0.1 —
@@ -245,6 +250,10 @@ main(int argc, char **argv)
                          e.error().describe().c_str());
             return 1;
         }
+        if (!obs_cfg.profile_out.empty())
+            std::printf("[profile] %s.folded %s.json\n",
+                        obs_cfg.profile_out.c_str(),
+                        obs_cfg.profile_out.c_str());
     }
     return ok ? 0 : 1;
 }

@@ -17,6 +17,10 @@
  *   report compare A.jsonl B.jsonl [--threshold R]
  *       # differential summary of two metrics files; exits 3 when any
  *       # series' relative delta exceeds R (CI regression gate)
+ *   report profile A.folded B.folded [--threshold R] [--min-share S]
+ *       # differential stage profile of two collapsed-stack files
+ *       # (--profile-out); same exit contract as compare: 3 when any
+ *       # stage's symmetric relative self-share delta exceeds R
  */
 #include <algorithm>
 #include <cmath>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "obs/metrics_summary.hpp"
+#include "obs/profiler.hpp"
 #include "util/cli.hpp"
 #include "util/csv_reader.hpp"
 #include "util/error.hpp"
@@ -217,6 +222,49 @@ compareMetrics(const std::string &path_a, const std::string &path_b,
 }
 
 /**
+ * `report profile A B`: differential stage profile of two .folded
+ * files. Shares are self-sample fractions, so the comparison is
+ * duration-independent: two runs of the same configuration agree even
+ * when one sampled longer. With --threshold R, exits 3 when any
+ * stage's symmetric relative delta exceeds R — the profiling twin of
+ * `report compare`. --min-share S (default 0.005) keeps rarely-sampled
+ * stages from tripping the gate on sampling noise.
+ */
+int
+compareProfiles(const std::string &path_a, const std::string &path_b,
+                double threshold, double min_share)
+{
+    using namespace mltc;
+    FoldedProfile a, b;
+    try {
+        a = loadFolded(path_a);
+        b = loadFolded(path_b);
+    } catch (const Exception &e) {
+        std::printf("error: %s\n", e.error().describe().c_str());
+        return 1;
+    }
+    const ProfileDiff d = diffFoldedProfiles(a, b, min_share);
+    std::printf("A = %s (%llu samples), B = %s (%llu samples)\n",
+                path_a.c_str(),
+                static_cast<unsigned long long>(a.total_samples),
+                path_b.c_str(),
+                static_cast<unsigned long long>(b.total_samples));
+    TextTable out({"stage", "self A", "self B", "rel delta"});
+    for (const ProfileDiffRow &row : d.rows)
+        out.addRow({row.name, formatPercent(row.share_a, 2),
+                    formatPercent(row.share_b, 2),
+                    formatPercent(row.rel_delta, 2)});
+    out.print();
+    if (threshold >= 0.0 && d.max_rel > threshold) {
+        std::printf("FAIL: max relative delta %s exceeds threshold %s\n",
+                    formatPercent(d.max_rel, 2).c_str(),
+                    formatPercent(threshold, 2).c_str());
+        return 3;
+    }
+    return 0;
+}
+
+/**
  * `report --mrc`: render the miss-ratio curve CSV a profiled run wrote
  * (columns level,capacity_units,capacity_bytes,miss_ratio) as ASCII bar
  * plots, one per cache level.
@@ -367,6 +415,16 @@ main(int argc, char **argv)
         return compareMetrics(cli.positional()[1], cli.positional()[2],
                               cli.getDouble("threshold", -1.0));
     }
+    if (!cli.positional().empty() && cli.positional()[0] == "profile") {
+        if (cli.positional().size() < 3) {
+            std::printf("usage: report profile A.folded B.folded "
+                        "[--threshold R] [--min-share S]\n");
+            return 1;
+        }
+        return compareProfiles(cli.positional()[1], cli.positional()[2],
+                               cli.getDouble("threshold", -1.0),
+                               cli.getDouble("min-share", 0.005));
+    }
     if (cli.has("metrics"))
         return summarizeMetrics(cli.getString("metrics", ""));
     if (cli.has("streams"))
@@ -383,7 +441,9 @@ main(int argc, char **argv)
                     "report --streams <run.jsonl> | "
                     "report --mrc <mrc.csv> | "
                     "report --heatmap <hm.json> [--top-blocks N] | "
-                    "report compare <A.jsonl> <B.jsonl> [--threshold R]\n");
+                    "report compare <A.jsonl> <B.jsonl> [--threshold R] | "
+                    "report profile <A.folded> <B.folded> "
+                    "[--threshold R]\n");
         return 1;
     }
 

@@ -21,6 +21,7 @@ trap 'rm -rf "$WORK"' EXIT INT TERM
 # lands, on fast and slow machines alike.
 "$EXPLORER" --sweep l2 --workload village --frames 200 --jobs 4 \
     --trace-out "$WORK/t.json" --metrics-out "$WORK/m.jsonl" \
+    --profile-out "$WORK/prof" --profile-hz 97 \
     --mrc-out "$WORK/mrc" --mrc-interval 2 \
     > "$WORK/stdout.txt" 2> "$WORK/stderr.txt" &
 pid=$!
@@ -70,5 +71,17 @@ echo "   legs reported cooperative cancellation"
 "$REPORT" --metrics "$WORK/m.jsonl" > /dev/null
 "$REPORT" --mrc "$WORK/mrc.csv" > /dev/null
 echo "   partial trace, merged metrics and MRC are schema-valid"
+
+# The profiler buffers must land too: the cooperative-exit path writes
+# the profile-so-far, and its folded file diffs cleanly against itself.
+for f in "$WORK/prof.folded" "$WORK/prof.json"; do
+    if [ ! -s "$f" ]; then
+        echo "FAIL: interrupted run never flushed $f" >&2
+        exit 1
+    fi
+done
+"$REPORT" profile "$WORK/prof.folded" "$WORK/prof.folded" \
+    --threshold 0.0 > /dev/null
+echo "   partial stage profile flushed and self-consistent"
 
 echo "interrupt_flush: PASS"

@@ -1,0 +1,177 @@
+#!/usr/bin/env sh
+# End-to-end continuous-profiling proof, in four stages:
+#
+#  1. Profile validity: a profiled sweep (997 Hz) must emit a .folded
+#     file in collapsed-stack grammar ("frames... N" lines, counts
+#     last) whose stage set exactly matches the profile JSON's stages[]
+#     array, with every non-annotation stage drawn from the known
+#     instrumented trace-stage set and per-leg roll-ups present; and
+#     `report profile` of the profile against itself must exit 0.
+#  2. Perturbation freedom: a 4-stream / 8-job serve with the profiler
+#     sampling at 97 Hz must leave every per-stream CSV byte-identical
+#     to the same run unprofiled, and its stdout + CSVs byte-identical
+#     to the profiled run at --jobs 1.
+#  3. Differential gate: `report profile` on a synthetic pair whose
+#     self-share shift exceeds --threshold must exit 3 (the same
+#     contract as `report compare`).
+#  4. Counter fallback: with MLTC_PROFILE_FORCE_FALLBACK=1 (the denied
+#     perf_event_open path, forced so the proof holds on machines where
+#     the syscall is allowed) the run must still profile and declare
+#     counters.available=false in the JSON.
+#
+# Usage: scripts/validate_profile.sh <cache_explorer> <report>
+# Registered as the ctest case `profile_schema_script`.
+set -eu
+
+abspath() {
+    case "$1" in
+    /*) printf '%s\n' "$1" ;;
+    *) printf '%s/%s\n' "$PWD" "$1" ;;
+    esac
+}
+EXPLORER="$(abspath "$1")"
+REPORT="$(abspath "$2")"
+FRAMES="${MLTC_FRAMES:-4}"
+ROUNDS=$((FRAMES * 3))
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/mltc_prof.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# Folded grammar: every line is "stack count" with the count after the
+# last space. (An empty file is grammatical; stage presence is gated
+# separately.)
+check_folded_grammar() {
+    if grep -vE '^.+ [0-9]+$' "$1" | grep -q .; then
+        echo "FAIL: $1 has lines outside the folded grammar:"
+        grep -vE '^.+ [0-9]+$' "$1"
+        exit 1
+    fi
+}
+
+# Schema + cross-consistency of one .folded/.json pair.
+check_profile_pair() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+folded_path, json_path = sys.argv[1], sys.argv[2]
+doc = json.load(open(json_path))
+for key in ("build", "profile", "stages", "legs", "streams", "counters"):
+    assert key in doc, f"profile JSON lacks '{key}'"
+for key in ("git_sha", "compiler", "cpu_model", "cores"):
+    assert key in doc["build"], f"build provenance lacks '{key}'"
+assert doc["profile"]["hz"] > 0
+
+def frames_of(stack):
+    out, cur, i = [], "", 0
+    while i < len(stack):
+        c = stack[i]
+        if c == "\\" and i + 1 < len(stack):
+            cur += stack[i + 1]
+            i += 2
+        elif c == ";":
+            out.append(cur)
+            cur = ""
+            i += 1
+        else:
+            cur += c
+            i += 1
+    out.append(cur)
+    return out
+
+folded_stages, folded_total = set(), 0
+for line in open(folded_path):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    stack, count = line.rsplit(" ", 1)
+    folded_stages.update(frames_of(stack))
+    folded_total += int(count)
+
+json_stages = {s["stage"] for s in doc["stages"]}
+assert json_stages == folded_stages, (
+    f"stage sets disagree: json-only={json_stages - folded_stages}, "
+    f"folded-only={folded_stages - json_stages}")
+
+KNOWN = {"frame", "cachesim.access", "sampler.sample",
+         "raster.depth_prepass", "raster.texture_pass"}
+for stage in json_stages:
+    assert stage.startswith(("leg:", "stream:")) or stage in KNOWN, (
+        f"unknown stage '{stage}' outside the instrumented trace set")
+
+# A pure-parent stage (e.g. "frame") may have self == 0 when every
+# sample landed in one of its children; total must still be positive.
+for s in doc["stages"]:
+    assert 0 <= s["self"] <= s["total"] and s["total"] > 0, (
+        f"bad self/total in {s}")
+# Folded stacks are a subset of all samples (empty-stack ticks are
+# sampled but not folded).
+assert folded_total <= doc["profile"]["samples"], (
+    f"folded {folded_total} > sampled {doc['profile']['samples']}")
+assert isinstance(doc["counters"]["available"], bool)
+print(f"profile ok: {len(json_stages)} stages, "
+      f"{folded_total} folded samples")
+EOF
+}
+
+echo "== 1. profiled sweep emits a valid folded/JSON pair =="
+"$EXPLORER" --sweep l2 --frames "$FRAMES" --jobs 2 \
+    --profile-out "$WORK/sweep" --profile-hz 997 >"$WORK/sweep.stdout"
+grep -q '^\[profile\] ' "$WORK/sweep.stdout" || {
+    echo "FAIL: run never announced its profile outputs"; exit 1; }
+test -s "$WORK/sweep.folded" || {
+    echo "FAIL: sweep.folded is missing or empty"; exit 1; }
+check_folded_grammar "$WORK/sweep.folded"
+check_profile_pair "$WORK/sweep.folded" "$WORK/sweep.json"
+grep -q '^leg:' "$WORK/sweep.folded" || {
+    echo "FAIL: no leg:-rooted stacks in a sweep profile"; exit 1; }
+"$REPORT" profile "$WORK/sweep.folded" "$WORK/sweep.folded" \
+    --threshold 0.0 >/dev/null || {
+    echo "FAIL: self-comparison must exit 0"; exit 1; }
+
+echo "== 2. profiling never perturbs simulation output bytes =="
+mkdir "$WORK/off" "$WORK/j8" "$WORK/j1"
+(cd "$WORK/off" && "$EXPLORER" --streams 4 --jobs 8 --rounds "$ROUNDS" \
+    --csv-prefix s >stdout)
+(cd "$WORK/j8" && "$EXPLORER" --streams 4 --jobs 8 --rounds "$ROUNDS" \
+    --csv-prefix s --profile-out prof --profile-hz 97 >stdout)
+(cd "$WORK/j1" && "$EXPLORER" --streams 4 --jobs 1 --rounds "$ROUNDS" \
+    --csv-prefix s --profile-out prof --profile-hz 97 >stdout)
+for i in 0 1 2 3; do
+    cmp "$WORK/off/s.stream$i.csv" "$WORK/j8/s.stream$i.csv"
+    cmp "$WORK/j8/s.stream$i.csv" "$WORK/j1/s.stream$i.csv"
+done
+# The serve banner legitimately prints its own jobs count; normalize it
+# (as check_parallel_invariance.sh does) before demanding byte identity.
+sed 's/[0-9][0-9]* jobs/N jobs/' "$WORK/j8/stdout" >"$WORK/j8.norm"
+sed 's/[0-9][0-9]* jobs/N jobs/' "$WORK/j1/stdout" >"$WORK/j1.norm"
+cmp "$WORK/j8.norm" "$WORK/j1.norm"
+grep -v '^\[profile\] ' "$WORK/j8/stdout" | cmp - "$WORK/off/stdout"
+check_folded_grammar "$WORK/j8/prof.folded"
+check_profile_pair "$WORK/j8/prof.folded" "$WORK/j8/prof.json"
+
+echo "== 3. differential gate trips on a real shift =="
+printf 'x 90\ny 10\n' >"$WORK/a.folded"
+printf 'x 50\ny 50\n' >"$WORK/b.folded"
+status=0
+"$REPORT" profile "$WORK/a.folded" "$WORK/b.folded" --threshold 0.5 \
+    >"$WORK/diff.txt" || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: threshold-violating pair exited $status, want 3"
+    cat "$WORK/diff.txt"
+    exit 1
+fi
+grep -q 'FAIL: max relative delta' "$WORK/diff.txt" || {
+    echo "FAIL: gate verdict line missing"; exit 1; }
+
+echo "== 4. denied perf_event_open degrades gracefully =="
+MLTC_PROFILE_FORCE_FALLBACK=1 "$EXPLORER" --sweep l1 --frames "$FRAMES" \
+    --jobs 2 --profile-out "$WORK/fb" --profile-hz 997 >/dev/null
+python3 - "$WORK/fb.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["counters"]["available"] is False, "fallback not declared"
+assert doc["counters"]["stages"] == [], "phantom counter rows"
+assert doc["profile"]["samples"] > 0, "fallback run stopped sampling"
+print("fallback ok")
+EOF
+
+echo "OK"

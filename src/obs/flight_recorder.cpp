@@ -8,6 +8,7 @@
 #include <sys/stat.h>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 #include "util/io.hpp"
 #include "util/json.hpp"
@@ -256,6 +257,12 @@ installFlightRecorder(FlightRecorder *recorder)
 std::string
 flightDump(const std::string &reason)
 {
+    // A dump trigger (quarantine, watchdog, audit, I/O storm) is
+    // exactly when the profile-so-far matters: flush it next to the
+    // bundle, best-effort, matching the metrics/trace snapshot
+    // behaviour.
+    if (StageProfiler *p = stageProfiler())
+        p->flushOutputs();
     FlightRecorder *fr = flightRecorder();
     return fr ? fr->dump(reason) : "";
 }

@@ -1,5 +1,6 @@
 #include "obs/observability.hpp"
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -26,6 +27,19 @@ obsFromCli(const CommandLine &cli)
     cfg.slo_spec = cli.getString("slo", "");
     cfg.slo_out = cli.getString("slo-out", "");
     cfg.flight_out = cli.getString("flight-out", "");
+    cfg.profile_out = cli.getString("profile-out", "");
+    const unsigned long hz = cli.getUnsigned("profile-hz", 997);
+    if (hz == 0 || hz > 100000)
+        throw Exception(ErrorCode::BadArgument,
+                        "--profile-hz: expected a sampling rate in "
+                        "[1, 100000], got '" +
+                            cli.getString("profile-hz", "") + "'");
+    cfg.profile_hz = static_cast<uint32_t>(hz);
+    cfg.profile_counters = !cli.getFlag("profile-no-counters");
+    // Test/CI hook: exercise the denied-perf_event_open degradation
+    // deterministically, whatever the host kernel allows.
+    cfg.profile_force_fallback =
+        envInt("MLTC_PROFILE_FORCE_FALLBACK", 0) != 0;
     return cfg;
 }
 
@@ -51,12 +65,28 @@ Observability::Observability(const ObsConfig &config,
         if (hooks_)
             setGlobalTracer(trace_.get());
     }
+    if (!cfg_.profile_out.empty()) {
+        ProfilerConfig pc;
+        pc.hz = cfg_.profile_hz;
+        pc.out_prefix = cfg_.profile_out;
+        pc.counters = cfg_.profile_counters;
+        pc.force_counters_unavailable = cfg_.profile_force_fallback;
+        pc.registry = &metrics_;
+        profiler_ = std::make_unique<StageProfiler>(pc);
+        if (hooks_)
+            installStageProfiler(profiler_.get());
+    }
     if (cfg_.telemetry) {
         TelemetryConfig tc;
         tc.enabled = true;
         tc.port = cfg_.telemetry_port;
         tc.port_file = cfg_.telemetry_port_file;
         telemetry_ = std::make_unique<TelemetryServer>(tc, &metrics_);
+        if (profiler_) {
+            StageProfiler *p = profiler_.get();
+            telemetry_->setProfileProvider(
+                [p]() { return p->liveJson(); });
+        }
     }
     if (!cfg_.slo_out.empty())
         slo_sink_ = std::make_unique<JsonlFileSink>(cfg_.slo_out);
@@ -78,6 +108,8 @@ Observability::~Observability()
         setGlobalTracer(nullptr);
     if (hooks_ && flight_ && flightRecorder() == flight_.get())
         installFlightRecorder(nullptr);
+    if (hooks_ && profiler_ && stageProfiler() == profiler_.get())
+        installStageProfiler(nullptr);
     // The telemetry server joins its thread in its own destructor;
     // sinks close themselves best-effort; explicit close() reports I/O
     // failures as typed errors.
@@ -88,6 +120,10 @@ Observability::flush()
 {
     if (trace_)
         trace_->flush();
+    // Matches the trace/metrics signal-flush contract: a cooperative
+    // SIGINT/SIGTERM exit keeps every sample taken so far.
+    if (profiler_)
+        profiler_->flushOutputs();
 }
 
 void
@@ -100,6 +136,18 @@ Observability::close()
         telemetry_->stop(); // joins the scrape thread
     if (hooks_ && flight_ && flightRecorder() == flight_.get())
         installFlightRecorder(nullptr);
+    if (profiler_) {
+        if (hooks_ && stageProfiler() == profiler_.get())
+            installStageProfiler(nullptr);
+        profiler_->stopSampler();
+        try {
+            profiler_->writeOutputs();
+        } catch (const Exception &e) {
+            ++sink_errors_;
+            logWarn("observability: profile sink lost: " +
+                    e.error().describe());
+        }
+    }
     if (slo_sink_) {
         try {
             slo_sink_->close();

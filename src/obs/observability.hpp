@@ -11,12 +11,21 @@
  *
  * plus the live telemetry plane (docs/observability.md):
  *
- *   --telemetry-port=P        /metrics, /healthz, /runz on 127.0.0.1:P
- *                             (0 = kernel-assigned; see the port file)
+ *   --telemetry-port=P        /metrics, /healthz, /runz, /profilez on
+ *                             127.0.0.1:P (0 = kernel-assigned)
  *   --telemetry-port-file=F   write the bound port to F (for scripts)
  *   --slo=RULES               per-stream SLO rules (see obs/slo.hpp)
  *   --slo-out=PATH            SLO fire/clear transitions (JSONL)
  *   --flight-out=PREFIX       flight-recorder bundle at PREFIX.flight/
+ *
+ * and the continuous profiling plane (docs/profiling.md):
+ *
+ *   --profile-out=PREFIX      sampled stage profile: PREFIX.folded
+ *                             (flamegraph collapsed stacks) and
+ *                             PREFIX.json (stage/leg/stream summary
+ *                             with hardware counters)
+ *   --profile-hz=N            sampling rate (default 997)
+ *   --profile-no-counters     skip perf_event_open entirely
  *
  * Observability owns the registry, the trace writer and the JSONL
  * sinks, installs itself as the process-global tracer for its
@@ -34,6 +43,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry_server.hpp"
 #include "obs/trace_event.hpp"
@@ -57,12 +67,18 @@ struct ObsConfig
     std::string slo_out;              ///< --slo-out JSONL path
     std::string flight_out;           ///< --flight-out bundle prefix
 
+    // Continuous profiling plane (see file comment).
+    std::string profile_out;          ///< --profile-out prefix
+    uint32_t profile_hz = 997;        ///< --profile-hz sampling rate
+    bool profile_counters = true;     ///< cleared by --profile-no-counters
+    bool profile_force_fallback = false; ///< MLTC_PROFILE_FORCE_FALLBACK=1
+
     bool
     anyEnabled() const
     {
         return !metrics_path.empty() || !trace_path.empty() ||
                miss_classes || telemetry || !slo_spec.empty() ||
-               !flight_out.empty();
+               !flight_out.empty() || !profile_out.empty();
     }
 };
 
@@ -116,6 +132,9 @@ class Observability
     /** Null without --flight-out. */
     FlightRecorder *flight() { return flight_.get(); }
 
+    /** Null without --profile-out. */
+    StageProfiler *profiler() { return profiler_.get(); }
+
     /**
      * Flush every sink without closing it, so an interrupted run keeps
      * everything emitted so far. The metrics JSONL sink already flushes
@@ -144,6 +163,7 @@ class Observability
     std::vector<SloRule> slo_rules_;
     std::unique_ptr<JsonlFileSink> slo_sink_;
     std::unique_ptr<FlightRecorder> flight_;
+    std::unique_ptr<StageProfiler> profiler_;
     int sink_errors_ = 0;
 };
 

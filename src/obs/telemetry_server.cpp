@@ -1,5 +1,6 @@
 #include "obs/telemetry_server.hpp"
 
+#include "util/build_info.hpp"
 #include "util/error.hpp"
 #include "util/exposition.hpp"
 #include "util/io.hpp"
@@ -172,6 +173,33 @@ TelemetryServer::publishRunz(const std::string &json)
     runz_json_ = json;
 }
 
+void
+TelemetryServer::setProfileProvider(std::function<std::string()> provider)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    profile_provider_ = std::move(provider);
+}
+
+namespace {
+
+/**
+ * Prepend {"build":...} to a pushed JSON object so /runz attributes
+ * the run to its binary and machine. Pushed documents are complete
+ * objects by contract, so splicing after the opening brace is safe.
+ */
+std::string
+withBuildInfo(const std::string &doc)
+{
+    if (doc.size() < 2 || doc.front() != '{')
+        return doc;
+    const std::string build = "{\"build\":" + buildInfoJson();
+    if (doc == "{}")
+        return build + "}";
+    return build + "," + doc.substr(1);
+}
+
+} // namespace
+
 HttpResponse
 TelemetryServer::handle(const HttpRequest &req)
 {
@@ -189,12 +217,27 @@ TelemetryServer::handle(const HttpRequest &req)
     if (req.target == "/healthz" || req.target == "/runz") {
         resp.content_type = "application/json";
         std::lock_guard<std::mutex> lock(mutex_);
-        resp.body =
-            (req.target == "/healthz" ? health_json_ : runz_json_) + "\n";
+        resp.body = (req.target == "/healthz"
+                         ? health_json_
+                         : withBuildInfo(runz_json_)) +
+                    "\n";
+        return resp;
+    }
+    if (req.target == "/profilez") {
+        resp.content_type = "application/json";
+        std::function<std::string()> provider;
+        {
+            // Copy out: the provider locks the profiler internally and
+            // must not run under the server's own document mutex.
+            std::lock_guard<std::mutex> lock(mutex_);
+            provider = profile_provider_;
+        }
+        resp.body = (provider ? provider() : "{\"enabled\":false}") + "\n";
         return resp;
     }
     resp.status = 404;
-    resp.body = "unknown endpoint (try /metrics, /healthz, /runz)\n";
+    resp.body =
+        "unknown endpoint (try /metrics, /healthz, /runz, /profilez)\n";
     return resp;
 }
 

@@ -14,7 +14,12 @@
  *   /healthz  watchdog / quarantine state, pushed by the runner each
  *             round via publishHealth() — '{"status":...}' JSON.
  *   /runz     run manifest (config, seed, frame progress, per-leg
- *             sweep status), pushed via publishRunz().
+ *             sweep status), pushed via publishRunz(); the server
+ *             prepends the build provenance (util/build_info.hpp) so
+ *             every scraped run is attributable to a binary+machine.
+ *   /profilez live continuous-profiling aggregates (same JSON schema
+ *             as --profile-out's PREFIX.json), rendered on demand via
+ *             setProfileProvider(); '{"enabled":false}' without one.
  *
  * The scrape thread only ever touches the registry through its lock
  * and the two pushed strings under the server's own mutex, so a
@@ -26,6 +31,7 @@
 #define MLTC_OBS_TELEMETRY_SERVER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -79,6 +85,13 @@ class TelemetryServer
     /** Replace the /runz document (a complete JSON object). */
     void publishRunz(const std::string &json);
 
+    /**
+     * Install the /profilez renderer (typically StageProfiler::
+     * liveJson bound by Observability). The callable runs on the
+     * scrape thread and must be internally synchronized.
+     */
+    void setProfileProvider(std::function<std::string()> provider);
+
     /** Stop serving; idempotent (also run by the destructor). */
     void stop() { server_.stop(); }
 
@@ -89,6 +102,7 @@ class TelemetryServer
     mutable std::mutex mutex_; ///< guards the pushed documents
     std::string health_json_ = "{\"status\":\"starting\"}";
     std::string runz_json_ = "{}";
+    std::function<std::string()> profile_provider_;
     HttpServer server_;
 };
 

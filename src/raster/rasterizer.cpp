@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 
 namespace mltc {
@@ -42,6 +43,8 @@ Rasterizer::renderFrame(const Scene &scene, const Camera &camera,
         depth_fb->clearDepth();
         // Depth-only pass: establish the front-most surface per pixel.
         ScopedTrace pass_scope("raster.depth_prepass", "raster");
+        ScopedProfileStage prof_scope("raster.depth_prepass",
+                                      /*with_counters=*/true);
         for (size_t idx : visible)
             drawObject(scene.objects()[idx], camera, textures,
                        Pass::DepthOnly, stats);
@@ -49,6 +52,8 @@ Rasterizer::renderFrame(const Scene &scene, const Camera &camera,
 
     {
         ScopedTrace pass_scope("raster.texture_pass", "raster");
+        ScopedProfileStage prof_scope("raster.texture_pass",
+                                      /*with_counters=*/true);
         for (size_t idx : visible) {
             const SceneObject &obj = scene.objects()[idx];
             drawObject(obj, camera, textures, Pass::Texture, stats);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "geom/vec.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_event.hpp"
 
 namespace mltc {
@@ -94,10 +95,13 @@ TextureSampler::sampleBilinear(float u, float v, uint32_t m)
 uint32_t
 TextureSampler::sample(float u, float v, float lambda)
 {
-    // The SelfTimer scope lives only on the traced branch so its
-    // destructor cannot burden the untraced per-pixel hot path.
-    if (globalTracer() != nullptr) [[unlikely]] {
+    // The SelfTimer/profiler scopes live only on the observed branch so
+    // their destructors cannot burden the unobserved per-pixel hot
+    // path.
+    if (globalTracer() != nullptr || stageProfiler() != nullptr)
+        [[unlikely]] {
         SelfTimer timer(&sample_ns_);
+        ScopedProfileStage prof("sampler.sample");
         return sampleImpl(u, v, lambda);
     }
     return sampleImpl(u, v, lambda);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "raster/access_sink.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -206,9 +207,14 @@ MultiConfigRunner::run(const RowCallback &cb)
     for (auto *s : extra_sinks_)
         fanout.add(s);
 
-    const FrameGate gate = [](int) {
+    // The frame bracket spans gate -> per-frame callback (same thread),
+    // so the profiler scope is carried manually rather than via RAII.
+    detail::ProfileSlot *frame_prof = nullptr;
+    const FrameGate gate = [&frame_prof](int) {
         if (ChromeTraceWriter *t = globalTracer())
             t->begin("frame", "frame");
+        if (StageProfiler *p = stageProfiler())
+            frame_prof = p->enter("frame");
         return true;
     };
     runAnimationRange(workload_, config_, &fanout, 0,
@@ -216,8 +222,14 @@ MultiConfigRunner::run(const RowCallback &cb)
                           harvestRow(frame, fs, cb);
                           if (ChromeTraceWriter *t = globalTracer())
                               t->end();
+                          if (frame_prof != nullptr) {
+                              StageProfiler::leave(frame_prof);
+                              frame_prof = nullptr;
+                          }
                       },
                       gate);
+    if (frame_prof != nullptr) // stopped between gate and callback
+        StageProfiler::leave(frame_prof);
 }
 
 double
@@ -633,6 +645,8 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
 
     const auto run_start = Clock::now();
     auto frame_start = run_start;
+    // Frame bracket carried gate -> per-frame callback on one thread.
+    detail::ProfileSlot *frame_prof = nullptr;
     RunOutcome outcome = RunOutcome::Completed;
     int next_frame = start_frame;
     uint32_t checkpoints_written = 0;
@@ -749,6 +763,8 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
         frame_start = Clock::now();
         if (ChromeTraceWriter *t = globalTracer())
             t->begin("frame", "frame");
+        if (StageProfiler *p = stageProfiler())
+            frame_prof = p->enter("frame");
         return true;
     };
 
@@ -756,6 +772,10 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
         harvestRow(frame, fs, cb);
         if (ChromeTraceWriter *t = globalTracer())
             t->end();
+        if (frame_prof != nullptr) {
+            StageProfiler::leave(frame_prof);
+            frame_prof = nullptr;
+        }
         next_frame = frame + 1;
 
         // Invariant audits at the frame boundary: a violating simulator
@@ -835,6 +855,8 @@ MultiConfigRunner::runSupervised(const ResilienceConfig &rc,
 
     runAnimationRange(workload_, config_, &fanout, start_frame, per_frame,
                       gate);
+    if (frame_prof != nullptr) // stopped between gate and callback
+        StageProfiler::leave(frame_prof);
 
     if (outcome == RunOutcome::DeadlineExceeded ||
         outcome == RunOutcome::BudgetExhausted)

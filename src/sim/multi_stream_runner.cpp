@@ -12,6 +12,7 @@
 #include "core/audit.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/observability.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace_event.hpp"
 #include "raster/rasterizer.hpp"
@@ -707,6 +708,12 @@ MultiStreamRunner::run(const ResilienceConfig &res)
             if (st.dead)
                 continue;
             try {
+                // Replay+harvest samples roll up under the tenant's
+                // own "stream:<name>" root (record-phase work already
+                // carries the sweep leg named after the stream).
+                ScopedProfileStage stream_prof(
+                    profileInternAnnotation("stream:" + st.name),
+                    /*with_counters=*/true);
                 replayStream(i);
                 harvestRow(i, round);
                 st.sim->audit(res.audit);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/profiler.hpp"
 #include "obs/telemetry_server.hpp"
 #include "sim/resilience.hpp"
 #include "util/csv.hpp"
@@ -91,6 +92,12 @@ runOneLeg(const std::function<void(LegContext &)> &body, LegContext &ctx,
     }
     auto t0 = std::chrono::steady_clock::now();
     try {
+        // Every sample taken while this worker runs the leg carries a
+        // "leg:<name>" root frame; hardware counters (when available)
+        // bracket the whole leg body.
+        ScopedProfileStage leg_prof(
+            profileInternAnnotation("leg:" + ctx.name()),
+            /*with_counters=*/true);
         body(ctx);
         result.outcome = LegOutcome::Completed;
     } catch (const std::exception &e) {

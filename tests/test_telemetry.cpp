@@ -153,8 +153,20 @@ TEST(TelemetryServer, ServesAllEndpoints)
     server.publishRunz("{\"mode\":\"test\"}");
     EXPECT_EQ(httpGet(server.port(), "/healthz", &status),
               "{\"status\":\"serving\"}\n");
-    EXPECT_EQ(httpGet(server.port(), "/runz", &status),
-              "{\"mode\":\"test\"}\n");
+    // /runz splices the build provenance ahead of the pushed document.
+    const std::string runz = httpGet(server.port(), "/runz", &status);
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(runz.find("{\"build\":{\"git_sha\":"), 0u);
+    EXPECT_NE(runz.find("\"mode\":\"test\"}\n"), std::string::npos);
+
+    // /profilez without a provider reports the plane disabled; with
+    // one it serves whatever the provider renders.
+    EXPECT_EQ(httpGet(server.port(), "/profilez", &status),
+              "{\"enabled\":false}\n");
+    EXPECT_EQ(status, 200);
+    server.setProfileProvider([] { return std::string("{\"hz\":997}"); });
+    EXPECT_EQ(httpGet(server.port(), "/profilez", &status),
+              "{\"hz\":997}\n");
     EXPECT_EQ(status, 200);
 
     httpGet(server.port(), "/nope", &status);
