@@ -108,6 +108,156 @@ BM_CacheSimAccess(benchmark::State &state)
 BENCHMARK(BM_CacheSimAccess);
 
 /**
+ * The batched-vs-scalar gate pattern (docs/batched_access.md): a
+ * serpentine walk over a 64x32-texel window. That window is the
+ * conflict-free working set of the 16KB L1 under Morton set indexing,
+ * so after warm-up every access hits and the rows isolate the
+ * *front-end* cost per texel — virtual dispatch, observability-hook
+ * check, coalescing filter, address translation, tag probe — which is
+ * exactly the cost the batched path amortises and vectorises. The miss
+ * path (L2, TLB, host fetch) is shared verbatim by both modes and is
+ * priced separately by BM_CacheSimAccess's 25%-miss sweep, so an
+ * all-hit pattern here is the honest denominator: miss-heavy patterns
+ * would just dilute both rows with identical slow-path time.
+ *
+ * Scalar calls go through the TexelAccessSink interface pointer, as
+ * every deployment call site does (rasterizer, trace replay,
+ * multi-stream replay all hold sink pointers); laundering the pointer
+ * through DoNotOptimize stops the compiler devirtualising a call that
+ * no real call site can devirtualise.
+ */
+constexpr uint32_t kScanW = 64;
+constexpr uint32_t kScanRows = 32;
+
+void
+runCacheSimScan(benchmark::State &state, const CacheSimConfig &cfg)
+{
+    TextureManager &tm = benchTextures();
+    CacheSim sim(tm, cfg);
+    TexelAccessSink *sink = &sim;
+    benchmark::DoNotOptimize(sink);
+    sink->bindTexture(1);
+    uint32_t y = 0;
+    for (auto _ : state) {
+        for (uint32_t i = 0; i < kScanW; ++i)
+            sink->access((y & 1) ? (kScanW - 1 - i) : i, y, 0);
+        y = (y + 1) & (kScanRows - 1);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kScanW));
+}
+
+void
+BM_CacheSimAccessScan(benchmark::State &state)
+{
+    runCacheSimScan(state,
+                    CacheSimConfig::twoLevel(16 * 1024, 2ull << 20));
+}
+BENCHMARK(BM_CacheSimAccessScan);
+
+/** Scalar scan with the 3C shadow models on (batch-gate denominator). */
+void
+BM_CacheSimAccessScanClassified(benchmark::State &state)
+{
+    CacheSimConfig cfg = CacheSimConfig::twoLevel(16 * 1024, 2ull << 20);
+    cfg.classify_misses = true;
+    runCacheSimScan(state, cfg);
+}
+BENCHMARK(BM_CacheSimAccessScanClassified);
+
+/**
+ * The batched access path: the same serpentine scan delivered as
+ * 256-texel spans (four scanlines — a trace-replay chunk) through the
+ * same laundered sink pointer. The spans are prebuilt: this row prices
+ * the accessBatch() entry point itself, the per-texel analogue of
+ * BM_CacheSimAccessScan's access() calls — producers own the buffer
+ * fill and BM_CacheSimAccessBatchProduce prices that end-to-end.
+ * ns/op is per texel access (items-normalised), so this row divides
+ * directly against BM_CacheSimAccessScan; the perf gate enforces the
+ * >= 2x speedup (check_perf_regression.py --batch-speedup).
+ */
+void
+runCacheSimAccessBatch(benchmark::State &state, const CacheSimConfig &cfg,
+                       bool prebuilt)
+{
+    TextureManager &tm = benchTextures();
+    CacheSim sim(tm, cfg);
+    TexelAccessSink *sink = &sim;
+    benchmark::DoNotOptimize(sink);
+    sink->bindTexture(1);
+    constexpr uint32_t kSpanRows = 4;
+    constexpr uint32_t kSpan = kScanW * kSpanRows;
+    constexpr uint32_t kBands = kScanRows / kSpanRows;
+    std::vector<std::vector<TexelRef>> spans(kBands);
+    for (uint32_t b = 0; b < kBands; ++b)
+        for (uint32_t r = 0; r < kSpanRows; ++r) {
+            const uint32_t y = b * kSpanRows + r;
+            for (uint32_t i = 0; i < kScanW; ++i)
+                spans[b].push_back(TexelRef::texel(
+                    (y & 1) ? (kScanW - 1 - i) : i, y, 0));
+        }
+    std::vector<TexelRef> scratch(kSpan);
+    uint32_t b = 0;
+    for (auto _ : state) {
+        if (prebuilt) {
+            sink->accessBatch(spans[b]);
+        } else {
+            // End-to-end: rebuild the span as a producer would before
+            // delivering it.
+            size_t k = 0;
+            for (uint32_t r = 0; r < kSpanRows; ++r) {
+                const uint32_t y = b * kSpanRows + r;
+                for (uint32_t i = 0; i < kScanW; ++i)
+                    scratch[k++] = TexelRef::texel(
+                        (y & 1) ? (kScanW - 1 - i) : i, y, 0);
+            }
+            sink->accessBatch(scratch);
+        }
+        b = (b + 1) & (kBands - 1);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(kSpan));
+}
+
+void
+BM_CacheSimAccessBatch(benchmark::State &state)
+{
+    runCacheSimAccessBatch(
+        state, CacheSimConfig::twoLevel(16 * 1024, 2ull << 20), true);
+}
+BENCHMARK(BM_CacheSimAccessBatch);
+
+/**
+ * The batched path end to end: span construction (the producer's
+ * TexelRef stores) plus delivery, the full deployment cost of batched
+ * mode per texel. Gated against BM_CacheSimAccessScan at a lower floor
+ * (--batch-produce-speedup): batching must win even when it pays for
+ * its own buffering.
+ */
+void
+BM_CacheSimAccessBatchProduce(benchmark::State &state)
+{
+    runCacheSimAccessBatch(
+        state, CacheSimConfig::twoLevel(16 * 1024, 2ull << 20), false);
+}
+BENCHMARK(BM_CacheSimAccessBatchProduce);
+
+/**
+ * Batched path with 3C classification on: the hit-observing shadow
+ * models force the faithful per-texel replay branch, so only the
+ * per-batch hook amortisation remains — the gate bounds it as
+ * no-slower-than BM_CacheSimAccessScanClassified rather than 2x.
+ */
+void
+BM_CacheSimAccessBatchClassified(benchmark::State &state)
+{
+    CacheSimConfig cfg = CacheSimConfig::twoLevel(16 * 1024, 2ull << 20);
+    cfg.classify_misses = true;
+    runCacheSimAccessBatch(state, cfg, true);
+}
+BENCHMARK(BM_CacheSimAccessBatchClassified);
+
+/**
  * BM_CacheSimAccess with the live telemetry plane attached: an enabled
  * MetricsRegistry receiving frame-boundary update batches under the
  * scrape guard, while a background thread renders the /metrics
@@ -300,7 +450,15 @@ class JsonCaptureReporter final : public benchmark::ConsoleReporter
                 continue;
             Result res;
             res.name = r.benchmark_name();
-            if (r.iterations > 0 && r.real_accumulated_time > 0.0) {
+            // Prefer the items-normalised rate so batched rows (many
+            // accesses per benchmark iteration) stay comparable with
+            // scalar rows: ns/op is always per processed item.
+            const auto items = r.counters.find("items_per_second");
+            if (items != r.counters.end() &&
+                static_cast<double>(items->second) > 0.0) {
+                res.ops_per_sec = static_cast<double>(items->second);
+                res.ns_per_op = 1e9 / res.ops_per_sec;
+            } else if (r.iterations > 0 && r.real_accumulated_time > 0.0) {
                 const double s_per_op =
                     r.real_accumulated_time /
                     static_cast<double>(r.iterations);

@@ -98,6 +98,7 @@
 
 #include "host/host_cli.hpp"
 #include "obs/observability.hpp"
+#include "raster/access_sink.hpp"
 #include "obs/reuse_profiler.hpp"
 #include "sim/multi_config_runner.hpp"
 #include "sim/multi_stream_runner.hpp"
@@ -337,6 +338,13 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", e.error().describe().c_str());
         return 1;
     }
+
+    // --batch / --no-batch override the MLTC_BATCH process default
+    // (docs/batched_access.md); outputs are identical either way.
+    if (cli.has("no-batch"))
+        setBatchedAccess(false);
+    else if (cli.has("batch"))
+        setBatchedAccess(cli.getFlag("batch"));
 
     if (cli.has("streams")) {
         try {

@@ -28,6 +28,20 @@ Two machine-independent gates run inside the candidate file alone:
   within --profile-threshold (default 60%) of BM_CacheSimAccess. The
   disabled-mode hook cost is covered by the plain BM_CacheSimAccess row
   under the normalized baseline gate above.
+* BM_CacheSimAccessBatch (the batched access path, ns per texel) must
+  be at least --batch-speedup (default 2.0) times faster than
+  BM_CacheSimAccessScan — the scalar row driving the same serpentine
+  all-hit pattern through the sink interface — in the same run: the
+  speedup the batched path exists to deliver (docs/batched_access.md).
+* BM_CacheSimAccessBatchProduce (batched path paying for its own span
+  construction) must beat BM_CacheSimAccessScan by --batch-produce-
+  speedup (default 1.5): batching wins end to end, not just at the
+  consumer.
+* BM_CacheSimAccessBatchClassified (batched path forced onto the
+  faithful per-texel replay branch by the hit-observing 3C shadow
+  models) must be no slower than --batch-classified-speedup (default
+  0.95) times BM_CacheSimAccessScanClassified — batching must never
+  cost observed runs anything.
 
 With --json-out PATH a machine-readable verdict (per-benchmark ratios,
 in-run overheads, pass/fail) is written alongside the human table — the
@@ -104,6 +118,19 @@ def main():
                          "profiler in its *enabled* (sampling) mode, "
                          "measured within the candidate run; ~30-45%% "
                          "observed (default 0.60 = 60%%)")
+    ap.add_argument("--batch-speedup", type=float, default=2.0,
+                    help="required in-run speedup of BM_CacheSimAccessBatch "
+                         "over BM_CacheSimAccessScan (default 2.0 = 2x)")
+    ap.add_argument("--batch-produce-speedup", type=float, default=1.5,
+                    help="required in-run speedup of "
+                         "BM_CacheSimAccessBatchProduce (span construction "
+                         "included) over BM_CacheSimAccessScan "
+                         "(default 1.5)")
+    ap.add_argument("--batch-classified-speedup", type=float, default=0.95,
+                    help="required in-run speedup of "
+                         "BM_CacheSimAccessBatchClassified over "
+                         "BM_CacheSimAccessScanClassified (default 0.95: "
+                         "batching must not slow observed runs)")
     ap.add_argument("--json-out", default="",
                     help="write a machine-readable verdict JSON here")
     args = ap.parse_args()
@@ -187,6 +214,42 @@ def main():
         elif live is None and plain:
             print(f"warning: candidate lacks {row}; {label}-overhead "
                   f"gate skipped", file=sys.stderr)
+
+    # Batch-speedup gates: the batched path's contract is a minimum
+    # speedup over its scalar twin measured in the same run. Expressed
+    # as speedup = scalar_ns / batch_ns, required >= the floor.
+    verdict["speedups"] = {}
+    for label, scalar_row, batch_row, floor in (
+        ("batch", "BM_CacheSimAccessScan", "BM_CacheSimAccessBatch",
+         args.batch_speedup),
+        ("batch_produce", "BM_CacheSimAccessScan",
+         "BM_CacheSimAccessBatchProduce", args.batch_produce_speedup),
+        ("batch_classified", "BM_CacheSimAccessScanClassified",
+         "BM_CacheSimAccessBatchClassified",
+         args.batch_classified_speedup),
+    ):
+        scalar_ns = cand.get(scalar_row)
+        batch_ns = cand.get(batch_row)
+        if scalar_ns and batch_ns:
+            speedup = scalar_ns / batch_ns
+            passed = speedup >= floor
+            print(f"{label} speedup: {speedup:.2f}x "
+                  f"({batch_row} vs {scalar_row}, floor {floor:.2f}x)")
+            verdict["speedups"][label] = {
+                "scalar": scalar_row,
+                "batch": batch_row,
+                "speedup": speedup,
+                "floor": floor,
+                "pass": passed,
+            }
+            if not passed:
+                overhead_failures.append((label, batch_row, speedup))
+                print(f"FAIL: {batch_row} is only {speedup:.2f}x "
+                      f"{scalar_row} (floor {floor:.2f}x)",
+                      file=sys.stderr)
+        elif batch_ns is None and scalar_ns:
+            print(f"warning: candidate lacks {batch_row}; {label} "
+                  f"speedup gate skipped", file=sys.stderr)
 
     verdict["pass"] = not failures and not overhead_failures
     write_json_out(args.json_out, verdict)

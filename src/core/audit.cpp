@@ -208,7 +208,9 @@ CacheAuditor::fullL1(const L1Cache &l1, uint32_t texture_count)
             violation("L1Cache.tags", i,
                       "tag decodes to L1 sub-block " + std::to_string(l1_sub) +
                           " >= " + std::to_string(l1.subs_per_block_));
-        const uint32_t set = static_cast<uint32_t>(i / l1.assoc_);
+        // Way-major storage: index i lives in way i / sets_, set
+        // i % sets_.
+        const uint32_t set = static_cast<uint32_t>(i % l1.sets_);
         if (l1.setIndex(tag) != set)
             violation("L1Cache.tags", i,
                       "tag hashes to set " + std::to_string(l1.setIndex(tag)) +

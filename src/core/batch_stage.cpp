@@ -1,0 +1,207 @@
+/**
+ * @file
+ * AVX-512 staging kernel for the batched access path.
+ *
+ * One vector step stages kStageGroup (16) TexelRefs. A TexelRef is 20
+ * bytes — five dwords — so a group is five 64-byte loads, and each
+ * field (x0, y0, mip|kind) is gathered from the AoS stream with three
+ * masked two-source dword permutes. Pixel markers are compressed out
+ * of the lane set before the coalescing-filter compare so the filter
+ * sees consecutive *texels*, exactly as the scalar loop does (markers
+ * never touch the filter). The filter itself is the shifted-neighbour
+ * compare: each texel's (tx, ty, mip) against its predecessor's, with
+ * the predecessor of lane 0 fed from the carry vector via valignd.
+ * Survivors are compacted with vpcompressd and appended to the caller's
+ * SoA arrays.
+ *
+ * Everything here is bookkeeping-identical to the scalar staging loop
+ * in CacheSim::batchImpl(); tests/test_batch_equivalence.cpp runs both
+ * (MLTC_BATCH_SIMD=0 forces scalar) and compares byte-for-byte.
+ */
+#include "core/batch_stage.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MLTC_HAVE_AVX512_KERNEL 1
+#include <immintrin.h>
+#else
+#define MLTC_HAVE_AVX512_KERNEL 0
+#endif
+
+namespace mltc::detail {
+
+#if MLTC_HAVE_AVX512_KERNEL
+
+static_assert(sizeof(TexelRef) == 20, "kernel assumes 5-dword refs");
+static_assert(offsetof(TexelRef, x0) == 0 && offsetof(TexelRef, y0) == 4 &&
+                  offsetof(TexelRef, mip) == 16 &&
+                  offsetof(TexelRef, kind) == 18,
+              "kernel assumes the TexelRef field order");
+
+namespace {
+
+// GCC implements the maskz intrinsics on top of _mm512_undefined_epi32,
+// which -W(maybe-)uninitialized flags at every expansion site.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/**
+ * Gather one dword field (at dword offset encoded in the index
+ * vectors) of 16 consecutive TexelRefs from the five loaded dword
+ * vectors: three zero-masked permutes ORed together.
+ */
+__attribute__((target("avx512f"))) inline __m512i
+gatherField(__m512i z0, __m512i z1, __m512i z2, __m512i z3, __m512i z4,
+            __m512i ia, __mmask16 ma, __m512i ib, __mmask16 mb,
+            __m512i ic, __mmask16 mc)
+{
+    const __m512i va = _mm512_maskz_permutex2var_epi32(ma, z0, ia, z1);
+    const __m512i vb = _mm512_maskz_permutex2var_epi32(mb, z2, ib, z3);
+    const __m512i vc = _mm512_maskz_permutexvar_epi32(mc, ic, z4);
+    return _mm512_or_si512(_mm512_or_si512(va, vb), vc);
+}
+
+__attribute__((target("avx512f"))) StageResult
+stageRunAvx512(const TexelRef *refs, size_t n, uint32_t shift,
+               BatchStageCarry &carry, uint32_t *sxs, uint32_t *sys,
+               uint32_t *stx, uint32_t *sty, uint32_t *sms, size_t &ns,
+               size_t cap)
+{
+    // Field gather indices: ref r's field at dword offset o sits at
+    // dword position 5*r + o of the group; positions 0-31 come from
+    // (z0, z1), 32-63 from (z2, z3), 64-79 from z4.
+    const __m512i xa = _mm512_setr_epi32(0, 5, 10, 15, 20, 25, 30, 0, 0,
+                                         0, 0, 0, 0, 0, 0, 0);
+    const __m512i xb = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 3, 8, 13,
+                                         18, 23, 28, 0, 0, 0);
+    const __m512i xc = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                         0, 0, 0, 1, 6, 11);
+    const __m512i ya = _mm512_setr_epi32(1, 6, 11, 16, 21, 26, 31, 0, 0,
+                                         0, 0, 0, 0, 0, 0, 0);
+    const __m512i yb = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 4, 9, 14,
+                                         19, 24, 29, 0, 0, 0);
+    const __m512i yc = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                         0, 0, 0, 2, 7, 12);
+    const __m512i ka = _mm512_setr_epi32(4, 9, 14, 19, 24, 29, 0, 0, 0,
+                                         0, 0, 0, 0, 0, 0, 0);
+    const __m512i kb = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 2, 7, 12, 17,
+                                         22, 27, 0, 0, 0, 0);
+    const __m512i kc = _mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                         0, 0, 0, 5, 10, 15);
+
+    const __m512i low16 = _mm512_set1_epi32(0xffff);
+    const __m512i quad = _mm512_set1_epi32(TexelRef::kQuad);
+    const __m512i zero = _mm512_setzero_si512();
+    const __m128i shcnt = _mm_cvtsi32_si128(static_cast<int>(shift));
+
+    // Carry vectors: every lane holds the running filter tile, so both
+    // the valignd feed (lane 15) and the exit extraction (lane 0) read
+    // the same value.
+    __m512i ctx = _mm512_set1_epi32(static_cast<int>(carry.ptx));
+    __m512i cty = _mm512_set1_epi32(static_cast<int>(carry.pty));
+    __m512i cm = _mm512_set1_epi32(static_cast<int>(carry.pm));
+
+    StageResult r;
+    size_t done = 0;
+    while (done + kStageGroup <= n && ns + kStageGroup <= cap) {
+        const auto *base =
+            reinterpret_cast<const uint32_t *>(refs + done);
+        const __m512i z0 = _mm512_loadu_si512(base);
+        const __m512i z1 = _mm512_loadu_si512(base + 16);
+        const __m512i z2 = _mm512_loadu_si512(base + 32);
+        const __m512i z3 = _mm512_loadu_si512(base + 48);
+        const __m512i z4 = _mm512_loadu_si512(base + 64);
+
+        const __m512i mk = gatherField(z0, z1, z2, z3, z4, ka, 0x003f,
+                                       kb, 0x0fc0, kc, 0xf000);
+        const __m512i kinds = _mm512_srli_epi32(mk, 16);
+        // A quad needs the scalar corner expansion: stop before this
+        // group and let the caller take over.
+        if (_mm512_cmpeq_epi32_mask(kinds, quad) != 0)
+            break;
+        const __mmask16 tm = _mm512_cmpeq_epi32_mask(kinds, zero);
+        done += kStageGroup;
+        const unsigned len = static_cast<unsigned>(__builtin_popcount(tm));
+        if (len == 0)
+            continue; // markers only: no texels, filter untouched
+        r.texels += len;
+
+        const __m512i xs = gatherField(z0, z1, z2, z3, z4, xa, 0x007f,
+                                       xb, 0x1f80, xc, 0xe000);
+        const __m512i ys = gatherField(z0, z1, z2, z3, z4, ya, 0x007f,
+                                       yb, 0x1f80, yc, 0xe000);
+        // Compress the texels together (markers drop out) so the
+        // neighbour compare below relates consecutive texels.
+        const __m512i px = _mm512_maskz_compress_epi32(tm, xs);
+        const __m512i py = _mm512_maskz_compress_epi32(tm, ys);
+        const __m512i pm =
+            _mm512_maskz_compress_epi32(tm, _mm512_and_si512(mk, low16));
+        const __m512i tx = _mm512_srl_epi32(px, shcnt);
+        const __m512i ty = _mm512_srl_epi32(py, shcnt);
+
+        // Predecessor vectors: lane j-1's tile, lane 0 fed by carry.
+        const __m512i qx = _mm512_alignr_epi32(tx, ctx, 15);
+        const __m512i qy = _mm512_alignr_epi32(ty, cty, 15);
+        const __m512i qm = _mm512_alignr_epi32(pm, cm, 15);
+        const __mmask16 lanes =
+            static_cast<__mmask16>(0xffffu >> (16 - len));
+        const __mmask16 keep =
+            static_cast<__mmask16>(
+                (_mm512_cmpneq_epi32_mask(tx, qx) |
+                 _mm512_cmpneq_epi32_mask(ty, qy) |
+                 _mm512_cmpneq_epi32_mask(pm, qm)) &
+                lanes);
+        if (keep != 0) {
+            _mm512_storeu_si512(sxs + ns,
+                                _mm512_maskz_compress_epi32(keep, px));
+            _mm512_storeu_si512(sys + ns,
+                                _mm512_maskz_compress_epi32(keep, py));
+            _mm512_storeu_si512(stx + ns,
+                                _mm512_maskz_compress_epi32(keep, tx));
+            _mm512_storeu_si512(sty + ns,
+                                _mm512_maskz_compress_epi32(keep, ty));
+            _mm512_storeu_si512(sms + ns,
+                                _mm512_maskz_compress_epi32(keep, pm));
+            ns += static_cast<unsigned>(__builtin_popcount(keep));
+        }
+        // New carry: the last texel of the group, broadcast.
+        const __m512i last = _mm512_set1_epi32(static_cast<int>(len - 1));
+        ctx = _mm512_permutexvar_epi32(last, tx);
+        cty = _mm512_permutexvar_epi32(last, ty);
+        cm = _mm512_permutexvar_epi32(last, pm);
+    }
+    r.refs = static_cast<uint32_t>(done);
+    carry.ptx = static_cast<uint32_t>(
+        _mm_cvtsi128_si32(_mm512_castsi512_si128(ctx)));
+    carry.pty = static_cast<uint32_t>(
+        _mm_cvtsi128_si32(_mm512_castsi512_si128(cty)));
+    carry.pm = static_cast<uint32_t>(
+        _mm_cvtsi128_si32(_mm512_castsi512_si128(cm)));
+    return r;
+}
+
+#pragma GCC diagnostic pop
+
+} // namespace
+
+#endif // MLTC_HAVE_AVX512_KERNEL
+
+StageRunFn
+resolveStageRun()
+{
+#if MLTC_HAVE_AVX512_KERNEL
+    const char *env = std::getenv("MLTC_BATCH_SIMD");
+    if (env && *env &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+         std::strcmp(env, "off") == 0))
+        return nullptr;
+    if (__builtin_cpu_supports("avx512f"))
+        return &stageRunAvx512;
+#endif
+    return nullptr;
+}
+
+} // namespace mltc::detail

@@ -63,6 +63,7 @@ CacheSim::CacheSim(TextureManager &textures, const CacheSimConfig &config,
             l2_class_ = std::make_unique<MissClassifier>(cfg_.l2.blocks());
     }
     l1_shift_ = log2u(cfg_.l1.l1_tile);
+    stage_run_ = detail::resolveStageRun();
 }
 
 void
@@ -96,6 +97,16 @@ CacheSim::bindTexture(TextureId tid)
     TileSpec l1_spec{std::max(16u, cfg_.l1.l1_tile), cfg_.l1.l1_tile,
                      /*morton=*/true};
     l1_layout_ = &textures_.layout(tid, l1_spec);
+    {
+        // Fused-translation constants for the batched fast loop (see
+        // the member comment in cache_sim.hpp).
+        const uint32_t per_edge = l1_spec.l2_tile / l1_spec.l1_tile;
+        l1_level_base_ = l1_layout_->levelBases();
+        l1_tid_hi_ = static_cast<uint64_t>(tid) << 32;
+        l1_sub_bits_ = 2 * log2u(per_edge);
+        l1_sub_mask_ = (1u << l1_sub_bits_) - 1;
+        l1_fast_key_ = l1_spec.morton;
+    }
     if (l2p_) {
         TileSpec l2_spec{cfg_.l2.l2_tile, cfg_.l2.l1_tile};
         l2_layout_ = &textures_.layout(tid, l2_spec);
@@ -167,6 +178,208 @@ CacheSim::quadImpl(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
 }
 
 void
+CacheSim::accessBatch(std::span<const TexelRef> refs)
+{
+    if (refs.empty())
+        return;
+    // One hook crossing per batch: the tracer/profiler presence check,
+    // the self-timer and the profile stage cover the whole span (the
+    // flight recorder and metrics planes read the per-frame counters
+    // this path increments, so they too see one update per batch).
+    if (globalTracer() != nullptr || stageProfiler() != nullptr)
+        [[unlikely]] {
+        SelfTimer timer(&access_ns_);
+        ScopedProfileStage prof("cachesim.access");
+        batchImpl(refs);
+        return;
+    }
+    batchImpl(refs);
+}
+
+void
+CacheSim::batchImpl(std::span<const TexelRef> refs)
+{
+    // The reuse profiler and the L1 3C classifier observe hits as well
+    // as misses, so the fast loop below (which skips filtered and hit
+    // texels' side-band work) cannot run under them: replay the span
+    // through the scalar per-texel path instead. The batch still
+    // amortizes the virtual call and the observability check above.
+    if (profiler_ || l1_class_) {
+        for (const TexelRef &r : refs) {
+            switch (r.kind) {
+              case TexelRef::kTexel:
+                ++frame_.accesses;
+                handleTexel(r.x0, r.y0, r.mip);
+                break;
+              case TexelRef::kQuad:
+                quadImpl(r.x0, r.y0, r.x1, r.y1, r.mip);
+                break;
+              default:
+                if (profiler_) [[unlikely]]
+                    profiler_->beginPixel(r.x0, r.y0);
+                break;
+            }
+        }
+        return;
+    }
+
+    // Fast loop, three phases per chunk:
+    //   1. staging: expand quads to their distinct tile corners (the
+    //      same dx/dy dedup quadImpl performs), drop the
+    //      coalescing-filter non-survivors — a corner whose
+    //      (tx, ty, mip) equals its predecessor's is a guaranteed hit
+    //      (the scalar one-entry filter: after any serviced texel
+    //      last_tile_ is exactly its tile, so "equals predecessor" is
+    //      the same predicate) — and compact the survivors into SoA
+    //      arrays. Runs of plain texel refs go through the AVX-512
+    //      kernel (batch_stage.cpp) 16 at a time when the machine has
+    //      one; quads, markers, short runs and non-AVX-512 machines
+    //      use the scalar corner loop below. Both stagings produce the
+    //      same survivors and the same filter carry by contract. The
+    //      access count folds into one frame-counter update per chunk;
+    //   2. run the fused <tid, L2blk, L1blk> translation over the
+    //      survivors (one Morton interleave each, see l1_fast_key_ in
+    //      cache_sim.hpp);
+    //   3. probe the L1 tag planes over the survivor run with
+    //      lookupRun() — bookkeeping-identical to per-texel lookup()
+    //      calls — and drop each miss out to the scalar slow path
+    //      handleMiss() before resuming the run behind it.
+    constexpr size_t kChunk = 256;
+    uint32_t sxs[kChunk], sys[kChunk];
+    uint32_t stx[kChunk], sty[kChunk], sms[kChunk];
+    uint64_t skeys[kChunk];
+    // Tile key of survivor s, built on demand (miss bookkeeping and
+    // the filter carry only — the common all-hit case never packs it).
+    const auto tileAt = [&](size_t s) {
+        return (static_cast<uint64_t>(sms[s]) << 58) |
+               (static_cast<uint64_t>(sty[s]) << 29) |
+               static_cast<uint64_t>(stx[s]) | (1ull << 57);
+    };
+
+    const uint32_t sh = l1_shift_;
+    // Unpack the filter tile into comparable components; when empty
+    // (after a bind) the sentinels are unmatchable, forcing the first
+    // corner through exactly as tileKeyOf() != 0 always does.
+    uint32_t ptx = 0xffffffffu, pty = 0xffffffffu, pm = 0xffffffffu;
+    if (last_tile_ != 0) {
+        ptx = static_cast<uint32_t>(last_tile_ & 0x1fffffffu);
+        pty = static_cast<uint32_t>((last_tile_ >> 29) & 0x0fffffffu);
+        pm = static_cast<uint32_t>(last_tile_ >> 58);
+    }
+    uint64_t prev = last_tile_;
+    const uint32_t *lb = l1_level_base_;
+    const uint64_t hi = l1_tid_hi_;
+    const uint32_t sb = l1_sub_bits_, smask = l1_sub_mask_;
+    const bool fast_key = l1_fast_key_;
+    size_t i = 0;
+    while (i < refs.size()) {
+        size_t ns = 0;
+        uint64_t acc = 0;
+        // Filter one corner; appends a survivor.
+        const auto corner = [&](uint32_t x, uint32_t y,
+                                uint32_t mip) __attribute__((always_inline)) {
+            const uint32_t tx = x >> sh, ty = y >> sh;
+            if (((tx ^ ptx) | (ty ^ pty) | (mip ^ pm)) == 0)
+                return;
+            ptx = tx;
+            pty = ty;
+            pm = mip;
+            sxs[ns] = x;
+            sys[ns] = y;
+            stx[ns] = tx;
+            sty[ns] = ty;
+            sms[ns] = mip;
+            ++ns;
+        };
+        // A vector-kernel step needs a full group of refs starting and
+        // ending on a texel (quads inside make it bail to scalar: the
+        // rearm-on-quad flag below keeps that bail from re-probing the
+        // same group per ref). The scalar loop stages everything else
+        // and hands texel runs back to the kernel.
+        bool simd = stage_run_ != nullptr;
+        for (;;) {
+            if (simd && i + detail::kStageGroup <= refs.size() &&
+                ns + detail::kStageGroup <= kChunk &&
+                refs[i].kind == TexelRef::kTexel &&
+                refs[i + detail::kStageGroup - 1].kind ==
+                    TexelRef::kTexel) {
+                detail::BatchStageCarry c{ptx, pty, pm};
+                const detail::StageResult run =
+                    stage_run_(refs.data() + i, refs.size() - i, sh, c,
+                               sxs, sys, stx, sty, sms, ns, kChunk);
+                if (run.refs != 0) {
+                    i += run.refs;
+                    acc += run.texels;
+                    ptx = c.ptx;
+                    pty = c.pty;
+                    pm = c.pm;
+                    continue;
+                }
+                simd = false; // quad in the first group: stage scalar
+            }
+            if (i >= refs.size() || ns + 4 > kChunk)
+                break;
+            const TexelRef &r = refs[i++];
+            if (r.kind == TexelRef::kTexel) {
+                ++acc;
+                corner(r.x0, r.y0, r.mip);
+            } else if (r.kind == TexelRef::kQuad) {
+                acc += 4;
+                const bool dx = (r.x0 >> sh) != (r.x1 >> sh);
+                const bool dy = (r.y0 >> sh) != (r.y1 >> sh);
+                corner(r.x0, r.y0, r.mip);
+                if (dx)
+                    corner(r.x1, r.y0, r.mip);
+                if (dy) {
+                    corner(r.x0, r.y1, r.mip);
+                    if (dx)
+                        corner(r.x1, r.y1, r.mip);
+                }
+                simd = stage_run_ != nullptr; // group boundary passed
+            }
+            // Pixel markers carry no texel work; without a profiler
+            // attached (checked above) they are no-ops here, exactly
+            // like scalar beginPixel().
+        }
+        frame_.accesses += acc;
+        if (ns == 0)
+            continue;
+
+        if (fast_key) [[likely]] {
+            for (size_t s = 0; s < ns; ++s) {
+                const uint32_t code = mortonInterleave(stx[s], sty[s]);
+                skeys[s] =
+                    hi |
+                    (static_cast<uint64_t>(lb[sms[s]] + (code >> sb))
+                     << 8) |
+                    (code & smask);
+            }
+        } else {
+            for (size_t s = 0; s < ns; ++s)
+                skeys[s] =
+                    l1_layout_->blockKeyOf(bound_, sxs[s], sys[s], sms[s]);
+        }
+
+        size_t p = 0;
+        while (p < ns) {
+            p += l1_.lookupRun(skeys + p,
+                               static_cast<uint32_t>(ns - p));
+            if (p == ns)
+                break;
+            ++frame_.l1_misses;
+            // Exception contract: should handleMiss throw, leave the
+            // filter where the scalar path would — on the previous
+            // serviced texel's tile.
+            last_tile_ = p ? tileAt(p - 1) : prev;
+            handleMiss(sxs[p], sys[p], sms[p], skeys[p], tileAt(p));
+            ++p;
+        }
+        prev = tileAt(ns - 1);
+    }
+    last_tile_ = prev;
+}
+
+void
 CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
 {
     // One-entry coalescing filter: consecutive references to the same
@@ -176,9 +389,7 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
     // quad coalescing does; the only approximation is that repeats do
     // not refresh the line's LRU stamp. Filtering on raw tile
     // coordinates also skips the address translation itself.
-    const uint64_t tile = (static_cast<uint64_t>(mip) << 58) |
-                          (static_cast<uint64_t>(y >> l1_shift_) << 29) |
-                          static_cast<uint64_t>(x >> l1_shift_) | (1ull << 57);
+    const uint64_t tile = tileKeyOf(x, y, mip);
     if (tile == last_tile_)
         return;
     const uint64_t key = l1_layout_->blockKeyOf(bound_, x, y, mip);
@@ -205,7 +416,13 @@ CacheSim::handleTexel(uint32_t x, uint32_t y, uint32_t mip)
     }
 
     ++frame_.l1_misses;
+    handleMiss(x, y, mip, key, tile);
+}
 
+void
+CacheSim::handleMiss(uint32_t x, uint32_t y, uint32_t mip, uint64_t key,
+                     uint64_t tile)
+{
     if (!l2p_) {
         // Pull architecture: download one L1 tile from host memory.
         if (host_ && !fetchFromHost(0)) {

@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "core/batch_stage.hpp"
 #include "core/l1_cache.hpp"
 #include "core/l2_cache.hpp"
 #include "core/texture_tlb.hpp"
@@ -202,6 +203,18 @@ class CacheSim final : public TexelAccessSink
                     uint32_t mip) override;
     void beginPixel(uint32_t px, uint32_t py) override;
 
+    /**
+     * Batched access path (docs/batched_access.md): one observability
+     * hook crossing (tracer/self-timer/profiler-stage check) per span
+     * instead of per texel, SoA address translation over the span, and
+     * a branch-free L1 probe. Misses fall out to the same scalar slow
+     * path access() uses, so fault injection, MIP degradation, 3C
+     * classification and reuse profiling are untouched semantically;
+     * every counter, snapshot and CSV is bit-identical to replaying
+     * the span through the scalar entry points.
+     */
+    void accessBatch(std::span<const TexelRef> refs) override;
+
     /** Harvest this frame's counter deltas and mark the boundary. */
     CacheFrameStats endFrame();
 
@@ -314,9 +327,34 @@ class CacheSim final : public TexelAccessSink
     /** Service one texel reference (shared by access/accessQuad). */
     void handleTexel(uint32_t x, uint32_t y, uint32_t mip);
 
+    /**
+     * Service an L1 miss already counted by the caller: pull download
+     * or L2 lookup, fault handling, degradation, classification, L1
+     * fill. Shared verbatim by the scalar and batched paths (the
+     * batched fast loop only replaces the filter + L1 probe in front
+     * of it). Every exit leaves last_tile_ == @p tile.
+     */
+    void handleMiss(uint32_t x, uint32_t y, uint32_t mip, uint64_t key,
+                    uint64_t tile);
+
     /** accessQuad body, shared by the traced and untraced branches. */
     void quadImpl(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
                   uint32_t mip);
+
+    /** accessBatch body, shared by the traced and untraced branches. */
+    void batchImpl(std::span<const TexelRef> refs);
+
+    /**
+     * Coalescing-filter key of the L1 tile containing (x, y, mip); bit
+     * 57 distinguishes every real tile from the "no tile" value 0.
+     */
+    uint64_t
+    tileKeyOf(uint32_t x, uint32_t y, uint32_t mip) const
+    {
+        return (static_cast<uint64_t>(mip) << 58) |
+               (static_cast<uint64_t>(y >> l1_shift_) << 29) |
+               static_cast<uint64_t>(x >> l1_shift_) | (1ull << 57);
+    }
 
     /**
      * Issue one host sector download through the fallible path,
@@ -357,6 +395,26 @@ class CacheSim final : public TexelAccessSink
     uint64_t host_sector_bytes_ = 0; ///< one L1 tile at original depth
     uint64_t last_tile_ = 0;         ///< coalescing filter (0 = none)
     uint32_t l1_shift_ = 2;          ///< log2(L1 tile edge)
+
+    // Fused L1 address translation for the batched fast loop. With the
+    // Morton L1 layout the packed block key of a texel reduces to one
+    // interleave of its global tile coordinates plus bit surgery:
+    //   code = morton(x >> l1_shift_, y >> l1_shift_)
+    //   key  = tid<<32 | (level_base[mip] + (code >> sub_bits)) << 8
+    //        | (code & sub_mask)
+    // because the low 2*log2(l2_tile/l1_tile) interleaved bits are
+    // exactly the Morton L1 sub-block number (bit-homomorphism of the
+    // interleave over the tile/sub-tile split). Cached per bind;
+    // l1_fast_key_ gates the identity on the layout being Morton.
+    const uint32_t *l1_level_base_ = nullptr; ///< per-mip L2 block base
+    uint64_t l1_tid_hi_ = 0;                  ///< bound_ << 32
+    uint32_t l1_sub_bits_ = 4;  ///< 2*log2(l2_tile/l1_tile)
+    uint32_t l1_sub_mask_ = 15; ///< (1 << l1_sub_bits_) - 1
+    bool l1_fast_key_ = false;  ///< layout is Morton: identity valid
+
+    /// SIMD staging kernel for batchImpl(), resolved once at
+    /// construction (nullptr = scalar staging; see batch_stage.hpp).
+    detail::StageRunFn stage_run_ = nullptr;
 
     CacheFrameStats frame_; ///< counters for the current frame
     CacheFrameStats totals_;

@@ -32,62 +32,34 @@ L1Cache::L1Cache(const L1Config &config) : cfg_(config)
     subs_per_block_ = per_edge * per_edge;
 }
 
-uint32_t
-L1Cache::setIndex(uint64_t key) const
-{
-    // Bit-selection indexing, as real texture caches do: linearise the
-    // virtual block coordinates so contiguous tile regions spread
-    // perfectly over the sets (Hakura's "6D blocked representation").
-    // The tid term staggers different textures' mappings.
-    // (tid starts at 1 so a packed key is never 0; 0 marks invalid tags.)
-    uint32_t tid = static_cast<uint32_t>(key >> 32);
-    uint32_t l2 = static_cast<uint32_t>((key >> 8) & 0xffffff);
-    uint32_t l1 = static_cast<uint32_t>(key & 0xff);
-    uint32_t linear = l2 * subs_per_block_ + l1 + tid * 0x9e3779b1u;
-    return linear & (sets_ - 1);
-}
-
-bool
-L1Cache::lookup(uint64_t block_key)
-{
-    ++stats_.accesses;
-    const size_t base = static_cast<size_t>(setIndex(block_key)) * assoc_;
-    for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == block_key) {
-            stamps_[base + w] = ++tick_;
-            return true;
-        }
-    }
-    ++stats_.misses;
-    return false;
-}
-
 void
 L1Cache::fill(uint64_t block_key)
 {
-    const size_t base = static_cast<size_t>(setIndex(block_key)) * assoc_;
+    const uint32_t set = setIndex(block_key);
     uint32_t victim = 0;
     uint64_t oldest = ~0ull;
     for (uint32_t w = 0; w < assoc_; ++w) {
-        if (tags_[base + w] == 0) { // free way
+        const size_t at = static_cast<size_t>(w) * sets_ + set;
+        if (tags_[at] == 0) { // free way
             victim = w;
             break;
         }
-        if (stamps_[base + w] < oldest) {
-            oldest = stamps_[base + w];
+        if (stamps_[at] < oldest) {
+            oldest = stamps_[at];
             victim = w;
         }
     }
-    tags_[base + victim] = block_key;
-    stamps_[base + victim] = ++tick_;
+    const size_t at = static_cast<size_t>(victim) * sets_ + set;
+    tags_[at] = block_key;
+    stamps_[at] = ++tick_;
 }
 
 bool
 L1Cache::probe(uint64_t block_key) const
 {
-    const size_t base = static_cast<size_t>(setIndex(block_key)) * assoc_;
+    const uint32_t set = setIndex(block_key);
     for (uint32_t w = 0; w < assoc_; ++w)
-        if (tags_[base + w] == block_key)
+        if (tags_[static_cast<size_t>(w) * sets_ + set] == block_key)
             return true;
     return false;
 }
@@ -111,8 +83,19 @@ L1Cache::save(SnapshotWriter &w) const
     w.u64(cfg_.size_bytes);
     w.u32(cfg_.assoc);
     w.u32(cfg_.l1_tile);
-    w.u64Vec(tags_);
-    w.u64Vec(stamps_);
+    // Snapshots predate the way-major (SoA) storage and keep the
+    // original set-major order on disk: permute on the way out so the
+    // checkpoint byte format is invariant under the in-memory layout.
+    std::vector<uint64_t> tags(tags_.size()), stamps(stamps_.size());
+    for (uint32_t s = 0; s < sets_; ++s)
+        for (uint32_t wy = 0; wy < assoc_; ++wy) {
+            const size_t disk = static_cast<size_t>(s) * assoc_ + wy;
+            const size_t mem = static_cast<size_t>(wy) * sets_ + s;
+            tags[disk] = tags_[mem];
+            stamps[disk] = stamps_[mem];
+        }
+    w.u64Vec(tags);
+    w.u64Vec(stamps);
     w.u64(tick_);
     w.u64(stats_.accesses);
     w.u64(stats_.misses);
@@ -139,8 +122,15 @@ L1Cache::load(SnapshotReader &r)
     if (tags.size() != tags_.size() || stamps.size() != stamps_.size())
         throw Exception(ErrorCode::Corrupt,
                         "L1Cache: snapshot line count mismatch");
-    tags_ = std::move(tags);
-    stamps_ = std::move(stamps);
+    // Inverse of the save() permutation: set-major on disk, way-major
+    // in memory.
+    for (uint32_t s = 0; s < sets_; ++s)
+        for (uint32_t wy = 0; wy < assoc_; ++wy) {
+            const size_t disk = static_cast<size_t>(s) * assoc_ + wy;
+            const size_t mem = static_cast<size_t>(wy) * sets_ + s;
+            tags_[mem] = tags[disk];
+            stamps_[mem] = stamps[disk];
+        }
     tick_ = r.u64();
     stats_.accesses = r.u64();
     stats_.misses = r.u64();

@@ -57,6 +57,13 @@ struct L1Stats
 /**
  * Set-associative tag store for L1 texture tiles. Data payloads are not
  * modelled (transaction-accurate, not cycle-accurate, §3.3).
+ *
+ * Tags and LRU stamps are stored way-major (one contiguous plane per
+ * way, indexed by set): the batched access path probes a run of nearby
+ * sets against way plane 0, then way plane 1, which keeps the common
+ * 2-way scan in two cache lines and lets the compiler vectorize the
+ * compare. Snapshots keep the original set-major byte order (save/load
+ * permute), so checkpoint files are unchanged.
  */
 class L1Cache
 {
@@ -69,9 +76,80 @@ class L1Cache
     /**
      * Look up the line holding @p block_key; on a hit update LRU and
      * return true. On a miss the caller decides what to do (the fill is
-     * separate so the controller can model download paths).
+     * separate so the controller can model download paths). Inline and
+     * branch-free across the ways: the matching way is selected by
+     * conditional moves, the only branch is hit-vs-miss itself.
      */
-    bool lookup(uint64_t block_key);
+    bool
+    lookup(uint64_t block_key)
+    {
+        ++stats_.accesses;
+        const uint32_t set = setIndex(block_key);
+        uint32_t way = kNoWay;
+        for (uint32_t w = 0; w < assoc_; ++w)
+            way = tags_[static_cast<size_t>(w) * sets_ + set] == block_key
+                      ? w
+                      : way;
+        if (way == kNoWay) {
+            ++stats_.misses;
+            return false;
+        }
+        stamps_[static_cast<size_t>(way) * sets_ + set] = ++tick_;
+        return true;
+    }
+
+    /**
+     * Probe @p keys in order exactly as repeated lookup() calls would —
+     * identical counters, LRU stamps and tick sequence — but with the
+     * per-call statistics folded into one update. Stops at the first
+     * miss so the caller can service it (a fill changes the tag state
+     * later probes must observe) and resume with the tail.
+     *
+     * @return the number of leading hits h. When h < @p n, keys[h]
+     *         missed (its access and miss are already counted, no LRU
+     *         update — the same state lookup() leaves on a miss).
+     */
+    uint32_t
+    lookupRun(const uint64_t *keys, uint32_t n)
+    {
+        uint32_t h = 0;
+        if (assoc_ == 2) [[likely]] {
+            // Two-way fast path: both way planes probed branch-free,
+            // the only branch is hit-vs-miss (as in lookup()).
+            const uint64_t *t0 = tags_.data();
+            const uint64_t *t1 = t0 + sets_;
+            for (; h < n; ++h) {
+                const uint64_t key = keys[h];
+                const uint32_t set = setIndex(key);
+                uint32_t way = kNoWay;
+                way = t0[set] == key ? 0u : way;
+                way = t1[set] == key ? 1u : way;
+                if (way == kNoWay)
+                    break;
+                stamps_[static_cast<size_t>(way) * sets_ + set] = ++tick_;
+            }
+        } else {
+            for (; h < n; ++h) {
+                const uint64_t key = keys[h];
+                const uint32_t set = setIndex(key);
+                uint32_t way = kNoWay;
+                for (uint32_t w = 0; w < assoc_; ++w)
+                    way = tags_[static_cast<size_t>(w) * sets_ + set] == key
+                              ? w
+                              : way;
+                if (way == kNoWay)
+                    break;
+                stamps_[static_cast<size_t>(way) * sets_ + set] = ++tick_;
+            }
+        }
+        if (h < n) {
+            stats_.accesses += h + 1;
+            ++stats_.misses;
+        } else {
+            stats_.accesses += n;
+        }
+        return h;
+    }
 
     /** Install @p block_key, evicting the set's LRU line. */
     void fill(uint64_t block_key);
@@ -104,14 +182,34 @@ class L1Cache
     friend class CacheAuditor;
     friend class AuditTestPeer;
 
-    uint32_t setIndex(uint64_t key) const;
+    static constexpr uint32_t kNoWay = 0xffffffffu;
+
+    /**
+     * Bit-selection indexing, as real texture caches do: linearise the
+     * virtual block coordinates so contiguous tile regions spread
+     * perfectly over the sets (Hakura's "6D blocked representation").
+     * The tid term staggers different textures' mappings. Pure bit
+     * arithmetic — inline so the batched translation loop vectorizes.
+     * (tid starts at 1 so a packed key is never 0; 0 marks invalid
+     * tags.)
+     */
+    uint32_t
+    setIndex(uint64_t key) const
+    {
+        const uint32_t tid = static_cast<uint32_t>(key >> 32);
+        const uint32_t l2 = static_cast<uint32_t>((key >> 8) & 0xffffff);
+        const uint32_t l1 = static_cast<uint32_t>(key & 0xff);
+        const uint32_t linear =
+            l2 * subs_per_block_ + l1 + tid * 0x9e3779b1u;
+        return linear & (sets_ - 1);
+    }
 
     L1Config cfg_;
     uint32_t sets_;
     uint32_t assoc_;
     uint32_t subs_per_block_; ///< L1 sub-blocks per (16x16) L2 block
-    std::vector<uint64_t> tags_;    ///< sets_ x assoc_, 0 = invalid
-    std::vector<uint64_t> stamps_;  ///< LRU stamps, parallel to tags_
+    std::vector<uint64_t> tags_;   ///< way-major: assoc_ planes of sets_
+    std::vector<uint64_t> stamps_; ///< LRU stamps, parallel to tags_
     uint64_t tick_ = 0;
     L1Stats stats_;
 };

@@ -1,0 +1,44 @@
+#include "raster/access_sink.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mltc {
+
+namespace {
+
+bool
+batchEnvDefault()
+{
+    const char *env = std::getenv("MLTC_BATCH");
+    if (!env || !*env)
+        return true;
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0 &&
+           std::strcmp(env, "off") != 0;
+}
+
+std::atomic<bool> &
+batchFlag()
+{
+    // Function-local so the env read cannot race static initialization
+    // order across translation units.
+    static std::atomic<bool> flag{batchEnvDefault()};
+    return flag;
+}
+
+} // namespace
+
+bool
+batchedAccess()
+{
+    return batchFlag().load(std::memory_order_relaxed);
+}
+
+void
+setBatchedAccess(bool on)
+{
+    batchFlag().store(on, std::memory_order_relaxed);
+}
+
+} // namespace mltc

@@ -13,11 +13,71 @@
 #define MLTC_RASTER_ACCESS_SINK_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "texture/tiled_layout.hpp"
 
 namespace mltc {
+
+/**
+ * One element of a batched access stream: a lossless encoding of the
+ * scalar sink events between two texture binds. Producers (sampler,
+ * trace replay, multi-stream replay) buffer these a scanline (or a few
+ * thousand events) at a time and hand the span to accessBatch(), paying
+ * one virtual call and one observability-hook crossing per batch
+ * instead of per texel. Pixel markers are recorded verbatim — never
+ * deduplicated — so replaying a batch element-by-element through the
+ * scalar entry points reproduces the exact scalar event sequence.
+ */
+struct TexelRef
+{
+    enum Kind : uint16_t
+    {
+        kTexel = 0, ///< one texel reference (x0, y0, mip)
+        kQuad = 1,  ///< bilinear footprint (x0|x1, y0|y1, mip)
+        kPixel = 2, ///< beginPixel marker; screen position in (x0, y0)
+    };
+
+    uint32_t x0 = 0;
+    uint32_t y0 = 0;
+    uint32_t x1 = 0; ///< quad only: wrapped neighbour column
+    uint32_t y1 = 0; ///< quad only: wrapped neighbour row
+    uint16_t mip = 0;
+    uint16_t kind = kTexel;
+
+    static constexpr TexelRef
+    texel(uint32_t x, uint32_t y, uint32_t m)
+    {
+        return {x, y, 0, 0, static_cast<uint16_t>(m), kTexel};
+    }
+
+    static constexpr TexelRef
+    quad(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1, uint32_t m)
+    {
+        return {x0, y0, x1, y1, static_cast<uint16_t>(m), kQuad};
+    }
+
+    static constexpr TexelRef
+    pixel(uint32_t px, uint32_t py)
+    {
+        return {px, py, 0, 0, 0, kPixel};
+    }
+};
+
+/**
+ * Process-wide batched-emission toggle. On (the default, overridable
+ * with the MLTC_BATCH environment variable: "0"/"false"/"off" disable)
+ * the rasterizer, trace replay and multi-stream replay buffer the
+ * access stream into TexelRef spans and deliver it via accessBatch();
+ * off they call the scalar entry points per event. Both modes are
+ * byte-identical by contract (tests/test_batch_equivalence.cpp); the
+ * toggle exists for differential testing and for bisecting perf.
+ */
+bool batchedAccess();
+
+/** Override the batched-emission toggle (--batch / --no-batch). */
+void setBatchedAccess(bool on);
 
 /** Receives the texel access stream from the rasterizer. */
 class TexelAccessSink
@@ -61,6 +121,32 @@ class TexelAccessSink
         access(x0, y1, mip);
         access(x1, y1, mip);
     }
+
+    /**
+     * A buffered span of accesses between two texture binds (producers
+     * flush before every bindTexture call, so a batch never spans a
+     * bind). The default replays the span through the scalar entry
+     * points in order, which makes every sink batch-correct by
+     * construction; CacheSim overrides this with a vectorized fast
+     * path that is bit-identical to the replay.
+     */
+    virtual void
+    accessBatch(std::span<const TexelRef> refs)
+    {
+        for (const TexelRef &r : refs) {
+            switch (r.kind) {
+              case TexelRef::kTexel:
+                access(r.x0, r.y0, r.mip);
+                break;
+              case TexelRef::kQuad:
+                accessQuad(r.x0, r.y0, r.x1, r.y1, r.mip);
+                break;
+              default:
+                beginPixel(r.x0, r.y0);
+                break;
+            }
+        }
+    }
 };
 
 /** Sink that drops everything (render-only paths). */
@@ -73,6 +159,7 @@ class NullSink final : public TexelAccessSink
                     uint32_t) override
     {
     }
+    void accessBatch(std::span<const TexelRef>) override {}
 };
 
 /** Sink that counts accesses (testing and quick statistics). */
@@ -91,6 +178,17 @@ class CountingSink final : public TexelAccessSink
     accessQuad(uint32_t, uint32_t, uint32_t, uint32_t, uint32_t) override
     {
         count += 4;
+    }
+
+    void
+    accessBatch(std::span<const TexelRef> refs) override
+    {
+        for (const TexelRef &r : refs) {
+            if (r.kind == TexelRef::kTexel)
+                ++count;
+            else if (r.kind == TexelRef::kQuad)
+                count += 4;
+        }
     }
 
     uint64_t count = 0;
@@ -133,6 +231,13 @@ class FanoutSink final : public TexelAccessSink
     {
         for (auto *s : sinks_)
             s->accessQuad(x0, y0, x1, y1, mip);
+    }
+
+    void
+    accessBatch(std::span<const TexelRef> refs) override
+    {
+        for (auto *s : sinks_)
+            s->accessBatch(refs);
     }
 
   private:

@@ -31,6 +31,7 @@ Rasterizer::renderFrame(const Scene &scene, const Camera &camera,
 {
     FrameStats stats;
     const uint64_t access_base = sampler_.accessCount();
+    sampler_.setBatching(batchedAccess());
 
     auto visible = scene.visibleObjects(camera.frustum());
     stats.objects_visible = visible.size();
@@ -65,6 +66,8 @@ Rasterizer::renderFrame(const Scene &scene, const Camera &camera,
                            /*detail_pass=*/true);
         }
     }
+
+    sampler_.flushBatch();
 
     if (ChromeTraceWriter *t = globalTracer())
         t->recordAggregate("sampler.sample", sampler_.takeSampleNs() / 1000);
@@ -307,6 +310,9 @@ Rasterizer::rasterizeTriangle(const ScreenVertex &a, const ScreenVertex &b,
             if (shade)
                 framebuffer_->shade(px, py, Z, color);
         }
+        // One batch per scanline keeps spans cache-resident in the sink
+        // while preserving left-to-right, top-to-bottom event order.
+        sampler_.flushBatch();
     }
 }
 

@@ -11,6 +11,7 @@
 #define MLTC_RASTER_SAMPLER_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "raster/access_sink.hpp"
 #include "texture/texture_manager.hpp"
@@ -34,7 +35,39 @@ class TextureSampler
     TextureSampler() = default;
 
     /** Attach the access-stream consumer (may be null to disable). */
-    void setSink(TexelAccessSink *sink) { sink_ = sink; }
+    void
+    setSink(TexelAccessSink *sink)
+    {
+        flushBatch();
+        sink_ = sink;
+    }
+
+    /**
+     * Buffer footprints into TexelRef spans and deliver them through
+     * accessBatch() instead of per-event scalar calls (the rasterizer
+     * enables this per frame from the process-wide batchedAccess()
+     * toggle). The emitted event sequence is identical either way.
+     */
+    void
+    setBatching(bool enabled)
+    {
+        if (!enabled)
+            flushBatch();
+        batching_ = enabled;
+    }
+
+    bool batching() const { return batching_; }
+
+    /** Deliver any buffered accesses to the sink as one batch. */
+    void
+    flushBatch()
+    {
+        if (!batch_.empty()) {
+            if (sink_)
+                sink_->accessBatch(batch_);
+            batch_.clear();
+        }
+    }
 
     /** Select the filter for subsequent samples. */
     void setFilter(FilterMode mode) { filter_ = mode; }
@@ -54,7 +87,11 @@ class TextureSampler
     void
     beginPixel(uint32_t px, uint32_t py)
     {
-        if (sink_)
+        if (!sink_)
+            return;
+        if (batching_)
+            push(TexelRef::pixel(px, py));
+        else
             sink_->beginPixel(px, py);
     }
 
@@ -89,13 +126,26 @@ class TextureSampler
     /** sample() body, shared by the traced and untraced branches. */
     uint32_t sampleImpl(float u, float v, float lambda);
 
+    /** Backstop cap; the rasterizer flushes per scanline well below it. */
+    static constexpr size_t kBatchCap = 4096;
+
+    void
+    push(const TexelRef &r)
+    {
+        batch_.push_back(r);
+        if (batch_.size() >= kBatchCap)
+            flushBatch();
+    }
+
     const MipPyramid *pyramid_ = nullptr;
     TexelAccessSink *sink_ = nullptr;
     FilterMode filter_ = FilterMode::Point;
     bool shading_ = false;
+    bool batching_ = false;
     uint32_t max_level_ = 0;
     uint64_t accesses_ = 0;
     uint64_t sample_ns_ = 0; ///< SelfTimer accumulator (tracing only)
+    std::vector<TexelRef> batch_;
 };
 
 } // namespace mltc

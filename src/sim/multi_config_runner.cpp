@@ -537,6 +537,18 @@ class GuardedSink final : public TexelAccessSink
         }
     }
 
+    void
+    accessBatch(std::span<const TexelRef> refs) override
+    {
+        if (q_->dead)
+            return;
+        try {
+            inner_.accessBatch(refs);
+        } catch (...) {
+            quarantine();
+        }
+    }
+
     /** Record @p err and stop forwarding (used for audit violations). */
     void
     quarantineWith(const Error &err)

@@ -32,6 +32,9 @@ namespace {
 
 constexpr uint32_t kMsTag = snapTag("MST ");
 
+/** Max refs buffered per accessBatch() call during batched replay. */
+constexpr size_t kReplayBatchCap = 4096;
+
 /** Buffers the rasterizer's texel stream as RecordedOps. */
 class RecordingSink final : public TexelAccessSink
 {
@@ -298,6 +301,56 @@ MultiStreamRunner::replayStream(uint32_t index)
     CacheSim &sim = *st.sim;
     const uint32_t bias = governor_.bias(index);
     const MipPyramid *pyr = nullptr;
+
+    if (batchedAccess()) {
+        // Decode recorded ops (LOD bias applied here, at decode time)
+        // into TexelRef batches; the batch drains before every bind so
+        // all buffered refs replay under the binding they were recorded
+        // with. Event order is identical to the scalar loop below.
+        std::vector<TexelRef> batch;
+        batch.reserve(kReplayBatchCap);
+        auto flush = [&] {
+            if (!batch.empty()) {
+                sim.accessBatch(batch);
+                batch.clear();
+            }
+        };
+        for (const RecordedOp &op : st.pending) {
+            switch (op.kind) {
+              case 0:
+                flush();
+                sim.bindTexture(op.a);
+                pyr = &st.textures().texture(op.a).pyramid;
+                break;
+              case 1:
+                batch.push_back(TexelRef::pixel(op.a, op.b));
+                break;
+              case 2: {
+                uint32_t x = op.a, y = op.b, mip = op.mip;
+                if (bias != 0)
+                    biasCoord(*pyr, bias, x, y, mip);
+                batch.push_back(TexelRef::texel(x, y, mip));
+                break;
+              }
+              default: {
+                uint32_t x0 = op.a, y0 = op.b, x1 = op.c, y1 = op.d;
+                uint32_t mip = op.mip;
+                if (bias != 0) {
+                    uint32_t m0 = op.mip, m1 = op.mip;
+                    biasCoord(*pyr, bias, x0, y0, m0);
+                    biasCoord(*pyr, bias, x1, y1, m1);
+                    mip = m0;
+                }
+                batch.push_back(TexelRef::quad(x0, y0, x1, y1, mip));
+                break;
+              }
+            }
+            if (batch.size() >= kReplayBatchCap)
+                flush();
+        }
+        flush();
+        return;
+    }
 
     for (const RecordedOp &op : st.pending) {
         switch (op.kind) {

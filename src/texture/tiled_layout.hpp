@@ -158,6 +158,13 @@ class TiledLayout
         return level_base_[m];
     }
 
+    /**
+     * The per-level base table itself (levels() entries). The batched
+     * access path caches this pointer at bind time so its fused
+     * translation loop avoids re-chasing the vector per texel.
+     */
+    const uint32_t *levelBases() const { return level_base_.data(); }
+
     /** L2 tiles across level @p m. */
     uint32_t tilesX(uint32_t m) const { return tiles_x_[m]; }
 

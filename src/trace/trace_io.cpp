@@ -1,6 +1,7 @@
 #include "trace/trace_io.hpp"
 
 #include <cstring>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -129,6 +130,21 @@ TraceReader::~TraceReader()
 bool
 TraceReader::replayFrame(TexelAccessSink &sink)
 {
+    // Runs of kAccess ops are buffered into one accessBatch() call; the
+    // buffer is drained before every bind (batches never span a texture
+    // binding) and at end of frame, so the sink observes the exact same
+    // event sequence as the scalar replay.
+    const bool batched = batchedAccess();
+    std::vector<TexelRef> batch;
+    if (batched)
+        batch.reserve(kReplayBatchCap);
+    auto flush = [&] {
+        if (!batch.empty()) {
+            sink.accessBatch(batch);
+            batch.clear();
+        }
+    };
+
     bool any = false;
     uint8_t op = 0;
     while (true) {
@@ -143,6 +159,7 @@ TraceReader::replayFrame(TexelAccessSink &sink)
                 throw Exception(ErrorCode::Truncated,
                                 "TraceReader: truncated bind at offset " +
                                     at);
+            flush();
             sink.bindTexture(tid);
             break;
           }
@@ -153,10 +170,17 @@ TraceReader::replayFrame(TexelAccessSink &sink)
                 throw Exception(ErrorCode::Truncated,
                                 "TraceReader: truncated access at offset " +
                                     at);
-            sink.access(x, y, mip);
+            if (batched) {
+                batch.push_back(TexelRef::texel(x, y, mip));
+                if (batch.size() >= kReplayBatchCap)
+                    flush();
+            } else {
+                sink.access(x, y, mip);
+            }
             break;
           }
           case kEndFrame:
+            flush();
             return true;
           default:
             throw Exception(ErrorCode::BadOpcode,
@@ -164,6 +188,7 @@ TraceReader::replayFrame(TexelAccessSink &sink)
                                 std::to_string(op) + " at offset " + at);
         }
     }
+    flush();
     return any;
 }
 

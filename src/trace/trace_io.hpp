@@ -11,6 +11,7 @@
 #ifndef MLTC_TRACE_TRACE_IO_HPP
 #define MLTC_TRACE_TRACE_IO_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -77,7 +78,8 @@ class TraceReader
 
     /**
      * Replay events into @p sink until the next frame boundary or end of
-     * trace.
+     * trace. When batchedAccess() is on, runs of access ops between
+     * binds are delivered through accessBatch() (same event sequence).
      * @return true when a frame was delivered, false at end of trace.
      */
     bool replayFrame(TexelAccessSink &sink);
@@ -86,6 +88,9 @@ class TraceReader
     uint64_t replayAll(TexelAccessSink &sink);
 
   private:
+    /** Max refs buffered per accessBatch() call during batched replay. */
+    static constexpr size_t kReplayBatchCap = 4096;
+
     std::FILE *file_ = nullptr;
 };
 

@@ -88,6 +88,9 @@ class SnapshotWriter
     /** Payload bytes buffered so far. */
     size_t size() const { return payload_.size(); }
 
+    /** Buffered payload bytes (in-memory snapshot comparison in tests). */
+    const std::vector<uint8_t> &payload() const { return payload_; }
+
     const std::string &path() const { return path_; }
 
   private:

@@ -216,8 +216,8 @@ TEST(Audit, L1TagInWrongSetTripsFullSweep)
     CacheSim sim(*wl.textures, twoLevelTlb(), "t");
     exercise(wl, sim);
     auto &tags = AuditTestPeer::l1Tags(sim);
-    // Move a valid resident tag into a set it does not hash to.
-    const uint32_t assoc = AuditTestPeer::l1Assoc(sim);
+    // Move a valid resident tag into a set it does not hash to. Storage
+    // is way-major, so index `set` addresses way plane 0 of that set.
     const uint32_t sets = AuditTestPeer::l1Sets(sim);
     ASSERT_GT(sets, 1u);
     long src = -1;
@@ -230,8 +230,8 @@ TEST(Audit, L1TagInWrongSetTripsFullSweep)
     const uint64_t tag = tags[static_cast<size_t>(src)];
     const uint32_t home = AuditTestPeer::l1SetOf(sim, tag);
     const uint32_t wrong = (home + 1) % sets;
-    tags[static_cast<size_t>(wrong) * assoc] = tag;
-    AuditTestPeer::l1Stamps(sim)[static_cast<size_t>(wrong) * assoc] = 1;
+    tags[wrong] = tag;
+    AuditTestPeer::l1Stamps(sim)[wrong] = 1;
     expectViolation(sim, AuditLevel::Full, "L1Cache.tags");
 }
 
